@@ -1,0 +1,187 @@
+//! Closest pair of points in the plane — a tree-form D&C algorithm with a
+//! data-dependent combine (the strip scan), `T(n) = 2T(n/2) + Θ(n)`.
+
+use hpu_core::charge::Charge;
+use hpu_core::tree::DivideConquer;
+use hpu_model::{CostFn, Recurrence};
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Brute-force reference: `O(n²)` closest-pair distance
+/// (`f64::INFINITY` for fewer than two points).
+pub fn closest_pair_reference(points: &[Point]) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            best = best.min(points[i].dist(&points[j]));
+        }
+    }
+    best
+}
+
+/// The D&C solution: subproblems are x-sorted point sets; outputs carry
+/// the best distance plus the points re-sorted by `y` (for the linear
+/// strip scan, mergesort-style).
+#[derive(Debug, Clone, Default)]
+pub struct ClosestPair;
+
+impl ClosestPair {
+    /// The algorithm's recurrence: `T(n) = 2T(n/2) + Θ(n)`.
+    pub fn recurrence() -> Recurrence {
+        Recurrence::new(2, 2, CostFn::Linear(4.0), 1.0).expect("valid recurrence")
+    }
+
+    /// Solves directly: sorts by x and runs the D&C recursion.
+    pub fn solve(points: &[Point], charge: &mut dyn Charge) -> f64 {
+        let mut pts = points.to_vec();
+        pts.sort_by(|a, b| a.x.total_cmp(&b.x));
+        hpu_core::tree::run_recursive(&ClosestPair, pts, charge).0
+    }
+}
+
+impl DivideConquer for ClosestPair {
+    /// An x-sorted set of points.
+    type Param = Vec<Point>;
+    /// Best distance plus the same points sorted by y.
+    type Output = (f64, Vec<Point>);
+
+    fn is_base(&self, p: &Self::Param) -> bool {
+        p.len() <= 3
+    }
+
+    fn base_case(&self, p: Self::Param, charge: &mut dyn Charge) -> Self::Output {
+        charge.ops(9);
+        let best = closest_pair_reference(&p);
+        let mut by_y = p;
+        by_y.sort_by(|a, b| a.y.total_cmp(&b.y));
+        (best, by_y)
+    }
+
+    fn divide(&self, p: &Self::Param, charge: &mut dyn Charge) -> Vec<Self::Param> {
+        charge.mem(p.len() as u64);
+        let mid = p.len() / 2;
+        vec![p[..mid].to_vec(), p[mid..].to_vec()]
+    }
+
+    fn combine(
+        &self,
+        p: Self::Param,
+        children: Vec<Self::Output>,
+        charge: &mut dyn Charge,
+    ) -> Self::Output {
+        let mid_x = p[p.len() / 2].x;
+        let [(dl, left), (dr, right)]: [(f64, Vec<Point>); 2] =
+            children.try_into().expect("two children");
+        let mut d = dl.min(dr);
+
+        // Merge the y-sorted halves (mergesort-style, Θ(n)).
+        let mut by_y = Vec::with_capacity(left.len() + right.len());
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() || j < right.len() {
+            let take_left = j >= right.len() || (i < left.len() && left[i].y <= right[j].y);
+            if take_left {
+                by_y.push(left[i]);
+                i += 1;
+            } else {
+                by_y.push(right[j]);
+                j += 1;
+            }
+        }
+        charge.mem(2 * by_y.len() as u64);
+        charge.ops(by_y.len() as u64);
+
+        // Strip scan: points within d of the dividing line, at most ~7
+        // neighbour checks each.
+        let strip: Vec<&Point> = by_y.iter().filter(|pt| (pt.x - mid_x).abs() < d).collect();
+        let mut checks = 0u64;
+        for a in 0..strip.len() {
+            for b in a + 1..strip.len() {
+                if strip[b].y - strip[a].y >= d {
+                    break;
+                }
+                checks += 1;
+                d = d.min(strip[a].dist(strip[b]));
+            }
+        }
+        charge.ops(4 * checks);
+        (d, by_y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpu_core::charge::NullCharge;
+    use hpu_core::pool::LevelPool;
+    use hpu_core::tree::{run_breadth_first, run_threaded};
+
+    fn points(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = (i as f64 * 1234.567).sin() * 100.0;
+                let b = (i as f64 * 76.543).cos() * 100.0;
+                Point { x: a, y: b }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_bruteforce() {
+        for n in [2usize, 3, 5, 16, 64, 200] {
+            let pts = points(n);
+            let expect = closest_pair_reference(&pts);
+            let got = ClosestPair::solve(&pts, &mut NullCharge);
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "n = {n}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn breadth_first_and_threaded_agree() {
+        let pts = {
+            let mut p = points(128);
+            p.sort_by(|a, b| a.x.total_cmp(&b.x));
+            p
+        };
+        let expect = closest_pair_reference(&pts);
+        let bf = run_breadth_first(&ClosestPair, pts.clone(), &mut NullCharge).0;
+        let th = run_threaded(&ClosestPair, pts, &LevelPool::new(2)).0;
+        assert!((bf - expect).abs() < 1e-9);
+        assert!((th - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_points_give_zero() {
+        let mut pts = points(32);
+        pts.push(pts[7]);
+        let got = ClosestPair::solve(&pts, &mut NullCharge);
+        assert_eq!(got, 0.0);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point> = (0..64).map(|i| Point {
+            x: i as f64 * 2.0,
+            y: 5.0,
+        })
+        .collect();
+        let got = ClosestPair::solve(&pts, &mut NullCharge);
+        assert!((got - 2.0).abs() < 1e-12);
+    }
+}

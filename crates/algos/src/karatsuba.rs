@@ -1,0 +1,170 @@
+//! Karatsuba polynomial multiplication — a tree-form D&C algorithm with
+//! `a = 3`, `b = 2`, `f(n) = Θ(n)` (so `T(n) = Θ(n^{log₂3})`).
+//!
+//! Demonstrates the general [`DivideConquer`] form on a recurrence where
+//! the branching (3) differs from the shrink factor (2), which the regular
+//! in-place form cannot express.
+
+use hpu_core::charge::Charge;
+use hpu_core::tree::DivideConquer;
+use hpu_model::Recurrence;
+
+/// Coefficients use `i128` to stay exact for test-sized inputs.
+pub type Coeff = i128;
+
+/// Schoolbook `Θ(n²)` reference multiplication.
+pub fn schoolbook(a: &[Coeff], b: &[Coeff]) -> Vec<Coeff> {
+    if a.is_empty() || b.is_empty() {
+        return vec![];
+    }
+    let mut out = vec![0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// Karatsuba multiplication as a [`DivideConquer`] algorithm. Operands must
+/// have equal power-of-two lengths (pad with zeros otherwise); products
+/// have length `2n − 1`, zero-extended to `2n` for uniformity.
+#[derive(Debug, Clone)]
+pub struct Karatsuba {
+    /// Operand length at or below which the base case (schoolbook) runs.
+    pub threshold: usize,
+}
+
+impl Default for Karatsuba {
+    fn default() -> Self {
+        Karatsuba { threshold: 4 }
+    }
+}
+
+impl Karatsuba {
+    /// The algorithm's recurrence: `T(n) = 3T(n/2) + Θ(n)`.
+    pub fn recurrence() -> Recurrence {
+        Recurrence::karatsuba()
+    }
+}
+
+impl DivideConquer for Karatsuba {
+    /// A pair of equal-length operands.
+    type Param = (Vec<Coeff>, Vec<Coeff>);
+    /// Product, zero-extended to `2n` coefficients.
+    type Output = Vec<Coeff>;
+
+    fn is_base(&self, (a, _): &Self::Param) -> bool {
+        a.len() <= self.threshold
+    }
+
+    fn base_case(&self, (a, b): Self::Param, charge: &mut dyn Charge) -> Self::Output {
+        let n = a.len();
+        charge.ops((n * n) as u64);
+        charge.mem((2 * n * n) as u64);
+        let mut out = schoolbook(&a, &b);
+        out.resize(2 * n, 0);
+        out
+    }
+
+    fn divide(&self, (a, b): &Self::Param, charge: &mut dyn Charge) -> Vec<Self::Param> {
+        let m = a.len() / 2;
+        let (a0, a1) = (a[..m].to_vec(), a[m..].to_vec());
+        let (b0, b1) = (b[..m].to_vec(), b[m..].to_vec());
+        let asum: Vec<Coeff> = a0.iter().zip(&a1).map(|(x, y)| x + y).collect();
+        let bsum: Vec<Coeff> = b0.iter().zip(&b1).map(|(x, y)| x + y).collect();
+        charge.ops(2 * m as u64);
+        charge.mem(6 * m as u64);
+        vec![(a0, b0), (a1, b1), (asum, bsum)]
+    }
+
+    fn combine(
+        &self,
+        (a, _): Self::Param,
+        children: Vec<Self::Output>,
+        charge: &mut dyn Charge,
+    ) -> Self::Output {
+        let n = a.len();
+        let m = n / 2;
+        let [z0, z2, zmid]: [Vec<Coeff>; 3] =
+            children.try_into().expect("karatsuba has three children");
+        // z1 = zmid − z0 − z2; result = z0 + z1·x^m + z2·x^n.
+        let mut out = vec![0; 2 * n];
+        for (i, &v) in z0.iter().enumerate() {
+            out[i] += v;
+        }
+        for (i, &v) in z2.iter().enumerate() {
+            out[n + i] += v;
+        }
+        for i in 0..zmid.len() {
+            out[m + i] += zmid[i] - z0[i] - z2[i];
+        }
+        charge.ops(4 * n as u64);
+        charge.mem(8 * n as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpu_core::charge::NullCharge;
+    use hpu_core::pool::LevelPool;
+    use hpu_core::tree::{run_breadth_first, run_recursive, run_sim_cpu, run_threaded};
+    use hpu_machine::{CpuConfig, SimCpu};
+
+    fn poly(n: usize, seed: i128) -> Vec<Coeff> {
+        (0..n as i128).map(|i| (i * seed + 3) % 17 - 8).collect()
+    }
+
+    fn trim(mut v: Vec<Coeff>) -> Vec<Coeff> {
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+
+    #[test]
+    fn matches_schoolbook() {
+        let algo = Karatsuba::default();
+        for n in [4usize, 8, 16, 64] {
+            let (a, b) = (poly(n, 5), poly(n, 11));
+            let expect = trim(schoolbook(&a, &b));
+            let got = run_recursive(&algo, (a, b), &mut NullCharge);
+            assert_eq!(trim(got), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn breadth_first_and_threaded_agree() {
+        let algo = Karatsuba::default();
+        let pool = LevelPool::new(3);
+        let (a, b) = (poly(32, 7), poly(32, 13));
+        let rec = run_recursive(&algo, (a.clone(), b.clone()), &mut NullCharge);
+        let bf = run_breadth_first(&algo, (a.clone(), b.clone()), &mut NullCharge);
+        let th = run_threaded(&algo, (a.clone(), b.clone()), &pool);
+        assert_eq!(rec, bf);
+        assert_eq!(rec, th);
+    }
+
+    #[test]
+    fn sim_cpu_parallel_speedup_is_sublinear() {
+        // a = 3 subproblems per node: plenty of level parallelism.
+        let algo = Karatsuba { threshold: 2 };
+        let (a, b) = (poly(64, 3), poly(64, 9));
+        let mut cpu1 = SimCpu::new(CpuConfig::uniform(4));
+        let r1 = run_sim_cpu(&algo, (a.clone(), b.clone()), &mut cpu1, 1);
+        let mut cpu4 = SimCpu::new(CpuConfig::uniform(4));
+        let r4 = run_sim_cpu(&algo, (a, b), &mut cpu4, 4);
+        assert_eq!(r1, r4);
+        let speedup = cpu1.clock() / cpu4.clock();
+        assert!(speedup > 1.5 && speedup <= 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn zero_polynomials() {
+        let algo = Karatsuba::default();
+        let out = run_recursive(&algo, (vec![0; 8], poly(8, 5)), &mut NullCharge);
+        assert!(out.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,31 @@
+//! # hpu-algos — divide-and-conquer algorithms on the HPU framework
+//!
+//! The paper's mergesort case study plus a library of further D&C
+//! algorithms demonstrating the genericity of the translation:
+//!
+//! | module | algorithm | recurrence | framework form |
+//! |---|---|---|---|
+//! | [`mergesort`] | mergesort (§6, Algorithms 6-8) with the §6.3 coalescing optimization and the Figure-9 GPU parallel (binary-search) merge | `2T(n/2) + Θ(n)` | in-place breadth-first |
+//! | [`sum`] | divide-and-conquer sum (Algorithms 4-5) | `2T(n/2) + Θ(1)` | in-place breadth-first |
+//! | [`scan`] | prefix sums | `2T(n/2) + Θ(n)` | in-place breadth-first |
+//! | [`max_subarray`] | maximum-subarray sum | `2T(n/2) + Θ(1)` | in-place breadth-first |
+//! | [`karatsuba`] | Karatsuba polynomial multiplication | `3T(n/2) + Θ(n)` | tree form |
+//! | [`matmul`] | blocked matrix multiplication | `8T(n/2) + Θ(n²)` | tree form |
+//! | [`closest_pair`] | closest pair of points in the plane | `2T(n/2) + Θ(n)` | tree form |
+//!
+//! Every module carries a plain sequential reference implementation the
+//! framework executors are tested against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closest_pair;
+pub mod karatsuba;
+pub mod matmul;
+pub mod max_subarray;
+pub mod mergesort;
+pub mod scan;
+pub mod sum;
+
+pub use mergesort::MergeSort;
+pub use sum::DcSum;

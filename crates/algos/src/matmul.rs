@@ -1,0 +1,216 @@
+//! Blocked (divide-and-conquer) matrix multiplication — tree form with
+//! `a = 8`, `b = 2`, `f(n) = Θ(n²)` over the side length `n`
+//! (`T(n) = Θ(n³)`).
+
+use hpu_core::charge::Charge;
+use hpu_core::tree::DivideConquer;
+use hpu_model::Recurrence;
+
+/// A dense square matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Side length.
+    pub n: usize,
+    /// Row-major elements (`n·n` of them).
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n×n` zero matrix.
+    pub fn zero(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates a matrix from a generator of `(row, col)` entries.
+    pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zero(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.data[i * n + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Element accessor.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Extracts the quadrant (`qi`, `qj`) of a matrix with even side.
+    pub fn quadrant(&self, qi: usize, qj: usize) -> Matrix {
+        let h = self.n / 2;
+        Matrix::from_fn(h, |i, j| self.at(qi * h + i, qj * h + j))
+    }
+
+    /// Assembles a matrix from four quadrants `[[q00, q01], [q10, q11]]`.
+    pub fn from_quadrants(q: [[&Matrix; 2]; 2]) -> Matrix {
+        let h = q[0][0].n;
+        Matrix::from_fn(2 * h, |i, j| q[i / h][j / h].at(i % h, j % h))
+    }
+
+    /// Entrywise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        debug_assert_eq!(self.n, other.n);
+        Matrix {
+            n: self.n,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Maximum absolute entrywise difference (for float comparisons).
+    pub fn max_diff(&self, other: &Matrix) -> f64 {
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Triple-loop reference multiplication.
+pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.n;
+    let mut c = Matrix::zero(n);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a.at(i, k);
+            for j in 0..n {
+                c.data[i * n + j] += aik * b.at(k, j);
+            }
+        }
+    }
+    c
+}
+
+/// D&C matrix multiplication: each node spawns the 8 half-size products
+/// `A_ik · B_kj` and combines them with `Θ(n²)` additions.
+#[derive(Debug, Clone)]
+pub struct DcMatmul {
+    /// Side length at or below which the triple loop runs.
+    pub threshold: usize,
+}
+
+impl Default for DcMatmul {
+    fn default() -> Self {
+        DcMatmul { threshold: 8 }
+    }
+}
+
+impl DcMatmul {
+    /// The algorithm's recurrence: `T(n) = 8T(n/2) + Θ(n²)`.
+    pub fn recurrence() -> Recurrence {
+        Recurrence::dc_matmul()
+    }
+}
+
+impl DivideConquer for DcMatmul {
+    /// A pair of equal-size square matrices (power-of-two side).
+    type Param = (Matrix, Matrix);
+    /// Their product.
+    type Output = Matrix;
+
+    fn is_base(&self, (a, _): &Self::Param) -> bool {
+        a.n <= self.threshold
+    }
+
+    fn base_case(&self, (a, b): Self::Param, charge: &mut dyn Charge) -> Matrix {
+        let n = a.n as u64;
+        charge.ops(2 * n * n * n);
+        charge.mem(3 * n * n);
+        matmul_reference(&a, &b)
+    }
+
+    fn divide(&self, (a, b): &Self::Param, charge: &mut dyn Charge) -> Vec<Self::Param> {
+        let n = a.n as u64;
+        charge.mem(2 * n * n); // reading both operands into quadrants
+        let mut children = Vec::with_capacity(8);
+        // C_ij = Σ_k A_ik B_kj: children ordered (i, j, k).
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    children.push((a.quadrant(i, k), b.quadrant(k, j)));
+                }
+            }
+        }
+        children
+    }
+
+    fn combine(
+        &self,
+        (a, _): Self::Param,
+        children: Vec<Matrix>,
+        charge: &mut dyn Charge,
+    ) -> Matrix {
+        let n = a.n as u64;
+        charge.ops(n * n); // the quadrant additions
+        charge.mem(3 * n * n);
+        let quads: Vec<Matrix> = children
+            .chunks(2)
+            .map(|pair| pair[0].add(&pair[1]))
+            .collect();
+        Matrix::from_quadrants([[&quads[0], &quads[1]], [&quads[2], &quads[3]]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpu_core::charge::NullCharge;
+    use hpu_core::pool::LevelPool;
+    use hpu_core::tree::{run_breadth_first, run_recursive, run_threaded};
+
+    fn mat(n: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(n, |i, j| ((i * 31 + j * 17) as f64 * seed) % 7.0 - 3.0)
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let algo = DcMatmul { threshold: 2 };
+        let a = mat(16, 1.0);
+        let id = Matrix::from_fn(16, |i, j| if i == j { 1.0 } else { 0.0 });
+        let out = run_recursive(&algo, (a.clone(), id), &mut NullCharge);
+        assert!(out.max_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn matches_reference() {
+        let algo = DcMatmul { threshold: 4 };
+        for n in [4usize, 8, 16, 32] {
+            let (a, b) = (mat(n, 1.5), mat(n, 2.5));
+            let expect = matmul_reference(&a, &b);
+            let got = run_recursive(&algo, (a, b), &mut NullCharge);
+            assert!(got.max_diff(&expect) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn executors_agree() {
+        let algo = DcMatmul { threshold: 4 };
+        let pool = LevelPool::new(2);
+        let (a, b) = (mat(16, 0.7), mat(16, 1.3));
+        let rec = run_recursive(&algo, (a.clone(), b.clone()), &mut NullCharge);
+        let bf = run_breadth_first(&algo, (a.clone(), b.clone()), &mut NullCharge);
+        let th = run_threaded(&algo, (a, b), &pool);
+        assert!(rec.max_diff(&bf) < 1e-12);
+        assert!(rec.max_diff(&th) < 1e-12);
+    }
+
+    #[test]
+    fn quadrant_roundtrip() {
+        let m = mat(8, 1.0);
+        let q = [
+            [&m.quadrant(0, 0), &m.quadrant(0, 1)],
+            [&m.quadrant(1, 0), &m.quadrant(1, 1)],
+        ];
+        assert_eq!(Matrix::from_quadrants(q), m);
+    }
+}

@@ -1,0 +1,139 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--full] [--out DIR]
+//!
+//! EXPERIMENT: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//!             ablation-coalescing ablation-schedule extension-workloads
+//!             all   (default: all)
+//! --full      paper-scale sizes (n = 2^24; takes much longer)
+//! --out DIR   also write each experiment to DIR/<name>.csv
+//! ```
+
+use std::io::Write;
+
+use hpu_bench::experiments as exp;
+use hpu_bench::experiments::Csv;
+
+struct Scale {
+    probe_len: usize,
+    fig7_n: usize,
+    fig8_sizes: Vec<usize>,
+    fig9_sizes: Vec<usize>,
+    fig10_sizes: Vec<usize>,
+    model_n: u64,
+    ablation_n: usize,
+}
+
+impl Scale {
+    fn quick() -> Self {
+        Scale {
+            probe_len: 1 << 16,
+            fig7_n: 1 << 16,
+            fig8_sizes: (10..=20).step_by(2).map(|k| 1 << k).collect(),
+            fig9_sizes: (10..=20).step_by(2).map(|k| 1 << k).collect(),
+            fig10_sizes: vec![1 << 12, 1 << 14, 1 << 16],
+            model_n: 1 << 24,
+            ablation_n: 1 << 14,
+        }
+    }
+
+    fn full() -> Self {
+        Scale {
+            probe_len: 1 << 22,
+            fig7_n: 1 << 24,
+            fig8_sizes: (10..=24).map(|k| 1 << k).collect(),
+            fig9_sizes: (10..=24).map(|k| 1 << k).collect(),
+            fig10_sizes: (12..=24).step_by(2).map(|k| 1 << k).collect(),
+            model_n: 1 << 24,
+            ablation_n: 1 << 20,
+        }
+    }
+}
+
+fn fig7_grid(scale: &Scale, full: bool) -> Csv {
+    let alphas: Vec<f64> = (1..=7).map(|k| k as f64 * 0.05).collect();
+    let levels: Vec<u32> = if full {
+        vec![7, 8, 9, 10, 11, 12]
+    } else {
+        // Scaled-down input: the interesting levels shift up with
+        // log2(n^full / n): keep the same distance from the tree bottom.
+        vec![5, 6, 7, 8, 9]
+    };
+    exp::fig7(scale.fig7_n, &alphas, &levels)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != out_dir.as_deref())
+        .cloned()
+        .collect();
+    let scale = if full { Scale::full() } else { Scale::quick() };
+
+    let all = [
+        "table1",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "ablation-coalescing",
+        "ablation-schedule",
+        "extension-workloads",
+    ];
+    let selected: Vec<&str> = if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        all.to_vec()
+    } else {
+        wanted.iter().map(String::as_str).collect()
+    };
+
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for name in selected {
+        let csv = match name {
+            "table1" => exp::table1(),
+            "table2" => exp::table2(scale.probe_len),
+            "fig3" => exp::fig3(scale.model_n),
+            "fig4" => exp::fig4(scale.model_n),
+            "fig5" => exp::fig5(scale.probe_len),
+            "fig6" => exp::fig6(&[
+                scale.probe_len / 8,
+                scale.probe_len / 4,
+                scale.probe_len / 2,
+                scale.probe_len,
+            ]),
+            "fig7" => fig7_grid(&scale, full),
+            "fig8" => exp::fig8(&scale.fig8_sizes),
+            "fig9" => exp::fig9(&scale.fig9_sizes),
+            "fig10" => exp::fig10(&scale.fig10_sizes),
+            "ablation-coalescing" => exp::ablation_coalescing(scale.ablation_n),
+            "ablation-schedule" => exp::ablation_schedule(scale.ablation_n),
+            "extension-workloads" => exp::extension_workloads(scale.ablation_n),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        };
+        let _ = writeln!(lock, "# === {} ===", csv.name);
+        let _ = write!(lock, "{}", csv.render());
+        let _ = writeln!(lock);
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create --out directory");
+            std::fs::write(format!("{dir}/{}.csv", csv.name), csv.render())
+                .expect("write CSV file");
+        }
+    }
+}

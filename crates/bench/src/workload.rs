@@ -1,0 +1,29 @@
+//! Workload generation for the experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's sorting workload: `n` keys drawn uniformly at random from
+/// `[0, 2n)` (§6.4), deterministic per seed.
+pub fn uniform_input(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hi = (2 * n).max(2) as u32;
+    (0..n).map(|_| rng.gen_range(0..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uniform_input(100, 7), uniform_input(100, 7));
+        assert_ne!(uniform_input(100, 7), uniform_input(100, 8));
+    }
+
+    #[test]
+    fn range_respected() {
+        let v = uniform_input(1000, 1);
+        assert!(v.iter().all(|&x| x < 2000));
+    }
+}

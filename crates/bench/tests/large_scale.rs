@@ -1,0 +1,26 @@
+//! Scale check (release-mode recommended): at cache-pressure sizes the
+//! advanced hybrid must beat CPU-only, reproducing the paper's headline.
+
+use hpu_bench::experiments::ablation_schedule;
+
+#[test]
+#[ignore = "slow: run with --release -- --ignored"]
+fn advanced_beats_cpu_only_at_2_22() {
+    let csv = ablation_schedule(1 << 22);
+    let get = |platform: &str, strategy: &str| -> f64 {
+        csv.rows
+            .iter()
+            .find(|r| r[0] == platform && r[1] == strategy)
+            .map(|r| r[3].parse().unwrap())
+            .unwrap()
+    };
+    for platform in ["HPU1", "HPU2"] {
+        let cpu = get(platform, "cpu_only");
+        let adv = get(platform, "advanced");
+        assert!(
+            adv > cpu,
+            "{platform}: advanced {adv} must beat cpu-only {cpu} at scale"
+        );
+        assert!(adv > 3.5, "{platform}: advanced speedup {adv} should approach the paper's 4.5x");
+    }
+}

@@ -1,0 +1,164 @@
+//! CPU-side breadth-first execution on the simulated machine.
+
+use hpu_machine::{CpuCtx, SimCpu, SimHpu};
+
+use crate::bf::{BfAlgorithm, Element};
+use crate::error::CoreError;
+
+/// Runs the base-case level and the combine levels up to runs of
+/// `to_chunk` elements on `cores` simulated cores, ping-ponging between
+/// `data` and `scratch`. Returns `true` when the result ended up in
+/// `data`, `false` when it is in `scratch`.
+pub(crate) fn run_levels_cpu<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    cpu: &mut SimCpu,
+    data: &mut [T],
+    scratch: &mut [T],
+    to_chunk: usize,
+    cores: usize,
+) -> bool {
+    let a = algo.branching();
+    let base = algo.base_chunk();
+    debug_assert_eq!(data.len(), scratch.len());
+
+    cpu.run_level_with(
+        cores,
+        &format!("{} base", algo.name()),
+        data.chunks_mut(base)
+            .map(|c| move |ctx: &mut CpuCtx| algo.base_case(c, ctx)),
+    );
+
+    let mut chunk = base.saturating_mul(a);
+    let mut src_is_data = true;
+    while chunk <= to_chunk && chunk <= data.len() {
+        let label = format!("{} combine chunk {chunk}", algo.name());
+        if src_is_data {
+            run_combine_level(algo, cpu, &label, data, scratch, chunk, cores);
+        } else {
+            run_combine_level(algo, cpu, &label, scratch, data, chunk, cores);
+        }
+        src_is_data = !src_is_data;
+        chunk = chunk.saturating_mul(a);
+    }
+    src_is_data
+}
+
+fn run_combine_level<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    cpu: &mut SimCpu,
+    label: &str,
+    src: &[T],
+    dst: &mut [T],
+    chunk: usize,
+    cores: usize,
+) {
+    cpu.run_level_with(
+        cores,
+        label,
+        src.chunks(chunk)
+            .zip(dst.chunks_mut(chunk))
+            .map(|(s, d)| move |ctx: &mut CpuCtx| algo.combine(s, d, ctx)),
+    );
+}
+
+/// Copies `src` into `dst` as a level of chunked tasks (2 memory ops per
+/// element), used when a run's ping-pong parity leaves the result in the
+/// scratch buffer.
+pub(crate) fn copy_level<T: Element>(
+    cpu: &mut SimCpu,
+    src: &[T],
+    dst: &mut [T],
+    chunk: usize,
+    cores: usize,
+) {
+    let chunk = chunk.min(src.len()).max(1);
+    cpu.run_level_with(
+        cores,
+        "copy back",
+        src.chunks(chunk)
+            .zip(dst.chunks_mut(chunk))
+            .map(|(s, d)| {
+                move |ctx: &mut CpuCtx| {
+                    d.copy_from_slice(s);
+                    ctx.charge_mem(2 * s.len() as u64);
+                }
+            }),
+    );
+}
+
+/// Full CPU-only run (all levels), result guaranteed back in `data`.
+pub(crate) fn run_cpu_only<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    hpu: &mut SimHpu,
+    cores: usize,
+) -> Result<(), CoreError> {
+    let n = data.len();
+    let mut scratch = vec![T::default(); n];
+    hpu.cpu.set_footprint(2 * n * std::mem::size_of::<T>());
+    let in_data = run_levels_cpu(algo, &mut hpu.cpu, data, &mut scratch, n, cores);
+    if !in_data {
+        copy_level(&mut hpu.cpu, &scratch, data, n.div_ceil(cores.max(1)), cores);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charge::Charge;
+    use hpu_machine::CpuConfig;
+    use hpu_model::Recurrence;
+
+    /// Chunk solution = max of the chunk, kept in slot 0.
+    struct MaxAlgo;
+    impl BfAlgorithm<u32> for MaxAlgo {
+        fn name(&self) -> &'static str {
+            "max"
+        }
+        fn base_case(&self, _c: &mut [u32], ch: &mut dyn Charge) {
+            ch.ops(1);
+        }
+        fn combine(&self, src: &[u32], dst: &mut [u32], ch: &mut dyn Charge) {
+            dst[0] = src[0].max(src[src.len() / 2]);
+            ch.ops(1);
+            ch.mem(3);
+        }
+        fn recurrence(&self) -> Recurrence {
+            Recurrence::dc_sum()
+        }
+    }
+
+    #[test]
+    fn partial_climb_stops_at_to_chunk() {
+        let mut cpu = SimCpu::new(CpuConfig::uniform(2));
+        let mut data: Vec<u32> = vec![3, 9, 1, 4, 1, 5, 9, 2];
+        let mut scratch = vec![0u32; 8];
+        // Climb only to runs of 4: two partial maxima, no root combine.
+        let in_data = run_levels_cpu(&MaxAlgo, &mut cpu, &mut data, &mut scratch, 4, 2);
+        // Two combine levels (chunk 2 and 4): result in data again.
+        assert!(in_data);
+        assert_eq!(data[0], 9);
+        assert_eq!(data[4], 9);
+    }
+
+    #[test]
+    fn copy_level_charges_two_mem_per_element() {
+        let mut cpu = SimCpu::new(CpuConfig::uniform(1));
+        let src: Vec<u32> = (0..16).collect();
+        let mut dst = vec![0u32; 16];
+        copy_level(&mut cpu, &src, &mut dst, 4, 1);
+        assert_eq!(dst, src);
+        assert_eq!(cpu.clock(), 32.0);
+    }
+
+    #[test]
+    fn single_chunk_input_runs_base_only() {
+        let mut cpu = SimCpu::new(CpuConfig::uniform(2));
+        let mut data = vec![7u32];
+        let mut scratch = vec![0u32];
+        let in_data = run_levels_cpu(&MaxAlgo, &mut cpu, &mut data, &mut scratch, 1, 2);
+        assert!(in_data);
+        assert_eq!(cpu.clock(), 1.0); // one leaf op, no combines
+    }
+}

@@ -1,0 +1,243 @@
+//! The hybrid executors: basic (§5.1) and advanced (§5.2) work divisions.
+
+use hpu_machine::SimHpu;
+
+use crate::bf::{num_levels, BfAlgorithm, Element};
+use crate::error::CoreError;
+use crate::exec::cpu::{copy_level, run_levels_cpu};
+use crate::exec::gpu::run_levels_gpu;
+
+/// Device-side accounting returned by the hybrid executors.
+pub(crate) struct HybridStats {
+    pub coalesced: u64,
+    pub uncoalesced: u64,
+    /// Durations of the concurrent phase on each unit (CPU, GPU incl. the
+    /// transfer back) — advanced schedule only.
+    pub concurrent: Option<(f64, f64)>,
+}
+
+/// Basic hybrid division: the GPU executes the leaves and every level with
+/// at least `a^crossover` tasks (one upload before, one download after);
+/// the CPU finishes the top levels. Exactly one round trip of data.
+pub(crate) fn run_basic<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    hpu: &mut SimHpu,
+    crossover: u32,
+) -> Result<HybridStats, CoreError> {
+    let n = data.len();
+    let levels = num_levels(algo, n)?;
+    if crossover > levels {
+        return Err(CoreError::InvalidLevel {
+            level: crossover,
+            levels,
+        });
+    }
+    let a = algo.branching();
+    // Largest chunk the GPU builds: n / a^crossover.
+    let gpu_to_chunk = n / a.pow(crossover);
+
+    let mut buf_a = hpu.upload(data)?;
+    let mut buf_b = match hpu.gpu.alloc::<T>(n) {
+        Ok(b) => b,
+        Err(e) => {
+            hpu.gpu.free(buf_a);
+            return Err(e.into());
+        }
+    };
+    let run = match run_levels_gpu(algo, &mut hpu.gpu, &mut buf_a, &mut buf_b, gpu_to_chunk) {
+        Ok(r) => r,
+        Err(e) => {
+            hpu.gpu.free(buf_a);
+            hpu.gpu.free(buf_b);
+            return Err(e);
+        }
+    };
+    let result = if run.in_first { &buf_a } else { &buf_b };
+    let out = hpu.download(result);
+    data.copy_from_slice(&out);
+    hpu.gpu.free(buf_a);
+    hpu.gpu.free(buf_b);
+    // The CPU's first combine level depends on the downloaded data.
+    hpu.sync();
+
+    if gpu_to_chunk < n {
+        let mut scratch = vec![T::default(); n];
+        let cores = hpu.config().cpu.cores;
+        hpu.cpu.set_footprint(2 * n * std::mem::size_of::<T>());
+        let in_data = run_cpu_combines_from(
+            algo,
+            hpu,
+            data,
+            &mut scratch,
+            gpu_to_chunk * a,
+            cores,
+        );
+        if !in_data {
+            copy_level(&mut hpu.cpu, &scratch, data, n.div_ceil(cores), cores);
+        }
+    }
+    Ok(HybridStats {
+        coalesced: run.coalesced,
+        uncoalesced: run.uncoalesced,
+        concurrent: None,
+    })
+}
+
+/// Runs CPU combine levels starting at `from_chunk` (inclusive) up to the
+/// whole array; returns `true` if the result ended in `data`.
+fn run_cpu_combines_from<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    hpu: &mut SimHpu,
+    data: &mut [T],
+    scratch: &mut [T],
+    from_chunk: usize,
+    cores: usize,
+) -> bool {
+    let a = algo.branching();
+    let n = data.len();
+    let mut chunk = from_chunk;
+    let mut src_is_data = true;
+    while chunk <= n {
+        let label = format!("{} combine chunk {chunk}", algo.name());
+        if src_is_data {
+            run_one_level(algo, hpu, &label, data, scratch, chunk, cores);
+        } else {
+            run_one_level(algo, hpu, &label, scratch, data, chunk, cores);
+        }
+        src_is_data = !src_is_data;
+        chunk = chunk.saturating_mul(a);
+    }
+    src_is_data
+}
+
+fn run_one_level<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    hpu: &mut SimHpu,
+    label: &str,
+    src: &[T],
+    dst: &mut [T],
+    chunk: usize,
+    cores: usize,
+) {
+    hpu.cpu.run_level_with(
+        cores,
+        label,
+        src.chunks(chunk)
+            .zip(dst.chunks_mut(chunk))
+            .map(|(s, d)| move |ctx: &mut hpu_machine::CpuCtx| algo.combine(s, d, ctx)),
+    );
+}
+
+/// Advanced hybrid division (§5.2, Figure 2, Algorithm 8):
+///
+/// 1. Split the input at the chunk grid of `transfer_level`:
+///    `⌈α·a^y⌉` chunks to the CPU, the rest to the GPU.
+/// 2. Upload the GPU share (transfer 1), then run both regions bottom-up
+///    to runs of `chunk_y` elements *concurrently* (independent virtual
+///    timelines); the GPU's results come back overlapping CPU work
+///    (transfer 2).
+/// 3. Join, then the CPU alone combines the remaining top levels.
+pub(crate) fn run_advanced<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    hpu: &mut SimHpu,
+    alpha: f64,
+    transfer_level: u32,
+) -> Result<HybridStats, CoreError> {
+    let n = data.len();
+    let levels = num_levels(algo, n)?;
+    if transfer_level == 0 || transfer_level > levels {
+        return Err(CoreError::InvalidLevel {
+            level: transfer_level,
+            levels,
+        });
+    }
+    if !(0.0..=1.0).contains(&alpha) || !alpha.is_finite() {
+        return Err(CoreError::InvalidAlpha { alpha });
+    }
+    let a = algo.branching();
+    let tasks_y = a.pow(transfer_level);
+    if tasks_y < 2 {
+        return Err(CoreError::InvalidLevel {
+            level: transfer_level,
+            levels,
+        });
+    }
+    let chunk_y = n / tasks_y;
+    let cpu_tasks = ((alpha * tasks_y as f64).round() as usize).clamp(1, tasks_y - 1);
+    let cpu_elems = cpu_tasks * chunk_y;
+    let cores = hpu.config().cpu.cores;
+    let elem_bytes = std::mem::size_of::<T>();
+
+    // --- fork -----------------------------------------------------------
+    hpu.sync();
+    let (cpu_region, gpu_region) = data.split_at_mut(cpu_elems);
+
+    // Transfer 1: the GPU share goes to the device (blocking upload; the
+    // paper's schedule also starts with this single transfer down).
+    let mut buf_a = hpu.upload(gpu_region)?;
+    // The concurrent phase starts once both units hold their shares.
+    let t_fork = hpu.elapsed();
+    let mut buf_b = match hpu.gpu.alloc::<T>(gpu_region.len()) {
+        Ok(b) => b,
+        Err(e) => {
+            hpu.gpu.free(buf_a);
+            return Err(e.into());
+        }
+    };
+
+    // GPU timeline: climb to chunk_y, then send results back (transfer 2).
+    let run = match run_levels_gpu(algo, &mut hpu.gpu, &mut buf_a, &mut buf_b, chunk_y) {
+        Ok(r) => r,
+        Err(e) => {
+            hpu.gpu.free(buf_a);
+            hpu.gpu.free(buf_b);
+            return Err(e);
+        }
+    };
+    let result = if run.in_first { &buf_a } else { &buf_b };
+    let out = hpu.download(result);
+    gpu_region.copy_from_slice(&out);
+    hpu.gpu.free(buf_a);
+    hpu.gpu.free(buf_b);
+    let gpu_phase = hpu.gpu.clock() - t_fork;
+
+    // CPU timeline (concurrent with the GPU work above): climb the CPU
+    // region to chunk_y.
+    let mut scratch = vec![T::default(); n];
+    hpu.cpu.set_footprint(2 * cpu_elems * elem_bytes);
+    let in_data = run_levels_cpu(
+        algo,
+        &mut hpu.cpu,
+        cpu_region,
+        &mut scratch[..cpu_elems],
+        chunk_y,
+        cores,
+    );
+    if !in_data {
+        copy_level(
+            &mut hpu.cpu,
+            &scratch[..cpu_elems],
+            cpu_region,
+            chunk_y,
+            cores,
+        );
+    }
+
+    let cpu_phase = hpu.cpu.clock() - t_fork;
+
+    // --- join: the cleanup combines depend on both regions ---------------
+    hpu.sync();
+
+    hpu.cpu.set_footprint(2 * n * elem_bytes);
+    let in_data = run_cpu_combines_from(algo, hpu, data, &mut scratch, chunk_y * a, cores);
+    if !in_data {
+        copy_level(&mut hpu.cpu, &scratch, data, n.div_ceil(cores), cores);
+    }
+    Ok(HybridStats {
+        coalesced: run.coalesced,
+        uncoalesced: run.uncoalesced,
+        concurrent: Some((cpu_phase, gpu_phase)),
+    })
+}

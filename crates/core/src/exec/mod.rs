@@ -1,0 +1,172 @@
+//! Executors and scheduling strategies for breadth-first D&C algorithms on
+//! the simulated HPU.
+//!
+//! [`run_sim`] is the single entry point: it validates the input, resolves
+//! the [`Strategy`] (deriving model parameters where asked to), dispatches
+//! to the matching executor and returns a [`RunReport`] with virtual-time
+//! and communication accounting.
+
+mod cpu;
+mod gpu;
+mod hybrid;
+mod native;
+
+pub use native::run_native;
+
+use hpu_machine::SimHpu;
+use hpu_model::{BasicSchedule, MachineParams};
+
+use crate::bf::{num_levels, BfAlgorithm, Element};
+use crate::error::CoreError;
+
+/// Work-division strategy for a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// Everything on one CPU core — the paper's baseline.
+    Sequential,
+    /// Breadth-first levels on all `p` CPU cores.
+    CpuOnly,
+    /// Every level (and the leaves) on the GPU, one round trip of data.
+    GpuOnly,
+    /// The basic hybrid division (§5.1): levels below the crossover on the
+    /// GPU, the rest on the CPU. `crossover = None` derives the level
+    /// `⌈log_a(p/γ)⌉` from the machine configuration and the algorithm's
+    /// recurrence.
+    Basic {
+        /// First level (from the top) executed on the GPU.
+        crossover: Option<u32>,
+    },
+    /// The advanced hybrid division (§5.2): split the input `α : 1−α`
+    /// between CPU and GPU, run both concurrently bottom-up, GPU transfers
+    /// back at level `transfer_level` (from the top), CPU finishes.
+    Advanced {
+        /// Fraction of subproblems assigned to the CPU.
+        alpha: f64,
+        /// Level (from the top) at which the GPU hands its results back.
+        transfer_level: u32,
+    },
+}
+
+/// Accounting of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Human-readable description of the resolved strategy.
+    pub label: String,
+    /// Virtual time the run took (makespan over both units).
+    pub virtual_time: f64,
+    /// Number of CPU↔GPU transfers performed.
+    pub transfers: u64,
+    /// Words moved across the bus.
+    pub words: u64,
+    /// Memory accesses the device served coalesced.
+    pub coalesced: u64,
+    /// Memory accesses the device served uncoalesced.
+    pub uncoalesced: u64,
+    /// Total busy core-time on the CPU.
+    pub cpu_busy: f64,
+    /// Total busy time on the GPU.
+    pub gpu_busy: f64,
+    /// The strategy after parameter resolution (e.g. derived crossover).
+    pub resolved: Strategy,
+    /// Durations of the advanced schedule's concurrent phase on each unit
+    /// (CPU, GPU including the transfer back): the paper's "GPU/CPU" ratio
+    /// of Figure 8 is `concurrent.1 / concurrent.0`.
+    pub concurrent: Option<(f64, f64)>,
+}
+
+/// Extracts analytic-model machine parameters from a simulated machine's
+/// configuration (`p` = cores, `g` = lanes, `γ` = 1/gamma_inv, `λ`/`δ`
+/// from the bus).
+pub fn model_params(hpu: &SimHpu) -> MachineParams {
+    let cfg = hpu.config();
+    MachineParams::new(cfg.cpu.cores, cfg.gpu.lanes, 1.0 / cfg.gpu.gamma_inv)
+        .expect("simulated machine configuration is always valid")
+        .with_transfer_cost(cfg.bus.lambda, cfg.bus.delta)
+}
+
+/// Runs `algo` over `data` on the simulated machine under `strategy`.
+///
+/// `data.len()` must be `base_chunk · a^k` (see
+/// [`crate::CoreError::InvalidSize`]). On success `data` holds the result
+/// and the report carries the virtual-time accounting.
+pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    hpu: &mut SimHpu,
+    strategy: &Strategy,
+) -> Result<RunReport, CoreError> {
+    let levels = num_levels(algo, data.len())?;
+    hpu.sync();
+    let t0 = hpu.elapsed();
+    let transfers0 = hpu.bus.transfers();
+    let words0 = hpu.bus.words();
+    let cpu_busy0 = hpu.cpu.stats().busy_core_time;
+    let gpu_busy0 = hpu.gpu.stats().busy;
+
+    let (resolved, coalesced, uncoalesced, concurrent) = match strategy {
+        Strategy::Sequential => {
+            cpu::run_cpu_only(algo, data, hpu, 1)?;
+            (Strategy::Sequential, 0, 0, None)
+        }
+        Strategy::CpuOnly => {
+            let cores = hpu.config().cpu.cores;
+            cpu::run_cpu_only(algo, data, hpu, cores)?;
+            (Strategy::CpuOnly, 0, 0, None)
+        }
+        Strategy::GpuOnly => {
+            let st = gpu::run_gpu_only(algo, data, hpu)?;
+            (Strategy::GpuOnly, st.0, st.1, None)
+        }
+        Strategy::Basic { crossover } => {
+            let cross = match crossover {
+                Some(c) => Some(*c),
+                None => BasicSchedule::derive(&model_params(hpu), &algo.recurrence()).crossover,
+            };
+            match cross {
+                // GPU not worth using: degrade to CPU-only (paper §5.1).
+                None => {
+                    let cores = hpu.config().cpu.cores;
+                    cpu::run_cpu_only(algo, data, hpu, cores)?;
+                    (Strategy::CpuOnly, 0, 0, None)
+                }
+                Some(c) if c > levels => {
+                    // Crossover below the leaves: nothing for the GPU —
+                    // report what actually ran.
+                    let cores = hpu.config().cpu.cores;
+                    cpu::run_cpu_only(algo, data, hpu, cores)?;
+                    (Strategy::CpuOnly, 0, 0, None)
+                }
+                Some(c) => {
+                    let st = hybrid::run_basic(algo, data, hpu, c)?;
+                    (
+                        Strategy::Basic { crossover: Some(c) },
+                        st.coalesced,
+                        st.uncoalesced,
+                        st.concurrent,
+                    )
+                }
+            }
+        }
+        Strategy::Advanced {
+            alpha,
+            transfer_level,
+        } => {
+            let st = hybrid::run_advanced(algo, data, hpu, *alpha, *transfer_level)?;
+            (strategy.clone(), st.coalesced, st.uncoalesced, st.concurrent)
+        }
+    };
+
+    hpu.sync();
+    Ok(RunReport {
+        label: format!("{resolved:?} on {}", algo.name()),
+        virtual_time: hpu.elapsed() - t0,
+        transfers: hpu.bus.transfers() - transfers0,
+        words: hpu.bus.words() - words0,
+        coalesced,
+        uncoalesced,
+        cpu_busy: hpu.cpu.stats().busy_core_time - cpu_busy0,
+        gpu_busy: hpu.gpu.stats().busy - gpu_busy0,
+        resolved,
+        concurrent,
+    })
+}

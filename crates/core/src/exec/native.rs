@@ -1,0 +1,66 @@
+//! Native (real-thread) breadth-first execution.
+//!
+//! This is the executor a downstream user runs on an actual multicore: the
+//! same [`BfAlgorithm`] code, levels fork-joined on a [`LevelPool`],
+//! wall-clock timed, no cost accounting.
+
+use std::time::{Duration, Instant};
+
+use crate::bf::{num_levels, BfAlgorithm, Element};
+use crate::charge::NullCharge;
+use crate::error::CoreError;
+use crate::pool::LevelPool;
+
+/// Runs `algo` over `data` on real threads; returns the wall-clock time.
+/// On success `data` holds the result.
+pub fn run_native<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    pool: &LevelPool,
+) -> Result<Duration, CoreError> {
+    num_levels(algo, data.len())?;
+    let n = data.len();
+    let a = algo.branching();
+    let base = algo.base_chunk();
+    let start = Instant::now();
+    let mut scratch = vec![T::default(); n];
+
+    pool.run(
+        data.chunks_mut(base)
+            .map(|c| {
+                move || algo.base_case(c, &mut NullCharge)
+            })
+            .collect(),
+    );
+
+    let mut chunk = base.saturating_mul(a);
+    let mut src_is_data = true;
+    while chunk <= n {
+        if src_is_data {
+            native_level(algo, pool, data, &mut scratch, chunk);
+        } else {
+            native_level(algo, pool, &scratch, data, chunk);
+        }
+        src_is_data = !src_is_data;
+        chunk = chunk.saturating_mul(a);
+    }
+    if !src_is_data {
+        data.copy_from_slice(&scratch);
+    }
+    Ok(start.elapsed())
+}
+
+fn native_level<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    pool: &LevelPool,
+    src: &[T],
+    dst: &mut [T],
+    chunk: usize,
+) {
+    pool.run(
+        src.chunks(chunk)
+            .zip(dst.chunks_mut(chunk))
+            .map(|(s, d)| move || algo.combine(s, d, &mut NullCharge))
+            .collect(),
+    );
+}

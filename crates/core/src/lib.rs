@@ -1,0 +1,47 @@
+//! # hpu-core — generic hybrid CPU-GPU divide-and-conquer
+//!
+//! The paper's primary contribution: a *generic translation* of recursive
+//! divide-and-conquer (D&C) algorithms into breadth-first form plus
+//! work-division schedules that split the recursion tree between a
+//! multi-core CPU and a GPU.
+//!
+//! Two levels of genericity are offered:
+//!
+//! * [`tree`] — the fully general form of Algorithms 1 & 2: any problem
+//!   expressible as `endCondition / Divide / BaseCase / Combine` over
+//!   arbitrary parameter types, with recursive, breadth-first and
+//!   native-threaded executors. This is the faithful rendering of the
+//!   paper's translation, applicable with "little knowledge of the
+//!   particular algorithm".
+//! * [`bf`] — the regular, in-place form over a contiguous buffer (the
+//!   shape of the paper's case study): level `k` combines runs of
+//!   `a` solved chunks into one. This form is what the hybrid schedulers
+//!   in [`exec`] run on the simulated machine, including:
+//!
+//!   - [`exec::Strategy::Sequential`] — the 1-core baseline,
+//!   - [`exec::Strategy::CpuOnly`] — level-parallel on `p` cores,
+//!   - [`exec::Strategy::GpuOnly`] — every level on the device,
+//!   - [`exec::Strategy::Basic`] — one crossover level (§5.1, Figure 1),
+//!   - [`exec::Strategy::Advanced`] — the `(α, y)` concurrent split
+//!     (§5.2, Figure 2), with parameters solvable by
+//!     [`tune::auto_advanced`] from the analytic model.
+//!
+//! A from-scratch [`pool::LevelPool`] provides real-thread execution of the
+//! same breadth-first levels for native use of the library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bf;
+pub mod charge;
+pub mod error;
+pub mod exec;
+pub mod pool;
+pub mod tree;
+pub mod tune;
+
+pub use bf::{BfAlgorithm, Element, LevelInfo};
+pub use charge::Charge;
+pub use error::CoreError;
+pub use exec::{run_native, run_sim, RunReport, Strategy};
+pub use tree::DivideConquer;

@@ -1,0 +1,181 @@
+//! A from-scratch level-synchronous thread pool for native execution.
+//!
+//! The breadth-first translation turns a D&C algorithm into a sequence of
+//! *levels* of independent tasks, so the only primitive the native executor
+//! needs is "run this batch of closures on `k` threads and wait" — a
+//! fork-join per level, mirroring how the paper's implementation launches
+//! CPU threads per recursion level (§6.1).
+//!
+//! Workers pull task indices from a shared atomic counter (self-balancing
+//! for uneven task costs); scoped threads keep borrows of the caller's
+//! data safe without `'static` bounds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// A fork-join executor running each submitted level on `threads` OS
+/// threads.
+#[derive(Debug, Clone)]
+pub struct LevelPool {
+    threads: usize,
+}
+
+impl LevelPool {
+    /// Creates a pool using `threads` worker threads (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        LevelPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a pool sized to the machine's available parallelism.
+    pub fn host_sized() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        LevelPool::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a level of independent tasks to completion.
+    pub fn run<F>(&self, tasks: Vec<F>)
+    where
+        F: FnOnce() + Send,
+    {
+        let _: Vec<()> = self.run_collect(tasks.into_iter().map(|t| move || t()).collect());
+    }
+
+    /// Runs a level of independent tasks, returning their results in task
+    /// order.
+    pub fn run_collect<F, R>(&self, tasks: Vec<F>) -> Vec<R>
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Single thread or single task: run inline, no spawn cost.
+        if self.threads == 1 || n == 1 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task = slots[i].lock().take().expect("each task taken once");
+                    *results[i].lock() = Some(task());
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every task ran"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_tasks() {
+        let pool = LevelPool::new(4);
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<_> = (0..100)
+            .map(|_| {
+                let c = &counter;
+                move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let pool = LevelPool::new(3);
+        let tasks: Vec<_> = (0..50usize).map(|i| move || i * i).collect();
+        let out = pool.run_collect(tasks);
+        assert_eq!(out, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_level_is_fine() {
+        let pool = LevelPool::new(2);
+        let out: Vec<u8> = pool.run_collect(Vec::<fn() -> u8>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = LevelPool::new(1);
+        let out = pool.run_collect((0..5usize).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        assert_eq!(LevelPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_data() {
+        let pool = LevelPool::new(2);
+        let mut data = [0u32; 16];
+        {
+            let tasks: Vec<_> = data
+                .chunks_mut(4)
+                .enumerate()
+                .map(|(k, chunk)| {
+                    move || {
+                        for x in chunk.iter_mut() {
+                            *x = k as u32;
+                        }
+                    }
+                })
+                .collect();
+            pool.run(tasks);
+        }
+        assert_eq!(data[0], 0);
+        assert_eq!(data[5], 1);
+        assert_eq!(data[15], 3);
+    }
+
+    #[test]
+    fn uneven_tasks_self_balance() {
+        // Just a smoke test that wildly uneven tasks complete.
+        let pool = LevelPool::new(4);
+        let out = pool.run_collect(
+            (0..20usize)
+                .map(|i| {
+                    move || {
+                        let mut acc = 0u64;
+                        for k in 0..(i * 1000) {
+                            acc = acc.wrapping_add(k as u64);
+                        }
+                        acc
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(out.len(), 20);
+    }
+}

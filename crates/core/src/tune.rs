@@ -1,0 +1,99 @@
+//! Automatic schedule tuning: analytic (from `hpu-model`) and empirical
+//! (grid search on the simulator, as in the paper's Figures 7 and 10).
+
+use hpu_machine::{MachineConfig, SimHpu};
+use hpu_model::advanced::AdvancedSolver;
+use hpu_model::{BasicSchedule, MachineParams, Recurrence};
+
+use crate::bf::{BfAlgorithm, Element};
+use crate::error::CoreError;
+use crate::exec::{run_sim, Strategy};
+
+/// Analytic-model machine parameters for a machine configuration.
+pub fn params_of(cfg: &MachineConfig) -> MachineParams {
+    MachineParams::new(cfg.cpu.cores, cfg.gpu.lanes, 1.0 / cfg.gpu.gamma_inv)
+        .expect("simulated machine configuration is always valid")
+        .with_transfer_cost(cfg.bus.lambda, cfg.bus.delta)
+}
+
+/// Derives the model-optimal advanced schedule `(α*, y*)` for `rec` at
+/// input size `n` on the given machine, with `y` rounded to an executable
+/// integer level clamped to `[1, L]`.
+pub fn auto_advanced(
+    cfg: &MachineConfig,
+    rec: &Recurrence,
+    n: u64,
+) -> Result<Strategy, CoreError> {
+    let params = params_of(cfg);
+    let solver = AdvancedSolver::new(&params, rec, n).map_err(|_| CoreError::EmptyInput)?;
+    let opt = solver.optimize();
+    let levels = rec.num_levels(n);
+    let y = (opt.transfer_level.round() as u32).clamp(1, levels.max(1));
+    Ok(Strategy::Advanced {
+        alpha: opt.alpha,
+        transfer_level: y,
+    })
+}
+
+/// Picks a strategy automatically: the advanced division when the GPU is
+/// worth using (`γ·g > p`), CPU-only otherwise.
+pub fn auto_strategy(cfg: &MachineConfig, rec: &Recurrence, n: u64) -> Strategy {
+    let params = params_of(cfg);
+    if BasicSchedule::derive(&params, rec).crossover.is_none() {
+        return Strategy::CpuOnly;
+    }
+    auto_advanced(cfg, rec, n).unwrap_or(Strategy::CpuOnly)
+}
+
+/// Result of an empirical grid search over `(α, y)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchResult {
+    /// Best split ratio found.
+    pub alpha: f64,
+    /// Best transfer level found.
+    pub transfer_level: u32,
+    /// Virtual time of the best run.
+    pub best_time: f64,
+    /// All sampled points as `(α, y, virtual_time)`.
+    pub samples: Vec<(f64, u32, f64)>,
+}
+
+/// Empirically tunes the advanced schedule by running the simulator over a
+/// grid of `(α, y)` pairs (the procedure behind the paper's Figures 7 and
+/// 10). `make_input` regenerates the identical input for every run.
+pub fn grid_search_sim<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    cfg: &MachineConfig,
+    alphas: &[f64],
+    transfer_levels: &[u32],
+    make_input: impl Fn() -> Vec<T>,
+) -> Result<GridSearchResult, CoreError> {
+    let mut samples = Vec::with_capacity(alphas.len() * transfer_levels.len());
+    let mut best: Option<(f64, u32, f64)> = None;
+    for &y in transfer_levels {
+        for &alpha in alphas {
+            let mut data = make_input();
+            let mut hpu = SimHpu::new(cfg.clone());
+            let report = run_sim(
+                algo,
+                &mut data,
+                &mut hpu,
+                &Strategy::Advanced {
+                    alpha,
+                    transfer_level: y,
+                },
+            )?;
+            samples.push((alpha, y, report.virtual_time));
+            if best.is_none_or(|(_, _, t)| report.virtual_time < t) {
+                best = Some((alpha, y, report.virtual_time));
+            }
+        }
+    }
+    let (alpha, transfer_level, best_time) = best.ok_or(CoreError::EmptyInput)?;
+    Ok(GridSearchResult {
+        alpha,
+        transfer_level,
+        best_time,
+        samples,
+    })
+}

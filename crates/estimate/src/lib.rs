@@ -1,0 +1,67 @@
+//! # hpu-estimate — empirical HPU parameter estimation
+//!
+//! The paper's §6.4 procedures for measuring the two free parameters of
+//! the HPU model on a concrete machine:
+//!
+//! * [`estimate_g`] — the effective GPU core count `g`: run an
+//!   elementwise array sum with an increasing number of work-items and
+//!   find the saturation knee after which more threads stop helping
+//!   (Figure 5);
+//! * [`estimate_gamma`] — the CPU:GPU scalar speed ratio `γ`: time a
+//!   single-thread merge on each unit over a range of sizes and take the
+//!   ratio (Figure 6).
+//!
+//! [`estimate_params`] bundles both into [`hpu_model::MachineParams`]
+//! ready for the schedule solvers — closing the same loop the authors
+//! used (measure → model → schedule). [`platforms`] carries the paper's
+//! Table 1/2 presets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod g_est;
+pub mod gamma_est;
+pub mod platforms;
+
+pub use g_est::{estimate_g, GSweep};
+pub use gamma_est::{estimate_gamma, GammaSweep};
+pub use platforms::{PlatformSpec, HPU1, HPU2};
+
+use hpu_machine::MachineConfig;
+use hpu_model::MachineParams;
+
+/// Runs both estimation procedures against a simulated machine and
+/// returns model parameters (the paper's Table 2 for that machine).
+pub fn estimate_params(cfg: &MachineConfig) -> MachineParams {
+    let g = estimate_g(cfg, 1 << 16).g;
+    let gamma_inv = estimate_gamma(cfg, &[1 << 12, 1 << 14, 1 << 16]).gamma_inv;
+    MachineParams::new(cfg.cpu.cores, g, 1.0 / gamma_inv)
+        .expect("estimated parameters are positive")
+        .with_transfer_cost(cfg.bus.lambda, cfg.bus.delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_recover_configured_hpu1() {
+        let cfg = MachineConfig::hpu1_sim();
+        let params = estimate_params(&cfg);
+        assert_eq!(params.p, 4);
+        let rel = (params.g as f64 - 4096.0).abs() / 4096.0;
+        assert!(rel < 0.1, "estimated g = {} (configured 4096)", params.g);
+        let gi = 1.0 / params.gamma;
+        assert!((gi - 160.0).abs() / 160.0 < 0.05, "estimated γ⁻¹ = {gi}");
+    }
+
+    #[test]
+    fn estimates_recover_configured_hpu2() {
+        let cfg = MachineConfig::hpu2_sim();
+        let params = estimate_params(&cfg);
+        let rel = (params.g as f64 - 1200.0).abs() / 1200.0;
+        assert!(rel < 0.15, "estimated g = {} (configured 1200)", params.g);
+        let gi = 1.0 / params.gamma;
+        assert!((gi - 65.0).abs() / 65.0 < 0.05, "estimated γ⁻¹ = {gi}");
+    }
+}

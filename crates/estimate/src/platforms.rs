@@ -1,0 +1,81 @@
+//! The paper's experimental platforms (Tables 1 and 2) as simulated
+//! presets.
+
+use hpu_machine::MachineConfig;
+use hpu_model::MachineParams;
+
+/// Description of a hybrid platform (paper Table 1) plus its simulated
+/// configuration and its published model parameters (Table 2).
+#[derive(Debug, Clone)]
+pub struct PlatformSpec {
+    /// Platform name as used in the paper.
+    pub name: &'static str,
+    /// CPU description (Table 1).
+    pub cpu: &'static str,
+    /// GPU description (Table 1).
+    pub gpu: &'static str,
+    /// Published parameters `(p, g, γ⁻¹)` (Table 2).
+    pub published: (usize, usize, f64),
+}
+
+impl PlatformSpec {
+    /// The simulated machine configuration for this platform.
+    pub fn config(&self) -> MachineConfig {
+        match self.name {
+            "HPU1" => MachineConfig::hpu1_sim(),
+            _ => MachineConfig::hpu2_sim(),
+        }
+    }
+
+    /// The published model parameters as [`MachineParams`].
+    pub fn published_params(&self) -> MachineParams {
+        let (p, g, gamma_inv) = self.published;
+        MachineParams::new(p, g, 1.0 / gamma_inv).expect("published parameters are valid")
+    }
+}
+
+/// HPU1: Intel Core 2 Extreme Q6850 + ATI Radeon HD 5970 (Table 1).
+pub const HPU1: PlatformSpec = PlatformSpec {
+    name: "HPU1",
+    cpu: "Intel Core 2 Extreme Q6850 (4 cores @ 3.00 GHz, 8 MB cache)",
+    gpu: "ATI Radeon HD 5970",
+    published: (4, 4096, 160.0),
+};
+
+/// HPU2: AMD A6-3650 APU + integrated ATI Radeon HD 6530D (Table 1).
+pub const HPU2: PlatformSpec = PlatformSpec {
+    name: "HPU2",
+    cpu: "AMD A6 3650 (4 cores @ 2.6 GHz, 4 MB cache)",
+    gpu: "ATI Radeon HD 6530D (integrated)",
+    published: (4, 1200, 65.0),
+};
+
+/// Both platforms, in paper order.
+pub fn all() -> [&'static PlatformSpec; 2] {
+    [&HPU1, &HPU2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_params_match_table_2() {
+        let p1 = HPU1.published_params();
+        assert_eq!((p1.p, p1.g), (4, 4096));
+        assert!((1.0 / p1.gamma - 160.0).abs() < 1e-9);
+        let p2 = HPU2.published_params();
+        assert_eq!((p2.p, p2.g), (4, 1200));
+        assert!((1.0 / p2.gamma - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn configs_are_consistent_with_published() {
+        for spec in all() {
+            let cfg = spec.config();
+            assert_eq!(cfg.cpu.cores, spec.published.0);
+            assert_eq!(cfg.gpu.lanes, spec.published.1);
+            assert_eq!(cfg.gpu.gamma_inv, spec.published.2);
+        }
+    }
+}

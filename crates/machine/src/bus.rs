@@ -1,0 +1,128 @@
+//! The CPU↔GPU transfer link.
+//!
+//! Moving `w` words costs `λ + δ·w` (paper §3.2). The bus counts transfers
+//! and words so schedules can prove their communication claims (the basic
+//! schedule makes one round trip, the advanced one exactly two transfers).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::BusConfig;
+use crate::timeline::{Timeline, Unit};
+
+/// Direction of a transfer, for the event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Host (CPU memory) to device (GPU global memory).
+    ToGpu,
+    /// Device to host.
+    ToCpu,
+}
+
+/// The simulated link with transfer accounting.
+#[derive(Debug)]
+pub struct Bus {
+    cfg: BusConfig,
+    transfers: u64,
+    words: u64,
+    total_time: f64,
+    timeline: Option<Arc<Mutex<Timeline>>>,
+}
+
+impl Bus {
+    /// Creates a bus from its configuration.
+    pub fn new(cfg: BusConfig) -> Self {
+        Bus {
+            cfg,
+            transfers: 0,
+            words: 0,
+            total_time: 0.0,
+            timeline: None,
+        }
+    }
+
+    /// Attaches a shared timeline for event logging.
+    pub fn with_timeline(mut self, t: Arc<Mutex<Timeline>>) -> Self {
+        self.timeline = Some(t);
+        self
+    }
+
+    /// Cost of transferring `words` words: `λ + δ·w`.
+    pub fn cost(&self, words: u64) -> f64 {
+        self.cfg.lambda + self.cfg.delta * words as f64
+    }
+
+    /// Records a transfer starting at virtual time `start`, returning its
+    /// end time.
+    pub fn transfer(&mut self, direction: Direction, words: u64, start: f64) -> f64 {
+        let dt = self.cost(words);
+        self.transfers += 1;
+        self.words += words;
+        self.total_time += dt;
+        if let Some(t) = &self.timeline {
+            let dir = match direction {
+                Direction::ToGpu => "→GPU",
+                Direction::ToCpu => "→CPU",
+            };
+            t.lock()
+                .record(Unit::Bus, start, start + dt, format!("{dir} {words} words"));
+        }
+        start + dt
+    }
+
+    /// Number of transfers performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total words moved.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Total time spent transferring.
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> Bus {
+        Bus::new(BusConfig {
+            lambda: 10.0,
+            delta: 0.5,
+        })
+    }
+
+    #[test]
+    fn affine_cost() {
+        let b = bus();
+        assert_eq!(b.cost(0), 10.0);
+        assert_eq!(b.cost(100), 60.0);
+    }
+
+    #[test]
+    fn transfer_accounting() {
+        let mut b = bus();
+        let end = b.transfer(Direction::ToGpu, 100, 5.0);
+        assert_eq!(end, 65.0);
+        b.transfer(Direction::ToCpu, 10, end);
+        assert_eq!(b.transfers(), 2);
+        assert_eq!(b.words(), 110);
+        assert_eq!(b.total_time(), 60.0 + 15.0);
+    }
+
+    #[test]
+    fn timeline_logs_direction() {
+        let t = Arc::new(Mutex::new(Timeline::new()));
+        let mut b = bus().with_timeline(t.clone());
+        b.transfer(Direction::ToGpu, 7, 0.0);
+        let tl = t.lock();
+        assert!(tl.events()[0].label.contains("→GPU"));
+        assert!(tl.events()[0].label.contains('7'));
+    }
+}

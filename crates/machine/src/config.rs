@@ -1,0 +1,193 @@
+//! Configuration of the simulated machine.
+//!
+//! The presets [`MachineConfig::hpu1_sim`] and [`MachineConfig::hpu2_sim`]
+//! are calibrated so that running the paper's *estimation procedures*
+//! (§6.4) against the simulated devices recovers parameters close to the
+//! paper's Table 2 — `g` from the saturation knee, `γ` from the
+//! single-thread merge ratio — which are then fed into `hpu-model` exactly
+//! like the authors fed their measurements.
+
+/// Configuration of the simulated multi-core CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Number of cores (`p`). One core performs one cost unit per time unit.
+    pub cores: usize,
+    /// Last-level cache size in bytes, shared by all cores.
+    pub llc_bytes: usize,
+    /// Multiplier applied to memory-operation cost when the active working
+    /// set is far larger than the LLC (the penalty ramps linearly between
+    /// `llc_bytes` and `2·llc_bytes`).
+    pub llc_miss_penalty: f64,
+    /// Memory-bandwidth contention between cores: once the working set
+    /// spills the LLC, each *additional* active core makes memory
+    /// operations this fraction dearer (they now compete for the shared
+    /// bus). This is what makes multi-core speedups decay past the cache
+    /// size while the 1-core baseline is unaffected — the effect the paper
+    /// observes from `n = 2^20` on (§6.4).
+    pub bw_contention: f64,
+}
+
+impl CpuConfig {
+    /// A CPU with no cache effects (infinite LLC) — useful in unit tests.
+    pub fn uniform(cores: usize) -> Self {
+        CpuConfig {
+            cores,
+            llc_bytes: usize::MAX,
+            llc_miss_penalty: 1.0,
+            bw_contention: 0.0,
+        }
+    }
+}
+
+/// Configuration of the simulated GPU device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of lanes (`g`): work-items executed truly in parallel. A
+    /// launch of `N` items runs in `⌈N/g⌉` waves.
+    pub lanes: usize,
+    /// Slowdown of one lane relative to a CPU core (`γ⁻¹ > 1`): a lane
+    /// needs `gamma_inv` time units per cost unit.
+    pub gamma_inv: f64,
+    /// Cost multiplier for *uncoalesced* memory streams (streams whose
+    /// addresses are not consecutive across adjacent work-items of a wave).
+    /// Coalesced streams and single-item waves cost 1 per access.
+    pub uncoalesced_penalty: f64,
+    /// Global memory size in bytes; allocations beyond this fail.
+    pub global_mem_bytes: usize,
+    /// Fixed virtual-time cost of every kernel launch (driver/queue
+    /// overhead). Real devices pay microseconds per launch, which is what
+    /// keeps fine-grained GPU execution unprofitable at small sizes.
+    pub launch_overhead: f64,
+    /// When true, work-items' declared write ranges are checked for
+    /// overlap within each launch (racy kernels are rejected).
+    pub strict: bool,
+}
+
+/// Configuration of the CPU↔GPU link: a transfer of `w` words costs
+/// `λ + δ·w` time units on both timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusConfig {
+    /// Fixed latency per transfer (`λ`).
+    pub lambda: f64,
+    /// Cost per word (`δ`).
+    pub delta: f64,
+}
+
+/// Full simulated-machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// CPU side.
+    pub cpu: CpuConfig,
+    /// GPU side.
+    pub gpu: GpuConfig,
+    /// Link.
+    pub bus: BusConfig,
+}
+
+impl MachineConfig {
+    /// Simulated analogue of the paper's HPU1 (Intel Q6850 + Radeon
+    /// HD 5970): `p = 4`, 8 MB LLC, `g = 4096` lanes, `γ⁻¹ = 160`.
+    pub fn hpu1_sim() -> Self {
+        MachineConfig {
+            cpu: CpuConfig {
+                cores: 4,
+                llc_bytes: 8 << 20,
+                llc_miss_penalty: 1.8,
+                bw_contention: 0.15,
+            },
+            gpu: GpuConfig {
+                lanes: 4096,
+                gamma_inv: 160.0,
+                uncoalesced_penalty: 4.0,
+                global_mem_bytes: 1 << 30,
+                launch_overhead: 3_000.0,
+                strict: false,
+            },
+            bus: BusConfig {
+                lambda: 2_000.0,
+                delta: 0.05,
+            },
+        }
+    }
+
+    /// Simulated analogue of the paper's HPU2 (AMD A6-3650 APU + integrated
+    /// HD 6530D): `p = 4`, 4 MB LLC, `g = 1200` lanes, `γ⁻¹ = 65`. The
+    /// integrated GPU shares the die, so the link is cheaper.
+    pub fn hpu2_sim() -> Self {
+        MachineConfig {
+            cpu: CpuConfig {
+                cores: 4,
+                llc_bytes: 4 << 20,
+                llc_miss_penalty: 1.8,
+                bw_contention: 0.15,
+            },
+            gpu: GpuConfig {
+                lanes: 1200,
+                gamma_inv: 65.0,
+                uncoalesced_penalty: 4.0,
+                global_mem_bytes: 512 << 20,
+                launch_overhead: 1_500.0,
+                strict: false,
+            },
+            bus: BusConfig {
+                lambda: 1_000.0,
+                delta: 0.02,
+            },
+        }
+    }
+
+    /// A tiny machine for fast, exhaustive unit tests: 2 cores, 8 lanes,
+    /// `γ⁻¹ = 4`, no cache effects, free transfers, strict mode on.
+    pub fn tiny() -> Self {
+        MachineConfig {
+            cpu: CpuConfig::uniform(2),
+            gpu: GpuConfig {
+                lanes: 8,
+                gamma_inv: 4.0,
+                uncoalesced_penalty: 4.0,
+                global_mem_bytes: 1 << 20,
+                launch_overhead: 0.0,
+                strict: true,
+            },
+            bus: BusConfig {
+                lambda: 0.0,
+                delta: 0.0,
+            },
+        }
+    }
+
+    /// Effective `γ` of this device (`1 / gamma_inv`).
+    pub fn gamma(&self) -> f64 {
+        1.0 / self.gpu.gamma_inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_table_2() {
+        let h1 = MachineConfig::hpu1_sim();
+        assert_eq!(h1.cpu.cores, 4);
+        assert_eq!(h1.gpu.lanes, 4096);
+        assert_eq!(h1.gpu.gamma_inv, 160.0);
+        assert_eq!(h1.cpu.llc_bytes, 8 << 20);
+
+        let h2 = MachineConfig::hpu2_sim();
+        assert_eq!(h2.gpu.lanes, 1200);
+        assert_eq!(h2.gpu.gamma_inv, 65.0);
+        assert_eq!(h2.cpu.llc_bytes, 4 << 20);
+    }
+
+    #[test]
+    fn gamma_inverse() {
+        assert!((MachineConfig::hpu1_sim().gamma() - 1.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_cpu_has_no_cache_effect() {
+        let c = CpuConfig::uniform(4);
+        assert_eq!(c.llc_miss_penalty, 1.0);
+    }
+}

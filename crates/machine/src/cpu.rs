@@ -1,0 +1,350 @@
+//! The simulated multi-core CPU.
+//!
+//! A [`SimCpu`] executes *levels* of independent tasks: a level of `k` tasks
+//! on `p` cores runs in `⌈k/p⌉` rounds, each round as long as its slowest
+//! task. Tasks are ordinary Rust closures that perform real work and charge
+//! their cost to a [`CpuCtx`].
+//!
+//! Memory-operation cost depends on the *active working set* (set by the
+//! scheduler via [`SimCpu::set_footprint`]): once it outgrows the shared
+//! last-level cache, each memory operation becomes up to
+//! [`crate::CpuConfig::llc_miss_penalty`] times dearer, ramping linearly
+//! between `llc` and `2·llc` bytes. This reproduces the cache-contention
+//! slowdown the paper reports for inputs past `n = 2^20` (§6.4, Figure 8).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::CpuConfig;
+use crate::timeline::{Timeline, Unit};
+
+/// Cost-accounting context handed to every CPU task.
+#[derive(Debug, Default)]
+pub struct CpuCtx {
+    ops: u64,
+    mem: u64,
+}
+
+impl CpuCtx {
+    /// Charges `n` scalar operations (comparisons, arithmetic, branches).
+    #[inline]
+    pub fn charge_ops(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Charges `n` memory operations (element reads or writes).
+    #[inline]
+    pub fn charge_mem(&mut self, n: u64) {
+        self.mem += n;
+    }
+
+    /// Cost of this task in time units given the memory-cost factor.
+    fn cost(&self, mem_factor: f64) -> f64 {
+        self.ops as f64 + self.mem as f64 * mem_factor
+    }
+}
+
+/// Execution statistics of a [`SimCpu`].
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct CpuStats {
+    /// Number of tasks executed.
+    pub tasks: u64,
+    /// Number of rounds (waves of up to `p` tasks).
+    pub rounds: u64,
+    /// Total busy time summed over cores.
+    pub busy_core_time: f64,
+}
+
+/// The simulated `p`-core CPU with its own virtual clock.
+#[derive(Debug)]
+pub struct SimCpu {
+    cfg: CpuConfig,
+    clock: f64,
+    footprint: usize,
+    stats: CpuStats,
+    timeline: Option<Arc<Mutex<Timeline>>>,
+}
+
+impl SimCpu {
+    /// Creates a CPU from its configuration.
+    pub fn new(cfg: CpuConfig) -> Self {
+        SimCpu {
+            cfg,
+            clock: 0.0,
+            footprint: 0,
+            stats: CpuStats::default(),
+            timeline: None,
+        }
+    }
+
+    /// Attaches a shared timeline for event logging.
+    pub fn with_timeline(mut self, t: Arc<Mutex<Timeline>>) -> Self {
+        self.timeline = Some(t);
+        self
+    }
+
+    /// Number of cores `p`.
+    pub fn cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    /// Current virtual time of this unit.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advances the clock to `t` if it is behind (used by the fork/join
+    /// coordinator).
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> CpuStats {
+        self.stats
+    }
+
+    /// Declares the active working set in bytes; affects the cost of every
+    /// memory operation charged afterwards.
+    pub fn set_footprint(&mut self, bytes: usize) {
+        self.footprint = bytes;
+    }
+
+    /// Current memory-cost factor from the LLC model: 1 while the working
+    /// set fits, ramping to `llc_miss_penalty` at twice the LLC size.
+    pub fn mem_factor(&self) -> f64 {
+        self.mem_factor_for(1)
+    }
+
+    /// Memory-cost factor when `active_cores` cores stream concurrently:
+    /// the LLC ramp plus bandwidth contention between the extra cores once
+    /// the working set spills the cache. A single core (the paper's
+    /// sequential baseline) never pays contention.
+    pub fn mem_factor_for(&self, active_cores: usize) -> f64 {
+        let llc = self.cfg.llc_bytes as f64;
+        if !llc.is_finite() || self.footprint as f64 <= llc {
+            return 1.0;
+        }
+        let over = ((self.footprint as f64 - llc) / llc).clamp(0.0, 1.0);
+        let miss = 1.0 + (self.cfg.llc_miss_penalty - 1.0) * over;
+        let contention =
+            1.0 + self.cfg.bw_contention * (active_cores.saturating_sub(1) as f64) * over;
+        miss * contention
+    }
+
+    /// Runs a single task on one core, advancing the clock by its cost.
+    pub fn run_serial<R>(&mut self, label: &str, f: impl FnOnce(&mut CpuCtx) -> R) -> R {
+        let mut ctx = CpuCtx::default();
+        let r = f(&mut ctx);
+        let dt = ctx.cost(self.mem_factor());
+        let start = self.clock;
+        self.clock += dt;
+        self.stats.tasks += 1;
+        self.stats.rounds += 1;
+        self.stats.busy_core_time += dt;
+        self.record(start, self.clock, label);
+        r
+    }
+
+    /// Runs a level of independent tasks on all `p` cores: tasks are taken
+    /// in order in rounds of `p`; each round lasts as long as its slowest
+    /// task. Returns the level's duration.
+    ///
+    /// Tasks execute sequentially on the host (the simulation is
+    /// deterministic); parallelism exists only in the virtual clock.
+    pub fn run_level<F>(&mut self, label: &str, tasks: impl IntoIterator<Item = F>) -> f64
+    where
+        F: FnOnce(&mut CpuCtx),
+    {
+        self.run_level_with(self.cfg.cores, label, tasks)
+    }
+
+    /// Like [`SimCpu::run_level`] but using only `cores` of the CPU — the
+    /// 1-core variant is the paper's sequential baseline.
+    pub fn run_level_with<F>(
+        &mut self,
+        cores: usize,
+        label: &str,
+        tasks: impl IntoIterator<Item = F>,
+    ) -> f64
+    where
+        F: FnOnce(&mut CpuCtx),
+    {
+        let cores = cores.clamp(1, self.cfg.cores);
+        let factor = self.mem_factor_for(cores);
+        let start = self.clock;
+        let mut level_time = 0.0;
+        let mut round_max = 0.0_f64;
+        let mut in_round = 0usize;
+        let mut count = 0u64;
+        for task in tasks {
+            let mut ctx = CpuCtx::default();
+            task(&mut ctx);
+            let cost = ctx.cost(factor);
+            self.stats.busy_core_time += cost;
+            round_max = round_max.max(cost);
+            in_round += 1;
+            count += 1;
+            if in_round == cores {
+                level_time += round_max;
+                self.stats.rounds += 1;
+                round_max = 0.0;
+                in_round = 0;
+            }
+        }
+        if in_round > 0 {
+            level_time += round_max;
+            self.stats.rounds += 1;
+        }
+        self.stats.tasks += count;
+        self.clock += level_time;
+        if count > 0 {
+            self.record(start, self.clock, &format!("{label} ({count} tasks)"));
+        }
+        level_time
+    }
+
+    fn record(&self, start: f64, end: f64, label: &str) {
+        if let Some(t) = &self.timeline {
+            t.lock().record(Unit::Cpu, start, end, label);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu(cores: usize) -> SimCpu {
+        SimCpu::new(CpuConfig::uniform(cores))
+    }
+
+    #[test]
+    fn serial_task_advances_clock_by_cost() {
+        let mut c = cpu(4);
+        let out = c.run_serial("t", |ctx| {
+            ctx.charge_ops(10);
+            ctx.charge_mem(5);
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(c.clock(), 15.0);
+    }
+
+    #[test]
+    fn level_rounds_of_p() {
+        let mut c = cpu(2);
+        // 5 equal tasks of cost 10 on 2 cores: ceil(5/2) = 3 rounds.
+        let t = c.run_level("lvl", (0..5).map(|_| |ctx: &mut CpuCtx| ctx.charge_ops(10)));
+        assert_eq!(t, 30.0);
+        assert_eq!(c.clock(), 30.0);
+        assert_eq!(c.stats().tasks, 5);
+        assert_eq!(c.stats().rounds, 3);
+    }
+
+    #[test]
+    fn round_lasts_as_long_as_slowest_task() {
+        let mut c = cpu(2);
+        let costs = [10u64, 50, 20, 20];
+        let t = c.run_level(
+            "lvl",
+            costs.iter().map(|&k| move |ctx: &mut CpuCtx| ctx.charge_ops(k)),
+        );
+        // Rounds: {10,50} -> 50, {20,20} -> 20.
+        assert_eq!(t, 70.0);
+    }
+
+    #[test]
+    fn empty_level_is_free() {
+        let mut c = cpu(4);
+        let t = c.run_level("lvl", std::iter::empty::<fn(&mut CpuCtx)>());
+        assert_eq!(t, 0.0);
+        assert_eq!(c.clock(), 0.0);
+    }
+
+    #[test]
+    fn llc_ramp() {
+        let mut c = SimCpu::new(CpuConfig {
+            cores: 1,
+            llc_bytes: 1000,
+            llc_miss_penalty: 3.0,
+            bw_contention: 0.0,
+        });
+        c.set_footprint(500);
+        assert_eq!(c.mem_factor(), 1.0);
+        c.set_footprint(1000);
+        assert_eq!(c.mem_factor(), 1.0);
+        c.set_footprint(1500);
+        assert!((c.mem_factor() - 2.0).abs() < 1e-12);
+        c.set_footprint(2000);
+        assert!((c.mem_factor() - 3.0).abs() < 1e-12);
+        c.set_footprint(10_000);
+        assert!((c.mem_factor() - 3.0).abs() < 1e-12); // clamped
+    }
+
+    #[test]
+    fn llc_affects_mem_but_not_ops() {
+        let mut c = SimCpu::new(CpuConfig {
+            cores: 1,
+            llc_bytes: 100,
+            llc_miss_penalty: 2.0,
+            bw_contention: 0.0,
+        });
+        c.set_footprint(200);
+        c.run_serial("t", |ctx| {
+            ctx.charge_ops(10);
+            ctx.charge_mem(10);
+        });
+        assert_eq!(c.clock(), 10.0 + 20.0);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut c = cpu(1);
+        c.run_serial("t", |ctx| ctx.charge_ops(100));
+        c.advance_to(50.0);
+        assert_eq!(c.clock(), 100.0);
+        c.advance_to(150.0);
+        assert_eq!(c.clock(), 150.0);
+    }
+
+    #[test]
+    fn timeline_records_levels() {
+        let t = Arc::new(Mutex::new(Timeline::new()));
+        let mut c = cpu(2).with_timeline(t.clone());
+        c.run_level("merge level 3", (0..4).map(|_| |ctx: &mut CpuCtx| ctx.charge_ops(1)));
+        let tl = t.lock();
+        assert_eq!(tl.events().len(), 1);
+        assert!(tl.events()[0].label.contains("merge level 3"));
+        assert!(tl.events()[0].label.contains("4 tasks"));
+    }
+
+    #[test]
+    fn contention_charges_extra_cores_only_past_llc() {
+        let mut c = SimCpu::new(CpuConfig {
+            cores: 4,
+            llc_bytes: 1000,
+            llc_miss_penalty: 2.0,
+            bw_contention: 0.25,
+        });
+        // Within the LLC: no contention whatever the core count.
+        c.set_footprint(500);
+        assert_eq!(c.mem_factor_for(4), 1.0);
+        // Fully spilled (2x LLC): miss factor 2, contention 1 + 0.25·3.
+        c.set_footprint(2000);
+        assert_eq!(c.mem_factor_for(1), 2.0);
+        assert!((c.mem_factor_for(4) - 2.0 * 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_core_time_counts_all_work() {
+        let mut c = cpu(4);
+        c.run_level("lvl", (0..8).map(|_| |ctx: &mut CpuCtx| ctx.charge_ops(5)));
+        assert_eq!(c.stats().busy_core_time, 40.0);
+        // 8 tasks / 4 cores = 2 rounds of 5.
+        assert_eq!(c.clock(), 10.0);
+    }
+}

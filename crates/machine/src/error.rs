@@ -1,0 +1,82 @@
+//! Error type for simulated-machine misuse.
+
+use std::fmt;
+
+/// Errors raised by the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// A device allocation would exceed the configured global memory size.
+    OutOfDeviceMemory {
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Bytes still available on the device.
+        available: usize,
+    },
+    /// A kernel was launched with zero work-items.
+    EmptyLaunch,
+    /// A kernel work-item accessed an address outside its buffer.
+    OutOfBounds {
+        /// Global id of the offending work-item.
+        item: usize,
+        /// Offending address (element index).
+        addr: usize,
+        /// Length of the buffer that was accessed.
+        len: usize,
+    },
+    /// Two work-items of the same launch declared overlapping writes
+    /// (detected in strict mode; racy kernels are not SIMD-faithful).
+    WriteOverlap {
+        /// First work-item.
+        a: usize,
+        /// Second work-item.
+        b: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {available} available"
+            ),
+            MachineError::EmptyLaunch => write!(f, "kernel launched with zero work-items"),
+            MachineError::OutOfBounds { item, addr, len } => write!(
+                f,
+                "work-item {item} accessed element {addr} of a buffer of length {len}"
+            ),
+            MachineError::WriteOverlap { a, b } => write!(
+                f,
+                "work-items {a} and {b} declared overlapping writes in one launch"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MachineError::OutOfDeviceMemory {
+            requested: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(MachineError::EmptyLaunch.to_string().contains("zero"));
+        let e = MachineError::OutOfBounds {
+            item: 1,
+            addr: 9,
+            len: 8,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = MachineError::WriteOverlap { a: 0, b: 1 };
+        assert!(e.to_string().contains("overlap"));
+    }
+}

@@ -1,0 +1,714 @@
+//! The simulated GPU device (OpenCL-style, paper §3.1).
+//!
+//! A [`SimGpu`] owns device-resident [`DeviceBuffer`]s and executes *kernel
+//! launches*: `N` work-items, each receiving its global id, run in waves of
+//! `g` lanes (`⌈N/g⌉` waves per launch), every lane `γ⁻¹` times slower than
+//! a CPU core. Work-items perform real work on the buffer and declare their
+//! cost to a [`GpuCtx`] as scalar operations plus *memory streams*.
+//!
+//! ## Coalescing model
+//!
+//! A memory stream is a strided sequence of element accesses
+//! `base, base+step, base+2·step, …`. Within a wave, stream slot `s` is
+//! **coalesced** when every adjacent pair of work-items declared bases that
+//! differ by exactly 1 — the lanes then access consecutive words at each
+//! step, which the hardware serves in one transaction. Coalesced accesses
+//! cost 1 unit; uncoalesced ones cost
+//! [`crate::GpuConfig::uncoalesced_penalty`]. A single-item wave has no
+//! cross-lane conflicts and counts as coalesced. This makes the paper's
+//! §6.3 permutation optimization directly measurable: the permuted layout
+//! turns the merge's streams from stride-`2m` bases into consecutive bases.
+//!
+//! ## Fidelity caveat
+//!
+//! Work-items execute sequentially (in id order) on the host; a data race
+//! between items would not behave as on real SIMD hardware. In
+//! [`crate::GpuConfig::strict`] mode the device rejects launches whose
+//! declared write ranges overlap across items.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::GpuConfig;
+use crate::error::MachineError;
+use crate::timeline::{Timeline, Unit};
+
+/// A typed buffer resident in the device's global memory.
+///
+/// Created by [`SimGpu::alloc`]; filled via `SimHpu::upload` or by kernels.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    pub(crate) data: Vec<T>,
+    id: u64,
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Device-unique buffer id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Host-side debugging view of the device contents. Free of (virtual)
+    /// charge — use [`crate::SimHpu::download`] for an accounted transfer.
+    pub fn debug_view(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Host-side initialization of the device contents, free of (virtual)
+    /// charge — for tests and probe setup where the transfer itself must
+    /// not appear on any timeline. Use [`crate::SimHpu::upload_into`] for
+    /// an accounted transfer.
+    ///
+    /// # Panics
+    /// Panics if `data` is longer than the buffer.
+    pub fn debug_fill(&mut self, data: &[T])
+    where
+        T: Clone,
+    {
+        self.data[..data.len()].clone_from_slice(data);
+    }
+}
+
+/// One declared memory stream of a work-item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Stream {
+    buf: u8,
+    base: usize,
+    count: usize,
+    step: usize,
+    write: bool,
+    scatter: bool,
+}
+
+/// Cost-accounting context handed to every GPU work-item.
+#[derive(Debug)]
+pub struct GpuCtx {
+    ops: u64,
+    streams: Vec<Stream>,
+    lens: [usize; 2],
+    item: usize,
+    error: Option<MachineError>,
+}
+
+impl GpuCtx {
+    fn new(lens: [usize; 2]) -> Self {
+        GpuCtx {
+            ops: 0,
+            streams: Vec::new(),
+            lens,
+            item: 0,
+            error: None,
+        }
+    }
+
+    fn reset(&mut self, item: usize) {
+        self.ops = 0;
+        self.streams.clear();
+        self.item = item;
+    }
+
+    /// Charges `n` scalar operations.
+    #[inline]
+    pub fn charge_ops(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    fn record(&mut self, buf: u8, base: usize, count: usize, step: usize, write: bool) {
+        if count == 0 {
+            return;
+        }
+        let len = self.lens[buf as usize];
+        let last = base + (count - 1) * step;
+        if base >= len || last >= len {
+            self.error.get_or_insert(MachineError::OutOfBounds {
+                item: self.item,
+                addr: last.max(base),
+                len,
+            });
+            return;
+        }
+        self.streams.push(Stream {
+            buf,
+            base,
+            count,
+            step,
+            write,
+            scatter: false,
+        });
+    }
+
+    /// Declares a strided read stream on buffer `buf` (0 or 1):
+    /// `count` elements at `base, base+step, …`.
+    #[inline]
+    pub fn read(&mut self, buf: u8, base: usize, count: usize, step: usize) {
+        self.record(buf, base, count, step, false);
+    }
+
+    /// Declares a strided write stream on buffer `buf`.
+    #[inline]
+    pub fn write(&mut self, buf: u8, base: usize, count: usize, step: usize) {
+        self.record(buf, base, count, step, true);
+    }
+
+    /// Declares `count` reads at data-dependent addresses (never coalesced).
+    #[inline]
+    pub fn scatter_read(&mut self, buf: u8, count: usize) {
+        self.streams.push(Stream {
+            buf,
+            base: 0,
+            count,
+            step: 0,
+            write: false,
+            scatter: true,
+        });
+    }
+
+    /// Declares `count` writes at data-dependent addresses (never
+    /// coalesced; exempt from the strict overlap check).
+    #[inline]
+    pub fn scatter_write(&mut self, buf: u8, count: usize) {
+        self.streams.push(Stream {
+            buf,
+            base: 0,
+            count,
+            step: 0,
+            write: true,
+            scatter: true,
+        });
+    }
+}
+
+/// Statistics of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchStats {
+    /// Number of work-items.
+    pub items: usize,
+    /// Number of waves (`⌈items/g⌉`).
+    pub waves: usize,
+    /// Virtual duration of the launch.
+    pub time: f64,
+    /// Memory accesses served coalesced.
+    pub coalesced: u64,
+    /// Memory accesses served uncoalesced.
+    pub uncoalesced: u64,
+}
+
+/// Cumulative device statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct GpuStats {
+    /// Kernel launches executed.
+    pub launches: u64,
+    /// Total waves executed.
+    pub waves: u64,
+    /// Total work-items executed.
+    pub items: u64,
+    /// Total busy time of the device.
+    pub busy: f64,
+}
+
+/// The simulated GPU device with its own virtual clock.
+#[derive(Debug)]
+pub struct SimGpu {
+    cfg: GpuConfig,
+    clock: f64,
+    allocated: usize,
+    next_id: u64,
+    stats: GpuStats,
+    timeline: Option<Arc<Mutex<Timeline>>>,
+}
+
+impl SimGpu {
+    /// Creates a device from its configuration.
+    pub fn new(cfg: GpuConfig) -> Self {
+        SimGpu {
+            cfg,
+            clock: 0.0,
+            allocated: 0,
+            next_id: 0,
+            stats: GpuStats::default(),
+            timeline: None,
+        }
+    }
+
+    /// Attaches a shared timeline for event logging.
+    pub fn with_timeline(mut self, t: Arc<Mutex<Timeline>>) -> Self {
+        self.timeline = Some(t);
+        self
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time of this unit.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advances the clock to `t` if it is behind.
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> GpuStats {
+        self.stats
+    }
+
+    /// Bytes currently allocated in global memory.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated
+    }
+
+    /// Allocates a zero-initialized buffer of `len` elements.
+    pub fn alloc<T: Default + Clone>(&mut self, len: usize) -> Result<DeviceBuffer<T>, MachineError> {
+        let bytes = len * std::mem::size_of::<T>();
+        let available = self.cfg.global_mem_bytes.saturating_sub(self.allocated);
+        if bytes > available {
+            return Err(MachineError::OutOfDeviceMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        self.allocated += bytes;
+        self.next_id += 1;
+        Ok(DeviceBuffer {
+            data: vec![T::default(); len],
+            id: self.next_id,
+        })
+    }
+
+    /// Frees a buffer, returning its memory to the device.
+    pub fn free<T>(&mut self, buf: DeviceBuffer<T>) {
+        self.allocated = self
+            .allocated
+            .saturating_sub(buf.data.len() * std::mem::size_of::<T>());
+    }
+
+    /// Launches a kernel over one buffer: `n_items` work-items execute
+    /// `kernel(global_id, ctx, data)` in waves of `g` lanes.
+    pub fn launch<T>(
+        &mut self,
+        label: &str,
+        n_items: usize,
+        buf: &mut DeviceBuffer<T>,
+        mut kernel: impl FnMut(usize, &mut GpuCtx, &mut [T]),
+    ) -> Result<LaunchStats, MachineError> {
+        let lens = [buf.data.len(), 0];
+        let data = &mut buf.data;
+        self.launch_impl(label, n_items, lens, |id, ctx| kernel(id, ctx, data))
+    }
+
+    /// Launches a kernel over two buffers (e.g. a permutation with distinct
+    /// source and destination). Buffer tags in [`GpuCtx`] calls: `0` for
+    /// `a`, `1` for `b`.
+    pub fn launch2<T, U>(
+        &mut self,
+        label: &str,
+        n_items: usize,
+        a: &mut DeviceBuffer<T>,
+        b: &mut DeviceBuffer<U>,
+        mut kernel: impl FnMut(usize, &mut GpuCtx, &mut [T], &mut [U]),
+    ) -> Result<LaunchStats, MachineError> {
+        let lens = [a.data.len(), b.data.len()];
+        let da = &mut a.data;
+        let db = &mut b.data;
+        self.launch_impl(label, n_items, lens, |id, ctx| kernel(id, ctx, da, db))
+    }
+
+    fn launch_impl(
+        &mut self,
+        label: &str,
+        n_items: usize,
+        lens: [usize; 2],
+        mut run: impl FnMut(usize, &mut GpuCtx),
+    ) -> Result<LaunchStats, MachineError> {
+        if n_items == 0 {
+            return Err(MachineError::EmptyLaunch);
+        }
+        let lanes = self.cfg.lanes.max(1);
+        let penalty = self.cfg.uncoalesced_penalty;
+        let mut ctx = GpuCtx::new(lens);
+
+        let mut time = self.cfg.launch_overhead;
+        let mut waves = 0usize;
+        let mut coalesced = 0u64;
+        let mut uncoalesced = 0u64;
+        // Per-wave scratch: flattened streams plus per-item (ops, range).
+        let mut wave_streams: Vec<Stream> = Vec::new();
+        let mut wave_items: Vec<(u64, usize, usize)> = Vec::new();
+        // Strict mode: declared write progressions over the whole launch,
+        // as (step, residue, base, last, item).
+        let mut write_ranges: Vec<(usize, usize, usize, usize, usize)> = Vec::new();
+
+        let mut start = 0usize;
+        while start < n_items {
+            let end = (start + lanes).min(n_items);
+            wave_streams.clear();
+            wave_items.clear();
+            for id in start..end {
+                ctx.reset(id);
+                run(id, &mut ctx);
+                if let Some(e) = ctx.error.take() {
+                    return Err(e);
+                }
+                let s0 = wave_streams.len();
+                wave_streams.extend_from_slice(&ctx.streams);
+                wave_items.push((ctx.ops, s0, wave_streams.len()));
+                if self.cfg.strict {
+                    for s in &ctx.streams {
+                        if s.write && !s.scatter {
+                            let step = s.step.max(1);
+                            // Key by (step, residue class): two arithmetic
+                            // progressions with the same step intersect iff
+                            // they share a residue and their spans overlap.
+                            // Progressions of different shapes are skipped
+                            // (best-effort detection, no false positives on
+                            // interleaved column writes).
+                            let hi = s.base + (s.count - 1) * step;
+                            write_ranges.push((step, s.base % step, s.base, hi, id));
+                        }
+                    }
+                }
+            }
+
+            // Resolve coalescing per stream slot across the wave.
+            let wave_len = wave_items.len();
+            let slots = wave_items[0].2 - wave_items[0].1;
+            let uniform = wave_items.iter().all(|&(_, s, e)| e - s == slots);
+            let mut slot_coalesced = vec![true; slots];
+            if uniform && wave_len > 1 {
+                for s in 0..slots {
+                    let mut ok = true;
+                    for w in 1..wave_len {
+                        let prev = &wave_streams[wave_items[w - 1].1 + s];
+                        let cur = &wave_streams[wave_items[w].1 + s];
+                        if prev.scatter
+                            || cur.scatter
+                            || cur.buf != prev.buf
+                            || cur.base != prev.base + 1
+                        {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    slot_coalesced[s] = ok;
+                }
+            } else if !uniform {
+                // Divergent stream shapes: conservatively uncoalesced.
+                slot_coalesced.clear();
+            }
+
+            // Per-item cost and wave duration.
+            let mut wave_max = 0.0_f64;
+            for &(ops, s0, s1) in &wave_items {
+                let mut mem_cost = 0.0;
+                for (k, s) in wave_streams[s0..s1].iter().enumerate() {
+                    let co = !s.scatter
+                        && (wave_len == 1 || (uniform && slot_coalesced.get(k).copied().unwrap_or(false)));
+                    let unit = if co { 1.0 } else { penalty };
+                    mem_cost += s.count as f64 * unit;
+                    if co {
+                        coalesced += s.count as u64;
+                    } else {
+                        uncoalesced += s.count as u64;
+                    }
+                }
+                wave_max = wave_max.max(ops as f64 + mem_cost);
+            }
+            time += wave_max * self.cfg.gamma_inv;
+            waves += 1;
+            start = end;
+        }
+
+        if self.cfg.strict && write_ranges.len() > 1 {
+            write_ranges.sort_unstable();
+            for w in write_ranges.windows(2) {
+                let (step_a, res_a, _lo_a, hi_a, ia) = w[0];
+                let (step_b, res_b, lo_b, _hi_b, ib) = w[1];
+                if step_a == step_b && res_a == res_b && ia != ib && lo_b <= hi_a {
+                    return Err(MachineError::WriteOverlap { a: ia, b: ib });
+                }
+            }
+        }
+
+        let t0 = self.clock;
+        self.clock += time;
+        self.stats.launches += 1;
+        self.stats.waves += waves as u64;
+        self.stats.items += n_items as u64;
+        self.stats.busy += time;
+        if let Some(t) = &self.timeline {
+            t.lock().record(
+                Unit::Gpu,
+                t0,
+                self.clock,
+                format!("{label} ({n_items} items, {waves} waves)"),
+            );
+        }
+        Ok(LaunchStats {
+            items: n_items,
+            waves,
+            time,
+            coalesced,
+            uncoalesced,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn gpu() -> SimGpu {
+        SimGpu::new(MachineConfig::tiny().gpu) // 8 lanes, γ⁻¹=4, U=4, strict
+    }
+
+    #[test]
+    fn alloc_and_free_track_memory() {
+        let mut g = gpu();
+        let buf = g.alloc::<u32>(100).unwrap();
+        assert_eq!(g.allocated_bytes(), 400);
+        assert_eq!(buf.len(), 100);
+        g.free(buf);
+        assert_eq!(g.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn alloc_beyond_capacity_fails() {
+        let mut g = gpu(); // 1 MiB
+        let err = g.alloc::<u64>(1 << 20).unwrap_err();
+        assert!(matches!(err, MachineError::OutOfDeviceMemory { .. }));
+    }
+
+    #[test]
+    fn empty_launch_rejected() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(8).unwrap();
+        let err = g
+            .launch("k", 0, &mut buf, |_, _, _| {})
+            .unwrap_err();
+        assert_eq!(err, MachineError::EmptyLaunch);
+    }
+
+    #[test]
+    fn wave_count_is_ceiling() {
+        let mut g = gpu(); // 8 lanes
+        let mut buf = g.alloc::<u32>(64).unwrap();
+        let st = g
+            .launch("k", 20, &mut buf, |id, ctx, data| {
+                data[id] = id as u32;
+                ctx.charge_ops(1);
+                ctx.write(0, id, 1, 1);
+            })
+            .unwrap();
+        assert_eq!(st.waves, 3); // ceil(20/8)
+        assert_eq!(st.items, 20);
+    }
+
+    #[test]
+    fn kernel_actually_computes() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(16).unwrap();
+        g.launch("fill", 16, &mut buf, |id, ctx, data| {
+            data[id] = (id * id) as u32;
+            ctx.charge_ops(1);
+            ctx.write(0, id, 1, 1);
+        })
+        .unwrap();
+        assert_eq!(buf.debug_view()[5], 25);
+    }
+
+    #[test]
+    fn coalesced_bases_cost_less() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(64).unwrap();
+        // Consecutive bases across the 8 lanes: coalesced.
+        let st_co = g
+            .launch("co", 8, &mut buf, |id, ctx, _| {
+                ctx.read(0, id, 4, 8);
+            })
+            .unwrap();
+        // Bases 8 apart: uncoalesced.
+        let st_un = g
+            .launch("un", 8, &mut buf, |id, ctx, _| {
+                ctx.read(0, id * 8, 4, 1);
+            })
+            .unwrap();
+        assert_eq!(st_co.coalesced, 32);
+        assert_eq!(st_co.uncoalesced, 0);
+        assert_eq!(st_un.coalesced, 0);
+        assert_eq!(st_un.uncoalesced, 32);
+        // 4 accesses * U=4 vs 4 accesses * 1, γ⁻¹ = 4.
+        assert_eq!(st_co.time, 4.0 * 4.0);
+        assert_eq!(st_un.time, 16.0 * 4.0);
+    }
+
+    #[test]
+    fn single_item_wave_counts_as_coalesced() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(64).unwrap();
+        let st = g
+            .launch("solo", 1, &mut buf, |_, ctx, _| {
+                ctx.read(0, 17, 4, 3);
+                ctx.charge_ops(2);
+            })
+            .unwrap();
+        assert_eq!(st.coalesced, 4);
+        assert_eq!(st.time, (2.0 + 4.0) * 4.0);
+    }
+
+    #[test]
+    fn scatter_never_coalesces() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(64).unwrap();
+        let st = g
+            .launch("sc", 1, &mut buf, |_, ctx, _| ctx.scatter_read(0, 10))
+            .unwrap();
+        assert_eq!(st.uncoalesced, 10);
+    }
+
+    #[test]
+    fn wave_time_is_max_item_cost() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(64).unwrap();
+        let st = g
+            .launch("k", 8, &mut buf, |id, ctx, _| {
+                ctx.charge_ops(if id == 3 { 100 } else { 1 });
+            })
+            .unwrap();
+        assert_eq!(st.time, 100.0 * 4.0);
+    }
+
+    #[test]
+    fn out_of_bounds_stream_detected() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(8).unwrap();
+        let err = g
+            .launch("oob", 1, &mut buf, |_, ctx, _| ctx.read(0, 4, 8, 1))
+            .unwrap_err();
+        assert!(matches!(err, MachineError::OutOfBounds { len: 8, .. }));
+    }
+
+    #[test]
+    fn strict_mode_rejects_overlapping_writes() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(64).unwrap();
+        let err = g
+            .launch("racy", 4, &mut buf, |id, ctx, _| {
+                // Every item writes [0..4): a race.
+                ctx.write(0, 0, 4, 1);
+                let _ = id;
+            })
+            .unwrap_err();
+        assert!(matches!(err, MachineError::WriteOverlap { .. }));
+    }
+
+    #[test]
+    fn disjoint_writes_pass_strict_mode() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(64).unwrap();
+        assert!(g
+            .launch("ok", 4, &mut buf, |id, ctx, data| {
+                for k in 0..4 {
+                    data[id * 4 + k] = 1;
+                }
+                ctx.write(0, id * 4, 4, 1);
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn launch2_addresses_both_buffers() {
+        let mut g = gpu();
+        let mut a = g.alloc::<u32>(16).unwrap();
+        let mut b = g.alloc::<u32>(16).unwrap();
+        // Copy a -> b reversed.
+        g.launch("init", 16, &mut a, |id, ctx, d| {
+            d[id] = id as u32;
+            ctx.write(0, id, 1, 1);
+        })
+        .unwrap();
+        g.launch2("rev", 16, &mut a, &mut b, |id, ctx, a, b| {
+            b[15 - id] = a[id];
+            ctx.read(0, id, 1, 1);
+            ctx.scatter_write(1, 1);
+        })
+        .unwrap();
+        assert_eq!(b.debug_view()[0], 15);
+        assert_eq!(b.debug_view()[15], 0);
+    }
+
+    #[test]
+    fn launch2_validates_second_buffer_bounds() {
+        let mut g = gpu();
+        let mut a = g.alloc::<u32>(16).unwrap();
+        let mut b = g.alloc::<u32>(4).unwrap();
+        let err = g
+            .launch2("oob", 1, &mut a, &mut b, |_, ctx, _, _| {
+                ctx.write(1, 0, 8, 1);
+            })
+            .unwrap_err();
+        assert!(matches!(err, MachineError::OutOfBounds { len: 4, .. }));
+    }
+
+    #[test]
+    fn saturation_knee_at_lane_count() {
+        // Fixed total work split across N items: time falls as 1/N until
+        // N = lanes, then flattens — the Figure 5 shape.
+        let mut g = SimGpu::new(GpuConfig {
+            lanes: 8,
+            gamma_inv: 2.0,
+            uncoalesced_penalty: 1.0,
+            global_mem_bytes: 1 << 20,
+            launch_overhead: 0.0,
+            strict: false,
+        });
+        let mut buf = g.alloc::<u32>(1024).unwrap();
+        let total = 1024u64;
+        let t = |g: &mut SimGpu, buf: &mut DeviceBuffer<u32>, n: usize| {
+            g.launch("sum", n, buf, |_, ctx, _| {
+                ctx.charge_ops(total / n as u64);
+            })
+            .unwrap()
+            .time
+        };
+        let t4 = t(&mut g, &mut buf, 4);
+        let t8 = t(&mut g, &mut buf, 8);
+        let t16 = t(&mut g, &mut buf, 16);
+        let t32 = t(&mut g, &mut buf, 32);
+        assert!(t4 > t8, "time should fall until saturation");
+        // Past the knee the time stays flat.
+        assert!((t16 - t8).abs() < 1e-9);
+        assert!((t32 - t8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_and_stats_accumulate() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(64).unwrap();
+        g.launch("a", 8, &mut buf, |_, ctx, _| ctx.charge_ops(10))
+            .unwrap();
+        g.launch("b", 16, &mut buf, |_, ctx, _| ctx.charge_ops(10))
+            .unwrap();
+        assert_eq!(g.stats().launches, 2);
+        assert_eq!(g.stats().items, 24);
+        assert_eq!(g.stats().waves, 3);
+        assert_eq!(g.clock(), 40.0 + 80.0);
+    }
+}

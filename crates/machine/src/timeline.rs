@@ -1,0 +1,142 @@
+//! Virtual-time event log of a simulated execution.
+
+use std::fmt;
+
+/// The processing unit an event ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// The multi-core CPU.
+    Cpu,
+    /// The GPU device.
+    Gpu,
+    /// The CPU↔GPU link.
+    Bus,
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unit::Cpu => write!(f, "CPU"),
+            Unit::Gpu => write!(f, "GPU"),
+            Unit::Bus => write!(f, "BUS"),
+        }
+    }
+}
+
+/// One logged interval of activity on a unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Unit the activity ran on.
+    pub unit: Unit,
+    /// Virtual start time.
+    pub start: f64,
+    /// Virtual end time.
+    pub end: f64,
+    /// Human-readable label, e.g. `"level 7 (128 tasks)"`.
+    pub label: String,
+}
+
+impl TimelineEvent {
+    /// Duration of the event.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// An append-only event log with per-unit busy-time accounting.
+#[derive(Debug, Default, Clone)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, unit: Unit, start: f64, end: f64, label: impl Into<String>) {
+        debug_assert!(end >= start, "events must not run backwards");
+        self.events.push(TimelineEvent {
+            unit,
+            start,
+            end,
+            label: label.into(),
+        });
+    }
+
+    /// All events in recording order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Total busy time of a unit.
+    pub fn busy(&self, unit: Unit) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.unit == unit)
+            .map(TimelineEvent::duration)
+            .sum()
+    }
+
+    /// Latest end time across all events (the makespan).
+    pub fn makespan(&self) -> f64 {
+        self.events.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Renders the timeline as an indented text report (one line per event),
+    /// suitable for terminal output in examples.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let span = self.makespan().max(1e-12);
+        for e in &self.events {
+            let pct_start = 100.0 * e.start / span;
+            let pct_end = 100.0 * e.end / span;
+            let _ = writeln!(
+                out,
+                "{:>3} [{:>12.1} .. {:>12.1}] ({:>5.1}%-{:>5.1}%) {}",
+                e.unit.to_string(),
+                e.start,
+                e.end,
+                pct_start,
+                pct_end,
+                e.label
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_time_sums_per_unit() {
+        let mut t = Timeline::new();
+        t.record(Unit::Cpu, 0.0, 5.0, "a");
+        t.record(Unit::Gpu, 0.0, 3.0, "b");
+        t.record(Unit::Cpu, 5.0, 6.0, "c");
+        assert_eq!(t.busy(Unit::Cpu), 6.0);
+        assert_eq!(t.busy(Unit::Gpu), 3.0);
+        assert_eq!(t.busy(Unit::Bus), 0.0);
+        assert_eq!(t.makespan(), 6.0);
+        assert_eq!(t.events().len(), 3);
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let mut t = Timeline::new();
+        t.record(Unit::Bus, 0.0, 1.0, "upload 1024 words");
+        let s = t.render();
+        assert!(s.contains("BUS"));
+        assert!(s.contains("upload 1024 words"));
+    }
+
+    #[test]
+    fn empty_timeline_makespan_is_zero() {
+        assert_eq!(Timeline::new().makespan(), 0.0);
+    }
+}

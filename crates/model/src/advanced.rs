@@ -1,0 +1,511 @@
+//! The advanced hybrid work division (paper §5.2, Figures 2-4).
+//!
+//! The input is split at ratio `α` (CPU) / `1−α` (GPU); both units execute
+//! their share of the recursion tree bottom-up concurrently. To avoid idle
+//! CPU cores, the concurrent phase lasts until the CPU's share shrinks to
+//! `p` subproblems — at level `log_a(p/α)` — taking time `Tc(n)`. In that
+//! time the GPU climbs from the leaves to level `y`, found by solving
+//! `Tg(n) = Tc(n)`; it then transfers its partial results back and the CPU
+//! finishes everything above. There are exactly two CPU↔GPU transfers.
+//!
+//! `Tg` is a piecewise function of the GPU's saturation regime (paper's
+//! cases (i)-(iii)), and the optimal `α*` maximizes the GPU work
+//! `W_g(α) = (1−α)·(n^{log_b a} + Σ_{i=y(α)}^{L-1} a^i f(n/b^i))`.
+
+use crate::error::ModelError;
+use crate::levels::LevelProfile;
+use crate::params::MachineParams;
+use crate::recurrence::Recurrence;
+
+/// GPU saturation regime during the concurrent phase (paper §5.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuSaturation {
+    /// Case (i): `(1−α)·n^{log_b a} < g` — the GPU is never saturated; every
+    /// level fits in a single wave.
+    NeverSaturated,
+    /// Case (ii): `Tc ≤ Tmax_g` — the GPU is saturated for the entire
+    /// concurrent phase.
+    AlwaysSaturated,
+    /// Case (iii): `Tc > Tmax_g` — the GPU exhausts its saturated phase and
+    /// continues unsaturated.
+    Mixed,
+}
+
+/// Solution of `Tg = Tc` for a fixed `α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YSolution {
+    /// Level (from the top, continuous) the GPU reaches before transferring
+    /// back; clamped to `[0, L]`.
+    pub y: f64,
+    /// Saturation regime that produced this solution.
+    pub saturation: GpuSaturation,
+    /// Duration of the concurrent phase, `Tc(n)`.
+    pub tc: f64,
+    /// Whether this `α` is feasible (the GPU can finish at least the leaves
+    /// of its share within `Tc`).
+    pub feasible: bool,
+}
+
+/// An advanced hybrid schedule: split ratio and transfer level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvancedSchedule {
+    /// Fraction of subproblems assigned to the CPU.
+    pub alpha: f64,
+    /// Level (from the top) at which the GPU transfers its results back.
+    pub transfer_level: f64,
+    /// Work executed by the GPU, `W_g(α)`, in operations.
+    pub gpu_work: f64,
+    /// `W_g(α)` as a fraction of the total work.
+    pub gpu_work_fraction: f64,
+    /// Saturation regime at the optimum.
+    pub saturation: GpuSaturation,
+}
+
+/// Solver for the advanced work division on a fixed machine, recurrence and
+/// input size.
+#[derive(Debug, Clone)]
+pub struct AdvancedSolver {
+    profile: LevelProfile,
+}
+
+impl AdvancedSolver {
+    /// Builds a solver; fails if the input is smaller than one division step.
+    pub fn new(machine: &MachineParams, rec: &Recurrence, n: u64) -> Result<Self, ModelError> {
+        if n < rec.b as u64 {
+            return Err(ModelError::ProblemTooSmall { n, min: rec.b as u64 });
+        }
+        Ok(AdvancedSolver {
+            profile: LevelProfile::new(machine, rec, n),
+        })
+    }
+
+    /// The underlying level profile.
+    pub fn profile(&self) -> &LevelProfile {
+        &self.profile
+    }
+
+    fn machine(&self) -> &MachineParams {
+        self.profile.machine()
+    }
+
+    fn rec(&self) -> &Recurrence {
+        self.profile.recurrence()
+    }
+
+    /// Smallest admissible `α`: the CPU must start the bottom level with at
+    /// least `p` tasks, i.e. `α ≥ p / n^{log_b a}` (paper §5.2.1).
+    pub fn alpha_min(&self) -> f64 {
+        (self.machine().p as f64 / self.profile.leaves()).min(1.0)
+    }
+
+    /// Level at which the CPU's share shrinks to `p` tasks:
+    /// `log_a(p/α)`, clamped to `[0, L]`.
+    pub fn cpu_stop_level(&self, alpha: f64) -> f64 {
+        let a = self.rec().a as f64;
+        let lc = (self.machine().p as f64 / alpha).ln() / a.ln();
+        lc.clamp(0.0, self.profile.levels() as f64)
+    }
+
+    /// Level below which the GPU's share saturates the device:
+    /// `log_a(g/(1−α))`, clamped to `[0, L]`.
+    pub fn gpu_saturation_level(&self, alpha: f64) -> f64 {
+        let a = self.rec().a as f64;
+        let ls = (self.machine().g as f64 / (1.0 - alpha)).ln() / a.ln();
+        ls.clamp(0.0, self.profile.levels() as f64)
+    }
+
+    /// `Tc(n)`: time for the CPU to climb from the leaves to
+    /// `log_a(p/α)` on its `α`-share (paper §5.2.1):
+    /// `(α/p)·(n^{log_b a}·T(1) + Σ_{i=log_a(p/α)}^{L-1} a^i f(n/b^i))`.
+    pub fn tc(&self, alpha: f64) -> f64 {
+        let lc = self.cpu_stop_level(alpha);
+        let leaf_work = self.profile.leaves() * self.rec().leaf_cost;
+        alpha / self.machine().p as f64 * (leaf_work + self.profile.suffix_work(lc))
+    }
+
+    /// `Tmax_g(n)`: the longest the GPU can run fully saturated
+    /// (paper §5.2.1):
+    /// `((1−α)/(γg))·(n^{log_b a}·T(1) + Σ_{i=log_a(g/(1−α))}^{L-1} a^i f(n/b^i))`.
+    pub fn tmax_g(&self, alpha: f64) -> f64 {
+        let ls = self.gpu_saturation_level(alpha);
+        let m = self.machine();
+        let leaf_work = self.profile.leaves() * self.rec().leaf_cost;
+        (1.0 - alpha) / (m.gamma * m.g as f64) * (leaf_work + self.profile.suffix_work(ls))
+    }
+
+    /// GPU time to climb from the leaves to level `y` on its `(1−α)`-share,
+    /// following the saturation regime (continuous, paper-faithful).
+    pub fn tg(&self, alpha: f64, y: f64) -> f64 {
+        let m = self.machine();
+        let pr = &self.profile;
+        let big_l = pr.levels() as f64;
+        let share = 1.0 - alpha;
+        let leaf_work = pr.leaves() * self.rec().leaf_cost;
+        if share * pr.leaves() < m.g as f64 {
+            // Case (i): never saturated — one wave per level plus the leaves.
+            (self.rec().leaf_cost + pr.suffix_path(y, big_l)) / m.gamma
+        } else {
+            let ls = self.gpu_saturation_level(alpha);
+            if y >= ls {
+                // Entirely within the saturated regime.
+                share / (m.gamma * m.g as f64) * (leaf_work + pr.suffix_work(y))
+            } else {
+                // Saturated up to `ls`, then one wave per level above.
+                self.tmax_g(alpha) + pr.suffix_path(y, ls) / m.gamma
+            }
+        }
+    }
+
+    /// Solves `Tg(α, y) = Tc(α)` for `y` (paper §5.2.1). `Tg` is monotone
+    /// non-increasing in `y`, so a bisection on `[0, L]` suffices.
+    pub fn solve_y(&self, alpha: f64) -> YSolution {
+        let tc = self.tc(alpha);
+        let m = self.machine();
+        let pr = &self.profile;
+        let big_l = pr.levels() as f64;
+        let share = 1.0 - alpha;
+
+        let saturation = if share * pr.leaves() < m.g as f64 {
+            GpuSaturation::NeverSaturated
+        } else if tc <= self.tmax_g(alpha) {
+            GpuSaturation::AlwaysSaturated
+        } else {
+            GpuSaturation::Mixed
+        };
+
+        // Feasibility: even the leaves of the GPU share must finish in Tc.
+        let t_leaves_only = self.tg(alpha, big_l);
+        if t_leaves_only > tc {
+            return YSolution {
+                y: big_l,
+                saturation,
+                tc,
+                feasible: false,
+            };
+        }
+        // GPU reaches the root before the CPU phase ends.
+        if self.tg(alpha, 0.0) <= tc {
+            return YSolution {
+                y: 0.0,
+                saturation,
+                tc,
+                feasible: true,
+            };
+        }
+
+        let (mut lo, mut hi) = (0.0_f64, big_l);
+        // Invariant: tg(lo) > tc >= tg(hi).
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.tg(alpha, mid) > tc {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 {
+                break;
+            }
+        }
+        YSolution {
+            y: 0.5 * (lo + hi),
+            saturation,
+            tc,
+            feasible: true,
+        }
+    }
+
+    /// GPU work when stopping at level `y`:
+    /// `W_g = (1−α)·(n^{log_b a}·T(1) + Σ_{i=y}^{L-1} a^i f(n/b^i))`.
+    pub fn gpu_work(&self, alpha: f64, y: f64) -> f64 {
+        let leaf_work = self.profile.leaves() * self.rec().leaf_cost;
+        (1.0 - alpha) * (leaf_work + self.profile.suffix_work(y))
+    }
+
+    /// `W_g(α)` using the solved transfer level; `None` when `α` is
+    /// infeasible.
+    pub fn gpu_work_at(&self, alpha: f64) -> Option<f64> {
+        let sol = self.solve_y(alpha);
+        sol.feasible.then(|| self.gpu_work(alpha, sol.y))
+    }
+
+    /// Finds `α*` maximizing `W_g(α)` by dense grid search with local
+    /// refinement (the paper uses numeric methods as well, §5.2.2).
+    pub fn optimize(&self) -> AdvancedSchedule {
+        let lo = self.alpha_min().max(1e-9);
+        let hi = (1.0 - 1.0 / self.profile.leaves()).max(lo);
+        const GRID: usize = 1024;
+        let mut best_alpha = lo;
+        let mut best_w = f64::NEG_INFINITY;
+        for k in 0..=GRID {
+            let alpha = lo + (hi - lo) * k as f64 / GRID as f64;
+            if let Some(w) = self.gpu_work_at(alpha) {
+                if w > best_w {
+                    best_w = w;
+                    best_alpha = alpha;
+                }
+            }
+        }
+        // Golden-section refinement around the best grid cell.
+        let step = (hi - lo) / GRID as f64;
+        let (mut a, mut b) = (
+            (best_alpha - step).max(lo),
+            (best_alpha + step).min(hi),
+        );
+        let phi = 0.5 * (5f64.sqrt() - 1.0);
+        let score = |alpha: f64| self.gpu_work_at(alpha).unwrap_or(f64::NEG_INFINITY);
+        let (mut x1, mut x2) = (b - phi * (b - a), a + phi * (b - a));
+        let (mut f1, mut f2) = (score(x1), score(x2));
+        for _ in 0..100 {
+            if f1 < f2 {
+                a = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = a + phi * (b - a);
+                f2 = score(x2);
+            } else {
+                b = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = b - phi * (b - a);
+                f1 = score(x1);
+            }
+            if b - a < 1e-10 {
+                break;
+            }
+        }
+        let alpha = if f1 > f2 { x1 } else { x2 };
+        let alpha = if score(alpha) >= best_w { alpha } else { best_alpha };
+        let sol = self.solve_y(alpha);
+        let w = self.gpu_work(alpha, sol.y);
+        AdvancedSchedule {
+            alpha,
+            transfer_level: sol.y,
+            gpu_work: w,
+            gpu_work_fraction: w / self.profile.total_work(),
+            saturation: sol.saturation,
+        }
+    }
+
+    /// Discrete predicted execution time of the advanced schedule for an
+    /// arbitrary `(α, y)` pair (used for the Figure 7/8 predicted curves).
+    ///
+    /// * concurrent phase: `max` of the CPU's climb to `log_a(p/α)` and the
+    ///   GPU's climb to `y` (wave-discrete), plus two transfers;
+    /// * cleanup phase: the CPU finishes all remaining tasks level by level
+    ///   on `p` cores.
+    pub fn predicted_time(&self, alpha: f64, y: f64, transfer_words: u64) -> f64 {
+        let m = self.machine();
+        let pr = &self.profile;
+        let levels = pr.levels();
+        let lc = self.cpu_stop_level(alpha);
+        let leaf_cost = self.rec().leaf_cost;
+
+        // CPU climb on its share: waves of p among ceil(α·a^i) tasks.
+        let mut t_cpu = ((alpha * pr.leaves() / m.p as f64).ceil()).max(1.0) * leaf_cost;
+        for i in (lc.ceil() as u32)..levels {
+            let tasks = (alpha * pr.tasks_at(i)).ceil().max(1.0);
+            t_cpu += (tasks / m.p as f64).ceil() * pr.task_cost_at(i);
+        }
+
+        // GPU climb on its share: waves of g.
+        let share = 1.0 - alpha;
+        let mut t_gpu = ((share * pr.leaves() / m.g as f64).ceil()).max(1.0) * leaf_cost / m.gamma;
+        for i in (y.ceil() as u32)..levels {
+            let tasks = (share * pr.tasks_at(i)).ceil().max(1.0);
+            t_gpu += (tasks / m.g as f64).ceil() * pr.task_cost_at(i) / m.gamma;
+        }
+        t_gpu += 2.0 * m.transfer_time(transfer_words);
+
+        // Cleanup: remaining tasks per level on the CPU.
+        let mut t_rest = 0.0;
+        let top = lc.max(y).ceil() as u32;
+        for i in 0..top.min(levels) {
+            let mut rem = 0.0;
+            if (i as f64) < lc {
+                rem += alpha * pr.tasks_at(i);
+            }
+            if (i as f64) < y {
+                rem += share * pr.tasks_at(i);
+            }
+            if rem > 0.0 {
+                t_rest += (rem.max(1.0) / m.p as f64).ceil() * pr.task_cost_at(i);
+            }
+        }
+
+        t_cpu.max(t_gpu) + t_rest
+    }
+
+    /// Predicted speedup of the *optimal* advanced schedule over the 1-core
+    /// sequential execution (the green curves of Figure 8).
+    pub fn predicted_speedup(&self, transfer_words: u64) -> f64 {
+        let opt = self.optimize();
+        self.profile.total_work()
+            / self.predicted_time(opt.alpha, opt.transfer_level, transfer_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of §5.2.2: mergesort, HPU1 (p=4, g=2^12,
+    /// γ⁻¹=160), n = 2^24 — α* ≈ 0.16, y ≈ 10, GPU does ≈ 52% of the work.
+    #[test]
+    fn example_5_2_2() {
+        let solver =
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24)
+                .unwrap();
+        let opt = solver.optimize();
+        assert!(
+            (opt.alpha - 0.16).abs() < 0.03,
+            "alpha* = {} (paper: ≈0.16)",
+            opt.alpha
+        );
+        assert!(
+            opt.transfer_level > 8.5 && opt.transfer_level < 10.5,
+            "y = {} (paper: ≈10)",
+            opt.transfer_level
+        );
+        assert!(
+            (opt.gpu_work_fraction - 0.52).abs() < 0.03,
+            "GPU fraction = {} (paper: ≈52%)",
+            opt.gpu_work_fraction
+        );
+        // At the optimum the GPU straddles both regimes (paper: "both
+        // saturated and non-saturated", since y < log_2 g = 12).
+        assert_eq!(opt.saturation, GpuSaturation::Mixed);
+    }
+
+    #[test]
+    fn tc_matches_closed_form() {
+        // Mergesort closed form (§5.2.2):
+        // Tc = (α n / p)(log_b n − log_a(p/α) + 1).
+        let n = 1u64 << 24;
+        let solver =
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), n).unwrap();
+        let alpha = 0.16;
+        let expect =
+            alpha * n as f64 / 4.0 * (24.0 - (4.0 / alpha).log2() + 1.0);
+        let got = solver.tc(alpha);
+        assert!(
+            (got - expect).abs() / expect < 0.01,
+            "tc {got} vs closed form {expect}"
+        );
+    }
+
+    #[test]
+    fn tmax_matches_closed_form() {
+        // Tmax_g = ((1−α) n / (γ g))(log_b n − log_a(g/(1−α)) + 1).
+        let n = 1u64 << 24;
+        let m = MachineParams::hpu1();
+        let solver = AdvancedSolver::new(&m, &Recurrence::mergesort(), n).unwrap();
+        let alpha = 0.16;
+        let expect = (1.0 - alpha) * n as f64 / (m.gamma * m.g as f64)
+            * (24.0 - (m.g as f64 / (1.0 - alpha)).log2() + 1.0);
+        let got = solver.tmax_g(alpha);
+        assert!(
+            (got - expect).abs() / expect < 0.01,
+            "tmax {got} vs closed form {expect}"
+        );
+    }
+
+    #[test]
+    fn solved_y_equates_times() {
+        let solver =
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24)
+                .unwrap();
+        for &alpha in &[0.05, 0.16, 0.3, 0.6] {
+            let sol = solver.solve_y(alpha);
+            assert!(sol.feasible);
+            if sol.y > 0.0 {
+                let tg = solver.tg(alpha, sol.y);
+                assert!(
+                    (tg - sol.tc).abs() / sol.tc < 1e-6,
+                    "alpha={alpha}: tg={tg} != tc={}",
+                    sol.tc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn y_decreases_with_alpha() {
+        // More CPU share -> longer concurrent phase -> GPU climbs higher.
+        let solver =
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24)
+                .unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 1..20 {
+            let alpha = k as f64 * 0.05;
+            let sol = solver.solve_y(alpha);
+            if sol.feasible {
+                assert!(sol.y <= prev + 1e-9, "y must be non-increasing in alpha");
+                prev = sol.y;
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_alpha_is_infeasible_or_low_work() {
+        // With α at its minimum the CPU stops almost immediately; the GPU
+        // barely gets to work.
+        let solver =
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 16)
+                .unwrap();
+        let a0 = solver.alpha_min();
+        let w0 = solver.gpu_work_at(a0).unwrap_or(0.0);
+        let wopt = solver.optimize().gpu_work;
+        assert!(wopt > w0);
+    }
+
+    #[test]
+    fn hpu2_optimum_is_sane() {
+        let solver =
+            AdvancedSolver::new(&MachineParams::hpu2(), &Recurrence::mergesort(), 1 << 24)
+                .unwrap();
+        let opt = solver.optimize();
+        assert!(opt.alpha > 0.05 && opt.alpha < 0.9);
+        assert!(opt.gpu_work_fraction > 0.3 && opt.gpu_work_fraction < 0.8);
+    }
+
+    #[test]
+    fn predicted_speedup_bounds_hpu1() {
+        // Paper Fig. 8: predicted speedup ≈ 5.5 at n = 2^24 on HPU1. Our
+        // discrete predictor should land in the same neighbourhood and
+        // always beat the p-core bound only via the GPU (speedup > p is
+        // possible, > p + γg is not).
+        let m = MachineParams::hpu1();
+        let solver = AdvancedSolver::new(&m, &Recurrence::mergesort(), 1 << 24).unwrap();
+        let s = solver.predicted_speedup(0);
+        assert!(s > 4.0 && s < 8.0, "predicted speedup {s}");
+        assert!(s < m.p as f64 + m.gpu_throughput());
+    }
+
+    #[test]
+    fn predicted_time_monotone_in_machine_strength() {
+        let r = Recurrence::mergesort();
+        let weak = MachineParams::new(4, 512, 1.0 / 160.0).unwrap();
+        let strong = MachineParams::new(4, 8192, 1.0 / 160.0).unwrap();
+        let sw = AdvancedSolver::new(&weak, &r, 1 << 20).unwrap();
+        let ss = AdvancedSolver::new(&strong, &r, 1 << 20).unwrap();
+        assert!(ss.predicted_speedup(0) >= sw.predicted_speedup(0) * 0.99);
+    }
+
+    #[test]
+    fn rejects_tiny_problems() {
+        assert!(matches!(
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1),
+            Err(ModelError::ProblemTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_cost_reduces_predicted_speedup() {
+        let r = Recurrence::mergesort();
+        let m0 = MachineParams::hpu1();
+        let m1 = MachineParams::hpu1().with_transfer_cost(1e6, 0.5);
+        let s0 = AdvancedSolver::new(&m0, &r, 1 << 20).unwrap().predicted_speedup(1 << 20);
+        let s1 = AdvancedSolver::new(&m1, &r, 1 << 20).unwrap().predicted_speedup(1 << 20);
+        assert!(s1 < s0);
+    }
+}

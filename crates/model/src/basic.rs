@@ -1,0 +1,183 @@
+//! The basic hybrid work division (paper §5.1, Figure 1).
+//!
+//! Each level of the recursion tree runs entirely on the unit that executes
+//! it faster. Comparing the per-level times shows the GPU wins exactly for
+//! levels `i ≥ log_a(p/γ)` (given `γ·g ≥ p`), so a single crossover level
+//! splits the tree: the top runs on the CPU, everything below — including
+//! the leaves — on the GPU, with one round trip of data between them.
+
+use crate::levels::LevelProfile;
+use crate::params::MachineParams;
+use crate::recurrence::Recurrence;
+
+/// The basic hybrid schedule: levels `0..crossover` on the CPU, levels
+/// `crossover..` plus the leaves on the GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicSchedule {
+    /// First level executed on the GPU, `⌈log_a(p/γ)⌉`; `None` when the GPU
+    /// is never worth using (`γ·g < p`).
+    pub crossover: Option<u32>,
+}
+
+impl BasicSchedule {
+    /// Derives the schedule from machine and recurrence parameters.
+    ///
+    /// Case analysis of §5.1: for levels with fewer than `p` tasks the CPU
+    /// wins (`γ < 1`); between `log_a p` and `log_a g` tasks the GPU wins
+    /// once `a^i/p ≥ 1/γ`, i.e. `i ≥ log_a(p/γ)`; below that the GPU's
+    /// aggregate throughput `γ·g ≥ p` keeps it ahead.
+    pub fn derive(machine: &MachineParams, rec: &Recurrence) -> Self {
+        if !machine.gpu_worth_using() {
+            return BasicSchedule { crossover: None };
+        }
+        let a = rec.a as f64;
+        let level = (machine.p as f64 / machine.gamma).ln() / a.ln();
+        BasicSchedule {
+            crossover: Some(level.ceil().max(0.0) as u32),
+        }
+    }
+
+    /// Continuous crossover level `log_a(p/γ)` (before rounding), useful for
+    /// plotting and tests.
+    pub fn crossover_exact(machine: &MachineParams, rec: &Recurrence) -> f64 {
+        (machine.p as f64 / machine.gamma).ln() / (rec.a as f64).ln()
+    }
+
+    /// Predicted execution time of the basic hybrid schedule for input size
+    /// `n`, including the two transfers (down at the crossover, back up).
+    ///
+    /// Levels above the crossover run on the CPU at `⌈a^i/p⌉·f(n/b^i)`;
+    /// levels below (and the leaves) run on the GPU at `⌈a^i/g⌉·f(n/b^i)/γ`.
+    pub fn predicted_time(&self, profile: &LevelProfile, transfer_words: u64) -> f64 {
+        let levels = profile.levels();
+        match self.crossover {
+            None => predicted_time_cpu_parallel(profile),
+            Some(cross) => {
+                let cross = cross.min(levels);
+                let mut t = 0.0;
+                for i in 0..cross {
+                    t += profile.cpu_level_time(i);
+                }
+                for i in cross..levels {
+                    t += profile.gpu_level_time(i);
+                }
+                t += profile.gpu_leaf_time();
+                t + 2.0 * profile.machine().transfer_time(transfer_words)
+            }
+        }
+    }
+}
+
+/// Predicted time of the sequential (1-core) execution: the total work.
+pub fn predicted_time_sequential(profile: &LevelProfile) -> f64 {
+    profile.total_work()
+}
+
+/// Predicted time of a CPU-only level-parallel execution on all `p` cores.
+pub fn predicted_time_cpu_parallel(profile: &LevelProfile) -> f64 {
+    let mut t = profile.cpu_leaf_time();
+    for i in 0..profile.levels() {
+        t += profile.cpu_level_time(i);
+    }
+    t
+}
+
+/// Predicted time of a GPU-only execution (all levels on the device),
+/// including one round trip of `transfer_words` words.
+pub fn predicted_time_gpu_only(profile: &LevelProfile, transfer_words: u64) -> f64 {
+    let mut t = profile.gpu_leaf_time();
+    for i in 0..profile.levels() {
+        t += profile.gpu_level_time(i);
+    }
+    t + 2.0 * profile.machine().transfer_time(transfer_words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineParams;
+
+    #[test]
+    fn hpu1_mergesort_crossover() {
+        // p/γ = 4·160 = 640; log2(640) ≈ 9.32 -> crossover level 10.
+        let m = MachineParams::hpu1();
+        let r = Recurrence::mergesort();
+        let s = BasicSchedule::derive(&m, &r);
+        assert_eq!(s.crossover, Some(10));
+        assert!((BasicSchedule::crossover_exact(&m, &r) - 9.3219).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hpu2_mergesort_crossover() {
+        // p/γ = 4·65 = 260; log2(260) ≈ 8.02 -> crossover level 9.
+        let s = BasicSchedule::derive(&MachineParams::hpu2(), &Recurrence::mergesort());
+        assert_eq!(s.crossover, Some(9));
+    }
+
+    #[test]
+    fn weak_gpu_never_crosses() {
+        // γ·g = 0.01·100 = 1 < p = 4: GPU never worth it (§5.1).
+        let m = MachineParams::new(4, 100, 0.01).unwrap();
+        let s = BasicSchedule::derive(&m, &Recurrence::mergesort());
+        assert_eq!(s.crossover, None);
+    }
+
+    #[test]
+    fn hybrid_beats_both_pure_strategies() {
+        let m = MachineParams::hpu1();
+        let r = Recurrence::mergesort();
+        let pr = LevelProfile::new(&m, &r, 1 << 20);
+        let s = BasicSchedule::derive(&m, &r);
+        let hybrid = s.predicted_time(&pr, 0);
+        let seq = predicted_time_sequential(&pr);
+        let cpu = predicted_time_cpu_parallel(&pr);
+        let gpu = predicted_time_gpu_only(&pr, 0);
+        assert!(hybrid < cpu, "hybrid {hybrid} should beat CPU-parallel {cpu}");
+        assert!(hybrid < gpu, "hybrid {hybrid} should beat GPU-only {gpu}");
+        assert!(hybrid < seq);
+    }
+
+    #[test]
+    fn gpu_only_suffers_at_top_levels() {
+        // GPU-only pays γ^-1 = 160x on the serial top levels, so for
+        // moderate n the CPU-parallel execution wins.
+        let m = MachineParams::hpu1();
+        let r = Recurrence::mergesort();
+        let pr = LevelProfile::new(&m, &r, 1 << 14);
+        assert!(predicted_time_gpu_only(&pr, 0) > predicted_time_cpu_parallel(&pr));
+    }
+
+    #[test]
+    fn weak_gpu_falls_back_to_cpu_time() {
+        let m = MachineParams::new(4, 100, 0.01).unwrap();
+        let r = Recurrence::mergesort();
+        let pr = LevelProfile::new(&m, &r, 1 << 12);
+        let s = BasicSchedule::derive(&m, &r);
+        assert_eq!(s.predicted_time(&pr, 0), predicted_time_cpu_parallel(&pr));
+    }
+
+    #[test]
+    fn transfers_add_latency() {
+        let m = MachineParams::hpu1().with_transfer_cost(1000.0, 0.1);
+        let r = Recurrence::mergesort();
+        let pr = LevelProfile::new(&m, &r, 1 << 16);
+        let s = BasicSchedule::derive(&m, &r);
+        let with = s.predicted_time(&pr, 1 << 16);
+        let without = s.predicted_time(&pr, 0);
+        // Both runs pay the fixed latency 2λ; the word count adds 2δw.
+        let expect = 2.0 * 0.1 * 65536.0;
+        assert!(((with - without) - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn crossover_clamps_to_tree_depth() {
+        // Tiny input: crossover level beyond the tree, everything on CPU
+        // except leaves (empty GPU range) — must not panic.
+        let m = MachineParams::hpu1();
+        let r = Recurrence::mergesort();
+        let pr = LevelProfile::new(&m, &r, 16);
+        let s = BasicSchedule::derive(&m, &r);
+        let t = s.predicted_time(&pr, 0);
+        assert!(t.is_finite() && t > 0.0);
+    }
+}

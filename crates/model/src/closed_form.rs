@@ -1,0 +1,182 @@
+//! Closed-form specialization of the advanced analysis for recurrences with
+//! `f(n) = Θ(n^{log_b a})` (paper §5.2.2) — mergesort (`a = b = 2`,
+//! `f(n) = n`) being the canonical example.
+//!
+//! For such recurrences every level performs exactly `W = n^{log_b a}` work,
+//! which turns all the level sums into closed forms. This module exists
+//! mainly to cross-validate the generic numeric solver in
+//! [`crate::advanced`], and to regenerate Figure 3 cheaply.
+
+use crate::params::MachineParams;
+
+/// Closed-form advanced-schedule analysis for `T(n) = a·T(n/a) + c·n` style
+/// recurrences (any `a = b ≥ 2`, unit leaf cost).
+#[derive(Debug, Clone)]
+pub struct ClosedForm {
+    machine: MachineParams,
+    /// Branching factor (`a = b`).
+    pub a: usize,
+    /// Input size.
+    pub n: u64,
+    /// Tree depth `L = log_a n` (continuous).
+    pub depth: f64,
+}
+
+impl ClosedForm {
+    /// Builds the closed-form analysis; `a` is both the branching and the
+    /// shrink factor.
+    pub fn new(machine: &MachineParams, a: usize, n: u64) -> Self {
+        let depth = (n as f64).ln() / (a as f64).ln();
+        ClosedForm {
+            machine: machine.clone(),
+            a,
+            n,
+            depth,
+        }
+    }
+
+    /// Per-level work `n^{log_b a} = n` (since `a = b`).
+    fn w(&self) -> f64 {
+        self.n as f64
+    }
+
+    /// `Tc = (α n / p)(log_b n − log_a(p/α) + 1)`.
+    pub fn tc(&self, alpha: f64) -> f64 {
+        let p = self.machine.p as f64;
+        let la = (self.a as f64).ln();
+        alpha * self.w() / p * (self.depth - (p / alpha).ln() / la + 1.0)
+    }
+
+    /// `Tmax_g = ((1−α) n / (γ g))(log_b n − log_a(g/(1−α)) + 1)`.
+    pub fn tmax_g(&self, alpha: f64) -> f64 {
+        let m = &self.machine;
+        let la = (self.a as f64).ln();
+        (1.0 - alpha) * self.w() / (m.gamma * m.g as f64)
+            * (self.depth - (m.g as f64 / (1.0 - alpha)).ln() / la + 1.0)
+    }
+
+    /// Solves `Tg = Tc` for `y` analytically using the paper's piecewise
+    /// `Tg` (cases (i)-(iii) of §5.2.2), clamped to `[0, depth]`.
+    pub fn y_of_alpha(&self, alpha: f64) -> f64 {
+        let m = &self.machine;
+        let a = self.a as f64;
+        let w = self.w();
+        let tc = self.tc(alpha);
+        let share = 1.0 - alpha;
+
+        let y = if share * w < m.g as f64 {
+            // Case (i): Tg = (1/γ)(w·a/(a−1)·a^{−y} − 1/(a−1)).
+            let rhs = (m.gamma * tc + 1.0 / (a - 1.0)) * (a - 1.0) / (a * w);
+            -rhs.ln() / a.ln()
+        } else {
+            let tmax = self.tmax_g(alpha);
+            if tc <= tmax {
+                // Case (ii): Tg = (share·w/(γg))(L − y + 1).
+                self.depth + 1.0 - tc * m.gamma * m.g as f64 / (share * w)
+            } else {
+                // Case (iii): Tg = Tmax + w·a/(γ(a−1))·(a^{−y} − share/g).
+                let rhs =
+                    (tc - tmax) * m.gamma * (a - 1.0) / (a * w) + share / m.g as f64;
+                -rhs.ln() / a.ln()
+            }
+        };
+        y.clamp(0.0, self.depth)
+    }
+
+    /// `W_g = (1−α)·n·(log_b n − y + 1)`.
+    pub fn gpu_work(&self, alpha: f64) -> f64 {
+        (1.0 - alpha) * self.w() * (self.depth - self.y_of_alpha(alpha) + 1.0)
+    }
+
+    /// Fraction of the total work `n(log_b n + 1)` done by the GPU.
+    pub fn gpu_work_fraction(&self, alpha: f64) -> f64 {
+        self.gpu_work(alpha) / (self.w() * (self.depth + 1.0))
+    }
+
+    /// Grid-search maximizer of [`ClosedForm::gpu_work`].
+    pub fn optimal_alpha(&self) -> (f64, f64) {
+        let lo = (self.machine.p as f64 / self.w()).max(1e-6);
+        let mut best = (lo, f64::NEG_INFINITY);
+        for k in 0..=4096 {
+            let alpha = lo + (1.0 - lo - 1e-9) * k as f64 / 4096.0;
+            let wg = self.gpu_work(alpha);
+            if wg > best.1 {
+                best = (alpha, wg);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advanced::AdvancedSolver;
+    use crate::recurrence::Recurrence;
+
+    fn cf() -> ClosedForm {
+        ClosedForm::new(&MachineParams::hpu1(), 2, 1 << 24)
+    }
+
+    #[test]
+    fn paper_example_values() {
+        // §5.2.2 at α = 0.16: Tc ≈ 0.814n, Tmax ≈ 0.42n, y ≈ 9.4 ("≈10"),
+        // GPU fraction ≈ 52%.
+        let c = cf();
+        let n = (1u64 << 24) as f64;
+        assert!((c.tc(0.16) / n - 0.8144).abs() < 0.01);
+        assert!((c.tmax_g(0.16) / n - 0.418).abs() < 0.01);
+        let y = c.y_of_alpha(0.16);
+        assert!((y - 9.44).abs() < 0.1, "y = {y}");
+        assert!((c.gpu_work_fraction(0.16) - 0.523).abs() < 0.01);
+    }
+
+    #[test]
+    fn optimal_alpha_near_paper() {
+        let (alpha, _) = cf().optimal_alpha();
+        assert!((alpha - 0.16).abs() < 0.03, "alpha* = {alpha}");
+    }
+
+    #[test]
+    fn cross_validates_generic_solver() {
+        // The generic (interpolated level sums) solver must agree with the
+        // closed forms on mergesort within a small tolerance.
+        let c = cf();
+        let solver =
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24)
+                .unwrap();
+        for &alpha in &[0.08, 0.16, 0.3, 0.5, 0.8] {
+            let tc_c = c.tc(alpha);
+            let tc_g = solver.tc(alpha);
+            assert!(
+                (tc_c - tc_g).abs() / tc_c < 0.01,
+                "tc mismatch at alpha={alpha}: {tc_c} vs {tc_g}"
+            );
+            let y_c = c.y_of_alpha(alpha);
+            let y_g = solver.solve_y(alpha).y;
+            assert!(
+                (y_c - y_g).abs() < 0.35,
+                "y mismatch at alpha={alpha}: closed {y_c} vs generic {y_g}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_fraction_has_interior_maximum() {
+        // Figure 3 (right): the GPU work share rises then falls in α.
+        let c = cf();
+        let f_low = c.gpu_work_fraction(0.01);
+        let f_opt = c.gpu_work_fraction(0.16);
+        let f_high = c.gpu_work_fraction(0.9);
+        assert!(f_opt > f_low && f_opt > f_high);
+    }
+
+    #[test]
+    fn hpu2_closed_form_sane() {
+        let c = ClosedForm::new(&MachineParams::hpu2(), 2, 1 << 24);
+        let (alpha, _) = c.optimal_alpha();
+        let y = c.y_of_alpha(alpha);
+        assert!(alpha > 0.05 && alpha < 0.9);
+        assert!(y > 5.0 && y < 15.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Cost functions `f(n)` for the divide-and-combine step of a recurrence.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The per-subproblem divide + combine cost `f(n)` of the recurrence
+/// `T(n) = a·T(n/b) + f(n)`.
+///
+/// Costs are expressed in abstract operations: one CPU core performs one
+/// operation per unit of virtual time. The constant factors matter for the
+/// schedule analysis only when CPU and GPU implementations differ; the paper
+/// assumes the same implementation on both units so constants cancel
+/// (§5.2.2). They do *not* cancel against the leaf cost, so constants should
+/// be chosen consistently with [`crate::Recurrence::leaf_cost`].
+#[derive(Clone)]
+pub enum CostFn {
+    /// `f(n) = c` — constant divide/combine cost.
+    Constant(f64),
+    /// `f(n) = c·n` — linear cost, e.g. mergesort's merge.
+    Linear(f64),
+    /// `f(n) = c·n^e` — polynomial cost, e.g. `Θ(n²)` combine of a
+    /// divide-and-conquer matrix multiplication over an `n×n` matrix
+    /// parameterized by its side length.
+    Power {
+        /// Multiplicative constant.
+        c: f64,
+        /// Exponent.
+        e: f64,
+    },
+    /// `f(n) = c·n·log₂(n)` — linearithmic cost.
+    LinLog(f64),
+    /// Arbitrary user-supplied cost function.
+    Custom(Arc<dyn Fn(f64) -> f64 + Send + Sync>),
+}
+
+impl CostFn {
+    /// Evaluates `f(n)` for a (possibly fractional) subproblem size.
+    ///
+    /// Sizes below 1 are clamped to 1 so that continuous-level analysis never
+    /// evaluates the cost on a sub-unit problem.
+    pub fn eval(&self, n: f64) -> f64 {
+        let n = n.max(1.0);
+        match self {
+            CostFn::Constant(c) => *c,
+            CostFn::Linear(c) => c * n,
+            CostFn::Power { c, e } => c * n.powf(*e),
+            CostFn::LinLog(c) => c * n * n.log2().max(0.0),
+            CostFn::Custom(f) => f(n),
+        }
+    }
+
+    /// `f(n) = n`, the unit-constant linear cost used throughout the paper's
+    /// mergesort analysis.
+    pub fn linear() -> Self {
+        CostFn::Linear(1.0)
+    }
+}
+
+impl fmt::Debug for CostFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostFn::Constant(c) => write!(f, "Constant({c})"),
+            CostFn::Linear(c) => write!(f, "Linear({c})"),
+            CostFn::Power { c, e } => write!(f, "Power({c}·n^{e})"),
+            CostFn::LinLog(c) => write!(f, "LinLog({c})"),
+            CostFn::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_eval() {
+        let f = CostFn::linear();
+        assert_eq!(f.eval(8.0), 8.0);
+        assert_eq!(f.eval(1.0), 1.0);
+    }
+
+    #[test]
+    fn sub_unit_sizes_clamp_to_one() {
+        let f = CostFn::Linear(3.0);
+        assert_eq!(f.eval(0.25), 3.0);
+        let f = CostFn::LinLog(1.0);
+        assert_eq!(f.eval(0.5), 0.0); // log2(1) = 0
+    }
+
+    #[test]
+    fn power_eval() {
+        let f = CostFn::Power { c: 2.0, e: 2.0 };
+        assert_eq!(f.eval(3.0), 18.0);
+    }
+
+    #[test]
+    fn linlog_eval() {
+        let f = CostFn::LinLog(1.0);
+        assert_eq!(f.eval(8.0), 24.0);
+    }
+
+    #[test]
+    fn custom_eval() {
+        let f = CostFn::Custom(Arc::new(|n| n + 1.0));
+        assert_eq!(f.eval(5.0), 6.0);
+        assert!(format!("{f:?}").contains("Custom"));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert!(format!("{:?}", CostFn::linear()).contains("Linear"));
+        assert!(format!("{:?}", CostFn::Constant(2.0)).contains("Constant"));
+        assert!(format!("{:?}", CostFn::Power { c: 1.0, e: 2.0 }).contains("Power"));
+        assert!(format!("{:?}", CostFn::LinLog(1.0)).contains("LinLog"));
+    }
+}

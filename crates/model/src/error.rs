@@ -1,0 +1,78 @@
+//! Error type for invalid model inputs.
+
+use std::fmt;
+
+/// Errors produced when constructing model objects from invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// `p` (number of CPU cores) must be at least 1.
+    InvalidCores(usize),
+    /// `g` (number of effective GPU cores) must be at least 1.
+    InvalidGpuCores(usize),
+    /// `γ` must lie strictly in `(0, 1]`: GPU cores are slower than CPU cores.
+    InvalidGamma(f64),
+    /// Branching factor `a` of the recurrence must be at least 2.
+    InvalidBranching(usize),
+    /// Shrink factor `b` of the recurrence must be at least 2.
+    InvalidShrink(usize),
+    /// The problem size must be at least `b` so that at least one division
+    /// step exists.
+    ProblemTooSmall {
+        /// Offending problem size.
+        n: u64,
+        /// Required minimum (the recurrence's shrink factor `b`).
+        min: u64,
+    },
+    /// A cost function evaluated to a non-finite or negative value.
+    InvalidCost(f64),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidCores(p) => {
+                write!(f, "number of CPU cores must be >= 1, got {p}")
+            }
+            ModelError::InvalidGpuCores(g) => {
+                write!(f, "number of GPU cores must be >= 1, got {g}")
+            }
+            ModelError::InvalidGamma(g) => {
+                write!(f, "gamma must be in (0, 1], got {g}")
+            }
+            ModelError::InvalidBranching(a) => {
+                write!(f, "branching factor a must be >= 2, got {a}")
+            }
+            ModelError::InvalidShrink(b) => {
+                write!(f, "shrink factor b must be >= 2, got {b}")
+            }
+            ModelError::ProblemTooSmall { n, min } => {
+                write!(f, "problem size {n} is smaller than the minimum {min}")
+            }
+            ModelError::InvalidCost(c) => {
+                write!(f, "cost function produced an invalid value: {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidGamma(2.0);
+        assert!(e.to_string().contains("gamma"));
+        let e = ModelError::ProblemTooSmall { n: 1, min: 2 };
+        assert!(e.to_string().contains('1'));
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::InvalidCores(0));
+        assert!(e.to_string().contains("CPU cores"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-level timing of the recursion tree (paper §5.1).
+//!
+//! Level `i = 0` is the root; levels `0 ..= L-1` (with `L = ⌊log_b n⌋`)
+//! perform divisions/combinations; below level `L-1` hang the
+//! `n^(log_b a)` leaves. [`LevelProfile`] precomputes each level's task
+//! count and task cost, and offers continuous (interpolated) suffix sums of
+//! level work used by the advanced-schedule solver.
+
+use crate::params::MachineParams;
+use crate::recurrence::Recurrence;
+
+/// Precomputed per-level profile of a recursion tree plus the machine it
+/// runs on.
+#[derive(Debug, Clone)]
+pub struct LevelProfile {
+    machine: MachineParams,
+    rec: Recurrence,
+    n: u64,
+    /// Number of division levels `L = ⌊log_b n⌋`.
+    levels: u32,
+    /// `a^i` for `i in 0..L`.
+    tasks: Vec<f64>,
+    /// `f(n / b^i)` for `i in 0..L`.
+    task_cost: Vec<f64>,
+    /// Number of leaves `n^(log_b a)`.
+    leaves: f64,
+}
+
+impl LevelProfile {
+    /// Builds the profile for input size `n`.
+    pub fn new(machine: &MachineParams, rec: &Recurrence, n: u64) -> Self {
+        let levels = rec.num_levels(n);
+        let mut tasks = Vec::with_capacity(levels as usize);
+        let mut task_cost = Vec::with_capacity(levels as usize);
+        for i in 0..levels {
+            tasks.push(rec.tasks_at(i as f64));
+            task_cost.push(rec.level_task_cost(n, i as f64));
+        }
+        LevelProfile {
+            machine: machine.clone(),
+            rec: rec.clone(),
+            n,
+            levels,
+            tasks,
+            task_cost,
+            leaves: rec.leaves(n),
+        }
+    }
+
+    /// Input size this profile was built for.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of division levels `L`.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> f64 {
+        self.leaves
+    }
+
+    /// The machine this profile is for.
+    pub fn machine(&self) -> &MachineParams {
+        &self.machine
+    }
+
+    /// The recurrence this profile is for.
+    pub fn recurrence(&self) -> &Recurrence {
+        &self.rec
+    }
+
+    /// Number of tasks at division level `i`.
+    pub fn tasks_at(&self, i: u32) -> f64 {
+        self.tasks[i as usize]
+    }
+
+    /// Cost of one task at division level `i`.
+    pub fn task_cost_at(&self, i: u32) -> f64 {
+        self.task_cost[i as usize]
+    }
+
+    /// Time for the CPU (all `p` cores) to execute all tasks of level `i`:
+    /// `⌈a^i / p⌉ · f(n/b^i)` (paper §5.1 uses `(a^i/p)·f` when saturated
+    /// and `f` when not; the ceiling unifies both).
+    pub fn cpu_level_time(&self, i: u32) -> f64 {
+        let batches = (self.tasks[i as usize] / self.machine.p as f64).ceil().max(1.0);
+        batches * self.task_cost[i as usize]
+    }
+
+    /// Time for the GPU to execute all tasks of level `i`:
+    /// `⌈a^i / g⌉ · f(n/b^i) / γ`.
+    pub fn gpu_level_time(&self, i: u32) -> f64 {
+        let waves = (self.tasks[i as usize] / self.machine.g as f64).ceil().max(1.0);
+        waves * self.task_cost[i as usize] / self.machine.gamma
+    }
+
+    /// Time for the CPU to execute all leaves: `⌈leaves / p⌉ · T(1)`.
+    pub fn cpu_leaf_time(&self) -> f64 {
+        (self.leaves / self.machine.p as f64).ceil().max(1.0) * self.rec.leaf_cost
+    }
+
+    /// Time for the GPU to execute all leaves: `⌈leaves / g⌉ · T(1) / γ`.
+    pub fn gpu_leaf_time(&self) -> f64 {
+        (self.leaves / self.machine.g as f64).ceil().max(1.0) * self.rec.leaf_cost
+            / self.machine.gamma
+    }
+
+    /// Total level work `Σ_{i=⌈y⌉}^{L-1} a^i f(n/b^i)`, extended to
+    /// continuous `y` by linear interpolation of the partial first level.
+    ///
+    /// Monotone non-increasing in `y`; `suffix_work(0) + leaf work` is the
+    /// total sequential work.
+    pub fn suffix_work(&self, y: f64) -> f64 {
+        let y = y.max(0.0);
+        if y >= self.levels as f64 {
+            return 0.0;
+        }
+        let start = y.ceil() as u32;
+        let mut sum = 0.0;
+        for i in start..self.levels {
+            sum += self.tasks[i as usize] * self.task_cost[i as usize];
+        }
+        // Fractional part of the level just above `start`.
+        let frac = start as f64 - y;
+        if frac > 0.0 && start >= 1 {
+            let i = (start - 1) as usize;
+            sum += frac * self.tasks[i] * self.task_cost[i];
+        }
+        sum
+    }
+
+    /// Per-task cost sum `Σ_{i=⌈y⌉}^{min(⌈hi⌉,L)-1} f(n/b^i)`, extended to
+    /// continuous bounds by linear interpolation. This is the *critical
+    /// path* through levels `[y, hi)`: the time a fully parallel device
+    /// needs when every level fits in one wave.
+    pub fn suffix_path(&self, y: f64, hi: f64) -> f64 {
+        let y = y.max(0.0);
+        let hi = hi.min(self.levels as f64);
+        if y >= hi {
+            return 0.0;
+        }
+        let start = y.ceil() as u32;
+        let stop = hi.floor() as u32;
+        if start > stop {
+            // Both bounds inside the same unit cell: a single partial
+            // level (the general path below would count the two partial
+            // ends of the cell separately and overlap).
+            let idx = (y.floor() as usize).min(self.task_cost.len() - 1);
+            return (hi - y) * self.task_cost[idx];
+        }
+        let mut sum = 0.0;
+        for i in start..stop {
+            sum += self.task_cost[i as usize];
+        }
+        let frac_lo = start as f64 - y;
+        if frac_lo > 0.0 && start >= 1 {
+            sum += frac_lo * self.task_cost[(start - 1) as usize];
+        }
+        let frac_hi = hi - stop as f64;
+        if frac_hi > 0.0 && (stop as usize) < self.task_cost.len() {
+            sum += frac_hi * self.task_cost[stop as usize];
+        }
+        sum
+    }
+
+    /// Total sequential work (1 CPU core): level work plus leaves.
+    pub fn total_work(&self) -> f64 {
+        self.suffix_work(0.0) + self.leaves * self.rec.leaf_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineParams;
+
+    fn profile(n: u64) -> LevelProfile {
+        LevelProfile::new(&MachineParams::hpu1(), &Recurrence::mergesort(), n)
+    }
+
+    #[test]
+    fn mergesort_level_times() {
+        let pr = profile(1 << 10);
+        // Level 0: 1 task of cost n -> CPU time n (can't split one task).
+        assert_eq!(pr.cpu_level_time(0), 1024.0);
+        // Level 4: 16 tasks of cost 64 on 4 cores -> 4 batches of 64.
+        assert_eq!(pr.cpu_level_time(4), 4.0 * 64.0);
+        // GPU at level 4: 16 tasks < g=4096 -> one wave, 64/γ = 64*160.
+        assert_eq!(pr.gpu_level_time(4), 64.0 * 160.0);
+    }
+
+    #[test]
+    fn leaf_times() {
+        let pr = profile(1 << 10);
+        assert_eq!(pr.cpu_leaf_time(), 256.0); // 1024 leaves / 4 cores
+        assert_eq!(pr.gpu_leaf_time(), 160.0); // one wave of 1024 < 4096
+    }
+
+    #[test]
+    fn suffix_work_full_equals_level_sum() {
+        let pr = profile(1 << 10);
+        // Mergesort: every level's work is exactly n.
+        assert!((pr.suffix_work(0.0) - 10.0 * 1024.0).abs() < 1e-9);
+        assert!((pr.total_work() - 11.0 * 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suffix_work_interpolates() {
+        let pr = profile(1 << 10);
+        let w35 = pr.suffix_work(3.5);
+        let w3 = pr.suffix_work(3.0);
+        let w4 = pr.suffix_work(4.0);
+        assert!(w4 < w35 && w35 < w3);
+        assert!((w35 - (w3 + w4) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suffix_work_monotone() {
+        let pr = profile(1 << 12);
+        let mut prev = f64::INFINITY;
+        let mut y = 0.0;
+        while y <= 12.5 {
+            let w = pr.suffix_work(y);
+            assert!(w <= prev + 1e-9, "suffix_work must be non-increasing");
+            prev = w;
+            y += 0.13;
+        }
+        assert_eq!(pr.suffix_work(12.0), 0.0);
+        assert_eq!(pr.suffix_work(20.0), 0.0);
+    }
+
+    #[test]
+    fn suffix_path_bounds() {
+        let pr = profile(1 << 10);
+        // Path through all levels: sum of f(n/2^i) = n(2 - 2^{1-L}) ≈ 2n.
+        let full = pr.suffix_path(0.0, 10.0);
+        let expect: f64 = (0..10).map(|i| 1024.0 / 2f64.powi(i)).sum();
+        assert!((full - expect).abs() < 1e-9);
+        assert_eq!(pr.suffix_path(5.0, 5.0), 0.0);
+        assert_eq!(pr.suffix_path(7.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn suffix_path_interpolates_upper_bound() {
+        let pr = profile(1 << 10);
+        let p1 = pr.suffix_path(2.0, 3.0);
+        let p15 = pr.suffix_path(2.0, 2.5);
+        assert!((p15 - p1 / 2.0).abs() < 1e-9);
+    }
+}

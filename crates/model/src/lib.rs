@@ -1,0 +1,61 @@
+//! # hpu-model — analytical HPU performance model
+//!
+//! Implementation of the *Hybrid Processing Unit* (HPU) machine model and the
+//! work-division analysis of López-Ortiz, Salinger and Suderman,
+//! *"Toward a Generic Hybrid CPU-GPU Parallelization of Divide-and-Conquer
+//! Algorithms"* (IJNC 4(1), 2014; IPDPS-W/APDCM 2013).
+//!
+//! The model describes a machine with
+//!
+//! * a multi-core CPU with `p` cores of normalized speed 1,
+//! * a GPU with `g` *effective* cores of relative speed `γ < 1` (and
+//!   `γ·g > p`, i.e. higher aggregate throughput than the CPU), and
+//! * a link that transfers `w` words in `λ + δ·w` time,
+//!
+//! and a divide-and-conquer (D&C) algorithm with recurrence
+//! `T(n) = a·T(n/b) + f(n)`, `T(1) = Θ(1)`.
+//!
+//! Two schedules are analyzed:
+//!
+//! * [`basic`] — each *level* of the recursion tree runs entirely on the unit
+//!   that finishes it faster; the crossover is at level `log_a(p/γ)`
+//!   (paper §5.1, Figure 1).
+//! * [`advanced`] — the input is split at ratio `α` between CPU and GPU which
+//!   then run concurrently bottom-up; the GPU stops at level `y(α)` (found by
+//!   equating CPU and GPU times) and `α*` maximizes the GPU work `W_g(α)`
+//!   (paper §5.2, Figures 2-4).
+//!
+//! All quantities are in abstract *operations* (the unit in which `f` is
+//! expressed); one CPU core executes one operation per unit of virtual time.
+//!
+//! ```
+//! use hpu_model::{MachineParams, Recurrence, advanced::AdvancedSolver};
+//!
+//! // Mergesort (a = b = 2, f(n) = n) on the paper's HPU1 at n = 2^24.
+//! let machine = MachineParams::hpu1();
+//! let rec = Recurrence::mergesort();
+//! let solver = AdvancedSolver::new(&machine, &rec, 1 << 24).unwrap();
+//! let opt = solver.optimize();
+//! assert!((opt.alpha - 0.16).abs() < 0.03);         // paper: α* ≈ 0.16
+//! assert!((opt.transfer_level - 9.9).abs() < 1.0);  // paper: y ≈ 10
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advanced;
+pub mod basic;
+pub mod closed_form;
+pub mod cost;
+pub mod error;
+pub mod levels;
+pub mod params;
+pub mod recurrence;
+
+pub use advanced::{AdvancedSchedule, AdvancedSolver, GpuSaturation};
+pub use basic::BasicSchedule;
+pub use cost::CostFn;
+pub use error::ModelError;
+pub use levels::LevelProfile;
+pub use params::MachineParams;
+pub use recurrence::Recurrence;

@@ -1,0 +1,157 @@
+//! Machine parameters of the Hybrid Processing Unit (paper §3.2).
+
+use crate::error::ModelError;
+
+/// Parameters describing an HPU: a `p`-core CPU plus a GPU with `g`
+/// effective cores of relative speed `γ`, joined by a link with latency `λ`
+/// and per-word cost `δ`.
+///
+/// CPU core speed is normalized to 1 operation per unit of time; a GPU core
+/// executes `γ < 1` operations per unit of time. `g` is *not* the physical
+/// number of processing elements but the empirical degree of parallelism
+/// observed at saturation (paper §3.2 and §6.4); it is what
+/// `hpu-estimate::estimate_g` measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineParams {
+    /// Number of CPU cores available for processing tasks.
+    pub p: usize,
+    /// Number of effective GPU cores (saturation parallelism).
+    pub g: usize,
+    /// Relative speed of one GPU core vs one CPU core, in `(0, 1]`.
+    pub gamma: f64,
+    /// Fixed latency of a CPU↔GPU transfer (in time units).
+    pub lambda: f64,
+    /// Per-word cost of a CPU↔GPU transfer (in time units per word).
+    pub delta: f64,
+}
+
+impl MachineParams {
+    /// Creates a parameter set, validating every field.
+    pub fn new(p: usize, g: usize, gamma: f64) -> Result<Self, ModelError> {
+        if p == 0 {
+            return Err(ModelError::InvalidCores(p));
+        }
+        if g == 0 {
+            return Err(ModelError::InvalidGpuCores(g));
+        }
+        if !(gamma > 0.0 && gamma <= 1.0 && gamma.is_finite()) {
+            return Err(ModelError::InvalidGamma(gamma));
+        }
+        Ok(MachineParams {
+            p,
+            g,
+            gamma,
+            lambda: 0.0,
+            delta: 0.0,
+        })
+    }
+
+    /// Sets the communication cost parameters (`λ` fixed latency, `δ` cost
+    /// per word). The paper's analysis ignores these (§3.2), so they default
+    /// to zero, but the predicted times can optionally include them.
+    pub fn with_transfer_cost(mut self, lambda: f64, delta: f64) -> Self {
+        self.lambda = lambda;
+        self.delta = delta;
+        self
+    }
+
+    /// The paper's HPU1 platform: Intel Core 2 Extreme Q6850 (4 cores) +
+    /// ATI Radeon HD 5970 — `p = 4`, `g = 4096`, `γ⁻¹ = 160` (Table 2).
+    pub fn hpu1() -> Self {
+        MachineParams::new(4, 4096, 1.0 / 160.0).expect("HPU1 preset is valid")
+    }
+
+    /// The paper's HPU2 platform: AMD A6-3650 APU (4 cores) + integrated
+    /// ATI Radeon HD 6530D — `p = 4`, `g = 1200`, `γ⁻¹ = 65` (Table 2).
+    pub fn hpu2() -> Self {
+        MachineParams::new(4, 1200, 1.0 / 65.0).expect("HPU2 preset is valid")
+    }
+
+    /// Aggregate GPU throughput `γ·g` in CPU-core-equivalents.
+    pub fn gpu_throughput(&self) -> f64 {
+        self.gamma * self.g as f64
+    }
+
+    /// Whether the GPU has higher raw throughput than the CPU (`γ·g > p`).
+    ///
+    /// The paper assumes this holds; when it does not, the basic schedule
+    /// never transfers to the GPU (§5.1).
+    pub fn gpu_worth_using(&self) -> bool {
+        self.gpu_throughput() > self.p as f64
+    }
+
+    /// Time to move `words` words across the CPU↔GPU link: `λ + δ·w`.
+    pub fn transfer_time(&self, words: u64) -> f64 {
+        self.lambda + self.delta * words as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_2() {
+        let h1 = MachineParams::hpu1();
+        assert_eq!(h1.p, 4);
+        assert_eq!(h1.g, 4096);
+        assert!((1.0 / h1.gamma - 160.0).abs() < 1e-9);
+
+        let h2 = MachineParams::hpu2();
+        assert_eq!(h2.p, 4);
+        assert_eq!(h2.g, 1200);
+        assert!((1.0 / h2.gamma - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_satisfy_model_assumptions() {
+        // The paper assumes γ·g > p for both platforms.
+        assert!(MachineParams::hpu1().gpu_worth_using());
+        assert!(MachineParams::hpu2().gpu_worth_using());
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(matches!(
+            MachineParams::new(0, 1, 0.5),
+            Err(ModelError::InvalidCores(0))
+        ));
+        assert!(matches!(
+            MachineParams::new(1, 0, 0.5),
+            Err(ModelError::InvalidGpuCores(0))
+        ));
+        assert!(matches!(
+            MachineParams::new(1, 1, 0.0),
+            Err(ModelError::InvalidGamma(_))
+        ));
+        assert!(matches!(
+            MachineParams::new(1, 1, 1.5),
+            Err(ModelError::InvalidGamma(_))
+        ));
+        assert!(matches!(
+            MachineParams::new(1, 1, f64::NAN),
+            Err(ModelError::InvalidGamma(_))
+        ));
+    }
+
+    #[test]
+    fn gamma_of_one_is_allowed() {
+        // Degenerate but legal: GPU cores as fast as CPU cores.
+        assert!(MachineParams::new(2, 8, 1.0).is_ok());
+    }
+
+    #[test]
+    fn transfer_time_is_affine() {
+        let m = MachineParams::new(4, 64, 0.1)
+            .unwrap()
+            .with_transfer_cost(100.0, 0.5);
+        assert_eq!(m.transfer_time(0), 100.0);
+        assert_eq!(m.transfer_time(10), 105.0);
+    }
+
+    #[test]
+    fn throughput() {
+        let m = MachineParams::hpu1();
+        assert!((m.gpu_throughput() - 4096.0 / 160.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,199 @@
+//! Divide-and-conquer recurrences `T(n) = a·T(n/b) + f(n)`.
+
+use crate::cost::CostFn;
+use crate::error::ModelError;
+
+/// A regular divide-and-conquer recurrence `T(n) = a·T(n/b) + f(n)` with
+/// `T(1) = leaf_cost` (paper §4).
+///
+/// `a` is the number of subproblems created per division, `b` the factor by
+/// which the problem shrinks, and `f` the combined cost of the division and
+/// combination steps on a subproblem of size `n`.
+#[derive(Debug, Clone)]
+pub struct Recurrence {
+    /// Number of subproblems per division (`a ≥ 2`).
+    pub a: usize,
+    /// Shrink factor per division (`b ≥ 2`).
+    pub b: usize,
+    /// Divide + combine cost `f(n)`.
+    pub f: CostFn,
+    /// Cost of solving a base case (`T(1)`), in operations.
+    pub leaf_cost: f64,
+}
+
+impl Recurrence {
+    /// Creates a recurrence, validating `a ≥ 2` and `b ≥ 2`.
+    pub fn new(a: usize, b: usize, f: CostFn, leaf_cost: f64) -> Result<Self, ModelError> {
+        if a < 2 {
+            return Err(ModelError::InvalidBranching(a));
+        }
+        if b < 2 {
+            return Err(ModelError::InvalidShrink(b));
+        }
+        if !leaf_cost.is_finite() || leaf_cost < 0.0 {
+            return Err(ModelError::InvalidCost(leaf_cost));
+        }
+        Ok(Recurrence { a, b, f, leaf_cost })
+    }
+
+    /// Mergesort: `a = b = 2`, `f(n) = n`, unit leaves — the paper's case
+    /// study (§5.2.2, §6).
+    pub fn mergesort() -> Self {
+        Recurrence::new(2, 2, CostFn::linear(), 1.0).expect("mergesort recurrence is valid")
+    }
+
+    /// Divide-and-conquer sum: `a = b = 2`, constant combine (Algorithm 4).
+    pub fn dc_sum() -> Self {
+        Recurrence::new(2, 2, CostFn::Constant(1.0), 1.0).expect("sum recurrence is valid")
+    }
+
+    /// Classical divide-and-conquer matrix multiplication parameterized by
+    /// the matrix side length: `a = 8`, `b = 2`, `f(n) = n²` (the additions
+    /// of the combine step).
+    pub fn dc_matmul() -> Self {
+        Recurrence::new(8, 2, CostFn::Power { c: 1.0, e: 2.0 }, 1.0)
+            .expect("matmul recurrence is valid")
+    }
+
+    /// Karatsuba polynomial multiplication: `a = 3`, `b = 2`, `f(n) = n`.
+    pub fn karatsuba() -> Self {
+        Recurrence::new(3, 2, CostFn::Linear(1.0), 1.0).expect("karatsuba recurrence is valid")
+    }
+
+    /// The critical exponent `log_b a`; leaves number `n^(log_b a)`.
+    pub fn critical_exponent(&self) -> f64 {
+        (self.a as f64).ln() / (self.b as f64).ln()
+    }
+
+    /// Number of recursion levels above the leaves: `log_b n` (continuous).
+    pub fn depth(&self, n: u64) -> f64 {
+        (n as f64).ln() / (self.b as f64).ln()
+    }
+
+    /// Number of complete division levels for an input of size `n`
+    /// (levels `0 ..= depth-1` perform divisions; below that are leaves).
+    pub fn num_levels(&self, n: u64) -> u32 {
+        // Integer floor of log_b(n): count how many times n divides by b
+        // before reaching 1.
+        let mut levels = 0u32;
+        let mut m = n;
+        while m >= self.b as u64 {
+            m /= self.b as u64;
+            levels += 1;
+        }
+        levels
+    }
+
+    /// Number of leaves `n^(log_b a)` (continuous approximation).
+    pub fn leaves(&self, n: u64) -> f64 {
+        (n as f64).powf(self.critical_exponent())
+    }
+
+    /// Number of subproblems at level `i` (continuous level allowed):
+    /// `a^i`.
+    pub fn tasks_at(&self, level: f64) -> f64 {
+        (self.a as f64).powf(level)
+    }
+
+    /// Subproblem size at level `i`: `n / b^i`.
+    pub fn size_at(&self, n: u64, level: f64) -> f64 {
+        n as f64 / (self.b as f64).powf(level)
+    }
+
+    /// Divide+combine cost of one subproblem at level `i`: `f(n / b^i)`.
+    pub fn level_task_cost(&self, n: u64, level: f64) -> f64 {
+        self.f.eval(self.size_at(n, level))
+    }
+
+    /// Total divide+combine work of level `i`: `a^i · f(n / b^i)`.
+    pub fn level_work(&self, n: u64, level: f64) -> f64 {
+        self.tasks_at(level) * self.level_task_cost(n, level)
+    }
+
+    /// Total sequential work: `Σ_{i=0}^{L-1} a^i f(n/b^i) + leaves·T(1)`.
+    ///
+    /// This is the 1-core execution time against which the paper measures
+    /// speedups.
+    pub fn total_work(&self, n: u64) -> f64 {
+        let levels = self.num_levels(n);
+        let mut w = self.leaves(n) * self.leaf_cost;
+        for i in 0..levels {
+            w += self.level_work(n, i as f64);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mergesort_shape() {
+        let r = Recurrence::mergesort();
+        assert_eq!(r.a, 2);
+        assert_eq!(r.b, 2);
+        assert!((r.critical_exponent() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_and_levels() {
+        let r = Recurrence::mergesort();
+        assert_eq!(r.num_levels(1), 0);
+        assert_eq!(r.num_levels(2), 1);
+        assert_eq!(r.num_levels(1024), 10);
+        assert!((r.depth(1024) - 10.0).abs() < 1e-9);
+        // Non-power-of-two inputs floor.
+        assert_eq!(r.num_levels(1000), 9);
+    }
+
+    #[test]
+    fn mergesort_total_work_is_n_logn_plus_n() {
+        // For a = b = 2, f(n) = n: each of the log n levels costs exactly n,
+        // plus n unit leaves => n(log n + 1).
+        let r = Recurrence::mergesort();
+        let n = 1u64 << 10;
+        let expect = (n as f64) * (10.0 + 1.0);
+        assert!((r.total_work(n) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_exponent() {
+        let r = Recurrence::dc_matmul();
+        assert!((r.critical_exponent() - 3.0).abs() < 1e-12);
+        // n = 4: levels 0,1 cost 8^i * (n/2^i)^2 = 16, 32; leaves 4^3 = 64.
+        assert!((r.total_work(4) - (16.0 + 32.0 + 64.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn karatsuba_exponent() {
+        let r = Recurrence::karatsuba();
+        assert!((r.critical_exponent() - 1.584962500721156).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            Recurrence::new(1, 2, CostFn::linear(), 1.0),
+            Err(ModelError::InvalidBranching(1))
+        ));
+        assert!(matches!(
+            Recurrence::new(2, 1, CostFn::linear(), 1.0),
+            Err(ModelError::InvalidShrink(1))
+        ));
+        assert!(matches!(
+            Recurrence::new(2, 2, CostFn::linear(), -1.0),
+            Err(ModelError::InvalidCost(_))
+        ));
+    }
+
+    #[test]
+    fn level_quantities() {
+        let r = Recurrence::mergesort();
+        let n = 1u64 << 8;
+        assert_eq!(r.tasks_at(3.0), 8.0);
+        assert_eq!(r.size_at(n, 3.0), 32.0);
+        assert_eq!(r.level_task_cost(n, 3.0), 32.0);
+        assert_eq!(r.level_work(n, 3.0), 256.0);
+    }
+}

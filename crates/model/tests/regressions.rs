@@ -1,0 +1,60 @@
+//! Regression tests: `suffix_path` once double-counted the partial level
+//! when both interpolation bounds fell inside the same unit cell, making
+//! `Tg(y)` locally non-monotone and letting the bisection converge to a
+//! spurious crossing where `Tg(y*) ≠ Tc` (found by the property suite with
+//! `n = 2^18, g = 2^11, γ⁻¹ ≈ 216.49, α = 0.2`).
+
+use hpu_model::advanced::AdvancedSolver;
+use hpu_model::{LevelProfile, MachineParams, Recurrence};
+
+#[test]
+fn solved_y_equalizes_times_near_saturation_boundary() {
+    let machine = MachineParams::new(4, 1 << 11, 1.0 / 216.4924015463993).unwrap();
+    let solver = AdvancedSolver::new(&machine, &Recurrence::mergesort(), 1 << 18).unwrap();
+    for k in 1..10 {
+        let alpha = k as f64 * 0.1;
+        let sol = solver.solve_y(alpha);
+        assert!(sol.feasible, "alpha = {alpha}");
+        if sol.y > 1e-9 && sol.y < 18.0 - 1e-9 {
+            let tg = solver.tg(alpha, sol.y);
+            assert!(
+                (tg - sol.tc).abs() <= 1e-6 * sol.tc,
+                "alpha = {alpha}: tg = {tg}, tc = {}",
+                sol.tc
+            );
+        }
+    }
+}
+
+#[test]
+fn suffix_path_same_cell_interval() {
+    let profile = LevelProfile::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 10);
+    // Interval strictly inside level cell 3 (task cost 1024/8 = 128):
+    // the partial level is (3.5 - 3.2) · 128.
+    let got = profile.suffix_path(3.2, 3.5);
+    assert!((got - 0.3 * 128.0).abs() < 1e-9, "got {got}");
+    // Consistency: splitting an interval at an interior point adds up.
+    let whole = profile.suffix_path(2.3, 4.7);
+    let split = profile.suffix_path(2.3, 3.1) + profile.suffix_path(3.1, 4.7);
+    assert!((whole - split).abs() < 1e-9);
+}
+
+#[test]
+fn tg_is_monotone_non_increasing_in_y() {
+    let machine = MachineParams::new(4, 1 << 11, 1.0 / 216.4924015463993).unwrap();
+    let solver = AdvancedSolver::new(&machine, &Recurrence::mergesort(), 1 << 18).unwrap();
+    for k in 1..10 {
+        let alpha = k as f64 * 0.1;
+        let mut prev = f64::INFINITY;
+        let mut y = 0.0;
+        while y <= 18.0 {
+            let tg = solver.tg(alpha, y);
+            assert!(
+                tg <= prev + 1e-9 * prev.abs().max(1.0),
+                "tg must not increase: alpha={alpha}, y={y}"
+            );
+            prev = tg;
+            y += 0.037;
+        }
+    }
+}

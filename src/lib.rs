@@ -1,0 +1,66 @@
+//! # hpu — generic hybrid CPU-GPU parallelization of divide-and-conquer
+//! algorithms
+//!
+//! An open-source reproduction of López-Ortiz, Salinger & Suderman,
+//! *"Toward a Generic Hybrid CPU-GPU Parallelization of Divide-and-Conquer
+//! Algorithms"* (IJNC 4(1), 2014; IPDPS-W 2013): a generic framework that
+//! turns a recursive divide-and-conquer algorithm into a breadth-first,
+//! hybrid CPU-GPU execution, plus the analytic machine model that splits
+//! the work optimally between the two units.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`model`] — the HPU machine model and the basic/advanced schedule
+//!   analysis (`hpu-model`);
+//! * [`machine`] — a deterministic virtual-clock simulation of the hybrid
+//!   platform: multicore CPU with an LLC model, wave-executing GPU with a
+//!   coalescing cost model, `λ + δw` bus (`hpu-machine`);
+//! * [`core`] — the generic D&C framework: the tree form (Algorithms 1-2),
+//!   the regular in-place breadth-first form, executors for every
+//!   schedule, a native thread pool, and model-driven auto-tuning
+//!   (`hpu-core`);
+//! * [`algos`] — mergesort (the paper's case study, §6) and further D&C
+//!   algorithms (`hpu-algos`);
+//! * [`estimate`] — the §6.4 parameter-estimation procedures
+//!   (`hpu-estimate`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hpu::prelude::*;
+//!
+//! // A simulated analogue of the paper's HPU1 platform.
+//! let mut hpu = SimHpu::new(MachineConfig::hpu1_sim());
+//!
+//! // Sort 4096 keys with the model-tuned advanced hybrid schedule.
+//! let algo = MergeSort::new();
+//! let rec = BfAlgorithm::<u32>::recurrence(&algo);
+//! let strategy = auto_advanced(hpu.config(), &rec, 4096).unwrap();
+//! let mut data: Vec<u32> = (0..4096u32).rev().collect();
+//! let report = run_sim(&algo, &mut data, &mut hpu, &strategy).unwrap();
+//!
+//! assert!(data.windows(2).all(|w| w[0] <= w[1]));
+//! assert_eq!(report.transfers, 2); // the advanced schedule's guarantee
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hpu_algos as algos;
+pub use hpu_core as core;
+pub use hpu_estimate as estimate;
+pub use hpu_machine as machine;
+pub use hpu_model as model;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use hpu_algos::mergesort::MergeSort;
+    pub use hpu_algos::sum::DcSum;
+    pub use hpu_core::exec::{run_native, run_sim, RunReport, Strategy};
+    pub use hpu_core::pool::LevelPool;
+    pub use hpu_core::tune::{auto_advanced, auto_strategy};
+    pub use hpu_core::{BfAlgorithm, Charge, CoreError, DivideConquer};
+    pub use hpu_estimate::estimate_params;
+    pub use hpu_machine::{MachineConfig, SimHpu};
+    pub use hpu_model::{MachineParams, Recurrence};
+}

@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) over the whole stack: executors must
+//! agree with sequential references on arbitrary inputs, and the model's
+//! solutions must satisfy their analytic invariants.
+
+use proptest::prelude::*;
+
+use hpu::prelude::*;
+// proptest's prelude also exports a `Strategy` trait; disambiguate ours.
+use hpu_core::exec::Strategy as Sched;
+use hpu_algos::max_subarray::{max_subarray_reference, to_segments, MaxSubarray};
+use hpu_algos::mergesort::gpu_parallel_mergesort;
+use hpu_algos::scan::{scan_reference, DcScan};
+use hpu_algos::sum::DcSum;
+use hpu_model::advanced::AdvancedSolver;
+
+/// Pads to the next power of two with `u32::MAX` sentinels (sorted to the
+/// end), the standard trick for the framework's power-of-two requirement.
+fn pad_pow2(mut v: Vec<u32>) -> Vec<u32> {
+    let n = v.len().max(1).next_power_of_two();
+    v.resize(n, u32::MAX);
+    v
+}
+
+fn small_machine() -> MachineConfig {
+    MachineConfig::tiny()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mergesort_all_strategies_match_std_sort(
+        input in prop::collection::vec(any::<u32>(), 1..700),
+        alpha in 0.05f64..0.95,
+    ) {
+        let data = pad_pow2(input);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let levels = data.len().trailing_zeros();
+
+        let mut strategies = vec![
+            Sched::Sequential,
+            Sched::CpuOnly,
+            Sched::GpuOnly,
+            Sched::Basic { crossover: None },
+        ];
+        if levels >= 1 {
+            strategies.push(Sched::Advanced {
+                alpha,
+                transfer_level: (levels / 2).max(1),
+            });
+        }
+        for strategy in strategies {
+            let mut d = data.clone();
+            let mut hpu = SimHpu::new(small_machine());
+            run_sim(&MergeSort::new(), &mut d, &mut hpu, &strategy).unwrap();
+            prop_assert_eq!(&d, &expect);
+        }
+    }
+
+    #[test]
+    fn coalesced_and_generic_gpu_agree(input in prop::collection::vec(any::<u32>(), 1..500)) {
+        let data = pad_pow2(input);
+        let mut a = data.clone();
+        let mut b = data;
+        let mut h1 = SimHpu::new(small_machine());
+        let mut h2 = SimHpu::new(small_machine());
+        run_sim(&MergeSort::new(), &mut a, &mut h1, &Sched::GpuOnly).unwrap();
+        run_sim(&MergeSort::generic(), &mut b, &mut h2, &Sched::GpuOnly).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gpu_parallel_mergesort_matches_std(input in prop::collection::vec(any::<u32>(), 1..600)) {
+        let data = pad_pow2(input);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let mut d = data;
+        let mut hpu = SimHpu::new(small_machine());
+        gpu_parallel_mergesort(&mut hpu, &mut d).unwrap();
+        prop_assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn cutoff_mergesort_matches_std(
+        input in prop::collection::vec(any::<u32>(), 1..500),
+        cutoff_log in 0u32..5,
+    ) {
+        let mut data = pad_pow2(input);
+        let cutoff = (1usize << cutoff_log).min(data.len());
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let algo = MergeSort::new().with_leaf_cutoff(cutoff);
+        let mut hpu = SimHpu::new(small_machine());
+        run_sim(&algo, &mut data, &mut hpu, &Sched::GpuOnly).unwrap();
+        prop_assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn sum_matches_iter_sum(input in prop::collection::vec(any::<u32>(), 1..600)) {
+        let mut data: Vec<u64> = input.iter().map(|&x| x as u64).collect();
+        let n = data.len().max(1).next_power_of_two();
+        data.resize(n, 0);
+        let expect: u64 = data.iter().sum();
+        for strategy in [Sched::CpuOnly, Sched::GpuOnly] {
+            let mut d = data.clone();
+            let mut hpu = SimHpu::new(small_machine());
+            run_sim(&DcSum, &mut d, &mut hpu, &strategy).unwrap();
+            prop_assert_eq!(d[0], expect);
+        }
+    }
+
+    #[test]
+    fn scan_matches_reference(input in prop::collection::vec(0u64..1_000_000, 1..400)) {
+        let mut data = input;
+        let n = data.len().max(1).next_power_of_two();
+        data.resize(n, 0);
+        let expect = scan_reference(&data);
+        let mut d = data;
+        let mut hpu = SimHpu::new(small_machine());
+        run_sim(&DcScan, &mut d, &mut hpu, &Sched::CpuOnly).unwrap();
+        prop_assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn max_subarray_matches_kadane(input in prop::collection::vec(-1000i64..1000, 1..300)) {
+        let mut padded = input.clone();
+        let n = padded.len().max(1).next_power_of_two();
+        padded.resize(n, 0); // zero padding does not change the optimum
+        let mut segs = to_segments(&padded);
+        let mut hpu = SimHpu::new(small_machine());
+        run_sim(&MaxSubarray, &mut segs, &mut hpu, &Sched::CpuOnly).unwrap();
+        prop_assert_eq!(segs[0].best, max_subarray_reference(&input));
+    }
+
+    #[test]
+    fn model_y_is_monotone_and_times_equalize(
+        n_log in 8u32..24,
+        g_log in 4u32..13,
+        gamma_inv in 2.0f64..300.0,
+    ) {
+        let machine = MachineParams::new(4, 1 << g_log, 1.0 / gamma_inv).unwrap();
+        prop_assume!(machine.gpu_worth_using());
+        let solver = AdvancedSolver::new(&machine, &Recurrence::mergesort(), 1 << n_log).unwrap();
+        let mut prev_y = f64::INFINITY;
+        for k in 1..10 {
+            let alpha = k as f64 * 0.1;
+            let sol = solver.solve_y(alpha);
+            if sol.feasible {
+                // y non-increasing in alpha.
+                prop_assert!(sol.y <= prev_y + 1e-9);
+                prev_y = sol.y;
+                // At an interior solution the two times are equal.
+                if sol.y > 1e-9 && sol.y < (n_log as f64) - 1e-9 {
+                    let tg = solver.tg(alpha, sol.y);
+                    prop_assert!((tg - sol.tc).abs() <= 1e-6 * sol.tc.max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_optimum_dominates_grid(
+        n_log in 10u32..22,
+        g_log in 6u32..13,
+    ) {
+        let machine = MachineParams::new(4, 1 << g_log, 1.0 / 100.0).unwrap();
+        prop_assume!(machine.gpu_worth_using());
+        let solver = AdvancedSolver::new(&machine, &Recurrence::mergesort(), 1 << n_log).unwrap();
+        let best = solver.optimize();
+        for k in 1..20 {
+            let alpha = k as f64 * 0.05;
+            if let Some(w) = solver.gpu_work_at(alpha) {
+                prop_assert!(best.gpu_work >= w - 1e-6 * w.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn pool_preserves_task_order(tasks in prop::collection::vec(any::<u16>(), 0..200)) {
+        let pool = LevelPool::new(3);
+        let jobs: Vec<_> = tasks.iter().map(|&v| move || v as u32 + 1).collect();
+        let out = pool.run_collect(jobs);
+        let expect: Vec<u32> = tasks.iter().map(|&v| v as u32 + 1).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn virtual_time_scales_with_work(n_log in 6u32..11) {
+        // Doubling the input must not shrink virtual time, whatever the
+        // strategy.
+        let run_at = |n: usize| {
+            let mut data: Vec<u32> = (0..n as u32).rev().collect();
+            let mut hpu = SimHpu::new(small_machine());
+            run_sim(&MergeSort::new(), &mut data, &mut hpu, &Sched::CpuOnly)
+                .unwrap()
+                .virtual_time
+        };
+        let t1 = run_at(1 << n_log);
+        let t2 = run_at(1 << (n_log + 1));
+        prop_assert!(t2 > t1);
+    }
+}
