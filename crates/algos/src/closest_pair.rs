@@ -176,11 +176,12 @@ mod tests {
 
     #[test]
     fn collinear_points() {
-        let pts: Vec<Point> = (0..64).map(|i| Point {
-            x: i as f64 * 2.0,
-            y: 5.0,
-        })
-        .collect();
+        let pts: Vec<Point> = (0..64)
+            .map(|i| Point {
+                x: i as f64 * 2.0,
+                y: 5.0,
+            })
+            .collect();
         let got = ClosestPair::solve(&pts, &mut NullCharge);
         assert!((got - 2.0).abs() < 1e-12);
     }

@@ -194,7 +194,11 @@ impl<T: SortKey> BfAlgorithm<T> for MergeSort {
                 dst,
                 |id, ctx, s, d| {
                     let lo = id * chunk;
-                    self.combine(&s[lo..lo + chunk], &mut d[lo..lo + chunk], &mut GpuCharge(ctx));
+                    self.combine(
+                        &s[lo..lo + chunk],
+                        &mut d[lo..lo + chunk],
+                        &mut GpuCharge(ctx),
+                    );
                 },
             );
         }
@@ -383,7 +387,11 @@ pub fn gpu_parallel_mergesort<T: SortKey>(
             while lo < hi {
                 let mid = (lo + hi) / 2;
                 probes += 1;
-                let go_right = if from_first { sib[mid] < v } else { sib[mid] <= v };
+                let go_right = if from_first {
+                    sib[mid] < v
+                } else {
+                    sib[mid] <= v
+                };
                 if go_right {
                     lo = mid + 1;
                 } else {
@@ -404,11 +412,21 @@ pub fn gpu_parallel_mergesort<T: SortKey>(
             ctx.scatter_write(1, 1); // data-dependent output position
         };
         let res = if in_a {
-            hpu.gpu
-                .launch2(&format!("parallel merge (run {run})"), n, &mut buf_a, &mut buf_b, kernel)
+            hpu.gpu.launch2(
+                &format!("parallel merge (run {run})"),
+                n,
+                &mut buf_a,
+                &mut buf_b,
+                kernel,
+            )
         } else {
-            hpu.gpu
-                .launch2(&format!("parallel merge (run {run})"), n, &mut buf_b, &mut buf_a, kernel)
+            hpu.gpu.launch2(
+                &format!("parallel merge (run {run})"),
+                n,
+                &mut buf_b,
+                &mut buf_a,
+                kernel,
+            )
         };
         if let Err(e) = res {
             hpu.gpu.free(buf_a);
@@ -441,7 +459,9 @@ mod tests {
     use hpu_machine::MachineConfig;
 
     fn input(n: usize) -> Vec<u32> {
-        (0..n as u32).map(|i| i.wrapping_mul(2654435761) ^ 0x5A5A).collect()
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761) ^ 0x5A5A)
+            .collect()
     }
 
     fn sorted(v: &[u32]) -> Vec<u32> {
@@ -502,7 +522,13 @@ mod tests {
         let co = run_sim(&MergeSort::new(), &mut data, &mut hpu, &Strategy::GpuOnly).unwrap();
         let mut hpu = SimHpu::new(MachineConfig::tiny());
         let mut data = input(n);
-        let un = run_sim(&MergeSort::generic(), &mut data, &mut hpu, &Strategy::GpuOnly).unwrap();
+        let un = run_sim(
+            &MergeSort::generic(),
+            &mut data,
+            &mut hpu,
+            &Strategy::GpuOnly,
+        )
+        .unwrap();
         assert!(
             co.coalesced > 9 * co.uncoalesced / 10,
             "optimized path should be mostly coalesced: {co:?}"

@@ -1,69 +1,50 @@
-//! Criterion benches for the design-choice ablations called out in
-//! DESIGN.md: the §6.3 coalescing optimization, the schedule family, the
-//! §7 sequential leaf cutoff, and breadth-first vs recursive execution.
+//! Benches for the design-choice ablations called out in DESIGN.md: the
+//! §6.3 coalescing optimization, the schedule family, the §7 sequential
+//! leaf cutoff, and breadth-first vs recursive execution.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use hpu_algos::mergesort::{sort_recursive, MergeSort};
 use hpu_bench::experiments as exp;
+use hpu_bench::timing::bench;
 use hpu_bench::uniform_input;
 use hpu_core::exec::{run_sim, Strategy};
 use hpu_machine::{MachineConfig, SimHpu};
 
 const N: usize = 1 << 12;
 
-fn bench_coalescing(c: &mut Criterion) {
-    c.bench_function("ablation_coalescing", |b| {
-        b.iter(|| black_box(exp::ablation_coalescing(N)))
-    });
-}
-
-fn bench_schedule(c: &mut Criterion) {
-    c.bench_function("ablation_schedule", |b| {
-        b.iter(|| black_box(exp::ablation_schedule(N)))
-    });
-}
-
-fn bench_cutoff(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_leaf_cutoff");
+fn main() {
+    let iters = 10;
+    bench("ablation_coalescing", iters, || exp::ablation_coalescing(N));
+    bench("ablation_schedule", iters, || exp::ablation_schedule(N));
     for cutoff in [1usize, 8, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(cutoff), &cutoff, |b, &k| {
-            let algo = MergeSort::new().with_leaf_cutoff(k);
-            b.iter(|| {
-                let mut data = uniform_input(N, 42);
-                let mut hpu = SimHpu::new(MachineConfig::hpu1_sim());
-                run_sim(&algo, &mut data, &mut hpu, &Strategy::CpuOnly).unwrap();
-                black_box(data)
-            })
-        });
-    }
-    group.finish();
-}
-
-fn bench_bf_vs_recursive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_bf_vs_recursive");
-    group.bench_function("recursive_host", |b| {
-        b.iter(|| {
-            let mut data = uniform_input(N, 42);
-            black_box(sort_recursive(&mut data));
-            black_box(data)
-        })
-    });
-    group.bench_function("breadth_first_sim_1core", |b| {
-        b.iter(|| {
+        let algo = MergeSort::new().with_leaf_cutoff(cutoff);
+        bench(&format!("ablation_leaf_cutoff/{cutoff}"), iters, || {
             let mut data = uniform_input(N, 42);
             let mut hpu = SimHpu::new(MachineConfig::hpu1_sim());
-            run_sim(&MergeSort::new(), &mut data, &mut hpu, &Strategy::Sequential).unwrap();
-            black_box(data)
-        })
+            run_sim(&algo, &mut data, &mut hpu, &Strategy::CpuOnly).unwrap();
+            data
+        });
+    }
+    bench("ablation_bf_vs_recursive/recursive_host", iters, || {
+        let mut data = uniform_input(N, 42);
+        black_box(sort_recursive(&mut data));
+        data
     });
-    group.finish();
+    bench(
+        "ablation_bf_vs_recursive/breadth_first_sim_1core",
+        iters,
+        || {
+            let mut data = uniform_input(N, 42);
+            let mut hpu = SimHpu::new(MachineConfig::hpu1_sim());
+            run_sim(
+                &MergeSort::new(),
+                &mut data,
+                &mut hpu,
+                &Strategy::Sequential,
+            )
+            .unwrap();
+            data
+        },
+    );
 }
-
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = bench_coalescing, bench_schedule, bench_cutoff, bench_bf_vs_recursive
-}
-criterion_main!(ablations);

@@ -1,71 +1,33 @@
-//! Criterion benches: one group per table/figure of the paper. Each bench
-//! times the regeneration of (a scaled-down version of) the experiment so
-//! regressions in the simulator, the model solvers or the schedulers show
-//! up as timing changes. The `repro` binary prints the actual data rows.
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//! Benches: one entry per table/figure of the paper. Each bench times the
+//! regeneration of (a scaled-down version of) the experiment so regressions
+//! in the simulator, the model solvers or the schedulers show up as timing
+//! changes. The `repro` binary prints the actual data rows.
 
 use hpu_bench::experiments as exp;
+use hpu_bench::timing::bench;
 
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2_parameter_estimation", |b| {
-        b.iter(|| black_box(exp::table2(1 << 12)))
+fn main() {
+    let iters = 10;
+    bench("table2_parameter_estimation", iters, || {
+        exp::table2(1 << 12)
+    });
+    bench("fig3_closed_form_curves", iters, || exp::fig3(1 << 24));
+    bench("fig4_advanced_optimizer", iters, || exp::fig4(1 << 24));
+    bench("fig5_g_saturation_sweep", iters, || exp::fig5(1 << 12));
+    bench("fig6_gamma_sweep", iters, || {
+        exp::fig6(&[1 << 8, 1 << 10, 1 << 12])
+    });
+    bench("fig7_alpha_sweep", iters, || {
+        exp::fig7(1 << 12, &[0.2, 0.4], &[4, 5])
+    });
+    bench("fig8_speedup_vs_n", iters, || {
+        exp::fig8(&[1 << 10, 1 << 12])
+    });
+    bench("fig9_gpu_parallel_mergesort", iters, || {
+        exp::fig9(&[1 << 10, 1 << 12])
+    });
+    bench("fig10_grid_search", iters, || exp::fig10(&[1 << 10]));
+    bench("trace_bundle_all_strategies", iters, || {
+        exp::trace_bundle(1 << 10)
     });
 }
-
-fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_closed_form_curves", |b| {
-        b.iter(|| black_box(exp::fig3(1 << 24)))
-    });
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    c.bench_function("fig4_advanced_optimizer", |b| {
-        b.iter(|| black_box(exp::fig4(1 << 24)))
-    });
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("fig5_g_saturation_sweep", |b| {
-        b.iter(|| black_box(exp::fig5(1 << 12)))
-    });
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    c.bench_function("fig6_gamma_sweep", |b| {
-        b.iter(|| black_box(exp::fig6(&[1 << 8, 1 << 10, 1 << 12])))
-    });
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    c.bench_function("fig7_alpha_sweep", |b| {
-        b.iter(|| black_box(exp::fig7(1 << 12, &[0.2, 0.4], &[4, 5])))
-    });
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    c.bench_function("fig8_speedup_vs_n", |b| {
-        b.iter(|| black_box(exp::fig8(&[1 << 10, 1 << 12])))
-    });
-}
-
-fn bench_fig9(c: &mut Criterion) {
-    c.bench_function("fig9_gpu_parallel_mergesort", |b| {
-        b.iter(|| black_box(exp::fig9(&[1 << 10, 1 << 12])))
-    });
-}
-
-fn bench_fig10(c: &mut Criterion) {
-    c.bench_function("fig10_grid_search", |b| {
-        b.iter(|| black_box(exp::fig10(&[1 << 10])))
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table2, bench_fig3, bench_fig4, bench_fig5, bench_fig6,
-              bench_fig7, bench_fig8, bench_fig9, bench_fig10
-}
-criterion_main!(figures);

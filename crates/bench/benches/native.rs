@@ -1,59 +1,33 @@
-//! Criterion benches of the *native* (real-thread) executors — the part of
-//! the library a downstream user runs for real work, measured in
-//! wall-clock time rather than virtual time.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+//! Benches of the *native* (real-thread) executors — the part of the
+//! library a downstream user runs for real work, measured in wall-clock
+//! time rather than virtual time.
 
 use hpu_algos::mergesort::MergeSort;
 use hpu_algos::sum::DcSum;
+use hpu_bench::timing::bench;
 use hpu_bench::uniform_input;
 use hpu_core::exec::run_native;
 use hpu_core::pool::LevelPool;
 
-fn bench_native_mergesort(c: &mut Criterion) {
-    let mut group = c.benchmark_group("native_mergesort");
+fn main() {
+    let iters = 10;
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| {
-                let pool = LevelPool::new(t);
-                b.iter(|| {
-                    let mut data = uniform_input(1 << 14, 42);
-                    run_native(&MergeSort::new(), &mut data, &pool).unwrap();
-                    black_box(data)
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_native_sum(c: &mut Criterion) {
-    let pool = LevelPool::new(2);
-    c.bench_function("native_dc_sum", |b| {
-        b.iter(|| {
-            let mut data: Vec<u64> = (0..(1 << 14) as u64).collect();
-            run_native(&DcSum, &mut data, &pool).unwrap();
-            black_box(data[0])
-        })
-    });
-}
-
-fn bench_std_sort_reference(c: &mut Criterion) {
-    c.bench_function("std_sort_unstable_reference", |b| {
-        b.iter(|| {
+        let pool = LevelPool::new(threads);
+        bench(&format!("native_mergesort/{threads}"), iters, || {
             let mut data = uniform_input(1 << 14, 42);
-            data.sort_unstable();
-            black_box(data)
-        })
+            run_native(&MergeSort::new(), &mut data, &pool).unwrap();
+            data
+        });
+    }
+    let pool = LevelPool::new(2);
+    bench("native_dc_sum", iters, || {
+        let mut data: Vec<u64> = (0..(1 << 14) as u64).collect();
+        run_native(&DcSum, &mut data, &pool).unwrap();
+        data[0]
+    });
+    bench("std_sort_unstable_reference", iters, || {
+        let mut data = uniform_input(1 << 14, 42);
+        data.sort_unstable();
+        data
     });
 }
-
-criterion_group! {
-    name = native;
-    config = Criterion::default().sample_size(10);
-    targets = bench_native_mergesort, bench_native_sum, bench_std_sort_reference
-}
-criterion_main!(native);

@@ -1,13 +1,18 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--full] [--out DIR]
+//! repro [EXPERIMENT ...] [--full] [--out DIR] [--trace DIR]
 //!
 //! EXPERIMENT: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             ablation-coalescing ablation-schedule extension-workloads
 //!             all   (default: all)
 //! --full      paper-scale sizes (n = 2^24; takes much longer)
 //! --out DIR   also write each experiment to DIR/<name>.csv
+//! --trace DIR also run every strategy (simulated and native) with
+//!             structured tracing and write DIR/<name>.trace.json (Chrome
+//!             trace event format, one process per strategy) plus
+//!             DIR/<name>.levels.csv (per-level metrics and model drift)
+//!             for each selected experiment
 //! ```
 
 use std::io::Write;
@@ -23,6 +28,7 @@ struct Scale {
     fig10_sizes: Vec<usize>,
     model_n: u64,
     ablation_n: usize,
+    trace_n: usize,
 }
 
 impl Scale {
@@ -35,6 +41,7 @@ impl Scale {
             fig10_sizes: vec![1 << 12, 1 << 14, 1 << 16],
             model_n: 1 << 24,
             ablation_n: 1 << 14,
+            trace_n: 1 << 12,
         }
     }
 
@@ -47,6 +54,7 @@ impl Scale {
             fig10_sizes: (12..=24).step_by(2).map(|k| 1 << k).collect(),
             model_n: 1 << 24,
             ablation_n: 1 << 20,
+            trace_n: 1 << 18,
         }
     }
 }
@@ -71,13 +79,21 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let trace_dir = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let wanted: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| Some(a.as_str()) != out_dir.as_deref())
+        .filter(|a| Some(a.as_str()) != trace_dir.as_deref())
         .cloned()
         .collect();
     let scale = if full { Scale::full() } else { Scale::quick() };
+    // One traced run of every strategy covers all experiments.
+    let bundle = trace_dir.as_ref().map(|_| exp::trace_bundle(scale.trace_n));
 
     let all = [
         "table1",
@@ -134,6 +150,19 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create --out directory");
             std::fs::write(format!("{dir}/{}.csv", csv.name), csv.render())
                 .expect("write CSV file");
+        }
+        if let (Some(dir), Some(bundle)) = (&trace_dir, &bundle) {
+            std::fs::create_dir_all(dir).expect("create --trace directory");
+            std::fs::write(
+                format!("{dir}/{}.trace.json", csv.name),
+                bundle.chrome.render(),
+            )
+            .expect("write trace JSON");
+            std::fs::write(
+                format!("{dir}/{}.levels.csv", csv.name),
+                bundle.levels.render(),
+            )
+            .expect("write levels CSV");
         }
     }
 }

@@ -60,13 +60,7 @@ pub fn table1() -> Csv {
         header: vec!["platform", "cpu", "gpu"],
         rows: platforms::all()
             .iter()
-            .map(|s| {
-                vec![
-                    s.name.to_string(),
-                    s.cpu.to_string(),
-                    s.gpu.to_string(),
-                ]
-            })
+            .map(|s| vec![s.name.to_string(), s.cpu.to_string(), s.gpu.to_string()])
             .collect(),
     }
 }
@@ -145,7 +139,14 @@ pub fn fig4(n: u64) -> Csv {
     }
     Csv {
         name: "fig4",
-        header: vec!["platform", "n", "alpha_star", "transfer_level_y", "gpu_work_pct", "saturation"],
+        header: vec![
+            "platform",
+            "n",
+            "alpha_star",
+            "transfer_level_y",
+            "gpu_work_pct",
+            "saturation",
+        ],
         rows,
     }
 }
@@ -218,11 +219,7 @@ pub fn fig7(n: usize, alphas: &[f64], levels: &[u32]) -> Csv {
                 },
                 42,
             );
-            rows.push(vec![
-                y.to_string(),
-                f(alpha),
-                f(base / rep.virtual_time),
-            ]);
+            rows.push(vec![y.to_string(), f(alpha), f(base / rep.virtual_time)]);
         }
     }
     Csv {
@@ -247,16 +244,12 @@ pub fn fig8(sizes: &[usize]) -> Csv {
             let rep = run_once(&cfg, n, &strategy, 42);
             let measured = base / rep.virtual_time;
             // Model prediction with the same recurrence and machine.
-            let solver = AdvancedSolver::new(&params_of(&cfg), &rec, n as u64)
-                .expect("valid size");
+            let solver = AdvancedSolver::new(&params_of(&cfg), &rec, n as u64).expect("valid size");
             let opt = solver.optimize();
             let words = ((1.0 - opt.alpha) * n as f64) as u64;
             let predicted = solver.profile().total_work()
                 / solver.predicted_time(opt.alpha, opt.transfer_level, words);
-            let ratio = rep
-                .concurrent
-                .map(|(c, g)| g / c)
-                .unwrap_or(f64::NAN);
+            let ratio = rep.concurrent.map(|(c, g)| g / c).unwrap_or(f64::NAN);
             let (alpha, y) = match strategy {
                 Strategy::Advanced {
                     alpha,
@@ -332,8 +325,7 @@ pub fn fig10(sizes: &[usize]) -> Csv {
     let rec = <MergeSort as BfAlgorithm<u32>>::recurrence(&algo);
     let mut rows = Vec::new();
     for &n in sizes {
-        let solver =
-            AdvancedSolver::new(&params_of(&cfg), &rec, n as u64).expect("valid size");
+        let solver = AdvancedSolver::new(&params_of(&cfg), &rec, n as u64).expect("valid size");
         let opt = solver.optimize();
         let levels = rec.num_levels(n as u64);
         let y_pred = opt.transfer_level;
@@ -372,8 +364,14 @@ pub fn ablation_coalescing(n: usize) -> Csv {
     let rec = <MergeSort as BfAlgorithm<u32>>::recurrence(&MergeSort::new());
     let strategy = auto_advanced(&cfg, &rec, n as u64).expect("valid size");
     let mut rows = Vec::new();
-    for (label, algo) in [("coalesced", MergeSort::new()), ("generic", MergeSort::generic())] {
-        for (sname, strat) in [("gpu_only", Strategy::GpuOnly), ("advanced", strategy.clone())] {
+    for (label, algo) in [
+        ("coalesced", MergeSort::new()),
+        ("generic", MergeSort::generic()),
+    ] {
+        for (sname, strat) in [
+            ("gpu_only", Strategy::GpuOnly),
+            ("advanced", strategy.clone()),
+        ] {
             let mut data = uniform_input(n, 42);
             let mut hpu = SimHpu::new(cfg.clone());
             let rep = run_sim(&algo, &mut data, &mut hpu, &strat).expect("run succeeds");
@@ -388,7 +386,13 @@ pub fn ablation_coalescing(n: usize) -> Csv {
     }
     Csv {
         name: "ablation_coalescing",
-        header: vec!["gpu_path", "strategy", "virtual_time", "coalesced", "uncoalesced"],
+        header: vec![
+            "gpu_path",
+            "strategy",
+            "virtual_time",
+            "coalesced",
+            "uncoalesced",
+        ],
         rows,
     }
 }
@@ -421,7 +425,13 @@ pub fn ablation_schedule(n: usize) -> Csv {
     }
     Csv {
         name: "ablation_schedule",
-        header: vec!["platform", "strategy", "virtual_time", "speedup_vs_1core", "transfers"],
+        header: vec![
+            "platform",
+            "strategy",
+            "virtual_time",
+            "speedup_vs_1core",
+            "transfers",
+        ],
         rows,
     }
 }
@@ -471,7 +481,13 @@ pub fn extension_workloads(n: usize) -> Csv {
         ]);
     }
 
-    measure(&cfg, &MergeSort::new(), || uniform_input(n, 42), n, &mut rows);
+    measure(
+        &cfg,
+        &MergeSort::new(),
+        || uniform_input(n, 42),
+        n,
+        &mut rows,
+    );
     measure(
         &cfg,
         &DcSum,
@@ -489,15 +505,132 @@ pub fn extension_workloads(n: usize) -> Csv {
     measure(
         &cfg,
         &MaxSubarray,
-        || to_segments(&(0..n as i64).map(|i| ((i * 37) % 23) - 11).collect::<Vec<i64>>()),
+        || {
+            to_segments(
+                &(0..n as i64)
+                    .map(|i| ((i * 37) % 23) - 11)
+                    .collect::<Vec<i64>>(),
+            )
+        },
         n,
         &mut rows,
     );
     Csv {
         name: "extension_workloads",
-        header: vec!["algorithm", "n", "strategy", "speedup_vs_1core", "transfers"],
+        header: vec![
+            "algorithm",
+            "n",
+            "strategy",
+            "speedup_vs_1core",
+            "transfers",
+        ],
         rows,
     }
+}
+
+/// The artifacts of a traced run: one Chrome-trace process per executor
+/// plus a per-level metrics/drift table covering all of them.
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// Chrome trace with one process per strategy (five simulated plus the
+    /// native executor), ready for `chrome://tracing` / Perfetto.
+    pub chrome: hpu_obs::ChromeTrace,
+    /// Per-level metrics and model-vs-simulation drift, one row per
+    /// (strategy, level).
+    pub levels: Csv,
+}
+
+/// Runs mergesort at size `n` under every strategy (simulated and native)
+/// with structured tracing and returns the combined artifacts.
+pub fn trace_bundle(n: usize) -> TraceBundle {
+    use std::collections::BTreeMap;
+
+    let cfg = MachineConfig::hpu1_sim();
+    let algo = MergeSort::new();
+    let rec = <MergeSort as BfAlgorithm<u32>>::recurrence(&algo);
+    let advanced = auto_advanced(&cfg, &rec, n as u64).expect("valid size");
+    let mut chrome = hpu_obs::ChromeTrace::new();
+    let mut rows = Vec::new();
+
+    for (label, strat) in [
+        ("sequential", Strategy::Sequential),
+        ("cpu_only", Strategy::CpuOnly),
+        ("gpu_only", Strategy::GpuOnly),
+        ("basic", Strategy::Basic { crossover: None }),
+        ("advanced", advanced),
+    ] {
+        let mut data = uniform_input(n, 42);
+        let mut hpu = SimHpu::new(cfg.clone());
+        let rep = run_sim(&algo, &mut data, &mut hpu, &strat).expect("traced run succeeds");
+        chrome.add_process(label, hpu.timeline().trace_events());
+        let drift: BTreeMap<u32, _> = rep.drift.iter().map(|d| (d.level, d)).collect();
+        for l in &rep.levels {
+            let (pred, err) = match drift.get(&l.level) {
+                Some(d) => (f(d.predicted), f(d.rel_err)),
+                None => (String::new(), String::new()),
+            };
+            rows.push(level_row(label, l, pred, err));
+        }
+    }
+
+    // The native executor: same algorithm on real threads, wall-clock µs.
+    let pool = hpu_core::LevelPool::new(cfg.cpu.cores);
+    let mut data = uniform_input(n, 42);
+    let rep = hpu_core::run_native_report(&algo, &mut data, &pool).expect("native run succeeds");
+    chrome.add_process("native", rep.trace);
+    for l in &rep.levels {
+        rows.push(level_row("native", l, String::new(), String::new()));
+    }
+
+    TraceBundle {
+        chrome,
+        levels: Csv {
+            name: "levels",
+            header: vec![
+                "strategy",
+                "level",
+                "chunk",
+                "tasks",
+                "ops",
+                "mem",
+                "coalesced",
+                "uncoalesced",
+                "words",
+                "cpu_time",
+                "gpu_time",
+                "bus_time",
+                "time",
+                "predicted",
+                "rel_err",
+            ],
+            rows,
+        },
+    }
+}
+
+fn level_row(
+    strategy: &str,
+    l: &hpu_obs::LevelMetrics,
+    predicted: String,
+    rel_err: String,
+) -> Vec<String> {
+    vec![
+        strategy.to_string(),
+        l.level.to_string(),
+        l.chunk.to_string(),
+        l.tasks.to_string(),
+        l.ops.to_string(),
+        l.mem.to_string(),
+        l.coalesced.to_string(),
+        l.uncoalesced.to_string(),
+        l.words.to_string(),
+        f(l.cpu_time),
+        f(l.gpu_time),
+        f(l.bus_time),
+        f(l.time),
+        predicted,
+        rel_err,
+    ]
 }
 
 #[cfg(test)]

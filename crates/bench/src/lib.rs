@@ -1,16 +1,18 @@
 //! # hpu-bench — experiment harness for every table and figure
 //!
 //! One function per table/figure of the paper's evaluation; the `repro`
-//! binary prints their rows as CSV and the Criterion benches time them.
-//! Paper sizes (`n = 2^24`) are available behind the `--full` flag of
-//! `repro`; the defaults are scaled down so the whole suite completes in
-//! minutes on one host core.
+//! binary prints their rows as CSV (and, with `--trace DIR`, writes Chrome
+//! trace JSON plus per-level drift CSVs) and the `benches/` harnesses time
+//! them with the in-repo [`timing`] runner. Paper sizes (`n = 2^24`) are
+//! available behind the `--full` flag of `repro`; the defaults are scaled
+//! down so the whole suite completes in minutes on one host core.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod timing;
 pub mod workload;
 
 pub use experiments::*;
-pub use workload::uniform_input;
+pub use workload::{uniform_input, SplitMix64};

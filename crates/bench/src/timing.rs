@@ -1,0 +1,37 @@
+//! Minimal wall-clock micro-benchmark runner for the `harness = false`
+//! benches (this workspace builds offline, with no benchmarking crate).
+//!
+//! Reports the best and median wall time over a fixed number of
+//! iterations; "best of k" is a robust point estimate for short
+//! deterministic workloads since noise is strictly additive.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `iters` runs of `f` and prints one result line:
+/// `name  best <t> ms  median <t> ms  (k iters)`.
+pub fn bench<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) {
+    assert!(iters > 0, "need at least one iteration");
+    let mut samples_ms: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    samples_ms.sort_by(f64::total_cmp);
+    let best = samples_ms[0];
+    let median = samples_ms[samples_ms.len() / 2];
+    println!("{name:<44} best {best:>9.3} ms  median {median:>9.3} ms  ({iters} iters)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut count = 0u32;
+        bench("noop", 3, || count += 1);
+        assert_eq!(count, 3);
+    }
+}

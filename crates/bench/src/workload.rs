@@ -1,14 +1,46 @@
 //! Workload generation for the experiments.
+//!
+//! Uses an in-repo splitmix64 generator (Steele, Lea & Flood's finalizer,
+//! the same one `java.util.SplittableRandom` and xoshiro seeding use) so
+//! the harness stays dependency-free and every workload is reproducible
+//! from its seed alone.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A tiny deterministic PRNG: splitmix64.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` via 128-bit multiply (Lemire's
+    /// method without the rejection step — bias is < 2⁻³² for the bounds
+    /// used here, irrelevant for workload generation).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
 
 /// The paper's sorting workload: `n` keys drawn uniformly at random from
 /// `[0, 2n)` (§6.4), deterministic per seed.
 pub fn uniform_input(n: usize, seed: u64) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let hi = (2 * n).max(2) as u32;
-    (0..n).map(|_| rng.gen_range(0..hi)).collect()
+    let mut rng = SplitMix64::new(seed);
+    let hi = (2 * n).max(2) as u64;
+    (0..n).map(|_| rng.below(hi) as u32).collect()
 }
 
 #[cfg(test)]
@@ -25,5 +57,24 @@ mod tests {
     fn range_respected() {
         let v = uniform_input(1000, 1);
         assert!(v.iter().all(|&x| x < 2000));
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference stream for seed 1234567 (from the splitmix64 paper's
+        // reference implementation).
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 0x599E_D017_FB08_FC85);
+    }
+
+    #[test]
+    fn keys_are_spread_out() {
+        let v = uniform_input(4096, 3);
+        let distinct: std::collections::BTreeSet<u32> = v.iter().copied().collect();
+        assert!(
+            distinct.len() > 2048,
+            "only {} distinct keys",
+            distinct.len()
+        );
     }
 }

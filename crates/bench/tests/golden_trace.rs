@@ -1,0 +1,120 @@
+//! Golden test of the `--trace` artifacts: the emitted Chrome trace JSON
+//! must parse, contain one process per strategy with named tracks, and
+//! carry non-negative, per-track monotone spans; the levels CSV must line
+//! up with it.
+
+use std::collections::BTreeMap;
+
+use hpu_bench::experiments::trace_bundle;
+use hpu_obs::json::Json;
+
+#[test]
+fn trace_bundle_emits_valid_chrome_trace() {
+    let bundle = trace_bundle(1 << 8);
+    let json = bundle.chrome.render();
+    let v = Json::parse(&json).expect("trace JSON parses");
+    let events = v
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_arr()
+        .expect("traceEvents is an array");
+    assert!(!events.is_empty());
+
+    // One process per strategy, named via metadata events.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                .expect("process metadata carries a name")
+        })
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            "sequential",
+            "cpu_only",
+            "gpu_only",
+            "basic",
+            "advanced",
+            "native"
+        ]
+    );
+
+    // Spans: non-negative timestamps and durations, monotone start times
+    // within each (process, track) row.
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut spans = 0usize;
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        spans += 1;
+        let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = e.get("dur").and_then(Json::as_f64).expect("dur");
+        let pid = e.get("pid").and_then(Json::as_f64).expect("pid") as u64;
+        let tid = e.get("tid").and_then(Json::as_f64).expect("tid") as u64;
+        assert!(ts >= 0.0 && dur >= 0.0, "negative span: ts {ts} dur {dur}");
+        assert!((1..=3).contains(&tid), "unknown track {tid}");
+        let prev = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+        assert!(
+            ts >= *prev,
+            "track (pid {pid}, tid {tid}) goes back in time: {ts} < {prev}"
+        );
+        *prev = ts;
+    }
+    assert!(spans > 20, "expected a real trace, got {spans} spans");
+    // Hybrid processes must show bus activity.
+    assert!(
+        events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("cat").and_then(Json::as_str) == Some("transfer")
+        }),
+        "no transfer spans in the trace"
+    );
+}
+
+#[test]
+fn levels_csv_covers_every_strategy() {
+    let bundle = trace_bundle(1 << 8);
+    let csv = bundle.levels.render();
+    let mut lines = csv.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.starts_with("strategy,level,chunk,tasks,"));
+    let rows: Vec<&str> = lines.collect();
+    for strategy in [
+        "sequential",
+        "cpu_only",
+        "gpu_only",
+        "basic",
+        "advanced",
+        "native",
+    ] {
+        let n = rows
+            .iter()
+            .filter(|r| r.starts_with(&format!("{strategy},")))
+            .count();
+        assert!(n > 0, "no level rows for {strategy}");
+    }
+    // Simulated strategies carry a drift prediction in the second-to-last
+    // column; native rows leave it empty.
+    let basic_row = rows
+        .iter()
+        .find(|r| r.starts_with("basic,"))
+        .expect("basic row");
+    let cells: Vec<&str> = basic_row.split(',').collect();
+    assert_eq!(cells.len(), 15);
+    assert!(
+        !cells[13].is_empty(),
+        "predicted column populated: {basic_row}"
+    );
+    let native_row = rows
+        .iter()
+        .find(|r| r.starts_with("native,"))
+        .expect("native row");
+    let ncells: Vec<&str> = native_row.split(',').collect();
+    assert!(ncells[13].is_empty(), "native rows have no prediction");
+}

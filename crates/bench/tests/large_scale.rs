@@ -21,6 +21,9 @@ fn advanced_beats_cpu_only_at_2_22() {
             adv > cpu,
             "{platform}: advanced {adv} must beat cpu-only {cpu} at scale"
         );
-        assert!(adv > 3.5, "{platform}: advanced speedup {adv} should approach the paper's 4.5x");
+        assert!(
+            adv > 3.5,
+            "{platform}: advanced speedup {adv} should approach the paper's 4.5x"
+        );
     }
 }

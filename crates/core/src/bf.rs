@@ -116,7 +116,11 @@ pub trait BfAlgorithm<T: Element>: Sync {
             dst,
             |id, ctx, s, d| {
                 let lo = id * chunk;
-                self.combine(&s[lo..lo + chunk], &mut d[lo..lo + chunk], &mut GpuCharge(ctx));
+                self.combine(
+                    &s[lo..lo + chunk],
+                    &mut d[lo..lo + chunk],
+                    &mut GpuCharge(ctx),
+                );
             },
         )
     }
@@ -220,7 +224,12 @@ mod tests {
         })
         .unwrap();
         let st = algo
-            .gpu_level(&mut gpu, &mut src, &mut dst, &LevelInfo { chunk: 2, tasks: 4 })
+            .gpu_level(
+                &mut gpu,
+                &mut src,
+                &mut dst,
+                &LevelInfo { chunk: 2, tasks: 4 },
+            )
             .unwrap();
         assert_eq!(st.items, 4);
         // Chunk k combines src[2k] + src[2k+1].

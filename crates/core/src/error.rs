@@ -92,9 +92,14 @@ mod tests {
         let e = CoreError::from(MachineError::EmptyLaunch);
         assert!(std::error::Error::source(&e).is_some());
         assert!(CoreError::EmptyInput.to_string().contains("empty"));
-        assert!(CoreError::InvalidAlpha { alpha: 0.0 }.to_string().contains("alpha"));
-        assert!(CoreError::InvalidLevel { level: 9, levels: 4 }
+        assert!(CoreError::InvalidAlpha { alpha: 0.0 }
             .to_string()
-            .contains('9'));
+            .contains("alpha"));
+        assert!(CoreError::InvalidLevel {
+            level: 9,
+            levels: 4
+        }
+        .to_string()
+        .contains('9'));
     }
 }

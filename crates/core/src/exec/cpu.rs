@@ -1,14 +1,15 @@
 //! CPU-side breadth-first execution on the simulated machine.
 
-use hpu_machine::{CpuCtx, SimCpu, SimHpu};
+use hpu_machine::{CpuCtx, LevelPhase, SimCpu, SimHpu};
+use hpu_obs::LevelBook;
 
 use crate::bf::{BfAlgorithm, Element};
 use crate::error::CoreError;
 
 /// Runs the base-case level and the combine levels up to runs of
 /// `to_chunk` elements on `cores` simulated cores, ping-ponging between
-/// `data` and `scratch`. Returns `true` when the result ended up in
-/// `data`, `false` when it is in `scratch`.
+/// `data` and `scratch`, booking every level's metrics. Returns `true` when
+/// the result ended up in `data`, `false` when it is in `scratch`.
 pub(crate) fn run_levels_cpu<T: Element, A: BfAlgorithm<T>>(
     algo: &A,
     cpu: &mut SimCpu,
@@ -16,26 +17,29 @@ pub(crate) fn run_levels_cpu<T: Element, A: BfAlgorithm<T>>(
     scratch: &mut [T],
     to_chunk: usize,
     cores: usize,
+    book: &mut LevelBook,
 ) -> bool {
     let a = algo.branching();
     let base = algo.base_chunk();
     debug_assert_eq!(data.len(), scratch.len());
 
-    cpu.run_level_with(
+    let run = cpu.run_level_obs(
         cores,
-        &format!("{} base", algo.name()),
+        algo.name(),
+        LevelPhase::Base,
+        base as u64,
         data.chunks_mut(base)
             .map(|c| move |ctx: &mut CpuCtx| algo.base_case(c, ctx)),
     );
+    book.cpu(base as u64, run.tasks, run.ops, run.mem, run.start, run.end);
 
     let mut chunk = base.saturating_mul(a);
     let mut src_is_data = true;
     while chunk <= to_chunk && chunk <= data.len() {
-        let label = format!("{} combine chunk {chunk}", algo.name());
         if src_is_data {
-            run_combine_level(algo, cpu, &label, data, scratch, chunk, cores);
+            run_combine_level(algo, cpu, data, scratch, chunk, cores, book);
         } else {
-            run_combine_level(algo, cpu, &label, scratch, data, chunk, cores);
+            run_combine_level(algo, cpu, scratch, data, chunk, cores, book);
         }
         src_is_data = !src_is_data;
         chunk = chunk.saturating_mul(a);
@@ -46,44 +50,58 @@ pub(crate) fn run_levels_cpu<T: Element, A: BfAlgorithm<T>>(
 fn run_combine_level<T: Element, A: BfAlgorithm<T>>(
     algo: &A,
     cpu: &mut SimCpu,
-    label: &str,
     src: &[T],
     dst: &mut [T],
     chunk: usize,
     cores: usize,
+    book: &mut LevelBook,
 ) {
-    cpu.run_level_with(
+    let run = cpu.run_level_obs(
         cores,
-        label,
+        algo.name(),
+        LevelPhase::Combine,
+        chunk as u64,
         src.chunks(chunk)
             .zip(dst.chunks_mut(chunk))
             .map(|(s, d)| move |ctx: &mut CpuCtx| algo.combine(s, d, ctx)),
+    );
+    book.cpu(
+        chunk as u64,
+        run.tasks,
+        run.ops,
+        run.mem,
+        run.start,
+        run.end,
     );
 }
 
 /// Copies `src` into `dst` as a level of chunked tasks (2 memory ops per
 /// element), used when a run's ping-pong parity leaves the result in the
-/// scratch buffer.
+/// scratch buffer. The span is booked against `owner_chunk` — the chunk
+/// size of the level whose results are being moved.
 pub(crate) fn copy_level<T: Element>(
     cpu: &mut SimCpu,
     src: &[T],
     dst: &mut [T],
     chunk: usize,
     cores: usize,
+    book: &mut LevelBook,
+    owner_chunk: u64,
 ) {
     let chunk = chunk.min(src.len()).max(1);
-    cpu.run_level_with(
+    let run = cpu.run_level_obs(
         cores,
         "copy back",
-        src.chunks(chunk)
-            .zip(dst.chunks_mut(chunk))
-            .map(|(s, d)| {
-                move |ctx: &mut CpuCtx| {
-                    d.copy_from_slice(s);
-                    ctx.charge_mem(2 * s.len() as u64);
-                }
-            }),
+        LevelPhase::CopyBack,
+        owner_chunk,
+        src.chunks(chunk).zip(dst.chunks_mut(chunk)).map(|(s, d)| {
+            move |ctx: &mut CpuCtx| {
+                d.copy_from_slice(s);
+                ctx.charge_mem(2 * s.len() as u64);
+            }
+        }),
     );
+    book.cpu(owner_chunk, 0, run.ops, run.mem, run.start, run.end);
 }
 
 /// Full CPU-only run (all levels), result guaranteed back in `data`.
@@ -92,13 +110,22 @@ pub(crate) fn run_cpu_only<T: Element, A: BfAlgorithm<T>>(
     data: &mut [T],
     hpu: &mut SimHpu,
     cores: usize,
+    book: &mut LevelBook,
 ) -> Result<(), CoreError> {
     let n = data.len();
     let mut scratch = vec![T::default(); n];
     hpu.cpu.set_footprint(2 * n * std::mem::size_of::<T>());
-    let in_data = run_levels_cpu(algo, &mut hpu.cpu, data, &mut scratch, n, cores);
+    let in_data = run_levels_cpu(algo, &mut hpu.cpu, data, &mut scratch, n, cores, book);
     if !in_data {
-        copy_level(&mut hpu.cpu, &scratch, data, n.div_ceil(cores.max(1)), cores);
+        copy_level(
+            &mut hpu.cpu,
+            &scratch,
+            data,
+            n.div_ceil(cores.max(1)),
+            cores,
+            book,
+            n as u64,
+        );
     }
     Ok(())
 }
@@ -134,12 +161,20 @@ mod tests {
         let mut cpu = SimCpu::new(CpuConfig::uniform(2));
         let mut data: Vec<u32> = vec![3, 9, 1, 4, 1, 5, 9, 2];
         let mut scratch = vec![0u32; 8];
+        let mut book = LevelBook::new(1, 2);
         // Climb only to runs of 4: two partial maxima, no root combine.
-        let in_data = run_levels_cpu(&MaxAlgo, &mut cpu, &mut data, &mut scratch, 4, 2);
+        let in_data = run_levels_cpu(&MaxAlgo, &mut cpu, &mut data, &mut scratch, 4, 2, &mut book);
         // Two combine levels (chunk 2 and 4): result in data again.
         assert!(in_data);
         assert_eq!(data[0], 9);
         assert_eq!(data[4], 9);
+        // Booked: base level plus chunks 2 and 4.
+        let levels = book.finish();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].tasks, 8);
+        assert_eq!(levels[1].chunk, 2);
+        assert_eq!(levels[2].chunk, 4);
+        assert_eq!(levels[2].tasks, 2);
     }
 
     #[test]
@@ -147,9 +182,14 @@ mod tests {
         let mut cpu = SimCpu::new(CpuConfig::uniform(1));
         let src: Vec<u32> = (0..16).collect();
         let mut dst = vec![0u32; 16];
-        copy_level(&mut cpu, &src, &mut dst, 4, 1);
+        let mut book = LevelBook::new(1, 2);
+        copy_level(&mut cpu, &src, &mut dst, 4, 1, &mut book, 16);
         assert_eq!(dst, src);
         assert_eq!(cpu.clock(), 32.0);
+        let levels = book.finish();
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].level, 4, "booked against the owner chunk");
+        assert_eq!(levels[0].mem, 32);
     }
 
     #[test]
@@ -157,7 +197,8 @@ mod tests {
         let mut cpu = SimCpu::new(CpuConfig::uniform(2));
         let mut data = vec![7u32];
         let mut scratch = vec![0u32];
-        let in_data = run_levels_cpu(&MaxAlgo, &mut cpu, &mut data, &mut scratch, 1, 2);
+        let mut book = LevelBook::new(1, 2);
+        let in_data = run_levels_cpu(&MaxAlgo, &mut cpu, &mut data, &mut scratch, 1, 2, &mut book);
         assert!(in_data);
         assert_eq!(cpu.clock(), 1.0); // one leaf op, no combines
     }

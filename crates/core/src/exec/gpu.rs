@@ -1,6 +1,7 @@
 //! GPU-side breadth-first execution on the simulated device.
 
 use hpu_machine::{DeviceBuffer, SimGpu, SimHpu};
+use hpu_obs::LevelBook;
 
 use crate::bf::{BfAlgorithm, Element, LevelInfo};
 use crate::error::CoreError;
@@ -17,13 +18,15 @@ pub(crate) struct GpuRun {
 }
 
 /// Runs the base level plus combines up to runs of `to_chunk` elements on
-/// the device, ping-ponging `buf_a` → `buf_b`.
+/// the device, ping-ponging `buf_a` → `buf_b`, booking every level's span
+/// off the device clock.
 pub(crate) fn run_levels_gpu<T: Element, A: BfAlgorithm<T>>(
     algo: &A,
     gpu: &mut SimGpu,
     buf_a: &mut DeviceBuffer<T>,
     buf_b: &mut DeviceBuffer<T>,
     to_chunk: usize,
+    book: &mut LevelBook,
 ) -> Result<GpuRun, CoreError> {
     let a = algo.branching();
     let base = algo.base_chunk();
@@ -31,7 +34,16 @@ pub(crate) fn run_levels_gpu<T: Element, A: BfAlgorithm<T>>(
     let mut coalesced = 0u64;
     let mut uncoalesced = 0u64;
 
+    let t0 = gpu.clock();
     let st = algo.gpu_base_level(gpu, buf_a, n / base)?;
+    book.gpu(
+        base as u64,
+        (n / base) as u64,
+        st.coalesced,
+        st.uncoalesced,
+        t0,
+        gpu.clock(),
+    );
     coalesced += st.coalesced;
     uncoalesced += st.uncoalesced;
 
@@ -42,11 +54,20 @@ pub(crate) fn run_levels_gpu<T: Element, A: BfAlgorithm<T>>(
             chunk,
             tasks: n / chunk,
         };
+        let t0 = gpu.clock();
         let st = if in_first {
             algo.gpu_level(gpu, buf_a, buf_b, &level)?
         } else {
             algo.gpu_level(gpu, buf_b, buf_a, &level)?
         };
+        book.gpu(
+            chunk as u64,
+            level.tasks as u64,
+            st.coalesced,
+            st.uncoalesced,
+            t0,
+            gpu.clock(),
+        );
         coalesced += st.coalesced;
         uncoalesced += st.uncoalesced;
         in_first = !in_first;
@@ -54,16 +75,28 @@ pub(crate) fn run_levels_gpu<T: Element, A: BfAlgorithm<T>>(
     }
     // Give layout-maintaining algorithms a chance to restore the
     // contiguous-chunk layout before download.
+    let final_chunk = (chunk / a).max(base);
     let final_level = LevelInfo {
-        chunk: (chunk / a).max(base),
-        tasks: n / (chunk / a).max(base),
+        chunk: final_chunk,
+        tasks: n / final_chunk,
     };
+    let t0 = gpu.clock();
     let fin = if in_first {
         algo.gpu_finalize(gpu, buf_a, buf_b, &final_level)?
     } else {
         algo.gpu_finalize(gpu, buf_b, buf_a, &final_level)?
     };
     if let Some(st) = fin {
+        // A finalize pass reshuffles data already produced: book its span
+        // and accesses against the finished level but no new tasks.
+        book.gpu(
+            final_chunk as u64,
+            0,
+            st.coalesced,
+            st.uncoalesced,
+            t0,
+            gpu.clock(),
+        );
         coalesced += st.coalesced;
         uncoalesced += st.uncoalesced;
         in_first = !in_first;
@@ -81,9 +114,13 @@ pub(crate) fn run_gpu_only<T: Element, A: BfAlgorithm<T>>(
     algo: &A,
     data: &mut [T],
     hpu: &mut SimHpu,
+    book: &mut LevelBook,
 ) -> Result<(u64, u64), CoreError> {
     let n = data.len();
+    let t0 = hpu.elapsed();
     let mut buf_a = hpu.upload(data)?;
+    // The upload precedes any device work: booked against level 0.
+    book.transfer(algo.base_chunk() as u64, n as u64, t0, hpu.elapsed());
     let mut buf_b = match hpu.gpu.alloc::<T>(n) {
         Ok(b) => b,
         Err(e) => {
@@ -91,7 +128,7 @@ pub(crate) fn run_gpu_only<T: Element, A: BfAlgorithm<T>>(
             return Err(e.into());
         }
     };
-    let run = run_levels_gpu(algo, &mut hpu.gpu, &mut buf_a, &mut buf_b, n);
+    let run = run_levels_gpu(algo, &mut hpu.gpu, &mut buf_a, &mut buf_b, n, book);
     let run = match run {
         Ok(r) => r,
         Err(e) => {
@@ -101,7 +138,10 @@ pub(crate) fn run_gpu_only<T: Element, A: BfAlgorithm<T>>(
         }
     };
     let result = if run.in_first { &buf_a } else { &buf_b };
+    let g0 = hpu.gpu.clock();
     let out = hpu.download(result);
+    // The download carries the finished root back: booked at chunk n.
+    book.transfer(n as u64, n as u64, g0, hpu.gpu.clock());
     data.copy_from_slice(&out);
     hpu.gpu.free(buf_a);
     hpu.gpu.free(buf_b);
@@ -137,19 +177,27 @@ mod tests {
     #[test]
     fn ping_pong_parity_tracked() {
         let mut gpu = SimGpu::new(MachineConfig::tiny().gpu);
+        let mut book = LevelBook::new(1, 2);
         let mut a = gpu.alloc::<u64>(8).unwrap();
         let mut b = gpu.alloc::<u64>(8).unwrap();
         a.debug_fill(&[1, 2, 3, 4, 5, 6, 7, 8]);
         // 3 combine levels: result lands in the *other* buffer.
-        let run = run_levels_gpu(&SumAlgo, &mut gpu, &mut a, &mut b, 8).unwrap();
+        let run = run_levels_gpu(&SumAlgo, &mut gpu, &mut a, &mut b, 8, &mut book).unwrap();
         assert!(!run.in_first);
         assert_eq!(b.debug_view()[0], 36);
+        // Booked: base + chunks 2, 4, 8 on the GPU clock.
+        let levels = book.finish();
+        assert_eq!(levels.len(), 4);
+        assert!(levels.iter().all(|l| l.gpu_time > 0.0));
+        assert_eq!(levels[3].chunk, 8);
+        assert_eq!(levels[3].tasks, 1);
         // 2 combine levels only: result back in the first buffer... no —
         // two levels means one swap then another: in_first again.
+        let mut book2 = LevelBook::new(1, 2);
         let mut a2 = gpu.alloc::<u64>(4).unwrap();
         let mut b2 = gpu.alloc::<u64>(4).unwrap();
         a2.debug_fill(&[1, 2, 3, 4]);
-        let run2 = run_levels_gpu(&SumAlgo, &mut gpu, &mut a2, &mut b2, 4).unwrap();
+        let run2 = run_levels_gpu(&SumAlgo, &mut gpu, &mut a2, &mut b2, 4, &mut book2).unwrap();
         assert!(run2.in_first);
         assert_eq!(a2.debug_view()[0], 10);
     }
@@ -157,11 +205,12 @@ mod tests {
     #[test]
     fn partial_climb_leaves_partial_sums() {
         let mut gpu = SimGpu::new(MachineConfig::tiny().gpu);
+        let mut book = LevelBook::new(1, 2);
         let mut a = gpu.alloc::<u64>(8).unwrap();
         let mut b = gpu.alloc::<u64>(8).unwrap();
         a.debug_fill(&[1, 1, 1, 1, 2, 2, 2, 2]);
         // Climb to runs of 4 only.
-        let run = run_levels_gpu(&SumAlgo, &mut gpu, &mut a, &mut b, 4).unwrap();
+        let run = run_levels_gpu(&SumAlgo, &mut gpu, &mut a, &mut b, 4, &mut book).unwrap();
         let result = if run.in_first {
             a.debug_view()
         } else {

@@ -1,6 +1,7 @@
 //! The hybrid executors: basic (§5.1) and advanced (§5.2) work divisions.
 
-use hpu_machine::SimHpu;
+use hpu_machine::{LevelPhase, SimHpu};
+use hpu_obs::LevelBook;
 
 use crate::bf::{num_levels, BfAlgorithm, Element};
 use crate::error::CoreError;
@@ -24,6 +25,7 @@ pub(crate) fn run_basic<T: Element, A: BfAlgorithm<T>>(
     data: &mut [T],
     hpu: &mut SimHpu,
     crossover: u32,
+    book: &mut LevelBook,
 ) -> Result<HybridStats, CoreError> {
     let n = data.len();
     let levels = num_levels(algo, n)?;
@@ -37,7 +39,10 @@ pub(crate) fn run_basic<T: Element, A: BfAlgorithm<T>>(
     // Largest chunk the GPU builds: n / a^crossover.
     let gpu_to_chunk = n / a.pow(crossover);
 
+    let t0 = hpu.elapsed();
     let mut buf_a = hpu.upload(data)?;
+    // Upload precedes device work: booked against level 0.
+    book.transfer(algo.base_chunk() as u64, n as u64, t0, hpu.elapsed());
     let mut buf_b = match hpu.gpu.alloc::<T>(n) {
         Ok(b) => b,
         Err(e) => {
@@ -45,7 +50,14 @@ pub(crate) fn run_basic<T: Element, A: BfAlgorithm<T>>(
             return Err(e.into());
         }
     };
-    let run = match run_levels_gpu(algo, &mut hpu.gpu, &mut buf_a, &mut buf_b, gpu_to_chunk) {
+    let run = match run_levels_gpu(
+        algo,
+        &mut hpu.gpu,
+        &mut buf_a,
+        &mut buf_b,
+        gpu_to_chunk,
+        book,
+    ) {
         Ok(r) => r,
         Err(e) => {
             hpu.gpu.free(buf_a);
@@ -54,7 +66,10 @@ pub(crate) fn run_basic<T: Element, A: BfAlgorithm<T>>(
         }
     };
     let result = if run.in_first { &buf_a } else { &buf_b };
+    let g0 = hpu.gpu.clock();
     let out = hpu.download(result);
+    // The download hands back the crossover-level chunks.
+    book.transfer(gpu_to_chunk as u64, n as u64, g0, hpu.gpu.clock());
     data.copy_from_slice(&out);
     hpu.gpu.free(buf_a);
     hpu.gpu.free(buf_b);
@@ -65,16 +80,18 @@ pub(crate) fn run_basic<T: Element, A: BfAlgorithm<T>>(
         let mut scratch = vec![T::default(); n];
         let cores = hpu.config().cpu.cores;
         hpu.cpu.set_footprint(2 * n * std::mem::size_of::<T>());
-        let in_data = run_cpu_combines_from(
-            algo,
-            hpu,
-            data,
-            &mut scratch,
-            gpu_to_chunk * a,
-            cores,
-        );
+        let in_data =
+            run_cpu_combines_from(algo, hpu, data, &mut scratch, gpu_to_chunk * a, cores, book);
         if !in_data {
-            copy_level(&mut hpu.cpu, &scratch, data, n.div_ceil(cores), cores);
+            copy_level(
+                &mut hpu.cpu,
+                &scratch,
+                data,
+                n.div_ceil(cores),
+                cores,
+                book,
+                n as u64,
+            );
         }
     }
     Ok(HybridStats {
@@ -93,17 +110,17 @@ fn run_cpu_combines_from<T: Element, A: BfAlgorithm<T>>(
     scratch: &mut [T],
     from_chunk: usize,
     cores: usize,
+    book: &mut LevelBook,
 ) -> bool {
     let a = algo.branching();
     let n = data.len();
     let mut chunk = from_chunk;
     let mut src_is_data = true;
     while chunk <= n {
-        let label = format!("{} combine chunk {chunk}", algo.name());
         if src_is_data {
-            run_one_level(algo, hpu, &label, data, scratch, chunk, cores);
+            run_one_level(algo, hpu, data, scratch, chunk, cores, book);
         } else {
-            run_one_level(algo, hpu, &label, scratch, data, chunk, cores);
+            run_one_level(algo, hpu, scratch, data, chunk, cores, book);
         }
         src_is_data = !src_is_data;
         chunk = chunk.saturating_mul(a);
@@ -114,18 +131,28 @@ fn run_cpu_combines_from<T: Element, A: BfAlgorithm<T>>(
 fn run_one_level<T: Element, A: BfAlgorithm<T>>(
     algo: &A,
     hpu: &mut SimHpu,
-    label: &str,
     src: &[T],
     dst: &mut [T],
     chunk: usize,
     cores: usize,
+    book: &mut LevelBook,
 ) {
-    hpu.cpu.run_level_with(
+    let run = hpu.cpu.run_level_obs(
         cores,
-        label,
+        algo.name(),
+        LevelPhase::Combine,
+        chunk as u64,
         src.chunks(chunk)
             .zip(dst.chunks_mut(chunk))
             .map(|(s, d)| move |ctx: &mut hpu_machine::CpuCtx| algo.combine(s, d, ctx)),
+    );
+    book.cpu(
+        chunk as u64,
+        run.tasks,
+        run.ops,
+        run.mem,
+        run.start,
+        run.end,
     );
 }
 
@@ -144,6 +171,7 @@ pub(crate) fn run_advanced<T: Element, A: BfAlgorithm<T>>(
     hpu: &mut SimHpu,
     alpha: f64,
     transfer_level: u32,
+    book: &mut LevelBook,
 ) -> Result<HybridStats, CoreError> {
     let n = data.len();
     let levels = num_levels(algo, n)?;
@@ -176,7 +204,14 @@ pub(crate) fn run_advanced<T: Element, A: BfAlgorithm<T>>(
 
     // Transfer 1: the GPU share goes to the device (blocking upload; the
     // paper's schedule also starts with this single transfer down).
+    let t0 = hpu.elapsed();
     let mut buf_a = hpu.upload(gpu_region)?;
+    book.transfer(
+        algo.base_chunk() as u64,
+        gpu_region.len() as u64,
+        t0,
+        hpu.elapsed(),
+    );
     // The concurrent phase starts once both units hold their shares.
     let t_fork = hpu.elapsed();
     let mut buf_b = match hpu.gpu.alloc::<T>(gpu_region.len()) {
@@ -188,7 +223,7 @@ pub(crate) fn run_advanced<T: Element, A: BfAlgorithm<T>>(
     };
 
     // GPU timeline: climb to chunk_y, then send results back (transfer 2).
-    let run = match run_levels_gpu(algo, &mut hpu.gpu, &mut buf_a, &mut buf_b, chunk_y) {
+    let run = match run_levels_gpu(algo, &mut hpu.gpu, &mut buf_a, &mut buf_b, chunk_y, book) {
         Ok(r) => r,
         Err(e) => {
             hpu.gpu.free(buf_a);
@@ -197,7 +232,10 @@ pub(crate) fn run_advanced<T: Element, A: BfAlgorithm<T>>(
         }
     };
     let result = if run.in_first { &buf_a } else { &buf_b };
+    let g0 = hpu.gpu.clock();
     let out = hpu.download(result);
+    // The download hands back the transfer-level chunks.
+    book.transfer(chunk_y as u64, gpu_region.len() as u64, g0, hpu.gpu.clock());
     gpu_region.copy_from_slice(&out);
     hpu.gpu.free(buf_a);
     hpu.gpu.free(buf_b);
@@ -214,6 +252,7 @@ pub(crate) fn run_advanced<T: Element, A: BfAlgorithm<T>>(
         &mut scratch[..cpu_elems],
         chunk_y,
         cores,
+        book,
     );
     if !in_data {
         copy_level(
@@ -222,6 +261,8 @@ pub(crate) fn run_advanced<T: Element, A: BfAlgorithm<T>>(
             cpu_region,
             chunk_y,
             cores,
+            book,
+            chunk_y as u64,
         );
     }
 
@@ -231,9 +272,17 @@ pub(crate) fn run_advanced<T: Element, A: BfAlgorithm<T>>(
     hpu.sync();
 
     hpu.cpu.set_footprint(2 * n * elem_bytes);
-    let in_data = run_cpu_combines_from(algo, hpu, data, &mut scratch, chunk_y * a, cores);
+    let in_data = run_cpu_combines_from(algo, hpu, data, &mut scratch, chunk_y * a, cores, book);
     if !in_data {
-        copy_level(&mut hpu.cpu, &scratch, data, n.div_ceil(cores), cores);
+        copy_level(
+            &mut hpu.cpu,
+            &scratch,
+            data,
+            n.div_ceil(cores),
+            cores,
+            book,
+            n as u64,
+        );
     }
     Ok(HybridStats {
         coalesced: run.coalesced,

@@ -3,18 +3,20 @@
 //!
 //! [`run_sim`] is the single entry point: it validates the input, resolves
 //! the [`Strategy`] (deriving model parameters where asked to), dispatches
-//! to the matching executor and returns a [`RunReport`] with virtual-time
-//! and communication accounting.
+//! to the matching executor and returns a [`RunReport`] with virtual-time,
+//! communication and per-level accounting plus a model-vs-simulation drift
+//! report.
 
 mod cpu;
 mod gpu;
 mod hybrid;
 mod native;
 
-pub use native::run_native;
+pub use native::{run_native, run_native_report, NativeReport};
 
 use hpu_machine::SimHpu;
-use hpu_model::{BasicSchedule, MachineParams};
+use hpu_model::{predict_levels, BasicSchedule, LevelProfile, MachineParams, PlannedSchedule};
+use hpu_obs::{drift_rows, LevelBook, LevelDrift, LevelMetrics};
 
 use crate::bf::{num_levels, BfAlgorithm, Element};
 use crate::error::CoreError;
@@ -72,6 +74,12 @@ pub struct RunReport {
     /// (CPU, GPU including the transfer back): the paper's "GPU/CPU" ratio
     /// of Figure 8 is `concurrent.1 / concurrent.0`.
     pub concurrent: Option<(f64, f64)>,
+    /// Per-level metrics (bottom-up: level 0 = base cases), aggregated from
+    /// the structured execution spans.
+    pub levels: Vec<LevelMetrics>,
+    /// Per-level analytic prediction vs. simulated time for the resolved
+    /// strategy (same bottom-up indexing as [`RunReport::levels`]).
+    pub drift: Vec<LevelDrift>,
 }
 
 /// Extracts analytic-model machine parameters from a simulated machine's
@@ -84,11 +92,33 @@ pub fn model_params(hpu: &SimHpu) -> MachineParams {
         .with_transfer_cost(cfg.bus.lambda, cfg.bus.delta)
 }
 
+/// The analytic plan a resolved strategy corresponds to, for per-level
+/// prediction.
+fn plan_of(resolved: &Strategy) -> PlannedSchedule {
+    match resolved {
+        Strategy::Sequential => PlannedSchedule::Sequential,
+        Strategy::CpuOnly => PlannedSchedule::CpuParallel,
+        Strategy::GpuOnly => PlannedSchedule::GpuOnly,
+        Strategy::Basic { crossover } => PlannedSchedule::Basic {
+            // A resolved basic strategy always carries its crossover.
+            crossover: crossover.unwrap_or(0),
+        },
+        Strategy::Advanced {
+            alpha,
+            transfer_level,
+        } => PlannedSchedule::Advanced {
+            alpha: *alpha,
+            transfer_level: *transfer_level,
+        },
+    }
+}
+
 /// Runs `algo` over `data` on the simulated machine under `strategy`.
 ///
 /// `data.len()` must be `base_chunk · a^k` (see
 /// [`crate::CoreError::InvalidSize`]). On success `data` holds the result
-/// and the report carries the virtual-time accounting.
+/// and the report carries the virtual-time accounting, per-level metrics
+/// and the model-vs-simulation drift rows.
 pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
     algo: &A,
     data: &mut [T],
@@ -96,25 +126,27 @@ pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
     strategy: &Strategy,
 ) -> Result<RunReport, CoreError> {
     let levels = num_levels(algo, data.len())?;
+    let n = data.len();
     hpu.sync();
     let t0 = hpu.elapsed();
     let transfers0 = hpu.bus.transfers();
     let words0 = hpu.bus.words();
     let cpu_busy0 = hpu.cpu.stats().busy_core_time;
     let gpu_busy0 = hpu.gpu.stats().busy;
+    let mut book = LevelBook::new(algo.base_chunk() as u64, algo.branching() as u64);
 
     let (resolved, coalesced, uncoalesced, concurrent) = match strategy {
         Strategy::Sequential => {
-            cpu::run_cpu_only(algo, data, hpu, 1)?;
+            cpu::run_cpu_only(algo, data, hpu, 1, &mut book)?;
             (Strategy::Sequential, 0, 0, None)
         }
         Strategy::CpuOnly => {
             let cores = hpu.config().cpu.cores;
-            cpu::run_cpu_only(algo, data, hpu, cores)?;
+            cpu::run_cpu_only(algo, data, hpu, cores, &mut book)?;
             (Strategy::CpuOnly, 0, 0, None)
         }
         Strategy::GpuOnly => {
-            let st = gpu::run_gpu_only(algo, data, hpu)?;
+            let st = gpu::run_gpu_only(algo, data, hpu, &mut book)?;
             (Strategy::GpuOnly, st.0, st.1, None)
         }
         Strategy::Basic { crossover } => {
@@ -126,18 +158,18 @@ pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
                 // GPU not worth using: degrade to CPU-only (paper §5.1).
                 None => {
                     let cores = hpu.config().cpu.cores;
-                    cpu::run_cpu_only(algo, data, hpu, cores)?;
+                    cpu::run_cpu_only(algo, data, hpu, cores, &mut book)?;
                     (Strategy::CpuOnly, 0, 0, None)
                 }
                 Some(c) if c > levels => {
                     // Crossover below the leaves: nothing for the GPU —
                     // report what actually ran.
                     let cores = hpu.config().cpu.cores;
-                    cpu::run_cpu_only(algo, data, hpu, cores)?;
+                    cpu::run_cpu_only(algo, data, hpu, cores, &mut book)?;
                     (Strategy::CpuOnly, 0, 0, None)
                 }
                 Some(c) => {
-                    let st = hybrid::run_basic(algo, data, hpu, c)?;
+                    let st = hybrid::run_basic(algo, data, hpu, c, &mut book)?;
                     (
                         Strategy::Basic { crossover: Some(c) },
                         st.coalesced,
@@ -151,12 +183,24 @@ pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
             alpha,
             transfer_level,
         } => {
-            let st = hybrid::run_advanced(algo, data, hpu, *alpha, *transfer_level)?;
-            (strategy.clone(), st.coalesced, st.uncoalesced, st.concurrent)
+            let st = hybrid::run_advanced(algo, data, hpu, *alpha, *transfer_level, &mut book)?;
+            (
+                strategy.clone(),
+                st.coalesced,
+                st.uncoalesced,
+                st.concurrent,
+            )
         }
     };
 
     hpu.sync();
+    let level_metrics = book.finish();
+    let profile = LevelProfile::new(&model_params(hpu), &algo.recurrence(), n as u64);
+    let predicted: Vec<(u32, f64)> = predict_levels(&profile, &plan_of(&resolved), levels)
+        .into_iter()
+        .map(|p| (p.level, p.time))
+        .collect();
+    let drift = drift_rows(&level_metrics, &predicted);
     Ok(RunReport {
         label: format!("{resolved:?} on {}", algo.name()),
         virtual_time: hpu.elapsed() - t0,
@@ -168,5 +212,7 @@ pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
         gpu_busy: hpu.gpu.stats().busy - gpu_busy0,
         resolved,
         concurrent,
+        levels: level_metrics,
+        drift,
     })
 }

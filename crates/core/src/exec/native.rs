@@ -2,14 +2,33 @@
 //!
 //! This is the executor a downstream user runs on an actual multicore: the
 //! same [`BfAlgorithm`] code, levels fork-joined on a [`LevelPool`],
-//! wall-clock timed, no cost accounting.
+//! wall-clock timed. [`run_native`] returns just the duration;
+//! [`run_native_report`] additionally records every level as a structured
+//! wall-clock span (µs) and aggregates the same per-level metrics the
+//! simulator produces, so native runs appear in the same Chrome traces and
+//! CSV reports as simulated ones.
 
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use hpu_obs::{EventKind, LevelBook, LevelMetrics, LevelPhase, TraceEvent, WallRecorder};
 
 use crate::bf::{num_levels, BfAlgorithm, Element};
 use crate::charge::NullCharge;
 use crate::error::CoreError;
 use crate::pool::LevelPool;
+
+/// Wall-clock accounting of one native run.
+#[derive(Debug)]
+pub struct NativeReport {
+    /// End-to-end wall-clock time.
+    pub wall: Duration,
+    /// Per-level metrics (bottom-up; times in µs of wall clock; ops/mem
+    /// are zero — native runs don't charge abstract costs).
+    pub levels: Vec<LevelMetrics>,
+    /// The structured spans recorded during the run (µs since run start).
+    pub trace: Vec<TraceEvent>,
+}
 
 /// Runs `algo` over `data` on real threads; returns the wall-clock time.
 /// On success `data` holds the result.
@@ -18,36 +37,80 @@ pub fn run_native<T: Element, A: BfAlgorithm<T>>(
     data: &mut [T],
     pool: &LevelPool,
 ) -> Result<Duration, CoreError> {
+    Ok(run_native_report(algo, data, pool)?.wall)
+}
+
+/// Runs `algo` over `data` on real threads with structured tracing: every
+/// level becomes a wall-clock span on a fresh [`WallRecorder`] and a row of
+/// per-level metrics. On success `data` holds the result.
+pub fn run_native_report<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    pool: &LevelPool,
+) -> Result<NativeReport, CoreError> {
     num_levels(algo, data.len())?;
     let n = data.len();
     let a = algo.branching();
     let base = algo.base_chunk();
+    let rec = Arc::new(Mutex::new(WallRecorder::new()));
+    let pool = pool.clone().with_recorder(rec.clone());
+    let mut book = LevelBook::new(base as u64, a as u64);
     let start = Instant::now();
     let mut scratch = vec![T::default(); n];
 
-    pool.run(
+    let base_tasks = data.chunks_mut(base).len() as u64;
+    let (s, e) = pool.run_tagged(
+        EventKind::Level {
+            name: algo.name().to_string(),
+            phase: LevelPhase::Base,
+            chunk: base as u64,
+            tasks: base_tasks,
+            ops: 0,
+            mem: 0,
+        },
         data.chunks_mut(base)
-            .map(|c| {
-                move || algo.base_case(c, &mut NullCharge)
-            })
+            .map(|c| move || algo.base_case(c, &mut NullCharge))
             .collect(),
     );
+    book.cpu(base as u64, base_tasks, 0, 0, s, e);
 
     let mut chunk = base.saturating_mul(a);
     let mut src_is_data = true;
     while chunk <= n {
         if src_is_data {
-            native_level(algo, pool, data, &mut scratch, chunk);
+            native_level(algo, &pool, data, &mut scratch, chunk, &mut book);
         } else {
-            native_level(algo, pool, &scratch, data, chunk);
+            native_level(algo, &pool, &scratch, data, chunk, &mut book);
         }
         src_is_data = !src_is_data;
         chunk = chunk.saturating_mul(a);
     }
     if !src_is_data {
-        data.copy_from_slice(&scratch);
+        let (s, e) = pool.run_tagged(
+            EventKind::Level {
+                name: "copy back".to_string(),
+                phase: LevelPhase::CopyBack,
+                chunk: n as u64,
+                tasks: 1,
+                ops: 0,
+                mem: 0,
+            },
+            vec![|| data.copy_from_slice(&scratch)],
+        );
+        book.cpu(n as u64, 0, 0, 0, s, e);
     }
-    Ok(start.elapsed())
+    let wall = start.elapsed();
+    let trace = std::mem::take(
+        &mut *rec
+            .lock()
+            .expect("recorder lock never poisoned while the pool is idle"),
+    )
+    .into_events();
+    Ok(NativeReport {
+        wall,
+        levels: book.finish(),
+        trace,
+    })
 }
 
 fn native_level<T: Element, A: BfAlgorithm<T>>(
@@ -56,11 +119,22 @@ fn native_level<T: Element, A: BfAlgorithm<T>>(
     src: &[T],
     dst: &mut [T],
     chunk: usize,
+    book: &mut LevelBook,
 ) {
-    pool.run(
+    let tasks = src.chunks(chunk).len() as u64;
+    let (s, e) = pool.run_tagged(
+        EventKind::Level {
+            name: algo.name().to_string(),
+            phase: LevelPhase::Combine,
+            chunk: chunk as u64,
+            tasks,
+            ops: 0,
+            mem: 0,
+        },
         src.chunks(chunk)
             .zip(dst.chunks_mut(chunk))
             .map(|(s, d)| move || algo.combine(s, d, &mut NullCharge))
             .collect(),
     );
+    book.cpu(chunk as u64, tasks, 0, 0, s, e);
 }

@@ -43,5 +43,6 @@ pub mod tune;
 pub use bf::{BfAlgorithm, Element, LevelInfo};
 pub use charge::Charge;
 pub use error::CoreError;
-pub use exec::{run_native, run_sim, RunReport, Strategy};
+pub use exec::{run_native, run_native_report, run_sim, NativeReport, RunReport, Strategy};
+pub use pool::LevelPool;
 pub use tree::DivideConquer;

@@ -11,14 +11,21 @@
 //! data safe without `'static` bounds.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
+use hpu_obs::{EventKind, Recorder, Track, WallRecorder};
 
 /// A fork-join executor running each submitted level on `threads` OS
 /// threads.
+///
+/// A pool can carry an optional wall-clock [`WallRecorder`]: levels
+/// submitted through [`LevelPool::run_tagged`] are then recorded as
+/// structured spans (µs since the recorder's origin) for Chrome trace
+/// export. Cloned pools share the same recorder.
 #[derive(Debug, Clone)]
 pub struct LevelPool {
     threads: usize,
+    recorder: Option<Arc<Mutex<WallRecorder>>>,
 }
 
 impl LevelPool {
@@ -26,6 +33,7 @@ impl LevelPool {
     pub fn new(threads: usize) -> Self {
         LevelPool {
             threads: threads.max(1),
+            recorder: None,
         }
     }
 
@@ -40,6 +48,42 @@ impl LevelPool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attaches a shared wall-clock recorder; levels run through
+    /// [`LevelPool::run_tagged`] will be recorded as structured spans.
+    pub fn with_recorder(mut self, rec: Arc<Mutex<WallRecorder>>) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Mutex<WallRecorder>>> {
+        self.recorder.as_ref()
+    }
+
+    /// Runs a level of independent tasks like [`LevelPool::run`], recording
+    /// it on the attached recorder (if any) as an event of the given kind.
+    /// Returns the level's wall-clock interval in µs since the recorder's
+    /// origin (`(0, 0)` without a recorder).
+    pub fn run_tagged<F>(&self, kind: EventKind, tasks: Vec<F>) -> (f64, f64)
+    where
+        F: FnOnce() + Send,
+    {
+        match &self.recorder {
+            None => {
+                self.run(tasks);
+                (0.0, 0.0)
+            }
+            Some(rec) => {
+                let start = rec.lock().unwrap().now_us();
+                self.run(tasks);
+                let mut rec = rec.lock().unwrap();
+                let end = rec.now_us();
+                rec.record_event(Track::Cpu, start, end, kind);
+                (start, end)
+            }
+        }
     }
 
     /// Runs a level of independent tasks to completion.
@@ -76,14 +120,22 @@ impl LevelPool {
                     if i >= n {
                         break;
                     }
-                    let task = slots[i].lock().take().expect("each task taken once");
-                    *results[i].lock() = Some(task());
+                    let task = slots[i]
+                        .lock()
+                        .expect("slot lock never poisoned")
+                        .take()
+                        .expect("each task taken once");
+                    *results[i].lock().expect("result lock never poisoned") = Some(task());
                 });
             }
         });
         results
             .into_iter()
-            .map(|m| m.into_inner().expect("every task ran"))
+            .map(|m| {
+                m.into_inner()
+                    .expect("result lock never poisoned")
+                    .expect("every task ran")
+            })
             .collect()
     }
 }
@@ -157,6 +209,18 @@ mod tests {
         assert_eq!(data[0], 0);
         assert_eq!(data[5], 1);
         assert_eq!(data[15], 3);
+    }
+
+    #[test]
+    fn tagged_levels_land_on_the_recorder() {
+        let rec = Arc::new(Mutex::new(WallRecorder::new()));
+        let pool = LevelPool::new(2).with_recorder(rec.clone());
+        let tasks: Vec<_> = (0..8).map(|_| || {}).collect();
+        let (s, e) = pool.run_tagged(EventKind::Mark("lvl".into()), tasks);
+        assert!(e >= s);
+        let rec = rec.lock().unwrap();
+        assert_eq!(rec.events().len(), 1);
+        assert!(rec.events()[0].duration() >= 0.0);
     }
 
     #[test]

@@ -19,11 +19,7 @@ pub fn params_of(cfg: &MachineConfig) -> MachineParams {
 /// Derives the model-optimal advanced schedule `(α*, y*)` for `rec` at
 /// input size `n` on the given machine, with `y` rounded to an executable
 /// integer level clamped to `[1, L]`.
-pub fn auto_advanced(
-    cfg: &MachineConfig,
-    rec: &Recurrence,
-    n: u64,
-) -> Result<Strategy, CoreError> {
+pub fn auto_advanced(cfg: &MachineConfig, rec: &Recurrence, n: u64) -> Result<Strategy, CoreError> {
     let params = params_of(cfg);
     let solver = AdvancedSolver::new(&params, rec, n).map_err(|_| CoreError::EmptyInput)?;
     let opt = solver.optimize();

@@ -73,7 +73,9 @@ fn test_machine() -> MachineConfig {
 
 fn input(n: usize) -> Vec<u32> {
     // Deterministic pseudo-random permutation-ish data.
-    (0..n as u32).map(|i| i.wrapping_mul(2654435761) ^ 0xBEEF).collect()
+    (0..n as u32)
+        .map(|i| i.wrapping_mul(2654435761) ^ 0xBEEF)
+        .collect()
 }
 
 fn sorted_copy(v: &[u32]) -> Vec<u32> {
@@ -236,13 +238,9 @@ fn native_executor_sorts() {
 #[test]
 fn grid_search_finds_minimum_of_its_samples() {
     let cfg = test_machine();
-    let result = grid_search_sim(
-        &ToySort,
-        &cfg,
-        &[0.1, 0.25, 0.5],
-        &[3, 5],
-        || input(1 << 10),
-    )
+    let result = grid_search_sim(&ToySort, &cfg, &[0.1, 0.25, 0.5], &[3, 5], || {
+        input(1 << 10)
+    })
     .unwrap();
     assert_eq!(result.samples.len(), 6);
     let min = result
@@ -288,8 +286,13 @@ fn weak_gpu_machine_degrades_basic_to_cpu() {
     let mut data = input(1 << 8);
     let expect = sorted_copy(&data);
     let mut hpu = SimHpu::new(cfg);
-    let report = run_sim(&ToySort, &mut data, &mut hpu, &Strategy::Basic { crossover: None })
-        .unwrap();
+    let report = run_sim(
+        &ToySort,
+        &mut data,
+        &mut hpu,
+        &Strategy::Basic { crossover: None },
+    )
+    .unwrap();
     assert_eq!(data, expect);
     assert_eq!(report.transfers, 0, "no GPU use on a weak device");
     assert_eq!(report.resolved, Strategy::CpuOnly);

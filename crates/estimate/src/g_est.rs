@@ -30,19 +30,25 @@ fn probe(gpu: &mut SimGpu, len: usize, threads: usize) -> f64 {
         .expect("probe arrays fit in device memory");
     let mut out = gpu.alloc::<u64>(len).expect("probe output fits");
     let stats = gpu
-        .launch2("g-probe elementwise sum", threads, &mut input, &mut out, |t, ctx, a, c| {
-            let mut count = 0u64;
-            let mut i = t;
-            while i < len {
-                c[i] = a[i].wrapping_add(a[len + i]);
-                i += threads;
-                count += 1;
-            }
-            ctx.charge_ops(count);
-            ctx.read(0, t, count as usize, threads);
-            ctx.read(0, len + t, count as usize, threads);
-            ctx.write(1, t, count as usize, threads);
-        })
+        .launch2(
+            "g-probe elementwise sum",
+            threads,
+            &mut input,
+            &mut out,
+            |t, ctx, a, c| {
+                let mut count = 0u64;
+                let mut i = t;
+                while i < len {
+                    c[i] = a[i].wrapping_add(a[len + i]);
+                    i += threads;
+                    count += 1;
+                }
+                ctx.charge_ops(count);
+                ctx.read(0, t, count as usize, threads);
+                ctx.read(0, len + t, count as usize, threads);
+                ctx.write(1, t, count as usize, threads);
+            },
+        )
         .expect("probe launch is well-formed");
     gpu.free(input);
     gpu.free(out);

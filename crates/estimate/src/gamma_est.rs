@@ -71,13 +71,19 @@ pub fn probe(cfg: &MachineConfig, size: usize) -> (f64, f64) {
     // so the setup transfer is kept off the timeline).
     buf_src.debug_fill(&src);
     let stats = gpu
-        .launch2("gamma-probe merge (GPU)", 1, &mut buf_src, &mut buf_dst, |_, ctx, s, d| {
-            let c = merge(s, d);
-            ctx.charge_ops(c);
-            ctx.read(0, 0, size / 2, 1);
-            ctx.read(0, size / 2, size / 2, 1);
-            ctx.write(1, 0, size, 1);
-        })
+        .launch2(
+            "gamma-probe merge (GPU)",
+            1,
+            &mut buf_src,
+            &mut buf_dst,
+            |_, ctx, s, d| {
+                let c = merge(s, d);
+                ctx.charge_ops(c);
+                ctx.read(0, 0, size / 2, 1);
+                ctx.read(0, size / 2, size / 2, 1);
+                ctx.write(1, 0, size, 1);
+            },
+        )
         .expect("probe launch is well-formed");
     gpu.free(buf_src);
     gpu.free(buf_dst);

@@ -4,9 +4,9 @@
 //! and words so schedules can prove their communication claims (the basic
 //! schedule makes one round trip, the advanced one exactly two transfers).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
+use hpu_obs::EventKind;
 
 use crate::config::BusConfig;
 use crate::timeline::{Timeline, Unit};
@@ -61,12 +61,15 @@ impl Bus {
         self.words += words;
         self.total_time += dt;
         if let Some(t) = &self.timeline {
-            let dir = match direction {
-                Direction::ToGpu => "→GPU",
-                Direction::ToCpu => "→CPU",
-            };
-            t.lock()
-                .record(Unit::Bus, start, start + dt, format!("{dir} {words} words"));
+            t.lock().unwrap().record_kind(
+                Unit::Bus,
+                start,
+                start + dt,
+                EventKind::Transfer {
+                    to_gpu: direction == Direction::ToGpu,
+                    words,
+                },
+            );
         }
         start + dt
     }
@@ -121,8 +124,15 @@ mod tests {
         let t = Arc::new(Mutex::new(Timeline::new()));
         let mut b = bus().with_timeline(t.clone());
         b.transfer(Direction::ToGpu, 7, 0.0);
-        let tl = t.lock();
-        assert!(tl.events()[0].label.contains("→GPU"));
-        assert!(tl.events()[0].label.contains('7'));
+        let tl = t.lock().unwrap();
+        assert!(tl.events()[0].label().contains("→GPU"));
+        assert!(tl.events()[0].label().contains('7'));
+        assert!(matches!(
+            tl.events()[0].kind,
+            EventKind::Transfer {
+                to_gpu: true,
+                words: 7
+            }
+        ));
     }
 }

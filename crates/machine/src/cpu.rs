@@ -12,9 +12,9 @@
 //! between `llc` and `2·llc` bytes. This reproduces the cache-contention
 //! slowdown the paper reports for inputs past `n = 2^20` (§6.4, Figure 8).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
+use hpu_obs::{EventKind, LevelPhase};
 
 use crate::config::CpuConfig;
 use crate::timeline::{Timeline, Unit};
@@ -54,6 +54,29 @@ pub struct CpuStats {
     pub rounds: u64,
     /// Total busy time summed over cores.
     pub busy_core_time: f64,
+}
+
+/// Summary of one executed level, returned by [`SimCpu::run_level_obs`] so
+/// schedulers can feed per-level metrics without parsing the timeline.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct LevelRun {
+    /// Virtual time at which the level started.
+    pub start: f64,
+    /// Virtual time at which the level ended.
+    pub end: f64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Total operation charges across the tasks.
+    pub ops: u64,
+    /// Total memory charges across the tasks.
+    pub mem: u64,
+}
+
+impl LevelRun {
+    /// Duration of the level.
+    pub fn time(&self) -> f64 {
+        self.end - self.start
+    }
 }
 
 /// The simulated `p`-core CPU with its own virtual clock.
@@ -145,7 +168,7 @@ impl SimCpu {
         self.stats.tasks += 1;
         self.stats.rounds += 1;
         self.stats.busy_core_time += dt;
-        self.record(start, self.clock, label);
+        self.record(start, self.clock, EventKind::Mark(label.to_string()));
         r
     }
 
@@ -173,21 +196,70 @@ impl SimCpu {
     where
         F: FnOnce(&mut CpuCtx),
     {
+        let run = self.run_level_impl(cores, tasks);
+        if run.tasks > 0 {
+            let label = format!("{label} ({} tasks)", run.tasks);
+            self.record(run.start, run.end, EventKind::Mark(label));
+        }
+        run.time()
+    }
+
+    /// Like [`SimCpu::run_level_with`] but recording a structured
+    /// [`EventKind::Level`] span (phase, chunk size, charge totals) and
+    /// returning the full [`LevelRun`] summary for metrics aggregation.
+    pub fn run_level_obs<F>(
+        &mut self,
+        cores: usize,
+        name: &str,
+        phase: LevelPhase,
+        chunk: u64,
+        tasks: impl IntoIterator<Item = F>,
+    ) -> LevelRun
+    where
+        F: FnOnce(&mut CpuCtx),
+    {
+        let run = self.run_level_impl(cores, tasks);
+        if run.tasks > 0 {
+            self.record(
+                run.start,
+                run.end,
+                EventKind::Level {
+                    name: name.to_string(),
+                    phase,
+                    chunk,
+                    tasks: run.tasks,
+                    ops: run.ops,
+                    mem: run.mem,
+                },
+            );
+        }
+        run
+    }
+
+    fn run_level_impl<F>(&mut self, cores: usize, tasks: impl IntoIterator<Item = F>) -> LevelRun
+    where
+        F: FnOnce(&mut CpuCtx),
+    {
         let cores = cores.clamp(1, self.cfg.cores);
         let factor = self.mem_factor_for(cores);
         let start = self.clock;
         let mut level_time = 0.0;
         let mut round_max = 0.0_f64;
         let mut in_round = 0usize;
-        let mut count = 0u64;
+        let mut run = LevelRun {
+            start,
+            ..LevelRun::default()
+        };
         for task in tasks {
             let mut ctx = CpuCtx::default();
             task(&mut ctx);
             let cost = ctx.cost(factor);
             self.stats.busy_core_time += cost;
+            run.ops += ctx.ops;
+            run.mem += ctx.mem;
             round_max = round_max.max(cost);
             in_round += 1;
-            count += 1;
+            run.tasks += 1;
             if in_round == cores {
                 level_time += round_max;
                 self.stats.rounds += 1;
@@ -199,17 +271,15 @@ impl SimCpu {
             level_time += round_max;
             self.stats.rounds += 1;
         }
-        self.stats.tasks += count;
+        self.stats.tasks += run.tasks;
         self.clock += level_time;
-        if count > 0 {
-            self.record(start, self.clock, &format!("{label} ({count} tasks)"));
-        }
-        level_time
+        run.end = self.clock;
+        run
     }
 
-    fn record(&self, start: f64, end: f64, label: &str) {
+    fn record(&self, start: f64, end: f64, kind: EventKind) {
         if let Some(t) = &self.timeline {
-            t.lock().record(Unit::Cpu, start, end, label);
+            t.lock().unwrap().record_kind(Unit::Cpu, start, end, kind);
         }
     }
 }
@@ -251,7 +321,9 @@ mod tests {
         let costs = [10u64, 50, 20, 20];
         let t = c.run_level(
             "lvl",
-            costs.iter().map(|&k| move |ctx: &mut CpuCtx| ctx.charge_ops(k)),
+            costs
+                .iter()
+                .map(|&k| move |ctx: &mut CpuCtx| ctx.charge_ops(k)),
         );
         // Rounds: {10,50} -> 50, {20,20} -> 20.
         assert_eq!(t, 70.0);
@@ -315,11 +387,46 @@ mod tests {
     fn timeline_records_levels() {
         let t = Arc::new(Mutex::new(Timeline::new()));
         let mut c = cpu(2).with_timeline(t.clone());
-        c.run_level("merge level 3", (0..4).map(|_| |ctx: &mut CpuCtx| ctx.charge_ops(1)));
-        let tl = t.lock();
+        c.run_level(
+            "merge level 3",
+            (0..4).map(|_| |ctx: &mut CpuCtx| ctx.charge_ops(1)),
+        );
+        let tl = t.lock().unwrap();
         assert_eq!(tl.events().len(), 1);
-        assert!(tl.events()[0].label.contains("merge level 3"));
-        assert!(tl.events()[0].label.contains("4 tasks"));
+        assert!(tl.events()[0].label().contains("merge level 3"));
+        assert!(tl.events()[0].label().contains("4 tasks"));
+    }
+
+    #[test]
+    fn obs_level_returns_charge_totals() {
+        let t = Arc::new(Mutex::new(Timeline::new()));
+        let mut c = cpu(2).with_timeline(t.clone());
+        let run = c.run_level_obs(
+            2,
+            "merge",
+            LevelPhase::Combine,
+            8,
+            (0..4).map(|_| {
+                |ctx: &mut CpuCtx| {
+                    ctx.charge_ops(3);
+                    ctx.charge_mem(2);
+                }
+            }),
+        );
+        assert_eq!(run.tasks, 4);
+        assert_eq!(run.ops, 12);
+        assert_eq!(run.mem, 8);
+        assert_eq!(run.time(), 10.0, "2 rounds of cost 5");
+        let tl = t.lock().unwrap();
+        assert!(matches!(
+            tl.events()[0].kind,
+            EventKind::Level {
+                chunk: 8,
+                tasks: 4,
+                ..
+            }
+        ));
+        assert_eq!(tl.events()[0].label(), "merge combine chunk 8 (4 tasks)");
     }
 
     #[test]

@@ -26,9 +26,9 @@
 //! [`crate::GpuConfig::strict`] mode the device rejects launches whose
 //! declared write ranges overlap across items.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
+use hpu_obs::EventKind;
 
 use crate::config::GpuConfig;
 use crate::error::MachineError;
@@ -275,7 +275,10 @@ impl SimGpu {
     }
 
     /// Allocates a zero-initialized buffer of `len` elements.
-    pub fn alloc<T: Default + Clone>(&mut self, len: usize) -> Result<DeviceBuffer<T>, MachineError> {
+    pub fn alloc<T: Default + Clone>(
+        &mut self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, MachineError> {
         let bytes = len * std::mem::size_of::<T>();
         let available = self.cfg.global_mem_bytes.saturating_sub(self.allocated);
         if bytes > available {
@@ -419,7 +422,8 @@ impl SimGpu {
                 let mut mem_cost = 0.0;
                 for (k, s) in wave_streams[s0..s1].iter().enumerate() {
                     let co = !s.scatter
-                        && (wave_len == 1 || (uniform && slot_coalesced.get(k).copied().unwrap_or(false)));
+                        && (wave_len == 1
+                            || (uniform && slot_coalesced.get(k).copied().unwrap_or(false)));
                     let unit = if co { 1.0 } else { penalty };
                     mem_cost += s.count as f64 * unit;
                     if co {
@@ -453,11 +457,17 @@ impl SimGpu {
         self.stats.items += n_items as u64;
         self.stats.busy += time;
         if let Some(t) = &self.timeline {
-            t.lock().record(
+            t.lock().unwrap().record_kind(
                 Unit::Gpu,
                 t0,
                 self.clock,
-                format!("{label} ({n_items} items, {waves} waves)"),
+                EventKind::Kernel {
+                    name: label.to_string(),
+                    items: n_items as u64,
+                    waves: waves as u64,
+                    coalesced,
+                    uncoalesced,
+                },
             );
         }
         Ok(LaunchStats {
@@ -500,9 +510,7 @@ mod tests {
     fn empty_launch_rejected() {
         let mut g = gpu();
         let mut buf = g.alloc::<u32>(8).unwrap();
-        let err = g
-            .launch("k", 0, &mut buf, |_, _, _| {})
-            .unwrap_err();
+        let err = g.launch("k", 0, &mut buf, |_, _, _| {}).unwrap_err();
         assert_eq!(err, MachineError::EmptyLaunch);
     }
 

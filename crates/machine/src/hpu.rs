@@ -16,9 +16,9 @@
 //! independent CPU work may keep running, which is what lets the advanced
 //! schedule overlap the GPU's transfer with CPU work.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
+use hpu_obs::EventKind;
 
 use crate::bus::{Bus, Direction};
 use crate::config::MachineConfig;
@@ -60,7 +60,7 @@ impl SimHpu {
 
     /// A snapshot of the event log.
     pub fn timeline(&self) -> Timeline {
-        self.timeline.lock().clone()
+        self.timeline.lock().unwrap().clone()
     }
 
     /// Overall virtual time: the later of the two unit clocks.
@@ -70,10 +70,21 @@ impl SimHpu {
 
     /// Joins the two timelines: both clocks advance to the maximum. Call
     /// before forking concurrent CPU/GPU phases and after joining them.
+    ///
+    /// The unit that actually waited gets a [`EventKind::Sync`] barrier span
+    /// on the timeline covering its idle interval.
     pub fn sync(&mut self) {
         let t = self.elapsed();
+        let (cpu0, gpu0) = (self.cpu.clock(), self.gpu.clock());
         self.cpu.advance_to(t);
         self.gpu.advance_to(t);
+        let mut tl = self.timeline.lock().unwrap();
+        if cpu0 < t {
+            tl.record_kind(crate::timeline::Unit::Cpu, cpu0, t, EventKind::Sync);
+        }
+        if gpu0 < t {
+            tl.record_kind(crate::timeline::Unit::Gpu, gpu0, t, EventKind::Sync);
+        }
     }
 
     /// Allocates a device buffer and uploads `data` into it, blocking the
@@ -95,7 +106,9 @@ impl SimHpu {
     pub fn upload_into<T: Clone>(&mut self, buf: &mut DeviceBuffer<T>, data: &[T]) {
         buf.data[..data.len()].clone_from_slice(data);
         let start = self.elapsed();
-        let end = self.bus.transfer(Direction::ToGpu, data.len() as u64, start);
+        let end = self
+            .bus
+            .transfer(Direction::ToGpu, data.len() as u64, start);
         self.cpu.advance_to(end);
         self.gpu.advance_to(end);
     }

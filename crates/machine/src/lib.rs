@@ -49,8 +49,9 @@ pub mod timeline;
 
 pub use bus::Bus;
 pub use config::{BusConfig, CpuConfig, GpuConfig, MachineConfig};
-pub use cpu::{CpuCtx, SimCpu};
+pub use cpu::{CpuCtx, LevelRun, SimCpu};
 pub use error::MachineError;
 pub use gpu::{DeviceBuffer, GpuCtx, LaunchStats, SimGpu};
 pub use hpu::SimHpu;
+pub use hpu_obs::{EventKind, LevelPhase};
 pub use timeline::{Timeline, TimelineEvent, Unit};

@@ -1,27 +1,15 @@
 //! Virtual-time event log of a simulated execution.
+//!
+//! Events carry a typed [`EventKind`] (level spans, kernel launches, bus
+//! transfers, sync barriers) from `hpu-obs`; the `Display` of a kind
+//! reproduces the legacy free-string labels for text renders, and the log
+//! converts losslessly into [`hpu_obs::TraceEvent`]s for Chrome trace
+//! export.
 
-use std::fmt;
+use hpu_obs::{EventKind, Recorder, TraceEvent};
 
-/// The processing unit an event ran on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Unit {
-    /// The multi-core CPU.
-    Cpu,
-    /// The GPU device.
-    Gpu,
-    /// The CPU↔GPU link.
-    Bus,
-}
-
-impl fmt::Display for Unit {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Unit::Cpu => write!(f, "CPU"),
-            Unit::Gpu => write!(f, "GPU"),
-            Unit::Bus => write!(f, "BUS"),
-        }
-    }
-}
+/// The processing unit an event ran on (re-exported trace track).
+pub use hpu_obs::Track as Unit;
 
 /// One logged interval of activity on a unit.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,14 +20,20 @@ pub struct TimelineEvent {
     pub start: f64,
     /// Virtual end time.
     pub end: f64,
-    /// Human-readable label, e.g. `"level 7 (128 tasks)"`.
-    pub label: String,
+    /// What happened during the span.
+    pub kind: EventKind,
 }
 
 impl TimelineEvent {
     /// Duration of the event.
     pub fn duration(&self) -> f64 {
         self.end - self.start
+    }
+
+    /// Human-readable label, e.g. `"level 7 (128 tasks)"` — the `Display`
+    /// of the typed kind.
+    pub fn label(&self) -> String {
+        self.kind.to_string()
     }
 }
 
@@ -55,14 +49,19 @@ impl Timeline {
         Timeline::default()
     }
 
-    /// Records an event.
+    /// Records a free-form annotation span (legacy string label).
     pub fn record(&mut self, unit: Unit, start: f64, end: f64, label: impl Into<String>) {
+        self.record_kind(unit, start, end, EventKind::Mark(label.into()));
+    }
+
+    /// Records a typed event span.
+    pub fn record_kind(&mut self, unit: Unit, start: f64, end: f64, kind: EventKind) {
         debug_assert!(end >= start, "events must not run backwards");
         self.events.push(TimelineEvent {
             unit,
             start,
             end,
-            label: label.into(),
+            kind,
         });
     }
 
@@ -71,7 +70,10 @@ impl Timeline {
         &self.events
     }
 
-    /// Total busy time of a unit.
+    /// Total *core-time* of a unit: the sum of span durations. For the CPU
+    /// this counts overlapping per-core rounds at their full length, so it
+    /// can exceed the wall-clock interval the unit was occupied; use
+    /// [`Timeline::utilization`] for occupancy.
     pub fn busy(&self, unit: Unit) -> f64 {
         self.events
             .iter()
@@ -80,9 +82,36 @@ impl Timeline {
             .sum()
     }
 
+    /// Interval-merged occupancy of a unit: the length of the union of its
+    /// spans, i.e. how long the unit was busy on the wall clock. Sync
+    /// barriers (idle waiting) are excluded. Never exceeds
+    /// [`Timeline::makespan`].
+    pub fn utilization(&self, unit: Unit) -> f64 {
+        let spans: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .filter(|e| e.unit == unit && e.kind != EventKind::Sync)
+            .map(|e| (e.start, e.end))
+            .collect();
+        hpu_obs::merge_intervals(&spans)
+    }
+
     /// Latest end time across all events (the makespan).
     pub fn makespan(&self) -> f64 {
         self.events.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Converts the log into trace events for Chrome trace export.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .map(|e| TraceEvent {
+                track: e.unit,
+                start: e.start,
+                end: e.end,
+                kind: e.kind.clone(),
+            })
+            .collect()
     }
 
     /// Renders the timeline as an indented text report (one line per event),
@@ -102,10 +131,16 @@ impl Timeline {
                 e.end,
                 pct_start,
                 pct_end,
-                e.label
+                e.kind
             );
         }
         out
+    }
+}
+
+impl Recorder for Timeline {
+    fn record_event(&mut self, track: Unit, start: f64, end: f64, kind: EventKind) {
+        self.record_kind(track, start, end, kind);
     }
 }
 
@@ -127,12 +162,40 @@ mod tests {
     }
 
     #[test]
+    fn busy_is_core_time_but_utilization_merges_overlap() {
+        let mut t = Timeline::new();
+        // Two overlapping CPU rounds, as in a concurrent hybrid phase.
+        t.record(Unit::Cpu, 0.0, 10.0, "round a");
+        t.record(Unit::Cpu, 5.0, 12.0, "round b");
+        assert_eq!(t.busy(Unit::Cpu), 17.0, "core-time counts both in full");
+        assert_eq!(t.utilization(Unit::Cpu), 12.0, "occupancy merges overlap");
+        assert_eq!(t.utilization(Unit::Gpu), 0.0);
+    }
+
+    #[test]
     fn render_contains_labels() {
         let mut t = Timeline::new();
         t.record(Unit::Bus, 0.0, 1.0, "upload 1024 words");
         let s = t.render();
         assert!(s.contains("BUS"));
         assert!(s.contains("upload 1024 words"));
+    }
+
+    #[test]
+    fn typed_events_render_like_legacy_labels() {
+        let mut t = Timeline::new();
+        t.record_kind(
+            Unit::Bus,
+            0.0,
+            1.0,
+            EventKind::Transfer {
+                to_gpu: true,
+                words: 1024,
+            },
+        );
+        assert!(t.render().contains("→GPU 1024 words"));
+        assert_eq!(t.events()[0].label(), "→GPU 1024 words");
+        assert_eq!(t.trace_events()[0].kind, t.events()[0].kind);
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl AdvancedSolver {
     /// Builds a solver; fails if the input is smaller than one division step.
     pub fn new(machine: &MachineParams, rec: &Recurrence, n: u64) -> Result<Self, ModelError> {
         if n < rec.b as u64 {
-            return Err(ModelError::ProblemTooSmall { n, min: rec.b as u64 });
+            return Err(ModelError::ProblemTooSmall {
+                n,
+                min: rec.b as u64,
+            });
         }
         Ok(AdvancedSolver {
             profile: LevelProfile::new(machine, rec, n),
@@ -247,10 +250,7 @@ impl AdvancedSolver {
         }
         // Golden-section refinement around the best grid cell.
         let step = (hi - lo) / GRID as f64;
-        let (mut a, mut b) = (
-            (best_alpha - step).max(lo),
-            (best_alpha + step).min(hi),
-        );
+        let (mut a, mut b) = ((best_alpha - step).max(lo), (best_alpha + step).min(hi));
         let phi = 0.5 * (5f64.sqrt() - 1.0);
         let score = |alpha: f64| self.gpu_work_at(alpha).unwrap_or(f64::NEG_INFINITY);
         let (mut x1, mut x2) = (b - phi * (b - a), a + phi * (b - a));
@@ -274,7 +274,11 @@ impl AdvancedSolver {
             }
         }
         let alpha = if f1 > f2 { x1 } else { x2 };
-        let alpha = if score(alpha) >= best_w { alpha } else { best_alpha };
+        let alpha = if score(alpha) >= best_w {
+            alpha
+        } else {
+            best_alpha
+        };
         let sol = self.solve_y(alpha);
         let w = self.gpu_work(alpha, sol.y);
         AdvancedSchedule {
@@ -353,8 +357,7 @@ mod tests {
     #[test]
     fn example_5_2_2() {
         let solver =
-            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24)
-                .unwrap();
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24).unwrap();
         let opt = solver.optimize();
         assert!(
             (opt.alpha - 0.16).abs() < 0.03,
@@ -384,8 +387,7 @@ mod tests {
         let solver =
             AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), n).unwrap();
         let alpha = 0.16;
-        let expect =
-            alpha * n as f64 / 4.0 * (24.0 - (4.0 / alpha).log2() + 1.0);
+        let expect = alpha * n as f64 / 4.0 * (24.0 - (4.0 / alpha).log2() + 1.0);
         let got = solver.tc(alpha);
         assert!(
             (got - expect).abs() / expect < 0.01,
@@ -412,8 +414,7 @@ mod tests {
     #[test]
     fn solved_y_equates_times() {
         let solver =
-            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24)
-                .unwrap();
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24).unwrap();
         for &alpha in &[0.05, 0.16, 0.3, 0.6] {
             let sol = solver.solve_y(alpha);
             assert!(sol.feasible);
@@ -432,8 +433,7 @@ mod tests {
     fn y_decreases_with_alpha() {
         // More CPU share -> longer concurrent phase -> GPU climbs higher.
         let solver =
-            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24)
-                .unwrap();
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24).unwrap();
         let mut prev = f64::INFINITY;
         for k in 1..20 {
             let alpha = k as f64 * 0.05;
@@ -450,8 +450,7 @@ mod tests {
         // With α at its minimum the CPU stops almost immediately; the GPU
         // barely gets to work.
         let solver =
-            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 16)
-                .unwrap();
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 16).unwrap();
         let a0 = solver.alpha_min();
         let w0 = solver.gpu_work_at(a0).unwrap_or(0.0);
         let wopt = solver.optimize().gpu_work;
@@ -461,8 +460,7 @@ mod tests {
     #[test]
     fn hpu2_optimum_is_sane() {
         let solver =
-            AdvancedSolver::new(&MachineParams::hpu2(), &Recurrence::mergesort(), 1 << 24)
-                .unwrap();
+            AdvancedSolver::new(&MachineParams::hpu2(), &Recurrence::mergesort(), 1 << 24).unwrap();
         let opt = solver.optimize();
         assert!(opt.alpha > 0.05 && opt.alpha < 0.9);
         assert!(opt.gpu_work_fraction > 0.3 && opt.gpu_work_fraction < 0.8);
@@ -504,8 +502,12 @@ mod tests {
         let r = Recurrence::mergesort();
         let m0 = MachineParams::hpu1();
         let m1 = MachineParams::hpu1().with_transfer_cost(1e6, 0.5);
-        let s0 = AdvancedSolver::new(&m0, &r, 1 << 20).unwrap().predicted_speedup(1 << 20);
-        let s1 = AdvancedSolver::new(&m1, &r, 1 << 20).unwrap().predicted_speedup(1 << 20);
+        let s0 = AdvancedSolver::new(&m0, &r, 1 << 20)
+            .unwrap()
+            .predicted_speedup(1 << 20);
+        let s1 = AdvancedSolver::new(&m1, &r, 1 << 20)
+            .unwrap()
+            .predicted_speedup(1 << 20);
         assert!(s1 < s0);
     }
 }

@@ -132,7 +132,10 @@ mod tests {
         let seq = predicted_time_sequential(&pr);
         let cpu = predicted_time_cpu_parallel(&pr);
         let gpu = predicted_time_gpu_only(&pr, 0);
-        assert!(hybrid < cpu, "hybrid {hybrid} should beat CPU-parallel {cpu}");
+        assert!(
+            hybrid < cpu,
+            "hybrid {hybrid} should beat CPU-parallel {cpu}"
+        );
         assert!(hybrid < gpu, "hybrid {hybrid} should beat GPU-only {gpu}");
         assert!(hybrid < seq);
     }

@@ -75,8 +75,7 @@ impl ClosedForm {
                 self.depth + 1.0 - tc * m.gamma * m.g as f64 / (share * w)
             } else {
                 // Case (iii): Tg = Tmax + w·a/(γ(a−1))·(a^{−y} − share/g).
-                let rhs =
-                    (tc - tmax) * m.gamma * (a - 1.0) / (a * w) + share / m.g as f64;
+                let rhs = (tc - tmax) * m.gamma * (a - 1.0) / (a * w) + share / m.g as f64;
                 -rhs.ln() / a.ln()
             }
         };
@@ -143,8 +142,7 @@ mod tests {
         // closed forms on mergesort within a small tolerance.
         let c = cf();
         let solver =
-            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24)
-                .unwrap();
+            AdvancedSolver::new(&MachineParams::hpu1(), &Recurrence::mergesort(), 1 << 24).unwrap();
         for &alpha in &[0.08, 0.16, 0.3, 0.5, 0.8] {
             let tc_c = c.tc(alpha);
             let tc_g = solver.tc(alpha);

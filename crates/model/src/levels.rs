@@ -86,14 +86,18 @@ impl LevelProfile {
     /// `⌈a^i / p⌉ · f(n/b^i)` (paper §5.1 uses `(a^i/p)·f` when saturated
     /// and `f` when not; the ceiling unifies both).
     pub fn cpu_level_time(&self, i: u32) -> f64 {
-        let batches = (self.tasks[i as usize] / self.machine.p as f64).ceil().max(1.0);
+        let batches = (self.tasks[i as usize] / self.machine.p as f64)
+            .ceil()
+            .max(1.0);
         batches * self.task_cost[i as usize]
     }
 
     /// Time for the GPU to execute all tasks of level `i`:
     /// `⌈a^i / g⌉ · f(n/b^i) / γ`.
     pub fn gpu_level_time(&self, i: u32) -> f64 {
-        let waves = (self.tasks[i as usize] / self.machine.g as f64).ceil().max(1.0);
+        let waves = (self.tasks[i as usize] / self.machine.g as f64)
+            .ceil()
+            .max(1.0);
         waves * self.task_cost[i as usize] / self.machine.gamma
     }
 

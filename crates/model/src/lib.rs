@@ -50,6 +50,7 @@ pub mod cost;
 pub mod error;
 pub mod levels;
 pub mod params;
+pub mod prediction;
 pub mod recurrence;
 
 pub use advanced::{AdvancedSchedule, AdvancedSolver, GpuSaturation};
@@ -58,4 +59,5 @@ pub use cost::CostFn;
 pub use error::ModelError;
 pub use levels::LevelProfile;
 pub use params::MachineParams;
+pub use prediction::{predict_levels, LevelPrediction, PlannedSchedule};
 pub use recurrence::Recurrence;

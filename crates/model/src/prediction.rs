@@ -1,0 +1,247 @@
+//! Per-level analytic predictions for executable schedules.
+//!
+//! The executors in `hpu-core` run breadth-first levels indexed *bottom-up*
+//! (level 0 = base cases/leaves, level `k` = combines producing chunks of
+//! `base · a^k` elements), while the model's [`LevelProfile`] indexes
+//! division levels *top-down* (level `i = 0` = root). This module bridges
+//! the two: [`predict_levels`] emits one predicted time per *executor*
+//! level for a given [`PlannedSchedule`], so a drift report can line the
+//! prediction up against observed per-level metrics row by row.
+//!
+//! Mapping: an executor with `Lx` combine levels puts its level `k` against
+//! model level `i = Lx − k`. When the algorithm uses a leaf cutoff
+//! (`base_chunk > 1`, hence `Lx <` model `L`), the model levels below the
+//! cutoff — `i ≥ Lx` — and the leaves all fold into executor level 0,
+//! matching what `base_case` actually executes.
+//!
+//! Transfers are charged where the executors attribute them: uploads to
+//! level 0 (the data leaves the host before any device work), downloads to
+//! the level whose chunks come back.
+
+use crate::levels::LevelProfile;
+
+/// A fully resolved, executable schedule to predict per-level times for.
+///
+/// Mirrors `hpu-core`'s resolved `Strategy` (no `Option`s left).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlannedSchedule {
+    /// Everything on one CPU core.
+    Sequential,
+    /// All levels on all `p` CPU cores.
+    CpuParallel,
+    /// All levels on the GPU, one round trip of the whole input.
+    GpuOnly,
+    /// Basic hybrid: model levels `0..crossover` on the CPU, the rest plus
+    /// the leaves on the GPU.
+    Basic {
+        /// First top-down level executed on the GPU.
+        crossover: u32,
+    },
+    /// Advanced hybrid: `α : 1−α` split run concurrently up to the transfer
+    /// level, CPU finishes the top.
+    Advanced {
+        /// Fraction of subproblems assigned to the CPU.
+        alpha: f64,
+        /// Top-down level at which the GPU hands results back.
+        transfer_level: u32,
+    },
+}
+
+/// Predicted time of one executor level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelPrediction {
+    /// Bottom-up executor level (0 = base cases/leaves).
+    pub level: u32,
+    /// Predicted time of the level, including transfers attributed to it.
+    pub time: f64,
+}
+
+/// Per-level predicted times for `plan`, indexed by *executor* level
+/// (bottom-up, `0 ..= exec_levels`).
+///
+/// `exec_levels` is the executor's combine-level count
+/// (`log_a(n / base_chunk)`); model levels below the executor's leaf cutoff
+/// fold into level 0.
+pub fn predict_levels(
+    profile: &LevelProfile,
+    plan: &PlannedSchedule,
+    exec_levels: u32,
+) -> Vec<LevelPrediction> {
+    let lx = exec_levels;
+    let lm = profile.levels();
+    let n = profile.n();
+    let machine = profile.machine();
+    let (p, g, gamma) = (machine.p as f64, machine.g as f64, machine.gamma);
+    let leaf_cost = profile.recurrence().leaf_cost;
+    let a = profile.recurrence().a as f64;
+
+    // Executor slot a model level folds into.
+    let k_of = |i: u32| lx.saturating_sub(i) as usize;
+
+    let cpu_share = |i: u32, frac: f64| {
+        let tasks = frac * profile.tasks_at(i);
+        (tasks / p).ceil().max(1.0) * profile.task_cost_at(i)
+    };
+    let gpu_share = |i: u32, frac: f64| {
+        let tasks = frac * profile.tasks_at(i);
+        (tasks / g).ceil().max(1.0) * profile.task_cost_at(i) / gamma
+    };
+    let cpu_leaves = |frac: f64| (frac * profile.leaves() / p).ceil().max(1.0) * leaf_cost;
+    let gpu_leaves = |frac: f64| (frac * profile.leaves() / g).ceil().max(1.0) * leaf_cost / gamma;
+
+    let mut pred = vec![0.0_f64; lx as usize + 1];
+
+    match plan {
+        PlannedSchedule::Sequential => {
+            for i in 0..lm {
+                pred[k_of(i)] += profile.tasks_at(i) * profile.task_cost_at(i);
+            }
+            pred[0] += profile.leaves() * leaf_cost;
+        }
+        PlannedSchedule::CpuParallel => {
+            for i in 0..lm {
+                pred[k_of(i)] += profile.cpu_level_time(i);
+            }
+            pred[0] += profile.cpu_leaf_time();
+        }
+        PlannedSchedule::GpuOnly => {
+            for i in 0..lm {
+                pred[k_of(i)] += profile.gpu_level_time(i);
+            }
+            pred[0] += profile.gpu_leaf_time();
+            let t = machine.transfer_time(n);
+            pred[0] += t; // upload
+            pred[k_of(0)] += t; // download of the finished root
+        }
+        PlannedSchedule::Basic { crossover } => {
+            for i in 0..lm {
+                pred[k_of(i)] += if i < *crossover {
+                    profile.cpu_level_time(i)
+                } else {
+                    profile.gpu_level_time(i)
+                };
+            }
+            pred[0] += profile.gpu_leaf_time();
+            let t = machine.transfer_time(n);
+            pred[0] += t; // upload
+            pred[k_of(*crossover)] += t; // download at the crossover chunks
+        }
+        PlannedSchedule::Advanced {
+            alpha,
+            transfer_level,
+        } => {
+            let y = *transfer_level;
+            // Mirror the executor's integral split: ⌈α·a^y⌋ CPU chunks,
+            // clamped so both units get work.
+            let tasks_y = a.powi(y as i32).max(2.0);
+            let cpu_tasks = (alpha * tasks_y).round().clamp(1.0, tasks_y - 1.0);
+            let frac = cpu_tasks / tasks_y;
+            for i in 0..lm {
+                pred[k_of(i)] += if i < y {
+                    profile.cpu_level_time(i)
+                } else {
+                    // Concurrent phase: each level ends when the slower
+                    // unit finishes its share.
+                    cpu_share(i, frac).max(gpu_share(i, 1.0 - frac))
+                };
+            }
+            pred[0] += cpu_leaves(frac).max(gpu_leaves(1.0 - frac));
+            let gpu_words = ((1.0 - frac) * n as f64).round() as u64;
+            let t = machine.transfer_time(gpu_words);
+            pred[0] += t; // upload of the GPU share
+            pred[k_of(y)] += t; // download at the transfer level
+        }
+    }
+
+    pred.into_iter()
+        .enumerate()
+        .map(|(level, time)| LevelPrediction {
+            level: level as u32,
+            time,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::{predicted_time_cpu_parallel, predicted_time_gpu_only};
+    use crate::{MachineParams, Recurrence};
+
+    fn profile(n: u64) -> LevelProfile {
+        LevelProfile::new(&MachineParams::hpu1(), &Recurrence::mergesort(), n)
+    }
+
+    #[test]
+    fn per_level_sums_match_aggregate_predictions() {
+        let pr = profile(1 << 12);
+        let lx = pr.levels();
+        let cpu: f64 = predict_levels(&pr, &PlannedSchedule::CpuParallel, lx)
+            .iter()
+            .map(|l| l.time)
+            .sum();
+        assert!((cpu - predicted_time_cpu_parallel(&pr)).abs() < 1e-9);
+        let gpu: f64 = predict_levels(&pr, &PlannedSchedule::GpuOnly, lx)
+            .iter()
+            .map(|l| l.time)
+            .sum();
+        assert!((gpu - predicted_time_gpu_only(&pr, 1 << 12)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_sums_to_total_work() {
+        let pr = profile(1 << 10);
+        let lx = pr.levels();
+        let seq: f64 = predict_levels(&pr, &PlannedSchedule::Sequential, lx)
+            .iter()
+            .map(|l| l.time)
+            .sum();
+        assert!((seq - pr.total_work()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn basic_switches_units_at_the_crossover() {
+        let pr = profile(1 << 12);
+        let lx = pr.levels();
+        let rows = predict_levels(&pr, &PlannedSchedule::Basic { crossover: 3 }, lx);
+        assert_eq!(rows.len(), lx as usize + 1);
+        // Executor level lx (the root) is model level 0: CPU side.
+        assert!((rows[lx as usize].time - pr.cpu_level_time(0)).abs() < 1e-9);
+        // Executor level lx - 3 is the first GPU level and gets the
+        // download attributed to it.
+        let t = pr.machine().transfer_time(1 << 12);
+        let k = (lx - 3) as usize;
+        assert!((rows[k].time - (pr.gpu_level_time(3) + t)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaf_cutoff_folds_lower_levels_into_level_zero() {
+        let pr = profile(1 << 10);
+        let lm = pr.levels();
+        // A cutoff of 2^4 leaves lx = 6 executor levels.
+        let rows = predict_levels(&pr, &PlannedSchedule::CpuParallel, 6);
+        assert_eq!(rows.len(), 7);
+        let folded: f64 = (6..lm).map(|i| pr.cpu_level_time(i)).sum();
+        assert!((rows[0].time - (pr.cpu_leaf_time() + folded)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advanced_concurrent_levels_take_the_max_share() {
+        let pr = profile(1 << 12);
+        let lx = pr.levels();
+        let rows = predict_levels(
+            &pr,
+            &PlannedSchedule::Advanced {
+                alpha: 0.25,
+                transfer_level: 4,
+            },
+            lx,
+        );
+        // Top levels (below y) are plain CPU levels.
+        assert!((rows[lx as usize].time - pr.cpu_level_time(0)).abs() < 1e-9);
+        // Every level time is positive and finite.
+        for r in &rows {
+            assert!(r.time.is_finite() && r.time > 0.0, "level {}", r.level);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Model-vs-simulation drift: per-level relative error between the analytic
+//! prediction and the simulated (or measured) time.
+//!
+//! This is the machinery behind the paper's predicted-vs-measured gap
+//! (e.g. 4.54× measured vs 5.47× predicted speedup on HPU1 mergesort): the
+//! analytic model ignores simulator costs like kernel launch overhead,
+//! uncoalesced-access penalties and CPU cache contention, and the drift
+//! report shows level by level where those costs land.
+
+use crate::metrics::LevelMetrics;
+use std::fmt::Write as _;
+
+/// One level's prediction-vs-observation comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelDrift {
+    /// Bottom-up level index (0 = base cases/leaves), matching
+    /// [`LevelMetrics::level`].
+    pub level: u32,
+    /// Analytic prediction of the level's time from `hpu-model`.
+    pub predicted: f64,
+    /// Observed interval-merged time of the level.
+    pub simulated: f64,
+    /// Relative error `(simulated - predicted) / predicted`; positive means
+    /// the run was slower than the model. Infinite when the model predicts
+    /// zero but time was observed.
+    pub rel_err: f64,
+}
+
+/// Joins per-level observed metrics with per-level predictions
+/// (`(level, predicted_time)` pairs) into drift rows, one per level present
+/// on either side.
+pub fn drift_rows(levels: &[LevelMetrics], predicted: &[(u32, f64)]) -> Vec<LevelDrift> {
+    let mut out: Vec<LevelDrift> = Vec::new();
+    for m in levels {
+        let pred = predicted
+            .iter()
+            .find(|(l, _)| *l == m.level)
+            .map(|&(_, t)| t)
+            .unwrap_or(0.0);
+        out.push(make_row(m.level, pred, m.time));
+    }
+    for &(level, pred) in predicted {
+        if !levels.iter().any(|m| m.level == level) {
+            out.push(make_row(level, pred, 0.0));
+        }
+    }
+    out.sort_by_key(|d| d.level);
+    out
+}
+
+fn make_row(level: u32, predicted: f64, simulated: f64) -> LevelDrift {
+    let rel_err = if predicted > 0.0 {
+        (simulated - predicted) / predicted
+    } else if simulated > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    LevelDrift {
+        level,
+        predicted,
+        simulated,
+        rel_err,
+    }
+}
+
+/// Renders drift rows as a plain-text table with a totals line.
+pub fn render_drift(rows: &[LevelDrift]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>14} {:>14} {:>9}",
+        "level", "predicted", "simulated", "rel err"
+    );
+    let (mut tp, mut ts) = (0.0, 0.0);
+    for r in rows {
+        tp += r.predicted;
+        ts += r.simulated;
+        let _ = writeln!(
+            out,
+            "{:>5} {:>14.2} {:>14.2} {:>8.1}%",
+            r.level,
+            r.predicted,
+            r.simulated,
+            100.0 * r.rel_err
+        );
+    }
+    let total_err = if tp > 0.0 { (ts - tp) / tp } else { 0.0 };
+    let _ = writeln!(
+        out,
+        "{:>5} {:>14.2} {:>14.2} {:>8.1}%",
+        "total",
+        tp,
+        ts,
+        100.0 * total_err
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(level: u32, time: f64) -> LevelMetrics {
+        LevelMetrics {
+            level,
+            time,
+            ..LevelMetrics::default()
+        }
+    }
+
+    #[test]
+    fn joins_both_sides() {
+        let rows = drift_rows(&[metrics(0, 10.0), metrics(1, 6.0)], &[(1, 5.0), (2, 3.0)]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].level, 0);
+        assert!(rows[0].rel_err.is_infinite(), "observed but not predicted");
+        assert!((rows[1].rel_err - 0.2).abs() < 1e-12);
+        assert_eq!(rows[2].simulated, 0.0);
+        assert!(
+            (rows[2].rel_err + 1.0).abs() < 1e-12,
+            "predicted but absent"
+        );
+    }
+
+    #[test]
+    fn render_has_totals_line() {
+        let text = render_drift(&drift_rows(&[metrics(0, 11.0)], &[(0, 10.0)]));
+        assert!(text.contains("total"));
+        assert!(text.contains("10.0%"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Observability layer for the HPU simulator and native executors.
+//!
+//! This crate is deliberately dependency-free (no serde, no tracing): the
+//! workspace must build offline, and the formats involved — Chrome trace
+//! event JSON, CSV, plain-text tables — are simple enough to emit and parse
+//! by hand.
+//!
+//! The pieces:
+//!
+//! * [`EventKind`] / [`TraceEvent`] — typed trace events replacing free-form
+//!   string labels. `Display` reproduces the legacy labels losslessly so
+//!   text renders stay readable.
+//! * [`Recorder`] — the sink trait. The simulator's `Timeline` (virtual
+//!   time) and the native [`WallRecorder`] (wall-clock via `Instant`) both
+//!   implement it, so executors are agnostic about which clock is running.
+//! * [`ChromeTrace`] — hand-rolled Chrome trace event JSON exporter; open
+//!   the output in Perfetto (<https://ui.perfetto.dev>) or
+//!   `chrome://tracing`. Each process is one run; CPU, GPU and bus map to
+//!   track rows.
+//! * [`LevelMetrics`] / [`LevelBook`] — per-level aggregation: task counts,
+//!   ops/mem charges, coalescing, words moved, interval-merged per-unit
+//!   occupancy.
+//! * [`LevelDrift`] / [`drift_rows`] — per-level comparison of analytic
+//!   model predictions against simulated (or measured) time.
+//! * [`json`] — a minimal JSON value parser used by tests to validate the
+//!   exporter's output without external crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod drift;
+mod event;
+pub mod json;
+mod metrics;
+mod wall;
+
+pub use chrome::ChromeTrace;
+pub use drift::{drift_rows, render_drift, LevelDrift};
+pub use event::{EventKind, LevelPhase, Recorder, TraceEvent, Track};
+pub use metrics::{merge_intervals, LevelBook, LevelMetrics};
+pub use wall::WallRecorder;

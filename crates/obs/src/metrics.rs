@@ -1,0 +1,247 @@
+//! Per-level metrics aggregation.
+//!
+//! Executors report each span of work to a [`LevelBook`] keyed by the
+//! breadth-first level it belongs to (level 0 = base cases / leaves, level
+//! `k` = combines at chunk `base · a^k`). [`LevelBook::finish`] folds the
+//! raw spans into one [`LevelMetrics`] row per level, with per-unit
+//! occupancy computed by interval merging — overlapping spans (e.g. the
+//! advanced schedule's concurrent CPU and GPU phases) are not double
+//! counted.
+
+use crate::event::Track;
+use std::collections::BTreeMap;
+
+/// Merges possibly-overlapping `(start, end)` intervals and returns the
+/// total length of their union. Empty and inverted intervals contribute
+/// nothing.
+pub fn merge_intervals(intervals: &[(f64, f64)]) -> f64 {
+    let mut iv: Vec<(f64, f64)> = intervals.iter().copied().filter(|&(s, e)| e > s).collect();
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (s, e) in iv {
+        match cur {
+            None => cur = Some((s, e)),
+            Some((cs, ce)) => {
+                if s <= ce {
+                    cur = Some((cs, ce.max(e)));
+                } else {
+                    total += ce - cs;
+                    cur = Some((s, e));
+                }
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Aggregated metrics for one breadth-first level of a run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LevelMetrics {
+    /// Bottom-up level index: 0 = base cases/leaves, `k` = the k-th combine.
+    pub level: u32,
+    /// Chunk size (output elements per task) at this level.
+    pub chunk: u64,
+    /// Tasks executed at this level (CPU tasks + GPU items).
+    pub tasks: u64,
+    /// Operation charges accrued at this level.
+    pub ops: u64,
+    /// Memory charges accrued at this level.
+    pub mem: u64,
+    /// Coalesced GPU accesses at this level.
+    pub coalesced: u64,
+    /// Uncoalesced GPU accesses at this level.
+    pub uncoalesced: u64,
+    /// Words moved over the bus attributed to this level.
+    pub words: u64,
+    /// Interval-merged CPU occupancy (time, not core-time).
+    pub cpu_time: f64,
+    /// Interval-merged GPU occupancy.
+    pub gpu_time: f64,
+    /// Interval-merged bus occupancy.
+    pub bus_time: f64,
+    /// Interval-merged occupancy across all units: the level's footprint on
+    /// the clock. Less than `cpu_time + gpu_time + bus_time` when units
+    /// overlap (the whole point of the hybrid schedules).
+    pub time: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Acc {
+    chunk: u64,
+    tasks: u64,
+    ops: u64,
+    mem: u64,
+    coalesced: u64,
+    uncoalesced: u64,
+    words: u64,
+    cpu: Vec<(f64, f64)>,
+    gpu: Vec<(f64, f64)>,
+    bus: Vec<(f64, f64)>,
+}
+
+/// Accumulates per-level spans during a run and folds them into
+/// [`LevelMetrics`] rows.
+///
+/// Levels are identified by chunk size: a span working at chunk `c` lands
+/// on level `log_a(c / base)` (level 0 for `c <= base`). The same mapping
+/// holds for simulated and native executors.
+#[derive(Debug, Clone)]
+pub struct LevelBook {
+    base: u64,
+    branching: u64,
+    levels: BTreeMap<u32, Acc>,
+}
+
+impl LevelBook {
+    /// Creates a book for an algorithm with the given base chunk size and
+    /// branching factor `a` (both at least 1; a branching of 1 puts all
+    /// work on level 0).
+    pub fn new(base_chunk: u64, branching: u64) -> Self {
+        LevelBook {
+            base: base_chunk.max(1),
+            branching: branching.max(1),
+            levels: BTreeMap::new(),
+        }
+    }
+
+    /// The level a chunk size belongs to: `round(log_a(chunk / base))`,
+    /// clamped to 0.
+    pub fn level_of(&self, chunk: u64) -> u32 {
+        if chunk <= self.base || self.branching < 2 {
+            return 0;
+        }
+        let ratio = chunk as f64 / self.base as f64;
+        (ratio.ln() / (self.branching as f64).ln()).round().max(0.0) as u32
+    }
+
+    fn acc(&mut self, chunk: u64) -> &mut Acc {
+        let level = self.level_of(chunk);
+        let acc = self.levels.entry(level).or_default();
+        acc.chunk = acc.chunk.max(chunk);
+        acc
+    }
+
+    /// Records a CPU span at the given chunk size.
+    pub fn cpu(&mut self, chunk: u64, tasks: u64, ops: u64, mem: u64, start: f64, end: f64) {
+        let acc = self.acc(chunk);
+        acc.tasks += tasks;
+        acc.ops += ops;
+        acc.mem += mem;
+        acc.cpu.push((start, end));
+    }
+
+    /// Records a GPU kernel span at the given chunk size. Pass `tasks = 0`
+    /// for auxiliary passes (e.g. finalize kernels) that re-visit a level.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gpu(
+        &mut self,
+        chunk: u64,
+        tasks: u64,
+        coalesced: u64,
+        uncoalesced: u64,
+        start: f64,
+        end: f64,
+    ) {
+        let acc = self.acc(chunk);
+        acc.tasks += tasks;
+        acc.coalesced += coalesced;
+        acc.uncoalesced += uncoalesced;
+        acc.gpu.push((start, end));
+    }
+
+    /// Records a bus transfer attributed to the given chunk size.
+    pub fn transfer(&mut self, chunk: u64, words: u64, start: f64, end: f64) {
+        let acc = self.acc(chunk);
+        acc.words += words;
+        acc.bus.push((start, end));
+    }
+
+    /// Folds the accumulated spans into one row per level, sorted bottom-up.
+    pub fn finish(self) -> Vec<LevelMetrics> {
+        self.levels
+            .into_iter()
+            .map(|(level, acc)| {
+                let mut all = acc.cpu.clone();
+                all.extend_from_slice(&acc.gpu);
+                all.extend_from_slice(&acc.bus);
+                LevelMetrics {
+                    level,
+                    chunk: acc.chunk,
+                    tasks: acc.tasks,
+                    ops: acc.ops,
+                    mem: acc.mem,
+                    coalesced: acc.coalesced,
+                    uncoalesced: acc.uncoalesced,
+                    words: acc.words,
+                    cpu_time: merge_intervals(&acc.cpu),
+                    gpu_time: merge_intervals(&acc.gpu),
+                    bus_time: merge_intervals(&acc.bus),
+                    time: merge_intervals(&all),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-unit occupancy of everything recorded so far, across all levels.
+    pub fn occupancy(&self, track: Track) -> f64 {
+        let mut iv = Vec::new();
+        for acc in self.levels.values() {
+            match track {
+                Track::Cpu => iv.extend_from_slice(&acc.cpu),
+                Track::Gpu => iv.extend_from_slice(&acc.gpu),
+                Track::Bus => iv.extend_from_slice(&acc.bus),
+            }
+        }
+        merge_intervals(&iv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_handles_overlap_and_gaps() {
+        assert_eq!(merge_intervals(&[]), 0.0);
+        assert_eq!(merge_intervals(&[(0.0, 1.0), (2.0, 3.0)]), 2.0);
+        assert_eq!(merge_intervals(&[(0.0, 2.0), (1.0, 3.0)]), 3.0);
+        assert_eq!(merge_intervals(&[(0.0, 5.0), (1.0, 2.0)]), 5.0);
+        // Touching intervals merge; inverted intervals are dropped.
+        assert_eq!(merge_intervals(&[(0.0, 1.0), (1.0, 2.0), (9.0, 8.0)]), 2.0);
+    }
+
+    #[test]
+    fn levels_key_off_chunk_size() {
+        let book = LevelBook::new(1, 2);
+        assert_eq!(book.level_of(1), 0);
+        assert_eq!(book.level_of(2), 1);
+        assert_eq!(book.level_of(8), 3);
+        let cutoff = LevelBook::new(16, 2);
+        assert_eq!(cutoff.level_of(16), 0);
+        assert_eq!(cutoff.level_of(64), 2);
+    }
+
+    #[test]
+    fn finish_merges_concurrent_units() {
+        let mut book = LevelBook::new(1, 2);
+        // Concurrent CPU and GPU work at level 1 (chunk 2): overlap 5..10.
+        book.cpu(2, 3, 30, 60, 0.0, 10.0);
+        book.gpu(2, 5, 12, 0, 5.0, 15.0);
+        book.transfer(1, 64, 0.0, 2.0);
+        let rows = book.finish();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].level, 0);
+        assert_eq!(rows[0].words, 64);
+        let l1 = &rows[1];
+        assert_eq!(l1.tasks, 8);
+        assert_eq!(l1.ops, 30);
+        assert_eq!(l1.coalesced, 12);
+        assert_eq!(l1.cpu_time, 10.0);
+        assert_eq!(l1.gpu_time, 10.0);
+        assert_eq!(l1.time, 15.0, "union, not sum");
+    }
+}

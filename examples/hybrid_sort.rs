@@ -82,7 +82,7 @@ fn main() {
             event.unit.to_string(),
             event.start,
             event.end,
-            event.label
+            event.label()
         );
     }
     let more = timeline.events().len().saturating_sub(12);

@@ -16,7 +16,9 @@ fn main() {
         let mut state = 0x243F6A8885A308D3u64;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) % (2 * n as u64)) as u32
             })
             .collect()
@@ -45,7 +47,10 @@ fn main() {
         let mut data = input.clone();
         let mut hpu = SimHpu::new(cfg.clone());
         let report = run_sim(&algo, &mut data, &mut hpu, &strategy).expect("run succeeds");
-        assert!(data.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
+        assert!(
+            data.windows(2).all(|w| w[0] <= w[1]),
+            "output must be sorted"
+        );
         let base_time = *base.get_or_insert(report.virtual_time);
         println!(
             "{:<22} {:>16.0} {:>8.2}x {:>10} {:>9}",

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, lint, format. This is the same
+# gate CI would run; it needs no network access and no external crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "verify: OK"

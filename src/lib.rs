@@ -22,7 +22,10 @@
 //! * [`algos`] — mergesort (the paper's case study, §6) and further D&C
 //!   algorithms (`hpu-algos`);
 //! * [`estimate`] — the §6.4 parameter-estimation procedures
-//!   (`hpu-estimate`).
+//!   (`hpu-estimate`);
+//! * [`obs`] — dependency-free observability: typed trace events, a Chrome
+//!   trace exporter, per-level metrics and model-vs-simulation drift
+//!   reports (`hpu-obs`).
 //!
 //! ## Quickstart
 //!
@@ -51,12 +54,15 @@ pub use hpu_core as core;
 pub use hpu_estimate as estimate;
 pub use hpu_machine as machine;
 pub use hpu_model as model;
+pub use hpu_obs as obs;
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use hpu_algos::mergesort::MergeSort;
     pub use hpu_algos::sum::DcSum;
-    pub use hpu_core::exec::{run_native, run_sim, RunReport, Strategy};
+    pub use hpu_core::exec::{
+        run_native, run_native_report, run_sim, NativeReport, RunReport, Strategy,
+    };
     pub use hpu_core::pool::LevelPool;
     pub use hpu_core::tune::{auto_advanced, auto_strategy};
     pub use hpu_core::{BfAlgorithm, Charge, CoreError, DivideConquer};

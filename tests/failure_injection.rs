@@ -186,6 +186,9 @@ fn out_of_range_alpha_is_rejected() {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, CoreError::InvalidAlpha { .. }), "alpha = {alpha}");
+        assert!(
+            matches!(err, CoreError::InvalidAlpha { .. }),
+            "alpha = {alpha}"
+        );
     }
 }

@@ -8,7 +8,9 @@ use hpu_algos::scan::{scan_reference, DcScan};
 use hpu_model::advanced::AdvancedSolver;
 
 fn keys(n: usize) -> Vec<u32> {
-    (0..n as u32).map(|i| i.wrapping_mul(2654435761) ^ 0x9E37).collect()
+    (0..n as u32)
+        .map(|i| i.wrapping_mul(2654435761) ^ 0x9E37)
+        .collect()
 }
 
 #[test]
@@ -57,7 +59,10 @@ fn auto_strategy_picks_hybrid_on_strong_gpu_and_cpu_on_weak() {
     ));
     let mut weak = MachineConfig::hpu1_sim();
     weak.gpu.lanes = 8; // γ·g = 0.05 < p
-    assert!(matches!(auto_strategy(&weak, &rec, 1 << 20), Strategy::CpuOnly));
+    assert!(matches!(
+        auto_strategy(&weak, &rec, 1 << 20),
+        Strategy::CpuOnly
+    ));
 }
 
 #[test]

@@ -1,24 +1,37 @@
-//! Property-based tests (proptest) over the whole stack: executors must
-//! agree with sequential references on arbitrary inputs, and the model's
-//! solutions must satisfy their analytic invariants.
-//!
-//! Gated behind the off-by-default `proptest` cargo feature because this
-//! workspace must build with zero external crates (offline container); see
-//! the feature's note in the root `Cargo.toml`. `tests/randomized.rs`
-//! covers the same properties with an in-repo deterministic PRNG and
-//! always runs.
-#![cfg(feature = "proptest")]
-
-use proptest::prelude::*;
+//! Randomized whole-stack tests: the always-on, dependency-free port of
+//! `tests/properties.rs` (which needs the external `proptest` crate and is
+//! gated behind the off-by-default `proptest` feature). A deterministic
+//! in-repo splitmix64 PRNG drives a fixed set of seeds, so failures
+//! reproduce exactly.
 
 use hpu::prelude::*;
-// proptest's prelude also exports a `Strategy` trait; disambiguate ours.
 use hpu_algos::max_subarray::{max_subarray_reference, to_segments, MaxSubarray};
 use hpu_algos::mergesort::gpu_parallel_mergesort;
 use hpu_algos::scan::{scan_reference, DcScan};
-use hpu_algos::sum::DcSum;
 use hpu_core::exec::Strategy as Sched;
 use hpu_model::advanced::AdvancedSolver;
+
+/// splitmix64 — same finalizer as `hpu_bench::SplitMix64`, inlined here so
+/// the root test suite does not depend on the bench crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn vec_u32(&mut self, len: usize) -> Vec<u32> {
+        (0..len).map(|_| self.next_u64() as u32).collect()
+    }
+}
 
 /// Pads to the next power of two with `u32::MAX` sentinels (sorted to the
 /// end), the standard trick for the framework's power-of-two requirement.
@@ -32,15 +45,15 @@ fn small_machine() -> MachineConfig {
     MachineConfig::tiny()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const SEEDS: [u64; 6] = [1, 7, 42, 1234567, 0xDEAD_BEEF, u64::MAX - 3];
 
-    #[test]
-    fn mergesort_all_strategies_match_std_sort(
-        input in prop::collection::vec(any::<u32>(), 1..700),
-        alpha in 0.05f64..0.95,
-    ) {
-        let data = pad_pow2(input);
+#[test]
+fn mergesort_all_strategies_match_std_sort() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let len = 1 + rng.below(699) as usize;
+        let alpha = 0.05 + 0.9 * (rng.below(1000) as f64 / 1000.0);
+        let data = pad_pow2(rng.vec_u32(len));
         let mut expect = data.clone();
         expect.sort_unstable();
         let levels = data.len().trailing_zeros();
@@ -61,93 +74,119 @@ proptest! {
             let mut d = data.clone();
             let mut hpu = SimHpu::new(small_machine());
             run_sim(&MergeSort::new(), &mut d, &mut hpu, &strategy).unwrap();
-            prop_assert_eq!(&d, &expect);
+            assert_eq!(d, expect, "seed {seed}, strategy {strategy:?}");
         }
     }
+}
 
-    #[test]
-    fn coalesced_and_generic_gpu_agree(input in prop::collection::vec(any::<u32>(), 1..500)) {
-        let data = pad_pow2(input);
+#[test]
+fn coalesced_and_generic_gpu_agree() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let len = 1 + rng.below(499) as usize;
+        let data = pad_pow2(rng.vec_u32(len));
         let mut a = data.clone();
         let mut b = data;
         let mut h1 = SimHpu::new(small_machine());
         let mut h2 = SimHpu::new(small_machine());
         run_sim(&MergeSort::new(), &mut a, &mut h1, &Sched::GpuOnly).unwrap();
         run_sim(&MergeSort::generic(), &mut b, &mut h2, &Sched::GpuOnly).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    #[test]
-    fn gpu_parallel_mergesort_matches_std(input in prop::collection::vec(any::<u32>(), 1..600)) {
-        let data = pad_pow2(input);
+#[test]
+fn gpu_parallel_mergesort_matches_std() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let len = 1 + rng.below(599) as usize;
+        let data = pad_pow2(rng.vec_u32(len));
         let mut expect = data.clone();
         expect.sort_unstable();
         let mut d = data;
         let mut hpu = SimHpu::new(small_machine());
         gpu_parallel_mergesort(&mut hpu, &mut d).unwrap();
-        prop_assert_eq!(d, expect);
+        assert_eq!(d, expect, "seed {seed}");
     }
+}
 
-    #[test]
-    fn cutoff_mergesort_matches_std(
-        input in prop::collection::vec(any::<u32>(), 1..500),
-        cutoff_log in 0u32..5,
-    ) {
-        let mut data = pad_pow2(input);
-        let cutoff = (1usize << cutoff_log).min(data.len());
+#[test]
+fn cutoff_mergesort_matches_std() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let len = 1 + rng.below(499) as usize;
+        let mut data = pad_pow2(rng.vec_u32(len));
+        let cutoff = (1usize << rng.below(5)).min(data.len());
         let mut expect = data.clone();
         expect.sort_unstable();
         let algo = MergeSort::new().with_leaf_cutoff(cutoff);
         let mut hpu = SimHpu::new(small_machine());
         run_sim(&algo, &mut data, &mut hpu, &Sched::GpuOnly).unwrap();
-        prop_assert_eq!(data, expect);
+        assert_eq!(data, expect, "seed {seed}, cutoff {cutoff}");
     }
+}
 
-    #[test]
-    fn sum_matches_iter_sum(input in prop::collection::vec(any::<u32>(), 1..600)) {
-        let mut data: Vec<u64> = input.iter().map(|&x| x as u64).collect();
-        let n = data.len().max(1).next_power_of_two();
+#[test]
+fn sum_matches_iter_sum() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let len = 1 + rng.below(599) as usize;
+        let mut data: Vec<u64> = (0..len).map(|_| rng.next_u64() as u32 as u64).collect();
+        let n = data.len().next_power_of_two();
         data.resize(n, 0);
         let expect: u64 = data.iter().sum();
         for strategy in [Sched::CpuOnly, Sched::GpuOnly] {
             let mut d = data.clone();
             let mut hpu = SimHpu::new(small_machine());
             run_sim(&DcSum, &mut d, &mut hpu, &strategy).unwrap();
-            prop_assert_eq!(d[0], expect);
+            assert_eq!(d[0], expect, "seed {seed}, strategy {strategy:?}");
         }
     }
+}
 
-    #[test]
-    fn scan_matches_reference(input in prop::collection::vec(0u64..1_000_000, 1..400)) {
-        let mut data = input;
-        let n = data.len().max(1).next_power_of_two();
+#[test]
+fn scan_matches_reference() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let len = 1 + rng.below(399) as usize;
+        let mut data: Vec<u64> = (0..len).map(|_| rng.below(1_000_000)).collect();
+        let n = data.len().next_power_of_two();
         data.resize(n, 0);
         let expect = scan_reference(&data);
         let mut d = data;
         let mut hpu = SimHpu::new(small_machine());
         run_sim(&DcScan, &mut d, &mut hpu, &Sched::CpuOnly).unwrap();
-        prop_assert_eq!(d, expect);
+        assert_eq!(d, expect, "seed {seed}");
     }
+}
 
-    #[test]
-    fn max_subarray_matches_kadane(input in prop::collection::vec(-1000i64..1000, 1..300)) {
+#[test]
+fn max_subarray_matches_kadane() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let len = 1 + rng.below(299) as usize;
+        let input: Vec<i64> = (0..len).map(|_| rng.below(2000) as i64 - 1000).collect();
         let mut padded = input.clone();
-        let n = padded.len().max(1).next_power_of_two();
+        let n = padded.len().next_power_of_two();
         padded.resize(n, 0); // zero padding does not change the optimum
         let mut segs = to_segments(&padded);
         let mut hpu = SimHpu::new(small_machine());
         run_sim(&MaxSubarray, &mut segs, &mut hpu, &Sched::CpuOnly).unwrap();
-        prop_assert_eq!(segs[0].best, max_subarray_reference(&input));
+        assert_eq!(segs[0].best, max_subarray_reference(&input), "seed {seed}");
     }
+}
 
-    #[test]
-    fn model_y_is_monotone_and_times_equalize(
-        n_log in 8u32..24,
-        g_log in 4u32..13,
-        gamma_inv in 2.0f64..300.0,
-    ) {
+#[test]
+fn model_y_is_monotone_and_times_equalize() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let n_log = 8 + rng.below(16) as u32;
+        let g_log = 4 + rng.below(9) as u32;
+        let gamma_inv = 2.0 + 298.0 * (rng.below(1000) as f64 / 1000.0);
         let machine = MachineParams::new(4, 1 << g_log, 1.0 / gamma_inv).unwrap();
-        prop_assume!(machine.gpu_worth_using());
+        if !machine.gpu_worth_using() {
+            continue;
+        }
         let solver = AdvancedSolver::new(&machine, &Recurrence::mergesort(), 1 << n_log).unwrap();
         let mut prev_y = f64::INFINITY;
         for k in 1..10 {
@@ -155,45 +194,62 @@ proptest! {
             let sol = solver.solve_y(alpha);
             if sol.feasible {
                 // y non-increasing in alpha.
-                prop_assert!(sol.y <= prev_y + 1e-9);
+                assert!(sol.y <= prev_y + 1e-9, "seed {seed}, alpha {alpha}");
                 prev_y = sol.y;
                 // At an interior solution the two times are equal.
                 if sol.y > 1e-9 && sol.y < (n_log as f64) - 1e-9 {
                     let tg = solver.tg(alpha, sol.y);
-                    prop_assert!((tg - sol.tc).abs() <= 1e-6 * sol.tc.max(1.0));
+                    assert!(
+                        (tg - sol.tc).abs() <= 1e-6 * sol.tc.max(1.0),
+                        "seed {seed}, alpha {alpha}"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn model_optimum_dominates_grid(
-        n_log in 10u32..22,
-        g_log in 6u32..13,
-    ) {
+#[test]
+fn model_optimum_dominates_grid() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let n_log = 10 + rng.below(12) as u32;
+        let g_log = 6 + rng.below(7) as u32;
         let machine = MachineParams::new(4, 1 << g_log, 1.0 / 100.0).unwrap();
-        prop_assume!(machine.gpu_worth_using());
+        if !machine.gpu_worth_using() {
+            continue;
+        }
         let solver = AdvancedSolver::new(&machine, &Recurrence::mergesort(), 1 << n_log).unwrap();
         let best = solver.optimize();
         for k in 1..20 {
             let alpha = k as f64 * 0.05;
             if let Some(w) = solver.gpu_work_at(alpha) {
-                prop_assert!(best.gpu_work >= w - 1e-6 * w.abs());
+                assert!(
+                    best.gpu_work >= w - 1e-6 * w.abs(),
+                    "seed {seed}, alpha {alpha}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn pool_preserves_task_order(tasks in prop::collection::vec(any::<u16>(), 0..200)) {
+#[test]
+fn pool_preserves_task_order() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let len = rng.below(200) as usize;
+        let tasks: Vec<u16> = (0..len).map(|_| rng.next_u64() as u16).collect();
         let pool = LevelPool::new(3);
         let jobs: Vec<_> = tasks.iter().map(|&v| move || v as u32 + 1).collect();
         let out = pool.run_collect(jobs);
         let expect: Vec<u32> = tasks.iter().map(|&v| v as u32 + 1).collect();
-        prop_assert_eq!(out, expect);
+        assert_eq!(out, expect, "seed {seed}");
     }
+}
 
-    #[test]
-    fn virtual_time_scales_with_work(n_log in 6u32..11) {
+#[test]
+fn virtual_time_scales_with_work() {
+    for n_log in 6u32..11 {
         // Doubling the input must not shrink virtual time, whatever the
         // strategy.
         let run_at = |n: usize| {
@@ -205,6 +261,6 @@ proptest! {
         };
         let t1 = run_at(1 << n_log);
         let t2 = run_at(1 << (n_log + 1));
-        prop_assert!(t2 > t1);
+        assert!(t2 > t1, "n_log {n_log}: {t1} -> {t2}");
     }
 }
