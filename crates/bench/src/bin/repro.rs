@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--full] [--out DIR] [--trace DIR]
+//! repro plan EXPERIMENT [...] [--full] [--out DIR]
 //!
 //! EXPERIMENT: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             ablation-coalescing ablation-schedule extension-workloads
 //!             all   (default: all)
+//! plan        instead of running, print the compiled execution plans
+//!             behind the experiment's strategies (one CSV row per plan
+//!             segment); model-only experiments are rejected
 //! --full      paper-scale sizes (n = 2^24; takes much longer)
 //! --out DIR   also write each experiment to DIR/<name>.csv
+//!             (plans land in DIR/<name>.plan.csv)
 //! --trace DIR also run every strategy (simulated and native) with
 //!             structured tracing and write DIR/<name>.trace.json (Chrome
 //!             trace event format, one process per strategy) plus
@@ -71,6 +76,37 @@ fn fig7_grid(scale: &Scale, full: bool) -> Csv {
     exp::fig7(scale.fig7_n, &alphas, &levels)
 }
 
+/// `repro plan <exp> [...]`: print the compiled execution plans behind the
+/// named experiments instead of running them.
+fn plan_mode(wanted: &[String], scale: &Scale, out_dir: Option<&str>) {
+    if wanted.is_empty() {
+        eprintln!("usage: repro plan EXPERIMENT [...]");
+        std::process::exit(2);
+    }
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for name in wanted {
+        let n = match name.as_str() {
+            "fig7" => scale.fig7_n,
+            "fig8" => *scale.fig8_sizes.last().expect("fig8 sizes"),
+            "fig9" => *scale.fig9_sizes.last().expect("fig9 sizes"),
+            "fig10" => *scale.fig10_sizes.last().expect("fig10 sizes"),
+            _ => scale.ablation_n,
+        };
+        let Some(csv) = exp::plan_csv(name, n) else {
+            eprintln!("{name}: no execution plan (model-only or estimation experiment)");
+            std::process::exit(2);
+        };
+        let _ = writeln!(lock, "# === {name} plan ===");
+        let _ = write!(lock, "{}", csv.render());
+        let _ = writeln!(lock);
+        if let Some(dir) = out_dir {
+            std::fs::create_dir_all(dir).expect("create --out directory");
+            std::fs::write(format!("{dir}/{name}.plan.csv"), csv.render()).expect("write plan CSV");
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -92,6 +128,12 @@ fn main() {
         .cloned()
         .collect();
     let scale = if full { Scale::full() } else { Scale::quick() };
+
+    if wanted.first().map(String::as_str) == Some("plan") {
+        plan_mode(&wanted[1..], &scale, out_dir.as_deref());
+        return;
+    }
+
     // One traced run of every strategy covers all experiments.
     let bundle = trace_dir.as_ref().map(|_| exp::trace_bundle(scale.trace_n));
 

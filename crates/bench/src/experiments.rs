@@ -7,13 +7,13 @@ use std::fmt::Write as _;
 
 use hpu_algos::mergesort::{gpu_parallel_mergesort, MergeSort};
 use hpu_core::exec::{run_sim, Strategy};
-use hpu_core::tune::{auto_advanced, grid_search_sim, params_of};
+use hpu_core::tune::{auto_advanced, grid_search_sim};
 use hpu_core::BfAlgorithm;
 use hpu_estimate::{estimate_g, estimate_gamma, platforms};
-use hpu_machine::{MachineConfig, SimHpu};
+use hpu_machine::{MachineConfig, SimHpu, SimMachineParams};
 use hpu_model::advanced::AdvancedSolver;
 use hpu_model::closed_form::ClosedForm;
-use hpu_model::Recurrence;
+use hpu_model::{MachineParams, Recurrence};
 
 use crate::workload::uniform_input;
 
@@ -244,7 +244,8 @@ pub fn fig8(sizes: &[usize]) -> Csv {
             let rep = run_once(&cfg, n, &strategy, 42);
             let measured = base / rep.virtual_time;
             // Model prediction with the same recurrence and machine.
-            let solver = AdvancedSolver::new(&params_of(&cfg), &rec, n as u64).expect("valid size");
+            let solver = AdvancedSolver::new(&MachineParams::from_config(&cfg), &rec, n as u64)
+                .expect("valid size");
             let opt = solver.optimize();
             let words = ((1.0 - opt.alpha) * n as f64) as u64;
             let predicted = solver.profile().total_work()
@@ -325,7 +326,8 @@ pub fn fig10(sizes: &[usize]) -> Csv {
     let rec = <MergeSort as BfAlgorithm<u32>>::recurrence(&algo);
     let mut rows = Vec::new();
     for &n in sizes {
-        let solver = AdvancedSolver::new(&params_of(&cfg), &rec, n as u64).expect("valid size");
+        let solver = AdvancedSolver::new(&MachineParams::from_config(&cfg), &rec, n as u64)
+            .expect("valid size");
         let opt = solver.optimize();
         let levels = rec.num_levels(n as u64);
         let y_pred = opt.transfer_level;
@@ -602,10 +604,152 @@ pub fn trace_bundle(n: usize) -> TraceBundle {
                 "time",
                 "predicted",
                 "rel_err",
+                "segment",
             ],
             rows,
         },
     }
+}
+
+/// The compiled execution plans behind an executable experiment, one row
+/// per plan segment: which level band runs where and what the transfer
+/// edges move. Returns `None` for model-only and estimation experiments
+/// (the tables and Figures 3–6) — they execute no plans.
+pub fn plan_csv(experiment: &str, n: usize) -> Option<Csv> {
+    use hpu_model::{compile, Direction, Placement, ScheduleSpec};
+
+    fn spec_label(spec: &ScheduleSpec) -> String {
+        match spec {
+            ScheduleSpec::Sequential => "sequential".into(),
+            ScheduleSpec::CpuParallel => "cpu_parallel".into(),
+            ScheduleSpec::GpuOnly => "gpu_only".into(),
+            ScheduleSpec::Basic { crossover: Some(c) } => format!("basic(crossover={c})"),
+            ScheduleSpec::Basic { crossover: None } => "basic(crossover=auto)".into(),
+            ScheduleSpec::Advanced {
+                alpha,
+                transfer_level,
+            } => format!("advanced(alpha={alpha:.4}; y={transfer_level})"),
+            ScheduleSpec::AdvancedAuto => "advanced(auto)".into(),
+        }
+    }
+
+    fn push_plan(
+        rows: &mut Vec<Vec<String>>,
+        platform: &str,
+        algo: &str,
+        rec: &Recurrence,
+        n: u64,
+        cfg: &MachineConfig,
+        spec: &ScheduleSpec,
+    ) {
+        let params = MachineParams::from_config(cfg);
+        let levels = rec.num_levels(n);
+        let plan = compile(spec, &params, rec, n, levels).expect("experiment schedules compile");
+        for (i, seg) in plan.segments.iter().enumerate() {
+            let placement = match &seg.placement {
+                Placement::Cpu { cores } => format!("cpu(cores={cores})"),
+                Placement::Gpu => "gpu".to_string(),
+                Placement::Split {
+                    alpha,
+                    cpu_tasks,
+                    tasks,
+                } => format!("split(alpha={alpha:.4}; cpu_tasks={cpu_tasks}; tasks={tasks})"),
+            };
+            let words = |dir: Direction| -> u64 {
+                seg.transfers
+                    .iter()
+                    .filter(|t| t.direction == dir)
+                    .map(|t| t.words)
+                    .sum()
+            };
+            rows.push(vec![
+                platform.to_string(),
+                algo.to_string(),
+                spec_label(spec),
+                spec_label(&plan.resolved),
+                n.to_string(),
+                i.to_string(),
+                seg.first_level.to_string(),
+                seg.last_level.to_string(),
+                placement,
+                words(Direction::ToGpu).to_string(),
+                words(Direction::ToCpu).to_string(),
+            ]);
+        }
+    }
+
+    let rec = <MergeSort as BfAlgorithm<u32>>::recurrence(&MergeSort::new());
+    let hpu1 = MachineConfig::hpu1_sim();
+    let mut rows = Vec::new();
+    let n64 = n as u64;
+    match experiment {
+        "fig7" | "fig10" => {
+            for spec in [ScheduleSpec::Sequential, ScheduleSpec::AdvancedAuto] {
+                push_plan(&mut rows, "HPU1", "mergesort", &rec, n64, &hpu1, &spec);
+            }
+        }
+        "fig8" | "ablation-schedule" => {
+            for p in platforms::all() {
+                let cfg = p.config();
+                for spec in [
+                    ScheduleSpec::Sequential,
+                    ScheduleSpec::CpuParallel,
+                    ScheduleSpec::GpuOnly,
+                    ScheduleSpec::Basic { crossover: None },
+                    ScheduleSpec::AdvancedAuto,
+                ] {
+                    push_plan(&mut rows, p.name, "mergesort", &rec, n64, &cfg, &spec);
+                }
+            }
+        }
+        "fig9" => {
+            for spec in [ScheduleSpec::Sequential, ScheduleSpec::GpuOnly] {
+                push_plan(&mut rows, "HPU1", "mergesort", &rec, n64, &hpu1, &spec);
+            }
+        }
+        "ablation-coalescing" => {
+            for spec in [ScheduleSpec::GpuOnly, ScheduleSpec::AdvancedAuto] {
+                push_plan(&mut rows, "HPU1", "mergesort", &rec, n64, &hpu1, &spec);
+            }
+        }
+        "extension-workloads" => {
+            use hpu_algos::max_subarray::{MaxSubarray, Segment};
+            use hpu_algos::scan::DcScan;
+            use hpu_algos::sum::DcSum;
+            let recs = [
+                ("mergesort", rec.clone()),
+                ("sum", <DcSum as BfAlgorithm<u64>>::recurrence(&DcSum)),
+                ("scan", <DcScan as BfAlgorithm<u64>>::recurrence(&DcScan)),
+                (
+                    "max_subarray",
+                    <MaxSubarray as BfAlgorithm<Segment>>::recurrence(&MaxSubarray),
+                ),
+            ];
+            for (name, r) in &recs {
+                for spec in [ScheduleSpec::Sequential, ScheduleSpec::AdvancedAuto] {
+                    push_plan(&mut rows, "HPU1", name, r, n64, &hpu1, &spec);
+                }
+            }
+        }
+        _ => return None,
+    }
+    Some(Csv {
+        name: "plan",
+        header: vec![
+            "platform",
+            "algorithm",
+            "schedule",
+            "resolved",
+            "n",
+            "segment",
+            "first_level",
+            "last_level",
+            "placement",
+            "upload_words",
+            "download_words",
+        ],
+        rows,
+    })
 }
 
 fn level_row(
@@ -630,12 +774,39 @@ fn level_row(
         f(l.time),
         predicted,
         rel_err,
+        l.segment.map(|s| s.to_string()).unwrap_or_default(),
     ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn plan_csv_covers_executable_experiments() {
+        // fig9's GPU-only plan: one upload, one device band, one download.
+        let c = plan_csv("fig9", 1 << 10).expect("fig9 executes plans");
+        assert_eq!(c.header.len(), 11);
+        let gpu_rows: Vec<_> = c.rows.iter().filter(|r| r[2] == "gpu_only").collect();
+        assert_eq!(gpu_rows.len(), 1, "GPU-only is a single segment");
+        assert_eq!(gpu_rows[0][8], "gpu");
+        assert_eq!(gpu_rows[0][9], (1 << 10).to_string(), "uploads all of n");
+        assert_eq!(gpu_rows[0][10], (1 << 10).to_string(), "downloads all of n");
+        // fig8's auto-advanced plan resolves to a split + CPU cleanup band.
+        let c = plan_csv("fig8", 1 << 16).expect("fig8 executes plans");
+        let adv: Vec<_> = c
+            .rows
+            .iter()
+            .filter(|r| r[0] == "HPU1" && r[2] == "advanced(auto)")
+            .collect();
+        assert_eq!(adv.len(), 2, "split band plus CPU cleanup band");
+        assert!(adv[0][8].starts_with("split(alpha="));
+        assert!(adv[1][8].starts_with("cpu(cores="));
+        assert!(adv[0][3].starts_with("advanced(alpha="), "resolved (α, y)");
+        // Model-only experiments have no plan.
+        assert!(plan_csv("table2", 1 << 10).is_none());
+        assert!(plan_csv("fig4", 1 << 10).is_none());
+    }
 
     #[test]
     fn extension_workloads_rows() {

@@ -99,17 +99,28 @@ fn levels_csv_covers_every_strategy() {
             .count();
         assert!(n > 0, "no level rows for {strategy}");
     }
-    // Simulated strategies carry a drift prediction in the second-to-last
-    // column; native rows leave it empty.
+    // Simulated strategies carry a drift prediction; native rows leave it
+    // empty. Every row names the plan segment that ran the level.
     let basic_row = rows
         .iter()
         .find(|r| r.starts_with("basic,"))
         .expect("basic row");
     let cells: Vec<&str> = basic_row.split(',').collect();
-    assert_eq!(cells.len(), 15);
+    assert_eq!(cells.len(), 16);
     assert!(
         !cells[13].is_empty(),
         "predicted column populated: {basic_row}"
+    );
+    assert_eq!(cells[15], "0", "level 0 runs in plan segment 0");
+    // The advanced strategy's top levels run in its CPU cleanup segment.
+    let advanced_top = rows
+        .iter()
+        .rfind(|r| r.starts_with("advanced,"))
+        .expect("advanced top row");
+    assert_eq!(
+        advanced_top.split(',').nth(15),
+        Some("1"),
+        "advanced top level attributed to segment 1: {advanced_top}"
     );
     let native_row = rows
         .iter()
@@ -117,4 +128,5 @@ fn levels_csv_covers_every_strategy() {
         .expect("native row");
     let ncells: Vec<&str> = native_row.split(',').collect();
     assert!(ncells[13].is_empty(), "native rows have no prediction");
+    assert_eq!(ncells[15], "0", "native runs are one host-only segment");
 }

@@ -1,0 +1,182 @@
+//! Plan-equivalence suite: pins the full `RunReport` of every strategy ×
+//! breadth-first workload, and the fig7/fig8/fig9 series, to golden values
+//! captured from the pre-plan-IR executors. The plan compiler + interpreter
+//! must reproduce these byte for byte — placement, transfer and per-level
+//! accounting included.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p hpu-bench` after an
+//! *intentional* behavior change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use hpu_algos::scan::DcScan;
+use hpu_algos::sum::DcSum;
+use hpu_algos::MergeSort;
+use hpu_bench::experiments as exp;
+use hpu_bench::workload::uniform_input;
+use hpu_core::exec::{run_sim, Strategy};
+use hpu_core::{BfAlgorithm, Element, RunReport};
+use hpu_machine::{MachineConfig, SimHpu};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compares `got` against the committed fixture, or rewrites the fixture
+/// when `UPDATE_GOLDEN` is set.
+fn assert_matches_fixture(name: &str, got: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "output diverged from golden fixture {name}; run with UPDATE_GOLDEN=1 only if the \
+         change is intentional"
+    );
+}
+
+fn f(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Serializes everything in a report the refactor must preserve. The
+/// per-level `segment` attribution (added with the plan IR) is deliberately
+/// not part of the golden surface.
+fn dump_report(out: &mut String, rep: &RunReport) {
+    let _ = writeln!(out, "label={}", rep.label);
+    let _ = writeln!(out, "virtual_time={}", f(rep.virtual_time));
+    let _ = writeln!(
+        out,
+        "transfers={} words={} coalesced={} uncoalesced={}",
+        rep.transfers, rep.words, rep.coalesced, rep.uncoalesced
+    );
+    let _ = writeln!(
+        out,
+        "cpu_busy={} gpu_busy={}",
+        f(rep.cpu_busy),
+        f(rep.gpu_busy)
+    );
+    match rep.concurrent {
+        Some((c, g)) => {
+            let _ = writeln!(out, "concurrent=({},{})", f(c), f(g));
+        }
+        None => {
+            let _ = writeln!(out, "concurrent=none");
+        }
+    }
+    for l in &rep.levels {
+        let _ = writeln!(
+            out,
+            "level {} chunk={} tasks={} ops={} mem={} co={} unco={} words={} cpu={} gpu={} \
+             bus={} time={}",
+            l.level,
+            l.chunk,
+            l.tasks,
+            l.ops,
+            l.mem,
+            l.coalesced,
+            l.uncoalesced,
+            l.words,
+            f(l.cpu_time),
+            f(l.gpu_time),
+            f(l.bus_time),
+            f(l.time),
+        );
+    }
+    for d in &rep.drift {
+        let _ = writeln!(
+            out,
+            "drift {} predicted={} simulated={}",
+            d.level,
+            f(d.predicted),
+            f(d.simulated)
+        );
+    }
+}
+
+fn strategies() -> Vec<(&'static str, Strategy)> {
+    vec![
+        ("sequential", Strategy::Sequential),
+        ("cpu_only", Strategy::CpuOnly),
+        ("gpu_only", Strategy::GpuOnly),
+        ("basic_auto", Strategy::Basic { crossover: None }),
+        ("basic_2", Strategy::Basic { crossover: Some(2) }),
+        (
+            "advanced_a30_y3",
+            Strategy::Advanced {
+                alpha: 0.3,
+                transfer_level: 3,
+            },
+        ),
+        (
+            "advanced_a50_y1",
+            Strategy::Advanced {
+                alpha: 0.5,
+                transfer_level: 1,
+            },
+        ),
+    ]
+}
+
+fn run_matrix_row<T: Element, A: BfAlgorithm<T>>(
+    out: &mut String,
+    platform: &str,
+    cfg: &MachineConfig,
+    algo: &A,
+    make: impl Fn() -> Vec<T>,
+) {
+    for (label, strategy) in strategies() {
+        let mut data = make();
+        let n = data.len();
+        let mut hpu = SimHpu::new(cfg.clone());
+        let rep = run_sim(algo, &mut data, &mut hpu, &strategy).expect("golden run succeeds");
+        let _ = writeln!(out, "== {platform} {} n={n} {label}", algo.name());
+        dump_report(out, &rep);
+    }
+}
+
+#[test]
+fn run_reports_match_seed_golden() {
+    let mut out = String::new();
+    let hpu1 = MachineConfig::hpu1_sim();
+    let hpu2 = MachineConfig::hpu2_sim();
+    run_matrix_row(&mut out, "hpu1", &hpu1, &MergeSort::new(), || {
+        uniform_input(1 << 12, 42)
+    });
+    run_matrix_row(&mut out, "hpu2", &hpu2, &MergeSort::new(), || {
+        uniform_input(1 << 12, 42)
+    });
+    run_matrix_row(&mut out, "hpu1", &hpu1, &DcSum, || {
+        (0..1u64 << 12).collect::<Vec<u64>>()
+    });
+    run_matrix_row(&mut out, "hpu1", &hpu1, &DcScan, || {
+        (0..1u64 << 12).map(|i| i % 97).collect::<Vec<u64>>()
+    });
+    assert_matches_fixture("run_reports.txt", &out);
+}
+
+#[test]
+fn fig7_series_match_seed_golden() {
+    let csv = exp::fig7(1 << 12, &[0.1, 0.3, 0.5], &[2, 4]);
+    assert_matches_fixture("fig7.csv", &csv.render());
+}
+
+#[test]
+fn fig8_series_match_seed_golden() {
+    let csv = exp::fig8(&[1 << 10, 1 << 12]);
+    assert_matches_fixture("fig8.csv", &csv.render());
+}
+
+#[test]
+fn fig9_series_match_seed_golden() {
+    let csv = exp::fig9(&[1 << 8, 1 << 10]);
+    assert_matches_fixture("fig9.csv", &csv.render());
+}

@@ -35,6 +35,12 @@ pub enum CoreError {
     },
     /// Empty input.
     EmptyInput,
+    /// A plan violated an interpreter invariant — e.g. a device band with
+    /// no preceding upload edge, or a placement the backend cannot execute.
+    MalformedPlan {
+        /// The invariant that was violated.
+        reason: &'static str,
+    },
     /// An underlying simulated-machine fault.
     Machine(MachineError),
 }
@@ -57,6 +63,9 @@ impl fmt::Display for CoreError {
                 write!(f, "alpha {alpha} leaves a side of the split empty")
             }
             CoreError::EmptyInput => write!(f, "input is empty"),
+            CoreError::MalformedPlan { reason } => {
+                write!(f, "malformed execution plan: {reason}")
+            }
             CoreError::Machine(e) => write!(f, "machine fault: {e}"),
         }
     }

@@ -1,0 +1,200 @@
+//! The generic plan interpreter and the backend abstraction it drives.
+//!
+//! [`interpret`] walks a compiled [`Plan`] segment by segment and issues
+//! backend operations: level bands, transfer edges and synchronization
+//! barriers. All work-division strategies — sequential, CPU-parallel,
+//! GPU-only, basic crossover, advanced `(α, y)` split — execute through
+//! this one driver; what differs is only the plan. A [`Backend`] supplies
+//! the substrate: the simulated HPU ([`super::SimBackend`]) or the native
+//! thread pool ([`super::NativeBackend`]), and future real-device backends
+//! slot in the same way.
+
+use hpu_model::{Direction, Placement, Plan, Transfer};
+use hpu_obs::LevelBook;
+
+use crate::bf::{BfAlgorithm, Element};
+use crate::error::CoreError;
+
+/// A contiguous band of bottom-up executor levels handed to a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelBand {
+    /// First (lowest) level of the band, inclusive. A band starting at 0
+    /// executes the base cases before its combines.
+    pub first: u32,
+    /// Last (highest) level of the band, inclusive.
+    pub last: u32,
+    /// Whether the band produces the root of the recursion tree.
+    pub is_root: bool,
+}
+
+/// The share of a band's tasks one [`Backend::run_level_band`] call
+/// executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Share {
+    /// All tasks of every level, on the CPU with `cores` cores.
+    Cpu {
+        /// Cores the level waves are divided among (1 = sequential).
+        cores: usize,
+    },
+    /// All tasks of every level, on the device (the device region was
+    /// established by a preceding upload edge).
+    Gpu,
+    /// The CPU side of a concurrent split: the first `cpu_tasks` of the
+    /// `tasks` chunks at the band's top level, on `cores` cores.
+    SplitCpu {
+        /// Chunks at the band's top level belonging to the CPU.
+        cpu_tasks: u64,
+        /// Total chunks at the band's top level.
+        tasks: u64,
+        /// Cores the CPU share runs on.
+        cores: usize,
+    },
+}
+
+/// Device-access tallies of one band (all zero for CPU shares).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BandStats {
+    /// Memory accesses the device served coalesced.
+    pub coalesced: u64,
+    /// Memory accesses the device served uncoalesced.
+    pub uncoalesced: u64,
+}
+
+/// An execution substrate the plan interpreter drives.
+///
+/// Implementations own the data buffer and whatever machine state the
+/// substrate needs (virtual clocks and device buffers for the simulator, a
+/// thread pool and wall clock for native runs). The interpreter guarantees
+/// the call order of a compiled plan: upload edges precede the device band
+/// they feed, download edges follow it, and a sync closes every segment
+/// that used the device.
+pub trait Backend<T: Element, A: BfAlgorithm<T>> {
+    /// Executes `share` of the levels `band.first ..= band.last`.
+    fn run_level_band(
+        &mut self,
+        algo: &A,
+        band: &LevelBand,
+        share: &Share,
+    ) -> Result<BandStats, CoreError>;
+
+    /// Performs one transfer edge of the plan.
+    fn transfer(&mut self, algo: &A, edge: &Transfer) -> Result<(), CoreError>;
+
+    /// Joins the substrate's timelines (barrier).
+    fn sync(&mut self);
+
+    /// Current time on the substrate's global clock.
+    fn now(&self) -> f64;
+
+    /// Current time on the CPU timeline.
+    fn cpu_clock(&self) -> f64;
+
+    /// Current time on the GPU timeline.
+    fn gpu_clock(&self) -> f64;
+
+    /// The per-level metrics book spans are recorded into.
+    fn recorder(&mut self) -> &mut LevelBook;
+}
+
+/// Aggregated outcome of interpreting a plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InterpretStats {
+    /// Memory accesses the device served coalesced.
+    pub coalesced: u64,
+    /// Memory accesses the device served uncoalesced.
+    pub uncoalesced: u64,
+    /// Durations of a split segment's concurrent phase on each unit
+    /// (CPU, GPU including the transfer back), when the plan had one.
+    pub concurrent: Option<(f64, f64)>,
+}
+
+/// Runs a compiled `plan` for `algo` on `backend`.
+///
+/// Segments execute bottom-up in plan order. For each segment the
+/// interpreter issues the segment's upload edges, the level band (both
+/// shares of a split, device side first — the shares overlap on the
+/// simulator's independent virtual timelines), the download edges, and a
+/// closing sync for segments that touched the device.
+pub fn interpret<T: Element, A: BfAlgorithm<T>, B: Backend<T, A>>(
+    plan: &Plan,
+    algo: &A,
+    backend: &mut B,
+) -> Result<InterpretStats, CoreError> {
+    let mut stats = InterpretStats::default();
+    for (idx, seg) in plan.segments.iter().enumerate() {
+        backend.recorder().set_segment(Some(idx as u32));
+        let band = LevelBand {
+            first: seg.first_level,
+            last: seg.last_level,
+            is_root: seg.last_level == plan.exec_levels,
+        };
+        let uploads = seg
+            .transfers
+            .iter()
+            .filter(|t| t.direction == Direction::ToGpu);
+        let downloads = seg
+            .transfers
+            .iter()
+            .filter(|t| t.direction == Direction::ToCpu);
+        match &seg.placement {
+            Placement::Cpu { cores } => {
+                backend.run_level_band(algo, &band, &Share::Cpu { cores: *cores })?;
+            }
+            Placement::Gpu => {
+                for t in uploads {
+                    backend.transfer(algo, t)?;
+                }
+                let st = backend.run_level_band(algo, &band, &Share::Gpu)?;
+                stats.coalesced += st.coalesced;
+                stats.uncoalesced += st.uncoalesced;
+                for t in downloads {
+                    backend.transfer(algo, t)?;
+                }
+                backend.sync();
+            }
+            Placement::Split {
+                cpu_tasks, tasks, ..
+            } => {
+                for t in uploads {
+                    backend.transfer(algo, t)?;
+                }
+                // The concurrent phase starts once both units hold their
+                // shares; the device's share ends with its transfer back.
+                let t_fork = backend.now();
+                let st = backend.run_level_band(algo, &band, &Share::Gpu)?;
+                stats.coalesced += st.coalesced;
+                stats.uncoalesced += st.uncoalesced;
+                for t in downloads {
+                    backend.transfer(algo, t)?;
+                }
+                let gpu_phase = backend.gpu_clock() - t_fork;
+                backend.run_level_band(
+                    algo,
+                    &band,
+                    &Share::SplitCpu {
+                        cpu_tasks: *cpu_tasks,
+                        tasks: *tasks,
+                        cores: cpu_cores_of(plan),
+                    },
+                )?;
+                let cpu_phase = backend.cpu_clock() - t_fork;
+                backend.sync();
+                stats.concurrent = Some((cpu_phase, gpu_phase));
+            }
+        }
+    }
+    backend.recorder().set_segment(None);
+    Ok(stats)
+}
+
+/// The CPU core count a plan's host segments use (the split's CPU share
+/// runs on the same cores as the cleanup band above it).
+fn cpu_cores_of(plan: &Plan) -> usize {
+    plan.segments
+        .iter()
+        .find_map(|s| match s.placement {
+            Placement::Cpu { cores } => Some(cores),
+            _ => None,
+        })
+        .unwrap_or(1)
+}

@@ -1,21 +1,26 @@
 //! Executors and scheduling strategies for breadth-first D&C algorithms on
 //! the simulated HPU.
 //!
-//! [`run_sim`] is the single entry point: it validates the input, resolves
-//! the [`Strategy`] (deriving model parameters where asked to), dispatches
-//! to the matching executor and returns a [`RunReport`] with virtual-time,
-//! communication and per-level accounting plus a model-vs-simulation drift
-//! report.
+//! [`run_sim`] is the single entry point: it validates the input, compiles
+//! the [`Strategy`] to an execution [`Plan`] (deriving model parameters
+//! where asked to) and hands the plan to the generic [`interpret`] driver
+//! over the simulated-machine backend. Every strategy — sequential,
+//! CPU-parallel, GPU-only, basic crossover, advanced split — runs through
+//! this one interpret path; the returned [`RunReport`] carries
+//! virtual-time, communication and per-level accounting plus a
+//! model-vs-simulation drift report against the *same* plan the run
+//! executed.
 
-mod cpu;
-mod gpu;
-mod hybrid;
+mod backend;
 mod native;
+mod sim;
 
-pub use native::{run_native, run_native_report, NativeReport};
+pub use backend::{interpret, Backend, BandStats, InterpretStats, LevelBand, Share};
+pub use native::{run_native, run_native_report, NativeBackend, NativeReport};
+pub use sim::SimBackend;
 
-use hpu_machine::SimHpu;
-use hpu_model::{predict_levels, BasicSchedule, LevelProfile, MachineParams, PlannedSchedule};
+use hpu_machine::{SimHpu, SimMachineParams};
+use hpu_model::{compile, predict_levels, LevelProfile, MachineParams, ModelError, ScheduleSpec};
 use hpu_obs::{drift_rows, LevelBook, LevelDrift, LevelMetrics};
 
 use crate::bf::{num_levels, BfAlgorithm, Element};
@@ -77,48 +82,70 @@ pub struct RunReport {
     /// Per-level metrics (bottom-up: level 0 = base cases), aggregated from
     /// the structured execution spans.
     pub levels: Vec<LevelMetrics>,
-    /// Per-level analytic prediction vs. simulated time for the resolved
-    /// strategy (same bottom-up indexing as [`RunReport::levels`]).
+    /// Per-level analytic prediction vs. simulated time for the executed
+    /// plan (same bottom-up indexing as [`RunReport::levels`]).
     pub drift: Vec<LevelDrift>,
 }
 
-/// Extracts analytic-model machine parameters from a simulated machine's
-/// configuration (`p` = cores, `g` = lanes, `γ` = 1/gamma_inv, `λ`/`δ`
-/// from the bus).
-pub fn model_params(hpu: &SimHpu) -> MachineParams {
-    let cfg = hpu.config();
-    MachineParams::new(cfg.cpu.cores, cfg.gpu.lanes, 1.0 / cfg.gpu.gamma_inv)
-        .expect("simulated machine configuration is always valid")
-        .with_transfer_cost(cfg.bus.lambda, cfg.bus.delta)
-}
-
-/// The analytic plan a resolved strategy corresponds to, for per-level
-/// prediction.
-fn plan_of(resolved: &Strategy) -> PlannedSchedule {
-    match resolved {
-        Strategy::Sequential => PlannedSchedule::Sequential,
-        Strategy::CpuOnly => PlannedSchedule::CpuParallel,
-        Strategy::GpuOnly => PlannedSchedule::GpuOnly,
-        Strategy::Basic { crossover } => PlannedSchedule::Basic {
-            // A resolved basic strategy always carries its crossover.
-            crossover: crossover.unwrap_or(0),
+/// The model-side schedule a strategy compiles as.
+fn spec_of(strategy: &Strategy) -> ScheduleSpec {
+    match strategy {
+        Strategy::Sequential => ScheduleSpec::Sequential,
+        Strategy::CpuOnly => ScheduleSpec::CpuParallel,
+        Strategy::GpuOnly => ScheduleSpec::GpuOnly,
+        Strategy::Basic { crossover } => ScheduleSpec::Basic {
+            crossover: *crossover,
         },
         Strategy::Advanced {
             alpha,
             transfer_level,
-        } => PlannedSchedule::Advanced {
+        } => ScheduleSpec::Advanced {
             alpha: *alpha,
             transfer_level: *transfer_level,
         },
     }
 }
 
+/// The strategy a compiled plan's resolved schedule reports as.
+fn strategy_of(resolved: &ScheduleSpec) -> Strategy {
+    match resolved {
+        ScheduleSpec::Sequential => Strategy::Sequential,
+        ScheduleSpec::CpuParallel => Strategy::CpuOnly,
+        ScheduleSpec::GpuOnly => Strategy::GpuOnly,
+        ScheduleSpec::Basic { crossover: Some(c) } => Strategy::Basic {
+            crossover: Some(*c),
+        },
+        // Compilation degrades a GPU-less basic schedule to CPU-parallel.
+        ScheduleSpec::Basic { crossover: None } => Strategy::CpuOnly,
+        ScheduleSpec::Advanced {
+            alpha,
+            transfer_level,
+        } => Strategy::Advanced {
+            alpha: *alpha,
+            transfer_level: *transfer_level,
+        },
+        ScheduleSpec::AdvancedAuto => unreachable!("compile resolves AdvancedAuto"),
+    }
+}
+
+/// Maps a plan-compilation error to the executor error space.
+fn compile_error(e: ModelError) -> CoreError {
+    match e {
+        ModelError::InvalidAlpha(alpha) => CoreError::InvalidAlpha { alpha },
+        ModelError::InvalidLevel { level, levels } => CoreError::InvalidLevel { level, levels },
+        _ => CoreError::EmptyInput,
+    }
+}
+
 /// Runs `algo` over `data` on the simulated machine under `strategy`.
 ///
 /// `data.len()` must be `base_chunk · a^k` (see
-/// [`crate::CoreError::InvalidSize`]). On success `data` holds the result
-/// and the report carries the virtual-time accounting, per-level metrics
-/// and the model-vs-simulation drift rows.
+/// [`crate::CoreError::InvalidSize`]). The strategy is compiled to an
+/// execution [`Plan`](hpu_model::Plan) and interpreted on a [`SimBackend`];
+/// invalid advanced parameters surface as [`CoreError::InvalidAlpha`] /
+/// [`CoreError::InvalidLevel`] before any work runs. On success `data`
+/// holds the result and the report carries the virtual-time accounting,
+/// per-level metrics and the model-vs-simulation drift rows.
 pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
     algo: &A,
     data: &mut [T],
@@ -133,70 +160,22 @@ pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
     let words0 = hpu.bus.words();
     let cpu_busy0 = hpu.cpu.stats().busy_core_time;
     let gpu_busy0 = hpu.gpu.stats().busy;
-    let mut book = LevelBook::new(algo.base_chunk() as u64, algo.branching() as u64);
 
-    let (resolved, coalesced, uncoalesced, concurrent) = match strategy {
-        Strategy::Sequential => {
-            cpu::run_cpu_only(algo, data, hpu, 1, &mut book)?;
-            (Strategy::Sequential, 0, 0, None)
-        }
-        Strategy::CpuOnly => {
-            let cores = hpu.config().cpu.cores;
-            cpu::run_cpu_only(algo, data, hpu, cores, &mut book)?;
-            (Strategy::CpuOnly, 0, 0, None)
-        }
-        Strategy::GpuOnly => {
-            let st = gpu::run_gpu_only(algo, data, hpu, &mut book)?;
-            (Strategy::GpuOnly, st.0, st.1, None)
-        }
-        Strategy::Basic { crossover } => {
-            let cross = match crossover {
-                Some(c) => Some(*c),
-                None => BasicSchedule::derive(&model_params(hpu), &algo.recurrence()).crossover,
-            };
-            match cross {
-                // GPU not worth using: degrade to CPU-only (paper §5.1).
-                None => {
-                    let cores = hpu.config().cpu.cores;
-                    cpu::run_cpu_only(algo, data, hpu, cores, &mut book)?;
-                    (Strategy::CpuOnly, 0, 0, None)
-                }
-                Some(c) if c > levels => {
-                    // Crossover below the leaves: nothing for the GPU —
-                    // report what actually ran.
-                    let cores = hpu.config().cpu.cores;
-                    cpu::run_cpu_only(algo, data, hpu, cores, &mut book)?;
-                    (Strategy::CpuOnly, 0, 0, None)
-                }
-                Some(c) => {
-                    let st = hybrid::run_basic(algo, data, hpu, c, &mut book)?;
-                    (
-                        Strategy::Basic { crossover: Some(c) },
-                        st.coalesced,
-                        st.uncoalesced,
-                        st.concurrent,
-                    )
-                }
-            }
-        }
-        Strategy::Advanced {
-            alpha,
-            transfer_level,
-        } => {
-            let st = hybrid::run_advanced(algo, data, hpu, *alpha, *transfer_level, &mut book)?;
-            (
-                strategy.clone(),
-                st.coalesced,
-                st.uncoalesced,
-                st.concurrent,
-            )
-        }
-    };
+    let params = MachineParams::from_sim(hpu);
+    let rec = algo.recurrence();
+    let plan =
+        compile(&spec_of(strategy), &params, &rec, n as u64, levels).map_err(compile_error)?;
+
+    let book = LevelBook::new(algo.base_chunk() as u64, algo.branching() as u64);
+    let mut backend = SimBackend::new(hpu, data, book);
+    let stats = interpret(&plan, algo, &mut backend)?;
+    let book = backend.into_book();
 
     hpu.sync();
     let level_metrics = book.finish();
-    let profile = LevelProfile::new(&model_params(hpu), &algo.recurrence(), n as u64);
-    let predicted: Vec<(u32, f64)> = predict_levels(&profile, &plan_of(&resolved), levels)
+    let resolved = strategy_of(&plan.resolved);
+    let profile = LevelProfile::new(&params, &rec, n as u64);
+    let predicted: Vec<(u32, f64)> = predict_levels(&profile, &plan)
         .into_iter()
         .map(|p| (p.level, p.time))
         .collect();
@@ -206,12 +185,12 @@ pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
         virtual_time: hpu.elapsed() - t0,
         transfers: hpu.bus.transfers() - transfers0,
         words: hpu.bus.words() - words0,
-        coalesced,
-        uncoalesced,
+        coalesced: stats.coalesced,
+        uncoalesced: stats.uncoalesced,
         cpu_busy: hpu.cpu.stats().busy_core_time - cpu_busy0,
         gpu_busy: hpu.gpu.stats().busy - gpu_busy0,
         resolved,
-        concurrent,
+        concurrent: stats.concurrent,
         levels: level_metrics,
         drift,
     })

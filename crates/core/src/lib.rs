@@ -43,6 +43,9 @@ pub mod tune;
 pub use bf::{BfAlgorithm, Element, LevelInfo};
 pub use charge::Charge;
 pub use error::CoreError;
-pub use exec::{run_native, run_native_report, run_sim, NativeReport, RunReport, Strategy};
+pub use exec::{
+    interpret, run_native, run_native_report, run_sim, Backend, BandStats, InterpretStats,
+    LevelBand, NativeBackend, NativeReport, RunReport, Share, SimBackend, Strategy,
+};
 pub use pool::LevelPool;
 pub use tree::DivideConquer;

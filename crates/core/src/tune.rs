@@ -1,40 +1,39 @@
 //! Automatic schedule tuning: analytic (from `hpu-model`) and empirical
 //! (grid search on the simulator, as in the paper's Figures 7 and 10).
 
-use hpu_machine::{MachineConfig, SimHpu};
-use hpu_model::advanced::AdvancedSolver;
-use hpu_model::{BasicSchedule, MachineParams, Recurrence};
+use hpu_machine::{MachineConfig, SimHpu, SimMachineParams};
+use hpu_model::{compile, BasicSchedule, MachineParams, Recurrence, ScheduleSpec};
 
 use crate::bf::{BfAlgorithm, Element};
 use crate::error::CoreError;
 use crate::exec::{run_sim, Strategy};
 
-/// Analytic-model machine parameters for a machine configuration.
-pub fn params_of(cfg: &MachineConfig) -> MachineParams {
-    MachineParams::new(cfg.cpu.cores, cfg.gpu.lanes, 1.0 / cfg.gpu.gamma_inv)
-        .expect("simulated machine configuration is always valid")
-        .with_transfer_cost(cfg.bus.lambda, cfg.bus.delta)
-}
-
 /// Derives the model-optimal advanced schedule `(α*, y*)` for `rec` at
 /// input size `n` on the given machine, with `y` rounded to an executable
-/// integer level clamped to `[1, L]`.
+/// integer level clamped to `[1, L]`. Compiles an
+/// [`ScheduleSpec::AdvancedAuto`] plan and reads the resolved parameters
+/// off it, so tuning and execution can never derive different `(α, y)`.
 pub fn auto_advanced(cfg: &MachineConfig, rec: &Recurrence, n: u64) -> Result<Strategy, CoreError> {
-    let params = params_of(cfg);
-    let solver = AdvancedSolver::new(&params, rec, n).map_err(|_| CoreError::EmptyInput)?;
-    let opt = solver.optimize();
+    let params = MachineParams::from_config(cfg);
     let levels = rec.num_levels(n);
-    let y = (opt.transfer_level.round() as u32).clamp(1, levels.max(1));
-    Ok(Strategy::Advanced {
-        alpha: opt.alpha,
-        transfer_level: y,
-    })
+    let plan = compile(&ScheduleSpec::AdvancedAuto, &params, rec, n, levels)
+        .map_err(|_| CoreError::EmptyInput)?;
+    match plan.resolved {
+        ScheduleSpec::Advanced {
+            alpha,
+            transfer_level,
+        } => Ok(Strategy::Advanced {
+            alpha,
+            transfer_level,
+        }),
+        _ => Err(CoreError::EmptyInput),
+    }
 }
 
 /// Picks a strategy automatically: the advanced division when the GPU is
 /// worth using (`γ·g > p`), CPU-only otherwise.
 pub fn auto_strategy(cfg: &MachineConfig, rec: &Recurrence, n: u64) -> Strategy {
-    let params = params_of(cfg);
+    let params = MachineParams::from_config(cfg);
     if BasicSchedule::derive(&params, rec).crossover.is_none() {
         return Strategy::CpuOnly;
     }

@@ -1,0 +1,60 @@
+//! Bridge from simulated machine descriptions to analytic model parameters.
+//!
+//! The analytic [`MachineParams`] (in `hpu-model`) and the simulator's
+//! [`MachineConfig`] describe the same machine at different fidelities.
+//! This module is the single place that maps one onto the other, so every
+//! consumer — executors, tuners, experiments — derives `p`, `g`, `γ`, `λ`
+//! and `δ` identically.
+
+use crate::config::MachineConfig;
+use crate::hpu::SimHpu;
+use hpu_model::MachineParams;
+
+/// Constructors binding [`MachineParams`] to the simulator's machine
+/// descriptions. Implemented for [`MachineParams`] itself, so with this
+/// trait in scope the analytic parameters of a simulated machine are
+/// `MachineParams::from_sim(&hpu)`.
+pub trait SimMachineParams {
+    /// Analytic parameters of a machine configuration: `p` = cores,
+    /// `g` = lanes, `γ = 1 / γ⁻¹`, transfer cost `λ + δ·w` from the bus.
+    fn from_config(cfg: &MachineConfig) -> MachineParams;
+
+    /// Analytic parameters of a live simulated machine.
+    fn from_sim(hpu: &SimHpu) -> MachineParams;
+}
+
+impl SimMachineParams for MachineParams {
+    fn from_config(cfg: &MachineConfig) -> MachineParams {
+        MachineParams::new(cfg.cpu.cores, cfg.gpu.lanes, 1.0 / cfg.gpu.gamma_inv)
+            .expect("simulated machine configuration is always valid")
+            .with_transfer_cost(cfg.bus.lambda, cfg.bus.delta)
+    }
+
+    fn from_sim(hpu: &SimHpu) -> MachineParams {
+        Self::from_config(hpu.config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpu1_config_maps_to_hpu1_params() {
+        let params = MachineParams::from_config(&MachineConfig::hpu1_sim());
+        assert_eq!(params.p, 4);
+        assert_eq!(params.g, 4096);
+        assert!((params.gamma - 1.0 / 160.0).abs() < 1e-12);
+        let cfg = MachineConfig::hpu1_sim();
+        assert_eq!(params.lambda, cfg.bus.lambda);
+        assert_eq!(params.delta, cfg.bus.delta);
+    }
+
+    #[test]
+    fn from_sim_reads_the_live_config() {
+        let hpu = SimHpu::new(MachineConfig::hpu2_sim());
+        let params = MachineParams::from_sim(&hpu);
+        assert_eq!(params, MachineParams::from_config(hpu.config()));
+        assert_eq!(params.g, hpu.config().gpu.lanes);
+    }
+}

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bridge;
 pub mod bus;
 pub mod config;
 pub mod cpu;
@@ -47,6 +48,7 @@ pub mod gpu;
 pub mod hpu;
 pub mod timeline;
 
+pub use bridge::SimMachineParams;
 pub use bus::Bus;
 pub use config::{BusConfig, CpuConfig, GpuConfig, MachineConfig};
 pub use cpu::{CpuCtx, LevelRun, SimCpu};

@@ -25,6 +25,15 @@ pub enum ModelError {
     },
     /// A cost function evaluated to a non-finite or negative value.
     InvalidCost(f64),
+    /// A split fraction `α` must be finite and lie in `[0, 1]`.
+    InvalidAlpha(f64),
+    /// A schedule named a recursion-tree level that does not exist.
+    InvalidLevel {
+        /// Offending level.
+        level: u32,
+        /// Number of levels the tree actually has.
+        levels: u32,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -50,6 +59,12 @@ impl fmt::Display for ModelError {
             }
             ModelError::InvalidCost(c) => {
                 write!(f, "cost function produced an invalid value: {c}")
+            }
+            ModelError::InvalidAlpha(a) => {
+                write!(f, "alpha must be a finite value in [0, 1], got {a}")
+            }
+            ModelError::InvalidLevel { level, levels } => {
+                write!(f, "level {level} is outside the tree ({levels} levels)")
             }
         }
     }

@@ -50,6 +50,7 @@ pub mod cost;
 pub mod error;
 pub mod levels;
 pub mod params;
+pub mod plan;
 pub mod prediction;
 pub mod recurrence;
 
@@ -59,5 +60,6 @@ pub use cost::CostFn;
 pub use error::ModelError;
 pub use levels::LevelProfile;
 pub use params::MachineParams;
-pub use prediction::{predict_levels, LevelPrediction, PlannedSchedule};
+pub use plan::{compile, Direction, Placement, Plan, ScheduleSpec, Segment, Transfer};
+pub use prediction::{predict_levels, LevelPrediction};
 pub use recurrence::Recurrence;

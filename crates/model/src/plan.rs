@@ -1,0 +1,590 @@
+//! The execution-plan IR: schedules compiled to explicit level bands.
+//!
+//! Every work-division strategy of the paper — sequential, CPU-parallel,
+//! GPU-only, the basic crossover split (§5.1) and the advanced `(α, y)`
+//! concurrent split (§5.2) — is expressible as an ordered list of
+//! [`Segment`]s, each covering a contiguous band of *bottom-up executor
+//! levels* (level 0 = base cases/leaves, level `k` = combines producing
+//! chunks of `base · a^k` elements) with one [`Placement`] and explicit
+//! [`Transfer`] edges. [`compile`] subsumes the per-strategy derivations:
+//! the §5.1 crossover (including its degrade-to-CPU cases) and the §5.2
+//! `(α*, y)` optimization both become compilations into this one IR, so the
+//! executors and [`crate::predict_levels`] can never disagree about
+//! placement.
+
+use crate::advanced::AdvancedSolver;
+use crate::basic::BasicSchedule;
+use crate::error::ModelError;
+use crate::params::MachineParams;
+use crate::recurrence::Recurrence;
+
+/// A schedule to compile: the model-side mirror of `hpu-core`'s `Strategy`,
+/// plus the fully model-derived [`ScheduleSpec::AdvancedAuto`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleSpec {
+    /// Everything on one CPU core.
+    Sequential,
+    /// All levels on all `p` CPU cores.
+    CpuParallel,
+    /// All levels on the GPU, one round trip of the whole input.
+    GpuOnly,
+    /// Basic hybrid (§5.1): levels below the crossover on the GPU, the rest
+    /// on the CPU. `None` derives `⌈log_a(p/γ)⌉` from the machine.
+    Basic {
+        /// First top-down level executed on the GPU.
+        crossover: Option<u32>,
+    },
+    /// Advanced hybrid (§5.2): `α : 1−α` concurrent split up to the
+    /// transfer level, CPU finishes the top.
+    Advanced {
+        /// Fraction of subproblems assigned to the CPU.
+        alpha: f64,
+        /// Top-down level at which the GPU hands results back.
+        transfer_level: u32,
+    },
+    /// Advanced hybrid with `(α*, y)` derived by the §5.2.2 optimization.
+    AdvancedAuto,
+}
+
+/// Direction of a [`Transfer`] edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Host → device (upload).
+    ToGpu,
+    /// Device → host (download).
+    ToCpu,
+}
+
+/// One explicit CPU↔GPU transfer edge of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    /// Edge direction.
+    pub direction: Direction,
+    /// Bottom-up executor level the edge is attributed to: uploads precede
+    /// any device work (level 0), downloads carry back the chunks of the
+    /// level they follow.
+    pub level: u32,
+    /// Words moved.
+    pub words: u64,
+}
+
+/// Where a segment's levels execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// All tasks of each level on `cores` CPU cores (1 = sequential).
+    Cpu {
+        /// Number of cores the level waves are divided among.
+        cores: usize,
+    },
+    /// All tasks of each level on the GPU.
+    Gpu,
+    /// Concurrent `α : 1−α` split: the first `cpu_tasks` of the `tasks`
+    /// chunks at the segment's top level belong to the CPU, the rest to the
+    /// GPU; both climb their share independently.
+    Split {
+        /// The requested CPU fraction (before integral rounding).
+        alpha: f64,
+        /// Chunks at the segment's top level assigned to the CPU
+        /// (`round(α · tasks)` clamped so both sides get work).
+        cpu_tasks: u64,
+        /// Total chunks at the segment's top level (`a^y`).
+        tasks: u64,
+    },
+}
+
+/// A contiguous band of bottom-up executor levels with one placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// First (lowest) executor level of the band, inclusive.
+    pub first_level: u32,
+    /// Last (highest) executor level of the band, inclusive.
+    pub last_level: u32,
+    /// Where the band executes.
+    pub placement: Placement,
+    /// Transfer edges owned by this band ([`Direction::ToGpu`] edges run
+    /// before the band, [`Direction::ToCpu`] edges after).
+    pub transfers: Vec<Transfer>,
+}
+
+/// A compiled execution plan: ordered bottom-up segments tiling executor
+/// levels `0 ..= exec_levels`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Input size the plan was compiled for.
+    pub n: u64,
+    /// The executor's combine-level count (`log_a(n / base_chunk)`).
+    pub exec_levels: u32,
+    /// Bottom-up segments; contiguous and non-overlapping.
+    pub segments: Vec<Segment>,
+    /// The schedule after parameter resolution (derived crossover filled
+    /// in, `AdvancedAuto` resolved to its `(α, y)`, degrades applied).
+    pub resolved: ScheduleSpec,
+}
+
+impl Plan {
+    /// A single-segment host-only plan (used by the native executor and as
+    /// the degrade target of [`ScheduleSpec::Basic`]).
+    pub fn host_only(n: u64, exec_levels: u32, cores: usize, resolved: ScheduleSpec) -> Plan {
+        Plan {
+            n,
+            exec_levels,
+            segments: vec![Segment {
+                first_level: 0,
+                last_level: exec_levels,
+                placement: Placement::Cpu { cores },
+                transfers: Vec::new(),
+            }],
+            resolved,
+        }
+    }
+
+    /// The segment covering a bottom-up executor level, with its index.
+    pub fn segment_of(&self, level: u32) -> Option<(usize, &Segment)> {
+        self.segments
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.first_level <= level && level <= s.last_level)
+    }
+
+    /// Total words moved over the bus by the plan's transfer edges.
+    pub fn transfer_words(&self) -> u64 {
+        self.segments
+            .iter()
+            .flat_map(|s| &s.transfers)
+            .map(|t| t.words)
+            .sum()
+    }
+}
+
+/// Compiles a schedule into an executable [`Plan`] for input size `n` with
+/// `exec_levels` bottom-up combine levels.
+///
+/// Mirrors the executors' historical parameter resolution exactly:
+///
+/// * `Basic { crossover: None }` derives `⌈log_a(p/γ)⌉`; a machine not
+///   worth using the GPU on (`γ·g < p`), or a crossover below the leaves
+///   (`c > exec_levels`), degrades to a CPU-parallel plan rather than
+///   erroring (paper §5.1).
+/// * `Advanced` validates its inputs: `α` must be finite in `[0, 1]`
+///   ([`ModelError::InvalidAlpha`]) and the transfer level must name a real
+///   level of the tree, `1 ..= exec_levels` ([`ModelError::InvalidLevel`]).
+/// * `AdvancedAuto` runs the §5.2.2 optimization and rounds `y` to the
+///   nearest executable level.
+pub fn compile(
+    spec: &ScheduleSpec,
+    machine: &MachineParams,
+    rec: &Recurrence,
+    n: u64,
+    exec_levels: u32,
+) -> Result<Plan, ModelError> {
+    let lx = exec_levels;
+    match spec {
+        ScheduleSpec::Sequential => Ok(Plan::host_only(n, lx, 1, ScheduleSpec::Sequential)),
+        ScheduleSpec::CpuParallel => {
+            Ok(Plan::host_only(n, lx, machine.p, ScheduleSpec::CpuParallel))
+        }
+        ScheduleSpec::GpuOnly => Ok(Plan {
+            n,
+            exec_levels: lx,
+            segments: vec![Segment {
+                first_level: 0,
+                last_level: lx,
+                placement: Placement::Gpu,
+                transfers: vec![
+                    Transfer {
+                        direction: Direction::ToGpu,
+                        level: 0,
+                        words: n,
+                    },
+                    Transfer {
+                        direction: Direction::ToCpu,
+                        level: lx,
+                        words: n,
+                    },
+                ],
+            }],
+            resolved: ScheduleSpec::GpuOnly,
+        }),
+        ScheduleSpec::Basic { crossover } => {
+            let cross = match crossover {
+                Some(c) => Some(*c),
+                None => BasicSchedule::derive(machine, rec).crossover,
+            };
+            match cross {
+                // GPU not worth using, or crossover below the leaves:
+                // degrade to CPU-parallel (paper §5.1).
+                None => Ok(Plan::host_only(n, lx, machine.p, ScheduleSpec::CpuParallel)),
+                Some(c) if c > lx => {
+                    Ok(Plan::host_only(n, lx, machine.p, ScheduleSpec::CpuParallel))
+                }
+                Some(c) => {
+                    let split = lx - c;
+                    let mut segments = vec![Segment {
+                        first_level: 0,
+                        last_level: split,
+                        placement: Placement::Gpu,
+                        transfers: vec![
+                            Transfer {
+                                direction: Direction::ToGpu,
+                                level: 0,
+                                words: n,
+                            },
+                            Transfer {
+                                direction: Direction::ToCpu,
+                                level: split,
+                                words: n,
+                            },
+                        ],
+                    }];
+                    if c > 0 {
+                        segments.push(Segment {
+                            first_level: split + 1,
+                            last_level: lx,
+                            placement: Placement::Cpu { cores: machine.p },
+                            transfers: Vec::new(),
+                        });
+                    }
+                    Ok(Plan {
+                        n,
+                        exec_levels: lx,
+                        segments,
+                        resolved: ScheduleSpec::Basic { crossover: Some(c) },
+                    })
+                }
+            }
+        }
+        ScheduleSpec::Advanced {
+            alpha,
+            transfer_level,
+        } => {
+            let y = *transfer_level;
+            if y == 0 || y > lx {
+                return Err(ModelError::InvalidLevel {
+                    level: y,
+                    levels: lx,
+                });
+            }
+            if !(0.0..=1.0).contains(alpha) || !alpha.is_finite() {
+                return Err(ModelError::InvalidAlpha(*alpha));
+            }
+            let tasks_y = (rec.a as u64)
+                .checked_pow(y)
+                .ok_or(ModelError::InvalidLevel {
+                    level: y,
+                    levels: lx,
+                })?;
+            if tasks_y < 2 {
+                return Err(ModelError::InvalidLevel {
+                    level: y,
+                    levels: lx,
+                });
+            }
+            let chunk_y = n / tasks_y;
+            let cpu_tasks = ((alpha * tasks_y as f64).round() as u64).clamp(1, tasks_y - 1);
+            let gpu_words = n - cpu_tasks * chunk_y;
+            let split = lx - y;
+            Ok(Plan {
+                n,
+                exec_levels: lx,
+                segments: vec![
+                    Segment {
+                        first_level: 0,
+                        last_level: split,
+                        placement: Placement::Split {
+                            alpha: *alpha,
+                            cpu_tasks,
+                            tasks: tasks_y,
+                        },
+                        transfers: vec![
+                            Transfer {
+                                direction: Direction::ToGpu,
+                                level: 0,
+                                words: gpu_words,
+                            },
+                            Transfer {
+                                direction: Direction::ToCpu,
+                                level: split,
+                                words: gpu_words,
+                            },
+                        ],
+                    },
+                    Segment {
+                        first_level: split + 1,
+                        last_level: lx,
+                        placement: Placement::Cpu { cores: machine.p },
+                        transfers: Vec::new(),
+                    },
+                ],
+                resolved: ScheduleSpec::Advanced {
+                    alpha: *alpha,
+                    transfer_level: y,
+                },
+            })
+        }
+        ScheduleSpec::AdvancedAuto => {
+            let solver = AdvancedSolver::new(machine, rec, n)?;
+            let opt = solver.optimize();
+            let y = (opt.transfer_level.round() as u32).clamp(1, lx.max(1));
+            compile(
+                &ScheduleSpec::Advanced {
+                    alpha: opt.alpha,
+                    transfer_level: y,
+                },
+                machine,
+                rec,
+                n,
+                lx,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mergesort_plan(spec: &ScheduleSpec, n: u64) -> Result<Plan, ModelError> {
+        let rec = Recurrence::mergesort();
+        let lx = rec.num_levels(n);
+        compile(spec, &MachineParams::hpu1(), &rec, n, lx)
+    }
+
+    fn segments_tile_the_tree(plan: &Plan) {
+        let mut next = 0;
+        for seg in &plan.segments {
+            assert_eq!(seg.first_level, next, "segments must be contiguous");
+            assert!(seg.last_level >= seg.first_level);
+            next = seg.last_level + 1;
+        }
+        assert_eq!(next, plan.exec_levels + 1, "segments must reach the root");
+    }
+
+    #[test]
+    fn pure_plans_are_single_segments() {
+        for (spec, cores) in [
+            (ScheduleSpec::Sequential, 1usize),
+            (ScheduleSpec::CpuParallel, 4),
+        ] {
+            let plan = mergesort_plan(&spec, 1 << 12).unwrap();
+            segments_tile_the_tree(&plan);
+            assert_eq!(plan.segments.len(), 1);
+            assert_eq!(plan.segments[0].placement, Placement::Cpu { cores });
+            assert!(plan.segments[0].transfers.is_empty());
+            assert_eq!(plan.transfer_words(), 0);
+        }
+        let plan = mergesort_plan(&ScheduleSpec::GpuOnly, 1 << 12).unwrap();
+        segments_tile_the_tree(&plan);
+        assert_eq!(plan.segments[0].placement, Placement::Gpu);
+        assert_eq!(plan.transfer_words(), 2 << 12);
+        // Download carries the finished root: attributed to the top level.
+        assert_eq!(plan.segments[0].transfers[1].level, 12);
+    }
+
+    #[test]
+    fn basic_compiles_to_gpu_band_plus_cpu_band() {
+        // HPU1 mergesort: derived crossover 10.
+        let plan = mergesort_plan(&ScheduleSpec::Basic { crossover: None }, 1 << 12).unwrap();
+        segments_tile_the_tree(&plan);
+        assert_eq!(
+            plan.resolved,
+            ScheduleSpec::Basic {
+                crossover: Some(10)
+            }
+        );
+        assert_eq!(plan.segments.len(), 2);
+        assert_eq!(plan.segments[0].placement, Placement::Gpu);
+        assert_eq!(plan.segments[0].last_level, 2); // 12 - 10
+        assert_eq!(plan.segments[0].transfers[1].level, 2);
+        assert_eq!(plan.segments[1].placement, Placement::Cpu { cores: 4 });
+        assert_eq!(plan.segments[1].first_level, 3);
+    }
+
+    #[test]
+    fn basic_degrades_when_gpu_not_worth_using() {
+        // γ·g = 1 < p: no crossover exists.
+        let weak = MachineParams::new(4, 100, 0.01).unwrap();
+        let rec = Recurrence::mergesort();
+        let plan = compile(
+            &ScheduleSpec::Basic { crossover: None },
+            &weak,
+            &rec,
+            256,
+            8,
+        )
+        .unwrap();
+        assert_eq!(plan.resolved, ScheduleSpec::CpuParallel);
+        assert_eq!(plan.segments.len(), 1);
+        // An explicit crossover below the leaves degrades the same way.
+        let plan = mergesort_plan(
+            &ScheduleSpec::Basic {
+                crossover: Some(99),
+            },
+            256,
+        )
+        .unwrap();
+        assert_eq!(plan.resolved, ScheduleSpec::CpuParallel);
+    }
+
+    #[test]
+    fn advanced_split_carries_the_integral_division() {
+        let plan = mergesort_plan(
+            &ScheduleSpec::Advanced {
+                alpha: 0.3,
+                transfer_level: 3,
+            },
+            1 << 12,
+        )
+        .unwrap();
+        segments_tile_the_tree(&plan);
+        assert_eq!(plan.segments.len(), 2);
+        let seg = &plan.segments[0];
+        assert_eq!(seg.last_level, 9); // 12 - 3
+        match seg.placement {
+            Placement::Split {
+                alpha,
+                cpu_tasks,
+                tasks,
+            } => {
+                assert_eq!(alpha, 0.3);
+                assert_eq!(tasks, 8);
+                assert_eq!(cpu_tasks, 2); // round(0.3 · 8)
+            }
+            ref other => panic!("expected a split, got {other:?}"),
+        }
+        // Both edges move only the GPU share: (8-2)/8 of n.
+        let gpu_words = 6 * (1u64 << 12) / 8;
+        assert_eq!(seg.transfers[0].words, gpu_words);
+        assert_eq!(seg.transfers[1].words, gpu_words);
+        assert_eq!(seg.transfers[1].level, 9);
+    }
+
+    #[test]
+    fn advanced_validates_inputs() {
+        let bad_level = mergesort_plan(
+            &ScheduleSpec::Advanced {
+                alpha: 0.5,
+                transfer_level: 99,
+            },
+            1 << 8,
+        );
+        assert_eq!(
+            bad_level,
+            Err(ModelError::InvalidLevel {
+                level: 99,
+                levels: 8
+            })
+        );
+        let zero = mergesort_plan(
+            &ScheduleSpec::Advanced {
+                alpha: 0.5,
+                transfer_level: 0,
+            },
+            1 << 8,
+        );
+        assert!(matches!(zero, Err(ModelError::InvalidLevel { .. })));
+        for alpha in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let bad = mergesort_plan(
+                &ScheduleSpec::Advanced {
+                    alpha,
+                    transfer_level: 2,
+                },
+                1 << 8,
+            );
+            assert!(matches!(bad, Err(ModelError::InvalidAlpha(_))), "{alpha}");
+        }
+        // The top level itself is a legal transfer level (trivial inputs).
+        assert!(mergesort_plan(
+            &ScheduleSpec::Advanced {
+                alpha: 0.5,
+                transfer_level: 8,
+            },
+            1 << 8,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn advanced_auto_reproduces_the_paper_example() {
+        // §5.2.2: HPU1 mergesort at n = 2^24 gives α* ≈ 0.16, y ≈ 10.
+        let plan = mergesort_plan(&ScheduleSpec::AdvancedAuto, 1 << 24).unwrap();
+        segments_tile_the_tree(&plan);
+        let (alpha, y) = match plan.resolved {
+            ScheduleSpec::Advanced {
+                alpha,
+                transfer_level,
+            } => (alpha, transfer_level),
+            ref other => panic!("expected a resolved Advanced, got {other:?}"),
+        };
+        assert!((alpha - 0.16).abs() < 0.03, "alpha = {alpha}");
+        assert!((9..=10).contains(&y), "transfer level = {y}");
+        // The concurrent band is a Split segment ending at level 24 - y,
+        // where the GPU hands its share back.
+        let seg = &plan.segments[0];
+        assert!(matches!(seg.placement, Placement::Split { .. }));
+        assert_eq!(seg.last_level, 24 - y);
+        assert_eq!(seg.transfers[1].level, 24 - y);
+    }
+
+    #[test]
+    fn matmul_recurrence_compiles_and_predicts() {
+        // Tree-form algorithms (the a = 8 matmul) have no breadth-first
+        // executor, but their schedules compile and predict through the
+        // same plan IR.
+        use crate::levels::LevelProfile;
+        use crate::prediction::predict_levels;
+
+        let rec = Recurrence::dc_matmul();
+        let machine = MachineParams::hpu1();
+        let n = 8u64.pow(6);
+        let lx = rec.num_levels(n);
+        let plan = compile(
+            &ScheduleSpec::Advanced {
+                alpha: 0.25,
+                transfer_level: 2,
+            },
+            &machine,
+            &rec,
+            n,
+            lx,
+        )
+        .unwrap();
+        segments_tile_the_tree(&plan);
+        match plan.segments[0].placement {
+            Placement::Split {
+                cpu_tasks, tasks, ..
+            } => {
+                assert_eq!(tasks, 64, "a^y = 8^2 chunks at the transfer level");
+                assert_eq!(cpu_tasks, 16, "round(0.25 · 64)");
+            }
+            ref other => panic!("expected a split, got {other:?}"),
+        }
+        let profile = LevelProfile::new(&machine, &rec, n);
+        let pred = predict_levels(&profile, &plan);
+        assert!(!pred.is_empty());
+        assert!(pred.iter().all(|p| p.time.is_finite() && p.time >= 0.0));
+        // A transfer level whose a^y overflows u64 is rejected, not wrapped.
+        let big = compile(
+            &ScheduleSpec::Advanced {
+                alpha: 0.5,
+                transfer_level: 30,
+            },
+            &machine,
+            &rec,
+            n,
+            40,
+        );
+        assert!(matches!(big, Err(ModelError::InvalidLevel { .. })));
+    }
+
+    #[test]
+    fn segment_lookup_by_level() {
+        let plan = mergesort_plan(&ScheduleSpec::Basic { crossover: Some(4) }, 1 << 10).unwrap();
+        let (i, seg) = plan.segment_of(6).unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(seg.placement, Placement::Gpu);
+        let (i, seg) = plan.segment_of(7).unwrap();
+        assert_eq!(i, 1);
+        assert!(matches!(seg.placement, Placement::Cpu { .. }));
+        assert!(plan.segment_of(11).is_none());
+    }
+}

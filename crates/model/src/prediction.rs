@@ -1,12 +1,16 @@
-//! Per-level analytic predictions for executable schedules.
+//! Per-level analytic predictions for compiled execution plans.
 //!
 //! The executors in `hpu-core` run breadth-first levels indexed *bottom-up*
 //! (level 0 = base cases/leaves, level `k` = combines producing chunks of
 //! `base · a^k` elements), while the model's [`LevelProfile`] indexes
 //! division levels *top-down* (level `i = 0` = root). This module bridges
 //! the two: [`predict_levels`] emits one predicted time per *executor*
-//! level for a given [`PlannedSchedule`], so a drift report can line the
-//! prediction up against observed per-level metrics row by row.
+//! level for a compiled [`Plan`], so a drift report can line the prediction
+//! up against observed per-level metrics row by row.
+//!
+//! Because prediction walks the same [`Plan`] the interpreter executes —
+//! same segments, same placements, same transfer edges — the two can never
+//! disagree about where a level runs or where a transfer is charged.
 //!
 //! Mapping: an executor with `Lx` combine levels puts its level `k` against
 //! model level `i = Lx − k`. When the algorithm uses a leaf cutoff
@@ -14,38 +18,15 @@
 //! cutoff — `i ≥ Lx` — and the leaves all fold into executor level 0,
 //! matching what `base_case` actually executes.
 //!
-//! Transfers are charged where the executors attribute them: uploads to
-//! level 0 (the data leaves the host before any device work), downloads to
-//! the level whose chunks come back.
+//! Transfers are charged at the executor level their [`Transfer`] edge
+//! names: uploads at level 0 (the data leaves the host before any device
+//! work), downloads at the level whose chunks come back.
 
 use crate::levels::LevelProfile;
+use crate::plan::{Placement, Plan};
 
-/// A fully resolved, executable schedule to predict per-level times for.
-///
-/// Mirrors `hpu-core`'s resolved `Strategy` (no `Option`s left).
-#[derive(Debug, Clone, PartialEq)]
-pub enum PlannedSchedule {
-    /// Everything on one CPU core.
-    Sequential,
-    /// All levels on all `p` CPU cores.
-    CpuParallel,
-    /// All levels on the GPU, one round trip of the whole input.
-    GpuOnly,
-    /// Basic hybrid: model levels `0..crossover` on the CPU, the rest plus
-    /// the leaves on the GPU.
-    Basic {
-        /// First top-down level executed on the GPU.
-        crossover: u32,
-    },
-    /// Advanced hybrid: `α : 1−α` split run concurrently up to the transfer
-    /// level, CPU finishes the top.
-    Advanced {
-        /// Fraction of subproblems assigned to the CPU.
-        alpha: f64,
-        /// Top-down level at which the GPU hands results back.
-        transfer_level: u32,
-    },
-}
+#[cfg(doc)]
+use crate::plan::Transfer;
 
 /// Predicted time of one executor level.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,27 +37,24 @@ pub struct LevelPrediction {
     pub time: f64,
 }
 
-/// Per-level predicted times for `plan`, indexed by *executor* level
-/// (bottom-up, `0 ..= exec_levels`).
+/// Per-level predicted times for a compiled `plan`, indexed by *executor*
+/// level (bottom-up, `0 ..= plan.exec_levels`).
 ///
-/// `exec_levels` is the executor's combine-level count
-/// (`log_a(n / base_chunk)`); model levels below the executor's leaf cutoff
-/// fold into level 0.
-pub fn predict_levels(
-    profile: &LevelProfile,
-    plan: &PlannedSchedule,
-    exec_levels: u32,
-) -> Vec<LevelPrediction> {
-    let lx = exec_levels;
+/// Each model level contributes to the executor slot it folds into,
+/// according to the placement of the plan segment covering that slot:
+///
+/// * [`Placement::Cpu`] with one core charges the full level work (a single
+///   core is never partially idle within a level); with `c > 1` cores it
+///   charges `⌈tasks / c⌉` batches of the task cost.
+/// * [`Placement::Gpu`] charges `⌈tasks / g⌉` waves at speed `γ`.
+/// * [`Placement::Split`] charges the slower of the two concurrent shares —
+///   each level ends when the lagging unit finishes.
+pub fn predict_levels(profile: &LevelProfile, plan: &Plan) -> Vec<LevelPrediction> {
+    let lx = plan.exec_levels;
     let lm = profile.levels();
-    let n = profile.n();
     let machine = profile.machine();
     let (p, g, gamma) = (machine.p as f64, machine.g as f64, machine.gamma);
     let leaf_cost = profile.recurrence().leaf_cost;
-    let a = profile.recurrence().a as f64;
-
-    // Executor slot a model level folds into.
-    let k_of = |i: u32| lx.saturating_sub(i) as usize;
 
     let cpu_share = |i: u32, frac: f64| {
         let tasks = frac * profile.tasks_at(i);
@@ -91,65 +69,52 @@ pub fn predict_levels(
 
     let mut pred = vec![0.0_f64; lx as usize + 1];
 
-    match plan {
-        PlannedSchedule::Sequential => {
-            for i in 0..lm {
-                pred[k_of(i)] += profile.tasks_at(i) * profile.task_cost_at(i);
+    // Level work, charged by the placement of the segment covering the
+    // executor slot each model level folds into.
+    for i in 0..lm {
+        let k = lx.saturating_sub(i);
+        let Some((_, seg)) = plan.segment_of(k) else {
+            continue;
+        };
+        pred[k as usize] += match seg.placement {
+            Placement::Cpu { cores } if cores <= 1 => profile.tasks_at(i) * profile.task_cost_at(i),
+            Placement::Cpu { cores } => {
+                (profile.tasks_at(i) / cores as f64).ceil().max(1.0) * profile.task_cost_at(i)
             }
-            pred[0] += profile.leaves() * leaf_cost;
-        }
-        PlannedSchedule::CpuParallel => {
-            for i in 0..lm {
-                pred[k_of(i)] += profile.cpu_level_time(i);
+            Placement::Gpu => profile.gpu_level_time(i),
+            Placement::Split {
+                cpu_tasks, tasks, ..
+            } => {
+                // Concurrent phase: each level ends when the slower unit
+                // finishes its share.
+                let frac = cpu_tasks as f64 / tasks as f64;
+                cpu_share(i, frac).max(gpu_share(i, 1.0 - frac))
             }
-            pred[0] += profile.cpu_leaf_time();
-        }
-        PlannedSchedule::GpuOnly => {
-            for i in 0..lm {
-                pred[k_of(i)] += profile.gpu_level_time(i);
+        };
+    }
+
+    // Leaves (and any model levels below a leaf cutoff fold in above) land
+    // on executor level 0.
+    if let Some((_, seg)) = plan.segment_of(0) {
+        pred[0] += match seg.placement {
+            Placement::Cpu { cores } if cores <= 1 => profile.leaves() * leaf_cost,
+            Placement::Cpu { cores } => {
+                (profile.leaves() / cores as f64).ceil().max(1.0) * leaf_cost
             }
-            pred[0] += profile.gpu_leaf_time();
-            let t = machine.transfer_time(n);
-            pred[0] += t; // upload
-            pred[k_of(0)] += t; // download of the finished root
-        }
-        PlannedSchedule::Basic { crossover } => {
-            for i in 0..lm {
-                pred[k_of(i)] += if i < *crossover {
-                    profile.cpu_level_time(i)
-                } else {
-                    profile.gpu_level_time(i)
-                };
+            Placement::Gpu => profile.gpu_leaf_time(),
+            Placement::Split {
+                cpu_tasks, tasks, ..
+            } => {
+                let frac = cpu_tasks as f64 / tasks as f64;
+                cpu_leaves(frac).max(gpu_leaves(1.0 - frac))
             }
-            pred[0] += profile.gpu_leaf_time();
-            let t = machine.transfer_time(n);
-            pred[0] += t; // upload
-            pred[k_of(*crossover)] += t; // download at the crossover chunks
-        }
-        PlannedSchedule::Advanced {
-            alpha,
-            transfer_level,
-        } => {
-            let y = *transfer_level;
-            // Mirror the executor's integral split: ⌈α·a^y⌋ CPU chunks,
-            // clamped so both units get work.
-            let tasks_y = a.powi(y as i32).max(2.0);
-            let cpu_tasks = (alpha * tasks_y).round().clamp(1.0, tasks_y - 1.0);
-            let frac = cpu_tasks / tasks_y;
-            for i in 0..lm {
-                pred[k_of(i)] += if i < y {
-                    profile.cpu_level_time(i)
-                } else {
-                    // Concurrent phase: each level ends when the slower
-                    // unit finishes its share.
-                    cpu_share(i, frac).max(gpu_share(i, 1.0 - frac))
-                };
-            }
-            pred[0] += cpu_leaves(frac).max(gpu_leaves(1.0 - frac));
-            let gpu_words = ((1.0 - frac) * n as f64).round() as u64;
-            let t = machine.transfer_time(gpu_words);
-            pred[0] += t; // upload of the GPU share
-            pred[k_of(y)] += t; // download at the transfer level
+        };
+    }
+
+    // Transfer edges, charged at the executor level they name.
+    for seg in &plan.segments {
+        for t in &seg.transfers {
+            pred[t.level.min(lx) as usize] += machine.transfer_time(t.words);
         }
     }
 
@@ -166,22 +131,34 @@ pub fn predict_levels(
 mod tests {
     use super::*;
     use crate::basic::{predicted_time_cpu_parallel, predicted_time_gpu_only};
+    use crate::plan::{compile, ScheduleSpec};
     use crate::{MachineParams, Recurrence};
 
     fn profile(n: u64) -> LevelProfile {
         LevelProfile::new(&MachineParams::hpu1(), &Recurrence::mergesort(), n)
     }
 
+    fn plan(spec: &ScheduleSpec, n: u64, exec_levels: u32) -> Plan {
+        compile(
+            spec,
+            &MachineParams::hpu1(),
+            &Recurrence::mergesort(),
+            n,
+            exec_levels,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn per_level_sums_match_aggregate_predictions() {
         let pr = profile(1 << 12);
         let lx = pr.levels();
-        let cpu: f64 = predict_levels(&pr, &PlannedSchedule::CpuParallel, lx)
+        let cpu: f64 = predict_levels(&pr, &plan(&ScheduleSpec::CpuParallel, 1 << 12, lx))
             .iter()
             .map(|l| l.time)
             .sum();
         assert!((cpu - predicted_time_cpu_parallel(&pr)).abs() < 1e-9);
-        let gpu: f64 = predict_levels(&pr, &PlannedSchedule::GpuOnly, lx)
+        let gpu: f64 = predict_levels(&pr, &plan(&ScheduleSpec::GpuOnly, 1 << 12, lx))
             .iter()
             .map(|l| l.time)
             .sum();
@@ -192,7 +169,7 @@ mod tests {
     fn sequential_sums_to_total_work() {
         let pr = profile(1 << 10);
         let lx = pr.levels();
-        let seq: f64 = predict_levels(&pr, &PlannedSchedule::Sequential, lx)
+        let seq: f64 = predict_levels(&pr, &plan(&ScheduleSpec::Sequential, 1 << 10, lx))
             .iter()
             .map(|l| l.time)
             .sum();
@@ -203,7 +180,10 @@ mod tests {
     fn basic_switches_units_at_the_crossover() {
         let pr = profile(1 << 12);
         let lx = pr.levels();
-        let rows = predict_levels(&pr, &PlannedSchedule::Basic { crossover: 3 }, lx);
+        let rows = predict_levels(
+            &pr,
+            &plan(&ScheduleSpec::Basic { crossover: Some(3) }, 1 << 12, lx),
+        );
         assert_eq!(rows.len(), lx as usize + 1);
         // Executor level lx (the root) is model level 0: CPU side.
         assert!((rows[lx as usize].time - pr.cpu_level_time(0)).abs() < 1e-9);
@@ -219,7 +199,7 @@ mod tests {
         let pr = profile(1 << 10);
         let lm = pr.levels();
         // A cutoff of 2^4 leaves lx = 6 executor levels.
-        let rows = predict_levels(&pr, &PlannedSchedule::CpuParallel, 6);
+        let rows = predict_levels(&pr, &plan(&ScheduleSpec::CpuParallel, 1 << 10, 6));
         assert_eq!(rows.len(), 7);
         let folded: f64 = (6..lm).map(|i| pr.cpu_level_time(i)).sum();
         assert!((rows[0].time - (pr.cpu_leaf_time() + folded)).abs() < 1e-9);
@@ -231,11 +211,14 @@ mod tests {
         let lx = pr.levels();
         let rows = predict_levels(
             &pr,
-            &PlannedSchedule::Advanced {
-                alpha: 0.25,
-                transfer_level: 4,
-            },
-            lx,
+            &plan(
+                &ScheduleSpec::Advanced {
+                    alpha: 0.25,
+                    transfer_level: 4,
+                },
+                1 << 12,
+                lx,
+            ),
         );
         // Top levels (below y) are plain CPU levels.
         assert!((rows[lx as usize].time - pr.cpu_level_time(0)).abs() < 1e-9);
@@ -243,5 +226,26 @@ mod tests {
         for r in &rows {
             assert!(r.time.is_finite() && r.time > 0.0, "level {}", r.level);
         }
+    }
+
+    #[test]
+    fn prediction_follows_the_plan_not_the_spec() {
+        // A degraded Basic plan (weak GPU) predicts like CpuParallel: the
+        // prediction consumes the compiled plan, so it cannot charge
+        // transfers that the executor will never issue.
+        let weak = MachineParams::new(4, 100, 0.01).unwrap();
+        let rec = Recurrence::mergesort();
+        let pr = LevelProfile::new(&weak, &rec, 1 << 10);
+        let lx = pr.levels();
+        let degraded = compile(
+            &ScheduleSpec::Basic { crossover: None },
+            &weak,
+            &rec,
+            1 << 10,
+            lx,
+        )
+        .unwrap();
+        let cpu = compile(&ScheduleSpec::CpuParallel, &weak, &rec, 1 << 10, lx).unwrap();
+        assert_eq!(predict_levels(&pr, &degraded), predict_levels(&pr, &cpu));
     }
 }

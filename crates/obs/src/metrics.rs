@@ -67,10 +67,14 @@ pub struct LevelMetrics {
     /// the clock. Less than `cpu_time + gpu_time + bus_time` when units
     /// overlap (the whole point of the hybrid schedules).
     pub time: f64,
+    /// Index of the execution-plan segment that ran this level (`None` when
+    /// the producer did not attribute work to plan segments).
+    pub segment: Option<u32>,
 }
 
 #[derive(Debug, Clone, Default)]
 struct Acc {
+    segment: Option<u32>,
     chunk: u64,
     tasks: u64,
     ops: u64,
@@ -93,6 +97,7 @@ struct Acc {
 pub struct LevelBook {
     base: u64,
     branching: u64,
+    segment: Option<u32>,
     levels: BTreeMap<u32, Acc>,
 }
 
@@ -104,8 +109,16 @@ impl LevelBook {
         LevelBook {
             base: base_chunk.max(1),
             branching: branching.max(1),
+            segment: None,
             levels: BTreeMap::new(),
         }
+    }
+
+    /// Marks all subsequently booked spans as belonging to the given
+    /// execution-plan segment (`None` to stop attributing). A level keeps
+    /// the first segment that books work on it.
+    pub fn set_segment(&mut self, segment: Option<u32>) {
+        self.segment = segment;
     }
 
     /// The level a chunk size belongs to: `round(log_a(chunk / base))`,
@@ -122,6 +135,9 @@ impl LevelBook {
         let level = self.level_of(chunk);
         let acc = self.levels.entry(level).or_default();
         acc.chunk = acc.chunk.max(chunk);
+        if acc.segment.is_none() {
+            acc.segment = self.segment;
+        }
         acc
     }
 
@@ -181,6 +197,7 @@ impl LevelBook {
                     gpu_time: merge_intervals(&acc.gpu),
                     bus_time: merge_intervals(&acc.bus),
                     time: merge_intervals(&all),
+                    segment: acc.segment,
                 }
             })
             .collect()
@@ -223,6 +240,23 @@ mod tests {
         let cutoff = LevelBook::new(16, 2);
         assert_eq!(cutoff.level_of(16), 0);
         assert_eq!(cutoff.level_of(64), 2);
+    }
+
+    #[test]
+    fn segment_marker_attributes_levels_first_wins() {
+        let mut book = LevelBook::new(1, 2);
+        book.set_segment(Some(0));
+        book.gpu(1, 4, 8, 0, 0.0, 4.0); // level 0 under segment 0
+        book.set_segment(Some(1));
+        book.cpu(4, 2, 8, 0, 4.0, 8.0); // level 2 under segment 1
+        book.cpu(1, 0, 0, 2, 8.0, 9.0); // revisits level 0: keeps segment 0
+        let rows = book.finish();
+        assert_eq!(rows[0].segment, Some(0));
+        assert_eq!(rows[1].segment, Some(1));
+        // Without a marker, levels stay unattributed.
+        let mut plain = LevelBook::new(1, 2);
+        plain.cpu(1, 1, 1, 0, 0.0, 1.0);
+        assert_eq!(plain.finish()[0].segment, None);
     }
 
     #[test]

@@ -10,6 +10,15 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== proptest suite (optional) =="
+# tests/properties.rs needs the external proptest crate; the feature flag
+# alone is not enough. Run it only when the dependency is actually wired in.
+if grep -Eq '^proptest *= *"' Cargo.toml; then
+    cargo test -q --features proptest --test properties
+else
+    echo "proptest dependency not vendored; skipping (tests/randomized.rs covers the same properties)"
+fi
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
