@@ -1,0 +1,18 @@
+//! Benches of the multi-job serving layer: one timed run per backend at
+//! underload and overload, so regressions in the scheduler's dispatch
+//! path (probing, arbitration, admission solo-runs) show up as wall time.
+
+use hpu_bench::timing::bench;
+use hpu_bench::{serve_fleet, ServeBackend};
+
+fn main() {
+    let iters = 5;
+    for rate in [0.5, 2.0] {
+        bench(&format!("serve_sim/16_jobs/rate_{rate}"), iters, || {
+            serve_fleet(16, &[rate], ServeBackend::Sim, 42)
+        });
+    }
+    bench("serve_native/16_jobs/rate_2", iters, || {
+        serve_fleet(16, &[2.0], ServeBackend::Native, 42)
+    });
+}

@@ -3,6 +3,8 @@
 //! ```text
 //! repro [EXPERIMENT ...] [--full] [--out DIR] [--trace DIR]
 //! repro plan EXPERIMENT [...] [--full] [--out DIR]
+//! repro serve [--jobs N] [--rates R,R,...] [--backend sim|native|both]
+//!             [--seed S] [--out DIR]
 //!
 //! EXPERIMENT: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             ablation-coalescing ablation-schedule extension-workloads
@@ -18,6 +20,11 @@
 //!             trace event format, one process per strategy) plus
 //!             DIR/<name>.levels.csv (per-level metrics and model drift)
 //!             for each selected experiment
+//! serve       drive the hpu-serve scheduler with an open-loop fleet of
+//!             mixed mergesort/sum jobs and print one throughput/latency
+//!             CSV row per (backend, arrival rate); defaults: 32 jobs,
+//!             rates 0.5 and 2, both backends (CSV lands in
+//!             DIR/serve.csv with --out)
 //! ```
 
 use std::io::Write;
@@ -107,8 +114,52 @@ fn plan_mode(wanted: &[String], scale: &Scale, out_dir: Option<&str>) {
     }
 }
 
+/// `repro serve [--jobs N] [--rates R,..] [--backend B] [--seed S] [--out DIR]`.
+fn serve_mode(rest: &[String]) {
+    fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
+        rest.iter()
+            .position(|a| a == flag)
+            .and_then(|i| rest.get(i + 1))
+            .map(String::as_str)
+    }
+    let jobs: usize = flag_value(rest, "--jobs")
+        .map(|v| v.parse().expect("--jobs takes an integer"))
+        .unwrap_or(32);
+    let rates: Vec<f64> = flag_value(rest, "--rates")
+        .unwrap_or("0.5,2")
+        .split(',')
+        .map(|r| {
+            r.trim()
+                .parse()
+                .expect("--rates takes comma-separated numbers")
+        })
+        .collect();
+    let backend = match flag_value(rest, "--backend").unwrap_or("both") {
+        "sim" => hpu_bench::ServeBackend::Sim,
+        "native" => hpu_bench::ServeBackend::Native,
+        "both" => hpu_bench::ServeBackend::Both,
+        other => {
+            eprintln!("unknown --backend: {other} (expected sim, native or both)");
+            std::process::exit(2);
+        }
+    };
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let csv = hpu_bench::serve_fleet(jobs, &rates, backend, seed);
+    print!("{}", csv.render());
+    if let Some(dir) = flag_value(rest, "--out") {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+        std::fs::write(format!("{dir}/serve.csv"), csv.render()).expect("write serve CSV");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_mode(&args[1..]);
+        return;
+    }
     let full = args.iter().any(|a| a == "--full");
     let out_dir = args
         .iter()

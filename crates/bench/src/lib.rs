@@ -11,8 +11,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod serving;
 pub mod timing;
 pub mod workload;
 
 pub use experiments::*;
+pub use serving::{serve_fleet, ServeBackend};
 pub use workload::{uniform_input, SplitMix64};

@@ -1,0 +1,191 @@
+//! The serving experiment: open-loop arrival of mixed D&C jobs on the
+//! multi-job scheduler, on both the simulated and the native backend.
+//!
+//! The arrival rate is expressed as *offered load*: `rate = 1` submits
+//! jobs, on average, exactly as fast as a solo reference job completes;
+//! `rate = 0.5` underloads and `rate = 2` overloads the machine. Gaps are
+//! exponentially distributed from a seeded [`SplitMix64`], so every run
+//! is reproducible from `(jobs, rate, seed)` alone.
+
+use hpu_algos::mergesort::MergeSort;
+use hpu_algos::sum::DcSum;
+use hpu_machine::MachineConfig;
+use hpu_model::ScheduleSpec;
+use hpu_obs::ServeReport;
+use hpu_serve::{
+    serve_native, serve_sim, AlgoJob, JobRequest, NativeJobRequest, ServeConfig, Workload,
+};
+
+use crate::experiments::Csv;
+use crate::workload::{uniform_input, SplitMix64};
+
+/// Which serving backend(s) to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeBackend {
+    /// Virtual time on the simulated machine.
+    Sim,
+    /// Wall clock on real threads.
+    Native,
+    /// Both, one CSV row group per backend.
+    Both,
+}
+
+/// Exponentially distributed gap with the given mean.
+fn exp_gap(rng: &mut SplitMix64, mean: f64) -> f64 {
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    -(1.0 - u).ln() * mean
+}
+
+/// The mixed fleet: mergesort and d&c-sum jobs over a spread of sizes and
+/// schedules. `make(i)` is the workload for job `i`; sizes cycle through
+/// `2^8..2^11` and schedules through basic-hybrid / GPU-only / CPU-parallel.
+fn job_mix(i: usize, seed: u64) -> (String, ScheduleSpec, Box<dyn Workload>) {
+    let n = 1usize << (8 + (i % 4));
+    let spec = match i % 3 {
+        0 => ScheduleSpec::Basic { crossover: Some(4) },
+        1 => ScheduleSpec::GpuOnly,
+        _ => ScheduleSpec::CpuParallel,
+    };
+    let job_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    if i.is_multiple_of(2) {
+        (
+            format!("sort-{i}-n{n}"),
+            spec,
+            AlgoJob::boxed(MergeSort::new(), uniform_input(n, job_seed)),
+        )
+    } else {
+        let mut rng = SplitMix64::new(job_seed);
+        let data: Vec<u64> = (0..n).map(|_| rng.below(1 << 20)).collect();
+        (format!("sum-{i}-n{n}"), spec, AlgoJob::boxed(DcSum, data))
+    }
+}
+
+fn report_row(backend: &str, rate: f64, submitted: usize, r: &ServeReport) -> Vec<String> {
+    let f = |v: f64| format!("{v:.4}");
+    vec![
+        backend.to_string(),
+        format!("{rate}"),
+        submitted.to_string(),
+        r.completed.to_string(),
+        r.rejected.to_string(),
+        r.cancelled.to_string(),
+        r.failed.to_string(),
+        format!("{:.6}", r.throughput),
+        f(r.p50_latency),
+        f(r.p95_latency),
+        f(r.p99_latency),
+        f(r.max_latency),
+        f(r.cpu_utilization),
+        f(r.gpu_utilization),
+        f(r.mean_abs_drift),
+    ]
+}
+
+/// Solo virtual-time of a reference job, used to convert `rate` into a
+/// mean inter-arrival gap for the simulated backend.
+fn sim_reference_time(cfg: &MachineConfig, serve: &ServeConfig, seed: u64) -> f64 {
+    let (name, spec, workload) = job_mix(0, seed);
+    let out = serve_sim(cfg, serve, vec![JobRequest::new(name, spec, 0.0, workload)]);
+    out.report.makespan.max(1.0)
+}
+
+/// Solo wall-time (µs) of a reference job on one native worker.
+fn native_reference_us(serve: &ServeConfig, threads: usize, seed: u64) -> f64 {
+    let (name, _, workload) = job_mix(0, seed);
+    let out = serve_native(
+        serve,
+        1,
+        threads,
+        vec![NativeJobRequest::new(name, 0, workload)],
+    );
+    out.report.makespan.max(100.0)
+}
+
+/// Runs the serving benchmark: `jobs` submissions at each offered-load
+/// `rate` on the selected backend(s); one CSV row per `(backend, rate)`.
+pub fn serve_fleet(jobs: usize, rates: &[f64], backend: ServeBackend, seed: u64) -> Csv {
+    let serve = ServeConfig::default();
+    let mut rows = Vec::new();
+
+    if matches!(backend, ServeBackend::Sim | ServeBackend::Both) {
+        let cfg = MachineConfig::hpu1_sim();
+        let solo = sim_reference_time(&cfg, &serve, seed);
+        for &rate in rates {
+            let mean_gap = solo / rate.max(1e-6);
+            let mut rng = SplitMix64::new(seed ^ rate.to_bits());
+            let mut t = 0.0;
+            let fleet: Vec<JobRequest> = (0..jobs)
+                .map(|i| {
+                    let (name, spec, workload) = job_mix(i, seed);
+                    t += exp_gap(&mut rng, mean_gap);
+                    JobRequest::new(name, spec, t, workload)
+                })
+                .collect();
+            let out = serve_sim(&cfg, &serve, fleet);
+            rows.push(report_row("sim", rate, jobs, &out.report));
+        }
+    }
+
+    if matches!(backend, ServeBackend::Native | ServeBackend::Both) {
+        let (workers, threads) = (2, 2);
+        let solo_us = native_reference_us(&serve, threads, seed);
+        for &rate in rates {
+            let mean_gap = solo_us / rate.max(1e-6);
+            let mut rng = SplitMix64::new(seed ^ rate.to_bits());
+            let mut t = 0.0;
+            let fleet: Vec<NativeJobRequest> = (0..jobs)
+                .map(|i| {
+                    let (name, _, workload) = job_mix(i, seed);
+                    t += exp_gap(&mut rng, mean_gap);
+                    NativeJobRequest::new(name, t as u64, workload)
+                })
+                .collect();
+            let out = serve_native(&serve, workers, threads, fleet);
+            rows.push(report_row("native", rate, jobs, &out.report));
+        }
+    }
+
+    Csv {
+        name: "serve",
+        header: vec![
+            "backend",
+            "rate",
+            "submitted",
+            "completed",
+            "rejected",
+            "cancelled",
+            "failed",
+            "throughput",
+            "p50_latency",
+            "p95_latency",
+            "p99_latency",
+            "max_latency",
+            "cpu_util",
+            "gpu_util",
+            "mean_abs_drift",
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_rows_are_deterministic_per_seed() {
+        let a = serve_fleet(8, &[0.5, 2.0], ServeBackend::Sim, 42);
+        let b = serve_fleet(8, &[0.5, 2.0], ServeBackend::Sim, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.rows.len(), 2);
+        assert!(a.rows.iter().all(|r| r[0] == "sim"));
+    }
+
+    #[test]
+    fn both_backends_emit_every_rate() {
+        let csv = serve_fleet(4, &[0.5, 2.0], ServeBackend::Both, 7);
+        assert_eq!(csv.rows.len(), 4);
+        assert_eq!(csv.rows.iter().filter(|r| r[0] == "sim").count(), 2);
+        assert_eq!(csv.rows.iter().filter(|r| r[0] == "native").count(), 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! CLI regression tests for the `repro` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// A unique, initially-absent scratch directory per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn out_flag_creates_missing_directories() {
+    let base = scratch("out");
+    let dir = base.join("nested").join("deeper");
+    let output = repro()
+        .args(["table1", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("run repro");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let csv = std::fs::read_to_string(dir.join("table1.csv"))
+        .expect("CSV written into a directory repro created itself");
+    assert!(csv.starts_with("platform,"));
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn plan_rejects_model_only_experiments_by_name() {
+    let output = repro()
+        .args(["plan", "table2"])
+        .output()
+        .expect("run repro");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "plan on a model-only experiment must fail"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("table2"),
+        "stderr must name the experiment: {stderr}"
+    );
+    assert!(stderr.contains("no execution plan"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_emits_both_backends_at_every_rate() {
+    let base = scratch("serve");
+    let output = repro()
+        .args([
+            "serve",
+            "--jobs",
+            "6",
+            "--rates",
+            "0.5,2",
+            "--backend",
+            "both",
+            "--out",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro serve");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let csv = std::fs::read_to_string(base.join("serve.csv")).expect("serve.csv written");
+    let lines: Vec<&str> = csv.lines().collect();
+    assert!(lines[0].starts_with("backend,rate,"));
+    for prefix in ["sim,0.5,", "sim,2,", "native,0.5,", "native,2,"] {
+        assert!(
+            lines[1..].iter().any(|l| l.starts_with(prefix)),
+            "missing row {prefix} in:\n{csv}"
+        );
+    }
+    // stdout carries the same table.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("throughput"));
+    let _ = std::fs::remove_dir_all(&base);
+}

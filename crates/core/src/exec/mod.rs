@@ -153,7 +153,41 @@ pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
     strategy: &Strategy,
 ) -> Result<RunReport, CoreError> {
     let levels = num_levels(algo, data.len())?;
+    let params = MachineParams::from_sim(hpu);
+    let plan = compile(
+        &spec_of(strategy),
+        &params,
+        &algo.recurrence(),
+        data.len() as u64,
+        levels,
+    )
+    .map_err(compile_error)?;
+    run_sim_plan(algo, data, hpu, &plan)
+}
+
+/// Runs `algo` over `data` on the simulated machine under an
+/// already-compiled `plan`.
+///
+/// This is the sharing hook multi-job schedulers (`hpu-serve`) build on:
+/// the plan is compiled once — typically against the same machine the run
+/// uses, possibly with a restricted core count — and executed later, or on
+/// a machine of the caller's choosing. The plan must match the input
+/// (`plan.n == data.len()`, `plan.exec_levels` = the algorithm's level
+/// count for that size); a mismatched plan is rejected as
+/// [`CoreError::MalformedPlan`] before any work runs.
+pub fn run_sim_plan<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    hpu: &mut SimHpu,
+    plan: &hpu_model::Plan,
+) -> Result<RunReport, CoreError> {
+    let levels = num_levels(algo, data.len())?;
     let n = data.len();
+    if plan.n != n as u64 || plan.exec_levels != levels {
+        return Err(CoreError::MalformedPlan {
+            reason: "plan was compiled for a different input",
+        });
+    }
     hpu.sync();
     let t0 = hpu.elapsed();
     let transfers0 = hpu.bus.transfers();
@@ -163,19 +197,17 @@ pub fn run_sim<T: Element, A: BfAlgorithm<T>>(
 
     let params = MachineParams::from_sim(hpu);
     let rec = algo.recurrence();
-    let plan =
-        compile(&spec_of(strategy), &params, &rec, n as u64, levels).map_err(compile_error)?;
 
     let book = LevelBook::new(algo.base_chunk() as u64, algo.branching() as u64);
     let mut backend = SimBackend::new(hpu, data, book);
-    let stats = interpret(&plan, algo, &mut backend)?;
+    let stats = interpret(plan, algo, &mut backend)?;
     let book = backend.into_book();
 
     hpu.sync();
     let level_metrics = book.finish();
     let resolved = strategy_of(&plan.resolved);
     let profile = LevelProfile::new(&params, &rec, n as u64);
-    let predicted: Vec<(u32, f64)> = predict_levels(&profile, &plan)
+    let predicted: Vec<(u32, f64)> = predict_levels(&profile, plan)
         .into_iter()
         .map(|p| (p.level, p.time))
         .collect();

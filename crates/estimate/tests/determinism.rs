@@ -1,0 +1,58 @@
+//! The §6.4 estimation procedures are pure functions of the machine
+//! configuration: repeated sweeps must reproduce every sample and land on
+//! the same knee, and the Figure-5 curve must fall monotonically up to
+//! the saturation point.
+
+use hpu_estimate::{estimate_g, estimate_gamma};
+use hpu_machine::MachineConfig;
+
+#[test]
+fn g_sweep_is_deterministic_under_a_fixed_config() {
+    let cfg = MachineConfig::hpu1_sim();
+    let a = estimate_g(&cfg, 1 << 14);
+    let b = estimate_g(&cfg, 1 << 14);
+    assert_eq!(a, b, "same config and length must give identical sweeps");
+    assert_eq!(a.g, b.g, "the knee must not move between runs");
+    assert!(!a.samples.is_empty());
+}
+
+#[test]
+fn gamma_sweep_is_deterministic_under_a_fixed_config() {
+    let cfg = MachineConfig::hpu2_sim();
+    let sizes = [1 << 12, 1 << 13, 1 << 14];
+    let a = estimate_gamma(&cfg, &sizes);
+    let b = estimate_gamma(&cfg, &sizes);
+    assert_eq!(a, b, "same config and sizes must give identical sweeps");
+    assert!(a.gamma_inv > 0.0 && a.gamma_inv.is_finite());
+    assert_eq!(a.samples.len(), sizes.len());
+}
+
+/// Figure-5 sanity: more work-items never make the probe meaningfully
+/// slower before the knee, and the sweep overall shows real speedup from
+/// one thread to saturation.
+#[test]
+fn g_sweep_falls_monotonically_to_the_knee() {
+    let cfg = MachineConfig::hpu1_sim();
+    let sweep = estimate_g(&cfg, 1 << 14);
+    let pre_knee: Vec<_> = sweep
+        .samples
+        .iter()
+        .filter(|&&(threads, _)| threads <= sweep.g)
+        .collect();
+    assert!(pre_knee.len() >= 2, "need a curve, got {:?}", sweep.samples);
+    for pair in pre_knee.windows(2) {
+        let (t_prev, time_prev) = *pair[0];
+        let (t_next, time_next) = *pair[1];
+        assert!(
+            time_next <= time_prev * 1.05,
+            "probe slowed down before the knee: {t_prev} threads took {time_prev}, \
+             {t_next} threads took {time_next}"
+        );
+    }
+    let first = pre_knee.first().unwrap().1;
+    let knee = pre_knee.last().unwrap().1;
+    assert!(
+        first / knee > 2.0,
+        "saturation should be far below the serial time: {first} vs {knee}"
+    );
+}

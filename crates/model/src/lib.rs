@@ -61,5 +61,5 @@ pub use error::ModelError;
 pub use levels::LevelProfile;
 pub use params::MachineParams;
 pub use plan::{compile, Direction, Placement, Plan, ScheduleSpec, Segment, Transfer};
-pub use prediction::{predict_levels, LevelPrediction};
+pub use prediction::{plan_cost, predict_levels, LevelPrediction, PlanCost, SegmentCost};
 pub use recurrence::Recurrence;

@@ -127,6 +127,155 @@ pub fn predict_levels(profile: &LevelProfile, plan: &Plan) -> Vec<LevelPredictio
         .collect()
 }
 
+/// Predicted cost of one plan segment, split by unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentCost {
+    /// Index of the segment in [`Plan::segments`].
+    pub segment: usize,
+    /// Predicted busy time on the CPU side of the segment.
+    pub cpu: f64,
+    /// Predicted device-lease time: GPU kernels plus the segment's
+    /// transfer edges (the bus is only ever driven for the device).
+    pub gpu: f64,
+    /// Predicted elapsed time of the segment: `cpu + gpu` for serial
+    /// placements, `max(cpu, gpu)` for the concurrent split.
+    pub time: f64,
+}
+
+/// Admission-grade cost summary of a compiled plan.
+///
+/// Where [`predict_levels`] answers "how long does each level take" (for
+/// drift reports), `plan_cost` answers the scheduler's questions: how long
+/// does the whole job hold each device, segment by segment, and what is
+/// its end-to-end predicted service time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCost {
+    /// Predicted end-to-end service time (segments run in order).
+    pub total: f64,
+    /// Total predicted CPU busy time across segments.
+    pub cpu: f64,
+    /// Total predicted device-lease time (kernels + transfers).
+    pub gpu: f64,
+    /// Per-segment breakdown, in plan order.
+    pub segments: Vec<SegmentCost>,
+}
+
+impl PlanCost {
+    /// Whether any segment leases the device (GPU kernels or transfers).
+    pub fn uses_gpu(&self) -> bool {
+        self.segments.iter().any(|s| s.gpu > 0.0)
+    }
+}
+
+/// Computes the per-segment, per-unit predicted cost of a compiled `plan`.
+///
+/// Charges the same level times as [`predict_levels`] — same shares, same
+/// transfer attribution — but folds them by plan segment and unit instead
+/// of by executor level. For a segment with a serial placement the elapsed
+/// time is the busy time of its one unit; for [`Placement::Split`] the two
+/// sides run concurrently, so the segment ends when the slower side (GPU
+/// side including its transfers) finishes. The `total` therefore models a
+/// band-level barrier, which can be slightly below the per-level-barrier
+/// sum of [`predict_levels`] for split plans and is identical otherwise.
+pub fn plan_cost(profile: &LevelProfile, plan: &Plan) -> PlanCost {
+    let lx = plan.exec_levels;
+    let lm = profile.levels();
+    let machine = profile.machine();
+    let (p, g, gamma) = (machine.p as f64, machine.g as f64, machine.gamma);
+    let leaf_cost = profile.recurrence().leaf_cost;
+
+    let cpu_share = |i: u32, frac: f64| {
+        let tasks = frac * profile.tasks_at(i);
+        (tasks / p).ceil().max(1.0) * profile.task_cost_at(i)
+    };
+    let gpu_share = |i: u32, frac: f64| {
+        let tasks = frac * profile.tasks_at(i);
+        (tasks / g).ceil().max(1.0) * profile.task_cost_at(i) / gamma
+    };
+    let cpu_leaves = |frac: f64| (frac * profile.leaves() / p).ceil().max(1.0) * leaf_cost;
+    let gpu_leaves = |frac: f64| (frac * profile.leaves() / g).ceil().max(1.0) * leaf_cost / gamma;
+
+    let mut segments: Vec<SegmentCost> = plan
+        .segments
+        .iter()
+        .enumerate()
+        .map(|(segment, _)| SegmentCost {
+            segment,
+            cpu: 0.0,
+            gpu: 0.0,
+            time: 0.0,
+        })
+        .collect();
+
+    // Model levels (and the leaves folded into executor level 0), charged
+    // to the segment covering the executor slot they land on.
+    for i in 0..=lm {
+        let k = lx.saturating_sub(i);
+        let Some((si, seg)) = plan.segment_of(k) else {
+            continue;
+        };
+        let (cpu, gpu) = if i < lm {
+            match seg.placement {
+                Placement::Cpu { cores } if cores <= 1 => {
+                    (profile.tasks_at(i) * profile.task_cost_at(i), 0.0)
+                }
+                Placement::Cpu { cores } => (
+                    (profile.tasks_at(i) / cores as f64).ceil().max(1.0) * profile.task_cost_at(i),
+                    0.0,
+                ),
+                Placement::Gpu => (0.0, profile.gpu_level_time(i)),
+                Placement::Split {
+                    cpu_tasks, tasks, ..
+                } => {
+                    let frac = cpu_tasks as f64 / tasks as f64;
+                    (cpu_share(i, frac), gpu_share(i, 1.0 - frac))
+                }
+            }
+        } else {
+            // i == lm: the leaves (model levels below a leaf cutoff fold
+            // into executor level 0 through the i-loop above).
+            match seg.placement {
+                Placement::Cpu { cores } if cores <= 1 => (profile.leaves() * leaf_cost, 0.0),
+                Placement::Cpu { cores } => (
+                    (profile.leaves() / cores as f64).ceil().max(1.0) * leaf_cost,
+                    0.0,
+                ),
+                Placement::Gpu => (0.0, profile.gpu_leaf_time()),
+                Placement::Split {
+                    cpu_tasks, tasks, ..
+                } => {
+                    let frac = cpu_tasks as f64 / tasks as f64;
+                    (cpu_leaves(frac), gpu_leaves(1.0 - frac))
+                }
+            }
+        };
+        segments[si].cpu += cpu;
+        segments[si].gpu += gpu;
+    }
+
+    // Transfer edges lease the bus for the device's benefit: they extend
+    // the segment's device-side time.
+    for (si, seg) in plan.segments.iter().enumerate() {
+        for t in &seg.transfers {
+            segments[si].gpu += machine.transfer_time(t.words);
+        }
+    }
+
+    for (sc, seg) in segments.iter_mut().zip(&plan.segments) {
+        sc.time = match seg.placement {
+            Placement::Split { .. } => sc.cpu.max(sc.gpu),
+            _ => sc.cpu + sc.gpu,
+        };
+    }
+
+    PlanCost {
+        total: segments.iter().map(|s| s.time).sum(),
+        cpu: segments.iter().map(|s| s.cpu).sum(),
+        gpu: segments.iter().map(|s| s.gpu).sum(),
+        segments,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +375,70 @@ mod tests {
         for r in &rows {
             assert!(r.time.is_finite() && r.time > 0.0, "level {}", r.level);
         }
+    }
+
+    #[test]
+    fn plan_cost_matches_per_level_sums_for_serial_plans() {
+        // Serial placements have no band-level concurrency, so the
+        // segment-folded total must equal the per-level prediction sum.
+        let pr = profile(1 << 12);
+        let lx = pr.levels();
+        for spec in [
+            ScheduleSpec::Sequential,
+            ScheduleSpec::CpuParallel,
+            ScheduleSpec::GpuOnly,
+            ScheduleSpec::Basic { crossover: None },
+        ] {
+            let plan = plan(&spec, 1 << 12, lx);
+            let per_level: f64 = predict_levels(&pr, &plan).iter().map(|l| l.time).sum();
+            let cost = plan_cost(&pr, &plan);
+            assert!(
+                (cost.total - per_level).abs() < 1e-9,
+                "{spec:?}: {} vs {per_level}",
+                cost.total
+            );
+            assert_eq!(cost.segments.len(), plan.segments.len());
+            assert!((cost.cpu + cost.gpu - cost.total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_cost_splits_units_and_flags_gpu_use() {
+        let pr = profile(1 << 12);
+        let lx = pr.levels();
+        let cpu_only = plan_cost(&pr, &plan(&ScheduleSpec::CpuParallel, 1 << 12, lx));
+        assert!(!cpu_only.uses_gpu());
+        assert_eq!(cpu_only.gpu, 0.0);
+        let basic = plan_cost(
+            &pr,
+            &plan(&ScheduleSpec::Basic { crossover: None }, 1 << 12, lx),
+        );
+        assert!(basic.uses_gpu());
+        assert!(basic.cpu > 0.0 && basic.gpu > 0.0);
+        // The GPU side includes both transfer edges of the device band.
+        let t = pr.machine().transfer_time(1 << 12);
+        assert!(basic.segments[0].gpu > 2.0 * t);
+    }
+
+    #[test]
+    fn plan_cost_concurrent_split_takes_the_slower_side() {
+        let pr = profile(1 << 12);
+        let lx = pr.levels();
+        let plan = plan(
+            &ScheduleSpec::Advanced {
+                alpha: 0.25,
+                transfer_level: 4,
+            },
+            1 << 12,
+            lx,
+        );
+        let cost = plan_cost(&pr, &plan);
+        let split = &cost.segments[0];
+        assert!((split.time - split.cpu.max(split.gpu)).abs() < 1e-9);
+        // A band-level barrier can only be tighter than per-level barriers.
+        let per_level: f64 = predict_levels(&pr, &plan).iter().map(|l| l.time).sum();
+        assert!(cost.total <= per_level + 1e-9);
+        assert!(cost.total > 0.0);
     }
 
     #[test]

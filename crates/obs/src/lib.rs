@@ -22,6 +22,9 @@
 //!   occupancy.
 //! * [`LevelDrift`] / [`drift_rows`] — per-level comparison of analytic
 //!   model predictions against simulated (or measured) time.
+//! * [`ServeReport`] / [`JobRecord`] — fleet-level serving metrics
+//!   (throughput, latency percentiles, device utilization) produced by the
+//!   multi-job scheduler in `hpu-serve`.
 //! * [`json`] — a minimal JSON value parser used by tests to validate the
 //!   exporter's output without external crates.
 
@@ -33,10 +36,12 @@ mod drift;
 mod event;
 pub mod json;
 mod metrics;
+mod serve;
 mod wall;
 
 pub use chrome::ChromeTrace;
 pub use drift::{drift_rows, render_drift, LevelDrift};
 pub use event::{EventKind, LevelPhase, Recorder, TraceEvent, Track};
 pub use metrics::{merge_intervals, LevelBook, LevelMetrics};
+pub use serve::{percentile, JobOutcome, JobRecord, ServeReport};
 pub use wall::WallRecorder;

@@ -1,0 +1,269 @@
+//! Fleet-level serving metrics.
+//!
+//! The multi-job scheduler (`hpu-serve`) records one [`JobRecord`] per
+//! submitted job — admitted or not — and folds them into a [`ServeReport`]:
+//! throughput, latency percentiles, device utilization and
+//! predicted-vs-actual scheduling drift. Times are in whatever unit the
+//! producing scheduler uses (virtual time for simulated serving, wall-clock
+//! µs for native serving); the report only ever forms ratios and
+//! differences, so the unit cancels everywhere it matters.
+
+/// Terminal state of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Rejected at submission: the admission queue was full.
+    QueueFull,
+    /// Dropped: its deadline passed (or could not be met) before it ran.
+    Cancelled,
+    /// Admitted but failed to compile or execute.
+    Failed,
+}
+
+/// One job's scheduling record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Scheduler-assigned job id (submission order).
+    pub id: u64,
+    /// Human-readable job label.
+    pub name: String,
+    /// Terminal state.
+    pub outcome: JobOutcome,
+    /// Submission time.
+    pub arrival: f64,
+    /// Dispatch time (= `arrival` for jobs that never ran).
+    pub start: f64,
+    /// Completion time (= `arrival` for jobs that never ran).
+    pub end: f64,
+    /// Predicted service time at admission (0 when no prediction was
+    /// made, e.g. native serving).
+    pub predicted: f64,
+    /// Exclusive (solo) service time actually spent on the job's work.
+    pub service: f64,
+    /// Whether the job ran on its CPU-only fallback plan because the
+    /// device lease was contended.
+    pub fallback: bool,
+}
+
+impl JobRecord {
+    /// Sojourn time: completion minus submission.
+    pub fn latency(&self) -> f64 {
+        self.end - self.arrival
+    }
+
+    /// Time spent queued before dispatch.
+    pub fn wait(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// Relative scheduling drift `(service − predicted) / predicted`, or
+    /// `None` when the job carries no prediction or never ran.
+    pub fn drift(&self) -> Option<f64> {
+        if self.outcome == JobOutcome::Completed && self.predicted > 0.0 {
+            Some((self.service - self.predicted) / self.predicted)
+        } else {
+            None
+        }
+    }
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice; `q` in
+/// `[0, 100]`. Returns 0 for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregated metrics of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Every submitted job's record, in submission order.
+    pub jobs: Vec<JobRecord>,
+    /// Time from the first arrival to the last completion.
+    pub makespan: f64,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs rejected with a full queue.
+    pub rejected: usize,
+    /// Jobs cancelled on their deadline.
+    pub cancelled: usize,
+    /// Jobs that failed to compile or execute.
+    pub failed: usize,
+    /// Completed jobs per unit time (`completed / makespan`).
+    pub throughput: f64,
+    /// Median completed-job latency.
+    pub p50_latency: f64,
+    /// 95th-percentile completed-job latency.
+    pub p95_latency: f64,
+    /// 99th-percentile completed-job latency.
+    pub p99_latency: f64,
+    /// Worst completed-job latency.
+    pub max_latency: f64,
+    /// Fraction of the makespan with at least one CPU core busy
+    /// (interval-merged, so never above 1).
+    pub cpu_utilization: f64,
+    /// Fraction of the makespan the device lease was held.
+    pub gpu_utilization: f64,
+    /// Mean `|drift()|` over completed jobs that carry a prediction.
+    pub mean_abs_drift: f64,
+}
+
+impl ServeReport {
+    /// Folds job records into a report. `cpu_busy` / `gpu_busy` are
+    /// interval-merged busy times on each device (same unit as the
+    /// records), e.g. from [`crate::merge_intervals`] over the
+    /// arbiter's reservations.
+    pub fn new(jobs: Vec<JobRecord>, makespan: f64, cpu_busy: f64, gpu_busy: f64) -> ServeReport {
+        let count = |o: JobOutcome| jobs.iter().filter(|j| j.outcome == o).count();
+        let completed = count(JobOutcome::Completed);
+        let mut latencies: Vec<f64> = jobs
+            .iter()
+            .filter(|j| j.outcome == JobOutcome::Completed)
+            .map(JobRecord::latency)
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        let drifts: Vec<f64> = jobs.iter().filter_map(JobRecord::drift).collect();
+        let ratio = |num: f64| if makespan > 0.0 { num / makespan } else { 0.0 };
+        ServeReport {
+            makespan,
+            completed,
+            rejected: count(JobOutcome::QueueFull),
+            cancelled: count(JobOutcome::Cancelled),
+            failed: count(JobOutcome::Failed),
+            throughput: ratio(completed as f64),
+            p50_latency: percentile(&latencies, 50.0),
+            p95_latency: percentile(&latencies, 95.0),
+            p99_latency: percentile(&latencies, 99.0),
+            max_latency: latencies.last().copied().unwrap_or(0.0),
+            cpu_utilization: ratio(cpu_busy),
+            gpu_utilization: ratio(gpu_busy),
+            mean_abs_drift: if drifts.is_empty() {
+                0.0
+            } else {
+                drifts.iter().map(|d| d.abs()).sum::<f64>() / drifts.len() as f64
+            },
+            jobs,
+        }
+    }
+
+    /// Plain-text summary table of the fleet metrics.
+    pub fn render(&self) -> String {
+        format!(
+            "jobs {} | completed {} rejected {} cancelled {} failed {}\n\
+             makespan {:.2} | throughput {:.6}\n\
+             latency p50 {:.2} p95 {:.2} p99 {:.2} max {:.2}\n\
+             utilization cpu {:.3} gpu {:.3} | mean |drift| {:.4}\n",
+            self.jobs.len(),
+            self.completed,
+            self.rejected,
+            self.cancelled,
+            self.failed,
+            self.makespan,
+            self.throughput,
+            self.p50_latency,
+            self.p95_latency,
+            self.p99_latency,
+            self.max_latency,
+            self.cpu_utilization,
+            self.gpu_utilization,
+            self.mean_abs_drift,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, outcome: JobOutcome, arrival: f64, start: f64, end: f64) -> JobRecord {
+        JobRecord {
+            id,
+            name: format!("job-{id}"),
+            outcome,
+            arrival,
+            start,
+            end,
+            predicted: 0.0,
+            service: 0.0,
+            fallback: false,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 95.0), 4.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let jobs: Vec<JobRecord> = (0..20)
+            .map(|i| {
+                job(
+                    i,
+                    JobOutcome::Completed,
+                    i as f64,
+                    i as f64,
+                    i as f64 + 1.0 + (i % 7) as f64,
+                )
+            })
+            .collect();
+        let r = ServeReport::new(jobs, 30.0, 25.0, 10.0);
+        assert!(r.p50_latency <= r.p95_latency);
+        assert!(r.p95_latency <= r.p99_latency);
+        assert!(r.p99_latency <= r.max_latency);
+        assert!(r.cpu_utilization <= 1.0 && r.gpu_utilization <= 1.0);
+        assert!((r.throughput - 20.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcomes_are_counted_and_excluded_from_latency() {
+        let jobs = vec![
+            job(0, JobOutcome::Completed, 0.0, 0.0, 4.0),
+            job(1, JobOutcome::QueueFull, 1.0, 1.0, 1.0),
+            job(2, JobOutcome::Cancelled, 2.0, 2.0, 2.0),
+            job(3, JobOutcome::Failed, 3.0, 3.0, 3.0),
+        ];
+        let r = ServeReport::new(jobs, 4.0, 4.0, 0.0);
+        assert_eq!(
+            (r.completed, r.rejected, r.cancelled, r.failed),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(r.max_latency, 4.0);
+        assert_eq!(r.p99_latency, 4.0);
+        assert_eq!(r.gpu_utilization, 0.0);
+        assert!(!r.render().is_empty());
+    }
+
+    #[test]
+    fn drift_needs_a_prediction_and_a_completion() {
+        let mut a = job(0, JobOutcome::Completed, 0.0, 0.0, 2.0);
+        a.predicted = 2.0;
+        a.service = 3.0;
+        assert_eq!(a.drift(), Some(0.5));
+        let b = job(1, JobOutcome::Completed, 0.0, 0.0, 2.0);
+        assert_eq!(b.drift(), None);
+        let mut c = job(2, JobOutcome::Cancelled, 0.0, 0.0, 0.0);
+        c.predicted = 2.0;
+        assert_eq!(c.drift(), None);
+        let r = ServeReport::new(vec![a, b, c], 3.0, 1.0, 0.0);
+        assert!((r.mean_abs_drift - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = ServeReport::new(Vec::new(), 0.0, 0.0, 0.0);
+        assert_eq!(r.throughput, 0.0);
+        assert_eq!(r.cpu_utilization, 0.0);
+        assert_eq!(r.max_latency, 0.0);
+    }
+}

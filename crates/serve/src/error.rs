@@ -1,0 +1,92 @@
+//! Typed serving errors.
+
+use std::error::Error;
+use std::fmt;
+
+use hpu_core::CoreError;
+use hpu_model::ModelError;
+
+/// Why a submitted job did not complete.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The bounded admission queue was full at arrival: backpressure
+    /// rejects the job instead of blocking the submitter forever.
+    QueueFull {
+        /// Id of the rejected job.
+        job: u64,
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The job's deadline passed — or provably could not be met — before
+    /// it ran, so the scheduler dropped it.
+    Cancelled {
+        /// Id of the cancelled job.
+        job: u64,
+        /// The deadline that was missed (scheduler time units).
+        deadline: f64,
+    },
+    /// The job's schedule failed to compile to an execution plan.
+    Compile {
+        /// Id of the failed job.
+        job: u64,
+        /// The model-side compilation error.
+        source: ModelError,
+    },
+    /// The job's plan failed to execute.
+    Run {
+        /// Id of the failed job.
+        job: u64,
+        /// The executor-side error.
+        source: CoreError,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { job, capacity } => {
+                write!(f, "job {job}: admission queue full (capacity {capacity})")
+            }
+            ServeError::Cancelled { job, deadline } => {
+                write!(f, "job {job}: cancelled, deadline {deadline} unmeetable")
+            }
+            ServeError::Compile { job, source } => {
+                write!(f, "job {job}: schedule failed to compile: {source}")
+            }
+            ServeError::Run { job, source } => {
+                write!(f, "job {job}: plan failed to execute: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Compile { source, .. } => Some(source),
+            ServeError::Run { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_job() {
+        let e = ServeError::QueueFull {
+            job: 7,
+            capacity: 4,
+        };
+        assert!(e.to_string().contains("job 7"));
+        assert!(e.to_string().contains("capacity 4"));
+        let c = ServeError::Cancelled {
+            job: 3,
+            deadline: 10.0,
+        };
+        assert!(c.to_string().contains("cancelled"));
+        assert!(c.source().is_none());
+    }
+}

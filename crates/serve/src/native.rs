@@ -1,0 +1,255 @@
+//! Native (real-thread) serving.
+//!
+//! [`serve_native`] is the wall-clock counterpart of
+//! [`serve_sim`](crate::serve_sim): a fixed worker fleet drains a bounded
+//! admission queue, each worker owning its own [`LevelPool`] so jobs run
+//! side by side on real threads. There is no GPU here — cost-model
+//! admission still orders the queue (a host-only plan priced for one
+//! worker's thread count), and the same [`Policy`] and backpressure
+//! semantics apply, but time is measured in microseconds of wall clock.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hpu_core::LevelPool;
+use hpu_model::{plan_cost, LevelProfile, MachineParams, Plan, ScheduleSpec};
+use hpu_obs::{JobOutcome, JobRecord, ServeReport};
+
+use crate::error::ServeError;
+use crate::job::Workload;
+use crate::queue::{dispatch_order, Rank};
+use crate::sched::ServeConfig;
+
+/// One job submission for native serving. Times are microseconds from
+/// the start of the serving run.
+pub struct NativeJobRequest {
+    /// Human-readable label, carried into the records.
+    pub name: String,
+    /// Submission time, microseconds after serving starts.
+    pub arrival_us: u64,
+    /// Latest acceptable start time, if any (microseconds).
+    pub deadline_us: Option<u64>,
+    /// The work itself.
+    pub workload: Box<dyn Workload>,
+}
+
+impl NativeJobRequest {
+    /// A deadline-free native job submission.
+    pub fn new(name: impl Into<String>, arrival_us: u64, workload: Box<dyn Workload>) -> Self {
+        NativeJobRequest {
+            name: name.into(),
+            arrival_us,
+            deadline_us: None,
+            workload,
+        }
+    }
+}
+
+/// What a native serving run produces. All times in the report are
+/// microseconds of wall clock.
+pub struct NativeServeOutput {
+    /// Fleet-level metrics over every submitted job.
+    pub report: ServeReport,
+    /// Typed rejection/cancellation/failure errors.
+    pub errors: Vec<ServeError>,
+}
+
+struct Queued {
+    id: u64,
+    name: String,
+    arrival: f64,
+    deadline_us: Option<u64>,
+    cost: f64,
+    skips: usize,
+    workload: Box<dyn Workload>,
+}
+
+#[derive(Default)]
+struct State {
+    queue: Vec<Queued>,
+    done: bool,
+    records: Vec<JobRecord>,
+    errors: Vec<ServeError>,
+    busy: Vec<(f64, f64)>,
+}
+
+/// Predicted service cost of a job on one worker: its host-only plan
+/// priced for the worker's thread count. Only the *relative* order
+/// matters (shortest-cost-first); records report zero prediction because
+/// model units and wall microseconds are not comparable.
+fn admission_cost(workload: &dyn Workload, threads: usize) -> Option<f64> {
+    let params = MachineParams::new(threads.max(1), 1, 1.0).ok()?;
+    let rec = workload.recurrence();
+    let n = workload.input_len() as u64;
+    let levels = workload.exec_levels().ok()?;
+    let plan = Plan::host_only(n, levels, threads.max(1), ScheduleSpec::CpuParallel);
+    let profile = LevelProfile::new(&params, &rec, n);
+    Some(plan_cost(&profile, &plan).total)
+}
+
+/// Serves `jobs` on `workers` real worker threads, each running jobs on
+/// its own `threads_per_worker`-wide [`LevelPool`]. Jobs are submitted by
+/// a paced feeder thread at their `arrival_us` offsets, so throughput and
+/// latency reflect genuine open-loop arrival.
+pub fn serve_native(
+    serve: &ServeConfig,
+    workers: usize,
+    threads_per_worker: usize,
+    mut jobs: Vec<NativeJobRequest>,
+) -> NativeServeOutput {
+    jobs.sort_by_key(|j| j.arrival_us);
+    let epoch = Instant::now();
+    let state = Mutex::new(State::default());
+    let cvar = Condvar::new();
+    let workers = workers.max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let pool = LevelPool::new(threads_per_worker);
+                loop {
+                    let mut job = {
+                        let mut st = state.lock().expect("serve state lock");
+                        loop {
+                            if !st.queue.is_empty() {
+                                let ranks: Vec<Rank> = st
+                                    .queue
+                                    .iter()
+                                    .map(|q| Rank {
+                                        seq: q.id,
+                                        cost: q.cost,
+                                        skips: q.skips,
+                                    })
+                                    .collect();
+                                let (order, _) = dispatch_order(&serve.policy, &ranks);
+                                let qi = order[0];
+                                let job = st.queue.remove(qi);
+                                for other in st.queue.iter_mut() {
+                                    if other.id < job.id {
+                                        other.skips += 1;
+                                    }
+                                }
+                                break job;
+                            }
+                            if st.done {
+                                return;
+                            }
+                            st = cvar.wait(st).expect("serve state lock");
+                        }
+                    };
+                    let start = epoch.elapsed().as_secs_f64() * 1e6;
+                    if let Some(dl) = job.deadline_us {
+                        if start > dl as f64 {
+                            let mut st = state.lock().expect("serve state lock");
+                            st.errors.push(ServeError::Cancelled {
+                                job: job.id,
+                                deadline: dl as f64,
+                            });
+                            st.records.push(JobRecord {
+                                id: job.id,
+                                name: job.name,
+                                outcome: JobOutcome::Cancelled,
+                                arrival: job.arrival,
+                                start,
+                                end: start,
+                                predicted: 0.0,
+                                service: 0.0,
+                                fallback: false,
+                            });
+                            continue;
+                        }
+                    }
+                    let outcome = job.workload.run_native(&pool);
+                    let end = epoch.elapsed().as_secs_f64() * 1e6;
+                    let mut st = state.lock().expect("serve state lock");
+                    st.busy.push((start, end));
+                    match outcome {
+                        Ok(_) => st.records.push(JobRecord {
+                            id: job.id,
+                            name: job.name,
+                            outcome: JobOutcome::Completed,
+                            arrival: job.arrival,
+                            start,
+                            end,
+                            predicted: 0.0,
+                            service: end - start,
+                            fallback: false,
+                        }),
+                        Err(e) => {
+                            st.errors.push(ServeError::Run {
+                                job: job.id,
+                                source: e,
+                            });
+                            st.records.push(JobRecord {
+                                id: job.id,
+                                name: job.name,
+                                outcome: JobOutcome::Failed,
+                                arrival: job.arrival,
+                                start,
+                                end,
+                                predicted: 0.0,
+                                service: 0.0,
+                                fallback: false,
+                            });
+                        }
+                    }
+                }
+            });
+        }
+
+        // Paced open-loop feeder: this thread releases each job at its
+        // arrival offset.
+        for (id, job) in jobs.into_iter().enumerate() {
+            let target = Duration::from_micros(job.arrival_us);
+            let elapsed = epoch.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+            let arrival = epoch.elapsed().as_secs_f64() * 1e6;
+            let cost = admission_cost(job.workload.as_ref(), threads_per_worker);
+            let mut st = state.lock().expect("serve state lock");
+            if st.queue.len() >= serve.queue_capacity {
+                st.errors.push(ServeError::QueueFull {
+                    job: id as u64,
+                    capacity: serve.queue_capacity,
+                });
+                st.records.push(JobRecord {
+                    id: id as u64,
+                    name: job.name,
+                    outcome: JobOutcome::QueueFull,
+                    arrival,
+                    start: arrival,
+                    end: arrival,
+                    predicted: 0.0,
+                    service: 0.0,
+                    fallback: false,
+                });
+                continue;
+            }
+            st.queue.push(Queued {
+                id: id as u64,
+                name: job.name,
+                arrival,
+                deadline_us: job.deadline_us,
+                cost: cost.unwrap_or(f64::MAX),
+                skips: 0,
+                workload: job.workload,
+            });
+            drop(st);
+            cvar.notify_one();
+        }
+        let mut st = state.lock().expect("serve state lock");
+        st.done = true;
+        drop(st);
+        cvar.notify_all();
+    });
+
+    let st = state.into_inner().expect("serve state lock");
+    let makespan = st.records.iter().map(|r| r.end).fold(0.0, f64::max);
+    let cpu_busy = hpu_obs::merge_intervals(&st.busy);
+    let report = ServeReport::new(st.records, makespan, cpu_busy, 0.0);
+    NativeServeOutput {
+        report,
+        errors: st.errors,
+    }
+}

@@ -1,0 +1,119 @@
+//! Dispatch policies over the admission queue.
+
+/// Order in which queued jobs are offered resources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Policy {
+    /// Strict arrival order: the head of the queue dispatches first, and
+    /// nothing may overtake it — trivially starvation-free, but a blocked
+    /// head idles resources.
+    Fifo,
+    /// Shortest-predicted-cost-first with backfilling: the cheapest
+    /// predicted job dispatches first, and a job that cannot start yet may
+    /// be overtaken — at most `starvation_bound` times, after which it
+    /// becomes rigid and nothing may overtake it again.
+    ShortestCost {
+        /// Maximum number of times an older job may be overtaken.
+        starvation_bound: usize,
+    },
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy::ShortestCost {
+            starvation_bound: 4,
+        }
+    }
+}
+
+/// Scheduling facts about one queued job.
+#[derive(Debug, Clone)]
+pub(crate) struct Rank {
+    /// Admission order (also arrival order for equal arrival times).
+    pub seq: u64,
+    /// Predicted service cost.
+    pub cost: f64,
+    /// Times this job has been overtaken by a newer one.
+    pub skips: usize,
+}
+
+/// Returns indices of `ranks` in dispatch-priority order, plus the length
+/// of the *rigid prefix*: entries before that bound may not be backfilled
+/// past — if one of them cannot start, the dispatch scan stops.
+pub(crate) fn dispatch_order(policy: &Policy, ranks: &[Rank]) -> (Vec<usize>, usize) {
+    let mut idx: Vec<usize> = (0..ranks.len()).collect();
+    match policy {
+        Policy::Fifo => {
+            idx.sort_by_key(|&i| ranks[i].seq);
+            let rigid = idx.len();
+            (idx, rigid)
+        }
+        Policy::ShortestCost { starvation_bound } => {
+            let overdue = |i: usize| ranks[i].skips >= *starvation_bound;
+            idx.sort_by(|&a, &b| {
+                overdue(b).cmp(&overdue(a)).then_with(|| {
+                    if overdue(a) && overdue(b) {
+                        ranks[a].seq.cmp(&ranks[b].seq)
+                    } else {
+                        ranks[a]
+                            .cost
+                            .total_cmp(&ranks[b].cost)
+                            .then(ranks[a].seq.cmp(&ranks[b].seq))
+                    }
+                })
+            });
+            let rigid = idx.iter().take_while(|&&i| overdue(i)).count();
+            (idx, rigid)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank(seq: u64, cost: f64, skips: usize) -> Rank {
+        Rank { seq, cost, skips }
+    }
+
+    #[test]
+    fn fifo_is_arrival_order_and_fully_rigid() {
+        let ranks = vec![rank(2, 1.0, 0), rank(0, 9.0, 0), rank(1, 5.0, 0)];
+        let (order, rigid) = dispatch_order(&Policy::Fifo, &ranks);
+        assert_eq!(order, vec![1, 2, 0]);
+        assert_eq!(rigid, 3);
+    }
+
+    #[test]
+    fn shortest_cost_orders_by_prediction() {
+        let ranks = vec![rank(0, 9.0, 0), rank(1, 1.0, 0), rank(2, 5.0, 0)];
+        let (order, rigid) = dispatch_order(
+            &Policy::ShortestCost {
+                starvation_bound: 4,
+            },
+            &ranks,
+        );
+        assert_eq!(order, vec![1, 2, 0]);
+        assert_eq!(rigid, 0);
+    }
+
+    #[test]
+    fn overtaken_jobs_become_rigid_at_the_bound() {
+        let ranks = vec![rank(0, 9.0, 2), rank(1, 1.0, 0), rank(2, 5.0, 2)];
+        let (order, rigid) = dispatch_order(
+            &Policy::ShortestCost {
+                starvation_bound: 2,
+            },
+            &ranks,
+        );
+        // Both overdue jobs lead, oldest first; the cheap job waits.
+        assert_eq!(order, vec![0, 2, 1]);
+        assert_eq!(rigid, 2);
+    }
+
+    #[test]
+    fn cost_ties_break_by_age() {
+        let ranks = vec![rank(1, 5.0, 0), rank(0, 5.0, 0)];
+        let (order, _) = dispatch_order(&Policy::default(), &ranks);
+        assert_eq!(order, vec![1, 0]);
+    }
+}

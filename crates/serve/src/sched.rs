@@ -1,0 +1,574 @@
+//! The simulated-time multi-job scheduler.
+//!
+//! [`serve_sim`] runs a fleet of D&C jobs over **one** shared simulated
+//! machine. Each job is compiled to a [`Plan`] at admission, priced with
+//! [`plan_cost`], and solo-executed on a private virtual clock to measure
+//! its exact per-segment device demands; dispatch then replays those
+//! demands through the [`DeviceArbiter`]'s reservation calendars in fleet
+//! virtual time. The GPU is an exclusive lease, so GPU segments of
+//! different jobs serialize while their CPU segments overlap; the CPU pool
+//! partitions by core count (see [`ServeConfig::cores_per_job`]).
+//!
+//! Scheduling is event-driven and fully deterministic: events are job
+//! arrivals and reservation releases, and at each event the dispatcher
+//! offers resources to queued jobs in [`Policy`] order. Backpressure is a
+//! bounded queue ([`ServeError::QueueFull`]); deadlines cancel jobs whose
+//! projected completion falls past them ([`ServeError::Cancelled`] — the
+//! projection only ever tightens as reservations accumulate, so an early
+//! cancel is never wrong). When the GPU lease is contended, a job with a
+//! compiled CPU-only fallback takes it instead of waiting, if that
+//! finishes sooner.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hpu_core::exec::RunReport;
+use hpu_core::CoreError;
+use hpu_machine::{MachineConfig, SimHpu, SimMachineParams};
+use hpu_model::{compile, plan_cost, LevelProfile, MachineParams, Placement, Plan, ScheduleSpec};
+use hpu_obs::{JobOutcome, JobRecord, ServeReport};
+
+use crate::arbiter::{DeviceArbiter, EPS};
+use crate::error::ServeError;
+use crate::job::Workload;
+use crate::queue::{dispatch_order, Policy, Rank};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum number of jobs waiting in the admission queue; arrivals
+    /// beyond it are rejected with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Dispatch policy.
+    pub policy: Policy,
+    /// Whether a GPU-using job may fall back to its CPU-only plan when
+    /// the device lease is contended and the fallback finishes sooner.
+    pub cpu_fallback: bool,
+    /// Compile each job for this many cores instead of the whole CPU,
+    /// letting several jobs' CPU segments run side by side in the pool
+    /// (clamped to the machine's core count).
+    pub cores_per_job: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 32,
+            policy: Policy::default(),
+            cpu_fallback: true,
+            cores_per_job: None,
+        }
+    }
+}
+
+/// One job submission.
+pub struct JobRequest {
+    /// Human-readable label, carried into the records.
+    pub name: String,
+    /// The schedule to compile the job's plan from.
+    pub spec: ScheduleSpec,
+    /// Submission time (fleet virtual time).
+    pub arrival: f64,
+    /// Latest acceptable completion time, if any.
+    pub deadline: Option<f64>,
+    /// The work itself.
+    pub workload: Box<dyn Workload>,
+}
+
+impl JobRequest {
+    /// A deadline-free job submission.
+    pub fn new(
+        name: impl Into<String>,
+        spec: ScheduleSpec,
+        arrival: f64,
+        workload: Box<dyn Workload>,
+    ) -> Self {
+        JobRequest {
+            name: name.into(),
+            spec,
+            arrival,
+            deadline: None,
+            workload,
+        }
+    }
+
+    /// Attaches a completion deadline (fleet virtual time).
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The full execution report of one completed job.
+pub struct JobRun {
+    /// Scheduler-assigned job id (submission order).
+    pub id: u64,
+    /// The job's label.
+    pub name: String,
+    /// Whether the CPU-only fallback plan ran instead of the primary.
+    pub fallback: bool,
+    /// The per-job run report (virtual time, per-level metrics, drift).
+    pub report: RunReport,
+}
+
+/// Everything a serving run produces.
+pub struct ServeOutput {
+    /// Fleet-level metrics over every submitted job.
+    pub report: ServeReport,
+    /// Per-job [`RunReport`]s of the jobs that completed.
+    pub runs: Vec<JobRun>,
+    /// Typed rejection/cancellation/failure errors, in occurrence order.
+    pub errors: Vec<ServeError>,
+    /// Every GPU lease granted, ascending by start.
+    pub gpu_leases: Vec<(f64, f64)>,
+    /// Every CPU reservation granted `(start, end, cores)`.
+    pub cpu_reservations: Vec<(f64, f64, usize)>,
+}
+
+/// Where one plan segment runs, from the arbiter's point of view.
+#[derive(Debug, Clone, Copy)]
+enum SegKind {
+    Cpu { cores: usize },
+    Gpu,
+    Split { cores: usize },
+}
+
+/// Measured device demand of one plan segment.
+#[derive(Debug, Clone, Copy)]
+struct SegDemand {
+    kind: SegKind,
+    cpu: f64,
+    gpu: f64,
+}
+
+impl SegDemand {
+    fn len(&self) -> f64 {
+        match self.kind {
+            SegKind::Cpu { .. } => self.cpu,
+            SegKind::Gpu => self.gpu,
+            SegKind::Split { .. } => self.cpu.max(self.gpu),
+        }
+    }
+}
+
+/// One executable shape of a job: a plan's measured demands plus its
+/// predicted cost and the solo run's report.
+struct Variant {
+    cost: f64,
+    demands: Vec<SegDemand>,
+    report: RunReport,
+}
+
+struct Queued {
+    id: u64,
+    name: String,
+    arrival: f64,
+    deadline: Option<f64>,
+    primary: Variant,
+    fallback: Option<Variant>,
+    skips: usize,
+}
+
+/// Total order on event times (f64 `total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Arrive(usize),
+    Tick,
+}
+
+type EventHeap = BinaryHeap<Reverse<(Time, u64, Ev)>>;
+
+/// Serves `jobs` over one shared simulated machine `cfg` under the
+/// scheduler configuration `serve`. Deterministic: equal inputs give
+/// equal outputs, event for event.
+pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>) -> ServeOutput {
+    let mut arb = DeviceArbiter::new(cfg.cpu.cores);
+    let mut queue: Vec<Queued> = Vec::new();
+    let mut records: Vec<JobRecord> = Vec::new();
+    let mut runs: Vec<JobRun> = Vec::new();
+    let mut errors: Vec<ServeError> = Vec::new();
+
+    let mut heap: EventHeap = BinaryHeap::new();
+    let mut tick_seq = jobs.len() as u64;
+    let mut slots: Vec<Option<JobRequest>> = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.into_iter().enumerate() {
+        heap.push(Reverse((
+            Time(job.arrival.max(0.0)),
+            i as u64,
+            Ev::Arrive(i),
+        )));
+        slots.push(Some(job));
+    }
+
+    while let Some(Reverse((t, _, ev))) = heap.pop() {
+        let now = t.0;
+        if let Ev::Arrive(i) = ev {
+            let job = slots[i].take().expect("each arrival fires once");
+            admit(
+                i as u64,
+                job,
+                now,
+                cfg,
+                serve,
+                &mut queue,
+                &mut records,
+                &mut errors,
+            );
+        }
+        dispatch_all(
+            now,
+            serve,
+            &mut arb,
+            &mut queue,
+            &mut records,
+            &mut runs,
+            &mut errors,
+            &mut heap,
+            &mut tick_seq,
+        );
+    }
+    debug_assert!(
+        queue.is_empty(),
+        "every queued job reaches a terminal state"
+    );
+
+    let makespan = records.iter().map(|r| r.end).fold(0.0, f64::max);
+    let report = ServeReport::new(records, makespan, arb.cpu_busy(), arb.gpu_busy());
+    ServeOutput {
+        report,
+        runs,
+        errors,
+        gpu_leases: arb.gpu_leases().to_vec(),
+        cpu_reservations: arb.cpu_reservations().to_vec(),
+    }
+}
+
+fn rejected_record(id: u64, name: &str, outcome: JobOutcome, at: f64) -> JobRecord {
+    JobRecord {
+        id,
+        name: name.to_string(),
+        outcome,
+        arrival: at,
+        start: at,
+        end: at,
+        predicted: 0.0,
+        service: 0.0,
+        fallback: false,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    id: u64,
+    mut job: JobRequest,
+    now: f64,
+    cfg: &MachineConfig,
+    serve: &ServeConfig,
+    queue: &mut Vec<Queued>,
+    records: &mut Vec<JobRecord>,
+    errors: &mut Vec<ServeError>,
+) {
+    if queue.len() >= serve.queue_capacity {
+        errors.push(ServeError::QueueFull {
+            job: id,
+            capacity: serve.queue_capacity,
+        });
+        records.push(rejected_record(id, &job.name, JobOutcome::QueueFull, now));
+        return;
+    }
+
+    let mut job_cfg = cfg.clone();
+    if let Some(k) = serve.cores_per_job {
+        job_cfg.cpu.cores = k.clamp(1, cfg.cpu.cores);
+    }
+    let params = MachineParams::from_config(&job_cfg);
+    let rec = job.workload.recurrence();
+    let n = job.workload.input_len() as u64;
+    let levels = match job.workload.exec_levels() {
+        Ok(l) => l,
+        Err(e) => {
+            errors.push(ServeError::Run { job: id, source: e });
+            records.push(rejected_record(id, &job.name, JobOutcome::Failed, now));
+            return;
+        }
+    };
+    let plan = match compile(&job.spec, &params, &rec, n, levels) {
+        Ok(p) => p,
+        Err(e) => {
+            errors.push(ServeError::Compile { job: id, source: e });
+            records.push(rejected_record(id, &job.name, JobOutcome::Failed, now));
+            return;
+        }
+    };
+    let profile = LevelProfile::new(&params, &rec, n);
+    let cost = plan_cost(&profile, &plan);
+    let primary = match solo(job.workload.as_mut(), &job_cfg, &plan, cost.total) {
+        Ok(v) => v,
+        Err(e) => {
+            errors.push(ServeError::Run { job: id, source: e });
+            records.push(rejected_record(id, &job.name, JobOutcome::Failed, now));
+            return;
+        }
+    };
+    // A GPU-using job also carries its CPU-only shape, so dispatch can
+    // route around a contended device lease.
+    let fallback = if serve.cpu_fallback && cost.uses_gpu() {
+        compile(&ScheduleSpec::CpuParallel, &params, &rec, n, levels)
+            .ok()
+            .and_then(|fp| {
+                let fc = plan_cost(&profile, &fp);
+                solo(job.workload.as_mut(), &job_cfg, &fp, fc.total).ok()
+            })
+    } else {
+        None
+    };
+    queue.push(Queued {
+        id,
+        name: job.name,
+        arrival: now,
+        deadline: job.deadline,
+        primary,
+        fallback,
+        skips: 0,
+    });
+}
+
+/// Solo-runs the job's plan on a private virtual clock and folds the
+/// per-level metrics into per-segment device demands.
+fn solo(
+    workload: &mut dyn Workload,
+    job_cfg: &MachineConfig,
+    plan: &Plan,
+    cost: f64,
+) -> Result<Variant, CoreError> {
+    let mut hpu = SimHpu::new(job_cfg.clone());
+    let report = workload.run_plan(&mut hpu, plan)?;
+    let segs = plan.segments.len();
+    let mut cpu = vec![0.0; segs];
+    let mut gpu = vec![0.0; segs];
+    for row in &report.levels {
+        let si = row
+            .segment
+            .map(|s| s as usize)
+            .or_else(|| plan.segment_of(row.level).map(|(i, _)| i))
+            .unwrap_or(0)
+            .min(segs - 1);
+        cpu[si] += row.cpu_time;
+        // The bus is only ever driven for the device: transfers extend
+        // the segment's GPU lease.
+        gpu[si] += row.gpu_time + row.bus_time;
+    }
+    let demands = plan
+        .segments
+        .iter()
+        .enumerate()
+        .map(|(i, seg)| SegDemand {
+            kind: match seg.placement {
+                Placement::Cpu { cores } => SegKind::Cpu { cores },
+                Placement::Gpu => SegKind::Gpu,
+                Placement::Split { .. } => SegKind::Split {
+                    cores: job_cfg.cpu.cores,
+                },
+            },
+            cpu: cpu[i],
+            gpu: gpu[i],
+        })
+        .collect();
+    Ok(Variant {
+        cost,
+        demands,
+        report,
+    })
+}
+
+/// Earliest `(start, end)` the variant's segment chain can run at or
+/// after `t0` against the current calendars, without reserving anything.
+fn probe(arb: &DeviceArbiter, t0: f64, v: &Variant) -> (f64, f64) {
+    let mut t = t0;
+    let mut start = f64::INFINITY;
+    for d in &v.demands {
+        if d.len() <= EPS {
+            continue;
+        }
+        let s = match d.kind {
+            SegKind::Cpu { cores } => arb.cpu_slot(t, d.cpu, cores),
+            SegKind::Gpu => arb.gpu_slot(t, d.gpu),
+            SegKind::Split { cores } => arb.pair_slot(t, d.cpu, cores, d.gpu),
+        };
+        if start.is_infinite() {
+            start = s;
+        }
+        t = s + d.len();
+    }
+    if start.is_infinite() {
+        start = t0;
+    }
+    (start, t)
+}
+
+/// Reserves the variant's segment chain (same placement logic as
+/// [`probe`] — a job's segments occupy disjoint windows, so committing
+/// earlier segments never moves later ones) and schedules a dispatch
+/// retry at every reservation release.
+fn commit(
+    arb: &mut DeviceArbiter,
+    heap: &mut EventHeap,
+    tick_seq: &mut u64,
+    t0: f64,
+    v: &Variant,
+) -> (f64, f64) {
+    let mut t = t0;
+    let mut start = f64::INFINITY;
+    for d in &v.demands {
+        if d.len() <= EPS {
+            continue;
+        }
+        let (s, e) = match d.kind {
+            SegKind::Cpu { cores } => arb.reserve_cpu(t, d.cpu, cores),
+            SegKind::Gpu => arb.reserve_gpu(t, d.gpu),
+            SegKind::Split { cores } => arb.reserve_pair(t, d.cpu, cores, d.gpu),
+        };
+        if start.is_infinite() {
+            start = s;
+        }
+        *tick_seq += 1;
+        heap.push(Reverse((Time(e), *tick_seq, Ev::Tick)));
+        t = e;
+    }
+    if start.is_infinite() {
+        start = t0;
+    }
+    (start, t)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_all(
+    now: f64,
+    serve: &ServeConfig,
+    arb: &mut DeviceArbiter,
+    queue: &mut Vec<Queued>,
+    records: &mut Vec<JobRecord>,
+    runs: &mut Vec<JobRun>,
+    errors: &mut Vec<ServeError>,
+    heap: &mut EventHeap,
+    tick_seq: &mut u64,
+) {
+    loop {
+        if queue.is_empty() {
+            return;
+        }
+        let ranks: Vec<Rank> = queue
+            .iter()
+            .map(|q| Rank {
+                seq: q.id,
+                cost: q.primary.cost,
+                skips: q.skips,
+            })
+            .collect();
+        let (order, rigid) = dispatch_order(&serve.policy, &ranks);
+        let mut chosen: Option<(usize, bool)> = None;
+        let mut cancels: Vec<usize> = Vec::new();
+        for (pos, &qi) in order.iter().enumerate() {
+            let q = &queue[qi];
+            let (ps, pe) = probe(arb, now, &q.primary);
+            let (mut s, mut e, mut fb) = (ps, pe, false);
+            if ps > now + EPS {
+                // Device lease contended: take the CPU-only shape if it
+                // starts now and finishes no later.
+                if let Some(f) = &q.fallback {
+                    let (fs, fe) = probe(arb, now, f);
+                    if fs <= now + EPS && fe <= pe + EPS {
+                        (s, e, fb) = (fs, fe, true);
+                    }
+                }
+            }
+            if let Some(dl) = q.deadline {
+                // Projections only grow as reservations accumulate, so a
+                // completion past the deadline is already unmeetable.
+                if e > dl + EPS {
+                    cancels.push(qi);
+                    continue;
+                }
+            }
+            if s <= now + EPS {
+                chosen = Some((qi, fb));
+                break;
+            }
+            if pos < rigid {
+                // No backfilling past a rigid (FIFO or overdue) entry.
+                break;
+            }
+        }
+        if !cancels.is_empty() {
+            cancels.sort_unstable();
+            for qi in cancels.into_iter().rev() {
+                let q = queue.remove(qi);
+                errors.push(ServeError::Cancelled {
+                    job: q.id,
+                    deadline: q.deadline.unwrap_or(f64::NAN),
+                });
+                records.push(JobRecord {
+                    id: q.id,
+                    name: q.name,
+                    outcome: JobOutcome::Cancelled,
+                    arrival: q.arrival,
+                    start: now,
+                    end: now,
+                    predicted: q.primary.cost,
+                    service: 0.0,
+                    fallback: false,
+                });
+            }
+            continue;
+        }
+        let Some((qi, fb)) = chosen else {
+            return;
+        };
+        let q = queue.remove(qi);
+        let v = if fb {
+            q.fallback.expect("fallback chosen implies it exists")
+        } else {
+            q.primary
+        };
+        let (start, end) = commit(arb, heap, tick_seq, now, &v);
+        for other in queue.iter_mut() {
+            if other.id < q.id {
+                other.skips += 1;
+            }
+        }
+        records.push(JobRecord {
+            id: q.id,
+            name: q.name.clone(),
+            outcome: JobOutcome::Completed,
+            arrival: q.arrival,
+            start,
+            end,
+            predicted: v.cost,
+            service: v.report.virtual_time,
+            fallback: fb,
+        });
+        runs.push(JobRun {
+            id: q.id,
+            name: q.name,
+            fallback: fb,
+            report: v.report,
+        });
+    }
+}

@@ -1,0 +1,312 @@
+//! End-to-end scheduler behavior over the simulated machine.
+
+use hpu_algos::{DcSum, MergeSort};
+use hpu_core::CoreError;
+use hpu_machine::MachineConfig;
+use hpu_model::ScheduleSpec;
+use hpu_obs::JobOutcome;
+use hpu_serve::{serve_sim, AlgoJob, JobRequest, Policy, ServeConfig, ServeError, ServeOutput};
+
+fn input(n: usize) -> Vec<u64> {
+    (0..n as u64).rev().collect()
+}
+
+fn sort_job(name: &str, spec: ScheduleSpec, n: usize, arrival: f64) -> JobRequest {
+    JobRequest::new(
+        name,
+        spec,
+        arrival,
+        AlgoJob::boxed(MergeSort::new(), input(n)),
+    )
+}
+
+fn solo_makespan(cfg: &MachineConfig, serve: &ServeConfig, job: JobRequest) -> f64 {
+    let out = serve_sim(cfg, serve, vec![job]);
+    assert_eq!(out.report.completed, 1, "solo job must complete");
+    out.report.makespan
+}
+
+fn start_of(out: &ServeOutput, id: u64) -> f64 {
+    out.report
+        .jobs
+        .iter()
+        .find(|r| r.id == id)
+        .expect("job record exists")
+        .start
+}
+
+/// Acceptance (a): two GPU-wanting jobs must serialize their GPU
+/// segments (exclusive lease) while their CPU segments overlap the other
+/// job's GPU work, so serving both takes strictly less virtual time than
+/// running them back to back.
+#[test]
+fn gpu_segments_serialize_while_cpu_work_overlaps() {
+    let cfg = MachineConfig::hpu1_sim();
+    let serve = ServeConfig {
+        cpu_fallback: false,
+        ..Default::default()
+    };
+    let spec = ScheduleSpec::Basic { crossover: Some(6) };
+    let n = 1 << 12;
+    let solo_a = solo_makespan(&cfg, &serve, sort_job("a", spec.clone(), n, 0.0));
+    let solo_b = solo_makespan(&cfg, &serve, sort_job("b", spec.clone(), n, 0.0));
+
+    let out = serve_sim(
+        &cfg,
+        &serve,
+        vec![
+            sort_job("a", spec.clone(), n, 0.0),
+            sort_job("b", spec, n, 0.0),
+        ],
+    );
+    assert_eq!(out.report.completed, 2);
+    // One GPU lease per job, strictly serialized.
+    assert_eq!(out.gpu_leases.len(), 2);
+    let (_, e0) = out.gpu_leases[0];
+    let (s1, _) = out.gpu_leases[1];
+    assert!(e0 <= s1 + 1e-9, "GPU leases overlap: end {e0} > start {s1}");
+    // Job b's GPU band ran under job a's CPU band: the fleet finishes
+    // strictly earlier than back-to-back solos.
+    assert!(
+        out.report.makespan < solo_a + solo_b - 1e-9,
+        "no overlap: fleet {} vs serial {}",
+        out.report.makespan,
+        solo_a + solo_b
+    );
+}
+
+/// Acceptance (b): a full admission queue rejects new arrivals with a
+/// typed error instead of blocking.
+#[test]
+fn full_queue_rejects_instead_of_blocking() {
+    let cfg = MachineConfig::hpu1_sim();
+    let serve = ServeConfig {
+        queue_capacity: 1,
+        cpu_fallback: false,
+        ..Default::default()
+    };
+    let jobs = (0..3)
+        .map(|i| sort_job(&format!("j{i}"), ScheduleSpec::GpuOnly, 1 << 10, 0.0))
+        .collect();
+    let out = serve_sim(&cfg, &serve, jobs);
+    // j0 dispatches, j1 queues, j2 bounces off the bounded queue.
+    assert_eq!(out.report.completed, 2);
+    assert_eq!(out.report.rejected, 1);
+    assert!(out.errors.iter().any(|e| matches!(
+        e,
+        ServeError::QueueFull {
+            job: 2,
+            capacity: 1
+        }
+    )));
+    let rec = out.report.jobs.iter().find(|r| r.id == 2).unwrap();
+    assert_eq!(rec.outcome, JobOutcome::QueueFull);
+}
+
+/// Acceptance (c): fleet latency percentiles are ordered, utilizations
+/// are true fractions, and throughput is completions over makespan.
+#[test]
+fn fleet_report_is_internally_consistent() {
+    let cfg = MachineConfig::hpu1_sim();
+    let serve = ServeConfig::default();
+    let mut jobs = Vec::new();
+    for i in 0..10u64 {
+        let n = 1 << (8 + (i % 3));
+        let spec = match i % 3 {
+            0 => ScheduleSpec::CpuParallel,
+            1 => ScheduleSpec::GpuOnly,
+            _ => ScheduleSpec::Basic { crossover: Some(4) },
+        };
+        let arrival = i as f64 * 1_000.0;
+        let job = if i % 2 == 0 {
+            JobRequest::new(
+                format!("sort-{i}"),
+                spec,
+                arrival,
+                AlgoJob::boxed(MergeSort::new(), input(n)),
+            )
+        } else {
+            JobRequest::new(
+                format!("sum-{i}"),
+                spec,
+                arrival,
+                AlgoJob::boxed(DcSum, input(n)),
+            )
+        };
+        jobs.push(job);
+    }
+    let out = serve_sim(&cfg, &serve, jobs);
+    let r = &out.report;
+    assert_eq!(r.completed, 10);
+    assert!(r.p50_latency <= r.p95_latency);
+    assert!(r.p95_latency <= r.p99_latency);
+    assert!(r.p99_latency <= r.max_latency);
+    assert!(r.cpu_utilization <= 1.0 + 1e-9);
+    assert!(r.gpu_utilization <= 1.0 + 1e-9);
+    assert!((r.throughput - r.completed as f64 / r.makespan).abs() < 1e-12);
+    // Every completed job carries a positive cost prediction and drift.
+    assert!(r.mean_abs_drift.is_finite());
+}
+
+/// Shortest-predicted-cost-first lets a cheap late arrival overtake an
+/// expensive earlier one; FIFO does not.
+#[test]
+fn shortest_cost_overtakes_where_fifo_waits() {
+    let cfg = MachineConfig::hpu1_sim();
+    let jobs = || {
+        vec![
+            sort_job("busy", ScheduleSpec::CpuParallel, 1 << 12, 0.0),
+            sort_job("big", ScheduleSpec::CpuParallel, 1 << 12, 0.0),
+            sort_job("small", ScheduleSpec::CpuParallel, 1 << 8, 0.0),
+        ]
+    };
+    let spcf = serve_sim(&cfg, &ServeConfig::default(), jobs());
+    let fifo = serve_sim(
+        &cfg,
+        &ServeConfig {
+            policy: Policy::Fifo,
+            ..Default::default()
+        },
+        jobs(),
+    );
+    assert_eq!(spcf.report.completed, 3);
+    assert_eq!(fifo.report.completed, 3);
+    assert!(
+        start_of(&spcf, 2) < start_of(&spcf, 1),
+        "SPCF should run the small job before the big one"
+    );
+    assert!(
+        start_of(&fifo, 1) <= start_of(&fifo, 2),
+        "FIFO must preserve arrival order"
+    );
+}
+
+/// The starvation bound caps how many times a queued job is overtaken:
+/// with bound 2, exactly two short jobs pass the long one before it
+/// becomes rigid and dispatches.
+#[test]
+fn starvation_bound_limits_overtaking() {
+    let cfg = MachineConfig::hpu1_sim();
+    let serve = ServeConfig {
+        policy: Policy::ShortestCost {
+            starvation_bound: 2,
+        },
+        cpu_fallback: false,
+        ..Default::default()
+    };
+    let mut jobs = vec![
+        sort_job("filler", ScheduleSpec::CpuParallel, 1 << 10, 0.0),
+        sort_job("long", ScheduleSpec::CpuParallel, 1 << 12, 0.0),
+    ];
+    for i in 0..4 {
+        jobs.push(sort_job(
+            &format!("short-{i}"),
+            ScheduleSpec::CpuParallel,
+            1 << 8,
+            0.0,
+        ));
+    }
+    let out = serve_sim(&cfg, &serve, jobs);
+    assert_eq!(out.report.completed, 6);
+    let long_start = start_of(&out, 1);
+    let overtakes = out
+        .report
+        .jobs
+        .iter()
+        .filter(|r| r.id >= 2 && r.start < long_start - 1e-9)
+        .count();
+    assert_eq!(overtakes, 2, "bound 2 admits exactly two overtakes");
+}
+
+/// A deadline that provably cannot be met cancels the job with a typed
+/// error instead of letting it rot in the queue.
+#[test]
+fn unmeetable_deadline_cancels_the_job() {
+    let cfg = MachineConfig::hpu1_sim();
+    let serve = ServeConfig {
+        cpu_fallback: false,
+        ..Default::default()
+    };
+    let solo = solo_makespan(
+        &cfg,
+        &serve,
+        sort_job("long", ScheduleSpec::GpuOnly, 1 << 12, 0.0),
+    );
+    let jobs = vec![
+        sort_job("long", ScheduleSpec::GpuOnly, 1 << 12, 0.0),
+        sort_job("tight", ScheduleSpec::GpuOnly, 1 << 8, 0.0).with_deadline(solo * 0.5),
+    ];
+    let out = serve_sim(&cfg, &serve, jobs);
+    assert_eq!(out.report.completed, 1);
+    assert_eq!(out.report.cancelled, 1);
+    assert!(out
+        .errors
+        .iter()
+        .any(|e| matches!(e, ServeError::Cancelled { job: 1, .. })));
+    let rec = out.report.jobs.iter().find(|r| r.id == 1).unwrap();
+    assert_eq!(rec.outcome, JobOutcome::Cancelled);
+}
+
+/// While a hog holds the GPU lease, a small GPU job reroutes onto its
+/// CPU-only fallback plan instead of waiting for the device.
+#[test]
+fn contended_gpu_takes_the_cpu_fallback() {
+    let cfg = MachineConfig::hpu1_sim();
+    let serve = ServeConfig::default();
+    let jobs = vec![
+        sort_job("hog", ScheduleSpec::GpuOnly, 1 << 13, 0.0),
+        sort_job("nimble", ScheduleSpec::GpuOnly, 1 << 8, 0.0),
+    ];
+    let out = serve_sim(&cfg, &serve, jobs);
+    assert_eq!(out.report.completed, 2);
+    let rec = out.report.jobs.iter().find(|r| r.id == 1).unwrap();
+    assert!(rec.fallback, "nimble should have taken the CPU fallback");
+    let run = out.runs.iter().find(|r| r.id == 1).unwrap();
+    assert!(run.fallback);
+    // Only the hog ever leased the device.
+    assert_eq!(out.gpu_leases.len(), 1);
+}
+
+/// A plan compiled for one input cannot silently run on another.
+#[test]
+fn plans_are_validated_against_their_input() {
+    use hpu_core::exec::run_sim_plan;
+    use hpu_machine::{SimHpu, SimMachineParams};
+    use hpu_model::{compile, MachineParams};
+
+    let cfg = MachineConfig::tiny();
+    let params = MachineParams::from_config(&cfg);
+    let algo = MergeSort::new();
+    let rec = hpu_core::BfAlgorithm::<u64>::recurrence(&algo);
+    let levels = hpu_core::bf::num_levels::<u64>(&algo, 256).unwrap();
+    let plan = compile(&ScheduleSpec::CpuParallel, &params, &rec, 256, levels).unwrap();
+    let mut data = input(512);
+    let mut hpu = SimHpu::new(cfg);
+    let got = run_sim_plan(&algo, &mut data, &mut hpu, &plan);
+    assert!(matches!(got, Err(CoreError::MalformedPlan { .. })));
+}
+
+/// The native path serves a small fleet on real threads and reports
+/// ordered percentiles.
+#[test]
+fn native_serving_completes_a_small_fleet() {
+    use hpu_serve::{serve_native, NativeJobRequest};
+
+    let serve = ServeConfig::default();
+    let jobs = (0..6u64)
+        .map(|i| {
+            NativeJobRequest::new(
+                format!("sort-{i}"),
+                i * 200,
+                AlgoJob::boxed(MergeSort::new(), input(1 << 10)),
+            )
+        })
+        .collect();
+    let out = serve_native(&serve, 2, 2, jobs);
+    let r = &out.report;
+    assert_eq!(r.completed, 6);
+    assert!(out.errors.is_empty());
+    assert!(r.p50_latency <= r.p95_latency && r.p99_latency <= r.max_latency);
+    assert!(r.cpu_utilization <= 1.0 + 1e-9, "busy intervals are merged");
+    assert!(r.throughput > 0.0);
+}

@@ -25,7 +25,11 @@
 //!   (`hpu-estimate`);
 //! * [`obs`] — dependency-free observability: typed trace events, a Chrome
 //!   trace exporter, per-level metrics and model-vs-simulation drift
-//!   reports (`hpu-obs`).
+//!   reports (`hpu-obs`);
+//! * [`serve`] — multi-job serving on one shared machine: cost-model
+//!   admission, device arbitration (exclusive GPU lease over a
+//!   partitionable CPU pool), bounded-queue backpressure, deadlines and
+//!   fleet metrics (`hpu-serve`).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@ pub use hpu_estimate as estimate;
 pub use hpu_machine as machine;
 pub use hpu_model as model;
 pub use hpu_obs as obs;
+pub use hpu_serve as serve;
 
 /// Commonly used items in one import.
 pub mod prelude {
