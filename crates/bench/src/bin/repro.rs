@@ -5,6 +5,7 @@
 //! repro plan EXPERIMENT [...] [--full] [--out DIR]
 //! repro serve [--jobs N] [--rates R,R,...] [--backend sim|native|both]
 //!             [--seed S] [--out DIR]
+//! repro calibrate [--jobs N] [--gamma-skew K] [--seed S] [--out DIR]
 //!
 //! EXPERIMENT: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             ablation-coalescing ablation-schedule extension-workloads
@@ -25,6 +26,12 @@
 //!             CSV row per (backend, arrival rate); defaults: 32 jobs,
 //!             rates 0.5 and 2, both backends (CSV lands in
 //!             DIR/serve.csv with --out)
+//! calibrate   serve a fleet on a machine whose γ the scheduler believes
+//!             is --gamma-skew× its true value (default 2), with the
+//!             closed calibration loop on; prints one CSV row per
+//!             completed job in completion order — the abs_drift column is
+//!             the convergence curve (CSV lands in DIR/calibrate.csv with
+//!             --out); defaults: 24 jobs, seed 42
 //! ```
 
 use std::io::Write;
@@ -114,14 +121,15 @@ fn plan_mode(wanted: &[String], scale: &Scale, out_dir: Option<&str>) {
     }
 }
 
+fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
 /// `repro serve [--jobs N] [--rates R,..] [--backend B] [--seed S] [--out DIR]`.
 fn serve_mode(rest: &[String]) {
-    fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
-        rest.iter()
-            .position(|a| a == flag)
-            .and_then(|i| rest.get(i + 1))
-            .map(String::as_str)
-    }
     let jobs: usize = flag_value(rest, "--jobs")
         .map(|v| v.parse().expect("--jobs takes an integer"))
         .unwrap_or(32);
@@ -154,10 +162,37 @@ fn serve_mode(rest: &[String]) {
     }
 }
 
+/// `repro calibrate [--jobs N] [--gamma-skew K] [--seed S] [--out DIR]`.
+fn calibrate_mode(rest: &[String]) {
+    let jobs: usize = flag_value(rest, "--jobs")
+        .map(|v| v.parse().expect("--jobs takes an integer"))
+        .unwrap_or(24);
+    let gamma_skew: f64 = flag_value(rest, "--gamma-skew")
+        .map(|v| v.parse().expect("--gamma-skew takes a number"))
+        .unwrap_or(2.0);
+    if !(gamma_skew.is_finite() && gamma_skew > 0.0) {
+        eprintln!("--gamma-skew must be a positive finite number, got {gamma_skew}");
+        std::process::exit(2);
+    }
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let csv = hpu_bench::calibrate_sweep(jobs, gamma_skew, seed);
+    print!("{}", csv.render());
+    if let Some(dir) = flag_value(rest, "--out") {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+        std::fs::write(format!("{dir}/calibrate.csv"), csv.render()).expect("write calibrate CSV");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         serve_mode(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("calibrate") {
+        calibrate_mode(&args[1..]);
         return;
     }
     let full = args.iter().any(|a| a == "--full");

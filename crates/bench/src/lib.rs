@@ -16,5 +16,5 @@ pub mod timing;
 pub mod workload;
 
 pub use experiments::*;
-pub use serving::{serve_fleet, ServeBackend};
+pub use serving::{calibrate_sweep, serve_fleet, ServeBackend};
 pub use workload::{uniform_input, SplitMix64};

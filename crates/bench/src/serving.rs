@@ -9,9 +9,9 @@
 
 use hpu_algos::mergesort::MergeSort;
 use hpu_algos::sum::DcSum;
-use hpu_machine::MachineConfig;
-use hpu_model::ScheduleSpec;
-use hpu_obs::ServeReport;
+use hpu_machine::{MachineConfig, SimMachineParams};
+use hpu_model::{CalibratorConfig, MachineParams, ScheduleSpec};
+use hpu_obs::{JobOutcome, JobRecord, ServeReport};
 use hpu_serve::{
     serve_native, serve_sim, AlgoJob, JobRequest, NativeJobRequest, ServeConfig, Workload,
 };
@@ -168,6 +168,101 @@ pub fn serve_fleet(jobs: usize, rates: &[f64], backend: ServeBackend, seed: u64)
     }
 }
 
+/// Sort-only mix for the calibration sweep: sizes and schedules cycle as
+/// in [`job_mix`], but the algorithm family is fixed so one correction
+/// state fits the whole stream — mixing algorithms whose unmodeled
+/// constants differ would thrash the shared work scale and measure model
+/// mismatch, not the loop.
+fn calibrate_mix(i: usize, seed: u64) -> (String, ScheduleSpec, Box<dyn Workload>) {
+    let n = 1usize << (8 + (i % 4));
+    let spec = match i % 3 {
+        0 => ScheduleSpec::Basic { crossover: Some(4) },
+        1 => ScheduleSpec::GpuOnly,
+        _ => ScheduleSpec::CpuParallel,
+    };
+    let job_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (
+        format!("sort-{i}-n{n}"),
+        spec,
+        AlgoJob::boxed(MergeSort::new(), uniform_input(n, job_seed)),
+    )
+}
+
+/// The calibration sweep: an open-loop fleet served on a machine whose
+/// `γ` the scheduler initially believes is `gamma_skew`× its true value,
+/// with the closed calibration loop on. One CSV row per *completed* job
+/// in completion order, so the `abs_drift` column read top to bottom is
+/// the convergence curve of the recalibrated cost model.
+pub fn calibrate_sweep(jobs: usize, gamma_skew: f64, seed: u64) -> Csv {
+    let cfg = MachineConfig::hpu1_sim();
+    let truth = MachineParams::from_config(&cfg);
+    let assumed = MachineParams::new(truth.p, truth.g, (truth.gamma * gamma_skew).min(1.0))
+        .expect("skewed gamma stays legal after clamping")
+        .with_transfer_cost(truth.lambda, truth.delta);
+    let serve = ServeConfig {
+        assumed: Some(assumed),
+        calibration: Some(CalibratorConfig::default()),
+        cpu_fallback: false,
+        ..Default::default()
+    };
+    let (ref_name, ref_spec, ref_workload) = calibrate_mix(0, seed);
+    let solo = serve_sim(
+        &cfg,
+        &serve,
+        vec![JobRequest::new(ref_name, ref_spec, 0.0, ref_workload)],
+    )
+    .report
+    .makespan
+    .max(1.0);
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0.0;
+    let fleet: Vec<JobRequest> = (0..jobs)
+        .map(|i| {
+            let (name, spec, workload) = calibrate_mix(i, seed);
+            t += exp_gap(&mut rng, solo);
+            JobRequest::new(name, spec, t, workload)
+        })
+        .collect();
+    let out = serve_sim(&cfg, &serve, fleet);
+    let mut completed: Vec<&JobRecord> = out
+        .report
+        .jobs
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Completed)
+        .collect();
+    completed.sort_by(|a, b| a.end.total_cmp(&b.end).then(a.id.cmp(&b.id)));
+    let rows = completed
+        .iter()
+        .enumerate()
+        .map(|(seq, r)| {
+            vec![
+                seq.to_string(),
+                r.id.to_string(),
+                r.name.clone(),
+                r.calibration_generation.to_string(),
+                format!("{:.4}", r.predicted),
+                format!("{:.4}", r.service),
+                format!("{:.6}", r.drift().map_or(0.0, f64::abs)),
+                out.replans.to_string(),
+            ]
+        })
+        .collect();
+    Csv {
+        name: "calibrate",
+        header: vec![
+            "seq",
+            "job",
+            "name",
+            "generation",
+            "predicted",
+            "service",
+            "abs_drift",
+            "replans",
+        ],
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +282,41 @@ mod tests {
         assert_eq!(csv.rows.len(), 4);
         assert_eq!(csv.rows.iter().filter(|r| r[0] == "sim").count(), 2);
         assert_eq!(csv.rows.iter().filter(|r| r[0] == "native").count(), 2);
+    }
+
+    /// The ISSUE acceptance criterion: on a config whose γ is assumed 2×
+    /// too fast, the mean |drift| over the last quartile of completed jobs
+    /// is strictly below the first quartile's.
+    #[test]
+    fn calibrate_sweep_shrinks_drift_across_quartiles() {
+        let csv = calibrate_sweep(24, 2.0, 42);
+        let drifts: Vec<f64> = csv
+            .rows
+            .iter()
+            .map(|r| r[6].parse().expect("abs_drift column parses"))
+            .collect();
+        assert!(drifts.len() >= 8, "most of the fleet should complete");
+        let q = drifts.len() / 4;
+        let first = drifts[..q].iter().sum::<f64>() / q as f64;
+        let last = drifts[drifts.len() - q..].iter().sum::<f64>() / q as f64;
+        assert!(
+            last < first,
+            "mean |drift| should shrink over the stream: first quartile {first:.4}, \
+             last quartile {last:.4}"
+        );
+        // Rows arrive in completion order and carry the replan count.
+        let replans: u64 = csv.rows[0][7].parse().unwrap();
+        assert!(replans >= 1, "a 2x gamma error must trigger replanning");
+        assert!(
+            csv.rows.last().unwrap()[3].parse::<u64>().unwrap() >= 1,
+            "late jobs should be priced under a recalibrated generation"
+        );
+    }
+
+    #[test]
+    fn calibrate_sweep_is_deterministic() {
+        let a = calibrate_sweep(8, 2.0, 7);
+        let b = calibrate_sweep(8, 2.0, 7);
+        assert_eq!(a, b);
     }
 }

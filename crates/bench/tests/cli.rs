@@ -88,3 +88,51 @@ fn serve_emits_both_backends_at_every_rate() {
     assert!(stdout.contains("throughput"));
     let _ = std::fs::remove_dir_all(&base);
 }
+
+#[test]
+fn calibrate_writes_a_convergence_curve() {
+    let base = scratch("calibrate");
+    let output = repro()
+        .args([
+            "calibrate",
+            "--jobs",
+            "16",
+            "--gamma-skew",
+            "2",
+            "--seed",
+            "42",
+            "--out",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro calibrate");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let csv = std::fs::read_to_string(base.join("calibrate.csv")).expect("calibrate.csv written");
+    let lines: Vec<&str> = csv.lines().collect();
+    assert!(lines[0].starts_with("seq,job,name,generation,predicted,service,abs_drift"));
+    assert!(lines.len() > 4, "rows per completed job:\n{csv}");
+    // The sweep replans at least once, so some job is priced under a
+    // recalibrated generation.
+    assert!(
+        lines[1..]
+            .iter()
+            .any(|l| l.split(',').nth(3).is_some_and(|g| g != "0")),
+        "no recalibrated generation in:\n{csv}"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn calibrate_rejects_a_nonsense_skew() {
+    let output = repro()
+        .args(["calibrate", "--gamma-skew", "0"])
+        .output()
+        .expect("run repro calibrate");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--gamma-skew"), "stderr: {stderr}");
+}

@@ -183,6 +183,11 @@ pub fn run_sim_plan<T: Element, A: BfAlgorithm<T>>(
 ) -> Result<RunReport, CoreError> {
     let levels = num_levels(algo, data.len())?;
     let n = data.len();
+    if plan.segments.is_empty() {
+        return Err(CoreError::MalformedPlan {
+            reason: "plan has no segments",
+        });
+    }
     if plan.n != n as u64 || plan.exec_levels != levels {
         return Err(CoreError::MalformedPlan {
             reason: "plan was compiled for a different input",

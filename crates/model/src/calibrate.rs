@@ -1,0 +1,473 @@
+//! Closed-loop calibration of the machine parameters.
+//!
+//! The analytic model is only as good as the measured HPU parameters
+//! (§3.2, §6.4): a mis-estimated `γ` silently skews every admission and
+//! placement decision built on [`plan_cost`](crate::plan_cost). This
+//! module closes the loop: a [`Calibrator`] folds *observed* per-job
+//! CPU/GPU/bus times (from the executors' per-level metrics) into
+//! EWMA-smoothed multiplicative corrections of `γ`, `λ`, `δ` and the
+//! `f(n)` constant, and [`MachineParams::recalibrated`] applies the
+//! current corrections so re-pricing and re-compilation use the evidence
+//! accumulated so far.
+//!
+//! # Update rule
+//!
+//! Every completed job contributes one [`Observation`]: the predicted and
+//! observed busy time on each unit, where the prediction was made with the
+//! corrections in force at pricing time. With residual ratios
+//! `r_cpu = obs_cpu / pred_cpu`, `r_gpu = obs_gpu / pred_gpu`,
+//! `r_bus = obs_bus / pred_bus` (a ratio defaults to 1 when its side
+//! carries no evidence):
+//!
+//! * the **work scale** (the `f(n)` constant, which every CPU-side time is
+//!   proportional to) moves toward `work · r_cpu`;
+//! * the **γ scale** moves toward `gamma · r_cpu / r_gpu` — GPU time is
+//!   proportional to `f(n)/γ`, so the part of the GPU residual not
+//!   explained by the work residual is attributed to `γ` (GPU slower than
+//!   predicted ⇒ smaller `γ`);
+//! * the **λ and δ scales** both move toward `scale · r_bus` (one
+//!   aggregate bus time cannot separate the latency from the per-word
+//!   term, so both move together).
+//!
+//! Each move is exponentially smoothed:
+//! `factor ← (1 − s) · factor + s · target` with smoothing `s` from
+//! [`CalibratorConfig::smoothing`], so one noisy job cannot destabilize
+//! the corrections.
+
+use crate::params::MachineParams;
+use crate::recurrence::Recurrence;
+
+/// Errors of the calibration loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrationError {
+    /// The EWMA smoothing factor must be finite and in `(0, 1]`.
+    InvalidSmoothing(f64),
+    /// The replan threshold must be finite and non-negative.
+    InvalidThreshold(f64),
+    /// An observation carried a non-finite or negative time.
+    InvalidObservation {
+        /// Which quantity was invalid.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Applying the corrections produced an invalid parameter.
+    InvalidCorrection {
+        /// Which parameter became invalid.
+        param: &'static str,
+        /// The corrected value that failed validation.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::InvalidSmoothing(s) => {
+                write!(f, "smoothing must be in (0, 1], got {s}")
+            }
+            CalibrationError::InvalidThreshold(t) => {
+                write!(f, "replan threshold must be finite and >= 0, got {t}")
+            }
+            CalibrationError::InvalidObservation { quantity, value } => {
+                write!(f, "observation carries invalid {quantity}: {value}")
+            }
+            CalibrationError::InvalidCorrection { param, value } => {
+                write!(f, "correction drives {param} to invalid value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Configuration of the closed calibration loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibratorConfig {
+    /// EWMA smoothing factor `s` in `(0, 1]`: how much one job's evidence
+    /// moves each correction (1 = jump to the latest evidence).
+    pub smoothing: f64,
+    /// Replan trigger: when a completed job's `|drift|` (relative
+    /// predicted-vs-observed service time error) exceeds this, the
+    /// scheduler re-prices and re-compiles still-queued jobs with the
+    /// updated corrections.
+    pub replan_threshold: f64,
+}
+
+impl Default for CalibratorConfig {
+    fn default() -> Self {
+        CalibratorConfig {
+            smoothing: 0.4,
+            replan_threshold: 0.25,
+        }
+    }
+}
+
+/// The current multiplicative corrections, the calibration *state*.
+///
+/// All factors start at 1 (trust the configured parameters) and move as
+/// evidence accumulates. `generation` counts replans triggered so far — a
+/// job priced under generation `g` saw the corrections as of the `g`-th
+/// replan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Multiplies `γ` (GPU relative core speed).
+    pub gamma_scale: f64,
+    /// Multiplies `λ` (fixed transfer latency).
+    pub lambda_scale: f64,
+    /// Multiplies `δ` (per-word transfer cost).
+    pub delta_scale: f64,
+    /// Multiplies the `f(n)` constant and the leaf cost (CPU-side work).
+    pub work_scale: f64,
+    /// Completed-job observations folded in so far.
+    pub samples: u64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            gamma_scale: 1.0,
+            lambda_scale: 1.0,
+            delta_scale: 1.0,
+            work_scale: 1.0,
+            samples: 0,
+        }
+    }
+}
+
+impl Calibration {
+    /// Scales a recurrence's divide/combine and leaf costs by the current
+    /// work correction, so re-pricing charges the corrected `f(n)`.
+    pub fn scale_recurrence(&self, rec: &Recurrence) -> Recurrence {
+        let mut out = rec.clone();
+        out.f = rec.f.scaled(self.work_scale);
+        out.leaf_cost = rec.leaf_cost * self.work_scale;
+        out
+    }
+}
+
+/// One completed job's evidence: predicted (at pricing time, with the
+/// then-current corrections) vs observed busy time per unit. GPU time is
+/// kernel time only; transfers go under `bus`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Observation {
+    /// Predicted CPU busy time.
+    pub predicted_cpu: f64,
+    /// Predicted GPU kernel time (excluding transfers).
+    pub predicted_gpu: f64,
+    /// Predicted bus time (`Σ λ + δ·w` over the plan's transfer edges).
+    pub predicted_bus: f64,
+    /// Observed CPU busy time.
+    pub observed_cpu: f64,
+    /// Observed GPU kernel time.
+    pub observed_gpu: f64,
+    /// Observed bus time.
+    pub observed_bus: f64,
+}
+
+impl Observation {
+    fn validate(&self) -> Result<(), CalibrationError> {
+        for (quantity, value) in [
+            ("predicted_cpu", self.predicted_cpu),
+            ("predicted_gpu", self.predicted_gpu),
+            ("predicted_bus", self.predicted_bus),
+            ("observed_cpu", self.observed_cpu),
+            ("observed_gpu", self.observed_gpu),
+            ("observed_bus", self.observed_bus),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(CalibrationError::InvalidObservation { quantity, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evidence below this is treated as "no signal" rather than a ratio.
+const EVIDENCE_EPS: f64 = 1e-12;
+
+/// EWMA-smoothed online estimator of the machine-parameter corrections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibrator {
+    cfg: CalibratorConfig,
+    cal: Calibration,
+}
+
+impl Calibrator {
+    /// Creates a calibrator, validating the configuration.
+    pub fn new(cfg: CalibratorConfig) -> Result<Self, CalibrationError> {
+        if !(cfg.smoothing > 0.0 && cfg.smoothing <= 1.0 && cfg.smoothing.is_finite()) {
+            return Err(CalibrationError::InvalidSmoothing(cfg.smoothing));
+        }
+        if !(cfg.replan_threshold.is_finite() && cfg.replan_threshold >= 0.0) {
+            return Err(CalibrationError::InvalidThreshold(cfg.replan_threshold));
+        }
+        Ok(Calibrator {
+            cfg,
+            cal: Calibration::default(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CalibratorConfig {
+        &self.cfg
+    }
+
+    /// The current correction state.
+    pub fn calibration(&self) -> &Calibration {
+        &self.cal
+    }
+
+    /// Whether a completed job with this relative drift should trigger a
+    /// re-price/re-compile of still-queued jobs.
+    pub fn should_replan(&self, drift: f64) -> bool {
+        drift.is_finite() && drift.abs() > self.cfg.replan_threshold
+    }
+
+    /// Folds one completed job's evidence into the corrections (see the
+    /// module docs for the update rule) and returns the updated state.
+    pub fn observe(&mut self, obs: &Observation) -> Result<&Calibration, CalibrationError> {
+        obs.validate()?;
+        let ratio = |observed: f64, predicted: f64| {
+            if observed > EVIDENCE_EPS && predicted > EVIDENCE_EPS {
+                Some(observed / predicted)
+            } else {
+                None
+            }
+        };
+        let r_cpu = ratio(obs.observed_cpu, obs.predicted_cpu);
+        let r_gpu = ratio(obs.observed_gpu, obs.predicted_gpu);
+        let r_bus = ratio(obs.observed_bus, obs.predicted_bus);
+
+        let s = self.cfg.smoothing;
+        let ewma = |factor: f64, residual: f64| (1.0 - s) * factor + s * (factor * residual);
+
+        if let Some(rc) = r_cpu {
+            self.cal.work_scale = ewma(self.cal.work_scale, rc);
+        }
+        if let Some(rg) = r_gpu {
+            // GPU time ∝ work/γ: attribute to γ the part of the GPU
+            // residual not explained by the work residual. Without CPU
+            // evidence the whole residual lands on γ.
+            let residual = r_cpu.unwrap_or(1.0) / rg;
+            self.cal.gamma_scale = ewma(self.cal.gamma_scale, residual);
+        }
+        if let Some(rb) = r_bus {
+            self.cal.lambda_scale = ewma(self.cal.lambda_scale, rb);
+            self.cal.delta_scale = ewma(self.cal.delta_scale, rb);
+        }
+        self.cal.samples += 1;
+        Ok(&self.cal)
+    }
+}
+
+impl MachineParams {
+    /// Applies the current corrections: `γ·gamma_scale` (clamped to its
+    /// legal `(0, 1]` range — GPU cores never beat CPU cores in the
+    /// model), `λ·lambda_scale`, `δ·delta_scale`. `p` and `g` are
+    /// structural and never recalibrated. The work correction lives on the
+    /// recurrence side; see [`Calibration::scale_recurrence`].
+    pub fn recalibrated(&self, cal: &Calibration) -> Result<MachineParams, CalibrationError> {
+        let gamma = (self.gamma * cal.gamma_scale).min(1.0);
+        if !(gamma > 0.0 && gamma.is_finite()) {
+            return Err(CalibrationError::InvalidCorrection {
+                param: "gamma",
+                value: gamma,
+            });
+        }
+        let lambda = self.lambda * cal.lambda_scale;
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(CalibrationError::InvalidCorrection {
+                param: "lambda",
+                value: lambda,
+            });
+        }
+        let delta = self.delta * cal.delta_scale;
+        if !(delta.is_finite() && delta >= 0.0) {
+            return Err(CalibrationError::InvalidCorrection {
+                param: "delta",
+                value: delta,
+            });
+        }
+        Ok(MachineParams {
+            p: self.p,
+            g: self.g,
+            gamma,
+            lambda,
+            delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_is_validated() {
+        assert!(matches!(
+            Calibrator::new(CalibratorConfig {
+                smoothing: 0.0,
+                ..Default::default()
+            }),
+            Err(CalibrationError::InvalidSmoothing(_))
+        ));
+        assert!(matches!(
+            Calibrator::new(CalibratorConfig {
+                smoothing: f64::NAN,
+                ..Default::default()
+            }),
+            Err(CalibrationError::InvalidSmoothing(_))
+        ));
+        assert!(matches!(
+            Calibrator::new(CalibratorConfig {
+                replan_threshold: -1.0,
+                ..Default::default()
+            }),
+            Err(CalibrationError::InvalidThreshold(_))
+        ));
+        assert!(Calibrator::new(CalibratorConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn observations_are_validated() {
+        let mut c = Calibrator::new(CalibratorConfig::default()).unwrap();
+        let bad = Observation {
+            observed_cpu: f64::NAN,
+            ..Default::default()
+        };
+        assert!(matches!(
+            c.observe(&bad),
+            Err(CalibrationError::InvalidObservation {
+                quantity: "observed_cpu",
+                ..
+            })
+        ));
+        assert_eq!(c.calibration().samples, 0);
+    }
+
+    #[test]
+    fn perfect_predictions_leave_corrections_alone() {
+        let mut c = Calibrator::new(CalibratorConfig::default()).unwrap();
+        let obs = Observation {
+            predicted_cpu: 10.0,
+            predicted_gpu: 5.0,
+            predicted_bus: 2.0,
+            observed_cpu: 10.0,
+            observed_gpu: 5.0,
+            observed_bus: 2.0,
+        };
+        c.observe(&obs).unwrap();
+        let cal = c.calibration();
+        assert!((cal.work_scale - 1.0).abs() < 1e-12);
+        assert!((cal.gamma_scale - 1.0).abs() < 1e-12);
+        assert!((cal.lambda_scale - 1.0).abs() < 1e-12);
+        assert_eq!(cal.samples, 1);
+    }
+
+    /// The acceptance-criteria convergence test: with γ assumed 2× too
+    /// fast, repeated observations drive the recalibrated admission cost
+    /// (∝ 1/γ) toward the observed service time.
+    #[test]
+    fn recalibrated_costs_converge_toward_observed_service_times() {
+        let true_gamma = 1.0 / 160.0;
+        // Deliberately mis-specified: the model believes the GPU is twice
+        // as fast as it really is.
+        let assumed = MachineParams::new(4, 4096, 2.0 * true_gamma)
+            .unwrap()
+            .with_transfer_cost(1_000.0, 0.05);
+        let mut c = Calibrator::new(CalibratorConfig::default()).unwrap();
+        let kernel_work = 1e6; // GPU busy time = kernel_work / γ
+        let cpu_work = 5e5;
+        let words = 4096.0;
+
+        let mut last_err = f64::INFINITY;
+        for round in 0..24 {
+            let params = assumed.recalibrated(c.calibration()).unwrap();
+            let predicted = Observation {
+                predicted_cpu: cpu_work,
+                predicted_gpu: kernel_work / params.gamma,
+                predicted_bus: params.lambda + params.delta * words,
+                observed_cpu: cpu_work,
+                observed_gpu: kernel_work / true_gamma,
+                observed_bus: 2.0 * (assumed.lambda + assumed.delta * words),
+            };
+            c.observe(&predicted).unwrap();
+            let recal = assumed.recalibrated(c.calibration()).unwrap();
+            let err = (kernel_work / recal.gamma - kernel_work / true_gamma).abs()
+                / (kernel_work / true_gamma);
+            if round > 4 {
+                assert!(
+                    err <= last_err + 1e-9,
+                    "round {round}: error grew {last_err} -> {err}"
+                );
+            }
+            last_err = err;
+        }
+        let recal = assumed.recalibrated(c.calibration()).unwrap();
+        // γ converged to within 5% of the truth; admission cost follows.
+        assert!(
+            (recal.gamma - true_gamma).abs() / true_gamma < 0.05,
+            "gamma {} vs truth {true_gamma}",
+            recal.gamma
+        );
+        // The bus correction converged toward the observed 2× as well.
+        assert!((c.calibration().lambda_scale - 2.0).abs() < 0.1);
+        assert!((c.calibration().delta_scale - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gamma_correction_separates_work_error_from_gpu_error() {
+        // Work off by 2× on both units, γ correct: the γ scale must stay
+        // at 1 while the work scale moves toward 2.
+        let mut c = Calibrator::new(CalibratorConfig {
+            smoothing: 1.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let obs = Observation {
+            predicted_cpu: 10.0,
+            predicted_gpu: 40.0,
+            predicted_bus: 0.0,
+            observed_cpu: 20.0,
+            observed_gpu: 80.0,
+            observed_bus: 0.0,
+        };
+        c.observe(&obs).unwrap();
+        assert!((c.calibration().work_scale - 2.0).abs() < 1e-12);
+        assert!((c.calibration().gamma_scale - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recalibrated_clamps_gamma_to_its_legal_range() {
+        let m = MachineParams::new(4, 64, 0.9).unwrap();
+        let cal = Calibration {
+            gamma_scale: 5.0,
+            ..Default::default()
+        };
+        let r = m.recalibrated(&cal).unwrap();
+        assert_eq!(r.gamma, 1.0);
+        let bad = Calibration {
+            delta_scale: f64::NAN,
+            ..Default::default()
+        };
+        let m = m.with_transfer_cost(1.0, 1.0);
+        assert!(matches!(
+            m.recalibrated(&bad),
+            Err(CalibrationError::InvalidCorrection { param: "delta", .. })
+        ));
+    }
+
+    #[test]
+    fn scale_recurrence_scales_f_and_leaves() {
+        let cal = Calibration {
+            work_scale: 3.0,
+            ..Default::default()
+        };
+        let rec = cal.scale_recurrence(&Recurrence::mergesort());
+        assert_eq!(rec.f.eval(8.0), 24.0);
+        assert_eq!(rec.leaf_cost, 3.0);
+        // Structure untouched.
+        assert_eq!((rec.a, rec.b), (2, 2));
+    }
+}

@@ -54,6 +54,22 @@ impl CostFn {
     pub fn linear() -> Self {
         CostFn::Linear(1.0)
     }
+
+    /// Returns the cost scaled by a multiplicative constant: `k·f(n)`.
+    /// Used by calibration to fold an observed work correction into the
+    /// recurrence without touching its structure.
+    pub fn scaled(&self, k: f64) -> Self {
+        match self {
+            CostFn::Constant(c) => CostFn::Constant(k * c),
+            CostFn::Linear(c) => CostFn::Linear(k * c),
+            CostFn::Power { c, e } => CostFn::Power { c: k * c, e: *e },
+            CostFn::LinLog(c) => CostFn::LinLog(k * c),
+            CostFn::Custom(f) => {
+                let f = Arc::clone(f);
+                CostFn::Custom(Arc::new(move |n| k * f(n)))
+            }
+        }
+    }
 }
 
 impl fmt::Debug for CostFn {
@@ -104,6 +120,16 @@ mod tests {
         let f = CostFn::Custom(Arc::new(|n| n + 1.0));
         assert_eq!(f.eval(5.0), 6.0);
         assert!(format!("{f:?}").contains("Custom"));
+    }
+
+    #[test]
+    fn scaled_multiplies_every_shape() {
+        assert_eq!(CostFn::Constant(2.0).scaled(3.0).eval(5.0), 6.0);
+        assert_eq!(CostFn::Linear(1.0).scaled(2.0).eval(4.0), 8.0);
+        assert_eq!(CostFn::Power { c: 1.0, e: 2.0 }.scaled(0.5).eval(4.0), 8.0);
+        assert_eq!(CostFn::LinLog(1.0).scaled(2.0).eval(8.0), 48.0);
+        let f = CostFn::Custom(Arc::new(|n| n + 1.0)).scaled(10.0);
+        assert_eq!(f.eval(4.0), 50.0);
     }
 
     #[test]

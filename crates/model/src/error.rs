@@ -34,6 +34,9 @@ pub enum ModelError {
         /// Number of levels the tree actually has.
         levels: u32,
     },
+    /// A plan with no segments was handed to the cost model: there is
+    /// nothing to price (and nothing to execute).
+    EmptyPlan,
 }
 
 impl fmt::Display for ModelError {
@@ -65,6 +68,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::InvalidLevel { level, levels } => {
                 write!(f, "level {level} is outside the tree ({levels} levels)")
+            }
+            ModelError::EmptyPlan => {
+                write!(f, "plan has no segments")
             }
         }
     }

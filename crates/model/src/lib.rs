@@ -45,6 +45,7 @@
 
 pub mod advanced;
 pub mod basic;
+pub mod calibrate;
 pub mod closed_form;
 pub mod cost;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod recurrence;
 
 pub use advanced::{AdvancedSchedule, AdvancedSolver, GpuSaturation};
 pub use basic::BasicSchedule;
+pub use calibrate::{Calibration, CalibrationError, Calibrator, CalibratorConfig, Observation};
 pub use cost::CostFn;
 pub use error::ModelError;
 pub use levels::LevelProfile;

@@ -22,6 +22,7 @@
 //! names: uploads at level 0 (the data leaves the host before any device
 //! work), downloads at the level whose chunks come back.
 
+use crate::error::ModelError;
 use crate::levels::LevelProfile;
 use crate::plan::{Placement, Plan};
 
@@ -177,7 +178,14 @@ impl PlanCost {
 /// side including its transfers) finishes. The `total` therefore models a
 /// band-level barrier, which can be slightly below the per-level-barrier
 /// sum of [`predict_levels`] for split plans and is identical otherwise.
-pub fn plan_cost(profile: &LevelProfile, plan: &Plan) -> PlanCost {
+///
+/// A plan with no segments is rejected with [`ModelError::EmptyPlan`]:
+/// there is nothing to price, and pretending the cost is zero would let a
+/// malformed plan through admission only to panic deeper in a scheduler.
+pub fn plan_cost(profile: &LevelProfile, plan: &Plan) -> Result<PlanCost, ModelError> {
+    if plan.segments.is_empty() {
+        return Err(ModelError::EmptyPlan);
+    }
     let lx = plan.exec_levels;
     let lm = profile.levels();
     let machine = profile.machine();
@@ -268,12 +276,12 @@ pub fn plan_cost(profile: &LevelProfile, plan: &Plan) -> PlanCost {
         };
     }
 
-    PlanCost {
+    Ok(PlanCost {
         total: segments.iter().map(|s| s.time).sum(),
         cpu: segments.iter().map(|s| s.cpu).sum(),
         gpu: segments.iter().map(|s| s.gpu).sum(),
         segments,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -391,7 +399,7 @@ mod tests {
         ] {
             let plan = plan(&spec, 1 << 12, lx);
             let per_level: f64 = predict_levels(&pr, &plan).iter().map(|l| l.time).sum();
-            let cost = plan_cost(&pr, &plan);
+            let cost = plan_cost(&pr, &plan).unwrap();
             assert!(
                 (cost.total - per_level).abs() < 1e-9,
                 "{spec:?}: {} vs {per_level}",
@@ -406,13 +414,14 @@ mod tests {
     fn plan_cost_splits_units_and_flags_gpu_use() {
         let pr = profile(1 << 12);
         let lx = pr.levels();
-        let cpu_only = plan_cost(&pr, &plan(&ScheduleSpec::CpuParallel, 1 << 12, lx));
+        let cpu_only = plan_cost(&pr, &plan(&ScheduleSpec::CpuParallel, 1 << 12, lx)).unwrap();
         assert!(!cpu_only.uses_gpu());
         assert_eq!(cpu_only.gpu, 0.0);
         let basic = plan_cost(
             &pr,
             &plan(&ScheduleSpec::Basic { crossover: None }, 1 << 12, lx),
-        );
+        )
+        .unwrap();
         assert!(basic.uses_gpu());
         assert!(basic.cpu > 0.0 && basic.gpu > 0.0);
         // The GPU side includes both transfer edges of the device band.
@@ -432,7 +441,7 @@ mod tests {
             1 << 12,
             lx,
         );
-        let cost = plan_cost(&pr, &plan);
+        let cost = plan_cost(&pr, &plan).unwrap();
         let split = &cost.segments[0];
         assert!((split.time - split.cpu.max(split.gpu)).abs() < 1e-9);
         // A band-level barrier can only be tighter than per-level barriers.

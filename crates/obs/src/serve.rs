@@ -44,6 +44,10 @@ pub struct JobRecord {
     /// Whether the job ran on its CPU-only fallback plan because the
     /// device lease was contended.
     pub fallback: bool,
+    /// Calibration generation the job was priced under: 0 before any
+    /// drift-triggered replan, `g` after the `g`-th replan. Stays 0 when
+    /// the producing scheduler runs without calibration.
+    pub calibration_generation: u64,
 }
 
 impl JobRecord {
@@ -110,6 +114,12 @@ pub struct ServeReport {
     pub gpu_utilization: f64,
     /// Mean `|drift()|` over completed jobs that carry a prediction.
     pub mean_abs_drift: f64,
+    /// Mean `|drift()|` over jobs priced before the first replan
+    /// (`calibration_generation == 0`); 0 when there are none.
+    pub mean_abs_drift_before: f64,
+    /// Mean `|drift()|` over jobs priced after at least one replan
+    /// (`calibration_generation >= 1`); 0 when there are none.
+    pub mean_abs_drift_after: f64,
 }
 
 impl ServeReport {
@@ -117,9 +127,26 @@ impl ServeReport {
     /// interval-merged busy times on each device (same unit as the
     /// records), e.g. from [`crate::merge_intervals`] over the
     /// arbiter's reservations.
-    pub fn new(jobs: Vec<JobRecord>, makespan: f64, cpu_busy: f64, gpu_busy: f64) -> ServeReport {
+    ///
+    /// The makespan is derived from the records themselves — the time from
+    /// the first arrival of any submitted job to the last *completion* —
+    /// so a fleet whose first job arrives late is not billed for the idle
+    /// prefix, and rejected or cancelled records never stretch the window.
+    /// With no completed jobs the makespan is 0 (and every ratio with it).
+    pub fn new(jobs: Vec<JobRecord>, cpu_busy: f64, gpu_busy: f64) -> ServeReport {
         let count = |o: JobOutcome| jobs.iter().filter(|j| j.outcome == o).count();
         let completed = count(JobOutcome::Completed);
+        let first_arrival = jobs
+            .iter()
+            .map(|j| j.arrival)
+            .min_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        let last_completion = jobs
+            .iter()
+            .filter(|j| j.outcome == JobOutcome::Completed)
+            .map(|j| j.end)
+            .max_by(f64::total_cmp);
+        let makespan = last_completion.map_or(0.0, |end| (end - first_arrival).max(0.0));
         let mut latencies: Vec<f64> = jobs
             .iter()
             .filter(|j| j.outcome == JobOutcome::Completed)
@@ -127,6 +154,19 @@ impl ServeReport {
             .collect();
         latencies.sort_by(f64::total_cmp);
         let drifts: Vec<f64> = jobs.iter().filter_map(JobRecord::drift).collect();
+        let mean_abs = |ds: &[f64]| {
+            if ds.is_empty() {
+                0.0
+            } else {
+                ds.iter().map(|d| d.abs()).sum::<f64>() / ds.len() as f64
+            }
+        };
+        let gen_drifts = |after: bool| -> Vec<f64> {
+            jobs.iter()
+                .filter(|j| (j.calibration_generation >= 1) == after)
+                .filter_map(JobRecord::drift)
+                .collect()
+        };
         let ratio = |num: f64| if makespan > 0.0 { num / makespan } else { 0.0 };
         ServeReport {
             makespan,
@@ -141,11 +181,9 @@ impl ServeReport {
             max_latency: latencies.last().copied().unwrap_or(0.0),
             cpu_utilization: ratio(cpu_busy),
             gpu_utilization: ratio(gpu_busy),
-            mean_abs_drift: if drifts.is_empty() {
-                0.0
-            } else {
-                drifts.iter().map(|d| d.abs()).sum::<f64>() / drifts.len() as f64
-            },
+            mean_abs_drift: mean_abs(&drifts),
+            mean_abs_drift_before: mean_abs(&gen_drifts(false)),
+            mean_abs_drift_after: mean_abs(&gen_drifts(true)),
             jobs,
         }
     }
@@ -156,7 +194,8 @@ impl ServeReport {
             "jobs {} | completed {} rejected {} cancelled {} failed {}\n\
              makespan {:.2} | throughput {:.6}\n\
              latency p50 {:.2} p95 {:.2} p99 {:.2} max {:.2}\n\
-             utilization cpu {:.3} gpu {:.3} | mean |drift| {:.4}\n",
+             utilization cpu {:.3} gpu {:.3} | mean |drift| {:.4} \
+             (gen0 {:.4} / gen1+ {:.4})\n",
             self.jobs.len(),
             self.completed,
             self.rejected,
@@ -171,6 +210,8 @@ impl ServeReport {
             self.cpu_utilization,
             self.gpu_utilization,
             self.mean_abs_drift,
+            self.mean_abs_drift_before,
+            self.mean_abs_drift_after,
         )
     }
 }
@@ -190,6 +231,7 @@ mod tests {
             predicted: 0.0,
             service: 0.0,
             fallback: false,
+            calibration_generation: 0,
         }
     }
 
@@ -217,12 +259,14 @@ mod tests {
                 )
             })
             .collect();
-        let r = ServeReport::new(jobs, 30.0, 25.0, 10.0);
+        let r = ServeReport::new(jobs, 25.0, 10.0);
         assert!(r.p50_latency <= r.p95_latency);
         assert!(r.p95_latency <= r.p99_latency);
         assert!(r.p99_latency <= r.max_latency);
         assert!(r.cpu_utilization <= 1.0 && r.gpu_utilization <= 1.0);
-        assert!((r.throughput - 20.0 / 30.0).abs() < 1e-12);
+        // First arrival 0, last completion 19 + 1 + (19 % 7) = 25.
+        assert_eq!(r.makespan, 25.0);
+        assert!((r.throughput - 20.0 / 25.0).abs() < 1e-12);
     }
 
     #[test]
@@ -233,7 +277,7 @@ mod tests {
             job(2, JobOutcome::Cancelled, 2.0, 2.0, 2.0),
             job(3, JobOutcome::Failed, 3.0, 3.0, 3.0),
         ];
-        let r = ServeReport::new(jobs, 4.0, 4.0, 0.0);
+        let r = ServeReport::new(jobs, 4.0, 0.0);
         assert_eq!(
             (r.completed, r.rejected, r.cancelled, r.failed),
             (1, 1, 1, 1)
@@ -255,13 +299,55 @@ mod tests {
         let mut c = job(2, JobOutcome::Cancelled, 0.0, 0.0, 0.0);
         c.predicted = 2.0;
         assert_eq!(c.drift(), None);
-        let r = ServeReport::new(vec![a, b, c], 3.0, 1.0, 0.0);
+        let r = ServeReport::new(vec![a, b, c], 1.0, 0.0);
         assert!((r.mean_abs_drift - 0.5).abs() < 1e-12);
     }
 
     #[test]
+    fn late_first_arrival_does_not_inflate_the_makespan() {
+        // Fleet idle until t = 100; one job completes at 110. The window
+        // is 10 units, not 110, so throughput and utilization measure the
+        // active period — and the rejected straggler whose record ends
+        // later must not stretch it.
+        let jobs = vec![
+            job(0, JobOutcome::Completed, 100.0, 102.0, 110.0),
+            job(1, JobOutcome::QueueFull, 120.0, 120.0, 120.0),
+        ];
+        let r = ServeReport::new(jobs, 5.0, 2.5);
+        assert_eq!(r.makespan, 10.0);
+        assert!((r.throughput - 0.1).abs() < 1e-12);
+        assert!((r.cpu_utilization - 0.5).abs() < 1e-12);
+        assert!((r.gpu_utilization - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_completions_means_zero_makespan_and_ratios() {
+        let jobs = vec![job(0, JobOutcome::Cancelled, 5.0, 5.0, 9.0)];
+        let r = ServeReport::new(jobs, 3.0, 1.0);
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.throughput, 0.0);
+        assert_eq!(r.cpu_utilization, 0.0);
+    }
+
+    #[test]
+    fn drift_splits_by_calibration_generation() {
+        let mut early = job(0, JobOutcome::Completed, 0.0, 0.0, 2.0);
+        early.predicted = 1.0;
+        early.service = 2.0; // |drift| = 1.0, generation 0
+        let mut late = job(1, JobOutcome::Completed, 1.0, 2.0, 4.0);
+        late.predicted = 2.0;
+        late.service = 2.2; // |drift| = 0.1
+        late.calibration_generation = 1;
+        let r = ServeReport::new(vec![early, late], 4.0, 0.0);
+        assert!((r.mean_abs_drift_before - 1.0).abs() < 1e-12);
+        assert!((r.mean_abs_drift_after - 0.1).abs() < 1e-12);
+        assert!((r.mean_abs_drift - 0.55).abs() < 1e-12);
+        assert!(r.render().contains("gen0"));
+    }
+
+    #[test]
     fn empty_report_is_all_zero() {
-        let r = ServeReport::new(Vec::new(), 0.0, 0.0, 0.0);
+        let r = ServeReport::new(Vec::new(), 0.0, 0.0);
         assert_eq!(r.throughput, 0.0);
         assert_eq!(r.cpu_utilization, 0.0);
         assert_eq!(r.max_latency, 0.0);

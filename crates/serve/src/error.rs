@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use hpu_core::CoreError;
-use hpu_model::ModelError;
+use hpu_model::{CalibrationError, ModelError};
 
 /// Why a submitted job did not complete.
 #[derive(Debug)]
@@ -39,6 +39,16 @@ pub enum ServeError {
         /// The executor-side error.
         source: CoreError,
     },
+    /// The calibration loop was mis-configured or produced an invalid
+    /// correction. Calibration failures never kill jobs: pricing
+    /// proceeds with the last valid corrections (or none).
+    Calibration {
+        /// Id of the affected job, or `None` for a configuration-level
+        /// failure.
+        job: Option<u64>,
+        /// The calibration-side error.
+        source: CalibrationError,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -56,6 +66,15 @@ impl fmt::Display for ServeError {
             ServeError::Run { job, source } => {
                 write!(f, "job {job}: plan failed to execute: {source}")
             }
+            ServeError::Calibration {
+                job: Some(j),
+                source,
+            } => {
+                write!(f, "job {j}: calibration failed: {source}")
+            }
+            ServeError::Calibration { job: None, source } => {
+                write!(f, "calibration disabled: {source}")
+            }
         }
     }
 }
@@ -65,6 +84,7 @@ impl Error for ServeError {
         match self {
             ServeError::Compile { source, .. } => Some(source),
             ServeError::Run { source, .. } => Some(source),
+            ServeError::Calibration { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -61,5 +61,5 @@ pub use arbiter::DeviceArbiter;
 pub use error::ServeError;
 pub use job::{AlgoJob, Workload};
 pub use native::{serve_native, NativeJobRequest, NativeServeOutput};
-pub use queue::Policy;
+pub use queue::{dispatch_order, Policy, Rank};
 pub use sched::{serve_sim, JobRequest, JobRun, ServeConfig, ServeOutput};

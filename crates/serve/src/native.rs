@@ -7,6 +7,13 @@
 //! admission still orders the queue (a host-only plan priced for one
 //! worker's thread count), and the same [`Policy`] and backpressure
 //! semantics apply, but time is measured in microseconds of wall clock.
+//!
+//! With [`ServeConfig::calibration`] set, the fleet learns an EWMA
+//! wall-microseconds-per-model-op scale from completed jobs, so records
+//! carry a meaningful `predicted` (and hence drift) instead of zero: the
+//! first completion seeds the scale, later ones smooth it, and each
+//! record's `calibration_generation` counts the scale updates that had
+//! landed when the job was priced.
 
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -52,6 +59,9 @@ pub struct NativeServeOutput {
     pub report: ServeReport,
     /// Typed rejection/cancellation/failure errors.
     pub errors: Vec<ServeError>,
+    /// Completed-job updates folded into the µs-per-op prediction scale
+    /// (0 without calibration).
+    pub calibration_updates: u64,
 }
 
 struct Queued {
@@ -60,6 +70,8 @@ struct Queued {
     arrival: f64,
     deadline_us: Option<u64>,
     cost: f64,
+    predicted: f64,
+    generation: u64,
     skips: usize,
     workload: Box<dyn Workload>,
 }
@@ -71,12 +83,17 @@ struct State {
     records: Vec<JobRecord>,
     errors: Vec<ServeError>,
     busy: Vec<(f64, f64)>,
+    /// EWMA wall-µs per model op, seeded by the first completion.
+    scale: Option<f64>,
+    /// Completed-job updates folded into `scale` so far.
+    scale_updates: u64,
 }
 
 /// Predicted service cost of a job on one worker: its host-only plan
-/// priced for the worker's thread count. Only the *relative* order
-/// matters (shortest-cost-first); records report zero prediction because
-/// model units and wall microseconds are not comparable.
+/// priced for the worker's thread count, in model ops. The *relative*
+/// order is what dispatch needs (shortest-cost-first); the calibration
+/// loop additionally learns a µs-per-op scale so records can carry a
+/// wall-clock prediction.
 fn admission_cost(workload: &dyn Workload, threads: usize) -> Option<f64> {
     let params = MachineParams::new(threads.max(1), 1, 1.0).ok()?;
     let rec = workload.recurrence();
@@ -84,7 +101,7 @@ fn admission_cost(workload: &dyn Workload, threads: usize) -> Option<f64> {
     let levels = workload.exec_levels().ok()?;
     let plan = Plan::host_only(n, levels, threads.max(1), ScheduleSpec::CpuParallel);
     let profile = LevelProfile::new(&params, &rec, n);
-    Some(plan_cost(&profile, &plan).total)
+    plan_cost(&profile, &plan).ok().map(|c| c.total)
 }
 
 /// Serves `jobs` on `workers` real worker threads, each running jobs on
@@ -98,6 +115,10 @@ pub fn serve_native(
     mut jobs: Vec<NativeJobRequest>,
 ) -> NativeServeOutput {
     jobs.sort_by_key(|j| j.arrival_us);
+    let smoothing = serve
+        .calibration
+        .as_ref()
+        .map(|c| c.smoothing.clamp(0.0, 1.0));
     let epoch = Instant::now();
     let state = Mutex::new(State::default());
     let cvar = Condvar::new();
@@ -152,9 +173,10 @@ pub fn serve_native(
                                 arrival: job.arrival,
                                 start,
                                 end: start,
-                                predicted: 0.0,
+                                predicted: job.predicted,
                                 service: 0.0,
                                 fallback: false,
+                                calibration_generation: job.generation,
                             });
                             continue;
                         }
@@ -164,17 +186,31 @@ pub fn serve_native(
                     let mut st = state.lock().expect("serve state lock");
                     st.busy.push((start, end));
                     match outcome {
-                        Ok(_) => st.records.push(JobRecord {
-                            id: job.id,
-                            name: job.name,
-                            outcome: JobOutcome::Completed,
-                            arrival: job.arrival,
-                            start,
-                            end,
-                            predicted: 0.0,
-                            service: end - start,
-                            fallback: false,
-                        }),
+                        Ok(_) => {
+                            if let Some(sm) = smoothing {
+                                let service = end - start;
+                                if job.cost > 0.0 && job.cost.is_finite() && service > 0.0 {
+                                    let r = service / job.cost;
+                                    st.scale = Some(match st.scale {
+                                        None => r,
+                                        Some(old) => (1.0 - sm) * old + sm * r,
+                                    });
+                                    st.scale_updates += 1;
+                                }
+                            }
+                            st.records.push(JobRecord {
+                                id: job.id,
+                                name: job.name,
+                                outcome: JobOutcome::Completed,
+                                arrival: job.arrival,
+                                start,
+                                end,
+                                predicted: job.predicted,
+                                service: end - start,
+                                fallback: false,
+                                calibration_generation: job.generation,
+                            });
+                        }
                         Err(e) => {
                             st.errors.push(ServeError::Run {
                                 job: job.id,
@@ -187,9 +223,10 @@ pub fn serve_native(
                                 arrival: job.arrival,
                                 start,
                                 end,
-                                predicted: 0.0,
+                                predicted: job.predicted,
                                 service: 0.0,
                                 fallback: false,
+                                calibration_generation: job.generation,
                             });
                         }
                     }
@@ -213,6 +250,7 @@ pub fn serve_native(
                     job: id as u64,
                     capacity: serve.queue_capacity,
                 });
+                let generation = st.scale_updates;
                 st.records.push(JobRecord {
                     id: id as u64,
                     name: job.name,
@@ -223,15 +261,25 @@ pub fn serve_native(
                     predicted: 0.0,
                     service: 0.0,
                     fallback: false,
+                    calibration_generation: generation,
                 });
                 continue;
             }
+            // Price in wall µs with the learned scale; before the first
+            // completion (or without calibration) there is no prediction.
+            let predicted = match (smoothing, st.scale, cost) {
+                (Some(_), Some(scale), Some(c)) => c * scale,
+                _ => 0.0,
+            };
+            let generation = st.scale_updates;
             st.queue.push(Queued {
                 id: id as u64,
                 name: job.name,
                 arrival,
                 deadline_us: job.deadline_us,
                 cost: cost.unwrap_or(f64::MAX),
+                predicted,
+                generation,
                 skips: 0,
                 workload: job.workload,
             });
@@ -245,11 +293,11 @@ pub fn serve_native(
     });
 
     let st = state.into_inner().expect("serve state lock");
-    let makespan = st.records.iter().map(|r| r.end).fold(0.0, f64::max);
     let cpu_busy = hpu_obs::merge_intervals(&st.busy);
-    let report = ServeReport::new(st.records, makespan, cpu_busy, 0.0);
+    let report = ServeReport::new(st.records, cpu_busy, 0.0);
     NativeServeOutput {
         report,
         errors: st.errors,
+        calibration_updates: st.scale_updates,
     }
 }

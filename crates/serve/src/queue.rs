@@ -26,8 +26,12 @@ impl Default for Policy {
 }
 
 /// Scheduling facts about one queued job.
+///
+/// Public so that policy invariants (e.g. `ShortestCost` with a zero
+/// starvation bound degrading to exact FIFO) can be property-tested
+/// against [`dispatch_order`] from outside the crate.
 #[derive(Debug, Clone)]
-pub(crate) struct Rank {
+pub struct Rank {
     /// Admission order (also arrival order for equal arrival times).
     pub seq: u64,
     /// Predicted service cost.
@@ -39,7 +43,7 @@ pub(crate) struct Rank {
 /// Returns indices of `ranks` in dispatch-priority order, plus the length
 /// of the *rigid prefix*: entries before that bound may not be backfilled
 /// past — if one of them cannot start, the dispatch scan stops.
-pub(crate) fn dispatch_order(policy: &Policy, ranks: &[Rank]) -> (Vec<usize>, usize) {
+pub fn dispatch_order(policy: &Policy, ranks: &[Rank]) -> (Vec<usize>, usize) {
     let mut idx: Vec<usize> = (0..ranks.len()).collect();
     match policy {
         Policy::Fifo => {

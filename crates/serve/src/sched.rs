@@ -18,6 +18,20 @@
 //! cancel is never wrong). When the GPU lease is contended, a job with a
 //! compiled CPU-only fallback takes it instead of waiting, if that
 //! finishes sooner.
+//!
+//! # Closed-loop calibration
+//!
+//! With [`ServeConfig::calibration`] set, the scheduler closes the loop
+//! between prediction and observation: each completed job's measured
+//! CPU/GPU/bus times are folded into a [`Calibrator`] **at the job's
+//! completion time** (evidence never arrives early), and when a completed
+//! job's relative drift exceeds the configured threshold, every
+//! still-queued job is re-priced and re-compiled under the corrected
+//! parameters — admission cost, `ShortestCost` ordering, and the plan's
+//! crossover levels all improve as evidence accumulates. Pricing can start
+//! from deliberately wrong numbers via [`ServeConfig::assumed`].
+//! Everything stays deterministic: observations drain in completion order
+//! at event boundaries.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -25,7 +39,10 @@ use std::collections::BinaryHeap;
 use hpu_core::exec::RunReport;
 use hpu_core::CoreError;
 use hpu_machine::{MachineConfig, SimHpu, SimMachineParams};
-use hpu_model::{compile, plan_cost, LevelProfile, MachineParams, Placement, Plan, ScheduleSpec};
+use hpu_model::{
+    compile, plan_cost, Calibration, CalibrationError, Calibrator, CalibratorConfig, LevelProfile,
+    MachineParams, ModelError, Observation, Placement, Plan, PlanCost, Recurrence, ScheduleSpec,
+};
 use hpu_obs::{JobOutcome, JobRecord, ServeReport};
 
 use crate::arbiter::{DeviceArbiter, EPS};
@@ -48,6 +65,16 @@ pub struct ServeConfig {
     /// letting several jobs' CPU segments run side by side in the pool
     /// (clamped to the machine's core count).
     pub cores_per_job: Option<usize>,
+    /// Machine parameters to price and compile with, when they should
+    /// differ from the served machine's own
+    /// ([`MachineParams::from_config`]). This is the mis-specification
+    /// knob for calibration experiments: the scheduler *believes* these
+    /// numbers until the calibration loop corrects them. `p` always
+    /// follows the served machine (and [`ServeConfig::cores_per_job`]).
+    pub assumed: Option<MachineParams>,
+    /// Closed-loop calibration (see the module docs). `None` — the
+    /// default — keeps the open-loop behavior bit for bit.
+    pub calibration: Option<CalibratorConfig>,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +84,8 @@ impl Default for ServeConfig {
             policy: Policy::default(),
             cpu_fallback: true,
             cores_per_job: None,
+            assumed: None,
+            calibration: None,
         }
     }
 }
@@ -123,6 +152,10 @@ pub struct ServeOutput {
     pub gpu_leases: Vec<(f64, f64)>,
     /// Every CPU reservation granted `(start, end, cores)`.
     pub cpu_reservations: Vec<(f64, f64, usize)>,
+    /// Drift-triggered replans performed (0 without calibration).
+    pub replans: u64,
+    /// Final calibration state, when the loop was enabled.
+    pub calibration: Option<Calibration>,
 }
 
 /// Where one plan segment runs, from the arbiter's point of view.
@@ -152,11 +185,19 @@ impl SegDemand {
 }
 
 /// One executable shape of a job: a plan's measured demands plus its
-/// predicted cost and the solo run's report.
+/// predicted cost, the solo run's report, and the predicted-vs-observed
+/// per-unit evidence for the calibration loop.
 struct Variant {
     cost: f64,
     demands: Vec<SegDemand>,
     report: RunReport,
+    obs: Observation,
+}
+
+fn uses_gpu(v: &Variant) -> bool {
+    v.demands
+        .iter()
+        .any(|d| matches!(d.kind, SegKind::Gpu | SegKind::Split { .. }))
 }
 
 struct Queued {
@@ -164,9 +205,21 @@ struct Queued {
     name: String,
     arrival: f64,
     deadline: Option<f64>,
+    spec: ScheduleSpec,
+    workload: Box<dyn Workload>,
     primary: Variant,
     fallback: Option<Variant>,
     skips: usize,
+    /// Calibration generation the job was last priced under.
+    generation: u64,
+}
+
+/// Evidence of a dispatched job, released at its completion time.
+struct PendingObs {
+    end: f64,
+    job: u64,
+    obs: Observation,
+    drift: f64,
 }
 
 /// Total order on event times (f64 `total_cmp`).
@@ -205,6 +258,26 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
     let mut runs: Vec<JobRun> = Vec::new();
     let mut errors: Vec<ServeError> = Vec::new();
 
+    let mut job_cfg = cfg.clone();
+    if let Some(k) = serve.cores_per_job {
+        job_cfg.cpu.cores = k.clamp(1, cfg.cpu.cores);
+    }
+    let mut calibrator = match &serve.calibration {
+        Some(c) => match Calibrator::new(c.clone()) {
+            Ok(cal) => Some(cal),
+            Err(e) => {
+                errors.push(ServeError::Calibration {
+                    job: None,
+                    source: e,
+                });
+                None
+            }
+        },
+        None => None,
+    };
+    let mut pending: Vec<PendingObs> = Vec::new();
+    let mut replans: u64 = 0;
+
     let mut heap: EventHeap = BinaryHeap::new();
     let mut tick_seq = jobs.len() as u64;
     let mut slots: Vec<Option<JobRequest>> = Vec::with_capacity(jobs.len());
@@ -219,17 +292,59 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
 
     while let Some(Reverse((t, _, ev))) = heap.pop() {
         let now = t.0;
+        // Fold the evidence of every job that has completed by now; a
+        // large enough drift triggers a re-price of the queue.
+        if let Some(cal) = calibrator.as_mut() {
+            let mut ready: Vec<PendingObs> = Vec::new();
+            pending.retain_mut(|p| {
+                if p.end <= now + EPS {
+                    ready.push(PendingObs {
+                        end: p.end,
+                        job: p.job,
+                        obs: p.obs,
+                        drift: p.drift,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            ready.sort_by(|a, b| a.end.total_cmp(&b.end).then(a.job.cmp(&b.job)));
+            let mut trigger = false;
+            for p in &ready {
+                if let Err(e) = cal.observe(&p.obs) {
+                    errors.push(ServeError::Calibration {
+                        job: Some(p.job),
+                        source: e,
+                    });
+                }
+                trigger |= cal.should_replan(p.drift);
+            }
+            if trigger {
+                replans += 1;
+                replan(
+                    &mut queue,
+                    &job_cfg,
+                    serve,
+                    cal.calibration(),
+                    replans,
+                    &mut errors,
+                );
+            }
+        }
         if let Ev::Arrive(i) = ev {
             let job = slots[i].take().expect("each arrival fires once");
             admit(
                 i as u64,
                 job,
                 now,
-                cfg,
+                &job_cfg,
                 serve,
                 &mut queue,
                 &mut records,
                 &mut errors,
+                calibrator.as_ref().map(|c| c.calibration()),
+                replans,
             );
         }
         dispatch_all(
@@ -242,6 +357,7 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
             &mut errors,
             &mut heap,
             &mut tick_seq,
+            calibrator.is_some().then_some(&mut pending),
         );
     }
     debug_assert!(
@@ -249,18 +365,25 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
         "every queued job reaches a terminal state"
     );
 
-    let makespan = records.iter().map(|r| r.end).fold(0.0, f64::max);
-    let report = ServeReport::new(records, makespan, arb.cpu_busy(), arb.gpu_busy());
+    let report = ServeReport::new(records, arb.cpu_busy(), arb.gpu_busy());
     ServeOutput {
         report,
         runs,
         errors,
         gpu_leases: arb.gpu_leases().to_vec(),
         cpu_reservations: arb.cpu_reservations().to_vec(),
+        replans,
+        calibration: calibrator.map(|c| c.calibration().clone()),
     }
 }
 
-fn rejected_record(id: u64, name: &str, outcome: JobOutcome, at: f64) -> JobRecord {
+fn rejected_record(
+    id: u64,
+    name: &str,
+    outcome: JobOutcome,
+    at: f64,
+    generation: u64,
+) -> JobRecord {
     JobRecord {
         id,
         name: name.to_string(),
@@ -271,92 +394,72 @@ fn rejected_record(id: u64, name: &str, outcome: JobOutcome, at: f64) -> JobReco
         predicted: 0.0,
         service: 0.0,
         fallback: false,
+        calibration_generation: generation,
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn admit(
-    id: u64,
-    mut job: JobRequest,
-    now: f64,
-    cfg: &MachineConfig,
+/// The parameters jobs are priced and compiled with: the configured or
+/// assumed machine, under the current calibration corrections. The CPU
+/// core count always follows the per-job machine slice — calibration
+/// corrects speeds and costs, never the structure.
+fn pricing_params(
+    job_cfg: &MachineConfig,
     serve: &ServeConfig,
-    queue: &mut Vec<Queued>,
-    records: &mut Vec<JobRecord>,
-    errors: &mut Vec<ServeError>,
-) {
-    if queue.len() >= serve.queue_capacity {
-        errors.push(ServeError::QueueFull {
-            job: id,
-            capacity: serve.queue_capacity,
-        });
-        records.push(rejected_record(id, &job.name, JobOutcome::QueueFull, now));
-        return;
+    cal: Option<&Calibration>,
+) -> Result<MachineParams, CalibrationError> {
+    let mut params = serve
+        .assumed
+        .clone()
+        .unwrap_or_else(|| MachineParams::from_config(job_cfg));
+    params.p = job_cfg.cpu.cores;
+    match cal {
+        Some(c) => params.recalibrated(c),
+        None => Ok(params),
     }
+}
 
-    let mut job_cfg = cfg.clone();
-    if let Some(k) = serve.cores_per_job {
-        job_cfg.cpu.cores = k.clamp(1, cfg.cpu.cores);
+/// Why one pricing attempt failed (mapped onto [`ServeError`] with the
+/// job id by the caller).
+enum VariantError {
+    Compile(ModelError),
+    Run(CoreError),
+}
+
+impl VariantError {
+    fn into_serve(self, job: u64) -> ServeError {
+        match self {
+            VariantError::Compile(source) => ServeError::Compile { job, source },
+            VariantError::Run(source) => ServeError::Run { job, source },
+        }
     }
-    let params = MachineParams::from_config(&job_cfg);
-    let rec = job.workload.recurrence();
-    let n = job.workload.input_len() as u64;
-    let levels = match job.workload.exec_levels() {
-        Ok(l) => l,
-        Err(e) => {
-            errors.push(ServeError::Run { job: id, source: e });
-            records.push(rejected_record(id, &job.name, JobOutcome::Failed, now));
-            return;
-        }
-    };
-    let plan = match compile(&job.spec, &params, &rec, n, levels) {
-        Ok(p) => p,
-        Err(e) => {
-            errors.push(ServeError::Compile { job: id, source: e });
-            records.push(rejected_record(id, &job.name, JobOutcome::Failed, now));
-            return;
-        }
-    };
-    let profile = LevelProfile::new(&params, &rec, n);
-    let cost = plan_cost(&profile, &plan);
-    let primary = match solo(job.workload.as_mut(), &job_cfg, &plan, cost.total) {
-        Ok(v) => v,
-        Err(e) => {
-            errors.push(ServeError::Run { job: id, source: e });
-            records.push(rejected_record(id, &job.name, JobOutcome::Failed, now));
-            return;
-        }
-    };
-    // A GPU-using job also carries its CPU-only shape, so dispatch can
-    // route around a contended device lease.
-    let fallback = if serve.cpu_fallback && cost.uses_gpu() {
-        compile(&ScheduleSpec::CpuParallel, &params, &rec, n, levels)
-            .ok()
-            .and_then(|fp| {
-                let fc = plan_cost(&profile, &fp);
-                solo(job.workload.as_mut(), &job_cfg, &fp, fc.total).ok()
-            })
-    } else {
-        None
-    };
-    queue.push(Queued {
-        id,
-        name: job.name,
-        arrival: now,
-        deadline: job.deadline,
-        primary,
-        fallback,
-        skips: 0,
-    });
+}
+
+/// Compiles `spec` under `params`, prices it, and solo-runs it on the
+/// true machine to measure demands and calibration evidence.
+fn build_variant(
+    workload: &mut dyn Workload,
+    spec: &ScheduleSpec,
+    job_cfg: &MachineConfig,
+    params: &MachineParams,
+    rec: &Recurrence,
+    n: u64,
+    levels: u32,
+) -> Result<Variant, VariantError> {
+    let plan = compile(spec, params, rec, n, levels).map_err(VariantError::Compile)?;
+    let profile = LevelProfile::new(params, rec, n);
+    let cost = plan_cost(&profile, &plan).map_err(VariantError::Compile)?;
+    solo(workload, job_cfg, &plan, &cost, params).map_err(VariantError::Run)
 }
 
 /// Solo-runs the job's plan on a private virtual clock and folds the
-/// per-level metrics into per-segment device demands.
+/// per-level metrics into per-segment device demands plus the
+/// per-unit predicted-vs-observed evidence.
 fn solo(
     workload: &mut dyn Workload,
     job_cfg: &MachineConfig,
     plan: &Plan,
-    cost: f64,
+    cost: &PlanCost,
+    params: &MachineParams,
 ) -> Result<Variant, CoreError> {
     let mut hpu = SimHpu::new(job_cfg.clone());
     let report = workload.run_plan(&mut hpu, plan)?;
@@ -364,12 +467,15 @@ fn solo(
     let mut cpu = vec![0.0; segs];
     let mut gpu = vec![0.0; segs];
     for row in &report.levels {
+        // `run_sim_plan` rejects empty plans before this point, so
+        // `segs >= 1`; the saturating clamp keeps the index total even if
+        // that invariant ever moves.
         let si = row
             .segment
             .map(|s| s as usize)
             .or_else(|| plan.segment_of(row.level).map(|(i, _)| i))
             .unwrap_or(0)
-            .min(segs - 1);
+            .min(segs.saturating_sub(1));
         cpu[si] += row.cpu_time;
         // The bus is only ever driven for the device: transfers extend
         // the segment's GPU lease.
@@ -391,11 +497,199 @@ fn solo(
             gpu: gpu[i],
         })
         .collect();
+    let predicted_bus: f64 = plan
+        .segments
+        .iter()
+        .flat_map(|s| &s.transfers)
+        .map(|t| params.transfer_time(t.words))
+        .sum();
+    let obs = Observation {
+        predicted_cpu: cost.cpu,
+        predicted_gpu: (cost.gpu - predicted_bus).max(0.0),
+        predicted_bus,
+        observed_cpu: report.levels.iter().map(|r| r.cpu_time).sum(),
+        observed_gpu: report.levels.iter().map(|r| r.gpu_time).sum(),
+        observed_bus: report.levels.iter().map(|r| r.bus_time).sum(),
+    };
     Ok(Variant {
-        cost,
+        cost: cost.total,
         demands,
         report,
+        obs,
     })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    id: u64,
+    mut job: JobRequest,
+    now: f64,
+    job_cfg: &MachineConfig,
+    serve: &ServeConfig,
+    queue: &mut Vec<Queued>,
+    records: &mut Vec<JobRecord>,
+    errors: &mut Vec<ServeError>,
+    cal: Option<&Calibration>,
+    generation: u64,
+) {
+    if queue.len() >= serve.queue_capacity {
+        errors.push(ServeError::QueueFull {
+            job: id,
+            capacity: serve.queue_capacity,
+        });
+        records.push(rejected_record(
+            id,
+            &job.name,
+            JobOutcome::QueueFull,
+            now,
+            generation,
+        ));
+        return;
+    }
+
+    let params = match pricing_params(job_cfg, serve, cal) {
+        Ok(p) => p,
+        Err(e) => {
+            errors.push(ServeError::Calibration {
+                job: Some(id),
+                source: e,
+            });
+            records.push(rejected_record(
+                id,
+                &job.name,
+                JobOutcome::Failed,
+                now,
+                generation,
+            ));
+            return;
+        }
+    };
+    let base_rec = job.workload.recurrence();
+    let rec = match cal {
+        Some(c) => c.scale_recurrence(&base_rec),
+        None => base_rec,
+    };
+    let n = job.workload.input_len() as u64;
+    let levels = match job.workload.exec_levels() {
+        Ok(l) => l,
+        Err(e) => {
+            errors.push(ServeError::Run { job: id, source: e });
+            records.push(rejected_record(
+                id,
+                &job.name,
+                JobOutcome::Failed,
+                now,
+                generation,
+            ));
+            return;
+        }
+    };
+    let primary = match build_variant(
+        job.workload.as_mut(),
+        &job.spec,
+        job_cfg,
+        &params,
+        &rec,
+        n,
+        levels,
+    ) {
+        Ok(v) => v,
+        Err(e) => {
+            errors.push(e.into_serve(id));
+            records.push(rejected_record(
+                id,
+                &job.name,
+                JobOutcome::Failed,
+                now,
+                generation,
+            ));
+            return;
+        }
+    };
+    // A GPU-using job also carries its CPU-only shape, so dispatch can
+    // route around a contended device lease.
+    let fallback = if serve.cpu_fallback && uses_gpu(&primary) {
+        build_variant(
+            job.workload.as_mut(),
+            &ScheduleSpec::CpuParallel,
+            job_cfg,
+            &params,
+            &rec,
+            n,
+            levels,
+        )
+        .ok()
+    } else {
+        None
+    };
+    queue.push(Queued {
+        id,
+        name: job.name,
+        arrival: now,
+        deadline: job.deadline,
+        spec: job.spec,
+        workload: job.workload,
+        primary,
+        fallback,
+        skips: 0,
+        generation,
+    });
+}
+
+/// Re-prices and re-compiles every still-queued job under the corrected
+/// parameters. A job whose re-pricing fails keeps its previous variants —
+/// replanning improves estimates, it must never kill a job.
+fn replan(
+    queue: &mut [Queued],
+    job_cfg: &MachineConfig,
+    serve: &ServeConfig,
+    cal: &Calibration,
+    generation: u64,
+    errors: &mut Vec<ServeError>,
+) {
+    for q in queue.iter_mut() {
+        let params = match pricing_params(job_cfg, serve, Some(cal)) {
+            Ok(p) => p,
+            Err(e) => {
+                errors.push(ServeError::Calibration {
+                    job: Some(q.id),
+                    source: e,
+                });
+                continue;
+            }
+        };
+        let rec = cal.scale_recurrence(&q.workload.recurrence());
+        let n = q.workload.input_len() as u64;
+        let Ok(levels) = q.workload.exec_levels() else {
+            continue;
+        };
+        if let Ok(v) = build_variant(
+            q.workload.as_mut(),
+            &q.spec,
+            job_cfg,
+            &params,
+            &rec,
+            n,
+            levels,
+        ) {
+            q.primary = v;
+            q.generation = generation;
+            q.fallback = if serve.cpu_fallback && uses_gpu(&q.primary) {
+                build_variant(
+                    q.workload.as_mut(),
+                    &ScheduleSpec::CpuParallel,
+                    job_cfg,
+                    &params,
+                    &rec,
+                    n,
+                    levels,
+                )
+                .ok()
+            } else {
+                None
+            };
+        }
+    }
 }
 
 /// Earliest `(start, end)` the variant's segment chain can run at or
@@ -469,6 +763,7 @@ fn dispatch_all(
     errors: &mut Vec<ServeError>,
     heap: &mut EventHeap,
     tick_seq: &mut u64,
+    mut pending: Option<&mut Vec<PendingObs>>,
 ) {
     loop {
         if queue.is_empty() {
@@ -534,6 +829,7 @@ fn dispatch_all(
                     predicted: q.primary.cost,
                     service: 0.0,
                     fallback: false,
+                    calibration_generation: q.generation,
                 });
             }
             continue;
@@ -553,6 +849,19 @@ fn dispatch_all(
                 other.skips += 1;
             }
         }
+        if let Some(pending) = pending.as_deref_mut() {
+            let drift = if v.cost > 0.0 {
+                (v.report.virtual_time - v.cost) / v.cost
+            } else {
+                0.0
+            };
+            pending.push(PendingObs {
+                end,
+                job: q.id,
+                obs: v.obs,
+                drift,
+            });
+        }
         records.push(JobRecord {
             id: q.id,
             name: q.name.clone(),
@@ -563,6 +872,7 @@ fn dispatch_all(
             predicted: v.cost,
             service: v.report.virtual_time,
             fallback: fb,
+            calibration_generation: q.generation,
         });
         runs.push(JobRun {
             id: q.id,

@@ -286,6 +286,155 @@ fn plans_are_validated_against_their_input() {
     assert!(matches!(got, Err(CoreError::MalformedPlan { .. })));
 }
 
+/// Regression: a plan with zero segments must be rejected with a typed
+/// error by both the cost model and the executor — not panic with an
+/// index underflow inside the scheduler's demand folding.
+#[test]
+fn empty_plans_are_rejected_not_priced_or_run() {
+    use hpu_core::exec::run_sim_plan;
+    use hpu_machine::SimHpu;
+    use hpu_model::{plan_cost, LevelProfile, MachineParams, ModelError, Plan, Recurrence};
+
+    let params = MachineParams::hpu1();
+    let rec = Recurrence::mergesort();
+    let profile = LevelProfile::new(&params, &rec, 256);
+    let empty = Plan {
+        n: 256,
+        exec_levels: 8,
+        segments: Vec::new(),
+        resolved: ScheduleSpec::CpuParallel,
+    };
+    assert!(matches!(
+        plan_cost(&profile, &empty),
+        Err(ModelError::EmptyPlan)
+    ));
+    let mut data = input(256);
+    let mut hpu = SimHpu::new(MachineConfig::tiny());
+    let got = run_sim_plan(&MergeSort::new(), &mut data, &mut hpu, &empty);
+    assert!(matches!(got, Err(CoreError::MalformedPlan { .. })));
+}
+
+fn miscalibrated_serve(cfg: &MachineConfig) -> ServeConfig {
+    use hpu_machine::SimMachineParams;
+    use hpu_model::{CalibratorConfig, MachineParams};
+
+    // The scheduler believes the GPU is twice as fast as it really is.
+    let truth = MachineParams::from_config(cfg);
+    let assumed = MachineParams::new(truth.p, truth.g, (truth.gamma * 2.0).min(1.0))
+        .unwrap()
+        .with_transfer_cost(truth.lambda, truth.delta);
+    ServeConfig {
+        assumed: Some(assumed),
+        calibration: Some(CalibratorConfig::default()),
+        cpu_fallback: false,
+        ..Default::default()
+    }
+}
+
+/// Tentpole acceptance: on a machine whose γ is mis-specified by 2×, the
+/// calibration loop fires at least one drift-triggered replan, later jobs
+/// are priced under a positive calibration generation, and their drift is
+/// smaller than the uncalibrated first jobs'.
+#[test]
+fn calibration_replans_and_shrinks_drift() {
+    let cfg = MachineConfig::hpu1_sim();
+    let serve = miscalibrated_serve(&cfg);
+    let jobs: Vec<JobRequest> = (0..8)
+        .map(|i| sort_job(&format!("j{i}"), ScheduleSpec::GpuOnly, 1 << 10, 0.0))
+        .collect();
+    let out = serve_sim(&cfg, &serve, jobs);
+    assert_eq!(out.report.completed, 8);
+    assert!(out.replans >= 1, "a 2x gamma error must trigger a replan");
+    let cal = out.calibration.expect("calibration state is reported");
+    assert!(cal.samples >= 1);
+    assert!(
+        cal.gamma_scale < 0.95,
+        "gamma correction should shrink toward the truth, got {}",
+        cal.gamma_scale
+    );
+    let last = out.report.jobs.iter().find(|r| r.id == 7).unwrap();
+    assert!(last.calibration_generation >= 1);
+    assert!(
+        out.report.mean_abs_drift_after < out.report.mean_abs_drift_before,
+        "calibrated jobs should drift less: after {} vs before {}",
+        out.report.mean_abs_drift_after,
+        out.report.mean_abs_drift_before
+    );
+}
+
+/// Calibration keeps the scheduler deterministic: two identical runs
+/// produce identical reports, replan counts and final corrections.
+#[test]
+fn calibrated_serving_is_deterministic() {
+    let cfg = MachineConfig::hpu1_sim();
+    let serve = miscalibrated_serve(&cfg);
+    let jobs = || -> Vec<JobRequest> {
+        (0..6)
+            .map(|i| {
+                sort_job(
+                    &format!("j{i}"),
+                    ScheduleSpec::GpuOnly,
+                    1 << 10,
+                    i as f64 * 10.0,
+                )
+            })
+            .collect()
+    };
+    let a = serve_sim(&cfg, &serve, jobs());
+    let b = serve_sim(&cfg, &serve, jobs());
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.replans, b.replans);
+    assert_eq!(a.calibration, b.calibration);
+}
+
+/// Without calibration nothing replans and no correction state is
+/// reported — the open-loop behavior is preserved bit for bit.
+#[test]
+fn calibration_off_means_no_replans() {
+    let cfg = MachineConfig::hpu1_sim();
+    let serve = ServeConfig::default();
+    let jobs = vec![
+        sort_job("a", ScheduleSpec::GpuOnly, 1 << 10, 0.0),
+        sort_job("b", ScheduleSpec::GpuOnly, 1 << 10, 0.0),
+    ];
+    let out = serve_sim(&cfg, &serve, jobs);
+    assert_eq!(out.report.completed, 2);
+    assert_eq!(out.replans, 0);
+    assert!(out.calibration.is_none());
+    assert!(out
+        .report
+        .jobs
+        .iter()
+        .all(|r| r.calibration_generation == 0));
+}
+
+/// An invalid calibration configuration surfaces as a typed error and
+/// disables the loop instead of poisoning the run.
+#[test]
+fn invalid_calibration_config_disables_the_loop() {
+    use hpu_model::CalibratorConfig;
+
+    let cfg = MachineConfig::hpu1_sim();
+    let serve = ServeConfig {
+        calibration: Some(CalibratorConfig {
+            smoothing: 0.0,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let out = serve_sim(
+        &cfg,
+        &serve,
+        vec![sort_job("a", ScheduleSpec::CpuParallel, 1 << 8, 0.0)],
+    );
+    assert_eq!(out.report.completed, 1);
+    assert!(out.calibration.is_none());
+    assert!(out
+        .errors
+        .iter()
+        .any(|e| matches!(e, ServeError::Calibration { job: None, .. })));
+}
+
 /// The native path serves a small fleet on real threads and reports
 /// ordered percentiles.
 #[test]
@@ -309,4 +458,39 @@ fn native_serving_completes_a_small_fleet() {
     assert!(r.p50_latency <= r.p95_latency && r.p99_latency <= r.max_latency);
     assert!(r.cpu_utilization <= 1.0 + 1e-9, "busy intervals are merged");
     assert!(r.throughput > 0.0);
+    // Without calibration the native path never learns a scale.
+    assert_eq!(out.calibration_updates, 0);
+    assert!(r.jobs.iter().all(|j| j.predicted == 0.0));
+}
+
+/// With calibration on, the native fleet learns a µs-per-op scale from
+/// completions, so later jobs carry real wall-clock predictions.
+#[test]
+fn native_calibration_learns_a_prediction_scale() {
+    use hpu_model::CalibratorConfig;
+    use hpu_serve::{serve_native, NativeJobRequest};
+
+    let serve = ServeConfig {
+        calibration: Some(CalibratorConfig::default()),
+        ..Default::default()
+    };
+    let jobs = (0..5u64)
+        .map(|i| {
+            NativeJobRequest::new(
+                format!("sort-{i}"),
+                i * 30_000,
+                AlgoJob::boxed(MergeSort::new(), input(1 << 10)),
+            )
+        })
+        .collect();
+    let out = serve_native(&serve, 1, 2, jobs);
+    assert_eq!(out.report.completed, 5);
+    assert!(out.calibration_updates >= 1);
+    assert!(
+        out.report
+            .jobs
+            .iter()
+            .any(|r| r.predicted > 0.0 && r.calibration_generation >= 1),
+        "jobs priced after the first completion should carry predictions"
+    );
 }

@@ -19,6 +19,7 @@ use hpu_algos::scan::{scan_reference, DcScan};
 use hpu_algos::sum::DcSum;
 use hpu_core::exec::Strategy as Sched;
 use hpu_model::advanced::AdvancedSolver;
+use hpu_serve::{dispatch_order, DeviceArbiter, Policy, Rank};
 
 /// Pads to the next power of two with `u32::MAX` sentinels (sorted to the
 /// end), the standard trick for the framework's power-of-two requirement.
@@ -190,6 +191,79 @@ proptest! {
         let out = pool.run_collect(jobs);
         let expect: Vec<u32> = tasks.iter().map(|&v| v as u32 + 1).collect();
         prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn zero_starvation_bound_degrades_to_exact_fifo(
+        ranks in prop::collection::vec((0.0f64..100.0, 0usize..6), 0..40)
+            .prop_map(|v| {
+                v.into_iter()
+                    .enumerate()
+                    .map(|(i, (cost, skips))| Rank { seq: i as u64, cost, skips })
+                    .collect::<Vec<_>>()
+            })
+            .prop_shuffle(),
+    ) {
+        // With a zero starvation bound every queued job is overdue at
+        // once, so shortest-cost ordering collapses to arrival order with
+        // a fully rigid prefix — byte-for-byte FIFO.
+        let fifo = dispatch_order(&Policy::Fifo, &ranks);
+        let zero = dispatch_order(&Policy::ShortestCost { starvation_bound: 0 }, &ranks);
+        prop_assert_eq!(fifo.0, zero.0);
+        prop_assert_eq!(fifo.1, zero.1);
+        prop_assert_eq!(zero.1, ranks.len());
+    }
+
+    #[test]
+    fn arbiter_probes_and_commits_agree(
+        cores in 1usize..8,
+        requests in prop::collection::vec(
+            (0u8..3, 0.0f64..100.0, 0.0f64..10.0, 0.0f64..10.0, 1usize..10),
+            1..40,
+        ),
+    ) {
+        let mut arb = DeviceArbiter::new(cores);
+        for (kind, t, dur_a, dur_b, req) in requests {
+            match kind {
+                0 => {
+                    let probe = arb.gpu_slot(t, dur_a);
+                    let (s, e) = arb.reserve_gpu(t, dur_a);
+                    prop_assert_eq!(s, probe);
+                    prop_assert!((e - (s + dur_a)).abs() <= 1e-9);
+                    prop_assert!(s >= t);
+                }
+                1 => {
+                    let probe = arb.cpu_slot(t, dur_a, req);
+                    let (s, e) = arb.reserve_cpu(t, dur_a, req);
+                    prop_assert_eq!(s, probe);
+                    prop_assert!((e - (s + dur_a)).abs() <= 1e-9);
+                    prop_assert!(s >= t);
+                }
+                _ => {
+                    // Completing at all is the termination property of the
+                    // pair probe's alternating fixed-point search.
+                    let probe = arb.pair_slot(t, dur_a, req, dur_b);
+                    let (s, e) = arb.reserve_pair(t, dur_a, req, dur_b);
+                    prop_assert_eq!(s, probe);
+                    prop_assert!((e - (s + dur_a.max(dur_b))).abs() <= 1e-9);
+                    prop_assert!(s >= t);
+                }
+            }
+        }
+        // The placements the probes promised must also be legal: GPU
+        // leases pairwise disjoint, CPU pool never oversubscribed.
+        for w in arb.gpu_leases().windows(2) {
+            prop_assert!(w[0].1 <= w[1].0 + 1e-9);
+        }
+        for &(s, _, _) in arb.cpu_reservations() {
+            let used: usize = arb
+                .cpu_reservations()
+                .iter()
+                .filter(|&&(s2, e2, _)| s2 <= s + 1e-9 && s + 1e-9 < e2)
+                .map(|&(_, _, k)| k)
+                .sum();
+            prop_assert!(used <= cores, "{used} cores used of {cores} at {s}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use hpu_algos::mergesort::gpu_parallel_mergesort;
 use hpu_algos::scan::{scan_reference, DcScan};
 use hpu_core::exec::Strategy as Sched;
 use hpu_model::advanced::AdvancedSolver;
+use hpu_serve::{dispatch_order, DeviceArbiter, Policy, Rank};
 
 /// splitmix64 — same finalizer as `hpu_bench::SplitMix64`, inlined here so
 /// the root test suite does not depend on the bench crate.
@@ -244,6 +245,95 @@ fn pool_preserves_task_order() {
         let out = pool.run_collect(jobs);
         let expect: Vec<u32> = tasks.iter().map(|&v| v as u32 + 1).collect();
         assert_eq!(out, expect, "seed {seed}");
+    }
+}
+
+#[test]
+fn zero_starvation_bound_degrades_to_exact_fifo() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let len = rng.below(40) as usize;
+        let mut ranks: Vec<Rank> = (0..len)
+            .map(|i| Rank {
+                seq: i as u64,
+                cost: rng.below(1000) as f64 / 10.0,
+                skips: rng.below(6) as usize,
+            })
+            .collect();
+        // Fisher-Yates so arrival order and queue position disagree.
+        for i in (1..ranks.len()).rev() {
+            ranks.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        // With a zero starvation bound every queued job is overdue at
+        // once, so shortest-cost ordering collapses to arrival order with
+        // a fully rigid prefix — byte-for-byte FIFO.
+        let fifo = dispatch_order(&Policy::Fifo, &ranks);
+        let zero = dispatch_order(
+            &Policy::ShortestCost {
+                starvation_bound: 0,
+            },
+            &ranks,
+        );
+        assert_eq!(fifo, zero, "seed {seed}");
+        assert_eq!(zero.1, ranks.len(), "seed {seed}");
+    }
+}
+
+#[test]
+fn arbiter_probes_and_commits_agree() {
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let cores = 1 + rng.below(7) as usize;
+        let mut arb = DeviceArbiter::new(cores);
+        for step in 0..40 {
+            let t = rng.below(1000) as f64 / 10.0;
+            let dur_a = rng.below(100) as f64 / 10.0;
+            let dur_b = rng.below(100) as f64 / 10.0;
+            let req = 1 + rng.below(9) as usize;
+            let ctx = format!("seed {seed}, step {step}");
+            match rng.below(3) {
+                0 => {
+                    let probe = arb.gpu_slot(t, dur_a);
+                    let (s, e) = arb.reserve_gpu(t, dur_a);
+                    assert_eq!(s, probe, "{ctx}");
+                    assert!((e - (s + dur_a)).abs() <= 1e-9, "{ctx}");
+                    assert!(s >= t, "{ctx}");
+                }
+                1 => {
+                    let probe = arb.cpu_slot(t, dur_a, req);
+                    let (s, e) = arb.reserve_cpu(t, dur_a, req);
+                    assert_eq!(s, probe, "{ctx}");
+                    assert!((e - (s + dur_a)).abs() <= 1e-9, "{ctx}");
+                    assert!(s >= t, "{ctx}");
+                }
+                _ => {
+                    // Completing at all is the termination property of the
+                    // pair probe's alternating fixed-point search.
+                    let probe = arb.pair_slot(t, dur_a, req, dur_b);
+                    let (s, e) = arb.reserve_pair(t, dur_a, req, dur_b);
+                    assert_eq!(s, probe, "{ctx}");
+                    assert!((e - (s + dur_a.max(dur_b))).abs() <= 1e-9, "{ctx}");
+                    assert!(s >= t, "{ctx}");
+                }
+            }
+        }
+        // The placements the probes promised must also be legal: GPU
+        // leases pairwise disjoint, CPU pool never oversubscribed.
+        for w in arb.gpu_leases().windows(2) {
+            assert!(w[0].1 <= w[1].0 + 1e-9, "seed {seed}: {w:?}");
+        }
+        for &(s, _, _) in arb.cpu_reservations() {
+            let used: usize = arb
+                .cpu_reservations()
+                .iter()
+                .filter(|&&(s2, e2, _)| s2 <= s + 1e-9 && s + 1e-9 < e2)
+                .map(|&(_, _, k)| k)
+                .sum();
+            assert!(
+                used <= cores,
+                "seed {seed}: {used} cores used of {cores} at {s}"
+            );
+        }
     }
 }
 
