@@ -6,6 +6,8 @@
 //! repro serve [--jobs N] [--rates R,R,...] [--backend sim|native|both]
 //!             [--seed S] [--out DIR]
 //! repro calibrate [--jobs N] [--gamma-skew K] [--seed S] [--out DIR]
+//! repro chaos [--jobs N] [--rates R,R,...] [--backend sim|native|both]
+//!             [--seed S] [--out DIR]
 //!
 //! EXPERIMENT: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             ablation-coalescing ablation-schedule extension-workloads
@@ -26,6 +28,13 @@
 //!             CSV row per (backend, arrival rate); defaults: 32 jobs,
 //!             rates 0.5 and 2, both backends (CSV lands in
 //!             DIR/serve.csv with --out)
+//! chaos       serve the same fleet under seeded device-fault injection,
+//!             sweeping the fault rate over --rates (here rates are fault
+//!             probabilities, not offered load); prints one goodput /
+//!             latency-degradation CSV row per (backend, fault rate) —
+//!             with a fixed seed the goodput column is non-increasing in
+//!             the rate (CSV lands in DIR/chaos.csv with --out);
+//!             defaults: 16 jobs, rates 0,0.05,0.2,0.5, both backends
 //! calibrate   serve a fleet on a machine whose γ the scheduler believes
 //!             is --gamma-skew× its true value (default 2), with the
 //!             closed calibration loop on; prints one CSV row per
@@ -162,6 +171,44 @@ fn serve_mode(rest: &[String]) {
     }
 }
 
+/// `repro chaos [--jobs N] [--rates R,..] [--backend B] [--seed S] [--out DIR]`.
+fn chaos_mode(rest: &[String]) {
+    let jobs: usize = flag_value(rest, "--jobs")
+        .map(|v| v.parse().expect("--jobs takes an integer"))
+        .unwrap_or(16);
+    let rates: Vec<f64> = flag_value(rest, "--rates")
+        .unwrap_or("0,0.05,0.2,0.5")
+        .split(',')
+        .map(|r| {
+            r.trim()
+                .parse()
+                .expect("--rates takes comma-separated numbers")
+        })
+        .collect();
+    if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+        eprintln!("--rates are fault probabilities and must lie in [0, 1]");
+        std::process::exit(2);
+    }
+    let backend = match flag_value(rest, "--backend").unwrap_or("both") {
+        "sim" => hpu_bench::ServeBackend::Sim,
+        "native" => hpu_bench::ServeBackend::Native,
+        "both" => hpu_bench::ServeBackend::Both,
+        other => {
+            eprintln!("unknown --backend: {other} (expected sim, native or both)");
+            std::process::exit(2);
+        }
+    };
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let csv = hpu_bench::chaos_sweep(jobs, &rates, backend, seed);
+    print!("{}", csv.render());
+    if let Some(dir) = flag_value(rest, "--out") {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+        std::fs::write(format!("{dir}/chaos.csv"), csv.render()).expect("write chaos CSV");
+    }
+}
+
 /// `repro calibrate [--jobs N] [--gamma-skew K] [--seed S] [--out DIR]`.
 fn calibrate_mode(rest: &[String]) {
     let jobs: usize = flag_value(rest, "--jobs")
@@ -193,6 +240,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("calibrate") {
         calibrate_mode(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        chaos_mode(&args[1..]);
         return;
     }
     let full = args.iter().any(|a| a == "--full");

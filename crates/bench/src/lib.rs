@@ -10,11 +10,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod serving;
 pub mod timing;
 pub mod workload;
 
+pub use chaos::chaos_sweep;
 pub use experiments::*;
 pub use serving::{calibrate_sweep, serve_fleet, ServeBackend};
 pub use workload::{uniform_input, SplitMix64};

@@ -31,7 +31,7 @@ pub enum ServeBackend {
 }
 
 /// Exponentially distributed gap with the given mean.
-fn exp_gap(rng: &mut SplitMix64, mean: f64) -> f64 {
+pub(crate) fn exp_gap(rng: &mut SplitMix64, mean: f64) -> f64 {
     let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
     -(1.0 - u).ln() * mean
 }
@@ -39,7 +39,7 @@ fn exp_gap(rng: &mut SplitMix64, mean: f64) -> f64 {
 /// The mixed fleet: mergesort and d&c-sum jobs over a spread of sizes and
 /// schedules. `make(i)` is the workload for job `i`; sizes cycle through
 /// `2^8..2^11` and schedules through basic-hybrid / GPU-only / CPU-parallel.
-fn job_mix(i: usize, seed: u64) -> (String, ScheduleSpec, Box<dyn Workload>) {
+pub(crate) fn job_mix(i: usize, seed: u64) -> (String, ScheduleSpec, Box<dyn Workload>) {
     let n = 1usize << (8 + (i % 4));
     let spec = match i % 3 {
         0 => ScheduleSpec::Basic { crossover: Some(4) },
@@ -83,14 +83,14 @@ fn report_row(backend: &str, rate: f64, submitted: usize, r: &ServeReport) -> Ve
 
 /// Solo virtual-time of a reference job, used to convert `rate` into a
 /// mean inter-arrival gap for the simulated backend.
-fn sim_reference_time(cfg: &MachineConfig, serve: &ServeConfig, seed: u64) -> f64 {
+pub(crate) fn sim_reference_time(cfg: &MachineConfig, serve: &ServeConfig, seed: u64) -> f64 {
     let (name, spec, workload) = job_mix(0, seed);
     let out = serve_sim(cfg, serve, vec![JobRequest::new(name, spec, 0.0, workload)]);
     out.report.makespan.max(1.0)
 }
 
 /// Solo wall-time (µs) of a reference job on one native worker.
-fn native_reference_us(serve: &ServeConfig, threads: usize, seed: u64) -> f64 {
+pub(crate) fn native_reference_us(serve: &ServeConfig, threads: usize, seed: u64) -> f64 {
     let (name, _, workload) = job_mix(0, seed);
     let out = serve_native(
         serve,

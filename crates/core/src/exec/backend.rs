@@ -9,8 +9,8 @@
 //! thread pool ([`super::NativeBackend`]), and future real-device backends
 //! slot in the same way.
 
-use hpu_model::{Direction, Placement, Plan, Transfer};
-use hpu_obs::LevelBook;
+use hpu_model::{Direction, Placement, Plan, Segment, Transfer};
+use hpu_obs::{EventKind, LevelBook};
 
 use crate::bf::{BfAlgorithm, Element};
 use crate::error::CoreError;
@@ -94,6 +94,15 @@ pub trait Backend<T: Element, A: BfAlgorithm<T>> {
 
     /// The per-level metrics book spans are recorded into.
     fn recorder(&mut self) -> &mut LevelBook;
+
+    /// Charges `dur` idle time on the substrate's timelines — the recovery
+    /// loop's backoff between retries of a faulted segment. Simulated
+    /// backends advance their virtual clocks; wall-clock backends sleep.
+    fn wait(&mut self, dur: f64);
+
+    /// Records a recovery annotation span (retry, degradation) on the
+    /// substrate's trace, if it keeps one. Default: dropped.
+    fn note_recovery(&mut self, _start: f64, _end: f64, _kind: EventKind) {}
 }
 
 /// Aggregated outcome of interpreting a plan.
@@ -122,69 +131,168 @@ pub fn interpret<T: Element, A: BfAlgorithm<T>, B: Backend<T, A>>(
 ) -> Result<InterpretStats, CoreError> {
     let mut stats = InterpretStats::default();
     for (idx, seg) in plan.segments.iter().enumerate() {
-        backend.recorder().set_segment(Some(idx as u32));
-        let band = LevelBand {
-            first: seg.first_level,
-            last: seg.last_level,
-            is_root: seg.last_level == plan.exec_levels,
-        };
-        let uploads = seg
-            .transfers
-            .iter()
-            .filter(|t| t.direction == Direction::ToGpu);
-        let downloads = seg
-            .transfers
-            .iter()
-            .filter(|t| t.direction == Direction::ToCpu);
-        match &seg.placement {
-            Placement::Cpu { cores } => {
-                backend.run_level_band(algo, &band, &Share::Cpu { cores: *cores })?;
-            }
-            Placement::Gpu => {
-                for t in uploads {
-                    backend.transfer(algo, t)?;
-                }
-                let st = backend.run_level_band(algo, &band, &Share::Gpu)?;
-                stats.coalesced += st.coalesced;
-                stats.uncoalesced += st.uncoalesced;
-                for t in downloads {
-                    backend.transfer(algo, t)?;
-                }
-                backend.sync();
-            }
-            Placement::Split {
-                cpu_tasks, tasks, ..
-            } => {
-                for t in uploads {
-                    backend.transfer(algo, t)?;
-                }
-                // The concurrent phase starts once both units hold their
-                // shares; the device's share ends with its transfer back.
-                let t_fork = backend.now();
-                let st = backend.run_level_band(algo, &band, &Share::Gpu)?;
-                stats.coalesced += st.coalesced;
-                stats.uncoalesced += st.uncoalesced;
-                for t in downloads {
-                    backend.transfer(algo, t)?;
-                }
-                let gpu_phase = backend.gpu_clock() - t_fork;
-                backend.run_level_band(
-                    algo,
-                    &band,
-                    &Share::SplitCpu {
-                        cpu_tasks: *cpu_tasks,
-                        tasks: *tasks,
-                        cores: cpu_cores_of(plan),
-                    },
-                )?;
-                let cpu_phase = backend.cpu_clock() - t_fork;
-                backend.sync();
-                stats.concurrent = Some((cpu_phase, gpu_phase));
-            }
+        let r = run_segment(plan, idx, seg, algo, backend, &mut stats);
+        if r.is_err() {
+            backend.recorder().set_segment(None);
+            return r.map(|_| stats);
         }
     }
     backend.recorder().set_segment(None);
     Ok(stats)
+}
+
+/// Retry/backoff parameters for [`interpret_recover`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Maximum retries per segment before the fault is surfaced.
+    pub max_retries: u32,
+    /// Backoff charged before the first retry, in cost units.
+    pub backoff_base: f64,
+    /// Multiplier applied to the backoff per further retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_base: 16.0,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+/// What the recovery loop observed while interpreting a plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Machine faults hit (transient and terminal).
+    pub faults: u32,
+    /// Segment retries performed.
+    pub retries: u32,
+    /// Total backoff idle time charged.
+    pub backoff_time: f64,
+}
+
+/// Runs a compiled `plan` like [`interpret`], retrying faulted segments.
+///
+/// A segment that fails with a *transient* machine fault (a dropped kernel
+/// launch or a bus error) is retried whole after an exponential backoff —
+/// safe because every injected fault fires before any host data mutates, so
+/// re-issuing the segment's upload edges restores device state from the
+/// unmodified host buffer. Non-transient errors (device loss, algorithmic
+/// errors) surface immediately. Returns the recovery tallies alongside the
+/// result so callers can report retry counts even for failed runs.
+///
+/// Level metrics booked by failed attempts are kept: they reflect work the
+/// machine really executed (and paid for) before the fault.
+pub fn interpret_recover<T: Element, A: BfAlgorithm<T>, B: Backend<T, A>>(
+    plan: &Plan,
+    algo: &A,
+    backend: &mut B,
+    policy: &RecoveryPolicy,
+) -> (Result<InterpretStats, CoreError>, RecoveryStats) {
+    let mut stats = InterpretStats::default();
+    let mut rstats = RecoveryStats::default();
+    for (idx, seg) in plan.segments.iter().enumerate() {
+        let mut attempt: u32 = 0;
+        loop {
+            match run_segment(plan, idx, seg, algo, backend, &mut stats) {
+                Ok(()) => break,
+                Err(CoreError::Machine(e)) if e.is_transient() && attempt < policy.max_retries => {
+                    rstats.faults += 1;
+                    let backoff = policy.backoff_base * policy.backoff_factor.powi(attempt as i32);
+                    let t0 = backend.now();
+                    backend.wait(backoff);
+                    attempt += 1;
+                    rstats.retries += 1;
+                    rstats.backoff_time += backoff;
+                    backend.note_recovery(t0, backend.now(), EventKind::Retry { attempt, backoff });
+                }
+                Err(e) => {
+                    if matches!(e, CoreError::Machine(_)) {
+                        rstats.faults += 1;
+                    }
+                    backend.recorder().set_segment(None);
+                    return (Err(e), rstats);
+                }
+            }
+        }
+    }
+    backend.recorder().set_segment(None);
+    (Ok(stats), rstats)
+}
+
+/// Executes one segment of the plan: uploads, the level band (both shares
+/// of a split), downloads, and the closing sync for device segments.
+fn run_segment<T: Element, A: BfAlgorithm<T>, B: Backend<T, A>>(
+    plan: &Plan,
+    idx: usize,
+    seg: &Segment,
+    algo: &A,
+    backend: &mut B,
+    stats: &mut InterpretStats,
+) -> Result<(), CoreError> {
+    backend.recorder().set_segment(Some(idx as u32));
+    let band = LevelBand {
+        first: seg.first_level,
+        last: seg.last_level,
+        is_root: seg.last_level == plan.exec_levels,
+    };
+    let uploads = seg
+        .transfers
+        .iter()
+        .filter(|t| t.direction == Direction::ToGpu);
+    let downloads = seg
+        .transfers
+        .iter()
+        .filter(|t| t.direction == Direction::ToCpu);
+    match &seg.placement {
+        Placement::Cpu { cores } => {
+            backend.run_level_band(algo, &band, &Share::Cpu { cores: *cores })?;
+        }
+        Placement::Gpu => {
+            for t in uploads {
+                backend.transfer(algo, t)?;
+            }
+            let st = backend.run_level_band(algo, &band, &Share::Gpu)?;
+            stats.coalesced += st.coalesced;
+            stats.uncoalesced += st.uncoalesced;
+            for t in downloads {
+                backend.transfer(algo, t)?;
+            }
+            backend.sync();
+        }
+        Placement::Split {
+            cpu_tasks, tasks, ..
+        } => {
+            for t in uploads {
+                backend.transfer(algo, t)?;
+            }
+            // The concurrent phase starts once both units hold their
+            // shares; the device's share ends with its transfer back.
+            let t_fork = backend.now();
+            let st = backend.run_level_band(algo, &band, &Share::Gpu)?;
+            stats.coalesced += st.coalesced;
+            stats.uncoalesced += st.uncoalesced;
+            for t in downloads {
+                backend.transfer(algo, t)?;
+            }
+            let gpu_phase = backend.gpu_clock() - t_fork;
+            backend.run_level_band(
+                algo,
+                &band,
+                &Share::SplitCpu {
+                    cpu_tasks: *cpu_tasks,
+                    tasks: *tasks,
+                    cores: cpu_cores_of(plan),
+                },
+            )?;
+            let cpu_phase = backend.cpu_clock() - t_fork;
+            backend.sync();
+            stats.concurrent = Some((cpu_phase, gpu_phase));
+        }
+    }
+    Ok(())
 }
 
 /// The CPU core count a plan's host segments use (the split's CPU share

@@ -15,7 +15,10 @@ mod backend;
 mod native;
 mod sim;
 
-pub use backend::{interpret, Backend, BandStats, InterpretStats, LevelBand, Share};
+pub use backend::{
+    interpret, interpret_recover, Backend, BandStats, InterpretStats, LevelBand, RecoveryPolicy,
+    RecoveryStats, Share,
+};
 pub use native::{run_native, run_native_report, NativeBackend, NativeReport};
 pub use sim::SimBackend;
 
@@ -181,17 +184,51 @@ pub fn run_sim_plan<T: Element, A: BfAlgorithm<T>>(
     hpu: &mut SimHpu,
     plan: &hpu_model::Plan,
 ) -> Result<RunReport, CoreError> {
-    let levels = num_levels(algo, data.len())?;
+    run_sim_plan_inner(algo, data, hpu, plan, None).0
+}
+
+/// Runs an already-compiled `plan` like [`run_sim_plan`], retrying faulted
+/// segments under `policy` (see [`interpret_recover`]). The recovery
+/// tallies come back alongside the result so callers can report retry
+/// counts even when the run ultimately fails.
+pub fn run_sim_plan_recover<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    hpu: &mut SimHpu,
+    plan: &hpu_model::Plan,
+    policy: &RecoveryPolicy,
+) -> (Result<RunReport, CoreError>, RecoveryStats) {
+    run_sim_plan_inner(algo, data, hpu, plan, Some(policy))
+}
+
+fn run_sim_plan_inner<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    hpu: &mut SimHpu,
+    plan: &hpu_model::Plan,
+    policy: Option<&RecoveryPolicy>,
+) -> (Result<RunReport, CoreError>, RecoveryStats) {
+    let mut rstats = RecoveryStats::default();
+    let levels = match num_levels(algo, data.len()) {
+        Ok(l) => l,
+        Err(e) => return (Err(e), rstats),
+    };
     let n = data.len();
     if plan.segments.is_empty() {
-        return Err(CoreError::MalformedPlan {
-            reason: "plan has no segments",
-        });
+        return (
+            Err(CoreError::MalformedPlan {
+                reason: "plan has no segments",
+            }),
+            rstats,
+        );
     }
     if plan.n != n as u64 || plan.exec_levels != levels {
-        return Err(CoreError::MalformedPlan {
-            reason: "plan was compiled for a different input",
-        });
+        return (
+            Err(CoreError::MalformedPlan {
+                reason: "plan was compiled for a different input",
+            }),
+            rstats,
+        );
     }
     hpu.sync();
     let t0 = hpu.elapsed();
@@ -205,7 +242,22 @@ pub fn run_sim_plan<T: Element, A: BfAlgorithm<T>>(
 
     let book = LevelBook::new(algo.base_chunk() as u64, algo.branching() as u64);
     let mut backend = SimBackend::new(hpu, data, book);
-    let stats = interpret(plan, algo, &mut backend)?;
+    let run = match policy {
+        Some(p) => {
+            let (r, rs) = interpret_recover(plan, algo, &mut backend, p);
+            rstats = rs;
+            r
+        }
+        None => interpret(plan, algo, &mut backend),
+    };
+    let stats = match run {
+        Ok(s) => s,
+        Err(e) => {
+            drop(backend);
+            hpu.sync();
+            return (Err(e), rstats);
+        }
+    };
     let book = backend.into_book();
 
     hpu.sync();
@@ -217,18 +269,21 @@ pub fn run_sim_plan<T: Element, A: BfAlgorithm<T>>(
         .map(|p| (p.level, p.time))
         .collect();
     let drift = drift_rows(&level_metrics, &predicted);
-    Ok(RunReport {
-        label: format!("{resolved:?} on {}", algo.name()),
-        virtual_time: hpu.elapsed() - t0,
-        transfers: hpu.bus.transfers() - transfers0,
-        words: hpu.bus.words() - words0,
-        coalesced: stats.coalesced,
-        uncoalesced: stats.uncoalesced,
-        cpu_busy: hpu.cpu.stats().busy_core_time - cpu_busy0,
-        gpu_busy: hpu.gpu.stats().busy - gpu_busy0,
-        resolved,
-        concurrent: stats.concurrent,
-        levels: level_metrics,
-        drift,
-    })
+    (
+        Ok(RunReport {
+            label: format!("{resolved:?} on {}", algo.name()),
+            virtual_time: hpu.elapsed() - t0,
+            transfers: hpu.bus.transfers() - transfers0,
+            words: hpu.bus.words() - words0,
+            coalesced: stats.coalesced,
+            uncoalesced: stats.uncoalesced,
+            cpu_busy: hpu.cpu.stats().busy_core_time - cpu_busy0,
+            gpu_busy: hpu.gpu.stats().busy - gpu_busy0,
+            resolved,
+            concurrent: stats.concurrent,
+            levels: level_metrics,
+            drift,
+        }),
+        rstats,
+    )
 }

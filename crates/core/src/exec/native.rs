@@ -181,6 +181,11 @@ impl<T: Element, A: BfAlgorithm<T>> Backend<T, A> for NativeBackend<'_, T> {
     fn recorder(&mut self) -> &mut LevelBook {
         &mut self.book
     }
+
+    fn wait(&mut self, dur: f64) {
+        // Clock unit is microseconds of wall time.
+        std::thread::sleep(std::time::Duration::from_micros(dur.max(0.0) as u64));
+    }
 }
 
 /// Runs `algo` over `data` on real threads; returns the wall-clock time.
@@ -216,7 +221,7 @@ pub fn run_native_report<T: Element, A: BfAlgorithm<T>>(
     let trace = std::mem::take(
         &mut *rec
             .lock()
-            .expect("recorder lock never poisoned while the pool is idle"),
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
     )
     .into_events();
     Ok(NativeReport {

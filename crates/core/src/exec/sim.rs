@@ -445,7 +445,17 @@ impl<T: Element, A: BfAlgorithm<T>> Backend<T, A> for SimBackend<'_, T> {
                 // upload for pure-GPU bands, the GPU share of a split.
                 let region_start = n - words;
                 let t0 = self.hpu.elapsed();
-                let buf_a = self.hpu.upload(&self.data[region_start..])?;
+                let mut buf_a = self.hpu.gpu.alloc::<T>(words)?;
+                if let Err(e) = self
+                    .hpu
+                    .try_upload_into(&mut buf_a, &self.data[region_start..])
+                {
+                    // The host data never left: freeing the buffer leaves
+                    // the backend exactly as before the edge, so the whole
+                    // segment can be retried.
+                    self.hpu.gpu.free(buf_a);
+                    return Err(e.into());
+                }
                 self.book
                     .transfer(chunk, words as u64, t0, self.hpu.elapsed());
                 let buf_b = match self.hpu.gpu.alloc::<T>(words) {
@@ -471,13 +481,18 @@ impl<T: Element, A: BfAlgorithm<T>> Backend<T, A> for SimBackend<'_, T> {
                 };
                 let result = if dev.in_first { &dev.buf_a } else { &dev.buf_b };
                 let g0 = self.hpu.gpu.clock();
-                let out = self.hpu.download(result);
-                self.book
-                    .transfer(chunk, edge.words, g0, self.hpu.gpu.clock());
-                self.data[dev.region_start..].copy_from_slice(&out);
+                let len = result.len();
+                let out = &mut self.data[dev.region_start..dev.region_start + len];
+                let res = self.hpu.try_download_range(result, 0, out);
+                if res.is_ok() {
+                    self.book
+                        .transfer(chunk, edge.words, g0, self.hpu.gpu.clock());
+                }
+                // Freed on both paths: a faulted download leaves the host
+                // data untouched, so a segment retry re-uploads it fresh.
                 self.hpu.gpu.free(dev.buf_a);
                 self.hpu.gpu.free(dev.buf_b);
-                Ok(())
+                res.map_err(Into::into)
             }
         }
     }
@@ -500,6 +515,14 @@ impl<T: Element, A: BfAlgorithm<T>> Backend<T, A> for SimBackend<'_, T> {
 
     fn recorder(&mut self) -> &mut LevelBook {
         &mut self.book
+    }
+
+    fn wait(&mut self, dur: f64) {
+        self.hpu.wait(dur);
+    }
+
+    fn note_recovery(&mut self, start: f64, end: f64, kind: hpu_obs::EventKind) {
+        self.hpu.annotate(hpu_machine::Unit::Cpu, start, end, kind);
     }
 }
 

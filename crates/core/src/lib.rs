@@ -44,8 +44,9 @@ pub use bf::{BfAlgorithm, Element, LevelInfo};
 pub use charge::Charge;
 pub use error::CoreError;
 pub use exec::{
-    interpret, run_native, run_native_report, run_sim, run_sim_plan, Backend, BandStats,
-    InterpretStats, LevelBand, NativeBackend, NativeReport, RunReport, Share, SimBackend, Strategy,
+    interpret, interpret_recover, run_native, run_native_report, run_sim, run_sim_plan,
+    run_sim_plan_recover, Backend, BandStats, InterpretStats, LevelBand, NativeBackend,
+    NativeReport, RecoveryPolicy, RecoveryStats, RunReport, Share, SimBackend, Strategy,
 };
 pub use pool::LevelPool;
 pub use tree::DivideConquer;

@@ -11,7 +11,7 @@
 //! data safe without `'static` bounds.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use hpu_obs::{EventKind, Recorder, Track, WallRecorder};
 
@@ -76,9 +76,11 @@ impl LevelPool {
                 (0.0, 0.0)
             }
             Some(rec) => {
-                let start = rec.lock().unwrap().now_us();
+                // Poison-tolerant: a panicked worker elsewhere must not
+                // wedge the recorder for surviving levels.
+                let start = rec.lock().unwrap_or_else(PoisonError::into_inner).now_us();
                 self.run(tasks);
-                let mut rec = rec.lock().unwrap();
+                let mut rec = rec.lock().unwrap_or_else(PoisonError::into_inner);
                 let end = rec.now_us();
                 rec.record_event(Track::Cpu, start, end, kind);
                 (start, end)
@@ -120,12 +122,15 @@ impl LevelPool {
                     if i >= n {
                         break;
                     }
+                    // Poison-tolerant: if a sibling worker panicked mid-task
+                    // the remaining workers still drain their slots; the
+                    // original panic resurfaces when the scope joins.
                     let task = slots[i]
                         .lock()
-                        .expect("slot lock never poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .take()
                         .expect("each task taken once");
-                    *results[i].lock().expect("result lock never poisoned") = Some(task());
+                    *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(task());
                 });
             }
         });
@@ -133,7 +138,7 @@ impl LevelPool {
             .into_iter()
             .map(|m| {
                 m.into_inner()
-                    .expect("result lock never poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .expect("every task ran")
             })
             .collect()

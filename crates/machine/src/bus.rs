@@ -9,6 +9,8 @@ use std::sync::{Arc, Mutex};
 use hpu_obs::EventKind;
 
 use crate::config::BusConfig;
+use crate::error::MachineError;
+use crate::fault::{FaultInjector, FaultKind};
 use crate::timeline::{Timeline, Unit};
 
 /// Direction of a transfer, for the event log.
@@ -28,6 +30,7 @@ pub struct Bus {
     words: u64,
     total_time: f64,
     timeline: Option<Arc<Mutex<Timeline>>>,
+    faults: Option<Arc<Mutex<FaultInjector>>>,
 }
 
 impl Bus {
@@ -39,6 +42,7 @@ impl Bus {
             words: 0,
             total_time: 0.0,
             timeline: None,
+            faults: None,
         }
     }
 
@@ -46,6 +50,13 @@ impl Bus {
     pub fn with_timeline(mut self, t: Arc<Mutex<Timeline>>) -> Self {
         self.timeline = Some(t);
         self
+    }
+
+    /// Attaches a shared fault injector, consulted by
+    /// [`Bus::try_transfer`] (the plain [`Bus::transfer`] stays
+    /// fault-blind for probe and setup traffic).
+    pub fn attach_faults(&mut self, inj: Arc<Mutex<FaultInjector>>) {
+        self.faults = Some(inj);
     }
 
     /// Cost of transferring `words` words: `λ + δ·w`.
@@ -72,6 +83,50 @@ impl Bus {
             );
         }
         start + dt
+    }
+
+    /// Like [`Bus::transfer`], but consults the attached fault injector
+    /// first. On a transient fault the link handshake (`λ`) is still
+    /// charged — the failure is detected device-side — and the caller
+    /// must advance its clocks by [`Bus::cost`]`(0)`; no data moves. On
+    /// device loss the transfer fails instantly and for good.
+    pub fn try_transfer(
+        &mut self,
+        direction: Direction,
+        words: u64,
+        start: f64,
+    ) -> Result<f64, MachineError> {
+        if let Some(inj) = &self.faults {
+            let (ordinal, fault) = inj.lock().unwrap().on_transfer();
+            match fault {
+                Some(FaultKind::DeviceLost) => {
+                    self.record_fault(start, start, false);
+                    return Err(MachineError::DeviceLost);
+                }
+                Some(FaultKind::TransferError) => {
+                    let dt = self.cfg.lambda;
+                    self.total_time += dt;
+                    self.record_fault(start, start + dt, true);
+                    return Err(MachineError::TransferFault { transfer: ordinal });
+                }
+                _ => {}
+            }
+        }
+        Ok(self.transfer(direction, words, start))
+    }
+
+    fn record_fault(&self, t0: f64, t1: f64, transient: bool) {
+        if let Some(t) = &self.timeline {
+            t.lock().unwrap().record_kind(
+                Unit::Bus,
+                t0,
+                t1,
+                EventKind::Fault {
+                    label: "transfer".to_string(),
+                    transient,
+                },
+            );
+        }
     }
 
     /// Number of transfers performed.

@@ -31,6 +31,33 @@ pub enum MachineError {
         /// Second work-item.
         b: usize,
     },
+    /// An injected transient kernel fault: the launch failed before doing
+    /// any work and may be retried.
+    DeviceFault {
+        /// 0-based launch ordinal that faulted.
+        launch: u64,
+    },
+    /// An injected transient bus fault: the transfer failed before moving
+    /// any data and may be retried.
+    TransferFault {
+        /// 0-based transfer ordinal that faulted.
+        transfer: u64,
+    },
+    /// The device is permanently lost: no launch or transfer will ever
+    /// succeed again on this machine.
+    DeviceLost,
+}
+
+impl MachineError {
+    /// Whether retrying the failed operation can succeed: true for the
+    /// injected transient faults, false for permanent loss and for every
+    /// programming error (retrying a racy kernel stays racy).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MachineError::DeviceFault { .. } | MachineError::TransferFault { .. }
+        )
+    }
 }
 
 impl fmt::Display for MachineError {
@@ -52,6 +79,13 @@ impl fmt::Display for MachineError {
                 f,
                 "work-items {a} and {b} declared overlapping writes in one launch"
             ),
+            MachineError::DeviceFault { launch } => {
+                write!(f, "transient device fault on kernel launch {launch}")
+            }
+            MachineError::TransferFault { transfer } => {
+                write!(f, "transient bus fault on transfer {transfer}")
+            }
+            MachineError::DeviceLost => write!(f, "device permanently lost"),
         }
     }
 }

@@ -32,6 +32,7 @@ use hpu_obs::EventKind;
 
 use crate::config::GpuConfig;
 use crate::error::MachineError;
+use crate::fault::{FaultInjector, FaultKind};
 use crate::timeline::{Timeline, Unit};
 
 /// A typed buffer resident in the device's global memory.
@@ -226,6 +227,7 @@ pub struct SimGpu {
     next_id: u64,
     stats: GpuStats,
     timeline: Option<Arc<Mutex<Timeline>>>,
+    faults: Option<Arc<Mutex<FaultInjector>>>,
 }
 
 impl SimGpu {
@@ -238,6 +240,7 @@ impl SimGpu {
             next_id: 0,
             stats: GpuStats::default(),
             timeline: None,
+            faults: None,
         }
     }
 
@@ -245,6 +248,11 @@ impl SimGpu {
     pub fn with_timeline(mut self, t: Arc<Mutex<Timeline>>) -> Self {
         self.timeline = Some(t);
         self
+    }
+
+    /// Attaches a shared fault injector: every launch consults it.
+    pub fn attach_faults(&mut self, inj: Arc<Mutex<FaultInjector>>) {
+        self.faults = Some(inj);
     }
 
     /// Device configuration.
@@ -342,6 +350,28 @@ impl SimGpu {
     ) -> Result<LaunchStats, MachineError> {
         if n_items == 0 {
             return Err(MachineError::EmptyLaunch);
+        }
+        // Fault injection decides before any work-item runs, so a faulted
+        // launch never mutates device data and a whole-segment retry is
+        // safe. A transient fault still burns the launch overhead; device
+        // loss fails instantly.
+        let mut slowdown = 1.0;
+        if let Some(inj) = &self.faults {
+            let (ordinal, fault) = inj.lock().unwrap().on_launch();
+            match fault {
+                Some(FaultKind::DeviceLost) => {
+                    self.record_fault(label, self.clock, self.clock, false);
+                    return Err(MachineError::DeviceLost);
+                }
+                Some(FaultKind::TransientKernel) => {
+                    let t0 = self.clock;
+                    self.clock += self.cfg.launch_overhead;
+                    self.record_fault(label, t0, self.clock, true);
+                    return Err(MachineError::DeviceFault { launch: ordinal });
+                }
+                Some(FaultKind::Slowdown { factor }) => slowdown = factor.max(1.0),
+                Some(FaultKind::TransferError) | None => {}
+            }
         }
         let lanes = self.cfg.lanes.max(1);
         let penalty = self.cfg.uncoalesced_penalty;
@@ -450,6 +480,7 @@ impl SimGpu {
             }
         }
 
+        time *= slowdown;
         let t0 = self.clock;
         self.clock += time;
         self.stats.launches += 1;
@@ -477,6 +508,20 @@ impl SimGpu {
             coalesced,
             uncoalesced,
         })
+    }
+
+    fn record_fault(&self, label: &str, t0: f64, t1: f64, transient: bool) {
+        if let Some(t) = &self.timeline {
+            t.lock().unwrap().record_kind(
+                Unit::Gpu,
+                t0,
+                t1,
+                EventKind::Fault {
+                    label: label.to_string(),
+                    transient,
+                },
+            );
+        }
     }
 }
 

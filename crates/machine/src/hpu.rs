@@ -24,6 +24,7 @@ use crate::bus::{Bus, Direction};
 use crate::config::MachineConfig;
 use crate::cpu::SimCpu;
 use crate::error::MachineError;
+use crate::fault::FaultInjector;
 use crate::gpu::{DeviceBuffer, SimGpu};
 use crate::timeline::Timeline;
 
@@ -53,6 +54,15 @@ impl SimHpu {
         }
     }
 
+    /// Attaches a shared fault injector to the GPU and bus. Shared so that
+    /// permanent injector state (a lost device) survives across the many
+    /// short-lived machines a serving scheduler builds.
+    pub fn with_faults(mut self, inj: Arc<Mutex<FaultInjector>>) -> Self {
+        self.gpu.attach_faults(inj.clone());
+        self.bus.attach_faults(inj);
+        self
+    }
+
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
@@ -61,6 +71,24 @@ impl SimHpu {
     /// A snapshot of the event log.
     pub fn timeline(&self) -> Timeline {
         self.timeline.lock().unwrap().clone()
+    }
+
+    /// Records an annotation span on a unit's timeline — used by recovery
+    /// layers to mark retries and degradations the units themselves don't
+    /// know about.
+    pub fn annotate(&self, unit: crate::timeline::Unit, start: f64, end: f64, kind: EventKind) {
+        self.timeline
+            .lock()
+            .unwrap()
+            .record_kind(unit, start, end, kind);
+    }
+
+    /// Charges `dur` idle time on both unit clocks starting from the joint
+    /// clock (recovery backoff between retries of a faulted segment).
+    pub fn wait(&mut self, dur: f64) {
+        let t = self.elapsed() + dur.max(0.0);
+        self.cpu.advance_to(t);
+        self.gpu.advance_to(t);
     }
 
     /// Overall virtual time: the later of the two unit clocks.
@@ -111,6 +139,73 @@ impl SimHpu {
             .transfer(Direction::ToGpu, data.len() as u64, start);
         self.cpu.advance_to(end);
         self.gpu.advance_to(end);
+    }
+
+    /// Fallible upload into an existing buffer: like
+    /// [`SimHpu::upload_into`], but consults the fault injector. On a
+    /// fault the device buffer is untouched (the data never left the
+    /// host) and, for a transient fault, both clocks still advance past
+    /// the failed handshake.
+    ///
+    /// # Panics
+    /// Panics if `data` is longer than the buffer.
+    pub fn try_upload_into<T: Clone>(
+        &mut self,
+        buf: &mut DeviceBuffer<T>,
+        data: &[T],
+    ) -> Result<(), MachineError> {
+        let start = self.elapsed();
+        match self
+            .bus
+            .try_transfer(Direction::ToGpu, data.len() as u64, start)
+        {
+            Ok(end) => {
+                buf.data[..data.len()].clone_from_slice(data);
+                self.cpu.advance_to(end);
+                self.gpu.advance_to(end);
+                Ok(())
+            }
+            Err(e) => {
+                if e.is_transient() {
+                    let end = start + self.bus.cost(0);
+                    self.cpu.advance_to(end);
+                    self.gpu.advance_to(end);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Fallible ranged download: like [`SimHpu::download_range`], but
+    /// consults the fault injector. On a fault `out` is untouched (the
+    /// data never reached the host) and, for a transient fault, the
+    /// device clock still advances past the failed handshake.
+    ///
+    /// # Panics
+    /// Panics if `offset + out.len()` exceeds the buffer length.
+    pub fn try_download_range<T: Clone>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        offset: usize,
+        out: &mut [T],
+    ) -> Result<(), MachineError> {
+        let start = self.gpu.clock();
+        match self
+            .bus
+            .try_transfer(Direction::ToCpu, out.len() as u64, start)
+        {
+            Ok(end) => {
+                out.clone_from_slice(&buf.data[offset..offset + out.len()]);
+                self.gpu.advance_to(end);
+                Ok(())
+            }
+            Err(e) => {
+                if e.is_transient() {
+                    self.gpu.advance_to(start + self.bus.cost(0));
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Downloads the buffer contents. The transfer runs on the *device*

@@ -44,6 +44,7 @@ pub mod bus;
 pub mod config;
 pub mod cpu;
 pub mod error;
+pub mod fault;
 pub mod gpu;
 pub mod hpu;
 pub mod timeline;
@@ -53,6 +54,7 @@ pub use bus::Bus;
 pub use config::{BusConfig, CpuConfig, GpuConfig, MachineConfig};
 pub use cpu::{CpuCtx, LevelRun, SimCpu};
 pub use error::MachineError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use gpu::{DeviceBuffer, GpuCtx, LaunchStats, SimGpu};
 pub use hpu::SimHpu;
 pub use hpu_obs::{EventKind, LevelPhase};

@@ -138,6 +138,14 @@ impl Plan {
         }
     }
 
+    /// Whether any segment places work on the device — such a plan is
+    /// exposed to GPU/bus faults and has a CPU-only degradation target.
+    pub fn uses_gpu(&self) -> bool {
+        self.segments
+            .iter()
+            .any(|s| !matches!(s.placement, Placement::Cpu { .. }))
+    }
+
     /// The segment covering a bottom-up executor level, with its index.
     pub fn segment_of(&self, level: u32) -> Option<(usize, &Segment)> {
         self.segments

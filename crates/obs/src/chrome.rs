@@ -133,6 +133,22 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::Transfer { to_gpu, words } => {
             let _ = write!(out, "\"to_gpu\":{to_gpu},\"words\":{words}");
         }
+        EventKind::Fault { transient, .. } => {
+            let _ = write!(out, "\"transient\":{transient}");
+        }
+        EventKind::Retry { attempt, backoff } => {
+            let _ = write!(
+                out,
+                "\"attempt\":{attempt},\"backoff\":{}",
+                fmt_num(*backoff)
+            );
+        }
+        EventKind::BreakerTrip { consecutive } => {
+            let _ = write!(out, "\"consecutive\":{consecutive}");
+        }
+        EventKind::Degraded { job } => {
+            let _ = write!(out, "\"job\":{job}");
+        }
         EventKind::Sync | EventKind::Mark(_) => {}
     }
 }

@@ -89,6 +89,31 @@ pub enum EventKind {
     },
     /// A synchronization barrier: the unit idled until the other caught up.
     Sync,
+    /// An injected or observed device fault (kernel, transfer or loss).
+    Fault {
+        /// What faulted, e.g. the kernel label or `"transfer"`.
+        label: String,
+        /// Whether the fault is transient (retryable) or permanent.
+        transient: bool,
+    },
+    /// A recovery retry of a failed plan segment.
+    Retry {
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Backoff charged before this attempt (same unit as the track).
+        backoff: f64,
+    },
+    /// The GPU circuit breaker tripped: consecutive faults crossed the
+    /// threshold and the device was taken out of rotation.
+    BreakerTrip {
+        /// Consecutive faults observed at the trip.
+        consecutive: u32,
+    },
+    /// A job was degraded to its CPU-only plan after device faults.
+    Degraded {
+        /// Id of the degraded job.
+        job: u64,
+    },
     /// A free-form annotation (legacy string labels land here).
     Mark(String),
 }
@@ -117,6 +142,17 @@ impl fmt::Display for EventKind {
                 write!(f, "{arrow} {words} words")
             }
             EventKind::Sync => write!(f, "sync"),
+            EventKind::Fault { label, transient } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "fault ({kind}) {label}")
+            }
+            EventKind::Retry { attempt, backoff } => {
+                write!(f, "retry #{attempt} after backoff {backoff}")
+            }
+            EventKind::BreakerTrip { consecutive } => {
+                write!(f, "breaker trip ({consecutive} consecutive faults)")
+            }
+            EventKind::Degraded { job } => write!(f, "job {job} degraded to CPU-only"),
             EventKind::Mark(s) => write!(f, "{s}"),
         }
     }
@@ -130,6 +166,10 @@ impl EventKind {
             EventKind::Kernel { .. } => "kernel",
             EventKind::Transfer { .. } => "transfer",
             EventKind::Sync => "sync",
+            EventKind::Fault { .. } => "fault",
+            EventKind::Retry { .. } => "retry",
+            EventKind::BreakerTrip { .. } => "breaker",
+            EventKind::Degraded { .. } => "degraded",
             EventKind::Mark(_) => "mark",
         }
     }

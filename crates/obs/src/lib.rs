@@ -43,5 +43,5 @@ pub use chrome::ChromeTrace;
 pub use drift::{drift_rows, render_drift, LevelDrift};
 pub use event::{EventKind, LevelPhase, Recorder, TraceEvent, Track};
 pub use metrics::{merge_intervals, LevelBook, LevelMetrics};
-pub use serve::{percentile, JobOutcome, JobRecord, ServeReport};
+pub use serve::{percentile, FaultTag, JobOutcome, JobRecord, ServeReport};
 pub use wall::WallRecorder;

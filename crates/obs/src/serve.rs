@@ -8,6 +8,20 @@
 //! µs for native serving); the report only ever forms ratios and
 //! differences, so the unit cancels everywhere it matters.
 
+/// What felled a failed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTag {
+    /// Transient device faults exhausted the retry budget.
+    Transient,
+    /// The device was permanently lost mid-run.
+    DeviceLost,
+    /// A worker closure panicked (native serving).
+    Panic,
+    /// Non-fault failure: the job failed to compile or execute for a
+    /// reason unrelated to fault injection.
+    Error,
+}
+
 /// Terminal state of one submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobOutcome {
@@ -18,7 +32,19 @@ pub enum JobOutcome {
     /// Dropped: its deadline passed (or could not be met) before it ran.
     Cancelled,
     /// Admitted but failed to compile or execute.
-    Failed,
+    Failed {
+        /// What kind of failure ended the job.
+        fault: FaultTag,
+        /// Recovery retries spent before giving up.
+        retries: u32,
+    },
+}
+
+impl JobOutcome {
+    /// Whether the job ended in any `Failed` state.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobOutcome::Failed { .. })
+    }
 }
 
 /// One job's scheduling record.
@@ -44,6 +70,12 @@ pub struct JobRecord {
     /// Whether the job ran on its CPU-only fallback plan because the
     /// device lease was contended.
     pub fallback: bool,
+    /// Recovery retries spent on the job (fault-injected segments that
+    /// were re-executed); 0 on a fault-free path.
+    pub retries: u32,
+    /// Whether the job completed degraded: re-planned to CPU-only
+    /// because the device faulted or its circuit breaker was open.
+    pub degraded: bool,
     /// Calibration generation the job was priced under: 0 before any
     /// drift-triggered replan, `g` after the `g`-th replan. Stays 0 when
     /// the producing scheduler runs without calibration.
@@ -120,6 +152,22 @@ pub struct ServeReport {
     /// Mean `|drift()|` over jobs priced after at least one replan
     /// (`calibration_generation >= 1`); 0 when there are none.
     pub mean_abs_drift_after: f64,
+    /// Device fault events observed during the run (injected kernel and
+    /// transfer faults, device loss). Set by the producing scheduler via
+    /// [`ServeReport::with_fault_counts`]; 0 otherwise.
+    pub fault_events: u64,
+    /// GPU circuit-breaker trips during the run (same provenance as
+    /// `fault_events`).
+    pub breaker_trips: u64,
+    /// Histogram of per-job recovery retries: `retry_histogram[k]` is the
+    /// number of jobs that spent exactly `k` retries. Trailing zeros are
+    /// trimmed; fault-free fleets get `[jobs.len()]`.
+    pub retry_histogram: Vec<usize>,
+    /// Jobs that completed on a degraded (CPU-only) plan.
+    pub completed_degraded: usize,
+    /// Goodput under faults: completed jobs over submitted jobs
+    /// (1.0 for an empty fleet — nothing was lost).
+    pub goodput: f64,
 }
 
 impl ServeReport {
@@ -136,6 +184,29 @@ impl ServeReport {
     pub fn new(jobs: Vec<JobRecord>, cpu_busy: f64, gpu_busy: f64) -> ServeReport {
         let count = |o: JobOutcome| jobs.iter().filter(|j| j.outcome == o).count();
         let completed = count(JobOutcome::Completed);
+        let failed = jobs.iter().filter(|j| j.outcome.is_failed()).count();
+        let completed_degraded = jobs
+            .iter()
+            .filter(|j| j.outcome == JobOutcome::Completed && j.degraded)
+            .count();
+        let mut retry_histogram = vec![
+            0usize;
+            jobs.iter()
+                .map(|j| j.retries as usize + 1)
+                .max()
+                .unwrap_or(0)
+        ];
+        for j in &jobs {
+            retry_histogram[j.retries as usize] += 1;
+        }
+        while retry_histogram.last() == Some(&0) {
+            retry_histogram.pop();
+        }
+        let goodput = if jobs.is_empty() {
+            1.0
+        } else {
+            completed as f64 / jobs.len() as f64
+        };
         let first_arrival = jobs
             .iter()
             .map(|j| j.arrival)
@@ -173,7 +244,7 @@ impl ServeReport {
             completed,
             rejected: count(JobOutcome::QueueFull),
             cancelled: count(JobOutcome::Cancelled),
-            failed: count(JobOutcome::Failed),
+            failed,
             throughput: ratio(completed as f64),
             p50_latency: percentile(&latencies, 50.0),
             p95_latency: percentile(&latencies, 95.0),
@@ -184,8 +255,21 @@ impl ServeReport {
             mean_abs_drift: mean_abs(&drifts),
             mean_abs_drift_before: mean_abs(&gen_drifts(false)),
             mean_abs_drift_after: mean_abs(&gen_drifts(true)),
+            fault_events: 0,
+            breaker_trips: 0,
+            retry_histogram,
+            completed_degraded,
+            goodput,
             jobs,
         }
+    }
+
+    /// Attaches run-level fault counters the records alone cannot carry:
+    /// total injected fault events and circuit-breaker trips.
+    pub fn with_fault_counts(mut self, fault_events: u64, breaker_trips: u64) -> ServeReport {
+        self.fault_events = fault_events;
+        self.breaker_trips = breaker_trips;
+        self
     }
 
     /// Plain-text summary table of the fleet metrics.
@@ -195,7 +279,9 @@ impl ServeReport {
              makespan {:.2} | throughput {:.6}\n\
              latency p50 {:.2} p95 {:.2} p99 {:.2} max {:.2}\n\
              utilization cpu {:.3} gpu {:.3} | mean |drift| {:.4} \
-             (gen0 {:.4} / gen1+ {:.4})\n",
+             (gen0 {:.4} / gen1+ {:.4})\n\
+             faults {} | breaker trips {} | degraded completions {} | \
+             goodput {:.3} | retries {:?}\n",
             self.jobs.len(),
             self.completed,
             self.rejected,
@@ -212,6 +298,11 @@ impl ServeReport {
             self.mean_abs_drift,
             self.mean_abs_drift_before,
             self.mean_abs_drift_after,
+            self.fault_events,
+            self.breaker_trips,
+            self.completed_degraded,
+            self.goodput,
+            self.retry_histogram,
         )
     }
 }
@@ -231,6 +322,8 @@ mod tests {
             predicted: 0.0,
             service: 0.0,
             fallback: false,
+            retries: 0,
+            degraded: false,
             calibration_generation: 0,
         }
     }
@@ -275,7 +368,16 @@ mod tests {
             job(0, JobOutcome::Completed, 0.0, 0.0, 4.0),
             job(1, JobOutcome::QueueFull, 1.0, 1.0, 1.0),
             job(2, JobOutcome::Cancelled, 2.0, 2.0, 2.0),
-            job(3, JobOutcome::Failed, 3.0, 3.0, 3.0),
+            job(
+                3,
+                JobOutcome::Failed {
+                    fault: FaultTag::Error,
+                    retries: 0,
+                },
+                3.0,
+                3.0,
+                3.0,
+            ),
         ];
         let r = ServeReport::new(jobs, 4.0, 0.0);
         assert_eq!(

@@ -150,6 +150,40 @@ impl DeviceArbiter {
         (start, start + cpu_dur.max(gpu_dur).max(0.0))
     }
 
+    /// Releases a committed GPU lease `(start, end)` — the slot becomes
+    /// reusable by later arrivals. Returns whether a matching lease was
+    /// found (the calendar is untouched otherwise).
+    pub fn release_gpu(&mut self, start: f64, end: f64) -> bool {
+        match self
+            .gpu
+            .iter()
+            .position(|&(s, e)| (s - start).abs() <= EPS && (e - end).abs() <= EPS)
+        {
+            Some(i) => {
+                self.gpu.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases a committed CPU reservation `(start, end, cores)`.
+    /// Returns whether a matching reservation was found.
+    pub fn release_cpu(&mut self, start: f64, end: f64, cores: usize) -> bool {
+        let req = cores.clamp(1, self.cores);
+        match self
+            .cpu
+            .iter()
+            .position(|&(s, e, k)| (s - start).abs() <= EPS && (e - end).abs() <= EPS && k == req)
+        {
+            Some(i) => {
+                self.cpu.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Interval-merged GPU busy time across all leases.
     pub fn gpu_busy(&self) -> f64 {
         merge_intervals(&self.gpu)
@@ -236,6 +270,30 @@ mod tests {
         let (s, e) = arb.reserve_pair(0.0, 2.0, 2, 3.0);
         assert_eq!((s, e), (8.0, 11.0));
         assert_eq!(arb.makespan(), 11.0);
+    }
+
+    #[test]
+    fn released_gpu_slot_is_reusable_by_a_later_arrival() {
+        let mut arb = DeviceArbiter::new(4);
+        let (s, e) = arb.reserve_gpu(0.0, 10.0);
+        // A later arrival would have to wait behind the lease...
+        assert_eq!(arb.gpu_slot(0.0, 5.0), 10.0);
+        // ...until the lease's job is cancelled and its slot released.
+        assert!(arb.release_gpu(s, e));
+        assert_eq!(arb.gpu_slot(0.0, 5.0), 0.0);
+        assert_eq!(arb.gpu_busy(), 0.0);
+        // Releasing twice finds nothing.
+        assert!(!arb.release_gpu(s, e));
+    }
+
+    #[test]
+    fn released_cpu_cores_return_to_the_pool() {
+        let mut arb = DeviceArbiter::new(4);
+        let (s, e) = arb.reserve_cpu(0.0, 8.0, 3);
+        assert_eq!(arb.cpu_slot(0.0, 4.0, 2), 8.0);
+        assert!(arb.release_cpu(s, e, 3));
+        assert_eq!(arb.cpu_slot(0.0, 4.0, 2), 0.0);
+        assert!(!arb.release_cpu(s, e, 3));
     }
 
     #[test]

@@ -39,6 +39,22 @@ pub enum ServeError {
         /// The executor-side error.
         source: CoreError,
     },
+    /// A shared lock was found poisoned by a worker panic. The holder's
+    /// state was recovered (poison is cleared, the pool rebuilt) and the
+    /// error recorded so the incident is visible, not silent.
+    Poisoned {
+        /// Which lock was poisoned.
+        context: &'static str,
+    },
+    /// A native worker panicked while running a job. The worker survives
+    /// (the panic is caught at the job boundary) and the job ends
+    /// [`hpu_obs::JobOutcome::Failed`].
+    WorkerPanic {
+        /// Id of the job whose run panicked.
+        job: u64,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// The calibration loop was mis-configured or produced an invalid
     /// correction. Calibration failures never kill jobs: pricing
     /// proceeds with the last valid corrections (or none).
@@ -65,6 +81,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::Run { job, source } => {
                 write!(f, "job {job}: plan failed to execute: {source}")
+            }
+            ServeError::Poisoned { context } => {
+                write!(f, "recovered poisoned lock: {context}")
+            }
+            ServeError::WorkerPanic { job, message } => {
+                write!(f, "job {job}: worker panicked: {message}")
             }
             ServeError::Calibration {
                 job: Some(j),

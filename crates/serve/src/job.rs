@@ -6,7 +6,9 @@
 
 use std::time::Duration;
 
-use hpu_core::exec::{run_native, run_sim_plan, RunReport};
+use hpu_core::exec::{
+    run_native, run_sim_plan, run_sim_plan_recover, RecoveryPolicy, RecoveryStats, RunReport,
+};
 use hpu_core::{bf::num_levels, BfAlgorithm, CoreError, Element, LevelPool};
 use hpu_machine::SimHpu;
 use hpu_model::{Plan, Recurrence};
@@ -28,6 +30,15 @@ pub trait Workload: Send {
     fn exec_levels(&self) -> Result<u32, CoreError>;
     /// Runs the job on a simulated machine under a compiled plan.
     fn run_plan(&mut self, hpu: &mut SimHpu, plan: &Plan) -> Result<RunReport, CoreError>;
+    /// Like [`Workload::run_plan`], retrying faulted segments under
+    /// `policy` (see [`hpu_core::exec::interpret_recover`]); the recovery
+    /// tallies come back even when the run fails.
+    fn run_plan_recover(
+        &mut self,
+        hpu: &mut SimHpu,
+        plan: &Plan,
+        policy: &RecoveryPolicy,
+    ) -> (Result<RunReport, CoreError>, RecoveryStats);
     /// Runs the job on real threads; returns the wall-clock time.
     fn run_native(&mut self, pool: &LevelPool) -> Result<Duration, CoreError>;
 }
@@ -69,6 +80,15 @@ impl<T: Element, A: BfAlgorithm<T> + Send + 'static> Workload for AlgoJob<T, A> 
 
     fn run_plan(&mut self, hpu: &mut SimHpu, plan: &Plan) -> Result<RunReport, CoreError> {
         run_sim_plan(&self.algo, &mut self.data, hpu, plan)
+    }
+
+    fn run_plan_recover(
+        &mut self,
+        hpu: &mut SimHpu,
+        plan: &Plan,
+        policy: &RecoveryPolicy,
+    ) -> (Result<RunReport, CoreError>, RecoveryStats) {
+        run_sim_plan_recover(&self.algo, &mut self.data, hpu, plan, policy)
     }
 
     fn run_native(&mut self, pool: &LevelPool) -> Result<Duration, CoreError> {

@@ -15,12 +15,14 @@
 //! record's `calibration_generation` counts the scale updates that had
 //! landed when the job was priced.
 
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use hpu_core::LevelPool;
+use hpu_core::exec::RecoveryPolicy;
+use hpu_core::{CoreError, LevelPool};
 use hpu_model::{plan_cost, LevelProfile, MachineParams, Plan, ScheduleSpec};
-use hpu_obs::{JobOutcome, JobRecord, ServeReport};
+use hpu_obs::{FaultTag, JobOutcome, JobRecord, ServeReport};
 
 use crate::error::ServeError;
 use crate::job::Workload;
@@ -89,6 +91,35 @@ struct State {
     scale_updates: u64,
 }
 
+/// Locks the shared serving state, recovering from poison: a worker that
+/// panicked outside the catch boundary must not wedge the whole fleet.
+/// Returns whether the lock was found poisoned so the caller can record
+/// the incident.
+fn lock_recover<'a>(m: &'a Mutex<State>) -> (MutexGuard<'a, State>, bool) {
+    match m.lock() {
+        Ok(g) => (g, false),
+        Err(p) => (p.into_inner(), true),
+    }
+}
+
+/// Renders a caught panic payload for the typed error record.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What one attempt at running a job natively produced.
+enum Attempt {
+    Ok,
+    Err(CoreError),
+    Panic(String),
+}
+
 /// Predicted service cost of a job on one worker: its host-only plan
 /// priced for the worker's thread count, in model ops. The *relative*
 /// order is what dispatch needs (shortest-cost-first); the calibration
@@ -127,10 +158,27 @@ pub fn serve_native(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let pool = LevelPool::new(threads_per_worker);
+                let mut pool = LevelPool::new(threads_per_worker);
+                // Without a fault configuration a panic is still caught
+                // and typed, just never retried.
+                let recovery =
+                    serve
+                        .faults
+                        .as_ref()
+                        .map(|f| f.recovery)
+                        .unwrap_or(RecoveryPolicy {
+                            max_retries: 0,
+                            backoff_base: 0.0,
+                            backoff_factor: 1.0,
+                        });
                 loop {
                     let mut job = {
-                        let mut st = state.lock().expect("serve state lock");
+                        let (mut st, poisoned) = lock_recover(&state);
+                        if poisoned {
+                            st.errors.push(ServeError::Poisoned {
+                                context: "native serve state",
+                            });
+                        }
                         loop {
                             if !st.queue.is_empty() {
                                 let ranks: Vec<Rank> = st
@@ -155,13 +203,13 @@ pub fn serve_native(
                             if st.done {
                                 return;
                             }
-                            st = cvar.wait(st).expect("serve state lock");
+                            st = cvar.wait(st).unwrap_or_else(PoisonError::into_inner);
                         }
                     };
                     let start = epoch.elapsed().as_secs_f64() * 1e6;
                     if let Some(dl) = job.deadline_us {
                         if start > dl as f64 {
-                            let mut st = state.lock().expect("serve state lock");
+                            let (mut st, _) = lock_recover(&state);
                             st.errors.push(ServeError::Cancelled {
                                 job: job.id,
                                 deadline: dl as f64,
@@ -176,17 +224,47 @@ pub fn serve_native(
                                 predicted: job.predicted,
                                 service: 0.0,
                                 fallback: false,
+                                retries: 0,
+                                degraded: false,
                                 calibration_generation: job.generation,
                             });
                             continue;
                         }
                     }
-                    let outcome = job.workload.run_native(&pool);
+                    // Panic-safe run: a panicking workload is caught at the
+                    // job boundary, the possibly-poisoned pool rebuilt, and
+                    // the job retried under the backoff policy before it
+                    // surfaces as a typed failure. The worker survives.
+                    let mut retries: u32 = 0;
+                    let attempt = loop {
+                        match catch_unwind(AssertUnwindSafe(|| job.workload.run_native(&pool))) {
+                            Ok(Ok(_)) => break Attempt::Ok,
+                            Ok(Err(e)) => break Attempt::Err(e),
+                            Err(payload) => {
+                                pool = LevelPool::new(threads_per_worker);
+                                if retries < recovery.max_retries {
+                                    let backoff = recovery.backoff_base
+                                        * recovery.backoff_factor.powi(retries as i32);
+                                    if backoff > 0.0 {
+                                        std::thread::sleep(Duration::from_micros(backoff as u64));
+                                    }
+                                    retries += 1;
+                                    continue;
+                                }
+                                break Attempt::Panic(panic_message(payload.as_ref()));
+                            }
+                        }
+                    };
                     let end = epoch.elapsed().as_secs_f64() * 1e6;
-                    let mut st = state.lock().expect("serve state lock");
+                    let (mut st, poisoned) = lock_recover(&state);
+                    if poisoned {
+                        st.errors.push(ServeError::Poisoned {
+                            context: "native serve state",
+                        });
+                    }
                     st.busy.push((start, end));
-                    match outcome {
-                        Ok(_) => {
+                    match attempt {
+                        Attempt::Ok => {
                             if let Some(sm) = smoothing {
                                 let service = end - start;
                                 if job.cost > 0.0 && job.cost.is_finite() && service > 0.0 {
@@ -208,10 +286,12 @@ pub fn serve_native(
                                 predicted: job.predicted,
                                 service: end - start,
                                 fallback: false,
+                                retries,
+                                degraded: false,
                                 calibration_generation: job.generation,
                             });
                         }
-                        Err(e) => {
+                        Attempt::Err(e) => {
                             st.errors.push(ServeError::Run {
                                 job: job.id,
                                 source: e,
@@ -219,13 +299,41 @@ pub fn serve_native(
                             st.records.push(JobRecord {
                                 id: job.id,
                                 name: job.name,
-                                outcome: JobOutcome::Failed,
+                                outcome: JobOutcome::Failed {
+                                    fault: FaultTag::Error,
+                                    retries,
+                                },
                                 arrival: job.arrival,
                                 start,
                                 end,
                                 predicted: job.predicted,
                                 service: 0.0,
                                 fallback: false,
+                                retries,
+                                degraded: false,
+                                calibration_generation: job.generation,
+                            });
+                        }
+                        Attempt::Panic(message) => {
+                            st.errors.push(ServeError::WorkerPanic {
+                                job: job.id,
+                                message,
+                            });
+                            st.records.push(JobRecord {
+                                id: job.id,
+                                name: job.name,
+                                outcome: JobOutcome::Failed {
+                                    fault: FaultTag::Panic,
+                                    retries,
+                                },
+                                arrival: job.arrival,
+                                start,
+                                end,
+                                predicted: job.predicted,
+                                service: 0.0,
+                                fallback: false,
+                                retries,
+                                degraded: false,
                                 calibration_generation: job.generation,
                             });
                         }
@@ -244,7 +352,12 @@ pub fn serve_native(
             }
             let arrival = epoch.elapsed().as_secs_f64() * 1e6;
             let cost = admission_cost(job.workload.as_ref(), threads_per_worker);
-            let mut st = state.lock().expect("serve state lock");
+            let (mut st, poisoned) = lock_recover(&state);
+            if poisoned {
+                st.errors.push(ServeError::Poisoned {
+                    context: "native serve state",
+                });
+            }
             if st.queue.len() >= serve.queue_capacity {
                 st.errors.push(ServeError::QueueFull {
                     job: id as u64,
@@ -261,6 +374,8 @@ pub fn serve_native(
                     predicted: 0.0,
                     service: 0.0,
                     fallback: false,
+                    retries: 0,
+                    degraded: false,
                     calibration_generation: generation,
                 });
                 continue;
@@ -286,13 +401,13 @@ pub fn serve_native(
             drop(st);
             cvar.notify_one();
         }
-        let mut st = state.lock().expect("serve state lock");
+        let (mut st, _) = lock_recover(&state);
         st.done = true;
         drop(st);
         cvar.notify_all();
     });
 
-    let st = state.into_inner().expect("serve state lock");
+    let st = state.into_inner().unwrap_or_else(PoisonError::into_inner);
     let cpu_busy = hpu_obs::merge_intervals(&st.busy);
     let report = ServeReport::new(st.records, cpu_busy, 0.0);
     NativeServeOutput {

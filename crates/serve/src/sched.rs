@@ -35,15 +35,18 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex, PoisonError};
 
-use hpu_core::exec::RunReport;
+use hpu_core::exec::{RecoveryPolicy, RunReport};
 use hpu_core::CoreError;
-use hpu_machine::{MachineConfig, SimHpu, SimMachineParams};
+use hpu_machine::{
+    FaultInjector, FaultPlan, MachineConfig, MachineError, SimHpu, SimMachineParams,
+};
 use hpu_model::{
     compile, plan_cost, Calibration, CalibrationError, Calibrator, CalibratorConfig, LevelProfile,
     MachineParams, ModelError, Observation, Placement, Plan, PlanCost, Recurrence, ScheduleSpec,
 };
-use hpu_obs::{JobOutcome, JobRecord, ServeReport};
+use hpu_obs::{FaultTag, JobOutcome, JobRecord, ServeReport};
 
 use crate::arbiter::{DeviceArbiter, EPS};
 use crate::error::ServeError;
@@ -75,6 +78,9 @@ pub struct ServeConfig {
     /// Closed-loop calibration (see the module docs). `None` — the
     /// default — keeps the open-loop behavior bit for bit.
     pub calibration: Option<CalibratorConfig>,
+    /// Seeded device-fault injection plus the recovery knobs (see
+    /// [`FaultConfig`]). `None` — the default — serves fault-free.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ServeConfig {
@@ -86,7 +92,99 @@ impl Default for ServeConfig {
             cores_per_job: None,
             assumed: None,
             calibration: None,
+            faults: None,
         }
+    }
+}
+
+/// Fault injection and recovery configuration for [`serve_sim`].
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// The seeded fault plan shared by every job's device traffic.
+    pub plan: FaultPlan,
+    /// Per-segment retry/backoff policy for transient faults.
+    pub recovery: RecoveryPolicy,
+    /// Consecutive failed GPU executions (retries exhausted) after which
+    /// the GPU circuit breaker trips: queued GPU jobs degrade to their
+    /// CPU-only shape and new arrivals compile CPU-only. Permanent
+    /// device loss trips the breaker immediately.
+    pub breaker_threshold: u32,
+}
+
+impl FaultConfig {
+    /// A fault configuration with default recovery (3 retries, 16-unit
+    /// doubling backoff) and a breaker tripping after 3 consecutive
+    /// failed GPU executions.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultConfig {
+            plan,
+            recovery: RecoveryPolicy::default(),
+            breaker_threshold: 3,
+        }
+    }
+}
+
+/// Live fault-handling state of one serving run.
+struct FaultState {
+    injector: Arc<Mutex<FaultInjector>>,
+    recovery: RecoveryPolicy,
+    breaker_threshold: u32,
+    consecutive: u32,
+    open: bool,
+    trips: u64,
+    /// A trip happened since the event loop last degraded the queue.
+    pending_trip: bool,
+}
+
+impl FaultState {
+    fn new(cfg: &FaultConfig) -> Self {
+        FaultState {
+            injector: FaultInjector::shared(cfg.plan.clone()),
+            recovery: cfg.recovery,
+            breaker_threshold: cfg.breaker_threshold.max(1),
+            consecutive: 0,
+            open: false,
+            trips: 0,
+            pending_trip: false,
+        }
+    }
+
+    /// Folds the outcome of one GPU-using solo execution into the
+    /// breaker: failures count consecutively, success resets, device
+    /// loss trips immediately.
+    fn on_gpu_result(&mut self, failed: bool, lost: bool) {
+        if !failed {
+            self.consecutive = 0;
+            return;
+        }
+        self.consecutive += 1;
+        if (lost || self.consecutive >= self.breaker_threshold) && !self.open {
+            self.open = true;
+            self.trips += 1;
+            self.pending_trip = true;
+        }
+    }
+
+    fn take_pending_trip(&mut self) -> bool {
+        std::mem::take(&mut self.pending_trip)
+    }
+
+    fn fault_events(&self) -> u64 {
+        self.injector
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .fault_events()
+    }
+}
+
+/// The [`FaultTag`] a machine error surfaces as in a job record.
+fn tag_of(e: &MachineError) -> FaultTag {
+    if e.is_transient() {
+        FaultTag::Transient
+    } else if matches!(e, MachineError::DeviceLost) {
+        FaultTag::DeviceLost
+    } else {
+        FaultTag::Error
     }
 }
 
@@ -192,12 +290,33 @@ struct Variant {
     demands: Vec<SegDemand>,
     report: RunReport,
     obs: Observation,
+    /// Segment retries the solo run needed (0 without faults).
+    retries: u32,
+    /// Whether this shape is a CPU-only degradation of a GPU schedule.
+    degraded: bool,
+}
+
+impl Variant {
+    /// Virtual time of the solo run not covered by per-segment device
+    /// demands: sync waits and retry backoff. The reservation calendars
+    /// only hold the demands, so a job's true completion is its last
+    /// reservation end plus this overhang.
+    fn overhang(&self) -> f64 {
+        let demand: f64 = self.demands.iter().map(|d| d.len()).sum();
+        (self.report.virtual_time - demand).max(0.0)
+    }
 }
 
 fn uses_gpu(v: &Variant) -> bool {
     v.demands
         .iter()
         .any(|d| matches!(d.kind, SegKind::Gpu | SegKind::Split { .. }))
+}
+
+/// Whether a schedule spec asks for the device at all (before compilation
+/// possibly degrades it).
+fn spec_wants_gpu(spec: &ScheduleSpec) -> bool {
+    !matches!(spec, ScheduleSpec::Sequential | ScheduleSpec::CpuParallel)
 }
 
 struct Queued {
@@ -277,6 +396,7 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
     };
     let mut pending: Vec<PendingObs> = Vec::new();
     let mut replans: u64 = 0;
+    let mut fault_state = serve.faults.as_ref().map(FaultState::new);
 
     let mut heap: EventHeap = BinaryHeap::new();
     let mut tick_seq = jobs.len() as u64;
@@ -329,23 +449,42 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
                     cal.calibration(),
                     replans,
                     &mut errors,
+                    fault_state.as_mut(),
                 );
             }
         }
         if let Ev::Arrive(i) = ev {
-            let job = slots[i].take().expect("each arrival fires once");
-            admit(
-                i as u64,
-                job,
-                now,
-                &job_cfg,
-                serve,
-                &mut queue,
-                &mut records,
-                &mut errors,
-                calibrator.as_ref().map(|c| c.calibration()),
-                replans,
-            );
+            // Poison-free by construction: each arrival event fires once,
+            // but a double fire must not panic the scheduler.
+            if let Some(job) = slots[i].take() {
+                admit(
+                    i as u64,
+                    job,
+                    now,
+                    &job_cfg,
+                    serve,
+                    &mut queue,
+                    &mut records,
+                    &mut errors,
+                    calibrator.as_ref().map(|c| c.calibration()),
+                    replans,
+                    fault_state.as_mut(),
+                );
+            }
+        }
+        // A breaker trip during admission or replanning degrades every
+        // still-queued GPU job to its CPU-only shape before dispatch —
+        // the device is off limits until (in this model) forever.
+        if let Some(f) = fault_state.as_mut() {
+            if f.take_pending_trip() {
+                degrade_queue(
+                    &mut queue,
+                    &job_cfg,
+                    serve,
+                    calibrator.as_ref().map(|c| c.calibration()),
+                    &mut errors,
+                );
+            }
         }
         dispatch_all(
             now,
@@ -358,6 +497,7 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
             &mut heap,
             &mut tick_seq,
             calibrator.is_some().then_some(&mut pending),
+            fault_state.is_some(),
         );
     }
     debug_assert!(
@@ -365,7 +505,10 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
         "every queued job reaches a terminal state"
     );
 
-    let report = ServeReport::new(records, arb.cpu_busy(), arb.gpu_busy());
+    let mut report = ServeReport::new(records, arb.cpu_busy(), arb.gpu_busy());
+    if let Some(f) = &fault_state {
+        report = report.with_fault_counts(f.fault_events(), f.trips);
+    }
     ServeOutput {
         report,
         runs,
@@ -384,6 +527,10 @@ fn rejected_record(
     at: f64,
     generation: u64,
 ) -> JobRecord {
+    let retries = match outcome {
+        JobOutcome::Failed { retries, .. } => retries,
+        _ => 0,
+    };
     JobRecord {
         id,
         name: name.to_string(),
@@ -394,6 +541,8 @@ fn rejected_record(
         predicted: 0.0,
         service: 0.0,
         fallback: false,
+        retries,
+        degraded: false,
         calibration_generation: generation,
     }
 }
@@ -422,20 +571,43 @@ fn pricing_params(
 /// job id by the caller).
 enum VariantError {
     Compile(ModelError),
-    Run(CoreError),
+    Run {
+        source: CoreError,
+        /// Segment retries spent before the run was given up on.
+        retries: u32,
+    },
 }
 
 impl VariantError {
     fn into_serve(self, job: u64) -> ServeError {
         match self {
             VariantError::Compile(source) => ServeError::Compile { job, source },
-            VariantError::Run(source) => ServeError::Run { job, source },
+            VariantError::Run { source, .. } => ServeError::Run { job, source },
+        }
+    }
+
+    /// The machine fault behind this failure, if it was one.
+    fn machine_fault(&self) -> Option<&MachineError> {
+        match self {
+            VariantError::Run {
+                source: CoreError::Machine(m),
+                ..
+            } => Some(m),
+            _ => None,
+        }
+    }
+
+    fn retries(&self) -> u32 {
+        match self {
+            VariantError::Run { retries, .. } => *retries,
+            VariantError::Compile(_) => 0,
         }
     }
 }
 
 /// Compiles `spec` under `params`, prices it, and solo-runs it on the
 /// true machine to measure demands and calibration evidence.
+#[allow(clippy::too_many_arguments)]
 fn build_variant(
     workload: &mut dyn Workload,
     spec: &ScheduleSpec,
@@ -444,11 +616,15 @@ fn build_variant(
     rec: &Recurrence,
     n: u64,
     levels: u32,
+    faults: Option<&FaultState>,
 ) -> Result<Variant, VariantError> {
     let plan = compile(spec, params, rec, n, levels).map_err(VariantError::Compile)?;
     let profile = LevelProfile::new(params, rec, n);
     let cost = plan_cost(&profile, &plan).map_err(VariantError::Compile)?;
-    solo(workload, job_cfg, &plan, &cost, params).map_err(VariantError::Run)
+    // CPU-only plans never touch the device: they are structurally immune
+    // to injected faults, so the injector is not attached.
+    let faults = if plan.uses_gpu() { faults } else { None };
+    solo(workload, job_cfg, &plan, &cost, params, faults)
 }
 
 /// Solo-runs the job's plan on a private virtual clock and folds the
@@ -460,9 +636,23 @@ fn solo(
     plan: &Plan,
     cost: &PlanCost,
     params: &MachineParams,
-) -> Result<Variant, CoreError> {
-    let mut hpu = SimHpu::new(job_cfg.clone());
-    let report = workload.run_plan(&mut hpu, plan)?;
+    faults: Option<&FaultState>,
+) -> Result<Variant, VariantError> {
+    let mut hpu = match faults {
+        Some(f) => SimHpu::new(job_cfg.clone()).with_faults(f.injector.clone()),
+        None => SimHpu::new(job_cfg.clone()),
+    };
+    let (result, retries) = match faults {
+        Some(f) => {
+            let (r, rs) = workload.run_plan_recover(&mut hpu, plan, &f.recovery);
+            (r, rs.retries)
+        }
+        None => (workload.run_plan(&mut hpu, plan), 0),
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(source) => return Err(VariantError::Run { source, retries }),
+    };
     let segs = plan.segments.len();
     let mut cpu = vec![0.0; segs];
     let mut gpu = vec![0.0; segs];
@@ -516,6 +706,8 @@ fn solo(
         demands,
         report,
         obs,
+        retries,
+        degraded: false,
     })
 }
 
@@ -531,6 +723,7 @@ fn admit(
     errors: &mut Vec<ServeError>,
     cal: Option<&Calibration>,
     generation: u64,
+    mut faults: Option<&mut FaultState>,
 ) {
     if queue.len() >= serve.queue_capacity {
         errors.push(ServeError::QueueFull {
@@ -547,6 +740,8 @@ fn admit(
         return;
     }
 
+    let failed = |fault: FaultTag, retries: u32| JobOutcome::Failed { fault, retries };
+
     let params = match pricing_params(job_cfg, serve, cal) {
         Ok(p) => p,
         Err(e) => {
@@ -557,7 +752,7 @@ fn admit(
             records.push(rejected_record(
                 id,
                 &job.name,
-                JobOutcome::Failed,
+                failed(FaultTag::Error, 0),
                 now,
                 generation,
             ));
@@ -577,33 +772,87 @@ fn admit(
             records.push(rejected_record(
                 id,
                 &job.name,
-                JobOutcome::Failed,
+                failed(FaultTag::Error, 0),
                 now,
                 generation,
             ));
             return;
         }
     };
+    // With the breaker open the device is off limits: GPU specs compile
+    // straight to their CPU-only degradation, counted as degraded.
+    let breaker_open = faults.as_ref().is_some_and(|f| f.open);
+    let cpu_only = ScheduleSpec::CpuParallel;
+    let spec = if breaker_open { &cpu_only } else { &job.spec };
     let primary = match build_variant(
         job.workload.as_mut(),
-        &job.spec,
+        spec,
         job_cfg,
         &params,
         &rec,
         n,
         levels,
+        faults.as_deref(),
     ) {
-        Ok(v) => v,
+        Ok(mut v) => {
+            if uses_gpu(&v) {
+                if let Some(f) = faults.as_deref_mut() {
+                    f.on_gpu_result(false, false);
+                }
+            } else if breaker_open && spec_wants_gpu(&job.spec) {
+                v.degraded = true;
+            }
+            v
+        }
         Err(e) => {
+            // A device fault that survived the retry budget: feed the
+            // breaker, then re-compile this job segment-granularly to its
+            // CPU-only shape instead of failing it.
+            let Some(m) = e.machine_fault().cloned() else {
+                let retries = e.retries();
+                errors.push(e.into_serve(id));
+                records.push(rejected_record(
+                    id,
+                    &job.name,
+                    failed(FaultTag::Error, retries),
+                    now,
+                    generation,
+                ));
+                return;
+            };
+            let retries = e.retries();
+            let tag = tag_of(&m);
+            if let Some(f) = faults {
+                f.on_gpu_result(true, matches!(m, MachineError::DeviceLost));
+            }
             errors.push(e.into_serve(id));
-            records.push(rejected_record(
-                id,
-                &job.name,
-                JobOutcome::Failed,
-                now,
-                generation,
-            ));
-            return;
+            match build_variant(
+                job.workload.as_mut(),
+                &cpu_only,
+                job_cfg,
+                &params,
+                &rec,
+                n,
+                levels,
+                None,
+            ) {
+                Ok(mut v) => {
+                    v.degraded = true;
+                    v.retries = retries;
+                    v
+                }
+                Err(e2) => {
+                    errors.push(e2.into_serve(id));
+                    records.push(rejected_record(
+                        id,
+                        &job.name,
+                        failed(tag, retries),
+                        now,
+                        generation,
+                    ));
+                    return;
+                }
+            }
         }
     };
     // A GPU-using job also carries its CPU-only shape, so dispatch can
@@ -611,12 +860,13 @@ fn admit(
     let fallback = if serve.cpu_fallback && uses_gpu(&primary) {
         build_variant(
             job.workload.as_mut(),
-            &ScheduleSpec::CpuParallel,
+            &cpu_only,
             job_cfg,
             &params,
             &rec,
             n,
             levels,
+            None,
         )
         .ok()
     } else {
@@ -639,6 +889,12 @@ fn admit(
 /// Re-prices and re-compiles every still-queued job under the corrected
 /// parameters. A job whose re-pricing fails keeps its previous variants —
 /// replanning improves estimates, it must never kill a job.
+///
+/// With the GPU circuit breaker open, GPU specs re-compile straight to
+/// their CPU-only degradation: a replan racing a breaker trip must not
+/// compile (and solo-run) the doomed GPU shape a second time. Only jobs
+/// still in the queue are touched — a cancelled or dispatched job is
+/// already gone and can never be re-admitted by a replan.
 fn replan(
     queue: &mut [Queued],
     job_cfg: &MachineConfig,
@@ -646,7 +902,10 @@ fn replan(
     cal: &Calibration,
     generation: u64,
     errors: &mut Vec<ServeError>,
+    mut faults: Option<&mut FaultState>,
 ) {
+    let breaker_open = faults.as_ref().is_some_and(|f| f.open);
+    let cpu_only = ScheduleSpec::CpuParallel;
     for q in queue.iter_mut() {
         let params = match pricing_params(job_cfg, serve, Some(cal)) {
             Ok(p) => p,
@@ -663,31 +922,114 @@ fn replan(
         let Ok(levels) = q.workload.exec_levels() else {
             continue;
         };
-        if let Ok(v) = build_variant(
+        let spec = if breaker_open { &cpu_only } else { &q.spec };
+        match build_variant(
             q.workload.as_mut(),
-            &q.spec,
+            spec,
             job_cfg,
             &params,
             &rec,
             n,
             levels,
+            faults.as_deref(),
         ) {
-            q.primary = v;
-            q.generation = generation;
-            q.fallback = if serve.cpu_fallback && uses_gpu(&q.primary) {
-                build_variant(
-                    q.workload.as_mut(),
-                    &ScheduleSpec::CpuParallel,
-                    job_cfg,
-                    &params,
-                    &rec,
-                    n,
-                    levels,
-                )
-                .ok()
-            } else {
-                None
-            };
+            Ok(mut v) => {
+                if uses_gpu(&v) {
+                    if let Some(f) = faults.as_deref_mut() {
+                        f.on_gpu_result(false, false);
+                    }
+                } else if breaker_open && spec_wants_gpu(&q.spec) {
+                    v.degraded = true;
+                }
+                v.retries += q.primary.retries;
+                q.primary = v;
+                q.generation = generation;
+                q.fallback = if serve.cpu_fallback && uses_gpu(&q.primary) {
+                    build_variant(
+                        q.workload.as_mut(),
+                        &cpu_only,
+                        job_cfg,
+                        &params,
+                        &rec,
+                        n,
+                        levels,
+                        None,
+                    )
+                    .ok()
+                } else {
+                    None
+                };
+            }
+            Err(e) => {
+                if let Some(m) = e.machine_fault() {
+                    let lost = matches!(m, MachineError::DeviceLost);
+                    q.primary.retries += e.retries();
+                    if let Some(f) = faults.as_deref_mut() {
+                        f.on_gpu_result(true, lost);
+                    }
+                }
+                // Keep the previous variants: replanning never kills a job.
+            }
+        }
+    }
+}
+
+/// Trips the queue onto CPU-only shapes after the GPU circuit breaker
+/// opens: every queued GPU job swaps to its already-measured fallback
+/// variant when it has one (no re-compile — a trip racing a
+/// calibration replan must not price the same job twice) or re-compiles
+/// segment-granularly to `CpuParallel` otherwise.
+fn degrade_queue(
+    queue: &mut [Queued],
+    job_cfg: &MachineConfig,
+    serve: &ServeConfig,
+    cal: Option<&Calibration>,
+    errors: &mut Vec<ServeError>,
+) {
+    for q in queue.iter_mut() {
+        if !uses_gpu(&q.primary) {
+            continue;
+        }
+        let retries = q.primary.retries;
+        if let Some(mut f) = q.fallback.take() {
+            f.degraded = true;
+            f.retries += retries;
+            q.primary = f;
+            continue;
+        }
+        let Ok(params) = pricing_params(job_cfg, serve, cal) else {
+            continue;
+        };
+        let base_rec = q.workload.recurrence();
+        let rec = match cal {
+            Some(c) => c.scale_recurrence(&base_rec),
+            None => base_rec,
+        };
+        let n = q.workload.input_len() as u64;
+        let Ok(levels) = q.workload.exec_levels() else {
+            continue;
+        };
+        match build_variant(
+            q.workload.as_mut(),
+            &ScheduleSpec::CpuParallel,
+            job_cfg,
+            &params,
+            &rec,
+            n,
+            levels,
+            None,
+        ) {
+            Ok(mut v) => {
+                v.degraded = true;
+                v.retries = retries;
+                q.primary = v;
+            }
+            Err(e) => {
+                // The CPU-only shape failing to build is not a device
+                // problem; record it and leave the job as-is — its
+                // measured demands still replay deterministically.
+                errors.push(e.into_serve(q.id));
+            }
         }
     }
 }
@@ -717,27 +1059,54 @@ fn probe(arb: &DeviceArbiter, t0: f64, v: &Variant) -> (f64, f64) {
     (start, t)
 }
 
+/// One committed calendar entry, kept so a cancelled job's slots can be
+/// released back to the arbiter.
+#[derive(Debug, Clone, Copy)]
+enum Resv {
+    Gpu(f64, f64),
+    Cpu(f64, f64, usize),
+}
+
 /// Reserves the variant's segment chain (same placement logic as
 /// [`probe`] — a job's segments occupy disjoint windows, so committing
 /// earlier segments never moves later ones) and schedules a dispatch
-/// retry at every reservation release.
+/// retry at every reservation release. Returns the window plus every
+/// calendar entry made, for release on cancellation.
 fn commit(
     arb: &mut DeviceArbiter,
     heap: &mut EventHeap,
     tick_seq: &mut u64,
     t0: f64,
     v: &Variant,
-) -> (f64, f64) {
+) -> (f64, f64, Vec<Resv>) {
     let mut t = t0;
     let mut start = f64::INFINITY;
+    let mut resvs = Vec::new();
     for d in &v.demands {
         if d.len() <= EPS {
             continue;
         }
         let (s, e) = match d.kind {
-            SegKind::Cpu { cores } => arb.reserve_cpu(t, d.cpu, cores),
-            SegKind::Gpu => arb.reserve_gpu(t, d.gpu),
-            SegKind::Split { cores } => arb.reserve_pair(t, d.cpu, cores, d.gpu),
+            SegKind::Cpu { cores } => {
+                let (s, e) = arb.reserve_cpu(t, d.cpu, cores);
+                resvs.push(Resv::Cpu(s, e, cores));
+                (s, e)
+            }
+            SegKind::Gpu => {
+                let (s, e) = arb.reserve_gpu(t, d.gpu);
+                resvs.push(Resv::Gpu(s, e));
+                (s, e)
+            }
+            SegKind::Split { cores } => {
+                let (s, e) = arb.reserve_pair(t, d.cpu, cores, d.gpu);
+                if d.gpu > EPS {
+                    resvs.push(Resv::Gpu(s, s + d.gpu));
+                }
+                if d.cpu > EPS {
+                    resvs.push(Resv::Cpu(s, s + d.cpu, cores));
+                }
+                (s, e)
+            }
         };
         if start.is_infinite() {
             start = s;
@@ -749,7 +1118,22 @@ fn commit(
     if start.is_infinite() {
         start = t0;
     }
-    (start, t)
+    (start, t, resvs)
+}
+
+/// Releases every calendar entry of a cancelled job back to the arbiter,
+/// so later arrivals can reuse its slots.
+fn release_all(arb: &mut DeviceArbiter, resvs: &[Resv]) {
+    for r in resvs {
+        match *r {
+            Resv::Gpu(s, e) => {
+                arb.release_gpu(s, e);
+            }
+            Resv::Cpu(s, e, k) => {
+                arb.release_cpu(s, e, k);
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -764,6 +1148,7 @@ fn dispatch_all(
     heap: &mut EventHeap,
     tick_seq: &mut u64,
     mut pending: Option<&mut Vec<PendingObs>>,
+    strict_deadlines: bool,
 ) {
     loop {
         if queue.is_empty() {
@@ -829,6 +1214,8 @@ fn dispatch_all(
                     predicted: q.primary.cost,
                     service: 0.0,
                     fallback: false,
+                    retries: q.primary.retries,
+                    degraded: q.primary.degraded,
                     calibration_generation: q.generation,
                 });
             }
@@ -838,12 +1225,49 @@ fn dispatch_all(
             return;
         };
         let q = queue.remove(qi);
-        let v = if fb {
-            q.fallback.expect("fallback chosen implies it exists")
-        } else {
-            q.primary
+        let primary = q.primary;
+        let fallback = q.fallback;
+        // A chosen fallback that vanished (it cannot, but never panic the
+        // scheduler over it) degrades gracefully to the primary shape.
+        let (v, fb) = match (fb, fallback) {
+            (true, Some(f)) => (f, true),
+            (true, None) => (primary, false),
+            (false, p_or_f) => {
+                drop(p_or_f);
+                (primary, false)
+            }
         };
-        let (start, end) = commit(arb, heap, tick_seq, now, &v);
+        let (start, end, resvs) = commit(arb, heap, tick_seq, now, &v);
+        // Deadline-aware straggler cancellation (fault mode only): the
+        // calendars only hold per-segment device demands, so a job whose
+        // solo run carried overhang (retry backoff, straggler slowdown
+        // waits) really finishes later than its last reservation. If that
+        // true completion misses the deadline, cancel now and hand the
+        // slots back.
+        if let Some(dl) = q.deadline.filter(|_| strict_deadlines) {
+            if end + v.overhang() > dl + EPS {
+                release_all(arb, &resvs);
+                errors.push(ServeError::Cancelled {
+                    job: q.id,
+                    deadline: dl,
+                });
+                records.push(JobRecord {
+                    id: q.id,
+                    name: q.name,
+                    outcome: JobOutcome::Cancelled,
+                    arrival: q.arrival,
+                    start: now,
+                    end: now,
+                    predicted: v.cost,
+                    service: 0.0,
+                    fallback: fb,
+                    retries: v.retries,
+                    degraded: v.degraded,
+                    calibration_generation: q.generation,
+                });
+                continue;
+            }
+        }
         for other in queue.iter_mut() {
             if other.id < q.id {
                 other.skips += 1;
@@ -872,6 +1296,8 @@ fn dispatch_all(
             predicted: v.cost,
             service: v.report.virtual_time,
             fallback: fb,
+            retries: v.retries,
+            degraded: v.degraded,
             calibration_generation: q.generation,
         });
         runs.push(JobRun {

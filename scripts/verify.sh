@@ -19,6 +19,18 @@ else
     echo "proptest dependency not vendored; skipping (tests/randomized.rs covers the same properties)"
 fi
 
+echo "== chaos (fault-injection suite, three seeds) =="
+# The suite reads CHAOS_SEED (default 42); sweeping a few fixed seeds
+# catches seed-dependent regressions in the recovery paths.
+for seed in 42 7 1234; do
+    CHAOS_SEED=$seed cargo test -q --test chaos
+done
+# Smoke the degradation CSV: goodput must be present and the run fault-free
+# at rate 0.
+cargo run -q --release -p hpu-bench --bin repro -- chaos \
+    --jobs 8 --rates 0,0.2 --backend sim --seed 42 \
+    | grep -q '^sim,0,8,8,' || { echo "chaos CSV smoke failed"; exit 1; }
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

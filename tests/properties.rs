@@ -18,8 +18,14 @@ use hpu_algos::mergesort::gpu_parallel_mergesort;
 use hpu_algos::scan::{scan_reference, DcScan};
 use hpu_algos::sum::DcSum;
 use hpu_core::exec::Strategy as Sched;
+use hpu_machine::FaultPlan;
 use hpu_model::advanced::AdvancedSolver;
-use hpu_serve::{dispatch_order, DeviceArbiter, Policy, Rank};
+use hpu_model::ScheduleSpec;
+use hpu_obs::JobOutcome;
+use hpu_serve::{
+    dispatch_order, serve_sim, AlgoJob, DeviceArbiter, FaultConfig, JobRequest, Policy, Rank,
+    ServeConfig,
+};
 
 /// Pads to the next power of two with `u32::MAX` sentinels (sorted to the
 /// end), the standard trick for the framework's power-of-two requirement.
@@ -263,6 +269,66 @@ proptest! {
                 .map(|&(_, _, k)| k)
                 .sum();
             prop_assert!(used <= cores, "{used} cores used of {cores} at {s}");
+        }
+    }
+
+    #[test]
+    fn serving_under_faults_accounts_for_every_job(
+        jobs in 2usize..8,
+        kernel in 0.0f64..0.5,
+        transfer in 0.0f64..0.3,
+        loss in prop::option::of(5u64..60),
+        seed in any::<u64>(),
+    ) {
+        // Whatever faults are injected — transient kernel/transfer faults
+        // at arbitrary rates, optionally a permanent device loss — the
+        // scheduler must account for every submission exactly once with a
+        // typed terminal state, and a transient-only plan must lose no
+        // job at all (retries or CPU-only degradation absorb everything).
+        let mut plan = FaultPlan::new(seed)
+            .with_kernel_rate(kernel)
+            .with_transfer_rate(transfer);
+        if let Some(at) = loss {
+            plan = plan.with_device_loss_at(at);
+        }
+        let transient_only = plan.is_transient_only();
+        let serve = ServeConfig {
+            queue_capacity: jobs,
+            faults: Some(FaultConfig::new(plan)),
+            ..ServeConfig::default()
+        };
+        let fleet: Vec<JobRequest> = (0..jobs)
+            .map(|i| {
+                let n = 256usize << (i % 2);
+                let spec = match i % 3 {
+                    0 => ScheduleSpec::Basic { crossover: Some(4) },
+                    1 => ScheduleSpec::GpuOnly,
+                    _ => ScheduleSpec::CpuParallel,
+                };
+                let data: Vec<u32> = (0..n as u32).rev().collect();
+                JobRequest::new(
+                    format!("sort-{i}"),
+                    spec,
+                    i as f64 * 500.0,
+                    AlgoJob::boxed(MergeSort::new(), data),
+                )
+            })
+            .collect();
+        let out = serve_sim(&small_machine(), &serve, fleet);
+        let mut ids: Vec<u64> = out.report.jobs.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), jobs, "one record per submission");
+        for r in &out.report.jobs {
+            prop_assert!(matches!(
+                r.outcome,
+                JobOutcome::Completed | JobOutcome::Failed { .. } | JobOutcome::Cancelled
+            ));
+        }
+        let r = &out.report;
+        prop_assert_eq!(r.completed + r.failed + r.cancelled + r.rejected, jobs);
+        if transient_only {
+            prop_assert_eq!(r.completed, jobs, "transient-only faults must lose no job");
         }
     }
 

@@ -9,8 +9,14 @@ use hpu_algos::max_subarray::{max_subarray_reference, to_segments, MaxSubarray};
 use hpu_algos::mergesort::gpu_parallel_mergesort;
 use hpu_algos::scan::{scan_reference, DcScan};
 use hpu_core::exec::Strategy as Sched;
+use hpu_machine::FaultPlan;
 use hpu_model::advanced::AdvancedSolver;
-use hpu_serve::{dispatch_order, DeviceArbiter, Policy, Rank};
+use hpu_model::ScheduleSpec;
+use hpu_obs::JobOutcome;
+use hpu_serve::{
+    dispatch_order, serve_sim, AlgoJob, DeviceArbiter, FaultConfig, JobRequest, Policy, Rank,
+    ServeConfig,
+};
 
 /// splitmix64 — same finalizer as `hpu_bench::SplitMix64`, inlined here so
 /// the root test suite does not depend on the bench crate.
@@ -332,6 +338,79 @@ fn arbiter_probes_and_commits_agree() {
             assert!(
                 used <= cores,
                 "seed {seed}: {used} cores used of {cores} at {s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn serving_under_faults_accounts_for_every_job() {
+    // Mirror of the proptest property: whatever faults are injected —
+    // transient kernel/transfer faults at arbitrary rates, optionally a
+    // permanent device loss — the scheduler must account for every
+    // submission exactly once with a typed terminal state, and a
+    // transient-only plan must lose no job at all.
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let jobs = 2 + rng.below(6) as usize;
+        let kernel = rng.below(500) as f64 / 1000.0;
+        let transfer = rng.below(300) as f64 / 1000.0;
+        let loss = (rng.below(2) == 1).then(|| 5 + rng.below(55));
+        let mut plan = FaultPlan::new(seed)
+            .with_kernel_rate(kernel)
+            .with_transfer_rate(transfer);
+        if let Some(at) = loss {
+            plan = plan.with_device_loss_at(at);
+        }
+        let transient_only = plan.is_transient_only();
+        let serve = ServeConfig {
+            queue_capacity: jobs,
+            faults: Some(FaultConfig::new(plan)),
+            ..ServeConfig::default()
+        };
+        let fleet: Vec<JobRequest> = (0..jobs)
+            .map(|i| {
+                let n = 256usize << (i % 2);
+                let spec = match i % 3 {
+                    0 => ScheduleSpec::Basic { crossover: Some(4) },
+                    1 => ScheduleSpec::GpuOnly,
+                    _ => ScheduleSpec::CpuParallel,
+                };
+                let data: Vec<u32> = (0..n as u32).rev().collect();
+                JobRequest::new(
+                    format!("sort-{i}"),
+                    spec,
+                    i as f64 * 500.0,
+                    AlgoJob::boxed(MergeSort::new(), data),
+                )
+            })
+            .collect();
+        let out = serve_sim(&small_machine(), &serve, fleet);
+        let mut ids: Vec<u64> = out.report.jobs.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs, "seed {seed}: one record per submission");
+        for r in &out.report.jobs {
+            assert!(
+                matches!(
+                    r.outcome,
+                    JobOutcome::Completed | JobOutcome::Failed { .. } | JobOutcome::Cancelled
+                ),
+                "seed {seed}: job {} ended untyped: {:?}",
+                r.id,
+                r.outcome
+            );
+        }
+        let r = &out.report;
+        assert_eq!(
+            r.completed + r.failed + r.cancelled + r.rejected,
+            jobs,
+            "seed {seed}: outcomes must partition the fleet"
+        );
+        if transient_only {
+            assert_eq!(
+                r.completed, jobs,
+                "seed {seed}: transient-only faults must lose no job"
             );
         }
     }
