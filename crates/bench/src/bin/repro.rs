@@ -8,6 +8,8 @@
 //! repro calibrate [--jobs N] [--gamma-skew K] [--seed S] [--out DIR]
 //! repro chaos [--jobs N] [--rates R,R,...] [--backend sim|native|both]
 //!             [--seed S] [--out DIR]
+//! repro perf [--label L] [--quick] [--seed S] [--out DIR]
+//! repro perf --compare OLD NEW [--threshold T] [--smoke]
 //!
 //! EXPERIMENT: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             ablation-coalescing ablation-schedule extension-workloads
@@ -41,6 +43,16 @@
 //!             completed job in completion order — the abs_drift column is
 //!             the convergence curve (CSV lands in DIR/calibrate.csv with
 //!             --out); defaults: 24 jobs, seed 42
+//! perf        run the pinned perf matrix (admission latency, native
+//!             throughput, interpret-vs-direct overhead, plan-compile
+//!             time, serve goodput) and write a schema-versioned
+//!             BENCH_<label>.json snapshot to --out (default `.`); with
+//!             --compare, diff two snapshots instead and exit 1 when any
+//!             metric moved in its bad direction by more than --threshold
+//!             (relative, default 0.15) — --smoke only checks schema and
+//!             metric presence, for noisy CI runners
+//!
+//! Every mode accepts --help; unknown flags exit with status 2.
 //! ```
 
 use std::io::Write;
@@ -137,8 +149,67 @@ fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Validates a subcommand's argument list against its flag table:
+/// `flags` maps each accepted flag to the number of values it consumes.
+/// `--help`/`-h` print `usage` and exit 0; anything not in the table
+/// (flag or stray positional) prints `usage` to stderr and exits 2.
+fn validate_flags(rest: &[String], flags: &[(&str, usize)], usage: &str) {
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i].as_str();
+        if a == "--help" || a == "-h" {
+            println!("{usage}");
+            std::process::exit(0);
+        }
+        match flags.iter().find(|(f, _)| *f == a) {
+            Some((flag, arity)) => {
+                if i + arity >= rest.len() {
+                    eprintln!("{flag} expects {arity} value(s)\n{usage}");
+                    std::process::exit(2);
+                }
+                i += 1 + arity;
+            }
+            None => {
+                eprintln!("unknown argument: {a}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+const SERVE_USAGE: &str = "usage: repro serve [--jobs N] [--rates R,R,...] \
+[--backend sim|native|both] [--seed S] [--out DIR]";
+const CHAOS_USAGE: &str = "usage: repro chaos [--jobs N] [--rates P,P,...] \
+[--backend sim|native|both] [--seed S] [--out DIR]  (rates are fault probabilities in [0,1])";
+const CALIBRATE_USAGE: &str =
+    "usage: repro calibrate [--jobs N] [--gamma-skew K] [--seed S] [--out DIR]";
+const PERF_USAGE: &str = "usage: repro perf [--label L] [--quick] [--seed S] [--out DIR]
+       repro perf --compare OLD NEW [--threshold T] [--smoke]
+
+Runs the pinned perf matrix and writes BENCH_<label>.json (label defaults
+to `dev`, --out to `.`), or diffs two snapshots and exits 1 when any
+metric regressed past --threshold (relative, default 0.15). --smoke only
+checks schema and metric presence.";
+const TOP_USAGE: &str = "usage: repro [EXPERIMENT ...] [--full] [--out DIR] [--trace DIR]
+       repro plan EXPERIMENT [...] [--full] [--out DIR]
+       repro serve|chaos|calibrate|perf [--help]
+
+EXPERIMENT: table1 table2 fig3..fig10 ablation-coalescing
+            ablation-schedule extension-workloads all (default: all)";
+
 /// `repro serve [--jobs N] [--rates R,..] [--backend B] [--seed S] [--out DIR]`.
 fn serve_mode(rest: &[String]) {
+    validate_flags(
+        rest,
+        &[
+            ("--jobs", 1),
+            ("--rates", 1),
+            ("--backend", 1),
+            ("--seed", 1),
+            ("--out", 1),
+        ],
+        SERVE_USAGE,
+    );
     let jobs: usize = flag_value(rest, "--jobs")
         .map(|v| v.parse().expect("--jobs takes an integer"))
         .unwrap_or(32);
@@ -173,6 +244,17 @@ fn serve_mode(rest: &[String]) {
 
 /// `repro chaos [--jobs N] [--rates R,..] [--backend B] [--seed S] [--out DIR]`.
 fn chaos_mode(rest: &[String]) {
+    validate_flags(
+        rest,
+        &[
+            ("--jobs", 1),
+            ("--rates", 1),
+            ("--backend", 1),
+            ("--seed", 1),
+            ("--out", 1),
+        ],
+        CHAOS_USAGE,
+    );
     let jobs: usize = flag_value(rest, "--jobs")
         .map(|v| v.parse().expect("--jobs takes an integer"))
         .unwrap_or(16);
@@ -211,6 +293,16 @@ fn chaos_mode(rest: &[String]) {
 
 /// `repro calibrate [--jobs N] [--gamma-skew K] [--seed S] [--out DIR]`.
 fn calibrate_mode(rest: &[String]) {
+    validate_flags(
+        rest,
+        &[
+            ("--jobs", 1),
+            ("--gamma-skew", 1),
+            ("--seed", 1),
+            ("--out", 1),
+        ],
+        CALIBRATE_USAGE,
+    );
     let jobs: usize = flag_value(rest, "--jobs")
         .map(|v| v.parse().expect("--jobs takes an integer"))
         .unwrap_or(24);
@@ -232,6 +324,73 @@ fn calibrate_mode(rest: &[String]) {
     }
 }
 
+/// `repro perf [--label L] [--quick] [--seed S] [--out DIR]` or
+/// `repro perf --compare OLD NEW [--threshold T] [--smoke]`.
+fn perf_mode(rest: &[String]) {
+    validate_flags(
+        rest,
+        &[
+            ("--label", 1),
+            ("--quick", 0),
+            ("--seed", 1),
+            ("--out", 1),
+            ("--compare", 2),
+            ("--threshold", 1),
+            ("--smoke", 0),
+        ],
+        PERF_USAGE,
+    );
+    if let Some(i) = rest.iter().position(|a| a == "--compare") {
+        let old_path = &rest[i + 1];
+        let new_path = &rest[i + 2];
+        let threshold: f64 = flag_value(rest, "--threshold")
+            .map(|v| v.parse().expect("--threshold takes a number"))
+            .unwrap_or(0.15);
+        let smoke = rest.iter().any(|a| a == "--smoke");
+        let read = |path: &str| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            hpu_bench::PerfSnapshot::parse(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let old = read(old_path);
+        let new = read(new_path);
+        match hpu_bench::compare(&old, &new, threshold, smoke) {
+            Ok(deltas) => {
+                print!("{}", hpu_bench::render_deltas(&deltas));
+                let regressed = deltas.iter().filter(|d| d.regressed).count();
+                if regressed > 0 {
+                    eprintln!("{regressed} metric(s) regressed past threshold {threshold}");
+                    std::process::exit(1);
+                }
+                println!("no regressions ({} metric(s) compared)", deltas.len());
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let label = flag_value(rest, "--label").unwrap_or("dev");
+    let quick = rest.iter().any(|a| a == "--quick");
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let out_dir = flag_value(rest, "--out").unwrap_or(".");
+    let snap = hpu_bench::collect_perf(label, quick, seed);
+    let json = snap.to_json();
+    println!("{json}");
+    std::fs::create_dir_all(out_dir).expect("create --out directory");
+    let path = format!("{out_dir}/BENCH_{label}.json");
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH snapshot");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
@@ -245,6 +404,20 @@ fn main() {
     if args.first().map(String::as_str) == Some("chaos") {
         chaos_mode(&args[1..]);
         return;
+    }
+    if args.first().map(String::as_str) == Some("perf") {
+        perf_mode(&args[1..]);
+        return;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{TOP_USAGE}");
+        return;
+    }
+    for a in &args {
+        if a.starts_with("--") && !["--full", "--out", "--trace"].contains(&a.as_str()) {
+            eprintln!("unknown argument: {a}\n{TOP_USAGE}");
+            std::process::exit(2);
+        }
     }
     let full = args.iter().any(|a| a == "--full");
     let out_dir = args

@@ -12,11 +12,13 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod perf;
 pub mod serving;
 pub mod timing;
 pub mod workload;
 
 pub use chaos::chaos_sweep;
 pub use experiments::*;
+pub use perf::{collect_perf, compare, render_deltas, Delta, PerfSnapshot, PERF_SCHEMA};
 pub use serving::{calibrate_sweep, serve_fleet, ServeBackend};
 pub use workload::{uniform_input, SplitMix64};

@@ -1,0 +1,524 @@
+//! The continuous perf trajectory: a pinned workload matrix distilled
+//! into one schema-versioned snapshot per run, plus a comparator that
+//! diffs two snapshots and fails on configurable regression thresholds.
+//!
+//! [`collect_perf`] runs the matrix — simulated serving (admission
+//! latency, plan-compile time, launch-overhead share, sampled straight
+//! from the live [`MetricsRegistry`]), chaos goodput, native serving
+//! throughput, and the plan interpreter's wall-clock overhead against a
+//! direct breadth-first loop — and returns a [`PerfSnapshot`].
+//! Snapshots serialize to `BENCH_<label>.json`; [`compare`] is
+//! direction-aware (latency must not grow, throughput must not shrink)
+//! so a committed baseline plus the comparator turns every CI run into a
+//! point on the repo's perf trajectory.
+//!
+//! Virtual-time metrics (admission latency, goodput, overhead shares)
+//! are deterministic per seed; wall-clock metrics (native throughput,
+//! interpreter overhead) are best-of-k and inherently noisy — gate them
+//! with generous thresholds, or `smoke` mode which only checks shape.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use hpu_algos::mergesort::MergeSort;
+use hpu_core::charge::NullCharge;
+use hpu_core::exec::run_native_report;
+use hpu_core::{BfAlgorithm, LevelPool};
+use hpu_machine::MachineConfig;
+use hpu_obs::json::Json;
+use hpu_obs::{MetricValue, MetricsRegistry};
+use hpu_serve::{serve_native, serve_sim, JobRequest, NativeJobRequest, ServeConfig};
+
+use crate::serving::{exp_gap, job_mix, native_reference_us, sim_reference_time};
+use crate::workload::{uniform_input, SplitMix64};
+use crate::ServeBackend;
+
+/// Current snapshot schema version. Bump when a metric is renamed,
+/// removed, or changes meaning; the comparator refuses to diff across
+/// versions.
+pub const PERF_SCHEMA: u32 = 1;
+
+/// Direction table: `(metric, higher_is_better)`. Metrics absent here
+/// default to lower-is-better.
+const DIRECTIONS: &[(&str, bool)] = &[
+    ("admission_latency_p50", false),
+    ("admission_latency_p99", false),
+    ("serve_latency_p50", false),
+    ("serve_latency_p99", false),
+    ("plan_compile_p50_us", false),
+    ("launch_overhead_share", false),
+    ("interpret_overhead_ratio", false),
+    ("native_throughput_jobs_per_s", true),
+    ("serve_goodput", true),
+];
+
+/// Whether a growth in `metric` is an improvement (true) or a
+/// regression (false).
+pub fn higher_is_better(metric: &str) -> bool {
+    DIRECTIONS
+        .iter()
+        .find(|(m, _)| *m == metric)
+        .map(|(_, up)| *up)
+        .unwrap_or(false)
+}
+
+/// One schema-versioned point on the perf trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfSnapshot {
+    /// Snapshot schema version ([`PERF_SCHEMA`] at creation).
+    pub schema: u32,
+    /// Free-form label (e.g. `"seed"`, a branch name, a commit).
+    pub label: String,
+    /// Whether the quick (CI-sized) matrix produced this snapshot.
+    pub quick: bool,
+    /// The workload seed.
+    pub seed: u64,
+    /// Metric name → value, sorted by name.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl PerfSnapshot {
+    /// Serializes the snapshot as stable, pinned-field-order JSON.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":{},\"label\":{},\"quick\":{},\"seed\":{},\"metrics\":{{",
+            self.schema,
+            json_str(&self.label),
+            self.quick,
+            self.seed
+        );
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(k), fmt_f64(*v));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a snapshot back from [`PerfSnapshot::to_json`] output.
+    pub fn parse(s: &str) -> Result<PerfSnapshot, String> {
+        let v = Json::parse(s)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_f64)
+            .ok_or("missing schema field")? as u32;
+        let label = v
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("missing label field")?
+            .to_string();
+        let quick = v
+            .get("quick")
+            .and_then(Json::as_bool)
+            .ok_or("missing quick field")?;
+        let seed = v
+            .get("seed")
+            .and_then(Json::as_f64)
+            .ok_or("missing seed field")? as u64;
+        let Some(Json::Obj(fields)) = v.get("metrics") else {
+            return Err("missing metrics object".to_string());
+        };
+        let mut metrics = BTreeMap::new();
+        for (k, mv) in fields {
+            let x = mv
+                .as_f64()
+                .ok_or_else(|| format!("metric {k} is not a number"))?;
+            metrics.insert(k.clone(), x);
+        }
+        Ok(PerfSnapshot {
+            schema,
+            label,
+            quick,
+            seed,
+            metrics,
+        })
+    }
+}
+
+/// One metric's movement between two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// New value (NaN when the metric vanished from the new snapshot).
+    pub new: f64,
+    /// Signed relative change `(new - old) / old` (0 when `old` is 0).
+    pub rel_change: f64,
+    /// Whether this movement trips the regression gate.
+    pub regressed: bool,
+}
+
+/// Diffs `new` against the `old` baseline. A metric regresses when it
+/// moves in its bad direction (see [`higher_is_better`]) by more than
+/// `threshold` (relative), or when it vanished from `new`. With
+/// `smoke` set, magnitude is ignored — only schema compatibility and
+/// metric presence gate, which is what CI wants on shared noisy runners.
+/// Snapshots of different schema versions refuse to diff.
+pub fn compare(
+    old: &PerfSnapshot,
+    new: &PerfSnapshot,
+    threshold: f64,
+    smoke: bool,
+) -> Result<Vec<Delta>, String> {
+    if old.schema != new.schema {
+        return Err(format!(
+            "schema mismatch: baseline v{} vs new v{} — regenerate the baseline",
+            old.schema, new.schema
+        ));
+    }
+    let mut deltas = Vec::new();
+    for (metric, &ov) in &old.metrics {
+        let Some(&nv) = new.metrics.get(metric) else {
+            deltas.push(Delta {
+                metric: metric.clone(),
+                old: ov,
+                new: f64::NAN,
+                rel_change: f64::NAN,
+                regressed: true,
+            });
+            continue;
+        };
+        let rel = if ov != 0.0 { (nv - ov) / ov } else { 0.0 };
+        let bad = if higher_is_better(metric) { -rel } else { rel };
+        deltas.push(Delta {
+            metric: metric.clone(),
+            old: ov,
+            new: nv,
+            rel_change: rel,
+            regressed: !smoke && bad > threshold,
+        });
+    }
+    Ok(deltas)
+}
+
+/// Renders comparator output as a fixed-width table, one line per
+/// metric, regressions marked.
+pub fn render_deltas(deltas: &[Delta]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for d in deltas {
+        let mark = if d.regressed { "REGRESSED" } else { "ok" };
+        let _ = writeln!(
+            out,
+            "{:<32} {:>14.6} -> {:>14.6}  {:>+8.2}%  {}",
+            d.metric,
+            d.old,
+            d.new,
+            d.rel_change * 100.0,
+            mark
+        );
+    }
+    out
+}
+
+/// Runs the pinned workload matrix and returns the snapshot. `quick`
+/// shrinks sizes to CI scale (a few seconds); the full matrix uses
+/// larger native inputs for steadier wall-clock numbers.
+pub fn collect_perf(label: &str, quick: bool, seed: u64) -> PerfSnapshot {
+    let mut metrics = BTreeMap::new();
+    sim_serve_metrics(quick, seed, &mut metrics);
+    metrics.insert("serve_goodput".to_string(), chaos_goodput(quick, seed));
+    metrics.insert(
+        "native_throughput_jobs_per_s".to_string(),
+        native_throughput(quick, seed),
+    );
+    metrics.insert(
+        "interpret_overhead_ratio".to_string(),
+        interpret_overhead(quick, seed),
+    );
+    PerfSnapshot {
+        schema: PERF_SCHEMA,
+        label: label.to_string(),
+        quick,
+        seed,
+        metrics,
+    }
+}
+
+/// Simulated serving at offered load 1 with the live registry attached:
+/// admission latency, fleet latency, plan-compile time and the
+/// launch-overhead share all read off the metrics snapshot. Virtual
+/// time — deterministic per seed.
+fn sim_serve_metrics(quick: bool, seed: u64, out: &mut BTreeMap<String, f64>) {
+    let jobs = if quick { 12 } else { 32 };
+    let cfg = MachineConfig::hpu1_sim();
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let serve = ServeConfig {
+        metrics: Some(registry.clone()),
+        ..ServeConfig::default()
+    };
+    let solo = sim_reference_time(&cfg, &ServeConfig::default(), seed);
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0.0;
+    let fleet: Vec<JobRequest> = (0..jobs)
+        .map(|i| {
+            let (name, spec, workload) = job_mix(i, seed);
+            t += exp_gap(&mut rng, solo);
+            JobRequest::new(name, spec, t, workload)
+        })
+        .collect();
+    let _ = serve_sim(&cfg, &serve, fleet);
+    let snap = registry.snapshot();
+    let hist = |name: &str| match snap.get(name) {
+        Some(MetricValue::Histogram(h)) => Some(*h),
+        _ => None,
+    };
+    if let Some(h) = hist("serve.admission_wait") {
+        out.insert("admission_latency_p50".to_string(), h.p50);
+        out.insert("admission_latency_p99".to_string(), h.p99);
+    }
+    if let Some(h) = hist("serve.latency") {
+        out.insert("serve_latency_p50".to_string(), h.p50);
+        out.insert("serve_latency_p99".to_string(), h.p99);
+    }
+    if let Some(h) = hist("model.compile_ns") {
+        out.insert("plan_compile_p50_us".to_string(), h.p50 / 1e3);
+    }
+    if let (Some(lo), Some(seg)) = (
+        hist("interpret.launch_overhead"),
+        hist("interpret.segment_time"),
+    ) {
+        if seg.sum > 0.0 {
+            out.insert("launch_overhead_share".to_string(), lo.sum / seg.sum);
+        }
+    }
+}
+
+/// Chaos goodput at a pinned fault rate on the simulated backend.
+/// Deterministic per seed.
+fn chaos_goodput(quick: bool, seed: u64) -> f64 {
+    let jobs = if quick { 8 } else { 16 };
+    let csv = crate::chaos_sweep(jobs, &[0.2], ServeBackend::Sim, seed);
+    csv.rows[0][11].parse().unwrap_or(0.0)
+}
+
+/// Completed jobs per wall-clock second on the native fleet.
+fn native_throughput(quick: bool, seed: u64) -> f64 {
+    let jobs = if quick { 6 } else { 16 };
+    let serve = ServeConfig::default();
+    let solo_us = native_reference_us(&serve, 2, seed);
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0.0;
+    let fleet: Vec<NativeJobRequest> = (0..jobs)
+        .map(|i| {
+            let (name, _, workload) = job_mix(i, seed);
+            t += exp_gap(&mut rng, solo_us);
+            NativeJobRequest::new(name, t as u64, workload)
+        })
+        .collect();
+    let out = serve_native(&serve, 2, 2, fleet);
+    let makespan_s = (out.report.makespan / 1e6).max(1e-9);
+    out.report.completed as f64 / makespan_s
+}
+
+/// Wall-clock ratio of the plan-interpreted native run over a direct
+/// breadth-first loop on the same single-threaded pool: ≥ 1, and the
+/// closer to 1 the cheaper the interpreter. Best of 3.
+fn interpret_overhead(quick: bool, seed: u64) -> f64 {
+    let n = if quick { 1 << 13 } else { 1 << 17 };
+    let algo = MergeSort::new();
+    let pool = LevelPool::new(1);
+    let interpreted = best_of(3, || {
+        let mut data = uniform_input(n, seed);
+        run_native_report(&algo, &mut data, &pool).expect("native run succeeds");
+    });
+    let direct = best_of(3, || {
+        let mut data = uniform_input(n, seed);
+        direct_mergesort(&algo, &mut data);
+    });
+    interpreted / direct.max(1e-9)
+}
+
+/// Best-of-k wall time of `f`, in seconds.
+fn best_of(k: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..k {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The interpreter-free baseline: the same breadth-first level loop the
+/// native backend runs, inlined without plans, books or recorders.
+fn direct_mergesort(algo: &impl BfAlgorithm<u32>, data: &mut [u32]) {
+    let n = data.len();
+    let base = algo.base_chunk();
+    let a = algo.branching();
+    for c in data.chunks_mut(base) {
+        algo.base_case(c, &mut NullCharge);
+    }
+    let mut scratch = vec![0u32; n];
+    let mut src_is_data = true;
+    let mut chunk = base.saturating_mul(a);
+    while chunk <= n {
+        if src_is_data {
+            for (s, d) in data.chunks(chunk).zip(scratch.chunks_mut(chunk)) {
+                algo.combine(s, d, &mut NullCharge);
+            }
+        } else {
+            for (s, d) in scratch.chunks(chunk).zip(data.chunks_mut(chunk)) {
+                algo.combine(s, d, &mut NullCharge);
+            }
+        }
+        src_is_data = !src_is_data;
+        chunk = chunk.saturating_mul(a);
+    }
+    if !src_is_data {
+        data.copy_from_slice(&scratch);
+    }
+}
+
+/// Formats an f64 as JSON (non-finite values collapse to `0`).
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// JSON string escaping (quotes the result).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(metrics: &[(&str, f64)]) -> PerfSnapshot {
+        PerfSnapshot {
+            schema: PERF_SCHEMA,
+            label: "test".to_string(),
+            quick: true,
+            seed: 42,
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips() {
+        let snap = snapshot(&[("admission_latency_p50", 123.456), ("serve_goodput", 0.875)]);
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"schema\":1,\"label\":\"test\""));
+        let back = PerfSnapshot::parse(&json).expect("parses back");
+        assert_eq!(back, snap);
+    }
+
+    /// Acceptance: the comparator flags an injected synthetic regression.
+    #[test]
+    fn comparator_flags_injected_regression() {
+        let old = snapshot(&[
+            ("admission_latency_p50", 100.0),
+            ("native_throughput_jobs_per_s", 50.0),
+        ]);
+        // Latency up 50%, throughput down 40%: both bad directions.
+        let new = snapshot(&[
+            ("admission_latency_p50", 150.0),
+            ("native_throughput_jobs_per_s", 30.0),
+        ]);
+        let deltas = compare(&old, &new, 0.10, false).unwrap();
+        assert!(deltas.iter().all(|d| d.regressed), "{deltas:?}");
+        // The reverse movement is an improvement, not a regression.
+        let deltas = compare(&new, &old, 0.10, false).unwrap();
+        assert!(deltas.iter().all(|d| !d.regressed), "{deltas:?}");
+    }
+
+    #[test]
+    fn small_moves_within_threshold_pass() {
+        let old = snapshot(&[("serve_latency_p99", 100.0)]);
+        let new = snapshot(&[("serve_latency_p99", 104.0)]);
+        let deltas = compare(&old, &new, 0.05, false).unwrap();
+        assert!(!deltas[0].regressed);
+    }
+
+    #[test]
+    fn missing_metric_regresses_even_in_smoke_mode() {
+        let old = snapshot(&[("serve_goodput", 1.0)]);
+        let new = snapshot(&[]);
+        let deltas = compare(&old, &new, 0.1, true).unwrap();
+        assert!(deltas[0].regressed);
+        assert!(deltas[0].new.is_nan());
+    }
+
+    #[test]
+    fn smoke_mode_ignores_magnitude() {
+        let old = snapshot(&[("serve_latency_p99", 1.0)]);
+        let new = snapshot(&[("serve_latency_p99", 1000.0)]);
+        let deltas = compare(&old, &new, 0.01, true).unwrap();
+        assert!(!deltas[0].regressed);
+    }
+
+    #[test]
+    fn schema_mismatch_refuses_to_diff() {
+        let old = snapshot(&[("serve_goodput", 1.0)]);
+        let mut new = old.clone();
+        new.schema = PERF_SCHEMA + 1;
+        assert!(compare(&old, &new, 0.1, false).is_err());
+    }
+
+    /// The quick matrix produces every pinned metric, with sane values.
+    #[test]
+    fn quick_matrix_covers_every_metric() {
+        let snap = collect_perf("test", true, 42);
+        assert_eq!(snap.schema, PERF_SCHEMA);
+        for (metric, _) in DIRECTIONS {
+            assert!(
+                snap.metrics.contains_key(*metric),
+                "matrix must emit {metric}; got {:?}",
+                snap.metrics.keys().collect::<Vec<_>>()
+            );
+        }
+        assert!(snap.metrics["admission_latency_p50"] >= 0.0);
+        assert!(snap.metrics["admission_latency_p99"] >= snap.metrics["admission_latency_p50"]);
+        assert!(snap.metrics["serve_goodput"] > 0.0 && snap.metrics["serve_goodput"] <= 1.0);
+        assert!(snap.metrics["native_throughput_jobs_per_s"] > 0.0);
+        assert!(snap.metrics["plan_compile_p50_us"] > 0.0);
+        assert!(snap.metrics["interpret_overhead_ratio"] > 0.0);
+    }
+
+    /// Virtual-time metrics are bit-for-bit deterministic per seed
+    /// (plan-compile time is wall-clock and exempt).
+    #[test]
+    fn sim_metrics_are_deterministic() {
+        let mut a = BTreeMap::new();
+        let mut b = BTreeMap::new();
+        sim_serve_metrics(true, 42, &mut a);
+        sim_serve_metrics(true, 42, &mut b);
+        a.remove("plan_compile_p50_us");
+        b.remove("plan_compile_p50_us");
+        assert_eq!(a, b);
+        assert_eq!(chaos_goodput(true, 42), chaos_goodput(true, 42));
+    }
+
+    #[test]
+    fn direct_mergesort_actually_sorts() {
+        let algo = MergeSort::new();
+        let mut data = uniform_input(1 << 10, 7);
+        direct_mergesort(&algo, &mut data);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -266,6 +266,77 @@ pub fn calibrate_sweep(jobs: usize, gamma_skew: f64, seed: u64) -> Csv {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpu_obs::JobOutcome;
+
+    fn rec(
+        id: u64,
+        outcome: JobOutcome,
+        (arrival, start, end): (f64, f64, f64),
+        predicted: f64,
+        service: f64,
+    ) -> JobRecord {
+        JobRecord {
+            id,
+            name: format!("job-{id}"),
+            outcome,
+            arrival,
+            start,
+            end,
+            predicted,
+            service,
+            fallback: false,
+            retries: 0,
+            degraded: false,
+            calibration_generation: 0,
+        }
+    }
+
+    /// Golden serialization of one serving CSV row: a hand-built
+    /// [`ServeReport`] with exactly known percentiles, utilizations and
+    /// drift renders to a pinned string — any column addition, reorder or
+    /// format change must update this test.
+    #[test]
+    fn serve_csv_row_renders_golden() {
+        // Latencies 2, 4, 8: the report's streaming histogram puts p50 in
+        // the log-bucket holding 4 (rendering as 4.0436, within one bucket
+        // width of exact) and clamps p95/p99 to the exact max 8. Drifts
+        // 0.5, 0.5, 0.25 → mean 0.4167. Makespan 10, so the throughput is
+        // 0.3 and busy times 6 / 2.5 become 0.6 / 0.25.
+        let jobs = vec![
+            rec(0, JobOutcome::Completed, (0.0, 0.5, 2.0), 1.0, 1.5),
+            rec(1, JobOutcome::Completed, (1.0, 2.0, 5.0), 2.0, 3.0),
+            rec(2, JobOutcome::Completed, (2.0, 5.0, 10.0), 4.0, 5.0),
+            rec(3, JobOutcome::QueueFull, (3.0, 3.0, 3.0), 0.0, 0.0),
+        ];
+        let report = ServeReport::new(jobs, 6.0, 2.5);
+        let csv = Csv {
+            name: "serve",
+            header: vec![
+                "backend",
+                "rate",
+                "submitted",
+                "completed",
+                "rejected",
+                "cancelled",
+                "failed",
+                "throughput",
+                "p50_latency",
+                "p95_latency",
+                "p99_latency",
+                "max_latency",
+                "cpu_util",
+                "gpu_util",
+                "mean_abs_drift",
+            ],
+            rows: vec![report_row("sim", 0.5, 4, &report)],
+        };
+        assert_eq!(
+            csv.render(),
+            "backend,rate,submitted,completed,rejected,cancelled,failed,throughput,\
+             p50_latency,p95_latency,p99_latency,max_latency,cpu_util,gpu_util,mean_abs_drift\n\
+             sim,0.5,4,3,1,0,0,0.300000,4.0436,8.0000,8.0000,8.0000,0.6000,0.2500,0.4167\n"
+        );
+    }
 
     #[test]
     fn sim_rows_are_deterministic_per_seed() {

@@ -136,3 +136,205 @@ fn calibrate_rejects_a_nonsense_skew() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("--gamma-skew"), "stderr: {stderr}");
 }
+
+#[test]
+fn every_mode_answers_help_with_exit_zero() {
+    for (args, needle) in [
+        (vec!["--help"], "usage: repro"),
+        (vec!["serve", "--help"], "usage: repro serve"),
+        (vec!["chaos", "--help"], "usage: repro chaos"),
+        (vec!["calibrate", "--help"], "usage: repro calibrate"),
+        (vec!["perf", "--help"], "usage: repro perf"),
+        (vec!["perf", "-h"], "usage: repro perf"),
+    ] {
+        let output = repro().args(&args).output().expect("run repro");
+        assert!(
+            output.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains(needle),
+            "{args:?} help missing {needle:?}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn help_lists_seed_and_out_flags() {
+    for mode in ["serve", "chaos", "calibrate", "perf"] {
+        let output = repro().args([mode, "--help"]).output().expect("run repro");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains("--seed"),
+            "{mode} help misses --seed: {stdout}"
+        );
+        assert!(
+            stdout.contains("--out"),
+            "{mode} help misses --out: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn unknown_flags_exit_two_with_usage() {
+    for args in [
+        vec!["serve", "--bogus"],
+        vec!["chaos", "--nope", "3"],
+        vec!["calibrate", "--jbos", "4"],
+        vec!["perf", "--labell", "x"],
+        vec!["--frobnicate"],
+    ] {
+        let output = repro().args(&args).output().expect("run repro");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{args:?} must exit 2: {}",
+            String::from_utf8_lossy(&output.stdout)
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(stderr.contains("unknown argument"), "{args:?}: {stderr}");
+        assert!(
+            stderr.contains("usage:"),
+            "{args:?} must echo usage: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn valued_flag_without_value_exits_two() {
+    let output = repro()
+        .args(["serve", "--jobs"])
+        .output()
+        .expect("run repro");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("expects"));
+}
+
+#[test]
+fn perf_compare_gates_on_exit_code() {
+    let base = scratch("perf-compare");
+    std::fs::create_dir_all(&base).unwrap();
+    let snap = |latency: f64| {
+        format!(
+            "{{\"schema\":1,\"label\":\"t\",\"quick\":true,\"seed\":1,\
+             \"metrics\":{{\"serve_latency_p99\":{latency}}}}}"
+        )
+    };
+    let old = base.join("base.json");
+    let good = base.join("good.json");
+    let bad = base.join("bad.json");
+    std::fs::write(&old, snap(100.0)).unwrap();
+    std::fs::write(&good, snap(101.0)).unwrap();
+    std::fs::write(&bad, snap(200.0)).unwrap();
+
+    let ok = repro()
+        .args([
+            "perf",
+            "--compare",
+            old.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro perf");
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("no regressions"));
+
+    // An injected 2x latency regression fails the gate with exit 1.
+    let fail = repro()
+        .args([
+            "perf",
+            "--compare",
+            old.to_str().unwrap(),
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro perf");
+    assert_eq!(fail.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&fail.stdout).contains("REGRESSED"));
+
+    // Smoke mode ignores magnitude, so the same pair passes.
+    let smoke = repro()
+        .args([
+            "perf",
+            "--compare",
+            old.to_str().unwrap(),
+            bad.to_str().unwrap(),
+            "--smoke",
+        ])
+        .output()
+        .expect("run repro perf");
+    assert!(
+        smoke.status.success(),
+        "{}",
+        String::from_utf8_lossy(&smoke.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn perf_quick_writes_schema_versioned_snapshot() {
+    let base = scratch("perf-quick");
+    let output = repro()
+        .args([
+            "perf",
+            "--quick",
+            "--label",
+            "citest",
+            "--seed",
+            "7",
+            "--out",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro perf");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let path = base.join("BENCH_citest.json");
+    let text = std::fs::read_to_string(&path).expect("snapshot written");
+    let snap = hpu_bench::PerfSnapshot::parse(&text).expect("snapshot parses");
+    assert_eq!(snap.schema, hpu_bench::PERF_SCHEMA);
+    assert_eq!(snap.label, "citest");
+    assert!(snap.quick);
+    assert_eq!(snap.seed, 7);
+    for metric in [
+        "admission_latency_p50",
+        "admission_latency_p99",
+        "native_throughput_jobs_per_s",
+        "interpret_overhead_ratio",
+        "plan_compile_p50_us",
+        "serve_goodput",
+    ] {
+        assert!(
+            snap.metrics.contains_key(metric),
+            "snapshot misses {metric}"
+        );
+    }
+
+    // A self-comparison is regression-free by construction.
+    let cmp = repro()
+        .args([
+            "perf",
+            "--compare",
+            path.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro perf");
+    assert!(
+        cmp.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cmp.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -10,7 +10,7 @@
 //! slot in the same way.
 
 use hpu_model::{Direction, Placement, Plan, Segment, Transfer};
-use hpu_obs::{EventKind, LevelBook};
+use hpu_obs::{EventKind, LevelBook, MetricsRegistry};
 
 use crate::bf::{BfAlgorithm, Element};
 use crate::error::CoreError;
@@ -103,6 +103,20 @@ pub trait Backend<T: Element, A: BfAlgorithm<T>> {
     /// Records a recovery annotation span (retry, degradation) on the
     /// substrate's trace, if it keeps one. Default: dropped.
     fn note_recovery(&mut self, _start: f64, _end: f64, _kind: EventKind) {}
+
+    /// The live metrics registry the interpreter samples per-segment
+    /// timings into, when the caller attached one. Default: none — all
+    /// sampling is skipped.
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        None
+    }
+
+    /// Cumulative `(kernel launches, launch-overhead time)` on the
+    /// substrate's device, so the interpreter can attribute per-segment
+    /// deltas. Default: zeros (substrates without a device model).
+    fn launch_totals(&self) -> (u64, f64) {
+        (0, 0.0)
+    }
 }
 
 /// Aggregated outcome of interpreting a plan.
@@ -246,28 +260,50 @@ fn run_segment<T: Element, A: BfAlgorithm<T>, B: Backend<T, A>>(
         .transfers
         .iter()
         .filter(|t| t.direction == Direction::ToCpu);
+    // Per-segment attribution for the live registry: everything is a
+    // delta between clock (or launch-counter) reads around the backend
+    // calls, so an unattached registry costs two no-op calls.
+    let seg_t0 = backend.now();
+    let (launches0, launch_time0) = backend.launch_totals();
     match &seg.placement {
         Placement::Cpu { cores } => {
+            let t0 = backend.cpu_clock();
             backend.run_level_band(algo, &band, &Share::Cpu { cores: *cores })?;
+            let dt = backend.cpu_clock() - t0;
+            if let Some(m) = backend.metrics() {
+                m.observe("interpret.cpu_band_time", dt);
+            }
         }
         Placement::Gpu => {
+            let t0 = backend.now();
             for t in uploads {
                 backend.transfer(algo, t)?;
             }
+            let up = backend.now() - t0;
+            let k0 = backend.gpu_clock();
             let st = backend.run_level_band(algo, &band, &Share::Gpu)?;
+            let kernel = backend.gpu_clock() - k0;
             stats.coalesced += st.coalesced;
             stats.uncoalesced += st.uncoalesced;
+            let t1 = backend.now();
             for t in downloads {
                 backend.transfer(algo, t)?;
             }
+            let down = backend.now() - t1;
             backend.sync();
+            if let Some(m) = backend.metrics() {
+                m.observe("interpret.transfer_time", up + down);
+                m.observe("interpret.kernel_time", kernel);
+            }
         }
         Placement::Split {
             cpu_tasks, tasks, ..
         } => {
+            let t0 = backend.now();
             for t in uploads {
                 backend.transfer(algo, t)?;
             }
+            let up = backend.now() - t0;
             // The concurrent phase starts once both units hold their
             // shares; the device's share ends with its transfer back.
             let t_fork = backend.now();
@@ -290,6 +326,22 @@ fn run_segment<T: Element, A: BfAlgorithm<T>, B: Backend<T, A>>(
             let cpu_phase = backend.cpu_clock() - t_fork;
             backend.sync();
             stats.concurrent = Some((cpu_phase, gpu_phase));
+            if let Some(m) = backend.metrics() {
+                m.observe("interpret.transfer_time", up);
+                m.observe("interpret.kernel_time", gpu_phase);
+                m.observe("interpret.cpu_band_time", cpu_phase);
+            }
+        }
+    }
+    let seg_dt = backend.now() - seg_t0;
+    let (launches1, launch_time1) = backend.launch_totals();
+    if let Some(m) = backend.metrics() {
+        m.observe("interpret.segment_time", seg_dt);
+        m.inc("interpret.segments", 1);
+        let dl = launches1.saturating_sub(launches0);
+        if dl > 0 {
+            m.inc("interpret.gpu_launches", dl);
+            m.observe("interpret.launch_overhead", launch_time1 - launch_time0);
         }
     }
     Ok(())

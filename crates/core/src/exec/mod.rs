@@ -184,7 +184,20 @@ pub fn run_sim_plan<T: Element, A: BfAlgorithm<T>>(
     hpu: &mut SimHpu,
     plan: &hpu_model::Plan,
 ) -> Result<RunReport, CoreError> {
-    run_sim_plan_inner(algo, data, hpu, plan, None).0
+    run_sim_plan_inner(algo, data, hpu, plan, None, None).0
+}
+
+/// Runs an already-compiled `plan` like [`run_sim_plan`], sampling
+/// per-segment interpreter timings (kernel, transfer, launch-overhead)
+/// into `metrics` when one is attached.
+pub fn run_sim_plan_metered<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    hpu: &mut SimHpu,
+    plan: &hpu_model::Plan,
+    metrics: Option<std::sync::Arc<hpu_obs::MetricsRegistry>>,
+) -> Result<RunReport, CoreError> {
+    run_sim_plan_inner(algo, data, hpu, plan, None, metrics).0
 }
 
 /// Runs an already-compiled `plan` like [`run_sim_plan`], retrying faulted
@@ -198,7 +211,20 @@ pub fn run_sim_plan_recover<T: Element, A: BfAlgorithm<T>>(
     plan: &hpu_model::Plan,
     policy: &RecoveryPolicy,
 ) -> (Result<RunReport, CoreError>, RecoveryStats) {
-    run_sim_plan_inner(algo, data, hpu, plan, Some(policy))
+    run_sim_plan_inner(algo, data, hpu, plan, Some(policy), None)
+}
+
+/// [`run_sim_plan_recover`] with an optional live metrics registry, for
+/// callers that want recovery *and* interpreter sampling.
+pub fn run_sim_plan_recover_metered<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    hpu: &mut SimHpu,
+    plan: &hpu_model::Plan,
+    policy: &RecoveryPolicy,
+    metrics: Option<std::sync::Arc<hpu_obs::MetricsRegistry>>,
+) -> (Result<RunReport, CoreError>, RecoveryStats) {
+    run_sim_plan_inner(algo, data, hpu, plan, Some(policy), metrics)
 }
 
 fn run_sim_plan_inner<T: Element, A: BfAlgorithm<T>>(
@@ -207,6 +233,7 @@ fn run_sim_plan_inner<T: Element, A: BfAlgorithm<T>>(
     hpu: &mut SimHpu,
     plan: &hpu_model::Plan,
     policy: Option<&RecoveryPolicy>,
+    metrics: Option<std::sync::Arc<hpu_obs::MetricsRegistry>>,
 ) -> (Result<RunReport, CoreError>, RecoveryStats) {
     let mut rstats = RecoveryStats::default();
     let levels = match num_levels(algo, data.len()) {
@@ -242,6 +269,9 @@ fn run_sim_plan_inner<T: Element, A: BfAlgorithm<T>>(
 
     let book = LevelBook::new(algo.base_chunk() as u64, algo.branching() as u64);
     let mut backend = SimBackend::new(hpu, data, book);
+    if let Some(m) = metrics {
+        backend = backend.with_metrics(m);
+    }
     let run = match policy {
         Some(p) => {
             let (r, rs) = interpret_recover(plan, algo, &mut backend, p);

@@ -45,6 +45,7 @@ pub struct NativeBackend<'a, T: Element> {
     scratch: Vec<T>,
     book: LevelBook,
     start: Instant,
+    metrics: Option<Arc<hpu_obs::MetricsRegistry>>,
 }
 
 impl<'a, T: Element> NativeBackend<'a, T> {
@@ -59,7 +60,15 @@ impl<'a, T: Element> NativeBackend<'a, T> {
             scratch: vec![T::default(); n],
             book,
             start: Instant::now(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a live metrics registry the interpreter samples
+    /// per-segment wall timings (µs) into.
+    pub fn with_metrics(mut self, metrics: Arc<hpu_obs::MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Consumes the backend and returns the filled metrics book.
@@ -185,6 +194,10 @@ impl<T: Element, A: BfAlgorithm<T>> Backend<T, A> for NativeBackend<'_, T> {
     fn wait(&mut self, dur: f64) {
         // Clock unit is microseconds of wall time.
         std::thread::sleep(std::time::Duration::from_micros(dur.max(0.0) as u64));
+    }
+
+    fn metrics(&self) -> Option<&hpu_obs::MetricsRegistry> {
+        self.metrics.as_deref()
     }
 }
 

@@ -267,6 +267,7 @@ pub struct SimBackend<'a, T: Element> {
     scratch: Vec<T>,
     device: Option<DeviceState<T>>,
     book: LevelBook,
+    metrics: Option<std::sync::Arc<hpu_obs::MetricsRegistry>>,
 }
 
 impl<'a, T: Element> SimBackend<'a, T> {
@@ -279,7 +280,15 @@ impl<'a, T: Element> SimBackend<'a, T> {
             scratch: Vec::new(),
             device: None,
             book,
+            metrics: None,
         }
+    }
+
+    /// Attaches a live metrics registry the interpreter samples
+    /// per-segment timings into.
+    pub fn with_metrics(mut self, metrics: std::sync::Arc<hpu_obs::MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Consumes the backend and returns the filled metrics book.
@@ -523,6 +532,16 @@ impl<T: Element, A: BfAlgorithm<T>> Backend<T, A> for SimBackend<'_, T> {
 
     fn note_recovery(&mut self, start: f64, end: f64, kind: hpu_obs::EventKind) {
         self.hpu.annotate(hpu_machine::Unit::Cpu, start, end, kind);
+    }
+
+    fn metrics(&self) -> Option<&hpu_obs::MetricsRegistry> {
+        self.metrics.as_deref()
+    }
+
+    fn launch_totals(&self) -> (u64, f64) {
+        let launches = self.hpu.gpu.stats().launches;
+        let overhead = self.hpu.gpu.config().launch_overhead;
+        (launches, launches as f64 * overhead)
     }
 }
 

@@ -62,6 +62,8 @@ pub use cost::CostFn;
 pub use error::ModelError;
 pub use levels::LevelProfile;
 pub use params::MachineParams;
-pub use plan::{compile, Direction, Placement, Plan, ScheduleSpec, Segment, Transfer};
+pub use plan::{
+    compile, compile_timed, Direction, Placement, Plan, ScheduleSpec, Segment, Transfer,
+};
 pub use prediction::{plan_cost, predict_levels, LevelPrediction, PlanCost, SegmentCost};
 pub use recurrence::Recurrence;

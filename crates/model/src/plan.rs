@@ -164,6 +164,26 @@ impl Plan {
     }
 }
 
+/// [`compile`] with wall-clock sampling: the elapsed time is recorded
+/// into `metrics` as the `model.compile_ns` histogram (plus a
+/// `model.compiles` counter), so serving fleets can watch
+/// plan-compilation cost — part of every job's admission latency —
+/// through the live registry.
+pub fn compile_timed(
+    spec: &ScheduleSpec,
+    machine: &MachineParams,
+    rec: &Recurrence,
+    n: u64,
+    exec_levels: u32,
+    metrics: &hpu_obs::MetricsRegistry,
+) -> Result<Plan, ModelError> {
+    let t0 = std::time::Instant::now();
+    let result = compile(spec, machine, rec, n, exec_levels);
+    metrics.observe("model.compile_ns", t0.elapsed().as_nanos() as f64);
+    metrics.inc("model.compiles", 1);
+    result
+}
+
 /// Compiles a schedule into an executable [`Plan`] for input size `n` with
 /// `exec_levels` bottom-up combine levels.
 ///

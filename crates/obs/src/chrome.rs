@@ -10,6 +10,8 @@
 //! time unit to one microsecond — relative span layout is what matters.
 
 use crate::event::{EventKind, TraceEvent, Track};
+use crate::span::SpanKind;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Builder for a multi-process Chrome trace.
@@ -57,6 +59,15 @@ impl ChromeTrace {
                     &track.to_string(),
                 );
             }
+            // Span index for flow arrows: id -> (tid, start) within this
+            // process, so a child span can point back at its parent.
+            let span_at: HashMap<u64, (u32, f64)> = events
+                .iter()
+                .filter_map(|ev| match &ev.kind {
+                    EventKind::Span { id, .. } => Some((*id, (ev.track.tid(), ev.start))),
+                    _ => None,
+                })
+                .collect();
             for ev in events {
                 if !first {
                     out.push(',');
@@ -74,6 +85,35 @@ impl ChromeTrace {
                 );
                 push_args(&mut out, &ev.kind);
                 out.push_str("}}");
+                // A parented span gets a flow arrow from its parent's
+                // start to its own: a "s"/"f" pair bound by a flow id
+                // unique across processes.
+                if let EventKind::Span {
+                    id,
+                    parent: Some(p),
+                    ..
+                } = &ev.kind
+                {
+                    if let Some(&(ptid, pstart)) = span_at.get(p) {
+                        let flow = pid as u64 * 1_000_000 + id;
+                        let _ = write!(
+                            out,
+                            ",{{\"name\":\"span-dep\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\"ts\":{},\"pid\":{},\"tid\":{}}}",
+                            flow,
+                            fmt_num(pstart),
+                            pid,
+                            ptid,
+                        );
+                        let _ = write!(
+                            out,
+                            ",{{\"name\":\"span-dep\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":{},\"pid\":{},\"tid\":{}}}",
+                            flow,
+                            fmt_num(ev.start),
+                            pid,
+                            ev.track.tid(),
+                        );
+                    }
+                }
             }
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
@@ -148,6 +188,33 @@ fn push_args(out: &mut String, kind: &EventKind) {
         }
         EventKind::Degraded { job } => {
             let _ = write!(out, "\"job\":{job}");
+        }
+        EventKind::Span { id, parent, kind } => {
+            let _ = write!(out, "\"span_id\":{id}");
+            match parent {
+                Some(p) => {
+                    let _ = write!(out, ",\"parent\":{p}");
+                }
+                None => out.push_str(",\"parent\":null"),
+            }
+            match kind {
+                SpanKind::Job { job, name } => {
+                    let _ = write!(out, ",\"job\":{job},\"job_name\":{}", escape(name));
+                }
+                SpanKind::Segment { index, placement } => {
+                    let _ = write!(
+                        out,
+                        ",\"segment\":{index},\"placement\":{}",
+                        escape(placement)
+                    );
+                }
+                SpanKind::Level { level } => {
+                    let _ = write!(out, ",\"level\":{level}");
+                }
+                SpanKind::Retry { attempt } => {
+                    let _ = write!(out, ",\"attempt\":{attempt}");
+                }
+            }
         }
         EventKind::Sync | EventKind::Mark(_) => {}
     }
@@ -237,6 +304,73 @@ mod tests {
                 .unwrap(),
             64.0
         );
+    }
+
+    #[test]
+    fn span_events_carry_ids_and_flow_arrows() {
+        use crate::span::{SpanKind, SpanSet};
+        let mut set = SpanSet::new();
+        let job = set.push(
+            Track::Cpu,
+            0.0,
+            20.0,
+            SpanKind::Job {
+                job: 1,
+                name: "mergesort-1-n256".into(),
+            },
+            None,
+        );
+        let seg = set.push(
+            Track::Gpu,
+            2.0,
+            12.0,
+            SpanKind::Segment {
+                index: 0,
+                placement: "gpu".into(),
+            },
+            Some(job),
+        );
+        set.push(
+            Track::Gpu,
+            2.0,
+            6.0,
+            SpanKind::Level { level: 0 },
+            Some(seg),
+        );
+        let mut trace = ChromeTrace::new();
+        trace.add_process("serve", set.into_events());
+        let json = trace.render();
+        let v = Json::parse(&json).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("span"))
+            .collect();
+        assert_eq!(spans.len(), 3);
+        // The segment span references the job span as its parent.
+        let seg_ev = spans
+            .iter()
+            .find(|e| e.get("args").unwrap().get("segment").is_some())
+            .unwrap();
+        assert_eq!(
+            seg_ev.get("args").unwrap().get("parent").unwrap().as_f64(),
+            Some(job as f64)
+        );
+        // Two parented spans -> two "s"/"f" flow pairs.
+        let flows: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("flow"))
+            .collect();
+        assert_eq!(flows.len(), 4);
+        let starts = flows
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("s"))
+            .count();
+        let ends = flows
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("f"))
+            .count();
+        assert_eq!((starts, ends), (2, 2));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::span::SpanKind;
+
 /// An execution unit's track in a trace: the CPU (all cores aggregated),
 /// the GPU, or the transfer bus between them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -116,6 +118,18 @@ pub enum EventKind {
     },
     /// A free-form annotation (legacy string labels land here).
     Mark(String),
+    /// A causal span: one node of a job → segment → level → retry tree.
+    /// Spans carry ids so children can reference parents across the
+    /// flat event stream; the Chrome exporter draws the links as flow
+    /// arrows.
+    Span {
+        /// Span id, unique within one run's event stream (never 0).
+        id: u64,
+        /// Parent span id, when this span has a causal parent.
+        parent: Option<u64>,
+        /// What the span covers.
+        kind: SpanKind,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -154,6 +168,7 @@ impl fmt::Display for EventKind {
             }
             EventKind::Degraded { job } => write!(f, "job {job} degraded to CPU-only"),
             EventKind::Mark(s) => write!(f, "{s}"),
+            EventKind::Span { kind, .. } => write!(f, "{kind}"),
         }
     }
 }
@@ -171,6 +186,7 @@ impl EventKind {
             EventKind::BreakerTrip { .. } => "breaker",
             EventKind::Degraded { .. } => "degraded",
             EventKind::Mark(_) => "mark",
+            EventKind::Span { .. } => "span",
         }
     }
 }

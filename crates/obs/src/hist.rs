@@ -1,0 +1,352 @@
+//! Log-bucketed streaming histograms.
+//!
+//! [`StreamHistogram`] is the registry's workhorse: a fixed array of
+//! atomic counters over geometrically-spaced buckets, so recording is a
+//! single relaxed `fetch_add` (no lock, no allocation after construction)
+//! and quantile readout is a walk over the buckets — O(buckets), not
+//! O(samples · log samples) like the sort-everything path it replaces in
+//! `ServeReport`. The trade is precision: a quantile comes back as its
+//! bucket's geometric midpoint, which is within one bucket width
+//! (a factor of 2^(1/32) ≈ 2.2%) of the exact sample. Exact `min`, `max`,
+//! `sum` and `count` are tracked alongside, and quantiles are clamped
+//! into `[min, max]` so degenerate distributions (a single value, all
+//! equal values) read back exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power of two. 32 gives a relative bucket width of
+/// 2^(1/32) − 1 ≈ 2.2%.
+const SUBS: usize = 32;
+/// Smallest resolvable exponent: values below 2^-16 (≈ 1.5e-5) clamp
+/// into the first log bucket.
+const MIN_EXP: f64 = -16.0;
+/// Octave span: exponents in [-16, 48) resolve exactly; values at or
+/// above 2^48 clamp into the last log bucket.
+const OCTAVES: usize = 64;
+/// Log buckets, excluding the dedicated zero-or-negative bucket.
+const LOG_BUCKETS: usize = OCTAVES * SUBS;
+
+/// A streaming histogram with geometrically-spaced buckets and atomic
+/// counters. All mutation goes through `&self`, so one instance can be
+/// shared across threads behind an `Arc` without a lock.
+pub struct StreamHistogram {
+    /// `buckets[0]` counts non-positive samples; `buckets[1 + i]` counts
+    /// samples in log bucket `i`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bits; accumulated with a CAS loop.
+    sum: AtomicU64,
+    /// f64 bits; starts at +inf.
+    min: AtomicU64,
+    /// f64 bits; starts at -inf.
+    max: AtomicU64,
+}
+
+impl Default for StreamHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(1 + LOG_BUCKETS);
+        buckets.resize_with(1 + LOG_BUCKETS, || AtomicU64::new(0));
+        StreamHistogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0.0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// The relative half-width of a bucket: a quantile readout is within
+    /// a factor of `1 + relative_error()` of some recorded sample.
+    pub fn relative_error() -> f64 {
+        2f64.powf(1.0 / SUBS as f64) - 1.0
+    }
+
+    fn index_of(v: f64) -> usize {
+        // NaN is filtered by `record` before this point.
+        if v <= 0.0 {
+            return 0;
+        }
+        let raw = ((v.log2() - MIN_EXP) * SUBS as f64).floor();
+        let idx = if raw < 0.0 {
+            0
+        } else if raw >= LOG_BUCKETS as f64 {
+            LOG_BUCKETS - 1
+        } else {
+            raw as usize
+        };
+        1 + idx
+    }
+
+    /// Geometric midpoint of log bucket `i` (0-based, zero bucket
+    /// excluded).
+    fn representative(i: usize) -> f64 {
+        2f64.powf(MIN_EXP + (i as f64 + 0.5) / SUBS as f64)
+    }
+
+    /// Records one sample. NaN samples are ignored.
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.buckets[Self::index_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some((f64::from_bits(cur) + v).to_bits())
+            });
+        let _ = self
+            .min
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                (v < f64::from_bits(cur)).then(|| v.to_bits())
+            });
+        let _ = self
+            .max
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                (v > f64::from_bits(cur)).then(|| v.to_bits())
+            });
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Smallest recorded sample; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest recorded sample; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// The `q`-th percentile (`q` in `[0, 100]`) by nearest rank, read
+    /// from the buckets and clamped into `[min, max]`. Returns 0.0 for
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q / 100.0) * n as f64).ceil() as u64;
+        let rank = rank.clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let rep = if i == 0 {
+                    0.0
+                } else {
+                    Self::representative(i - 1)
+                };
+                return rep.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// A plain-data copy of the current state (quantiles plus exact
+    /// aggregates), for embedding in reports.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(50.0),
+            p95: self.quantile(95.0),
+            p99: self.quantile(99.0),
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamHistogram")
+            .field("count", &self.count())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("p50", &self.quantile(50.0))
+            .finish()
+    }
+}
+
+/// Plain-data summary of a [`StreamHistogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: f64,
+    /// Exact minimum sample (0.0 when empty).
+    pub min: f64,
+    /// Exact maximum sample (0.0 when empty).
+    pub max: f64,
+    /// Approximate median (within one bucket width).
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// SplitMix64, enough randomness for bucket-agreement checks.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+        fn uniform(&mut self) -> f64 {
+            (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn exact_percentile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = StreamHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(50.0), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_exact_at_every_quantile() {
+        let h = StreamHistogram::new();
+        h.record(4.0);
+        for q in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.quantile(q), 4.0, "q={q}");
+        }
+        assert_eq!(h.min(), 4.0);
+        assert_eq!(h.max(), 4.0);
+        assert_eq!(h.sum(), 4.0);
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let h = StreamHistogram::new();
+        for _ in 0..1000 {
+            h.record(123.456);
+        }
+        assert_eq!(h.quantile(50.0), 123.456);
+        assert_eq!(h.quantile(99.0), 123.456);
+    }
+
+    #[test]
+    fn quantiles_agree_with_exact_sort_within_one_bucket_width() {
+        // Acceptance criterion: streaming percentiles vs exact
+        // nearest-rank percentiles on randomized inputs, within one
+        // bucket width (relative factor 2^(1/32)).
+        let tol = 1.0 + StreamHistogram::relative_error() + 1e-12;
+        let mut rng = Rng(0xfeed_beef);
+        for trial in 0..20 {
+            let n = 50 + (rng.next() % 2000) as usize;
+            let h = StreamHistogram::new();
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Log-uniform over ~9 decades: exercises many octaves.
+                let v = 10f64.powf(rng.uniform() * 9.0 - 3.0);
+                h.record(v);
+                vals.push(v);
+            }
+            vals.sort_by(f64::total_cmp);
+            for q in [1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+                let exact = exact_percentile(&vals, q);
+                let approx = h.quantile(q);
+                let ratio = approx / exact;
+                assert!(
+                    (1.0 / tol..=tol).contains(&ratio),
+                    "trial {trial} q={q}: exact {exact} vs approx {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_clamp_into_edge_buckets() {
+        let h = StreamHistogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(1e-30);
+        h.record(1e300);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.max(), 1e300);
+        // Quantiles stay within the recorded range despite clamped
+        // bucket indices.
+        for q in [0.0, 50.0, 100.0] {
+            let v = h.quantile(q);
+            assert!((-5.0..=1e300).contains(&v), "q={q} -> {v}");
+        }
+        // NaN is dropped.
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(StreamHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record((t * 10_000 + i) as f64 % 97.0 + 1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert!(h.min() >= 1.0 && h.max() <= 98.0);
+    }
+}

@@ -25,6 +25,14 @@
 //! * [`ServeReport`] / [`JobRecord`] — fleet-level serving metrics
 //!   (throughput, latency percentiles, device utilization) produced by the
 //!   multi-job scheduler in `hpu-serve`.
+//! * [`MetricsRegistry`] / [`StreamHistogram`] — live metrics: named
+//!   atomic counters, gauges and log-bucketed streaming histograms with
+//!   O(buckets) p50/p95/p99 readout, sampled by the serving loop, the
+//!   interpreter and the plan compiler.
+//! * [`SpanSet`] / [`SpanKind`] — span-based causal tracing: typed spans
+//!   with parent ids forming job → segment → level → retry trees, carried
+//!   through the same [`EventKind`] stream and rendered as flow arrows by
+//!   the Chrome exporter.
 //! * [`json`] — a minimal JSON value parser used by tests to validate the
 //!   exporter's output without external crates.
 
@@ -34,14 +42,20 @@
 mod chrome;
 mod drift;
 mod event;
+mod hist;
 pub mod json;
 mod metrics;
+mod registry;
 mod serve;
+mod span;
 mod wall;
 
 pub use chrome::ChromeTrace;
 pub use drift::{drift_rows, render_drift, LevelDrift};
 pub use event::{EventKind, LevelPhase, Recorder, TraceEvent, Track};
+pub use hist::{HistSnapshot, StreamHistogram};
 pub use metrics::{merge_intervals, LevelBook, LevelMetrics};
+pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry};
 pub use serve::{percentile, FaultTag, JobOutcome, JobRecord, ServeReport};
+pub use span::{as_span, SpanKind, SpanSet};
 pub use wall::WallRecorder;

@@ -1,0 +1,291 @@
+//! A process-wide metrics registry: named counters, gauges and
+//! streaming histograms.
+//!
+//! The registry is built for instrumentation on hot paths: looking a
+//! metric up takes a short mutex on the name table, but the returned
+//! handle is an `Arc` whose updates are plain atomic operations — hold
+//! the handle and the registry itself is never touched again. The
+//! convenience methods ([`MetricsRegistry::inc`],
+//! [`MetricsRegistry::observe`], [`MetricsRegistry::set_gauge`]) do the
+//! lookup inline, which is fine for once-per-job sampling; per-element
+//! loops should cache the handle.
+//!
+//! Everything renders to a stable plain-text table and a JSON object
+//! (hand-rolled, like the rest of this crate) so snapshots can be
+//! embedded in reports and diffed across runs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{HistSnapshot, StreamHistogram};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Named counters, gauges and histograms behind one handle.
+///
+/// Shared as `Arc<MetricsRegistry>`; every method takes `&self`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<StreamHistogram>>>,
+}
+
+/// One row of a registry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram(HistSnapshot),
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating if absent) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("metrics mutex poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns (creating if absent) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("metrics mutex poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns (creating if absent) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<StreamHistogram> {
+        let mut map = self.histograms.lock().expect("metrics mutex poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn inc(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        self.gauge(name).set(v);
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn observe(&self, name: &str, v: f64) {
+        self.histogram(name).record(v);
+    }
+
+    /// All metrics at this instant, sorted by name. Counter, gauge and
+    /// histogram namespaces are disjoint unless callers reuse a name
+    /// across kinds, in which case the later kind (gauge over counter,
+    /// histogram over gauge) wins the slot.
+    pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
+        let mut out = BTreeMap::new();
+        for (k, v) in self.counters.lock().expect("metrics mutex poisoned").iter() {
+            out.insert(k.clone(), MetricValue::Counter(v.get()));
+        }
+        for (k, v) in self.gauges.lock().expect("metrics mutex poisoned").iter() {
+            out.insert(k.clone(), MetricValue::Gauge(v.get()));
+        }
+        for (k, v) in self
+            .histograms
+            .lock()
+            .expect("metrics mutex poisoned")
+            .iter()
+        {
+            out.insert(k.clone(), MetricValue::Histogram(v.snapshot()));
+        }
+        out
+    }
+
+    /// Plain-text table of every metric, one line each.
+    pub fn render(&self) -> String {
+        let mut out = String::from("metric                                    value\n");
+        for (name, v) in self.snapshot() {
+            match v {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("{name:<40}  {c}\n"));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!("{name:<40}  {g:.4}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{name:<40}  n={} p50={:.4} p95={:.4} p99={:.4} min={:.4} max={:.4}\n",
+                        h.count, h.p50, h.p95, h.p99, h.min, h.max
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object `{name: value}`; histograms nest their summary
+    /// fields. Parseable by [`crate::json::Json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, v) in self.snapshot() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{:?}:", name));
+            match v {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Gauge(g) => out.push_str(&fmt_f64(g)),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        h.count,
+                        fmt_f64(h.sum),
+                        fmt_f64(h.min),
+                        fmt_f64(h.max),
+                        fmt_f64(h.p50),
+                        fmt_f64(h.p95),
+                        fmt_f64(h.p99)
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Finite-only float formatting for JSON (NaN/inf become 0).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.inc("serve.jobs", 3);
+        reg.inc("serve.jobs", 2);
+        reg.set_gauge("queue.depth", 7.5);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            reg.observe("latency", v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap["serve.jobs"], MetricValue::Counter(5));
+        assert_eq!(snap["queue.depth"], MetricValue::Gauge(7.5));
+        match &snap["latency"] {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 4);
+                assert_eq!(h.min, 1.0);
+                assert_eq!(h.max, 4.0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handles_are_shared_not_copied() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(1);
+        b.add(1);
+        assert_eq!(reg.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn concurrent_updates_through_handles() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("hits");
+                    let h = reg.histogram("obs");
+                    for i in 0..1000 {
+                        c.add(1);
+                        h.record(i as f64 + 1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("hits").get(), 4000);
+        assert_eq!(reg.histogram("obs").count(), 4000);
+    }
+
+    #[test]
+    fn json_render_parses_back() {
+        let reg = MetricsRegistry::new();
+        reg.inc("a.count", 9);
+        reg.set_gauge("b.gauge", -1.25);
+        reg.observe("c.hist", 10.0);
+        let j = Json::parse(&reg.to_json()).expect("valid json");
+        assert_eq!(j.get("a.count").and_then(Json::as_f64), Some(9.0));
+        assert_eq!(j.get("b.gauge").and_then(Json::as_f64), Some(-1.25));
+        let h = j.get("c.hist").expect("hist object");
+        assert_eq!(h.get("count").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(h.get("p50").and_then(Json::as_f64), Some(10.0));
+    }
+
+    #[test]
+    fn text_render_lists_every_metric() {
+        let reg = MetricsRegistry::new();
+        reg.inc("z", 1);
+        reg.observe("a", 2.0);
+        let text = reg.render();
+        assert!(text.contains("z"));
+        assert!(text.contains("p50"));
+    }
+}

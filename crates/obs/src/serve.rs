@@ -106,7 +106,16 @@ impl JobRecord {
 
 /// Nearest-rank percentile of an **ascending-sorted** slice; `q` in
 /// `[0, 100]`. Returns 0 for an empty slice.
+///
+/// Sortedness is the caller's contract; debug builds verify it (an
+/// unsorted slice silently returns the wrong order statistic
+/// otherwise). For streaming data where sorting is too expensive, use
+/// [`crate::StreamHistogram`] instead.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile() requires an ascending-sorted slice"
+    );
     if sorted.is_empty() {
         return 0.0;
     }
@@ -218,12 +227,15 @@ impl ServeReport {
             .map(|j| j.end)
             .max_by(f64::total_cmp);
         let makespan = last_completion.map_or(0.0, |end| (end - first_arrival).max(0.0));
-        let mut latencies: Vec<f64> = jobs
-            .iter()
-            .filter(|j| j.outcome == JobOutcome::Completed)
-            .map(JobRecord::latency)
-            .collect();
-        latencies.sort_by(f64::total_cmp);
+        // Latency percentiles come from a log-bucketed streaming
+        // histogram: O(buckets) readout no matter how many jobs the
+        // fleet served, where the old path sorted every latency. The
+        // histogram clamps quantiles into the exact [min, max], so
+        // small fleets still read back exact values.
+        let lat_hist = crate::StreamHistogram::new();
+        for j in jobs.iter().filter(|j| j.outcome == JobOutcome::Completed) {
+            lat_hist.record(j.latency());
+        }
         let drifts: Vec<f64> = jobs.iter().filter_map(JobRecord::drift).collect();
         let mean_abs = |ds: &[f64]| {
             if ds.is_empty() {
@@ -246,10 +258,10 @@ impl ServeReport {
             cancelled: count(JobOutcome::Cancelled),
             failed,
             throughput: ratio(completed as f64),
-            p50_latency: percentile(&latencies, 50.0),
-            p95_latency: percentile(&latencies, 95.0),
-            p99_latency: percentile(&latencies, 99.0),
-            max_latency: latencies.last().copied().unwrap_or(0.0),
+            p50_latency: lat_hist.quantile(50.0),
+            p95_latency: lat_hist.quantile(95.0),
+            p99_latency: lat_hist.quantile(99.0),
+            max_latency: lat_hist.max(),
             cpu_utilization: ratio(cpu_busy),
             gpu_utilization: ratio(gpu_busy),
             mean_abs_drift: mean_abs(&drifts),
@@ -270,6 +282,51 @@ impl ServeReport {
         self.fault_events = fault_events;
         self.breaker_trips = breaker_trips;
         self
+    }
+
+    /// JSON object of the summary fields (job records summarized as a
+    /// count). The field set and order are part of the report's stable
+    /// schema — the golden test pins them, so additions or renames are
+    /// deliberate; bump `"schema"` when the meaning of a field changes.
+    pub fn to_json(&self) -> String {
+        let f = |v: f64| {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "0".to_string()
+            }
+        };
+        let retries: Vec<String> = self.retry_histogram.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"schema\":1,\"jobs\":{},\"makespan\":{},\"completed\":{},\"rejected\":{},\
+             \"cancelled\":{},\"failed\":{},\"throughput\":{},\"p50_latency\":{},\
+             \"p95_latency\":{},\"p99_latency\":{},\"max_latency\":{},\
+             \"cpu_utilization\":{},\"gpu_utilization\":{},\"mean_abs_drift\":{},\
+             \"mean_abs_drift_before\":{},\"mean_abs_drift_after\":{},\"fault_events\":{},\
+             \"breaker_trips\":{},\"retry_histogram\":[{}],\"completed_degraded\":{},\
+             \"goodput\":{}}}",
+            self.jobs.len(),
+            f(self.makespan),
+            self.completed,
+            self.rejected,
+            self.cancelled,
+            self.failed,
+            f(self.throughput),
+            f(self.p50_latency),
+            f(self.p95_latency),
+            f(self.p99_latency),
+            f(self.max_latency),
+            f(self.cpu_utilization),
+            f(self.gpu_utilization),
+            f(self.mean_abs_drift),
+            f(self.mean_abs_drift_before),
+            f(self.mean_abs_drift_after),
+            self.fault_events,
+            self.breaker_trips,
+            retries.join(","),
+            self.completed_degraded,
+            f(self.goodput),
+        )
     }
 
     /// Plain-text summary table of the fleet metrics.
@@ -453,5 +510,114 @@ mod tests {
         assert_eq!(r.throughput, 0.0);
         assert_eq!(r.cpu_utilization, 0.0);
         assert_eq!(r.max_latency, 0.0);
+    }
+
+    #[test]
+    fn percentile_of_an_empty_slice_is_zero() {
+        // Explicit contract: empty input reads back 0.0 at every rank,
+        // never panics or indexes out of bounds.
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[], q), 0.0, "q={q}");
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "ascending-sorted")]
+    fn percentile_rejects_unsorted_input_in_debug_builds() {
+        percentile(&[3.0, 1.0, 2.0], 50.0);
+    }
+
+    #[test]
+    fn retry_histogram_trims_trailing_zeros_only() {
+        // 3 jobs at 0 retries, 1 at 2: histogram [3, 0, 1] — the
+        // interior zero survives, nothing trails.
+        let mut jobs: Vec<JobRecord> = (0..3)
+            .map(|i| job(i, JobOutcome::Completed, 0.0, 0.0, 1.0))
+            .collect();
+        let mut retried = job(3, JobOutcome::Completed, 0.0, 0.0, 2.0);
+        retried.retries = 2;
+        jobs.push(retried);
+        let r = ServeReport::new(jobs, 2.0, 0.0);
+        assert_eq!(r.retry_histogram, vec![3, 0, 1]);
+
+        // A failed job's retries count too; when the highest-retry job
+        // disappears the trailing buckets are trimmed down to the last
+        // nonzero one.
+        let jobs: Vec<JobRecord> = (0..2)
+            .map(|i| job(i, JobOutcome::Completed, 0.0, 0.0, 1.0))
+            .collect();
+        let r = ServeReport::new(jobs, 2.0, 0.0);
+        assert_eq!(r.retry_histogram, vec![2]);
+
+        // Empty fleet: empty histogram, not [0].
+        let r = ServeReport::new(Vec::new(), 0.0, 0.0);
+        assert!(r.retry_histogram.is_empty());
+    }
+
+    #[test]
+    fn golden_json_schema_is_stable() {
+        // Golden serialization: if this test fails, the ServeReport
+        // schema changed — update the expected string *and* bump the
+        // "schema" field deliberately.
+        let mut a = job(0, JobOutcome::Completed, 0.0, 1.0, 5.0);
+        a.predicted = 4.0;
+        a.service = 4.0;
+        let b = job(1, JobOutcome::QueueFull, 2.0, 2.0, 2.0);
+        let r = ServeReport::new(vec![a, b], 4.0, 2.0).with_fault_counts(1, 0);
+        let expected = "{\"schema\":1,\"jobs\":2,\"makespan\":5,\"completed\":1,\
+                        \"rejected\":1,\"cancelled\":0,\"failed\":0,\"throughput\":0.2,\
+                        \"p50_latency\":5,\"p95_latency\":5,\"p99_latency\":5,\
+                        \"max_latency\":5,\"cpu_utilization\":0.8,\"gpu_utilization\":0.4,\
+                        \"mean_abs_drift\":0,\"mean_abs_drift_before\":0,\
+                        \"mean_abs_drift_after\":0,\"fault_events\":1,\"breaker_trips\":0,\
+                        \"retry_histogram\":[2],\"completed_degraded\":0,\"goodput\":0.5}";
+        assert_eq!(r.to_json(), expected);
+        // And it parses back as JSON with the right values.
+        let j = crate::json::Json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(
+            j.get("schema").and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            j.get("p99_latency").and_then(crate::json::Json::as_f64),
+            Some(5.0)
+        );
+        assert_eq!(
+            j.get("retry_histogram")
+                .and_then(crate::json::Json::as_arr)
+                .map(|a| a.len()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn histogram_percentiles_match_exact_sort_on_large_fleets() {
+        // ServeReport now reads percentiles off a streaming histogram;
+        // they must stay within one bucket width of the exact
+        // sort-based values the old path produced.
+        let jobs: Vec<JobRecord> = (0..500)
+            .map(|i| {
+                let lat = 1.0 + ((i * 37) % 97) as f64 * 3.7;
+                job(i, JobOutcome::Completed, 0.0, 0.0, lat)
+            })
+            .collect();
+        let mut exact: Vec<f64> = jobs.iter().map(JobRecord::latency).collect();
+        exact.sort_by(f64::total_cmp);
+        let r = ServeReport::new(jobs, 1.0, 1.0);
+        let tol = 1.0 + crate::StreamHistogram::relative_error() + 1e-12;
+        for (got, q) in [
+            (r.p50_latency, 50.0),
+            (r.p95_latency, 95.0),
+            (r.p99_latency, 99.0),
+        ] {
+            let want = percentile(&exact, q);
+            let ratio = got / want;
+            assert!(
+                (1.0 / tol..=tol).contains(&ratio),
+                "q={q}: exact {want} vs histogram {got}"
+            );
+        }
+        assert_eq!(r.max_latency, *exact.last().unwrap());
     }
 }

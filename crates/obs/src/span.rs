@@ -1,0 +1,178 @@
+//! Span-based causal tracing.
+//!
+//! A span is a trace event that knows *why* it exists: it carries a
+//! unique id and an optional parent id, so spans form trees — a job span
+//! parents its plan-segment spans, a segment span parents the
+//! breadth-first level spans that ran inside it, and retry spans hang
+//! off whichever span was retried. "Why was job J slow" then reads
+//! straight off one trace: follow J's children to the segment that
+//! dominated, then to the level (or retry) inside it.
+//!
+//! Spans travel through the existing [`crate::Recorder`] stream as
+//! [`crate::EventKind::Span`] events, so every sink (virtual-time
+//! timelines, wall-clock recorders, plain `Vec`s) carries them without
+//! change, and the Chrome exporter renders the parent links as flow
+//! arrows.
+
+use std::fmt;
+
+use crate::event::{EventKind, TraceEvent, Track};
+
+/// What a causal span covers: one node type of the
+/// job → segment → level → retry tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanKind {
+    /// A whole served job, admission to completion.
+    Job {
+        /// Scheduler-assigned job id.
+        job: u64,
+        /// Human-readable job name (e.g. `"mergesort-3-n1024"`).
+        name: String,
+    },
+    /// One plan segment of a job's schedule.
+    Segment {
+        /// Segment index within the plan.
+        index: u32,
+        /// Placement label: `"cpu"`, `"gpu"` or `"split"`.
+        placement: String,
+    },
+    /// One breadth-first level executed within a segment.
+    Level {
+        /// Level index (0 = base cases).
+        level: u32,
+    },
+    /// A recovery retry attributed to its parent span.
+    Retry {
+        /// Total retry attempts the parent absorbed.
+        attempt: u32,
+    },
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpanKind::Job { job, name } => write!(f, "job {job} ({name})"),
+            SpanKind::Segment { index, placement } => {
+                write!(f, "segment {index} [{placement}]")
+            }
+            SpanKind::Level { level } => write!(f, "level {level}"),
+            SpanKind::Retry { attempt } => write!(f, "retry x{attempt}"),
+        }
+    }
+}
+
+/// Allocates span ids and accumulates span trace events.
+///
+/// Ids are unique within one `SpanSet` (i.e. one run / one trace
+/// process), starting at 1 so 0 never aliases a real span.
+#[derive(Debug, Default)]
+pub struct SpanSet {
+    next: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl SpanSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a span `[start, end]` on `track` and returns its id, for
+    /// use as the `parent` of child spans.
+    pub fn push(
+        &mut self,
+        track: Track,
+        start: f64,
+        end: f64,
+        kind: SpanKind,
+        parent: Option<u64>,
+    ) -> u64 {
+        self.next += 1;
+        let id = self.next;
+        self.events.push(TraceEvent {
+            track,
+            start,
+            end,
+            kind: EventKind::Span { id, parent, kind },
+        });
+        id
+    }
+
+    /// The spans recorded so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the set, yielding its trace events for a recorder or a
+    /// Chrome trace process.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+/// If `ev` is a span event, returns `(id, parent, kind)`.
+pub fn as_span(ev: &TraceEvent) -> Option<(u64, Option<u64>, &SpanKind)> {
+    match &ev.kind {
+        EventKind::Span { id, parent, kind } => Some((*id, *parent, kind)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut set = SpanSet::new();
+        let job = set.push(
+            Track::Cpu,
+            0.0,
+            10.0,
+            SpanKind::Job {
+                job: 7,
+                name: "sum-7".into(),
+            },
+            None,
+        );
+        let seg = set.push(
+            Track::Gpu,
+            1.0,
+            6.0,
+            SpanKind::Segment {
+                index: 0,
+                placement: "gpu".into(),
+            },
+            Some(job),
+        );
+        let lvl = set.push(
+            Track::Gpu,
+            1.0,
+            3.0,
+            SpanKind::Level { level: 0 },
+            Some(seg),
+        );
+        assert!(job != 0 && seg != 0 && lvl != 0);
+        assert!(job != seg && seg != lvl && job != lvl);
+        let events = set.into_events();
+        assert_eq!(events.len(), 3);
+        let (id, parent, kind) = as_span(&events[1]).unwrap();
+        assert_eq!(id, seg);
+        assert_eq!(parent, Some(job));
+        assert_eq!(kind.to_string(), "segment 0 [gpu]");
+    }
+
+    #[test]
+    fn display_labels_are_stable() {
+        assert_eq!(
+            SpanKind::Job {
+                job: 3,
+                name: "mergesort-3-n1024".into()
+            }
+            .to_string(),
+            "job 3 (mergesort-3-n1024)"
+        );
+        assert_eq!(SpanKind::Level { level: 2 }.to_string(), "level 2");
+        assert_eq!(SpanKind::Retry { attempt: 1 }.to_string(), "retry x1");
+    }
+}

@@ -4,14 +4,17 @@
 //! dyn-safe surface, so one queue can mix mergesort, sum and scan jobs.
 //! [`AlgoJob`] adapts any owned `(BfAlgorithm, data)` pair.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use hpu_core::exec::{
-    run_native, run_sim_plan, run_sim_plan_recover, RecoveryPolicy, RecoveryStats, RunReport,
+    run_native, run_sim_plan, run_sim_plan_metered, run_sim_plan_recover, RecoveryPolicy,
+    RecoveryStats, RunReport,
 };
 use hpu_core::{bf::num_levels, BfAlgorithm, CoreError, Element, LevelPool};
 use hpu_machine::SimHpu;
 use hpu_model::{Plan, Recurrence};
+use hpu_obs::MetricsRegistry;
 
 /// A type-erased divide-and-conquer job.
 ///
@@ -30,6 +33,19 @@ pub trait Workload: Send {
     fn exec_levels(&self) -> Result<u32, CoreError>;
     /// Runs the job on a simulated machine under a compiled plan.
     fn run_plan(&mut self, hpu: &mut SimHpu, plan: &Plan) -> Result<RunReport, CoreError>;
+    /// Like [`Workload::run_plan`], sampling the interpreter's
+    /// per-segment timings into `metrics`. The default implementation
+    /// ignores the registry — implementors that can meter should
+    /// override it.
+    fn run_plan_metered(
+        &mut self,
+        hpu: &mut SimHpu,
+        plan: &Plan,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<RunReport, CoreError> {
+        let _ = metrics;
+        self.run_plan(hpu, plan)
+    }
     /// Like [`Workload::run_plan`], retrying faulted segments under
     /// `policy` (see [`hpu_core::exec::interpret_recover`]); the recovery
     /// tallies come back even when the run fails.
@@ -80,6 +96,15 @@ impl<T: Element, A: BfAlgorithm<T> + Send + 'static> Workload for AlgoJob<T, A> 
 
     fn run_plan(&mut self, hpu: &mut SimHpu, plan: &Plan) -> Result<RunReport, CoreError> {
         run_sim_plan(&self.algo, &mut self.data, hpu, plan)
+    }
+
+    fn run_plan_metered(
+        &mut self,
+        hpu: &mut SimHpu,
+        plan: &Plan,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<RunReport, CoreError> {
+        run_sim_plan_metered(&self.algo, &mut self.data, hpu, plan, Some(metrics))
     }
 
     fn run_plan_recover(

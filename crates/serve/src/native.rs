@@ -207,8 +207,14 @@ pub fn serve_native(
                         }
                     };
                     let start = epoch.elapsed().as_secs_f64() * 1e6;
+                    if let Some(m) = &serve.metrics {
+                        m.observe("native.wait", start - job.arrival);
+                    }
                     if let Some(dl) = job.deadline_us {
                         if start > dl as f64 {
+                            if let Some(m) = &serve.metrics {
+                                m.inc("native.cancelled", 1);
+                            }
                             let (mut st, _) = lock_recover(&state);
                             st.errors.push(ServeError::Cancelled {
                                 job: job.id,
@@ -256,6 +262,19 @@ pub fn serve_native(
                         }
                     };
                     let end = epoch.elapsed().as_secs_f64() * 1e6;
+                    if let Some(m) = &serve.metrics {
+                        match &attempt {
+                            Attempt::Ok => {
+                                m.inc("native.completed", 1);
+                                m.observe("native.service", end - start);
+                            }
+                            Attempt::Err(_) => m.inc("native.failed", 1),
+                            Attempt::Panic(_) => m.inc("native.panics", 1),
+                        }
+                        if retries > 0 {
+                            m.inc("native.retries", u64::from(retries));
+                        }
+                    }
                     let (mut st, poisoned) = lock_recover(&state);
                     if poisoned {
                         st.errors.push(ServeError::Poisoned {
@@ -351,6 +370,9 @@ pub fn serve_native(
                 std::thread::sleep(target - elapsed);
             }
             let arrival = epoch.elapsed().as_secs_f64() * 1e6;
+            if let Some(m) = &serve.metrics {
+                m.inc("native.submitted", 1);
+            }
             let cost = admission_cost(job.workload.as_ref(), threads_per_worker);
             let (mut st, poisoned) = lock_recover(&state);
             if poisoned {
@@ -359,6 +381,9 @@ pub fn serve_native(
                 });
             }
             if st.queue.len() >= serve.queue_capacity {
+                if let Some(m) = &serve.metrics {
+                    m.inc("native.rejected", 1);
+                }
                 st.errors.push(ServeError::QueueFull {
                     job: id as u64,
                     capacity: serve.queue_capacity,

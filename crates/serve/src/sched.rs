@@ -43,10 +43,14 @@ use hpu_machine::{
     FaultInjector, FaultPlan, MachineConfig, MachineError, SimHpu, SimMachineParams,
 };
 use hpu_model::{
-    compile, plan_cost, Calibration, CalibrationError, Calibrator, CalibratorConfig, LevelProfile,
-    MachineParams, ModelError, Observation, Placement, Plan, PlanCost, Recurrence, ScheduleSpec,
+    compile, compile_timed, plan_cost, Calibration, CalibrationError, Calibrator, CalibratorConfig,
+    LevelProfile, MachineParams, ModelError, Observation, Placement, Plan, PlanCost, Recurrence,
+    ScheduleSpec,
 };
-use hpu_obs::{FaultTag, JobOutcome, JobRecord, ServeReport};
+use hpu_obs::{
+    FaultTag, JobOutcome, JobRecord, MetricsRegistry, ServeReport, SpanKind, SpanSet, TraceEvent,
+    Track,
+};
 
 use crate::arbiter::{DeviceArbiter, EPS};
 use crate::error::ServeError;
@@ -81,6 +85,12 @@ pub struct ServeConfig {
     /// Seeded device-fault injection plus the recovery knobs (see
     /// [`FaultConfig`]). `None` — the default — serves fault-free.
     pub faults: Option<FaultConfig>,
+    /// Live metrics registry the scheduler samples into: admission and
+    /// queueing counters, wait/latency/service histograms, calibration
+    /// drift, arbiter occupancy, plan-compile time and — through the
+    /// solo runs — the interpreter's per-segment timings. `None` — the
+    /// default — serves unmetered with zero overhead.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +103,7 @@ impl Default for ServeConfig {
             assumed: None,
             calibration: None,
             faults: None,
+            metrics: None,
         }
     }
 }
@@ -254,6 +265,14 @@ pub struct ServeOutput {
     pub replans: u64,
     /// Final calibration state, when the loop was enabled.
     pub calibration: Option<Calibration>,
+    /// Causal span tree of every dispatched job — a
+    /// [`SpanKind::Job`] span per completion, parenting its
+    /// [`SpanKind::Segment`] spans (the committed reservation windows),
+    /// which parent [`SpanKind::Level`] spans (the solo run's level rows
+    /// laid proportionally inside the segment window) and a
+    /// [`SpanKind::Retry`] marker when recovery retried. Feed these to a
+    /// [`hpu_obs::ChromeTrace`] process to see the tree as flow arrows.
+    pub spans: Vec<TraceEvent>,
 }
 
 /// Where one plan segment runs, from the arbiter's point of view.
@@ -397,6 +416,7 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
     let mut pending: Vec<PendingObs> = Vec::new();
     let mut replans: u64 = 0;
     let mut fault_state = serve.faults.as_ref().map(FaultState::new);
+    let mut spans = SpanSet::new();
 
     let mut heap: EventHeap = BinaryHeap::new();
     let mut tick_seq = jobs.len() as u64;
@@ -432,6 +452,9 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
             ready.sort_by(|a, b| a.end.total_cmp(&b.end).then(a.job.cmp(&b.job)));
             let mut trigger = false;
             for p in &ready {
+                if let Some(m) = &serve.metrics {
+                    m.observe("calibration.abs_drift", p.drift.abs());
+                }
                 if let Err(e) = cal.observe(&p.obs) {
                     errors.push(ServeError::Calibration {
                         job: Some(p.job),
@@ -442,6 +465,10 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
             }
             if trigger {
                 replans += 1;
+                if let Some(m) = &serve.metrics {
+                    m.inc("serve.replans", 1);
+                    m.set_gauge("calibration.generation", replans as f64);
+                }
                 replan(
                     &mut queue,
                     &job_cfg,
@@ -498,13 +525,27 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
             &mut tick_seq,
             calibrator.is_some().then_some(&mut pending),
             fault_state.is_some(),
+            &mut spans,
         );
+        if let Some(m) = &serve.metrics {
+            m.set_gauge("serve.queue_depth", queue.len() as f64);
+        }
     }
     debug_assert!(
         queue.is_empty(),
         "every queued job reaches a terminal state"
     );
 
+    if let Some(m) = &serve.metrics {
+        m.set_gauge("arbiter.cpu_busy", arb.cpu_busy());
+        m.set_gauge("arbiter.gpu_busy", arb.gpu_busy());
+        m.set_gauge("arbiter.gpu_leases", arb.gpu_leases().len() as f64);
+        m.set_gauge(
+            "arbiter.cpu_reservations",
+            arb.cpu_reservations().len() as f64,
+        );
+        m.set_gauge("serve.makespan", arb.makespan());
+    }
     let mut report = ServeReport::new(records, arb.cpu_busy(), arb.gpu_busy());
     if let Some(f) = &fault_state {
         report = report.with_fault_counts(f.fault_events(), f.trips);
@@ -517,6 +558,7 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
         cpu_reservations: arb.cpu_reservations().to_vec(),
         replans,
         calibration: calibrator.map(|c| c.calibration().clone()),
+        spans: spans.into_events(),
     }
 }
 
@@ -526,11 +568,19 @@ fn rejected_record(
     outcome: JobOutcome,
     at: f64,
     generation: u64,
+    metrics: Option<&MetricsRegistry>,
 ) -> JobRecord {
     let retries = match outcome {
         JobOutcome::Failed { retries, .. } => retries,
         _ => 0,
     };
+    if let Some(m) = metrics {
+        match outcome {
+            JobOutcome::QueueFull => m.inc("serve.rejected", 1),
+            JobOutcome::Failed { .. } => m.inc("serve.failed", 1),
+            _ => {}
+        }
+    }
     JobRecord {
         id,
         name: name.to_string(),
@@ -606,7 +656,10 @@ impl VariantError {
 }
 
 /// Compiles `spec` under `params`, prices it, and solo-runs it on the
-/// true machine to measure demands and calibration evidence.
+/// true machine to measure demands and calibration evidence. With a
+/// metrics registry attached, compilation is timed through
+/// [`compile_timed`] and the solo run samples the interpreter's
+/// per-segment timings.
 #[allow(clippy::too_many_arguments)]
 fn build_variant(
     workload: &mut dyn Workload,
@@ -617,14 +670,19 @@ fn build_variant(
     n: u64,
     levels: u32,
     faults: Option<&FaultState>,
+    metrics: Option<&Arc<MetricsRegistry>>,
 ) -> Result<Variant, VariantError> {
-    let plan = compile(spec, params, rec, n, levels).map_err(VariantError::Compile)?;
+    let plan = match metrics {
+        Some(m) => compile_timed(spec, params, rec, n, levels, m),
+        None => compile(spec, params, rec, n, levels),
+    }
+    .map_err(VariantError::Compile)?;
     let profile = LevelProfile::new(params, rec, n);
     let cost = plan_cost(&profile, &plan).map_err(VariantError::Compile)?;
     // CPU-only plans never touch the device: they are structurally immune
     // to injected faults, so the injector is not attached.
     let faults = if plan.uses_gpu() { faults } else { None };
-    solo(workload, job_cfg, &plan, &cost, params, faults)
+    solo(workload, job_cfg, &plan, &cost, params, faults, metrics)
 }
 
 /// Solo-runs the job's plan on a private virtual clock and folds the
@@ -637,6 +695,7 @@ fn solo(
     cost: &PlanCost,
     params: &MachineParams,
     faults: Option<&FaultState>,
+    metrics: Option<&Arc<MetricsRegistry>>,
 ) -> Result<Variant, VariantError> {
     let mut hpu = match faults {
         Some(f) => SimHpu::new(job_cfg.clone()).with_faults(f.injector.clone()),
@@ -647,7 +706,10 @@ fn solo(
             let (r, rs) = workload.run_plan_recover(&mut hpu, plan, &f.recovery);
             (r, rs.retries)
         }
-        None => (workload.run_plan(&mut hpu, plan), 0),
+        None => match metrics {
+            Some(m) => (workload.run_plan_metered(&mut hpu, plan, m.clone()), 0),
+            None => (workload.run_plan(&mut hpu, plan), 0),
+        },
     };
     let report = match result {
         Ok(r) => r,
@@ -725,6 +787,9 @@ fn admit(
     generation: u64,
     mut faults: Option<&mut FaultState>,
 ) {
+    if let Some(m) = &serve.metrics {
+        m.inc("serve.submitted", 1);
+    }
     if queue.len() >= serve.queue_capacity {
         errors.push(ServeError::QueueFull {
             job: id,
@@ -736,6 +801,7 @@ fn admit(
             JobOutcome::QueueFull,
             now,
             generation,
+            serve.metrics.as_deref(),
         ));
         return;
     }
@@ -755,6 +821,7 @@ fn admit(
                 failed(FaultTag::Error, 0),
                 now,
                 generation,
+                serve.metrics.as_deref(),
             ));
             return;
         }
@@ -775,6 +842,7 @@ fn admit(
                 failed(FaultTag::Error, 0),
                 now,
                 generation,
+                serve.metrics.as_deref(),
             ));
             return;
         }
@@ -793,6 +861,7 @@ fn admit(
         n,
         levels,
         faults.as_deref(),
+        serve.metrics.as_ref(),
     ) {
         Ok(mut v) => {
             if uses_gpu(&v) {
@@ -817,6 +886,7 @@ fn admit(
                     failed(FaultTag::Error, retries),
                     now,
                     generation,
+                    serve.metrics.as_deref(),
                 ));
                 return;
             };
@@ -835,6 +905,7 @@ fn admit(
                 n,
                 levels,
                 None,
+                serve.metrics.as_ref(),
             ) {
                 Ok(mut v) => {
                     v.degraded = true;
@@ -849,6 +920,7 @@ fn admit(
                         failed(tag, retries),
                         now,
                         generation,
+                        serve.metrics.as_deref(),
                     ));
                     return;
                 }
@@ -867,6 +939,7 @@ fn admit(
             n,
             levels,
             None,
+            serve.metrics.as_ref(),
         )
         .ok()
     } else {
@@ -932,6 +1005,7 @@ fn replan(
             n,
             levels,
             faults.as_deref(),
+            serve.metrics.as_ref(),
         ) {
             Ok(mut v) => {
                 if uses_gpu(&v) {
@@ -954,6 +1028,7 @@ fn replan(
                         n,
                         levels,
                         None,
+                        serve.metrics.as_ref(),
                     )
                     .ok()
                 } else {
@@ -1018,6 +1093,7 @@ fn degrade_queue(
             n,
             levels,
             None,
+            serve.metrics.as_ref(),
         ) {
             Ok(mut v) => {
                 v.degraded = true;
@@ -1070,20 +1146,25 @@ enum Resv {
 /// Reserves the variant's segment chain (same placement logic as
 /// [`probe`] — a job's segments occupy disjoint windows, so committing
 /// earlier segments never moves later ones) and schedules a dispatch
-/// retry at every reservation release. Returns the window plus every
-/// calendar entry made, for release on cancellation.
+/// retry at every reservation release. Returns the window, every
+/// calendar entry made (for release on cancellation), and the granted
+/// `(start, end)` window of each demand — aligned index for index with
+/// `v.demands`, zero-length demands getting the empty window `(t, t)` —
+/// so dispatch can hang segment spans on the real reservations.
 fn commit(
     arb: &mut DeviceArbiter,
     heap: &mut EventHeap,
     tick_seq: &mut u64,
     t0: f64,
     v: &Variant,
-) -> (f64, f64, Vec<Resv>) {
+) -> (f64, f64, Vec<Resv>, Vec<(f64, f64)>) {
     let mut t = t0;
     let mut start = f64::INFINITY;
     let mut resvs = Vec::new();
+    let mut windows = Vec::with_capacity(v.demands.len());
     for d in &v.demands {
         if d.len() <= EPS {
+            windows.push((t, t));
             continue;
         }
         let (s, e) = match d.kind {
@@ -1111,6 +1192,7 @@ fn commit(
         if start.is_infinite() {
             start = s;
         }
+        windows.push((s, e));
         *tick_seq += 1;
         heap.push(Reverse((Time(e), *tick_seq, Ev::Tick)));
         t = e;
@@ -1118,7 +1200,7 @@ fn commit(
     if start.is_infinite() {
         start = t0;
     }
-    (start, t, resvs)
+    (start, t, resvs, windows)
 }
 
 /// Releases every calendar entry of a cancelled job back to the arbiter,
@@ -1149,6 +1231,7 @@ fn dispatch_all(
     tick_seq: &mut u64,
     mut pending: Option<&mut Vec<PendingObs>>,
     strict_deadlines: bool,
+    spans: &mut SpanSet,
 ) {
     loop {
         if queue.is_empty() {
@@ -1170,6 +1253,14 @@ fn dispatch_all(
             let (ps, pe) = probe(arb, now, &q.primary);
             let (mut s, mut e, mut fb) = (ps, pe, false);
             if ps > now + EPS {
+                // Sampled at every dispatch round: how far away the
+                // earliest feasible start is for a job the calendars
+                // cannot place right now (GPU jobs: lease contention).
+                if let Some(m) = &serve.metrics {
+                    if uses_gpu(&q.primary) {
+                        m.observe("arbiter.gpu_lease_wait", ps - now);
+                    }
+                }
                 // Device lease contended: take the CPU-only shape if it
                 // starts now and finishes no later.
                 if let Some(f) = &q.fallback {
@@ -1200,6 +1291,9 @@ fn dispatch_all(
             cancels.sort_unstable();
             for qi in cancels.into_iter().rev() {
                 let q = queue.remove(qi);
+                if let Some(m) = &serve.metrics {
+                    m.inc("serve.cancelled", 1);
+                }
                 errors.push(ServeError::Cancelled {
                     job: q.id,
                     deadline: q.deadline.unwrap_or(f64::NAN),
@@ -1237,7 +1331,7 @@ fn dispatch_all(
                 (primary, false)
             }
         };
-        let (start, end, resvs) = commit(arb, heap, tick_seq, now, &v);
+        let (start, end, resvs, windows) = commit(arb, heap, tick_seq, now, &v);
         // Deadline-aware straggler cancellation (fault mode only): the
         // calendars only hold per-segment device demands, so a job whose
         // solo run carried overhang (retry backoff, straggler slowdown
@@ -1247,6 +1341,9 @@ fn dispatch_all(
         if let Some(dl) = q.deadline.filter(|_| strict_deadlines) {
             if end + v.overhang() > dl + EPS {
                 release_all(arb, &resvs);
+                if let Some(m) = &serve.metrics {
+                    m.inc("serve.cancelled", 1);
+                }
                 errors.push(ServeError::Cancelled {
                     job: q.id,
                     deadline: dl,
@@ -1286,6 +1383,13 @@ fn dispatch_all(
                 drift,
             });
         }
+        if let Some(m) = &serve.metrics {
+            m.inc("serve.completed", 1);
+            m.observe("serve.admission_wait", start - q.arrival);
+            m.observe("serve.latency", end - q.arrival);
+            m.observe("serve.service", v.report.virtual_time);
+        }
+        push_job_spans(spans, q.id, &q.name, start, end, &v, &windows);
         records.push(JobRecord {
             id: q.id,
             name: q.name.clone(),
@@ -1306,5 +1410,84 @@ fn dispatch_all(
             fallback: fb,
             report: v.report,
         });
+    }
+}
+
+/// Records the causal span tree of one dispatched job: the job span over
+/// its committed window, a segment span per granted reservation window,
+/// the solo run's level rows laid *proportionally* inside their segment's
+/// window (the calendars replay measured demands, not per-level
+/// sub-schedules, so the level layout is causal but approximate), and a
+/// zero-width retry marker when recovery retried.
+fn push_job_spans(
+    spans: &mut SpanSet,
+    id: u64,
+    name: &str,
+    start: f64,
+    end: f64,
+    v: &Variant,
+    windows: &[(f64, f64)],
+) {
+    let job_span = spans.push(
+        Track::Cpu,
+        start,
+        end,
+        SpanKind::Job {
+            job: id,
+            name: name.to_string(),
+        },
+        None,
+    );
+    if v.retries > 0 {
+        spans.push(
+            Track::Cpu,
+            start,
+            start,
+            SpanKind::Retry { attempt: v.retries },
+            Some(job_span),
+        );
+    }
+    let last = v.demands.len().saturating_sub(1);
+    for (i, (d, &(ws, we))) in v.demands.iter().zip(windows.iter()).enumerate() {
+        if d.len() <= EPS {
+            continue;
+        }
+        let (track, placement) = match d.kind {
+            SegKind::Cpu { .. } => (Track::Cpu, "cpu"),
+            SegKind::Gpu => (Track::Gpu, "gpu"),
+            SegKind::Split { .. } => (Track::Gpu, "split"),
+        };
+        let seg_span = spans.push(
+            track,
+            ws,
+            we,
+            SpanKind::Segment {
+                index: i as u32,
+                placement: placement.to_string(),
+            },
+            Some(job_span),
+        );
+        let rows: Vec<_> = v
+            .report
+            .levels
+            .iter()
+            .filter(|r| r.segment.map(|s| s as usize).unwrap_or(0).min(last) == i)
+            .collect();
+        let total: f64 = rows.iter().map(|r| r.time.max(0.0)).sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let mut t = ws;
+        for row in rows {
+            let dur = (we - ws) * row.time.max(0.0) / total;
+            spans.push(
+                track,
+                t,
+                t + dur,
+                SpanKind::Level { level: row.level },
+                Some(seg_span),
+            );
+            t += dur;
+        }
     }
 }

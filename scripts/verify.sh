@@ -31,6 +31,18 @@ cargo run -q --release -p hpu-bench --bin repro -- chaos \
     --jobs 8 --rates 0,0.2 --backend sim --seed 42 \
     | grep -q '^sim,0,8,8,' || { echo "chaos CSV smoke failed"; exit 1; }
 
+echo "== perf snapshot (smoke) =="
+# The quick matrix must produce a parseable, schema-compatible snapshot;
+# magnitude is not gated here (wall-clock metrics vary per machine), so
+# the comparison runs in --smoke mode against the committed baseline.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --release -p hpu-bench --bin repro -- perf \
+    --quick --label verify --seed 42 --out "$tmpdir"
+cargo run -q --release -p hpu-bench --bin repro -- perf \
+    --compare BENCH_seed.json "$tmpdir/BENCH_verify.json" --smoke \
+    || { echo "perf snapshot smoke comparison failed"; exit 1; }
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
