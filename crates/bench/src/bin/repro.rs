@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--full] [--out DIR] [--trace DIR]
-//! repro plan EXPERIMENT [...] [--full] [--out DIR]
+//! repro plan EXPERIMENT [...] [--passes] [--full] [--out DIR]
 //! repro serve [--jobs N] [--rates R,R,...] [--backend sim|native|both]
 //!             [--seed S] [--out DIR]
 //! repro calibrate [--jobs N] [--gamma-skew K] [--seed S] [--out DIR]
@@ -16,7 +16,9 @@
 //!             all   (default: all)
 //! plan        instead of running, print the compiled execution plans
 //!             behind the experiment's strategies (one CSV row per plan
-//!             segment); model-only experiments are rejected
+//!             segment); model-only experiments are rejected; --passes
+//!             prints the optimizer pipeline instead — the plan IR before
+//!             and after each pass, with its predicted cost
 //! --full      paper-scale sizes (n = 2^24; takes much longer)
 //! --out DIR   also write each experiment to DIR/<name>.csv
 //!             (plans land in DIR/<name>.plan.csv)
@@ -111,16 +113,17 @@ fn fig7_grid(scale: &Scale, full: bool) -> Csv {
     exp::fig7(scale.fig7_n, &alphas, &levels)
 }
 
-/// `repro plan <exp> [...]`: print the compiled execution plans behind the
+/// `repro plan <exp> [...] [--passes]`: print the compiled execution
+/// plans (or, with `passes`, the per-pass optimizer pipeline) behind the
 /// named experiments instead of running them.
-fn plan_mode(wanted: &[String], scale: &Scale, out_dir: Option<&str>) {
-    if wanted.is_empty() {
-        eprintln!("usage: repro plan EXPERIMENT [...]");
+fn run_plan(experiments: &[String], passes: bool, scale: &Scale, out_dir: Option<&str>) {
+    if experiments.is_empty() {
+        eprintln!("{PLAN_USAGE}");
         std::process::exit(2);
     }
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
-    for name in wanted {
+    for name in experiments {
         let n = match name.as_str() {
             "fig7" => scale.fig7_n,
             "fig8" => *scale.fig8_sizes.last().expect("fig8 sizes"),
@@ -128,18 +131,57 @@ fn plan_mode(wanted: &[String], scale: &Scale, out_dir: Option<&str>) {
             "fig10" => *scale.fig10_sizes.last().expect("fig10 sizes"),
             _ => scale.ablation_n,
         };
-        let Some(csv) = exp::plan_csv(name, n) else {
+        let (csv, kind, file_suffix) = if passes {
+            (exp::plan_passes_csv(name, n), "plan passes", "passes.csv")
+        } else {
+            (exp::plan_csv(name, n), "plan", "plan.csv")
+        };
+        let Some(csv) = csv else {
             eprintln!("{name}: no execution plan (model-only or estimation experiment)");
             std::process::exit(2);
         };
-        let _ = writeln!(lock, "# === {name} plan ===");
+        let _ = writeln!(lock, "# === {name} {kind} ===");
         let _ = write!(lock, "{}", csv.render());
         let _ = writeln!(lock);
         if let Some(dir) = out_dir {
             std::fs::create_dir_all(dir).expect("create --out directory");
-            std::fs::write(format!("{dir}/{name}.plan.csv"), csv.render()).expect("write plan CSV");
+            std::fs::write(format!("{dir}/{name}.{file_suffix}"), csv.render())
+                .expect("write plan CSV");
         }
     }
+}
+
+/// `repro plan EXPERIMENT [...] [--passes] [--full] [--out DIR]`.
+///
+/// Experiments are positionals, so the argument list is split into the
+/// positional prefix of each flag group before the flag table validates
+/// the rest (same `--help`/unknown-flag convention as the other modes).
+fn plan_mode(rest: &[String]) {
+    let table: &[(&str, usize)] = &[("--passes", 0), ("--full", 0), ("--out", 1)];
+    let mut experiments: Vec<String> = Vec::new();
+    let mut flags: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = &rest[i];
+        if a.starts_with('-') {
+            let arity = table
+                .iter()
+                .find(|(f, _)| f == a)
+                .map(|(_, k)| *k)
+                .unwrap_or(0);
+            flags.push(a.clone());
+            flags.extend(rest.iter().skip(i + 1).take(arity).cloned());
+            i += 1 + arity;
+        } else {
+            experiments.push(a.clone());
+            i += 1;
+        }
+    }
+    validate_flags(&flags, table, PLAN_USAGE);
+    let full = flags.iter().any(|a| a == "--full");
+    let passes = flags.iter().any(|a| a == "--passes");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    run_plan(&experiments, passes, &scale, flag_value(&flags, "--out"));
 }
 
 fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
@@ -177,6 +219,14 @@ fn validate_flags(rest: &[String], flags: &[(&str, usize)], usage: &str) {
     }
 }
 
+const PLAN_USAGE: &str = "usage: repro plan EXPERIMENT [...] [--passes] [--full] [--out DIR]
+
+Prints the compiled execution plans behind the named experiments (one CSV
+row per plan segment) instead of running them; model-only experiments are
+rejected. --passes prints the optimizer pipeline instead: the plan IR
+before and after each pass, one row per segment, with the plan's
+predicted cost (plans land in DIR/<name>.plan.csv, pass dumps in
+DIR/<name>.passes.csv).";
 const SERVE_USAGE: &str = "usage: repro serve [--jobs N] [--rates R,R,...] \
 [--backend sim|native|both] [--seed S] [--out DIR]";
 const CHAOS_USAGE: &str = "usage: repro chaos [--jobs N] [--rates P,P,...] \
@@ -191,8 +241,8 @@ to `dev`, --out to `.`), or diffs two snapshots and exits 1 when any
 metric regressed past --threshold (relative, default 0.15). --smoke only
 checks schema and metric presence.";
 const TOP_USAGE: &str = "usage: repro [EXPERIMENT ...] [--full] [--out DIR] [--trace DIR]
-       repro plan EXPERIMENT [...] [--full] [--out DIR]
-       repro serve|chaos|calibrate|perf [--help]
+       repro plan EXPERIMENT [...] [--passes] [--full] [--out DIR]
+       repro plan|serve|chaos|calibrate|perf [--help]
 
 EXPERIMENT: table1 table2 fig3..fig10 ablation-coalescing
             ablation-schedule extension-workloads all (default: all)";
@@ -393,6 +443,10 @@ fn perf_mode(rest: &[String]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("plan") {
+        plan_mode(&args[1..]);
+        return;
+    }
     if args.first().map(String::as_str) == Some("serve") {
         serve_mode(&args[1..]);
         return;
@@ -439,8 +493,10 @@ fn main() {
         .collect();
     let scale = if full { Scale::full() } else { Scale::quick() };
 
+    // Legacy spelling with flags before the subcommand, e.g.
+    // `repro --out DIR plan fig9`.
     if wanted.first().map(String::as_str) == Some("plan") {
-        plan_mode(&wanted[1..], &scale, out_dir.as_deref());
+        run_plan(&wanted[1..], false, &scale, out_dir.as_deref());
         return;
     }
 

@@ -611,81 +611,61 @@ pub fn trace_bundle(n: usize) -> TraceBundle {
     }
 }
 
-/// The compiled execution plans behind an executable experiment, one row
-/// per plan segment: which level band runs where and what the transfer
-/// edges move. Returns `None` for model-only and estimation experiments
-/// (the tables and Figures 3–6) — they execute no plans.
-pub fn plan_csv(experiment: &str, n: usize) -> Option<Csv> {
-    use hpu_model::{compile, Direction, Placement, ScheduleSpec};
-
-    fn spec_label(spec: &ScheduleSpec) -> String {
-        match spec {
-            ScheduleSpec::Sequential => "sequential".into(),
-            ScheduleSpec::CpuParallel => "cpu_parallel".into(),
-            ScheduleSpec::GpuOnly => "gpu_only".into(),
-            ScheduleSpec::Basic { crossover: Some(c) } => format!("basic(crossover={c})"),
-            ScheduleSpec::Basic { crossover: None } => "basic(crossover=auto)".into(),
-            ScheduleSpec::Advanced {
-                alpha,
-                transfer_level,
-            } => format!("advanced(alpha={alpha:.4}; y={transfer_level})"),
-            ScheduleSpec::AdvancedAuto => "advanced(auto)".into(),
-        }
+fn spec_label(spec: &hpu_model::ScheduleSpec) -> String {
+    use hpu_model::ScheduleSpec;
+    match spec {
+        ScheduleSpec::Sequential => "sequential".into(),
+        ScheduleSpec::CpuParallel => "cpu_parallel".into(),
+        ScheduleSpec::GpuOnly => "gpu_only".into(),
+        ScheduleSpec::Basic { crossover: Some(c) } => format!("basic(crossover={c})"),
+        ScheduleSpec::Basic { crossover: None } => "basic(crossover=auto)".into(),
+        ScheduleSpec::Advanced {
+            alpha,
+            transfer_level,
+        } => format!("advanced(alpha={alpha:.4}; y={transfer_level})"),
+        ScheduleSpec::AdvancedAuto => "advanced(auto)".into(),
     }
+}
 
-    fn push_plan(
-        rows: &mut Vec<Vec<String>>,
-        platform: &str,
-        algo: &str,
-        rec: &Recurrence,
-        n: u64,
-        cfg: &MachineConfig,
-        spec: &ScheduleSpec,
-    ) {
-        let params = MachineParams::from_config(cfg);
-        let levels = rec.num_levels(n);
-        let plan = compile(spec, &params, rec, n, levels).expect("experiment schedules compile");
-        for (i, seg) in plan.segments.iter().enumerate() {
-            let placement = match &seg.placement {
-                Placement::Cpu { cores } => format!("cpu(cores={cores})"),
-                Placement::Gpu => "gpu".to_string(),
-                Placement::Split {
-                    alpha,
-                    cpu_tasks,
-                    tasks,
-                } => format!("split(alpha={alpha:.4}; cpu_tasks={cpu_tasks}; tasks={tasks})"),
-            };
-            let words = |dir: Direction| -> u64 {
-                seg.transfers
-                    .iter()
-                    .filter(|t| t.direction == dir)
-                    .map(|t| t.words)
-                    .sum()
-            };
-            rows.push(vec![
-                platform.to_string(),
-                algo.to_string(),
-                spec_label(spec),
-                spec_label(&plan.resolved),
-                n.to_string(),
-                i.to_string(),
-                seg.first_level.to_string(),
-                seg.last_level.to_string(),
-                placement,
-                words(Direction::ToGpu).to_string(),
-                words(Direction::ToCpu).to_string(),
-            ]);
-        }
+fn placement_label(placement: &hpu_model::Placement) -> String {
+    use hpu_model::Placement;
+    match placement {
+        Placement::Cpu { cores } => format!("cpu(cores={cores})"),
+        Placement::Gpu => "gpu".to_string(),
+        Placement::Split {
+            alpha,
+            cpu_tasks,
+            tasks,
+        } => format!("split(alpha={alpha:.4}; cpu_tasks={cpu_tasks}; tasks={tasks})"),
     }
+}
+
+/// One compilation an executable experiment performs:
+/// `(platform, algorithm, recurrence, machine, schedule)`.
+type PlanCase = (
+    &'static str,
+    &'static str,
+    Recurrence,
+    MachineConfig,
+    hpu_model::ScheduleSpec,
+);
+
+/// The compilations behind an executable experiment, or `None` for
+/// model-only and estimation experiments (the tables and Figures 3–6) —
+/// they execute no plans.
+fn plan_cases(experiment: &str) -> Option<Vec<PlanCase>> {
+    use hpu_model::ScheduleSpec;
 
     let rec = <MergeSort as BfAlgorithm<u32>>::recurrence(&MergeSort::new());
     let hpu1 = MachineConfig::hpu1_sim();
-    let mut rows = Vec::new();
-    let n64 = n as u64;
+    let mut cases: Vec<PlanCase> = Vec::new();
+    let mut push = |platform, algo, r: &Recurrence, cfg: &MachineConfig, spec: ScheduleSpec| {
+        cases.push((platform, algo, r.clone(), cfg.clone(), spec));
+    };
     match experiment {
         "fig7" | "fig10" => {
             for spec in [ScheduleSpec::Sequential, ScheduleSpec::AdvancedAuto] {
-                push_plan(&mut rows, "HPU1", "mergesort", &rec, n64, &hpu1, &spec);
+                push("HPU1", "mergesort", &rec, &hpu1, spec);
             }
         }
         "fig8" | "ablation-schedule" => {
@@ -698,18 +678,18 @@ pub fn plan_csv(experiment: &str, n: usize) -> Option<Csv> {
                     ScheduleSpec::Basic { crossover: None },
                     ScheduleSpec::AdvancedAuto,
                 ] {
-                    push_plan(&mut rows, p.name, "mergesort", &rec, n64, &cfg, &spec);
+                    push(p.name, "mergesort", &rec, &cfg, spec);
                 }
             }
         }
         "fig9" => {
             for spec in [ScheduleSpec::Sequential, ScheduleSpec::GpuOnly] {
-                push_plan(&mut rows, "HPU1", "mergesort", &rec, n64, &hpu1, &spec);
+                push("HPU1", "mergesort", &rec, &hpu1, spec);
             }
         }
         "ablation-coalescing" => {
             for spec in [ScheduleSpec::GpuOnly, ScheduleSpec::AdvancedAuto] {
-                push_plan(&mut rows, "HPU1", "mergesort", &rec, n64, &hpu1, &spec);
+                push("HPU1", "mergesort", &rec, &hpu1, spec);
             }
         }
         "extension-workloads" => {
@@ -727,11 +707,51 @@ pub fn plan_csv(experiment: &str, n: usize) -> Option<Csv> {
             ];
             for (name, r) in &recs {
                 for spec in [ScheduleSpec::Sequential, ScheduleSpec::AdvancedAuto] {
-                    push_plan(&mut rows, "HPU1", name, r, n64, &hpu1, &spec);
+                    push("HPU1", name, r, &hpu1, spec);
                 }
             }
         }
         _ => return None,
+    }
+    Some(cases)
+}
+
+/// The compiled execution plans behind an executable experiment, one row
+/// per plan segment: which level band runs where and what the transfer
+/// edges move. Returns `None` for model-only and estimation experiments
+/// (the tables and Figures 3–6) — they execute no plans.
+pub fn plan_csv(experiment: &str, n: usize) -> Option<Csv> {
+    use hpu_model::{compile, Direction};
+
+    let cases = plan_cases(experiment)?;
+    let mut rows = Vec::new();
+    let n64 = n as u64;
+    for (platform, algo, rec, cfg, spec) in &cases {
+        let params = MachineParams::from_config(cfg);
+        let levels = rec.num_levels(n64);
+        let plan = compile(spec, &params, rec, n64, levels).expect("experiment schedules compile");
+        for (i, seg) in plan.segments.iter().enumerate() {
+            let words = |dir: Direction| -> u64 {
+                seg.transfers
+                    .iter()
+                    .filter(|t| t.direction == dir)
+                    .map(|t| t.words)
+                    .sum()
+            };
+            rows.push(vec![
+                platform.to_string(),
+                algo.to_string(),
+                spec_label(spec),
+                spec_label(&plan.resolved),
+                n64.to_string(),
+                i.to_string(),
+                seg.first_level.to_string(),
+                seg.last_level.to_string(),
+                placement_label(&seg.placement),
+                words(Direction::ToGpu).to_string(),
+                words(Direction::ToCpu).to_string(),
+            ]);
+        }
     }
     Some(Csv {
         name: "plan",
@@ -747,6 +767,84 @@ pub fn plan_csv(experiment: &str, n: usize) -> Option<Csv> {
             "placement",
             "upload_words",
             "download_words",
+        ],
+        rows,
+    })
+}
+
+/// The pass-pipeline dump behind `repro plan --passes`: every compilation
+/// of the experiment starts from the naive lowered plan and runs each
+/// optimizer pass in pipeline order, dumping the IR before and after every
+/// pass — one CSV row per plan segment, with the plan's predicted cost
+/// repeated on each row so the per-pass cost monotonicity is visible.
+/// Returns `None` for model-only experiments, like [`plan_csv`].
+pub fn plan_passes_csv(experiment: &str, n: usize) -> Option<Csv> {
+    use hpu_model::{compile_unoptimized, default_passes, plan_cost, Direction, LevelProfile};
+
+    let cases = plan_cases(experiment)?;
+    let mut rows = Vec::new();
+    let n64 = n as u64;
+    for (platform, algo, rec, cfg, spec) in &cases {
+        let params = MachineParams::from_config(cfg);
+        let levels = rec.num_levels(n64);
+        let mut plan = compile_unoptimized(spec, &params, rec, n64, levels)
+            .expect("experiment schedules compile");
+        let profile = LevelProfile::new(&params, rec, n64);
+        let label = spec_label(spec);
+        let mut push_stage = |pass: &str, stage: &str, plan: &hpu_model::Plan, cost: f64| {
+            for (i, seg) in plan.segments.iter().enumerate() {
+                let words = |dir: Direction| -> u64 {
+                    seg.transfers
+                        .iter()
+                        .filter(|t| t.direction == dir)
+                        .map(|t| t.words)
+                        .sum()
+                };
+                rows.push(vec![
+                    platform.to_string(),
+                    algo.to_string(),
+                    label.clone(),
+                    pass.to_string(),
+                    stage.to_string(),
+                    n64.to_string(),
+                    i.to_string(),
+                    seg.first_level.to_string(),
+                    seg.last_level.to_string(),
+                    placement_label(&seg.placement),
+                    words(Direction::ToGpu).to_string(),
+                    words(Direction::ToCpu).to_string(),
+                    format!("{cost:.4}"),
+                ]);
+            }
+        };
+        for pass in default_passes() {
+            let before = plan_cost(&profile, &plan)
+                .expect("unoptimized plans price")
+                .total;
+            push_stage(pass.name(), "before", &plan, before);
+            plan = pass.run(plan);
+            let after = plan_cost(&profile, &plan)
+                .expect("optimized plans price")
+                .total;
+            push_stage(pass.name(), "after", &plan, after);
+        }
+    }
+    Some(Csv {
+        name: "plan_passes",
+        header: vec![
+            "platform",
+            "algorithm",
+            "schedule",
+            "pass",
+            "stage",
+            "n",
+            "segment",
+            "first_level",
+            "last_level",
+            "placement",
+            "upload_words",
+            "download_words",
+            "predicted_cost",
         ],
         rows,
     })
@@ -806,6 +904,58 @@ mod tests {
         // Model-only experiments have no plan.
         assert!(plan_csv("table2", 1 << 10).is_none());
         assert!(plan_csv("fig4", 1 << 10).is_none());
+    }
+
+    #[test]
+    fn plan_passes_csv_dumps_every_pass_and_never_raises_cost() {
+        let c = plan_passes_csv("fig9", 1 << 10).expect("fig9 executes plans");
+        assert_eq!(c.header.len(), 13);
+        for pass in ["dead-level-prune", "transfer-elision", "segment-fusion"] {
+            for stage in ["before", "after"] {
+                assert!(
+                    c.rows.iter().any(|r| r[3] == pass && r[4] == stage),
+                    "missing {pass}/{stage} rows"
+                );
+            }
+        }
+        // Per (schedule, pass): cost after ≤ cost before.
+        for row in &c.rows {
+            if row[4] != "after" {
+                continue;
+            }
+            let before = c
+                .rows
+                .iter()
+                .find(|r| r[2] == row[2] && r[3] == row[3] && r[4] == "before")
+                .expect("before row exists");
+            let b: f64 = before[12].parse().unwrap();
+            let a: f64 = row[12].parse().unwrap();
+            assert!(
+                a <= b * (1.0 + 1e-9),
+                "{} {} raised cost {b} -> {a}",
+                row[2],
+                row[3]
+            );
+        }
+        // The GPU-only pipeline visibly shrinks: the naive lowering has one
+        // segment per device level, the fused output a single band.
+        let naive = c
+            .rows
+            .iter()
+            .filter(|r| r[2] == "gpu_only" && r[3] == "dead-level-prune" && r[4] == "before")
+            .count();
+        let fused = c
+            .rows
+            .iter()
+            .filter(|r| r[2] == "gpu_only" && r[3] == "segment-fusion" && r[4] == "after")
+            .count();
+        assert!(
+            naive > fused,
+            "fusion must merge segments ({naive} -> {fused})"
+        );
+        assert_eq!(fused, 1, "GPU-only fuses to a single device band");
+        // Model-only experiments have no pass dump.
+        assert!(plan_passes_csv("table2", 1 << 10).is_none());
     }
 
     #[test]

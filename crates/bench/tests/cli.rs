@@ -53,6 +53,44 @@ fn plan_rejects_model_only_experiments_by_name() {
 }
 
 #[test]
+fn plan_passes_prints_the_optimizer_pipeline() {
+    let base = scratch("plan-passes");
+    let output = repro()
+        .args(["plan", "fig9", "--passes", "--out", base.to_str().unwrap()])
+        .output()
+        .expect("run repro plan --passes");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("platform,algorithm,schedule,pass,stage,"),
+        "pass-dump header missing: {stdout}"
+    );
+    for needle in [
+        ",dead-level-prune,before,",
+        ",dead-level-prune,after,",
+        ",transfer-elision,after,",
+        ",segment-fusion,after,",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+    let csv =
+        std::fs::read_to_string(base.join("fig9.passes.csv")).expect("pass dump written to --out");
+    assert!(csv.starts_with("platform,"));
+    // Model-only experiments are rejected with the same error as plain plan.
+    let output = repro()
+        .args(["plan", "fig4", "--passes"])
+        .output()
+        .expect("run repro");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("no execution plan"));
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn serve_emits_both_backends_at_every_rate() {
     let base = scratch("serve");
     let output = repro()
@@ -141,6 +179,7 @@ fn calibrate_rejects_a_nonsense_skew() {
 fn every_mode_answers_help_with_exit_zero() {
     for (args, needle) in [
         (vec!["--help"], "usage: repro"),
+        (vec!["plan", "--help"], "usage: repro plan"),
         (vec!["serve", "--help"], "usage: repro serve"),
         (vec!["chaos", "--help"], "usage: repro chaos"),
         (vec!["calibrate", "--help"], "usage: repro calibrate"),
@@ -180,6 +219,7 @@ fn help_lists_seed_and_out_flags() {
 #[test]
 fn unknown_flags_exit_two_with_usage() {
     for args in [
+        vec!["plan", "fig9", "--bogus"],
         vec!["serve", "--bogus"],
         vec!["chaos", "--nope", "3"],
         vec!["calibrate", "--jbos", "4"],

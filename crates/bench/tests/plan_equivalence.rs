@@ -10,6 +10,10 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use hpu_algos::closest_pair::ClosestPair;
+use hpu_algos::karatsuba::Karatsuba;
+use hpu_algos::matmul::DcMatmul;
+use hpu_algos::max_subarray::{to_segments, MaxSubarray};
 use hpu_algos::scan::DcScan;
 use hpu_algos::sum::DcSum;
 use hpu_algos::MergeSort;
@@ -17,7 +21,7 @@ use hpu_bench::experiments as exp;
 use hpu_bench::workload::uniform_input;
 use hpu_core::exec::{run_sim, Strategy};
 use hpu_core::{BfAlgorithm, Element, RunReport};
-use hpu_machine::{MachineConfig, SimHpu};
+use hpu_machine::{MachineConfig, SimHpu, SimMachineParams};
 
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -160,7 +164,135 @@ fn run_reports_match_seed_golden() {
     run_matrix_row(&mut out, "hpu1", &hpu1, &DcScan, || {
         (0..1u64 << 12).map(|i| i % 97).collect::<Vec<u64>>()
     });
+    // The §6.3 ablation pair's other half: the generic (uncoalesced) GPU
+    // translation of mergesort executes different kernels, so its reports
+    // are pinned separately from the coalesced default above.
+    run_matrix_row(&mut out, "hpu1", &hpu1, &MergeSort::generic(), || {
+        uniform_input(1 << 12, 42)
+    });
+    run_matrix_row(&mut out, "hpu1", &hpu1, &MaxSubarray, || {
+        let data: Vec<i64> = (0..1i64 << 12).map(|i| (i * 37 % 201) - 100).collect();
+        to_segments(&data)
+    });
     assert_matches_fixture("run_reports.txt", &out);
+}
+
+/// The staged compiler across **all eight algorithms** in `hpu-algos`
+/// (the coalesced and generic mergesort variants share a recurrence, so
+/// their plans coincide — their executions are pinned separately above;
+/// the tree-form algorithms compile plans through the same pipeline even
+/// though the breadth-first executors never run them). For every
+/// algorithm × strategy the naive lowering and each pass stage are pinned
+/// byte-exactly, and every pass must satisfy its cost-monotone,
+/// semantics-preserving invariant against the stage before it.
+#[test]
+fn pass_pipeline_plans_match_seed_golden_for_every_algorithm() {
+    use hpu_model::{
+        check_invariant, compile_unoptimized, default_passes, plan_cost, LevelProfile,
+        MachineParams, Placement, Plan, Recurrence, ScheduleSpec,
+    };
+
+    fn dump_plan(out: &mut String, plan: &Plan, cost: f64) {
+        let _ = writeln!(out, " segments={} cost={}", plan.segments.len(), f(cost));
+        for seg in &plan.segments {
+            let placement = match &seg.placement {
+                Placement::Cpu { cores } => format!("cpu({cores})"),
+                Placement::Gpu => "gpu".to_string(),
+                Placement::Split {
+                    alpha,
+                    cpu_tasks,
+                    tasks,
+                } => format!("split({alpha:.6};{cpu_tasks}/{tasks})"),
+            };
+            let transfers: Vec<String> = seg
+                .transfers
+                .iter()
+                .map(|t| format!("{:?}@{}x{}", t.direction, t.level, t.words))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  seg [{}..{}] {} transfers=[{}]",
+                seg.first_level,
+                seg.last_level,
+                placement,
+                transfers.join(" ")
+            );
+        }
+    }
+
+    let algos: Vec<(&str, Recurrence)> = vec![
+        (
+            "mergesort",
+            <MergeSort as BfAlgorithm<u32>>::recurrence(&MergeSort::new()),
+        ),
+        (
+            "mergesort_generic",
+            <MergeSort as BfAlgorithm<u32>>::recurrence(&MergeSort::generic()),
+        ),
+        ("sum", <DcSum as BfAlgorithm<u64>>::recurrence(&DcSum)),
+        ("scan", <DcScan as BfAlgorithm<u64>>::recurrence(&DcScan)),
+        (
+            "max_subarray",
+            <MaxSubarray as BfAlgorithm<hpu_algos::max_subarray::Segment>>::recurrence(
+                &MaxSubarray,
+            ),
+        ),
+        ("karatsuba", Karatsuba::recurrence()),
+        ("matmul", DcMatmul::recurrence()),
+        ("closest_pair", ClosestPair::recurrence()),
+    ];
+    let specs: Vec<(&str, ScheduleSpec)> = vec![
+        ("sequential", ScheduleSpec::Sequential),
+        ("cpu_parallel", ScheduleSpec::CpuParallel),
+        ("gpu_only", ScheduleSpec::GpuOnly),
+        ("basic_auto", ScheduleSpec::Basic { crossover: None }),
+        ("basic_2", ScheduleSpec::Basic { crossover: Some(2) }),
+        (
+            "advanced_a30_y3",
+            ScheduleSpec::Advanced {
+                alpha: 0.3,
+                transfer_level: 3,
+            },
+        ),
+        ("advanced_auto", ScheduleSpec::AdvancedAuto),
+    ];
+
+    let params = MachineParams::from_config(&MachineConfig::hpu1_sim());
+    let n = 1u64 << 10;
+    let mut out = String::new();
+    for (algo, rec) in &algos {
+        let levels = rec.num_levels(n);
+        let profile = LevelProfile::new(&params, rec, n);
+        for (label, spec) in &specs {
+            let _ = write!(out, "== {algo} n={n} {label}");
+            let mut plan = match compile_unoptimized(spec, &params, rec, n, levels) {
+                Ok(p) => p,
+                Err(e) => {
+                    let _ = writeln!(out, " error={e}");
+                    continue;
+                }
+            };
+            let cost = plan_cost(&profile, &plan).expect("naive plans price").total;
+            let _ = write!(out, "\nunoptimized");
+            dump_plan(&mut out, &plan, cost);
+            for pass in default_passes() {
+                let before = plan.clone();
+                plan = pass.run(plan);
+                check_invariant(&profile, &before, &plan).unwrap_or_else(|e| {
+                    panic!(
+                        "{algo}/{label}: pass {} broke its invariant: {e}",
+                        pass.name()
+                    )
+                });
+                let cost = plan_cost(&profile, &plan)
+                    .expect("optimized plans price")
+                    .total;
+                let _ = write!(out, "pass {}", pass.name());
+                dump_plan(&mut out, &plan, cost);
+            }
+        }
+    }
+    assert_matches_fixture("pass_plans.txt", &out);
 }
 
 #[test]

@@ -158,15 +158,25 @@ struct GpuRun {
     uncoalesced: u64,
 }
 
-/// Runs the base level plus combines up to runs of `to_chunk` elements on
-/// the device, ping-ponging `buf_a` → `buf_b`, booking every level's span
-/// off the device clock.
+/// Runs device levels `from_level ..` up to runs of `to_chunk` elements,
+/// ping-ponging `buf_a` → `buf_b`, booking every level's span off the
+/// device clock.
+///
+/// A band starting at level 0 executes the base cases first (the
+/// historical whole-band path). A band starting higher continues from
+/// partial results already resident on the device — either re-uploaded by
+/// the segment's own edges or left behind by a previous device segment
+/// whose round trip a transfer-elision pass removed; `start_in_first`
+/// names the buffer currently holding them.
+#[allow(clippy::too_many_arguments)]
 fn run_levels_gpu<T: Element, A: BfAlgorithm<T>>(
     algo: &A,
     gpu: &mut hpu_machine::SimGpu,
     buf_a: &mut DeviceBuffer<T>,
     buf_b: &mut DeviceBuffer<T>,
+    from_level: u32,
     to_chunk: usize,
+    start_in_first: bool,
     book: &mut LevelBook,
 ) -> Result<GpuRun, CoreError> {
     let a = algo.branching();
@@ -174,22 +184,28 @@ fn run_levels_gpu<T: Element, A: BfAlgorithm<T>>(
     let n = buf_a.len();
     let mut coalesced = 0u64;
     let mut uncoalesced = 0u64;
+    let mut in_first = start_in_first;
 
-    let t0 = gpu.clock();
-    let st = algo.gpu_base_level(gpu, buf_a, n / base)?;
-    book.gpu(
-        base as u64,
-        (n / base) as u64,
-        st.coalesced,
-        st.uncoalesced,
-        t0,
-        gpu.clock(),
-    );
-    coalesced += st.coalesced;
-    uncoalesced += st.uncoalesced;
+    let mut chunk;
+    if from_level == 0 {
+        let buf = if in_first { &mut *buf_a } else { &mut *buf_b };
+        let t0 = gpu.clock();
+        let st = algo.gpu_base_level(gpu, buf, n / base)?;
+        book.gpu(
+            base as u64,
+            (n / base) as u64,
+            st.coalesced,
+            st.uncoalesced,
+            t0,
+            gpu.clock(),
+        );
+        coalesced += st.coalesced;
+        uncoalesced += st.uncoalesced;
+        chunk = base.saturating_mul(a);
+    } else {
+        chunk = chunk_of(base, a, from_level);
+    }
 
-    let mut chunk = base.saturating_mul(a);
-    let mut in_first = true;
     while chunk <= to_chunk && chunk <= n {
         let level = LevelInfo {
             chunk,
@@ -365,20 +381,19 @@ impl<'a, T: Element> SimBackend<'a, T> {
         Ok(())
     }
 
-    /// Runs a device band over the uploaded region.
+    /// Runs a device band over the live device region. The region comes
+    /// from the segment's own upload edge, or — when a transfer-elision
+    /// pass removed the round trip — is still resident from the previous
+    /// device segment, in which case the band continues above the base
+    /// level from the buffer that segment's parity left the data in.
     fn gpu_band<A: BfAlgorithm<T>>(
         &mut self,
         algo: &A,
         band: &LevelBand,
     ) -> Result<BandStats, CoreError> {
-        if band.first != 0 {
-            return Err(CoreError::MalformedPlan {
-                reason: "device bands must start at the base level",
-            });
-        }
         let Some(dev) = self.device.as_mut() else {
             return Err(CoreError::MalformedPlan {
-                reason: "device band with no preceding upload edge",
+                reason: "device band with no live device region",
             });
         };
         let to_chunk = chunk_of(algo.base_chunk(), algo.branching(), band.last);
@@ -387,7 +402,9 @@ impl<'a, T: Element> SimBackend<'a, T> {
             &mut self.hpu.gpu,
             &mut dev.buf_a,
             &mut dev.buf_b,
+            band.first,
             to_chunk,
+            dev.in_first,
             &mut self.book,
         ) {
             Ok(run) => {
@@ -644,7 +661,8 @@ mod tests {
         let mut b = gpu.alloc::<u64>(8).unwrap();
         a.debug_fill(&[1, 2, 3, 4, 5, 6, 7, 8]);
         // 3 combine levels: result lands in the *other* buffer.
-        let run = run_levels_gpu(&SumAlgo, &mut gpu, &mut a, &mut b, 8, &mut book).unwrap();
+        let run =
+            run_levels_gpu(&SumAlgo, &mut gpu, &mut a, &mut b, 0, 8, true, &mut book).unwrap();
         assert!(!run.in_first);
         assert_eq!(b.debug_view()[0], 36);
         // Booked: base + chunks 2, 4, 8 on the GPU clock.
@@ -659,7 +677,8 @@ mod tests {
         let mut a2 = gpu.alloc::<u64>(4).unwrap();
         let mut b2 = gpu.alloc::<u64>(4).unwrap();
         a2.debug_fill(&[1, 2, 3, 4]);
-        let run2 = run_levels_gpu(&SumAlgo, &mut gpu, &mut a2, &mut b2, 4, &mut book2).unwrap();
+        let run2 =
+            run_levels_gpu(&SumAlgo, &mut gpu, &mut a2, &mut b2, 0, 4, true, &mut book2).unwrap();
         assert!(run2.in_first);
         assert_eq!(a2.debug_view()[0], 10);
     }
@@ -672,7 +691,8 @@ mod tests {
         let mut b = gpu.alloc::<u64>(8).unwrap();
         a.debug_fill(&[1, 1, 1, 1, 2, 2, 2, 2]);
         // Climb to runs of 4 only.
-        let run = run_levels_gpu(&SumAlgo, &mut gpu, &mut a, &mut b, 4, &mut book).unwrap();
+        let run =
+            run_levels_gpu(&SumAlgo, &mut gpu, &mut a, &mut b, 0, 4, true, &mut book).unwrap();
         let result = if run.in_first {
             a.debug_view()
         } else {

@@ -270,6 +270,48 @@ fn trivial_input_sizes_work() {
 }
 
 #[test]
+fn unoptimized_and_partially_optimized_plans_execute_identically() {
+    // The interpreter must handle every optimization stage of the pass
+    // pipeline: the naive one-segment-per-level IR (each device level with
+    // its own round trip), the elided form (device state kept live across
+    // segment boundaries), and the fully fused plans the compiler emits.
+    use hpu_machine::SimMachineParams;
+    use hpu_model::{compile_unoptimized, default_passes, MachineParams, ScheduleSpec};
+
+    let n = 1 << 10;
+    let rec = ToySort.recurrence();
+    for spec in [
+        ScheduleSpec::Sequential,
+        ScheduleSpec::CpuParallel,
+        ScheduleSpec::GpuOnly,
+        ScheduleSpec::Basic { crossover: Some(3) },
+        ScheduleSpec::Advanced {
+            alpha: 0.25,
+            transfer_level: 4,
+        },
+    ] {
+        let mut hpu = SimHpu::new(test_machine());
+        let params = MachineParams::from_sim(&hpu);
+        let unopt = compile_unoptimized(&spec, &params, &rec, n as u64, 10).unwrap();
+        // Execute the plan at every optimization stage: 0 passes (naive),
+        // 1 (pruned), 2 (elided, unfused), 3 (fully optimized).
+        let mut stages = vec![unopt.clone()];
+        let mut plan = unopt;
+        for pass in default_passes() {
+            plan = pass.run(plan);
+            stages.push(plan.clone());
+        }
+        let expect = sorted_copy(&input(n));
+        for (i, stage) in stages.iter().enumerate() {
+            let mut data = input(n);
+            hpu_core::run_sim_plan(&ToySort, &mut data, &mut hpu, stage)
+                .unwrap_or_else(|e| panic!("{spec:?} stage {i}: {e:?}"));
+            assert_eq!(data, expect, "{spec:?} at optimization stage {i}");
+        }
+    }
+}
+
+#[test]
 fn weak_gpu_machine_degrades_basic_to_cpu() {
     // γ·g = 2·(1/8) ... lanes=2, gamma_inv=8 -> γg = 0.25 < p = 4.
     let cfg = MachineConfig {

@@ -45,25 +45,30 @@
 
 pub mod advanced;
 pub mod basic;
+pub mod cache;
 pub mod calibrate;
 pub mod closed_form;
 pub mod cost;
 pub mod error;
 pub mod levels;
 pub mod params;
+pub mod passes;
 pub mod plan;
 pub mod prediction;
 pub mod recurrence;
 
 pub use advanced::{AdvancedSchedule, AdvancedSolver, GpuSaturation};
 pub use basic::BasicSchedule;
+pub use cache::{CacheStats, CanonSpec, PlanCache, PlanKey, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use calibrate::{Calibration, CalibrationError, Calibrator, CalibratorConfig, Observation};
 pub use cost::CostFn;
 pub use error::ModelError;
 pub use levels::LevelProfile;
 pub use params::MachineParams;
+pub use passes::{check_invariant, default_passes, PlanPass};
 pub use plan::{
-    compile, compile_timed, Direction, Placement, Plan, ScheduleSpec, Segment, Transfer,
+    compile, compile_timed, compile_unoptimized, resolve, Direction, Placement, Plan, ScheduleSpec,
+    Segment, Transfer,
 };
 pub use prediction::{plan_cost, predict_levels, LevelPrediction, PlanCost, SegmentCost};
 pub use recurrence::Recurrence;

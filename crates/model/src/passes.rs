@@ -1,0 +1,478 @@
+//! Optimizer passes over the [`Plan`] IR.
+//!
+//! [`crate::plan::compile`] first lowers a resolved schedule into a *naive*
+//! plan — one segment per executor level, each device level bracketed by
+//! its own upload/download pair — and then runs the pass pipeline returned
+//! by [`default_passes`] to reach the executable form:
+//!
+//! 1. [`DeadLevelPrune`] drops transfer edges that move zero words; they
+//!    charge the link latency `λ` for nothing and can only arise from
+//!    hand-built or degenerate plans.
+//! 2. [`TransferElision`] removes the download/upload pair at the boundary
+//!    of two adjacent device segments when both edges move the same words:
+//!    the data is already resident on the device, so the round trip through
+//!    the host is pure bus cost.
+//! 3. [`SegmentFusion`] merges adjacent segments with compatible placements
+//!    into one band, eliminating the per-segment dispatch boundary (and,
+//!    for concurrent splits, the per-level barrier between the units).
+//!
+//! Every pass is a semantics-preserving rewrite with a checkable
+//! invariant — [`check_invariant`] verifies that the rewritten plan still
+//! tiles the same executor levels, keeps the plan metadata, and that its
+//! [`plan_cost`] never increased. `compile` asserts this per pass in debug
+//! builds; the golden plan-equivalence suite asserts it for every
+//! algorithm × strategy pair.
+
+use crate::levels::LevelProfile;
+use crate::plan::{Direction, Placement, Plan, Segment};
+use crate::prediction::plan_cost;
+
+/// A named, semantics-preserving rewrite of a [`Plan`].
+///
+/// Passes must keep the segment tiling (`0 ..= exec_levels`, contiguous),
+/// the plan metadata (`n`, `exec_levels`, `resolved`) and may never
+/// increase the plan's predicted cost — [`check_invariant`] verifies all
+/// three against the input plan.
+pub trait PlanPass {
+    /// Stable name of the pass, used in CLI dumps and error messages.
+    fn name(&self) -> &'static str;
+    /// Rewrites the plan.
+    fn run(&self, plan: Plan) -> Plan;
+}
+
+/// Drops transfer edges that move zero words.
+///
+/// A zero-word edge still charges the link latency `λ` in the cost model
+/// and still forces the interpreter through an upload/download round, so
+/// pruning it is a strict improvement whenever `λ > 0` and a no-op
+/// otherwise.
+pub struct DeadLevelPrune;
+
+impl PlanPass for DeadLevelPrune {
+    fn name(&self) -> &'static str {
+        "dead-level-prune"
+    }
+
+    fn run(&self, mut plan: Plan) -> Plan {
+        for seg in &mut plan.segments {
+            seg.transfers.retain(|t| t.words > 0);
+        }
+        plan
+    }
+}
+
+/// Elides the download/upload round trip between adjacent device segments.
+///
+/// When segment `i` ends with a download of `w` words and segment `i + 1`
+/// (also placed on the device) starts with an upload of the same `w`
+/// words, the uploaded region is exactly the region just downloaded — the
+/// device already holds it, and the host does not touch it in between.
+/// Both edges are removed; the interpreter keeps the device region live
+/// across the segment boundary.
+pub struct TransferElision;
+
+impl TransferElision {
+    fn on_device(seg: &Segment) -> bool {
+        !matches!(seg.placement, Placement::Cpu { .. })
+    }
+}
+
+impl PlanPass for TransferElision {
+    fn name(&self) -> &'static str {
+        "transfer-elision"
+    }
+
+    fn run(&self, mut plan: Plan) -> Plan {
+        for i in 1..plan.segments.len() {
+            let (head, tail) = plan.segments.split_at_mut(i);
+            let prev = &mut head[i - 1];
+            let next = &mut tail[0];
+            if !Self::on_device(prev) || !Self::on_device(next) {
+                continue;
+            }
+            let down = prev
+                .transfers
+                .last()
+                .filter(|t| t.direction == Direction::ToCpu)
+                .map(|t| t.words);
+            let up = next
+                .transfers
+                .first()
+                .filter(|t| t.direction == Direction::ToGpu)
+                .map(|t| t.words);
+            if let (Some(d), Some(u)) = (down, up) {
+                if d == u && d > 0 {
+                    prev.transfers.pop();
+                    next.transfers.remove(0);
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Merges adjacent segments with compatible placements into one band.
+///
+/// Two segments fuse when their placements are equivalent — CPU bands on
+/// the same core count, any two GPU bands, and concurrent splits with the
+/// same `α` and the same integral CPU fraction — and no transfer edge
+/// forces a boundary between them (the earlier segment has no download,
+/// the later no upload; [`TransferElision`] establishes this for
+/// device-resident boundaries). The fused segment keeps the *later*
+/// segment's placement, because split task counts are expressed at a
+/// band's top level.
+pub struct SegmentFusion;
+
+impl SegmentFusion {
+    fn placements_fuse(a: &Placement, b: &Placement) -> bool {
+        match (a, b) {
+            (Placement::Cpu { cores: ca }, Placement::Cpu { cores: cb }) => ca == cb,
+            (Placement::Gpu, Placement::Gpu) => true,
+            (
+                Placement::Split {
+                    alpha: aa,
+                    cpu_tasks: ca,
+                    tasks: ta,
+                },
+                Placement::Split {
+                    alpha: ab,
+                    cpu_tasks: cb,
+                    tasks: tb,
+                },
+            ) => {
+                // Same requested α and the same integral fraction
+                // (cross-multiplied to avoid rounding).
+                aa == ab && (*ca as u128) * (*tb as u128) == (*cb as u128) * (*ta as u128)
+            }
+            _ => false,
+        }
+    }
+
+    fn boundary_is_clean(prev: &Segment, next: &Segment) -> bool {
+        prev.transfers
+            .iter()
+            .all(|t| t.direction == Direction::ToGpu)
+            && next
+                .transfers
+                .iter()
+                .all(|t| t.direction == Direction::ToCpu)
+    }
+}
+
+impl PlanPass for SegmentFusion {
+    fn name(&self) -> &'static str {
+        "segment-fusion"
+    }
+
+    fn run(&self, mut plan: Plan) -> Plan {
+        let mut fused: Vec<Segment> = Vec::with_capacity(plan.segments.len());
+        for seg in plan.segments.drain(..) {
+            match fused.last_mut() {
+                Some(prev)
+                    if Self::placements_fuse(&prev.placement, &seg.placement)
+                        && Self::boundary_is_clean(prev, &seg) =>
+                {
+                    prev.last_level = seg.last_level;
+                    // Split counts are defined at the band's top level:
+                    // the later (higher) segment's placement wins.
+                    prev.placement = seg.placement;
+                    prev.transfers.extend(seg.transfers);
+                }
+                _ => fused.push(seg),
+            }
+        }
+        plan.segments = fused;
+        plan
+    }
+}
+
+/// The pipeline [`crate::plan::compile`] runs, in order.
+pub fn default_passes() -> Vec<Box<dyn PlanPass>> {
+    vec![
+        Box::new(DeadLevelPrune),
+        Box::new(TransferElision),
+        Box::new(SegmentFusion),
+    ]
+}
+
+/// Verifies the per-pass invariant: `after` must tile the same executor
+/// levels as `before`, keep the plan metadata, and cost no more under
+/// `profile`. Returns a description of the first violation.
+pub fn check_invariant(profile: &LevelProfile, before: &Plan, after: &Plan) -> Result<(), String> {
+    if after.n != before.n
+        || after.exec_levels != before.exec_levels
+        || after.resolved != before.resolved
+    {
+        return Err("pass changed plan metadata".into());
+    }
+    let mut next = 0u32;
+    for seg in &after.segments {
+        if seg.first_level != next || seg.last_level < seg.first_level {
+            return Err(format!("segments no longer tile the tree at level {next}"));
+        }
+        next = seg.last_level + 1;
+    }
+    if next != after.exec_levels + 1 {
+        return Err("segments no longer reach the root".into());
+    }
+    let old = plan_cost(profile, before).map_err(|e| e.to_string())?;
+    let new = plan_cost(profile, after).map_err(|e| e.to_string())?;
+    let tol = 1e-9 * old.total.abs().max(1.0);
+    if new.total > old.total + tol {
+        return Err(format!(
+            "pass increased predicted cost: {} -> {}",
+            old.total, new.total
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{compile, compile_unoptimized, Direction, ScheduleSpec, Segment, Transfer};
+    use crate::{MachineParams, Recurrence};
+
+    fn machine() -> MachineParams {
+        MachineParams::hpu1().with_transfer_cost(100.0, 0.01)
+    }
+
+    fn specs() -> Vec<ScheduleSpec> {
+        vec![
+            ScheduleSpec::Sequential,
+            ScheduleSpec::CpuParallel,
+            ScheduleSpec::GpuOnly,
+            ScheduleSpec::Basic { crossover: None },
+            ScheduleSpec::Basic { crossover: Some(2) },
+            ScheduleSpec::Basic { crossover: Some(0) },
+            ScheduleSpec::Advanced {
+                alpha: 0.3,
+                transfer_level: 3,
+            },
+            ScheduleSpec::AdvancedAuto,
+        ]
+    }
+
+    #[test]
+    fn pipeline_reproduces_the_monolithic_shapes() {
+        // The staged compiler (naive lowering + passes) must produce
+        // byte-identical plans to the historical monolithic compile().
+        let machine = machine();
+        let rec = Recurrence::mergesort();
+        let n = 1u64 << 12;
+        let lx = rec.num_levels(n);
+        for spec in specs() {
+            let unopt = compile_unoptimized(&spec, &machine, &rec, n, lx).unwrap();
+            let mut plan = unopt.clone();
+            for pass in default_passes() {
+                plan = pass.run(plan);
+            }
+            let compiled = compile(&spec, &machine, &rec, n, lx).unwrap();
+            assert_eq!(plan, compiled, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn every_pass_is_cost_monotone_for_every_spec() {
+        let machine = machine();
+        let rec = Recurrence::mergesort();
+        let n = 1u64 << 12;
+        let lx = rec.num_levels(n);
+        let profile = crate::LevelProfile::new(&machine, &rec, n);
+        for spec in specs() {
+            let mut plan = compile_unoptimized(&spec, &machine, &rec, n, lx).unwrap();
+            for pass in default_passes() {
+                let before = plan.clone();
+                plan = pass.run(plan);
+                check_invariant(&profile, &before, &plan)
+                    .unwrap_or_else(|e| panic!("{spec:?} / {}: {e}", pass.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn elision_drops_interior_round_trips_only() {
+        let rec = Recurrence::mergesort();
+        let n = 1u64 << 8;
+        let lx = rec.num_levels(n);
+        let unopt = compile_unoptimized(&ScheduleSpec::GpuOnly, &machine(), &rec, n, lx).unwrap();
+        let elided = TransferElision.run(DeadLevelPrune.run(unopt));
+        // First segment keeps the upload, last keeps the download, no
+        // interior edges remain.
+        let edges: Vec<_> = elided.segments.iter().flat_map(|s| &s.transfers).collect();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].direction, Direction::ToGpu);
+        assert_eq!(edges[0].level, 0);
+        assert_eq!(edges[1].direction, Direction::ToCpu);
+        assert_eq!(edges[1].level, lx);
+    }
+
+    #[test]
+    fn elision_keeps_mismatched_words() {
+        // A download of w words followed by an upload of w' ≠ w is a real
+        // data movement and must survive.
+        let mut plan = Plan {
+            n: 16,
+            exec_levels: 1,
+            segments: vec![
+                Segment {
+                    first_level: 0,
+                    last_level: 0,
+                    placement: Placement::Gpu,
+                    transfers: vec![
+                        Transfer {
+                            direction: Direction::ToGpu,
+                            level: 0,
+                            words: 16,
+                        },
+                        Transfer {
+                            direction: Direction::ToCpu,
+                            level: 0,
+                            words: 16,
+                        },
+                    ],
+                },
+                Segment {
+                    first_level: 1,
+                    last_level: 1,
+                    placement: Placement::Gpu,
+                    transfers: vec![
+                        Transfer {
+                            direction: Direction::ToGpu,
+                            level: 1,
+                            words: 8,
+                        },
+                        Transfer {
+                            direction: Direction::ToCpu,
+                            level: 1,
+                            words: 8,
+                        },
+                    ],
+                },
+            ],
+            resolved: ScheduleSpec::GpuOnly,
+        };
+        plan = TransferElision.run(plan);
+        assert_eq!(
+            plan.segments.iter().flat_map(|s| &s.transfers).count(),
+            4,
+            "mismatched words must not elide"
+        );
+    }
+
+    #[test]
+    fn dead_prune_drops_zero_word_edges() {
+        let plan = Plan {
+            n: 8,
+            exec_levels: 0,
+            segments: vec![Segment {
+                first_level: 0,
+                last_level: 0,
+                placement: Placement::Gpu,
+                transfers: vec![
+                    Transfer {
+                        direction: Direction::ToGpu,
+                        level: 0,
+                        words: 0,
+                    },
+                    Transfer {
+                        direction: Direction::ToGpu,
+                        level: 0,
+                        words: 8,
+                    },
+                    Transfer {
+                        direction: Direction::ToCpu,
+                        level: 0,
+                        words: 8,
+                    },
+                ],
+            }],
+            resolved: ScheduleSpec::GpuOnly,
+        };
+        let pruned = DeadLevelPrune.run(plan);
+        assert_eq!(pruned.segments[0].transfers.len(), 2);
+        assert!(pruned.segments[0].transfers.iter().all(|t| t.words > 0));
+    }
+
+    #[test]
+    fn fusion_respects_transfer_boundaries() {
+        // Two GPU segments whose boundary still carries a (non-elidable)
+        // round trip must stay separate: merging would reorder the edges
+        // around the band.
+        let plan = Plan {
+            n: 16,
+            exec_levels: 1,
+            segments: vec![
+                Segment {
+                    first_level: 0,
+                    last_level: 0,
+                    placement: Placement::Gpu,
+                    transfers: vec![Transfer {
+                        direction: Direction::ToCpu,
+                        level: 0,
+                        words: 16,
+                    }],
+                },
+                Segment {
+                    first_level: 1,
+                    last_level: 1,
+                    placement: Placement::Gpu,
+                    transfers: vec![Transfer {
+                        direction: Direction::ToGpu,
+                        level: 1,
+                        words: 8,
+                    }],
+                },
+            ],
+            resolved: ScheduleSpec::GpuOnly,
+        };
+        let fused = SegmentFusion.run(plan);
+        assert_eq!(fused.segments.len(), 2);
+    }
+
+    #[test]
+    fn fusion_keeps_top_level_split_counts() {
+        let rec = Recurrence::mergesort();
+        let n = 1u64 << 12;
+        let lx = rec.num_levels(n);
+        let spec = ScheduleSpec::Advanced {
+            alpha: 0.3,
+            transfer_level: 3,
+        };
+        let unopt = compile_unoptimized(&spec, &machine(), &rec, n, lx).unwrap();
+        let mut plan = unopt;
+        for pass in default_passes() {
+            plan = pass.run(plan);
+        }
+        match plan.segments[0].placement {
+            Placement::Split {
+                cpu_tasks, tasks, ..
+            } => {
+                assert_eq!(tasks, 8);
+                assert_eq!(cpu_tasks, 2);
+            }
+            ref other => panic!("expected a split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invariant_rejects_a_cost_increase() {
+        let machine = machine();
+        let rec = Recurrence::mergesort();
+        let n = 1u64 << 10;
+        let lx = rec.num_levels(n);
+        let profile = crate::LevelProfile::new(&machine, &rec, n);
+        let plan = compile(&ScheduleSpec::GpuOnly, &machine, &rec, n, lx).unwrap();
+        let mut worse = plan.clone();
+        worse.segments[0].transfers.push(Transfer {
+            direction: Direction::ToCpu,
+            level: lx,
+            words: n,
+        });
+        assert!(check_invariant(&profile, &plan, &worse).is_err());
+        // And a broken tiling.
+        let mut torn = plan.clone();
+        torn.segments[0].last_level = 0;
+        assert!(check_invariant(&profile, &plan, &torn).is_err());
+    }
+}

@@ -168,7 +168,8 @@ impl Plan {
 /// into `metrics` as the `model.compile_ns` histogram (plus a
 /// `model.compiles` counter), so serving fleets can watch
 /// plan-compilation cost — part of every job's admission latency —
-/// through the live registry.
+/// through the live registry. Both entry points share one pipeline
+/// (resolve → lower → optimize); this wrapper only times it.
 pub fn compile_timed(
     spec: &ScheduleSpec,
     machine: &MachineParams,
@@ -187,7 +188,15 @@ pub fn compile_timed(
 /// Compiles a schedule into an executable [`Plan`] for input size `n` with
 /// `exec_levels` bottom-up combine levels.
 ///
-/// Mirrors the executors' historical parameter resolution exactly:
+/// The compiler is staged: [`resolve`] pins every derived parameter,
+/// [`compile_unoptimized`] lowers the resolved schedule into a naive
+/// one-segment-per-level plan, and the [`crate::passes::default_passes`]
+/// pipeline (dead-level pruning, transfer elision, segment fusion) rewrites
+/// it into the executable form. Debug builds assert the per-pass invariant
+/// — cost never increases, the level tiling and metadata are preserved —
+/// against the unoptimized plan.
+///
+/// Parameter resolution mirrors the executors' historical behavior exactly:
 ///
 /// * `Basic { crossover: None }` derives `⌈log_a(p/γ)⌉`; a machine not
 ///   worth using the GPU on (`γ·g < p`), or a crossover below the leaves
@@ -205,34 +214,38 @@ pub fn compile(
     n: u64,
     exec_levels: u32,
 ) -> Result<Plan, ModelError> {
+    let mut plan = compile_unoptimized(spec, machine, rec, n, exec_levels)?;
+    #[cfg(debug_assertions)]
+    let profile = crate::levels::LevelProfile::new(machine, rec, n);
+    for pass in crate::passes::default_passes() {
+        #[cfg(debug_assertions)]
+        let before = plan.clone();
+        plan = pass.run(plan);
+        #[cfg(debug_assertions)]
+        if let Err(e) = crate::passes::check_invariant(&profile, &before, &plan) {
+            panic!("optimizer pass {} violated its invariant: {e}", pass.name());
+        }
+    }
+    Ok(plan)
+}
+
+/// Resolves every derived parameter of a schedule without compiling it:
+/// the basic crossover is derived (and its degrade-to-CPU cases become
+/// [`ScheduleSpec::CpuParallel`]), `AdvancedAuto` runs the §5.2.2
+/// optimization down to an explicit `(α, y)`, and `Advanced` inputs are
+/// validated. The result is what [`Plan::resolved`] will carry.
+pub fn resolve(
+    spec: &ScheduleSpec,
+    machine: &MachineParams,
+    rec: &Recurrence,
+    n: u64,
+    exec_levels: u32,
+) -> Result<ScheduleSpec, ModelError> {
     let lx = exec_levels;
     match spec {
-        ScheduleSpec::Sequential => Ok(Plan::host_only(n, lx, 1, ScheduleSpec::Sequential)),
-        ScheduleSpec::CpuParallel => {
-            Ok(Plan::host_only(n, lx, machine.p, ScheduleSpec::CpuParallel))
-        }
-        ScheduleSpec::GpuOnly => Ok(Plan {
-            n,
-            exec_levels: lx,
-            segments: vec![Segment {
-                first_level: 0,
-                last_level: lx,
-                placement: Placement::Gpu,
-                transfers: vec![
-                    Transfer {
-                        direction: Direction::ToGpu,
-                        level: 0,
-                        words: n,
-                    },
-                    Transfer {
-                        direction: Direction::ToCpu,
-                        level: lx,
-                        words: n,
-                    },
-                ],
-            }],
-            resolved: ScheduleSpec::GpuOnly,
-        }),
+        ScheduleSpec::Sequential => Ok(ScheduleSpec::Sequential),
+        ScheduleSpec::CpuParallel => Ok(ScheduleSpec::CpuParallel),
+        ScheduleSpec::GpuOnly => Ok(ScheduleSpec::GpuOnly),
         ScheduleSpec::Basic { crossover } => {
             let cross = match crossover {
                 Some(c) => Some(*c),
@@ -241,44 +254,9 @@ pub fn compile(
             match cross {
                 // GPU not worth using, or crossover below the leaves:
                 // degrade to CPU-parallel (paper §5.1).
-                None => Ok(Plan::host_only(n, lx, machine.p, ScheduleSpec::CpuParallel)),
-                Some(c) if c > lx => {
-                    Ok(Plan::host_only(n, lx, machine.p, ScheduleSpec::CpuParallel))
-                }
-                Some(c) => {
-                    let split = lx - c;
-                    let mut segments = vec![Segment {
-                        first_level: 0,
-                        last_level: split,
-                        placement: Placement::Gpu,
-                        transfers: vec![
-                            Transfer {
-                                direction: Direction::ToGpu,
-                                level: 0,
-                                words: n,
-                            },
-                            Transfer {
-                                direction: Direction::ToCpu,
-                                level: split,
-                                words: n,
-                            },
-                        ],
-                    }];
-                    if c > 0 {
-                        segments.push(Segment {
-                            first_level: split + 1,
-                            last_level: lx,
-                            placement: Placement::Cpu { cores: machine.p },
-                            transfers: Vec::new(),
-                        });
-                    }
-                    Ok(Plan {
-                        n,
-                        exec_levels: lx,
-                        segments,
-                        resolved: ScheduleSpec::Basic { crossover: Some(c) },
-                    })
-                }
+                None => Ok(ScheduleSpec::CpuParallel),
+                Some(c) if c > lx => Ok(ScheduleSpec::CpuParallel),
+                Some(c) => Ok(ScheduleSpec::Basic { crossover: Some(c) }),
             }
         }
         ScheduleSpec::Advanced {
@@ -295,65 +273,17 @@ pub fn compile(
             if !(0.0..=1.0).contains(alpha) || !alpha.is_finite() {
                 return Err(ModelError::InvalidAlpha(*alpha));
             }
-            let tasks_y = (rec.a as u64)
-                .checked_pow(y)
-                .ok_or(ModelError::InvalidLevel {
-                    level: y,
-                    levels: lx,
-                })?;
-            if tasks_y < 2 {
-                return Err(ModelError::InvalidLevel {
-                    level: y,
-                    levels: lx,
-                });
-            }
-            let chunk_y = n / tasks_y;
-            let cpu_tasks = ((alpha * tasks_y as f64).round() as u64).clamp(1, tasks_y - 1);
-            let gpu_words = n - cpu_tasks * chunk_y;
-            let split = lx - y;
-            Ok(Plan {
-                n,
-                exec_levels: lx,
-                segments: vec![
-                    Segment {
-                        first_level: 0,
-                        last_level: split,
-                        placement: Placement::Split {
-                            alpha: *alpha,
-                            cpu_tasks,
-                            tasks: tasks_y,
-                        },
-                        transfers: vec![
-                            Transfer {
-                                direction: Direction::ToGpu,
-                                level: 0,
-                                words: gpu_words,
-                            },
-                            Transfer {
-                                direction: Direction::ToCpu,
-                                level: split,
-                                words: gpu_words,
-                            },
-                        ],
-                    },
-                    Segment {
-                        first_level: split + 1,
-                        last_level: lx,
-                        placement: Placement::Cpu { cores: machine.p },
-                        transfers: Vec::new(),
-                    },
-                ],
-                resolved: ScheduleSpec::Advanced {
-                    alpha: *alpha,
-                    transfer_level: y,
-                },
+            advanced_division(rec, n, y, *alpha, lx)?;
+            Ok(ScheduleSpec::Advanced {
+                alpha: *alpha,
+                transfer_level: y,
             })
         }
         ScheduleSpec::AdvancedAuto => {
             let solver = AdvancedSolver::new(machine, rec, n)?;
             let opt = solver.optimize();
             let y = (opt.transfer_level.round() as u32).clamp(1, lx.max(1));
-            compile(
+            resolve(
                 &ScheduleSpec::Advanced {
                     alpha: opt.alpha,
                     transfer_level: y,
@@ -365,6 +295,151 @@ pub fn compile(
             )
         }
     }
+}
+
+/// The integral `(α, y)` division (paper §5.2): chunks at the transfer
+/// level, the CPU's share of them, and the words the GPU's share moves.
+fn advanced_division(
+    rec: &Recurrence,
+    n: u64,
+    y: u32,
+    alpha: f64,
+    lx: u32,
+) -> Result<(u64, u64, u64), ModelError> {
+    let tasks_y = (rec.a as u64)
+        .checked_pow(y)
+        .ok_or(ModelError::InvalidLevel {
+            level: y,
+            levels: lx,
+        })?;
+    if tasks_y < 2 {
+        return Err(ModelError::InvalidLevel {
+            level: y,
+            levels: lx,
+        });
+    }
+    let chunk_y = n / tasks_y;
+    let cpu_tasks = ((alpha * tasks_y as f64).round() as u64).clamp(1, tasks_y - 1);
+    let gpu_words = n - cpu_tasks * chunk_y;
+    Ok((cpu_tasks, tasks_y, gpu_words))
+}
+
+/// Compiles a schedule into the *unoptimized* plan IR: one segment per
+/// executor level, each device level bracketed by its own upload/download
+/// pair. This is the pass pipeline's input — useful for inspecting what
+/// each optimizer pass does ([`repro plan --passes`]) and for asserting
+/// the cost-monotonicity invariant against the optimized plan.
+///
+/// [`repro plan --passes`]: crate::passes
+pub fn compile_unoptimized(
+    spec: &ScheduleSpec,
+    machine: &MachineParams,
+    rec: &Recurrence,
+    n: u64,
+    exec_levels: u32,
+) -> Result<Plan, ModelError> {
+    let resolved = resolve(spec, machine, rec, n, exec_levels)?;
+    lower(&resolved, machine, rec, n, exec_levels)
+}
+
+/// One naive per-level segment.
+fn level_segment(level: u32, placement: Placement, words: u64) -> Segment {
+    let transfers = if matches!(placement, Placement::Cpu { .. }) {
+        Vec::new()
+    } else {
+        vec![
+            Transfer {
+                direction: Direction::ToGpu,
+                level,
+                words,
+            },
+            Transfer {
+                direction: Direction::ToCpu,
+                level,
+                words,
+            },
+        ]
+    };
+    Segment {
+        first_level: level,
+        last_level: level,
+        placement,
+        transfers,
+    }
+}
+
+/// Lowers a [`resolve`]d schedule into the naive per-level plan IR.
+///
+/// Device levels each carry their own upload/download round trip; split
+/// levels all carry the band-top task counts (the integral fraction is
+/// identical at every level of the band, and counts are defined at a
+/// band's top level, which is what segment fusion preserves).
+fn lower(
+    resolved: &ScheduleSpec,
+    machine: &MachineParams,
+    rec: &Recurrence,
+    n: u64,
+    exec_levels: u32,
+) -> Result<Plan, ModelError> {
+    let lx = exec_levels;
+    let segments = match resolved {
+        ScheduleSpec::Sequential => (0..=lx)
+            .map(|k| level_segment(k, Placement::Cpu { cores: 1 }, 0))
+            .collect(),
+        ScheduleSpec::CpuParallel => (0..=lx)
+            .map(|k| level_segment(k, Placement::Cpu { cores: machine.p }, 0))
+            .collect(),
+        ScheduleSpec::GpuOnly => (0..=lx)
+            .map(|k| level_segment(k, Placement::Gpu, n))
+            .collect(),
+        ScheduleSpec::Basic { crossover: Some(c) } => {
+            let split = lx - c;
+            (0..=lx)
+                .map(|k| {
+                    if k <= split {
+                        level_segment(k, Placement::Gpu, n)
+                    } else {
+                        level_segment(k, Placement::Cpu { cores: machine.p }, 0)
+                    }
+                })
+                .collect()
+        }
+        ScheduleSpec::Advanced {
+            alpha,
+            transfer_level,
+        } => {
+            let y = *transfer_level;
+            let (cpu_tasks, tasks_y, gpu_words) = advanced_division(rec, n, y, *alpha, lx)?;
+            let split = lx - y;
+            (0..=lx)
+                .map(|k| {
+                    if k <= split {
+                        level_segment(
+                            k,
+                            Placement::Split {
+                                alpha: *alpha,
+                                cpu_tasks,
+                                tasks: tasks_y,
+                            },
+                            gpu_words,
+                        )
+                    } else {
+                        level_segment(k, Placement::Cpu { cores: machine.p }, 0)
+                    }
+                })
+                .collect()
+        }
+        // resolve() never leaves these unresolved.
+        ScheduleSpec::Basic { crossover: None } | ScheduleSpec::AdvancedAuto => {
+            unreachable!("lower() requires a resolve()d schedule")
+        }
+    };
+    Ok(Plan {
+        n,
+        exec_levels: lx,
+        segments,
+        resolved: resolved.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -602,6 +677,81 @@ mod tests {
             40,
         );
         assert!(matches!(big, Err(ModelError::InvalidLevel { .. })));
+    }
+
+    #[test]
+    fn unoptimized_plans_are_one_segment_per_level() {
+        let rec = Recurrence::mergesort();
+        let n = 1u64 << 12;
+        let lx = rec.num_levels(n);
+        let unopt = compile_unoptimized(
+            &ScheduleSpec::Basic { crossover: None },
+            &MachineParams::hpu1(),
+            &rec,
+            n,
+            lx,
+        )
+        .unwrap();
+        segments_tile_the_tree(&unopt);
+        assert_eq!(unopt.segments.len(), lx as usize + 1);
+        assert!(unopt.segments.iter().all(|s| s.first_level == s.last_level));
+        // Every device level carries its own upload/download round trip.
+        let device = unopt
+            .segments
+            .iter()
+            .filter(|s| !matches!(s.placement, Placement::Cpu { .. }))
+            .count();
+        assert_eq!(device, 3, "HPU1 crossover 10 leaves levels 0..=2 on GPU");
+        assert_eq!(unopt.transfer_words(), 2 * device as u64 * n);
+        // Resolution matches the optimized plan's.
+        let opt = mergesort_plan(&ScheduleSpec::Basic { crossover: None }, n).unwrap();
+        assert_eq!(unopt.resolved, opt.resolved);
+    }
+
+    #[test]
+    fn resolve_pins_every_derived_parameter() {
+        let machine = MachineParams::hpu1();
+        let rec = Recurrence::mergesort();
+        assert_eq!(
+            resolve(
+                &ScheduleSpec::Basic { crossover: None },
+                &machine,
+                &rec,
+                1 << 12,
+                12
+            ),
+            Ok(ScheduleSpec::Basic {
+                crossover: Some(10)
+            })
+        );
+        // Degrade cases resolve to CpuParallel.
+        assert_eq!(
+            resolve(
+                &ScheduleSpec::Basic {
+                    crossover: Some(99)
+                },
+                &machine,
+                &rec,
+                1 << 12,
+                12
+            ),
+            Ok(ScheduleSpec::CpuParallel)
+        );
+        // AdvancedAuto resolves to an explicit (α, y).
+        let auto = resolve(&ScheduleSpec::AdvancedAuto, &machine, &rec, 1 << 24, 24).unwrap();
+        assert!(matches!(auto, ScheduleSpec::Advanced { .. }));
+        // Invalid Advanced inputs fail at resolution.
+        assert!(resolve(
+            &ScheduleSpec::Advanced {
+                alpha: 2.0,
+                transfer_level: 2
+            },
+            &machine,
+            &rec,
+            1 << 8,
+            8
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Property test: [`PlanCache`] lookups are observationally identical to
+//! fresh compiles — same plan bytes, same admission cost, same errors —
+//! across randomized (algorithm, size, machine, strategy) triples and
+//! across generation bumps.
+
+use hpu_model::{
+    compile, plan_cost, CostFn, LevelProfile, MachineParams, PlanCache, Recurrence, ScheduleSpec,
+};
+
+/// SplitMix64 — a tiny deterministic PRNG, good enough to drive the
+/// sampler without pulling in a dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn recurrences() -> Vec<Recurrence> {
+    vec![
+        Recurrence::mergesort(),
+        Recurrence::dc_sum(),
+        Recurrence::karatsuba(),
+        Recurrence::dc_matmul(),
+        Recurrence::new(2, 2, CostFn::Linear(2.5), 1.0).unwrap(),
+        Recurrence::new(2, 2, CostFn::Constant(11.0), 1.0).unwrap(),
+    ]
+}
+
+fn machines() -> Vec<MachineParams> {
+    // Several belief states, as calibration would produce over time.
+    vec![
+        MachineParams::hpu1(),
+        MachineParams::hpu2(),
+        MachineParams::hpu1().with_transfer_cost(100.0, 0.01),
+        MachineParams::hpu1().with_transfer_cost(1000.0, 0.1),
+    ]
+}
+
+fn random_spec(rng: &mut SplitMix64, levels: u32) -> ScheduleSpec {
+    match rng.below(7) {
+        0 => ScheduleSpec::Sequential,
+        1 => ScheduleSpec::CpuParallel,
+        2 => ScheduleSpec::GpuOnly,
+        3 => ScheduleSpec::Basic { crossover: None },
+        4 => ScheduleSpec::Basic {
+            crossover: Some(rng.below(levels.max(1) as u64 + 2) as u32),
+        },
+        5 => ScheduleSpec::Advanced {
+            // Deliberately includes invalid draws (α near 0/1, y at the
+            // edges): errors must be as transparent as successes.
+            alpha: rng.unit(),
+            transfer_level: rng.below(levels as u64 + 2) as u32,
+        },
+        _ => ScheduleSpec::AdvancedAuto,
+    }
+}
+
+/// The cache, under random load with random invalidations, returns
+/// byte-for-byte what a fresh compile returns — including failures.
+#[test]
+fn cache_lookups_match_fresh_compiles_across_random_triples() {
+    let recs = recurrences();
+    let machines = machines();
+    let mut rng = SplitMix64(0xC0FF_EE00_D15E_A5E5);
+    // A small capacity forces LRU evictions into the sampled window, so
+    // re-compiles after eviction are exercised too.
+    let mut cache = PlanCache::new(16);
+    let mut bumps = 0u32;
+    for iter in 0..500 {
+        let rec = &recs[rng.below(recs.len() as u64) as usize];
+        let machine = &machines[rng.below(machines.len() as u64) as usize];
+        let n = 1u64 << (4 + rng.below(11));
+        let levels = rec.num_levels(n);
+        let spec = random_spec(&mut rng, levels);
+
+        let cached = cache.lookup_or_compile(&spec, machine, rec, n, levels, None);
+        let fresh = compile(&spec, machine, rec, n, levels);
+        match (cached, fresh) {
+            (Ok((plan, cost)), Ok(fresh_plan)) => {
+                let profile = LevelProfile::new(machine, rec, n);
+                let fresh_cost = plan_cost(&profile, &fresh_plan).expect("fresh plans price");
+                assert_eq!(*plan, fresh_plan, "iter {iter}: plan diverged for {spec:?}");
+                assert_eq!(*cost, fresh_cost, "iter {iter}: cost diverged for {spec:?}");
+            }
+            (Err(ce), Err(fe)) => {
+                assert_eq!(
+                    ce.to_string(),
+                    fe.to_string(),
+                    "iter {iter}: errors diverged for {spec:?}"
+                );
+            }
+            (cached, fresh) => panic!(
+                "iter {iter}: cache and fresh compile disagree on success for {spec:?}: \
+                 cached.is_ok()={} fresh.is_ok()={}",
+                cached.is_ok(),
+                fresh.is_ok()
+            ),
+        }
+
+        // Occasionally a calibration drift event invalidates everything;
+        // subsequent lookups must lazily re-fill and still match.
+        if rng.below(25) == 0 {
+            cache.bump_generation();
+            bumps += 1;
+        }
+    }
+    let stats = cache.stats();
+    assert!(bumps > 0, "the sampler must exercise generation bumps");
+    assert!(
+        stats.hits > 0,
+        "the sampler must exercise cache hits: {stats:?}"
+    );
+    assert!(
+        stats.evictions > 0,
+        "the sampler must exercise LRU evictions: {stats:?}"
+    );
+}
+
+/// A generation bump behaves exactly like a cold cache: the very same
+/// key misses once, re-fills, and the re-filled entry still matches a
+/// fresh compile byte for byte.
+#[test]
+fn generation_bump_refills_to_fresh_compile_results() {
+    let machine = MachineParams::hpu1().with_transfer_cost(100.0, 0.01);
+    let rec = Recurrence::mergesort();
+    let n = 1u64 << 12;
+    let levels = rec.num_levels(n);
+    let spec = ScheduleSpec::Basic { crossover: None };
+    let mut cache = PlanCache::new(8);
+
+    let (before, _) = cache
+        .lookup_or_compile(&spec, &machine, &rec, n, levels, None)
+        .unwrap();
+    for gen in 1..=3u64 {
+        cache.bump_generation();
+        assert_eq!(cache.generation(), gen);
+        let (after, cost) = cache
+            .lookup_or_compile(&spec, &machine, &rec, n, levels, None)
+            .unwrap();
+        let fresh = compile(&spec, &machine, &rec, n, levels).unwrap();
+        let profile = LevelProfile::new(&machine, &rec, n);
+        let fresh_cost = plan_cost(&profile, &fresh).unwrap();
+        assert_eq!(*after, fresh, "generation {gen}");
+        assert_eq!(*cost, fresh_cost, "generation {gen}");
+        assert_eq!(*after, *before, "same beliefs, same plan across bumps");
+    }
+    assert_eq!(
+        cache.stats().misses,
+        4,
+        "one compulsory miss per generation"
+    );
+    assert_eq!(cache.stats().hits, 0);
+}

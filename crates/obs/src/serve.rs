@@ -177,6 +177,14 @@ pub struct ServeReport {
     /// Goodput under faults: completed jobs over submitted jobs
     /// (1.0 for an empty fleet — nothing was lost).
     pub goodput: f64,
+    /// Plan-cache hits during the run: admissions (and replan
+    /// re-pricings) whose compiled plan was served from the scheduler's
+    /// plan cache instead of a fresh compile. Set by the producing
+    /// scheduler via [`ServeReport::with_plan_cache`]; 0 otherwise.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (fresh compiles) during the run (same
+    /// provenance as `plan_cache_hits`).
+    pub plan_cache_misses: u64,
 }
 
 impl ServeReport {
@@ -272,6 +280,8 @@ impl ServeReport {
             retry_histogram,
             completed_degraded,
             goodput,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
             jobs,
         }
     }
@@ -282,6 +292,25 @@ impl ServeReport {
         self.fault_events = fault_events;
         self.breaker_trips = breaker_trips;
         self
+    }
+
+    /// Attaches the scheduler's plan-cache counters: lookups served from
+    /// cache (`hits`) versus fresh compiles (`misses`).
+    pub fn with_plan_cache(mut self, hits: u64, misses: u64) -> ServeReport {
+        self.plan_cache_hits = hits;
+        self.plan_cache_misses = misses;
+        self
+    }
+
+    /// Fraction of plan lookups served from the cache, or 0 when no
+    /// lookups were made (a scheduler running without a cache).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
     }
 
     /// JSON object of the summary fields (job records summarized as a
@@ -298,13 +327,13 @@ impl ServeReport {
         };
         let retries: Vec<String> = self.retry_histogram.iter().map(|c| c.to_string()).collect();
         format!(
-            "{{\"schema\":1,\"jobs\":{},\"makespan\":{},\"completed\":{},\"rejected\":{},\
+            "{{\"schema\":2,\"jobs\":{},\"makespan\":{},\"completed\":{},\"rejected\":{},\
              \"cancelled\":{},\"failed\":{},\"throughput\":{},\"p50_latency\":{},\
              \"p95_latency\":{},\"p99_latency\":{},\"max_latency\":{},\
              \"cpu_utilization\":{},\"gpu_utilization\":{},\"mean_abs_drift\":{},\
              \"mean_abs_drift_before\":{},\"mean_abs_drift_after\":{},\"fault_events\":{},\
              \"breaker_trips\":{},\"retry_histogram\":[{}],\"completed_degraded\":{},\
-             \"goodput\":{}}}",
+             \"goodput\":{},\"plan_cache_hits\":{},\"plan_cache_misses\":{}}}",
             self.jobs.len(),
             f(self.makespan),
             self.completed,
@@ -326,6 +355,8 @@ impl ServeReport {
             retries.join(","),
             self.completed_degraded,
             f(self.goodput),
+            self.plan_cache_hits,
+            self.plan_cache_misses,
         )
     }
 
@@ -338,7 +369,8 @@ impl ServeReport {
              utilization cpu {:.3} gpu {:.3} | mean |drift| {:.4} \
              (gen0 {:.4} / gen1+ {:.4})\n\
              faults {} | breaker trips {} | degraded completions {} | \
-             goodput {:.3} | retries {:?}\n",
+             goodput {:.3} | retries {:?}\n\
+             plan cache hits {} misses {} (hit rate {:.3})\n",
             self.jobs.len(),
             self.completed,
             self.rejected,
@@ -360,6 +392,9 @@ impl ServeReport {
             self.completed_degraded,
             self.goodput,
             self.retry_histogram,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_cache_hit_rate(),
         )
     }
 }
@@ -564,21 +599,29 @@ mod tests {
         a.predicted = 4.0;
         a.service = 4.0;
         let b = job(1, JobOutcome::QueueFull, 2.0, 2.0, 2.0);
-        let r = ServeReport::new(vec![a, b], 4.0, 2.0).with_fault_counts(1, 0);
-        let expected = "{\"schema\":1,\"jobs\":2,\"makespan\":5,\"completed\":1,\
+        let r = ServeReport::new(vec![a, b], 4.0, 2.0)
+            .with_fault_counts(1, 0)
+            .with_plan_cache(3, 2);
+        let expected = "{\"schema\":2,\"jobs\":2,\"makespan\":5,\"completed\":1,\
                         \"rejected\":1,\"cancelled\":0,\"failed\":0,\"throughput\":0.2,\
                         \"p50_latency\":5,\"p95_latency\":5,\"p99_latency\":5,\
                         \"max_latency\":5,\"cpu_utilization\":0.8,\"gpu_utilization\":0.4,\
                         \"mean_abs_drift\":0,\"mean_abs_drift_before\":0,\
                         \"mean_abs_drift_after\":0,\"fault_events\":1,\"breaker_trips\":0,\
-                        \"retry_histogram\":[2],\"completed_degraded\":0,\"goodput\":0.5}";
+                        \"retry_histogram\":[2],\"completed_degraded\":0,\"goodput\":0.5,\
+                        \"plan_cache_hits\":3,\"plan_cache_misses\":2}";
         assert_eq!(r.to_json(), expected);
         // And it parses back as JSON with the right values.
         let j = crate::json::Json::parse(&r.to_json()).expect("valid JSON");
         assert_eq!(
             j.get("schema").and_then(crate::json::Json::as_f64),
-            Some(1.0)
+            Some(2.0)
         );
+        assert_eq!(
+            j.get("plan_cache_hits").and_then(crate::json::Json::as_f64),
+            Some(3.0)
+        );
+        assert!((r.plan_cache_hit_rate() - 0.6).abs() < 1e-12);
         assert_eq!(
             j.get("p99_latency").and_then(crate::json::Json::as_f64),
             Some(5.0)

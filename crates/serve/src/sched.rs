@@ -43,9 +43,9 @@ use hpu_machine::{
     FaultInjector, FaultPlan, MachineConfig, MachineError, SimHpu, SimMachineParams,
 };
 use hpu_model::{
-    compile, compile_timed, plan_cost, Calibration, CalibrationError, Calibrator, CalibratorConfig,
-    LevelProfile, MachineParams, ModelError, Observation, Placement, Plan, PlanCost, Recurrence,
-    ScheduleSpec,
+    compile, compile_timed, plan_cost, CacheStats, Calibration, CalibrationError, Calibrator,
+    CalibratorConfig, LevelProfile, MachineParams, ModelError, Observation, Placement, Plan,
+    PlanCache, PlanCost, Recurrence, ScheduleSpec, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 use hpu_obs::{
     FaultTag, JobOutcome, JobRecord, MetricsRegistry, ServeReport, SpanKind, SpanSet, TraceEvent,
@@ -91,6 +91,13 @@ pub struct ServeConfig {
     /// solo runs — the interpreter's per-segment timings. `None` — the
     /// default — serves unmetered with zero overhead.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Capacity of the per-fleet [`PlanCache`]: admission looks plans up
+    /// by canonical [`hpu_model::PlanKey`] instead of recompiling, and a
+    /// drift-triggered calibration replan becomes a generation bump plus
+    /// lazy re-fill. The default holds
+    /// [`DEFAULT_PLAN_CACHE_CAPACITY`] plans; `None` disables caching
+    /// and recompiles every admission (the pre-cache behavior).
+    pub plan_cache: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +111,7 @@ impl Default for ServeConfig {
             calibration: None,
             faults: None,
             metrics: None,
+            plan_cache: Some(DEFAULT_PLAN_CACHE_CAPACITY),
         }
     }
 }
@@ -263,6 +271,10 @@ pub struct ServeOutput {
     pub cpu_reservations: Vec<(f64, f64, usize)>,
     /// Drift-triggered replans performed (0 without calibration).
     pub replans: u64,
+    /// Plan-cache counters, when [`ServeConfig::plan_cache`] was on:
+    /// hits are admissions (or replan re-pricings) served by lookup,
+    /// misses are fresh compiles.
+    pub plan_cache: Option<CacheStats>,
     /// Final calibration state, when the loop was enabled.
     pub calibration: Option<Calibration>,
     /// Causal span tree of every dispatched job — a
@@ -306,6 +318,10 @@ impl SegDemand {
 /// per-unit evidence for the calibration loop.
 struct Variant {
     cost: f64,
+    /// The compiled plan the demands were measured under — shared with
+    /// the plan cache, and compared on replan so an unchanged plan keeps
+    /// its measured demands instead of re-running solo.
+    plan: Arc<Plan>,
     demands: Vec<SegDemand>,
     report: RunReport,
     obs: Observation,
@@ -417,6 +433,7 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
     let mut replans: u64 = 0;
     let mut fault_state = serve.faults.as_ref().map(FaultState::new);
     let mut spans = SpanSet::new();
+    let mut plan_cache: Option<PlanCache> = serve.plan_cache.map(PlanCache::new);
 
     let mut heap: EventHeap = BinaryHeap::new();
     let mut tick_seq = jobs.len() as u64;
@@ -477,6 +494,7 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
                     replans,
                     &mut errors,
                     fault_state.as_mut(),
+                    plan_cache.as_mut(),
                 );
             }
         }
@@ -496,6 +514,7 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
                     calibrator.as_ref().map(|c| c.calibration()),
                     replans,
                     fault_state.as_mut(),
+                    plan_cache.as_mut(),
                 );
             }
         }
@@ -510,6 +529,7 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
                     serve,
                     calibrator.as_ref().map(|c| c.calibration()),
                     &mut errors,
+                    plan_cache.as_mut(),
                 );
             }
         }
@@ -550,6 +570,10 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
     if let Some(f) = &fault_state {
         report = report.with_fault_counts(f.fault_events(), f.trips);
     }
+    let cache_stats = plan_cache.as_ref().map(|c| c.stats());
+    if let Some(s) = cache_stats {
+        report = report.with_plan_cache(s.hits, s.misses);
+    }
     ServeOutput {
         report,
         runs,
@@ -557,6 +581,7 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
         gpu_leases: arb.gpu_leases().to_vec(),
         cpu_reservations: arb.cpu_reservations().to_vec(),
         replans,
+        plan_cache: cache_stats,
         calibration: calibrator.map(|c| c.calibration().clone()),
         spans: spans.into_events(),
     }
@@ -655,11 +680,13 @@ impl VariantError {
     }
 }
 
-/// Compiles `spec` under `params`, prices it, and solo-runs it on the
-/// true machine to measure demands and calibration evidence. With a
-/// metrics registry attached, compilation is timed through
-/// [`compile_timed`] and the solo run samples the interpreter's
-/// per-segment timings.
+/// Compiles (or cache-looks-up) `spec` under `params`, prices it, and
+/// solo-runs it on the true machine to measure demands and calibration
+/// evidence. With a cache attached, admission is a [`PlanCache`] lookup
+/// keyed by canonical plan key — only misses compile. With a metrics
+/// registry attached, compilation is timed through [`compile_timed`],
+/// cache traffic lands in the `plan_cache.*` counters, and the solo run
+/// samples the interpreter's per-segment timings.
 #[allow(clippy::too_many_arguments)]
 fn build_variant(
     workload: &mut dyn Workload,
@@ -671,18 +698,42 @@ fn build_variant(
     levels: u32,
     faults: Option<&FaultState>,
     metrics: Option<&Arc<MetricsRegistry>>,
+    cache: Option<&mut PlanCache>,
 ) -> Result<Variant, VariantError> {
-    let plan = match metrics {
-        Some(m) => compile_timed(spec, params, rec, n, levels, m),
-        None => compile(spec, params, rec, n, levels),
-    }
-    .map_err(VariantError::Compile)?;
-    let profile = LevelProfile::new(params, rec, n);
-    let cost = plan_cost(&profile, &plan).map_err(VariantError::Compile)?;
+    let (plan, cost) = compile_through(spec, params, rec, n, levels, metrics, cache)?;
     // CPU-only plans never touch the device: they are structurally immune
     // to injected faults, so the injector is not attached.
     let faults = if plan.uses_gpu() { faults } else { None };
-    solo(workload, job_cfg, &plan, &cost, params, faults, metrics)
+    solo(workload, job_cfg, plan, cost, params, faults, metrics)
+}
+
+/// The compile-and-price step of [`build_variant`]: a cache lookup when
+/// a [`PlanCache`] is attached, a fresh [`compile`] + [`plan_cost`]
+/// otherwise.
+fn compile_through(
+    spec: &ScheduleSpec,
+    params: &MachineParams,
+    rec: &Recurrence,
+    n: u64,
+    levels: u32,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    cache: Option<&mut PlanCache>,
+) -> Result<(Arc<Plan>, Arc<PlanCost>), VariantError> {
+    match cache {
+        Some(c) => c
+            .lookup_or_compile(spec, params, rec, n, levels, metrics.map(|m| m.as_ref()))
+            .map_err(VariantError::Compile),
+        None => {
+            let plan = match metrics {
+                Some(m) => compile_timed(spec, params, rec, n, levels, m),
+                None => compile(spec, params, rec, n, levels),
+            }
+            .map_err(VariantError::Compile)?;
+            let profile = LevelProfile::new(params, rec, n);
+            let cost = plan_cost(&profile, &plan).map_err(VariantError::Compile)?;
+            Ok((Arc::new(plan), Arc::new(cost)))
+        }
+    }
 }
 
 /// Solo-runs the job's plan on a private virtual clock and folds the
@@ -691,8 +742,8 @@ fn build_variant(
 fn solo(
     workload: &mut dyn Workload,
     job_cfg: &MachineConfig,
-    plan: &Plan,
-    cost: &PlanCost,
+    plan: Arc<Plan>,
+    cost: Arc<PlanCost>,
     params: &MachineParams,
     faults: Option<&FaultState>,
     metrics: Option<&Arc<MetricsRegistry>>,
@@ -703,12 +754,12 @@ fn solo(
     };
     let (result, retries) = match faults {
         Some(f) => {
-            let (r, rs) = workload.run_plan_recover(&mut hpu, plan, &f.recovery);
+            let (r, rs) = workload.run_plan_recover(&mut hpu, &plan, &f.recovery);
             (r, rs.retries)
         }
         None => match metrics {
-            Some(m) => (workload.run_plan_metered(&mut hpu, plan, m.clone()), 0),
-            None => (workload.run_plan(&mut hpu, plan), 0),
+            Some(m) => (workload.run_plan_metered(&mut hpu, &plan, m.clone()), 0),
+            None => (workload.run_plan(&mut hpu, &plan), 0),
         },
     };
     let report = match result {
@@ -765,12 +816,32 @@ fn solo(
     };
     Ok(Variant {
         cost: cost.total,
+        plan,
         demands,
         report,
         obs,
         retries,
         degraded: false,
     })
+}
+
+/// Re-prices a variant whose recompiled plan came out identical: the
+/// admission cost and predicted evidence follow the corrected
+/// parameters, while the measured demands and report — deterministic
+/// replays on the *true* machine, which calibration never changes — are
+/// kept, skipping the redundant solo run.
+fn reprice(v: &mut Variant, plan: Arc<Plan>, cost: &PlanCost, params: &MachineParams) {
+    let predicted_bus: f64 = plan
+        .segments
+        .iter()
+        .flat_map(|s| &s.transfers)
+        .map(|t| params.transfer_time(t.words))
+        .sum();
+    v.obs.predicted_cpu = cost.cpu;
+    v.obs.predicted_gpu = (cost.gpu - predicted_bus).max(0.0);
+    v.obs.predicted_bus = predicted_bus;
+    v.cost = cost.total;
+    v.plan = plan;
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -786,6 +857,7 @@ fn admit(
     cal: Option<&Calibration>,
     generation: u64,
     mut faults: Option<&mut FaultState>,
+    mut cache: Option<&mut PlanCache>,
 ) {
     if let Some(m) = &serve.metrics {
         m.inc("serve.submitted", 1);
@@ -862,6 +934,7 @@ fn admit(
         levels,
         faults.as_deref(),
         serve.metrics.as_ref(),
+        cache.as_deref_mut(),
     ) {
         Ok(mut v) => {
             if uses_gpu(&v) {
@@ -906,6 +979,7 @@ fn admit(
                 levels,
                 None,
                 serve.metrics.as_ref(),
+                cache.as_deref_mut(),
             ) {
                 Ok(mut v) => {
                     v.degraded = true;
@@ -940,6 +1014,7 @@ fn admit(
             levels,
             None,
             serve.metrics.as_ref(),
+            cache,
         )
         .ok()
     } else {
@@ -959,15 +1034,24 @@ fn admit(
     });
 }
 
-/// Re-prices and re-compiles every still-queued job under the corrected
-/// parameters. A job whose re-pricing fails keeps its previous variants —
-/// replanning improves estimates, it must never kill a job.
+/// Re-prices every still-queued job under the corrected parameters. A
+/// job whose re-pricing fails keeps its previous variants — replanning
+/// improves estimates, it must never kill a job.
+///
+/// With a [`PlanCache`] attached (and no fault injection in play), a
+/// replan is a generation bump plus lazy re-fill: each queued job's spec
+/// recompiles through the cache — shared shapes compile once — and a job
+/// whose plan came out *identical* merely re-prices in place, skipping
+/// the redundant solo run (its measured demands replay the true machine,
+/// which calibration never changes). Only jobs whose plan structurally
+/// changed under the corrected parameters re-measure.
 ///
 /// With the GPU circuit breaker open, GPU specs re-compile straight to
 /// their CPU-only degradation: a replan racing a breaker trip must not
 /// compile (and solo-run) the doomed GPU shape a second time. Only jobs
 /// still in the queue are touched — a cancelled or dispatched job is
 /// already gone and can never be re-admitted by a replan.
+#[allow(clippy::too_many_arguments)]
 fn replan(
     queue: &mut [Queued],
     job_cfg: &MachineConfig,
@@ -976,7 +1060,11 @@ fn replan(
     generation: u64,
     errors: &mut Vec<ServeError>,
     mut faults: Option<&mut FaultState>,
+    mut cache: Option<&mut PlanCache>,
 ) {
+    if let Some(c) = cache.as_deref_mut() {
+        c.bump_generation();
+    }
     let breaker_open = faults.as_ref().is_some_and(|f| f.open);
     let cpu_only = ScheduleSpec::CpuParallel;
     for q in queue.iter_mut() {
@@ -996,6 +1084,44 @@ fn replan(
             continue;
         };
         let spec = if breaker_open { &cpu_only } else { &q.spec };
+        // Lazy fast path: unchanged plan → re-price only. Fault
+        // injection forces the slow path so the injector's event stream
+        // (fed by solo runs) stays exactly as before.
+        if faults.is_none() {
+            if let Some(c) = cache.as_deref_mut() {
+                let metrics = serve.metrics.as_deref();
+                if let Ok((plan, cost)) =
+                    c.lookup_or_compile(spec, &params, &rec, n, levels, metrics)
+                {
+                    if *plan == *q.primary.plan {
+                        reprice(&mut q.primary, plan, &cost, &params);
+                        if let Some(fb) = q.fallback.as_mut() {
+                            match c.lookup_or_compile(&cpu_only, &params, &rec, n, levels, metrics)
+                            {
+                                Ok((fp, fc)) if *fp == *fb.plan => reprice(fb, fp, &fc, &params),
+                                _ => {
+                                    q.fallback = build_variant(
+                                        q.workload.as_mut(),
+                                        &cpu_only,
+                                        job_cfg,
+                                        &params,
+                                        &rec,
+                                        n,
+                                        levels,
+                                        None,
+                                        serve.metrics.as_ref(),
+                                        Some(c),
+                                    )
+                                    .ok();
+                                }
+                            }
+                        }
+                        q.generation = generation;
+                        continue;
+                    }
+                }
+            }
+        }
         match build_variant(
             q.workload.as_mut(),
             spec,
@@ -1006,6 +1132,7 @@ fn replan(
             levels,
             faults.as_deref(),
             serve.metrics.as_ref(),
+            cache.as_deref_mut(),
         ) {
             Ok(mut v) => {
                 if uses_gpu(&v) {
@@ -1029,6 +1156,7 @@ fn replan(
                         levels,
                         None,
                         serve.metrics.as_ref(),
+                        cache.as_deref_mut(),
                     )
                     .ok()
                 } else {
@@ -1060,6 +1188,7 @@ fn degrade_queue(
     serve: &ServeConfig,
     cal: Option<&Calibration>,
     errors: &mut Vec<ServeError>,
+    mut cache: Option<&mut PlanCache>,
 ) {
     for q in queue.iter_mut() {
         if !uses_gpu(&q.primary) {
@@ -1094,6 +1223,7 @@ fn degrade_queue(
             levels,
             None,
             serve.metrics.as_ref(),
+            cache.as_deref_mut(),
         ) {
             Ok(mut v) => {
                 v.degraded = true;

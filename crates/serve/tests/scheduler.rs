@@ -494,3 +494,77 @@ fn native_calibration_learns_a_prediction_scale() {
         "jobs priced after the first completion should carry predictions"
     );
 }
+
+/// The plan cache is observationally transparent: serving with it on
+/// produces identical job records to serving with it off, while
+/// deduplicating compiles and reporting a positive hit rate.
+#[test]
+fn plan_cache_is_transparent_and_dedupes_compiles() {
+    let cfg = MachineConfig::hpu1_sim();
+    let spec = ScheduleSpec::Basic { crossover: Some(6) };
+    let jobs = || -> Vec<JobRequest> {
+        (0..6)
+            .map(|i| sort_job(&format!("j{i}"), spec.clone(), 1 << 10, i as f64 * 5.0))
+            .collect()
+    };
+    let cached = serve_sim(&cfg, &ServeConfig::default(), jobs());
+    let uncached = serve_sim(
+        &cfg,
+        &ServeConfig {
+            plan_cache: None,
+            ..Default::default()
+        },
+        jobs(),
+    );
+    assert_eq!(cached.report.jobs, uncached.report.jobs);
+    let stats = cached.plan_cache.expect("cache stats are reported");
+    assert!(stats.hits >= 1, "duplicate shapes must hit the cache");
+    assert!(cached.report.plan_cache_hits >= 1);
+    assert!(cached.report.plan_cache_hit_rate() > 0.0);
+    assert!(uncached.plan_cache.is_none());
+    assert_eq!(uncached.report.plan_cache_hits, 0);
+    assert_eq!(uncached.report.plan_cache_hit_rate(), 0.0);
+}
+
+/// Acceptance: a drift-triggered calibration replan is a generation bump
+/// plus lazy cache re-fill, not a synchronous recompile storm. With the
+/// cache on, the same miscalibrated fleet needs strictly fewer fresh
+/// compiles than with it off, because queued jobs sharing a shape
+/// compile once per generation and unchanged plans merely re-price.
+#[test]
+fn replan_bumps_generation_instead_of_recompiling_queued_jobs() {
+    use hpu_obs::{MetricValue, MetricsRegistry};
+    use std::sync::Arc;
+
+    let cfg = MachineConfig::hpu1_sim();
+    let run = |plan_cache: Option<usize>| -> (u64, u64) {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let serve = ServeConfig {
+            metrics: Some(metrics.clone()),
+            plan_cache,
+            ..miscalibrated_serve(&cfg)
+        };
+        // Simultaneous arrivals: the GPU lease serializes the fleet, so
+        // most jobs are still queued when the first completion's drift
+        // evidence triggers the replan.
+        let jobs: Vec<JobRequest> = (0..8)
+            .map(|i| sort_job(&format!("j{i}"), ScheduleSpec::GpuOnly, 1 << 10, 0.0))
+            .collect();
+        let out = serve_sim(&cfg, &serve, jobs);
+        assert_eq!(out.report.completed, 8);
+        let snap = metrics.snapshot();
+        let compiles = match snap.get("model.compiles") {
+            Some(MetricValue::Counter(c)) => *c,
+            other => panic!("model.compiles: expected a counter, got {other:?}"),
+        };
+        (compiles, out.replans)
+    };
+    let (with_cache, replans_on) = run(Some(64));
+    let (without_cache, replans_off) = run(None);
+    assert!(replans_on >= 1, "drift must trigger a replan (cache on)");
+    assert!(replans_off >= 1, "drift must trigger a replan (cache off)");
+    assert!(
+        with_cache < without_cache,
+        "the cache must cut replan compiles: {with_cache} (on) vs {without_cache} (off)"
+    );
+}
