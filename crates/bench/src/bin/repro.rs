@@ -8,8 +8,11 @@
 //! repro calibrate [--jobs N] [--gamma-skew K] [--seed S] [--out DIR]
 //! repro chaos [--jobs N] [--rates R,R,...] [--backend sim|native|both]
 //!             [--seed S] [--out DIR]
-//! repro perf [--label L] [--quick] [--seed S] [--out DIR]
+//! repro fleet [--jobs N] [--nodes N,N,...] [--rates R,R,...]
+//!             [--seed S] [--out DIR]
+//! repro perf [--label L] [--quick] [--seed S] [--seq N] [--out DIR]
 //! repro perf --compare OLD NEW [--threshold T] [--smoke]
+//! repro perf --compare-newest DIR NEW [--threshold T] [--smoke]
 //!
 //! EXPERIMENT: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             ablation-coalescing ablation-schedule extension-workloads
@@ -45,14 +48,23 @@
 //!             completed job in completion order — the abs_drift column is
 //!             the convergence curve (CSV lands in DIR/calibrate.csv with
 //!             --out); defaults: 24 jobs, seed 42
+//! fleet       offer the identical open-loop job stream to 1, 2, ... N
+//!             heterogeneous nodes through the hpu-fleet router and print
+//!             one goodput/latency/routing-quality CSV row per
+//!             (node count, offered rate) — the scaling story of the
+//!             multi-node layer (CSV lands in DIR/fleet.csv with --out);
+//!             defaults: 32 jobs, nodes 1,2,4, rates 1,6,96, seed 42
 //! perf        run the pinned perf matrix (admission latency, native
 //!             throughput, interpret-vs-direct overhead, plan-compile
-//!             time, serve goodput) and write a schema-versioned
-//!             BENCH_<label>.json snapshot to --out (default `.`); with
+//!             time, serve goodput, fleet scaling) and write a
+//!             schema-versioned BENCH_<label>.json snapshot with
+//!             trajectory position --seq to --out (default `.`); with
 //!             --compare, diff two snapshots instead and exit 1 when any
 //!             metric moved in its bad direction by more than --threshold
 //!             (relative, default 0.15) — --smoke only checks schema and
-//!             metric presence, for noisy CI runners
+//!             metric presence, for noisy CI runners; --compare-newest
+//!             picks the baseline automatically: the highest-seq
+//!             BENCH_*.json under DIR
 //!
 //! Every mode accepts --help; unknown flags exit with status 2.
 //! ```
@@ -233,16 +245,27 @@ const CHAOS_USAGE: &str = "usage: repro chaos [--jobs N] [--rates P,P,...] \
 [--backend sim|native|both] [--seed S] [--out DIR]  (rates are fault probabilities in [0,1])";
 const CALIBRATE_USAGE: &str =
     "usage: repro calibrate [--jobs N] [--gamma-skew K] [--seed S] [--out DIR]";
-const PERF_USAGE: &str = "usage: repro perf [--label L] [--quick] [--seed S] [--out DIR]
+const FLEET_USAGE: &str = "usage: repro fleet [--jobs N] [--nodes N,N,...] \
+[--rates R,R,...] [--seed S] [--out DIR]
+
+Offers the identical open-loop job stream to each node count in --nodes
+at each offered rate in --rates (multiples of one node's solo completion
+rate) and prints one CSV row per (node count, rate): goodput, latency
+percentiles, routing quality against the omniscient oracle, steal and
+migration counts. Defaults: 32 jobs, nodes 1,2,4, rates 1,6,96, seed 42.";
+const PERF_USAGE: &str = "usage: repro perf [--label L] [--quick] [--seed S] [--seq N] [--out DIR]
        repro perf --compare OLD NEW [--threshold T] [--smoke]
+       repro perf --compare-newest DIR NEW [--threshold T] [--smoke]
 
 Runs the pinned perf matrix and writes BENCH_<label>.json (label defaults
-to `dev`, --out to `.`), or diffs two snapshots and exits 1 when any
+to `dev`, --out to `.`, --seq stamps the snapshot's position on the
+committed trajectory), or diffs two snapshots and exits 1 when any
 metric regressed past --threshold (relative, default 0.15). --smoke only
-checks schema and metric presence.";
+checks schema and metric presence. --compare-newest diffs NEW against
+the highest-seq BENCH_*.json snapshot under DIR.";
 const TOP_USAGE: &str = "usage: repro [EXPERIMENT ...] [--full] [--out DIR] [--trace DIR]
        repro plan EXPERIMENT [...] [--passes] [--full] [--out DIR]
-       repro plan|serve|chaos|calibrate|perf [--help]
+       repro plan|serve|chaos|calibrate|fleet|perf [--help]
 
 EXPERIMENT: table1 table2 fig3..fig10 ablation-coalescing
             ablation-schedule extension-workloads all (default: all)";
@@ -374,8 +397,94 @@ fn calibrate_mode(rest: &[String]) {
     }
 }
 
-/// `repro perf [--label L] [--quick] [--seed S] [--out DIR]` or
-/// `repro perf --compare OLD NEW [--threshold T] [--smoke]`.
+/// `repro fleet [--jobs N] [--nodes N,..] [--rates R,..] [--seed S] [--out DIR]`.
+fn fleet_mode(rest: &[String]) {
+    validate_flags(
+        rest,
+        &[
+            ("--jobs", 1),
+            ("--nodes", 1),
+            ("--rates", 1),
+            ("--seed", 1),
+            ("--out", 1),
+        ],
+        FLEET_USAGE,
+    );
+    let jobs: usize = flag_value(rest, "--jobs")
+        .map(|v| v.parse().expect("--jobs takes an integer"))
+        .unwrap_or(32);
+    let node_counts: Vec<usize> = flag_value(rest, "--nodes")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .expect("--nodes takes comma-separated integers")
+        })
+        .collect();
+    if node_counts.contains(&0) {
+        eprintln!("--nodes counts must be at least 1");
+        std::process::exit(2);
+    }
+    let rates: Vec<f64> = flag_value(rest, "--rates")
+        .unwrap_or("1,6,96")
+        .split(',')
+        .map(|r| {
+            r.trim()
+                .parse()
+                .expect("--rates takes comma-separated numbers")
+        })
+        .collect();
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let csv = hpu_bench::fleet_scaling(jobs, &node_counts, &rates, seed);
+    print!("{}", csv.render());
+    if let Some(dir) = flag_value(rest, "--out") {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+        std::fs::write(format!("{dir}/fleet.csv"), csv.render()).expect("write fleet CSV");
+    }
+}
+
+/// Reads and parses one snapshot file, exiting 2 on failure.
+fn read_snapshot(path: &str) -> hpu_bench::PerfSnapshot {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    hpu_bench::PerfSnapshot::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Diffs `new` against `old`, prints the delta table, and exits 1 when
+/// any metric regressed (or the schemas refuse to diff).
+fn diff_snapshots(old: &hpu_bench::PerfSnapshot, new: &hpu_bench::PerfSnapshot, rest: &[String]) {
+    let threshold: f64 = flag_value(rest, "--threshold")
+        .map(|v| v.parse().expect("--threshold takes a number"))
+        .unwrap_or(0.15);
+    let smoke = rest.iter().any(|a| a == "--smoke");
+    match hpu_bench::compare(old, new, threshold, smoke) {
+        Ok(deltas) => {
+            print!("{}", hpu_bench::render_deltas(&deltas));
+            let regressed = deltas.iter().filter(|d| d.regressed).count();
+            if regressed > 0 {
+                eprintln!("{regressed} metric(s) regressed past threshold {threshold}");
+                std::process::exit(1);
+            }
+            println!("no regressions ({} metric(s) compared)", deltas.len());
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro perf [--label L] [--quick] [--seed S] [--seq N] [--out DIR]`,
+/// `repro perf --compare OLD NEW [--threshold T] [--smoke]` or
+/// `repro perf --compare-newest DIR NEW [--threshold T] [--smoke]`.
 fn perf_mode(rest: &[String]) {
     validate_flags(
         rest,
@@ -383,47 +492,30 @@ fn perf_mode(rest: &[String]) {
             ("--label", 1),
             ("--quick", 0),
             ("--seed", 1),
+            ("--seq", 1),
             ("--out", 1),
             ("--compare", 2),
+            ("--compare-newest", 2),
             ("--threshold", 1),
             ("--smoke", 0),
         ],
         PERF_USAGE,
     );
     if let Some(i) = rest.iter().position(|a| a == "--compare") {
-        let old_path = &rest[i + 1];
-        let new_path = &rest[i + 2];
-        let threshold: f64 = flag_value(rest, "--threshold")
-            .map(|v| v.parse().expect("--threshold takes a number"))
-            .unwrap_or(0.15);
-        let smoke = rest.iter().any(|a| a == "--smoke");
-        let read = |path: &str| {
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(2);
-            });
-            hpu_bench::PerfSnapshot::parse(&text).unwrap_or_else(|e| {
-                eprintln!("cannot parse {path}: {e}");
-                std::process::exit(2);
-            })
-        };
-        let old = read(old_path);
-        let new = read(new_path);
-        match hpu_bench::compare(&old, &new, threshold, smoke) {
-            Ok(deltas) => {
-                print!("{}", hpu_bench::render_deltas(&deltas));
-                let regressed = deltas.iter().filter(|d| d.regressed).count();
-                if regressed > 0 {
-                    eprintln!("{regressed} metric(s) regressed past threshold {threshold}");
-                    std::process::exit(1);
-                }
-                println!("no regressions ({} metric(s) compared)", deltas.len());
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                std::process::exit(1);
-            }
-        }
+        let old = read_snapshot(&rest[i + 1]);
+        let new = read_snapshot(&rest[i + 2]);
+        diff_snapshots(&old, &new, rest);
+        return;
+    }
+    if let Some(i) = rest.iter().position(|a| a == "--compare-newest") {
+        let dir = std::path::Path::new(&rest[i + 1]);
+        let (base_path, old) = hpu_bench::newest_snapshot(dir).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        eprintln!("baseline: {} (seq {})", base_path.display(), old.seq);
+        let new = read_snapshot(&rest[i + 2]);
+        diff_snapshots(&old, &new, rest);
         return;
     }
     let label = flag_value(rest, "--label").unwrap_or("dev");
@@ -431,8 +523,12 @@ fn perf_mode(rest: &[String]) {
     let seed: u64 = flag_value(rest, "--seed")
         .map(|v| v.parse().expect("--seed takes an integer"))
         .unwrap_or(42);
+    let seq: u64 = flag_value(rest, "--seq")
+        .map(|v| v.parse().expect("--seq takes an integer"))
+        .unwrap_or(0);
     let out_dir = flag_value(rest, "--out").unwrap_or(".");
-    let snap = hpu_bench::collect_perf(label, quick, seed);
+    let mut snap = hpu_bench::collect_perf(label, quick, seed);
+    snap.seq = seq;
     let json = snap.to_json();
     println!("{json}");
     std::fs::create_dir_all(out_dir).expect("create --out directory");
@@ -457,6 +553,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("chaos") {
         chaos_mode(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("fleet") {
+        fleet_mode(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("perf") {

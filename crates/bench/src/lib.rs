@@ -12,6 +12,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod fleet;
 pub mod perf;
 pub mod serving;
 pub mod timing;
@@ -19,6 +20,9 @@ pub mod workload;
 
 pub use chaos::chaos_sweep;
 pub use experiments::*;
-pub use perf::{collect_perf, compare, render_deltas, Delta, PerfSnapshot, PERF_SCHEMA};
+pub use fleet::fleet_scaling;
+pub use perf::{
+    collect_perf, compare, newest_snapshot, render_deltas, Delta, PerfSnapshot, PERF_SCHEMA,
+};
 pub use serving::{calibrate_sweep, serve_fleet, ServeBackend};
 pub use workload::{uniform_input, SplitMix64};

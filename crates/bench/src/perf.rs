@@ -4,13 +4,16 @@
 //!
 //! [`collect_perf`] runs the matrix — simulated serving (admission
 //! latency, plan-compile time, launch-overhead share, sampled straight
-//! from the live [`MetricsRegistry`]), chaos goodput, native serving
+//! from the live [`MetricsRegistry`]), chaos goodput, fleet scaling and
+//! routing quality off the pinned fleet matrix, native serving
 //! throughput, and the plan interpreter's wall-clock overhead against a
 //! direct breadth-first loop — and returns a [`PerfSnapshot`].
 //! Snapshots serialize to `BENCH_<label>.json`; [`compare`] is
 //! direction-aware (latency must not grow, throughput must not shrink)
 //! so a committed baseline plus the comparator turns every CI run into a
-//! point on the repo's perf trajectory.
+//! point on the repo's perf trajectory. Each snapshot carries a `seq`
+//! number so [`newest_snapshot`] can pick the latest committed baseline
+//! out of a directory of `BENCH_*.json` files.
 //!
 //! Virtual-time metrics (admission latency, goodput, overhead shares)
 //! are deterministic per seed; wall-clock metrics (native throughput,
@@ -55,6 +58,9 @@ const DIRECTIONS: &[(&str, bool)] = &[
     ("interpret_overhead_ratio", false),
     ("native_throughput_jobs_per_s", true),
     ("serve_goodput", true),
+    ("fleet_goodput_4n", true),
+    ("fleet_scaling_x", true),
+    ("fleet_routing_quality", false),
 ];
 
 /// Whether a growth in `metric` is an improvement (true) or a
@@ -78,6 +84,10 @@ pub struct PerfSnapshot {
     pub quick: bool,
     /// The workload seed.
     pub seed: u64,
+    /// Monotone position of this snapshot in the committed trajectory;
+    /// `--compare-newest` picks the baseline with the highest `seq`.
+    /// Snapshots written before this field existed parse as `seq` 0.
+    pub seq: u64,
     /// Metric name → value, sorted by name.
     pub metrics: BTreeMap<String, f64>,
 }
@@ -89,11 +99,12 @@ impl PerfSnapshot {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"schema\":{},\"label\":{},\"quick\":{},\"seed\":{},\"metrics\":{{",
+            "{{\"schema\":{},\"label\":{},\"quick\":{},\"seed\":{},\"seq\":{},\"metrics\":{{",
             self.schema,
             json_str(&self.label),
             self.quick,
-            self.seed
+            self.seed,
+            self.seq
         );
         for (i, (k, v)) in self.metrics.iter().enumerate() {
             if i > 0 {
@@ -125,6 +136,8 @@ impl PerfSnapshot {
             .get("seed")
             .and_then(Json::as_f64)
             .ok_or("missing seed field")? as u64;
+        // Pre-seq snapshots (the committed seed baseline) read as seq 0.
+        let seq = v.get("seq").and_then(Json::as_f64).unwrap_or(0.0) as u64;
         let Some(Json::Obj(fields)) = v.get("metrics") else {
             return Err("missing metrics object".to_string());
         };
@@ -140,6 +153,7 @@ impl PerfSnapshot {
             label,
             quick,
             seed,
+            seq,
             metrics,
         })
     }
@@ -230,6 +244,7 @@ pub fn collect_perf(label: &str, quick: bool, seed: u64) -> PerfSnapshot {
     let mut metrics = BTreeMap::new();
     sim_serve_metrics(quick, seed, &mut metrics);
     plan_acquire_metrics(quick, seed, &mut metrics);
+    fleet_metrics(quick, seed, &mut metrics);
     metrics.insert("serve_goodput".to_string(), chaos_goodput(quick, seed));
     metrics.insert(
         "native_throughput_jobs_per_s".to_string(),
@@ -244,8 +259,43 @@ pub fn collect_perf(label: &str, quick: bool, seed: u64) -> PerfSnapshot {
         label: label.to_string(),
         quick,
         seed,
+        seq: 0,
         metrics,
     }
+}
+
+/// Picks the newest committed baseline under `dir`: among the
+/// `BENCH_*.json` files that parse as snapshots, the one with the
+/// highest `seq` (name-ordered on ties, for determinism). Files that
+/// fail to parse are skipped, not fatal — the trajectory directory may
+/// hold other benchmark artifacts.
+pub fn newest_snapshot(
+    dir: &std::path::Path,
+) -> Result<(std::path::PathBuf, PerfSnapshot), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut best: Option<(std::path::PathBuf, PerfSnapshot)> = None;
+    let mut names: Vec<std::path::PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|s| s.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    names.sort();
+    for path in names {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(snap) = PerfSnapshot::parse(&text) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(_, b)| snap.seq > b.seq) {
+            best = Some((path, snap));
+        }
+    }
+    best.ok_or_else(|| format!("no BENCH_*.json snapshot found in {}", dir.display()))
 }
 
 /// Simulated serving at offered load 1 with the live registry attached:
@@ -362,6 +412,28 @@ fn p99(v: &mut [f64]) -> f64 {
     v.sort_by(|a, b| a.total_cmp(b));
     let idx = ((v.len() as f64) * 0.99).ceil() as usize;
     v[idx.saturating_sub(1).min(v.len() - 1)]
+}
+
+/// Fleet metrics off the pinned scaling matrix: 4-node goodput at
+/// saturating offered load, its ratio over the best single node on the
+/// identical stream, and routing quality (router mean latency over the
+/// omniscient oracle's) at a moderate rate. Virtual time —
+/// deterministic per seed.
+fn fleet_metrics(quick: bool, seed: u64, out: &mut BTreeMap<String, f64>) {
+    use crate::fleet::{scaling_nodes, scaling_point};
+    let jobs = if quick { 32 } else { 64 };
+    let rate = 96.0;
+    let four = scaling_point(scaling_nodes(4), jobs, rate, seed);
+    let hpu1 = scaling_point(vec![scaling_nodes(1).remove(0)], jobs, rate, seed);
+    let hpu2 = scaling_point(vec![scaling_nodes(2).remove(1)], jobs, rate, seed);
+    let best = hpu1.goodput.max(hpu2.goodput).max(1e-9);
+    out.insert("fleet_goodput_4n".to_string(), four.goodput);
+    out.insert("fleet_scaling_x".to_string(), four.goodput / best);
+    let moderate = scaling_point(scaling_nodes(4), jobs, 6.0, seed);
+    out.insert(
+        "fleet_routing_quality".to_string(),
+        moderate.routing_quality,
+    );
 }
 
 /// Chaos goodput at a pinned fault rate on the simulated backend.
@@ -488,6 +560,7 @@ mod tests {
             label: "test".to_string(),
             quick: true,
             seed: 42,
+            seq: 0,
             metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         }
     }
@@ -499,6 +572,35 @@ mod tests {
         assert!(json.starts_with("{\"schema\":1,\"label\":\"test\""));
         let back = PerfSnapshot::parse(&json).expect("parses back");
         assert_eq!(back, snap);
+    }
+
+    /// A snapshot without a `seq` field (the pre-seq committed baseline
+    /// format) parses as seq 0; a written seq survives the roundtrip.
+    #[test]
+    fn seq_defaults_to_zero_and_roundtrips() {
+        let legacy = "{\"schema\":1,\"label\":\"seed\",\"quick\":true,\"seed\":42,\"metrics\":{}}";
+        assert_eq!(PerfSnapshot::parse(legacy).unwrap().seq, 0);
+        let mut snap = snapshot(&[("serve_goodput", 1.0)]);
+        snap.seq = 7;
+        assert_eq!(PerfSnapshot::parse(&snap.to_json()).unwrap().seq, 7);
+    }
+
+    /// `newest_snapshot` picks the highest-seq parseable BENCH_*.json
+    /// and skips non-snapshot files instead of failing on them.
+    #[test]
+    fn newest_snapshot_picks_highest_seq() {
+        let dir = std::env::temp_dir().join(format!("hpu-perf-newest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, seq) in [("BENCH_seed.json", 0), ("BENCH_plancache.json", 1)] {
+            let mut snap = snapshot(&[("serve_goodput", 1.0)]);
+            snap.seq = seq;
+            std::fs::write(dir.join(name), snap.to_json()).unwrap();
+        }
+        std::fs::write(dir.join("BENCH_notes.json"), "not json").unwrap();
+        let (path, snap) = newest_snapshot(&dir).expect("finds a baseline");
+        assert_eq!(path.file_name().unwrap(), "BENCH_plancache.json");
+        assert_eq!(snap.seq, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Acceptance: the comparator flags an injected synthetic regression.

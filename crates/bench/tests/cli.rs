@@ -183,6 +183,7 @@ fn every_mode_answers_help_with_exit_zero() {
         (vec!["serve", "--help"], "usage: repro serve"),
         (vec!["chaos", "--help"], "usage: repro chaos"),
         (vec!["calibrate", "--help"], "usage: repro calibrate"),
+        (vec!["fleet", "--help"], "usage: repro fleet"),
         (vec!["perf", "--help"], "usage: repro perf"),
         (vec!["perf", "-h"], "usage: repro perf"),
     ] {
@@ -202,7 +203,7 @@ fn every_mode_answers_help_with_exit_zero() {
 
 #[test]
 fn help_lists_seed_and_out_flags() {
-    for mode in ["serve", "chaos", "calibrate", "perf"] {
+    for mode in ["serve", "chaos", "calibrate", "fleet", "perf"] {
         let output = repro().args([mode, "--help"]).output().expect("run repro");
         let stdout = String::from_utf8_lossy(&output.stdout);
         assert!(
@@ -223,6 +224,7 @@ fn unknown_flags_exit_two_with_usage() {
         vec!["serve", "--bogus"],
         vec!["chaos", "--nope", "3"],
         vec!["calibrate", "--jbos", "4"],
+        vec!["fleet", "--ndoes", "1,2"],
         vec!["perf", "--labell", "x"],
         vec!["--frobnicate"],
     ] {
@@ -315,6 +317,145 @@ fn perf_compare_gates_on_exit_code() {
         String::from_utf8_lossy(&smoke.stderr)
     );
 
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn fleet_writes_the_scaling_matrix() {
+    let base = scratch("fleet");
+    let output = repro()
+        .args([
+            "fleet",
+            "--jobs",
+            "8",
+            "--nodes",
+            "1,2",
+            "--rates",
+            "1,6",
+            "--seed",
+            "42",
+            "--out",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro fleet");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let csv = std::fs::read_to_string(base.join("fleet.csv")).expect("fleet.csv written");
+    let lines: Vec<&str> = csv.lines().collect();
+    assert!(lines[0].starts_with("nodes,rate,submitted,completed,rejected,goodput,"));
+    for prefix in ["1,1,8,", "1,6,8,", "2,1,8,", "2,6,8,"] {
+        assert!(
+            lines[1..].iter().any(|l| l.starts_with(prefix)),
+            "missing row {prefix} in:\n{csv}"
+        );
+    }
+    // stdout carries the same table.
+    assert!(String::from_utf8_lossy(&output.stdout).contains("routing_quality"));
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn fleet_rejects_a_zero_node_count() {
+    let output = repro()
+        .args(["fleet", "--nodes", "0,2"])
+        .output()
+        .expect("run repro fleet");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--nodes"));
+}
+
+#[test]
+fn perf_compare_newest_picks_the_highest_seq_baseline() {
+    let base = scratch("perf-newest");
+    std::fs::create_dir_all(&base).unwrap();
+    let snap = |seq: u64, latency: f64| {
+        format!(
+            "{{\"schema\":1,\"label\":\"t\",\"quick\":true,\"seed\":1,\"seq\":{seq},\
+             \"metrics\":{{\"serve_latency_p99\":{latency}}}}}"
+        )
+    };
+    // Old baseline would pass; the newest (highest-seq) one must be the
+    // comparison target, and it flags the regression.
+    std::fs::write(base.join("BENCH_old.json"), snap(0, 1000.0)).unwrap();
+    std::fs::write(base.join("BENCH_new.json"), snap(5, 100.0)).unwrap();
+    let candidate = base.join("candidate.json");
+    std::fs::write(&candidate, snap(0, 200.0)).unwrap();
+
+    let fail = repro()
+        .args([
+            "perf",
+            "--compare-newest",
+            base.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro perf");
+    assert_eq!(fail.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&fail.stderr).contains("BENCH_new.json"),
+        "stderr must name the chosen baseline: {}",
+        String::from_utf8_lossy(&fail.stderr)
+    );
+    assert!(String::from_utf8_lossy(&fail.stdout).contains("REGRESSED"));
+
+    // An empty directory is a hard error (exit 2), not a silent pass.
+    let empty = base.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let none = repro()
+        .args([
+            "perf",
+            "--compare-newest",
+            empty.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro perf");
+    assert_eq!(none.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&none.stderr).contains("no BENCH_"));
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn perf_seq_flag_stamps_the_snapshot() {
+    let base = scratch("perf-seq");
+    let output = repro()
+        .args([
+            "perf",
+            "--quick",
+            "--label",
+            "seqtest",
+            "--seed",
+            "7",
+            "--seq",
+            "11",
+            "--out",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro perf");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(base.join("BENCH_seqtest.json")).expect("snapshot written");
+    let snap = hpu_bench::PerfSnapshot::parse(&text).expect("snapshot parses");
+    assert_eq!(snap.seq, 11);
+    for metric in [
+        "fleet_goodput_4n",
+        "fleet_scaling_x",
+        "fleet_routing_quality",
+    ] {
+        assert!(
+            snap.metrics.contains_key(metric),
+            "snapshot misses {metric}"
+        );
+    }
     let _ = std::fs::remove_dir_all(&base);
 }
 

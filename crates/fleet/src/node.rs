@@ -1,0 +1,82 @@
+//! One fleet node: a resumable single-machine scheduler plus the
+//! fleet-side bookkeeping the router and stealer need.
+
+use hpu_machine::MachineConfig;
+use hpu_serve::{NodeSim, ServeConfig};
+
+/// Static description of one fleet node: its (possibly heterogeneous)
+/// machine and its private scheduler configuration — queue capacity,
+/// policy, assumed parameters, calibration, faults, metrics and plan
+/// cache are all per node.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Human-readable node label, carried into the fleet report.
+    pub name: String,
+    /// The node's machine.
+    pub machine: MachineConfig,
+    /// The node's scheduler configuration.
+    pub serve: ServeConfig,
+}
+
+impl NodeSpec {
+    /// A node over `machine` with the default scheduler configuration.
+    pub fn new(name: impl Into<String>, machine: MachineConfig) -> Self {
+        NodeSpec {
+            name: name.into(),
+            machine,
+            serve: ServeConfig::default(),
+        }
+    }
+
+    /// Replaces the node's scheduler configuration.
+    pub fn with_serve(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
+        self
+    }
+}
+
+/// A live node: the resumable scheduler plus residency and migration
+/// tallies.
+pub struct Node {
+    /// The node's label.
+    pub name: String,
+    /// The node's scheduler, driven one event at a time by the fleet.
+    pub sim: NodeSim,
+    /// Jobs the router placed here.
+    pub routed: usize,
+    /// Queued jobs migrated here from other nodes.
+    pub steals_in: usize,
+    /// Queued jobs migrated away to other nodes.
+    pub steals_out: usize,
+    /// Dataset ids resident on this node, least recently used first.
+    resident: Vec<u64>,
+}
+
+impl Node {
+    pub(crate) fn new(spec: &NodeSpec) -> Node {
+        Node {
+            name: spec.name.clone(),
+            sim: NodeSim::new(&spec.machine, &spec.serve),
+            routed: 0,
+            steals_in: 0,
+            steals_out: 0,
+            resident: Vec::new(),
+        }
+    }
+
+    /// Whether dataset `d` is already resident on this node — routing a
+    /// job over it here skips the host↔device staging transfer.
+    pub fn is_resident(&self, d: u64) -> bool {
+        self.resident.contains(&d)
+    }
+
+    /// Marks dataset `d` most recently used on this node, evicting the
+    /// least recently used id beyond `cap`.
+    pub(crate) fn touch_resident(&mut self, d: u64, cap: usize) {
+        self.resident.retain(|&r| r != d);
+        self.resident.push(d);
+        while self.resident.len() > cap.max(1) {
+            self.resident.remove(0);
+        }
+    }
+}

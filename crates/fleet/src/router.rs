@@ -1,0 +1,183 @@
+//! Job placement across fleet nodes.
+//!
+//! The cost/affinity router scores every node for each arriving job and
+//! places it on the minimum: the job's predicted cost *under that
+//! node's own beliefs* (assumed parameters corrected by its private
+//! calibration, served by its plan cache), plus a load penalty from the
+//! node's believed backlog, plus the believed staging-transfer time when
+//! the job's dataset is not already resident there — the XKaapi-style
+//! data-affinity term. A node whose GPU circuit breaker is open has its
+//! whole score multiplied by a demotion penalty: it can still serve
+//! (CPU-only), but only when every healthy node is far more loaded.
+
+use hpu_serve::QueuedShape;
+
+use crate::node::Node;
+
+/// How the fleet places arriving jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouterPolicy {
+    /// Trivial placement: node `k mod N` for the `k`-th arrival, no
+    /// pricing, no affinity. A 1-node fleet under this router is
+    /// observationally identical to plain `serve_sim`.
+    RoundRobin,
+    /// Cost/affinity scoring (the default — see the module docs).
+    CostAffinity {
+        /// Weight of the believed-backlog term (queued predicted cost
+        /// plus committed calendar beyond now).
+        load_weight: f64,
+        /// Multiplier applied to the score of a breaker-open node;
+        /// clamped to at least 1.
+        breaker_penalty: f64,
+        /// Whether the data-affinity transfer term is applied.
+        affinity: bool,
+    },
+}
+
+impl Default for RouterPolicy {
+    fn default() -> Self {
+        RouterPolicy::CostAffinity {
+            load_weight: 1.0,
+            breaker_penalty: 4.0,
+            affinity: true,
+        }
+    }
+}
+
+/// One routing decision.
+pub(crate) struct Placement {
+    /// Chosen node index.
+    pub node: usize,
+    /// The winning score (0 for [`RouterPolicy::RoundRobin`]).
+    pub score: f64,
+}
+
+/// Scores `shape` on every node and returns the placement. `rr` is the
+/// round-robin cursor, advanced only by that policy. Nodes with a full
+/// admission queue are skipped while any node has room (when all are
+/// full, the cheapest node takes the rejection).
+pub(crate) fn route(
+    policy: &RouterPolicy,
+    nodes: &mut [Node],
+    shape: Option<&QueuedShape>,
+    dataset: Option<u64>,
+    words: u64,
+    now: f64,
+    rr: &mut usize,
+) -> Placement {
+    debug_assert!(!nodes.is_empty());
+    let (load_weight, breaker_penalty, affinity) = match policy {
+        RouterPolicy::RoundRobin => {
+            let node = *rr % nodes.len();
+            *rr += 1;
+            return Placement { node, score: 0.0 };
+        }
+        RouterPolicy::CostAffinity {
+            load_weight,
+            breaker_penalty,
+            affinity,
+        } => (*load_weight, *breaker_penalty, *affinity),
+    };
+    let any_room = nodes
+        .iter()
+        .any(|n| n.sim.queue_len() < n.sim.queue_capacity());
+    let mut best = Placement {
+        node: 0,
+        score: f64::INFINITY,
+    };
+    for (i, node) in nodes.iter_mut().enumerate() {
+        if any_room && node.sim.queue_len() >= node.sim.queue_capacity() {
+            continue;
+        }
+        // Price under this node's beliefs (through its plan cache). A
+        // shape no node compiles falls back to pure load balancing.
+        let price = shape
+            .and_then(|s| node.sim.price(s))
+            .filter(|c| c.is_finite())
+            .unwrap_or(0.0);
+        let backlog = node.sim.queued_cost() + (node.sim.horizon() - now).max(0.0);
+        let transfer = match dataset.filter(|_| affinity) {
+            Some(d) if node.is_resident(d) => 0.0,
+            Some(_) => node.sim.believed_transfer_time(words),
+            None => 0.0,
+        };
+        let mut score = price + load_weight * backlog + transfer;
+        if node.sim.breaker_open() {
+            score *= breaker_penalty.max(1.0);
+        }
+        if score < best.score {
+            best = Placement { node: i, score };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use hpu_machine::MachineConfig;
+
+    use super::*;
+    use crate::node::NodeSpec;
+
+    fn two_idle_nodes() -> Vec<Node> {
+        vec![
+            Node::new(&NodeSpec::new("a", MachineConfig::hpu1_sim())),
+            Node::new(&NodeSpec::new("b", MachineConfig::hpu1_sim())),
+        ]
+    }
+
+    #[test]
+    fn round_robin_cycles_without_pricing() {
+        let mut nodes = two_idle_nodes();
+        let mut rr = 0;
+        let seq: Vec<usize> = (0..4)
+            .map(|_| {
+                route(
+                    &RouterPolicy::RoundRobin,
+                    &mut nodes,
+                    None,
+                    None,
+                    0,
+                    0.0,
+                    &mut rr,
+                )
+                .node
+            })
+            .collect();
+        assert_eq!(seq, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn affinity_prefers_the_resident_node() {
+        let mut nodes = two_idle_nodes();
+        nodes[1].touch_resident(7, 8);
+        let mut rr = 0;
+        let p = route(
+            &RouterPolicy::default(),
+            &mut nodes,
+            None,
+            Some(7),
+            1 << 20,
+            0.0,
+            &mut rr,
+        );
+        assert_eq!(
+            p.node, 1,
+            "equal idle nodes: residency must break the tie toward node 1"
+        );
+    }
+
+    #[test]
+    fn affinity_off_falls_back_to_the_index_tiebreak() {
+        let mut nodes = two_idle_nodes();
+        nodes[1].touch_resident(7, 8);
+        let policy = RouterPolicy::CostAffinity {
+            load_weight: 1.0,
+            breaker_penalty: 4.0,
+            affinity: false,
+        };
+        let mut rr = 0;
+        let p = route(&policy, &mut nodes, None, Some(7), 1 << 20, 0.0, &mut rr);
+        assert_eq!(p.node, 0, "without affinity the transfer term vanishes");
+    }
+}

@@ -1,0 +1,349 @@
+//! The deterministic multi-node fleet simulation.
+//!
+//! [`fleet_sim`] interleaves N independent [`NodeSim`] schedulers in one
+//! global virtual time: the earliest pending event — a fleet arrival or
+//! any node's next internal event — is processed first, with arrivals
+//! winning ties so a job routed at time `t` is admissible in the same
+//! instant. After every node event the stealer runs ([`crate::steal`]),
+//! and a node whose GPU circuit breaker newly tripped has its queue
+//! evacuated to healthy peers. Everything is deterministic: equal
+//! inputs give equal outputs, migration for migration.
+//!
+//! [`NodeSim`]: hpu_serve::NodeSim
+
+use std::sync::Arc;
+
+use hpu_machine::SimMachineParams;
+use hpu_model::{compile, plan_cost, LevelProfile, MachineParams, ScheduleSpec};
+use hpu_obs::{FleetReport, MetricsRegistry, ServeReport};
+use hpu_serve::{JobRequest, QueuedShape, ServeOutput, Workload};
+
+use crate::node::{Node, NodeSpec};
+use crate::router::{route, RouterPolicy};
+use crate::steal::{balance, evacuate, StealConfig, StealEvent, StealReason};
+
+/// One job submission to the fleet.
+pub struct FleetJobRequest {
+    /// Human-readable label, carried into the records.
+    pub name: String,
+    /// The schedule to compile the job's plan from.
+    pub spec: ScheduleSpec,
+    /// Submission time (fleet virtual time).
+    pub arrival: f64,
+    /// Latest acceptable completion time, if any.
+    pub deadline: Option<f64>,
+    /// Dataset the job reads, for the router's affinity term: jobs over
+    /// the same id prefer nodes where it is already resident.
+    pub dataset: Option<u64>,
+    /// The work itself.
+    pub workload: Box<dyn Workload>,
+}
+
+impl FleetJobRequest {
+    /// A deadline-free, affinity-free fleet submission.
+    pub fn new(
+        name: impl Into<String>,
+        spec: ScheduleSpec,
+        arrival: f64,
+        workload: Box<dyn Workload>,
+    ) -> Self {
+        FleetJobRequest {
+            name: name.into(),
+            spec,
+            arrival,
+            deadline: None,
+            dataset: None,
+            workload,
+        }
+    }
+
+    /// Attaches a completion deadline (fleet virtual time).
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Tags the job with the dataset it reads (see
+    /// [`FleetJobRequest::dataset`]).
+    pub fn with_dataset(mut self, dataset: u64) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+}
+
+/// Fleet configuration: the nodes plus routing and stealing knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The fleet's nodes, possibly heterogeneous.
+    pub nodes: Vec<NodeSpec>,
+    /// Job placement policy.
+    pub router: RouterPolicy,
+    /// Work-stealing knobs.
+    pub steal: StealConfig,
+    /// Datasets each node keeps resident (LRU) for the affinity term.
+    pub residency_capacity: usize,
+    /// Whether to run the omniscient lowest-completion-time oracle on
+    /// the same submission stream and report routing quality against it.
+    pub oracle: bool,
+    /// Fleet-level metrics registry (`fleet.*` counters, the routing
+    /// score histogram, end-of-run goodput/quality gauges). `None` —
+    /// the default — serves unmetered.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl FleetConfig {
+    /// A fleet over `nodes` with default routing (cost/affinity),
+    /// default stealing, an 8-dataset residency LRU, and the oracle on.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        FleetConfig {
+            nodes,
+            router: RouterPolicy::default(),
+            steal: StealConfig::default(),
+            residency_capacity: 8,
+            oracle: true,
+            metrics: None,
+        }
+    }
+}
+
+/// Everything a fleet run produces.
+pub struct FleetOutput {
+    /// Merged fleet-level metrics.
+    pub report: FleetReport,
+    /// Each node's full [`ServeOutput`], fleet node order.
+    pub nodes: Vec<ServeOutput>,
+    /// `(job id, node index)` for every routed job, submission order —
+    /// the *initial* placement; migrations are in
+    /// [`FleetOutput::steals`].
+    pub assignments: Vec<(u64, usize)>,
+    /// Every cross-node migration, occurrence order.
+    pub steals: Vec<StealEvent>,
+}
+
+/// One fleet arrival, pre-digested: the pricing shape is extracted
+/// before the workload moves into a node, so the router and the oracle
+/// can price it without touching the job.
+struct Incoming {
+    id: u64,
+    at: f64,
+    shape: Option<QueuedShape>,
+    dataset: Option<u64>,
+    words: u64,
+    job: Option<FleetJobRequest>,
+}
+
+/// Serves `jobs` over the fleet `cfg`. Deterministic: equal inputs give
+/// equal outputs, event for event and migration for migration.
+pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
+    let submitted = jobs.len();
+    let mut nodes: Vec<Node> = cfg.nodes.iter().map(Node::new).collect();
+    if nodes.is_empty() {
+        let report = FleetReport::new(Vec::new(), &[], Vec::new(), Vec::new(), Vec::new(), 0, 0, 0);
+        return FleetOutput {
+            report,
+            nodes: Vec::new(),
+            assignments: Vec::new(),
+            steals: Vec::new(),
+        };
+    }
+
+    // Digest and order arrivals: stable by (clamped arrival, submission
+    // index) — exactly the event order a single node's heap would use.
+    let mut incoming: Vec<Incoming> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| Incoming {
+            id: i as u64,
+            at: job.arrival.max(0.0),
+            shape: job.workload.exec_levels().ok().map(|levels| QueuedShape {
+                spec: job.spec.clone(),
+                rec: job.workload.recurrence(),
+                n: job.workload.input_len() as u64,
+                levels,
+            }),
+            dataset: job.dataset,
+            words: job.workload.input_len() as u64,
+            job: Some(job),
+        })
+        .collect();
+    incoming.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.id.cmp(&b.id)));
+
+    let oracle_mean = if cfg.oracle {
+        oracle_mean_latency(cfg, &incoming)
+    } else {
+        0.0
+    };
+
+    let mut datasets: Vec<Option<u64>> = vec![None; submitted];
+    let mut assignments: Vec<(u64, usize)> = Vec::new();
+    let mut steals_log: Vec<StealEvent> = Vec::new();
+    let mut rr = 0usize;
+    let mut idx = 0usize;
+    loop {
+        let next_arrival = incoming.get(idx).map(|inc| inc.at);
+        let next_node = nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.sim.next_event_time().map(|t| (t, i)))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        match (next_arrival, next_node) {
+            (None, None) => break,
+            // Arrival-first on ties: the routed job must be in its
+            // node's heap before that node processes the same instant.
+            (Some(at), ev) if ev.is_none_or(|(t, _)| at <= t) => {
+                let inc = &mut incoming[idx];
+                idx += 1;
+                let placement = route(
+                    &cfg.router,
+                    &mut nodes,
+                    inc.shape.as_ref(),
+                    inc.dataset,
+                    inc.words,
+                    at,
+                    &mut rr,
+                );
+                let job = inc.job.take().expect("each arrival routes once");
+                datasets[inc.id as usize] = inc.dataset;
+                let target = &mut nodes[placement.node];
+                target.routed += 1;
+                if let Some(d) = inc.dataset {
+                    target.touch_resident(d, cfg.residency_capacity);
+                }
+                target.sim.submit(
+                    inc.id,
+                    JobRequest {
+                        name: job.name,
+                        spec: job.spec,
+                        arrival: at,
+                        deadline: job.deadline,
+                        workload: job.workload,
+                    },
+                );
+                assignments.push((inc.id, placement.node));
+                if let Some(m) = &cfg.metrics {
+                    m.inc("fleet.submitted", 1);
+                    if placement.score.is_finite() {
+                        m.observe("fleet.route_score", placement.score);
+                    }
+                }
+            }
+            (_, Some((_, i))) => {
+                let was_open = nodes[i].sim.breaker_open();
+                nodes[i].sim.step();
+                let now = nodes[i].sim.now();
+                if !was_open && nodes[i].sim.breaker_open() {
+                    let evs = evacuate(&mut nodes, i, now);
+                    settle_migrations(&mut nodes, &datasets, &evs, cfg.residency_capacity);
+                    if let Some(m) = &cfg.metrics {
+                        m.inc("fleet.migrations", evs.len() as u64);
+                    }
+                    steals_log.extend(evs);
+                }
+                let evs = balance(&cfg.steal, &mut nodes, now);
+                settle_migrations(&mut nodes, &datasets, &evs, cfg.residency_capacity);
+                if let Some(m) = &cfg.metrics {
+                    m.inc("fleet.steals", evs.len() as u64);
+                }
+                steals_log.extend(evs);
+            }
+            (Some(_), None) => unreachable!("the guarded arm admits every arrival-only state"),
+        }
+    }
+
+    let names: Vec<String> = nodes.iter().map(|n| n.name.clone()).collect();
+    // Net responsibility: router placements corrected by migrations, so
+    // per-node goodput compares completions to what the node actually
+    // kept.
+    let routed_net: Vec<usize> = nodes
+        .iter()
+        .map(|n| (n.routed + n.steals_in).saturating_sub(n.steals_out))
+        .collect();
+    let steal_flow: Vec<(usize, usize)> =
+        nodes.iter().map(|n| (n.steals_out, n.steals_in)).collect();
+    let replans: Vec<u64> = nodes.iter().map(|n| n.sim.replans()).collect();
+    let outputs: Vec<ServeOutput> = nodes.into_iter().map(|n| n.sim.finish()).collect();
+    let reports: Vec<ServeReport> = outputs.iter().map(|o| o.report.clone()).collect();
+    let steals = steals_log
+        .iter()
+        .filter(|e| e.reason == StealReason::Load)
+        .count();
+    let migrations = steals_log.len() - steals;
+    let mut report = FleetReport::new(
+        names, &reports, routed_net, steal_flow, replans, submitted, steals, migrations,
+    );
+    if oracle_mean > 0.0 {
+        report = report.with_oracle(oracle_mean);
+    }
+    if let Some(m) = &cfg.metrics {
+        m.set_gauge("fleet.goodput", report.goodput);
+        m.set_gauge("fleet.routing_quality", report.routing_quality);
+        m.set_gauge("fleet.makespan", report.makespan);
+    }
+    FleetOutput {
+        report,
+        nodes: outputs,
+        assignments,
+        steals: steals_log,
+    }
+}
+
+/// Moves each migrated job's dataset residency with it.
+fn settle_migrations(nodes: &mut [Node], datasets: &[Option<u64>], evs: &[StealEvent], cap: usize) {
+    for e in evs {
+        if let Some(d) = datasets.get(e.job as usize).copied().flatten() {
+            nodes[e.to].touch_resident(d, cap);
+        }
+    }
+}
+
+/// Mean completed-job latency of the omniscient lowest-completion-time
+/// oracle: for each arrival in order, it prices the job on every node
+/// under that node's *true* parameters (no mis-specification, no
+/// calibration lag, no compile failures it doesn't know about) and
+/// places it where `max(arrival, node available) + true cost` is
+/// smallest, then occupies the node for exactly that cost. No queueing
+/// model, no stealing — a lower-bound-style reference the real router
+/// is measured against.
+fn oracle_mean_latency(cfg: &FleetConfig, incoming: &[Incoming]) -> f64 {
+    let params: Vec<MachineParams> = cfg
+        .nodes
+        .iter()
+        .map(|s| {
+            let mut m = s.machine.clone();
+            if let Some(k) = s.serve.cores_per_job {
+                m.cpu.cores = k.clamp(1, s.machine.cpu.cores);
+            }
+            MachineParams::from_config(&m)
+        })
+        .collect();
+    let mut avail = vec![0.0f64; params.len()];
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for inc in incoming {
+        let Some(shape) = &inc.shape else { continue };
+        let mut best: Option<(f64, usize)> = None;
+        for (i, p) in params.iter().enumerate() {
+            let Ok(plan) = compile(&shape.spec, p, &shape.rec, shape.n, shape.levels) else {
+                continue;
+            };
+            let profile = LevelProfile::new(p, &shape.rec, shape.n);
+            let Ok(cost) = plan_cost(&profile, &plan) else {
+                continue;
+            };
+            let completion = inc.at.max(avail[i]) + cost.total;
+            if best.is_none_or(|(b, _)| completion < b) {
+                best = Some((completion, i));
+            }
+        }
+        if let Some((completion, i)) = best {
+            avail[i] = completion;
+            total += completion - inc.at;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-node work stealing at deterministic event boundaries.
+//!
+//! Two triggers move queued jobs between nodes:
+//!
+//! * **Load imbalance** ([`balance`]): after each node event, while the
+//!   longest queue exceeds the shortest (accepting) queue by at least
+//!   [`StealConfig::min_imbalance`], one job migrates from the victim's
+//!   *backfillable suffix* — never its rigid prefix, which the dispatch
+//!   policy has already promised to run next — to the thief.
+//! * **Device loss** ([`evacuate`]): when a node's GPU circuit breaker
+//!   trips, every job still queued there is rerouted to healthy nodes
+//!   with queue room, rather than running degraded CPU-only.
+//!
+//! A migrated job keeps its original spec, arrival and deadline; the
+//! receiving node re-prices and re-compiles it from scratch under its
+//! own beliefs and plan cache. All decisions read only queue lengths and
+//! deterministic orderings, so fleet runs stay bit-for-bit reproducible.
+
+use crate::node::Node;
+
+/// Work-stealing configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StealConfig {
+    /// Whether load-triggered stealing runs at all (device-loss
+    /// evacuation always does).
+    pub enabled: bool,
+    /// Minimum queue-length gap between victim and thief before a steal
+    /// fires; clamped to at least 1.
+    pub min_imbalance: usize,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig {
+            enabled: true,
+            min_imbalance: 2,
+        }
+    }
+}
+
+/// Why a job migrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealReason {
+    /// Load-triggered: the victim's queue was too long.
+    Load,
+    /// Fault-triggered: the victim's GPU circuit breaker tripped.
+    DeviceLost,
+}
+
+/// One cross-node migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StealEvent {
+    /// Fleet virtual time of the migration.
+    pub at: f64,
+    /// The migrated job's id.
+    pub job: u64,
+    /// Victim node index.
+    pub from: usize,
+    /// Receiving node index.
+    pub to: usize,
+    /// What triggered it.
+    pub reason: StealReason,
+}
+
+/// Effective queue length of a prospective thief: its admitted queue
+/// plus migrations already injected this boundary (they become arrivals,
+/// not queue entries, until the node's next event).
+fn effective(nodes: &[Node], injected: &[usize], i: usize) -> usize {
+    nodes[i].sim.queue_len() + injected[i]
+}
+
+/// Load-balancing pass at one event boundary (time `now`): migrates
+/// jobs one at a time from the longest queue to the shortest accepting
+/// queue until the gap falls below the threshold (or the victim has no
+/// stealable suffix). Breaker-open nodes never steal *in* — a stolen
+/// GPU job would instantly degrade there.
+pub(crate) fn balance(cfg: &StealConfig, nodes: &mut [Node], now: f64) -> Vec<StealEvent> {
+    let mut events = Vec::new();
+    if !cfg.enabled || nodes.len() < 2 {
+        return events;
+    }
+    let mut injected = vec![0usize; nodes.len()];
+    loop {
+        let victim = (0..nodes.len())
+            .max_by_key(|&i| (nodes[i].sim.queue_len(), usize::MAX - i))
+            .expect("guarded: the fleet has at least two nodes");
+        let thief = (0..nodes.len())
+            .filter(|&i| i != victim && !nodes[i].sim.breaker_open())
+            .filter(|&i| effective(nodes, &injected, i) < nodes[i].sim.queue_capacity())
+            .min_by_key(|&i| (effective(nodes, &injected, i), i));
+        let Some(thief) = thief else { break };
+        let gap = nodes[victim]
+            .sim
+            .queue_len()
+            .saturating_sub(effective(nodes, &injected, thief));
+        if gap < cfg.min_imbalance.max(1) {
+            break;
+        }
+        // Lowest-dispatch-priority candidate first; an empty list means
+        // everything left is rigid — this node keeps its promises.
+        let Some(&id) = nodes[victim].sim.steal_candidates().first() else {
+            break;
+        };
+        let Some(stolen) = nodes[victim].sim.steal(id) else {
+            break;
+        };
+        nodes[victim].steals_out += 1;
+        nodes[thief].steals_in += 1;
+        nodes[thief].sim.inject(stolen, now);
+        injected[thief] += 1;
+        events.push(StealEvent {
+            at: now,
+            job: id,
+            from: victim,
+            to: thief,
+            reason: StealReason::Load,
+        });
+    }
+    events
+}
+
+/// Evacuates every queued job off `victim` (whose GPU circuit breaker
+/// just tripped) onto healthy nodes with queue room, shortest queue
+/// first. Jobs that fit nowhere stay behind and run degraded CPU-only.
+pub(crate) fn evacuate(nodes: &mut [Node], victim: usize, now: f64) -> Vec<StealEvent> {
+    let mut events = Vec::new();
+    if nodes.len() < 2 {
+        return events;
+    }
+    let mut injected = vec![0usize; nodes.len()];
+    for id in nodes[victim].sim.queued_ids() {
+        let target = (0..nodes.len())
+            .filter(|&i| i != victim && !nodes[i].sim.breaker_open())
+            .filter(|&i| effective(nodes, &injected, i) < nodes[i].sim.queue_capacity())
+            .min_by_key(|&i| (effective(nodes, &injected, i), i));
+        let Some(target) = target else { break };
+        let Some(stolen) = nodes[victim].sim.steal(id) else {
+            continue;
+        };
+        nodes[victim].steals_out += 1;
+        nodes[target].steals_in += 1;
+        nodes[target].sim.inject(stolen, now);
+        injected[target] += 1;
+        events.push(StealEvent {
+            at: now,
+            job: id,
+            from: victim,
+            to: target,
+            reason: StealReason::DeviceLost,
+        });
+    }
+    events
+}

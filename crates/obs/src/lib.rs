@@ -25,6 +25,9 @@
 //! * [`ServeReport`] / [`JobRecord`] — fleet-level serving metrics
 //!   (throughput, latency percentiles, device utilization) produced by the
 //!   multi-job scheduler in `hpu-serve`.
+//! * [`FleetReport`] / [`NodeSummary`] — multi-node aggregation of
+//!   per-node serve reports (aggregate goodput, steal/migration counts,
+//!   routing quality vs. an omniscient oracle) produced by `hpu-fleet`.
 //! * [`MetricsRegistry`] / [`StreamHistogram`] — live metrics: named
 //!   atomic counters, gauges and log-bucketed streaming histograms with
 //!   O(buckets) p50/p95/p99 readout, sampled by the serving loop, the
@@ -42,6 +45,7 @@
 mod chrome;
 mod drift;
 mod event;
+mod fleet;
 mod hist;
 pub mod json;
 mod metrics;
@@ -53,6 +57,7 @@ mod wall;
 pub use chrome::ChromeTrace;
 pub use drift::{drift_rows, render_drift, LevelDrift};
 pub use event::{EventKind, LevelPhase, Recorder, TraceEvent, Track};
+pub use fleet::{FleetReport, NodeSummary};
 pub use hist::{HistSnapshot, StreamHistogram};
 pub use metrics::{merge_intervals, LevelBook, LevelMetrics};
 pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry};

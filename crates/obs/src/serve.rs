@@ -107,20 +107,25 @@ impl JobRecord {
 /// Nearest-rank percentile of an **ascending-sorted** slice; `q` in
 /// `[0, 100]`. Returns 0 for an empty slice.
 ///
-/// Sortedness is the caller's contract; debug builds verify it (an
-/// unsorted slice silently returns the wrong order statistic
-/// otherwise). For streaming data where sorting is too expensive, use
-/// [`crate::StreamHistogram`] instead.
+/// Sortedness is the caller's contract: debug builds panic on an
+/// unsorted slice, and release builds detect the violation and sort a
+/// local copy — a wrong order statistic is never silently returned
+/// (fleet-level report merging concatenates per-node latency streams,
+/// which arrive interleaved). For streaming data where even one sort is
+/// too expensive, use [`crate::StreamHistogram`] instead.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    debug_assert!(
-        sorted.windows(2).all(|w| w[0] <= w[1]),
-        "percentile() requires an ascending-sorted slice"
-    );
     if sorted.is_empty() {
         return 0.0;
     }
     let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let i = rank.clamp(1, sorted.len()) - 1;
+    if sorted.windows(2).all(|w| w[0] <= w[1]) {
+        return sorted[i];
+    }
+    debug_assert!(false, "percentile() requires an ascending-sorted slice");
+    let mut copy = sorted.to_vec();
+    copy.sort_by(f64::total_cmp);
+    copy[i]
 }
 
 /// Aggregated metrics of one serving run.
@@ -561,6 +566,15 @@ mod tests {
     #[should_panic(expected = "ascending-sorted")]
     fn percentile_rejects_unsorted_input_in_debug_builds() {
         percentile(&[3.0, 1.0, 2.0], 50.0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn percentile_sorts_unsorted_input_in_release_builds() {
+        // Release builds must not silently return the wrong order
+        // statistic: the violation is detected and a local copy sorted.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+        assert_eq!(percentile(&[9.0, 1.0, 5.0, 7.0], 100.0), 9.0);
     }
 
     #[test]

@@ -62,4 +62,7 @@ pub use error::ServeError;
 pub use job::{AlgoJob, Workload};
 pub use native::{serve_native, NativeJobRequest, NativeServeOutput};
 pub use queue::{dispatch_order, Policy, Rank};
-pub use sched::{serve_sim, FaultConfig, JobRequest, JobRun, ServeConfig, ServeOutput};
+pub use sched::{
+    serve_sim, FaultConfig, JobRequest, JobRun, NodeSim, QueuedShape, ServeConfig, ServeOutput,
+    StolenJob,
+};

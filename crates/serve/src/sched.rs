@@ -32,6 +32,19 @@
 //! from deliberately wrong numbers via [`ServeConfig::assumed`].
 //! Everything stays deterministic: observations drain in completion order
 //! at event boundaries.
+//!
+//! # Driving a node one event at a time
+//!
+//! [`serve_sim`] is a thin wrapper over [`NodeSim`], the resumable form
+//! of the same scheduler: construct one, [`NodeSim::submit`] jobs (before
+//! or between events), [`NodeSim::step`] single events, and
+//! [`NodeSim::finish`] for the [`ServeOutput`]. A fleet layer
+//! (`hpu-fleet`) interleaves many nodes in one global virtual time by
+//! always stepping the node with the earliest
+//! [`NodeSim::next_event_time`], and migrates queued jobs between nodes
+//! with [`NodeSim::steal`] / [`NodeSim::inject`] at event boundaries —
+//! the stolen job is re-priced from scratch under the receiving node's
+//! beliefs and plan cache.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -402,58 +415,194 @@ enum Ev {
 
 type EventHeap = BinaryHeap<Reverse<(Time, u64, Ev)>>;
 
-/// Serves `jobs` over one shared simulated machine `cfg` under the
-/// scheduler configuration `serve`. Deterministic: equal inputs give
-/// equal outputs, event for event.
-pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>) -> ServeOutput {
-    let mut arb = DeviceArbiter::new(cfg.cpu.cores);
-    let mut queue: Vec<Queued> = Vec::new();
-    let mut records: Vec<JobRecord> = Vec::new();
-    let mut runs: Vec<JobRun> = Vec::new();
-    let mut errors: Vec<ServeError> = Vec::new();
+/// Tick events draw sequence numbers from a band strictly above every
+/// arrival sequence number, so at equal times arrivals always pop before
+/// reservation-release ticks — regardless of *when* the arrival was
+/// submitted. (The batch scheduler got this for free by numbering ticks
+/// after the last arrival; incremental submission needs the bands.)
+const TICK_SEQ_BASE: u64 = 1 << 32;
 
-    let mut job_cfg = cfg.clone();
-    if let Some(k) = serve.cores_per_job {
-        job_cfg.cpu.cores = k.clamp(1, cfg.cpu.cores);
+/// An accepted submission waiting for its arrival event to fire.
+struct Pending {
+    id: u64,
+    job: JobRequest,
+    /// Original fleet-time arrival of a migrated job, so its record and
+    /// latency span the fleet submission rather than the migration.
+    arrival_override: Option<f64>,
+}
+
+/// A queued job removed from one node's scheduler for migration to
+/// another ([`NodeSim::steal`] → [`NodeSim::inject`]).
+///
+/// Carries the *originally requested* schedule spec — not any degraded
+/// CPU-only shape — so a healthy receiving node compiles the full hybrid
+/// plan again, and the original arrival time, so latency keeps spanning
+/// the fleet-level submission.
+pub struct StolenJob {
+    /// Fleet-assigned job id.
+    pub id: u64,
+    /// The job's label.
+    pub name: String,
+    /// The schedule the job was originally submitted with.
+    pub spec: ScheduleSpec,
+    /// Original submission time (fleet virtual time).
+    pub arrival: f64,
+    /// Latest acceptable completion time, if any.
+    pub deadline: Option<f64>,
+    /// The work itself.
+    pub workload: Box<dyn Workload>,
+}
+
+/// Pricing inputs of one queued job, as a prospective thief needs them:
+/// the originally requested spec plus the workload's recurrence, input
+/// length, and executor level count.
+pub struct QueuedShape {
+    /// The schedule the job was originally submitted with.
+    pub spec: ScheduleSpec,
+    /// The workload's cost recurrence.
+    pub rec: Recurrence,
+    /// Input length in elements.
+    pub n: u64,
+    /// The executor's combine-level count.
+    pub levels: u32,
+}
+
+/// The resumable form of [`serve_sim`]: one node's scheduler driven one
+/// event at a time, with jobs submitted incrementally and queued jobs
+/// stealable at event boundaries.
+///
+/// Equivalence contract: constructing a `NodeSim`, submitting every job
+/// up front in order (ids `0..n`), and calling [`NodeSim::finish`] is
+/// bit-for-bit identical to [`serve_sim`] — same records, same leases,
+/// same event interleaving.
+pub struct NodeSim {
+    job_cfg: MachineConfig,
+    serve: ServeConfig,
+    arb: DeviceArbiter,
+    queue: Vec<Queued>,
+    records: Vec<JobRecord>,
+    runs: Vec<JobRun>,
+    errors: Vec<ServeError>,
+    calibrator: Option<Calibrator>,
+    pending: Vec<PendingObs>,
+    replans: u64,
+    fault_state: Option<FaultState>,
+    spans: SpanSet,
+    plan_cache: Option<PlanCache>,
+    heap: EventHeap,
+    arrival_seq: u64,
+    tick_seq: u64,
+    slots: Vec<Option<Pending>>,
+    now: f64,
+}
+
+impl NodeSim {
+    /// A fresh node scheduler over the simulated machine `cfg` under the
+    /// scheduler configuration `serve`. No events exist until
+    /// [`NodeSim::submit`].
+    pub fn new(cfg: &MachineConfig, serve: &ServeConfig) -> NodeSim {
+        let mut errors: Vec<ServeError> = Vec::new();
+        let mut job_cfg = cfg.clone();
+        if let Some(k) = serve.cores_per_job {
+            job_cfg.cpu.cores = k.clamp(1, cfg.cpu.cores);
+        }
+        let calibrator = match &serve.calibration {
+            Some(c) => match Calibrator::new(c.clone()) {
+                Ok(cal) => Some(cal),
+                Err(e) => {
+                    errors.push(ServeError::Calibration {
+                        job: None,
+                        source: e,
+                    });
+                    None
+                }
+            },
+            None => None,
+        };
+        NodeSim {
+            arb: DeviceArbiter::new(cfg.cpu.cores),
+            job_cfg,
+            queue: Vec::new(),
+            records: Vec::new(),
+            runs: Vec::new(),
+            errors,
+            calibrator,
+            pending: Vec::new(),
+            replans: 0,
+            fault_state: serve.faults.as_ref().map(FaultState::new),
+            spans: SpanSet::new(),
+            plan_cache: serve.plan_cache.map(PlanCache::new),
+            heap: BinaryHeap::new(),
+            arrival_seq: 0,
+            tick_seq: TICK_SEQ_BASE,
+            slots: Vec::new(),
+            now: 0.0,
+            serve: serve.clone(),
+        }
     }
-    let mut calibrator = match &serve.calibration {
-        Some(c) => match Calibrator::new(c.clone()) {
-            Ok(cal) => Some(cal),
-            Err(e) => {
-                errors.push(ServeError::Calibration {
-                    job: None,
-                    source: e,
-                });
-                None
-            }
-        },
-        None => None,
-    };
-    let mut pending: Vec<PendingObs> = Vec::new();
-    let mut replans: u64 = 0;
-    let mut fault_state = serve.faults.as_ref().map(FaultState::new);
-    let mut spans = SpanSet::new();
-    let mut plan_cache: Option<PlanCache> = serve.plan_cache.map(PlanCache::new);
 
-    let mut heap: EventHeap = BinaryHeap::new();
-    let mut tick_seq = jobs.len() as u64;
-    let mut slots: Vec<Option<JobRequest>> = Vec::with_capacity(jobs.len());
-    for (i, job) in jobs.into_iter().enumerate() {
-        heap.push(Reverse((
-            Time(job.arrival.max(0.0)),
-            i as u64,
-            Ev::Arrive(i),
-        )));
-        slots.push(Some(job));
+    /// Schedules the arrival of `job` under the caller-assigned id.
+    /// Submission order is the arrival tie-break at equal arrival times.
+    pub fn submit(&mut self, id: u64, job: JobRequest) {
+        let at = job.arrival.max(0.0);
+        let slot = self.slots.len();
+        self.heap
+            .push(Reverse((Time(at), self.arrival_seq, Ev::Arrive(slot))));
+        self.arrival_seq += 1;
+        self.slots.push(Some(Pending {
+            id,
+            job,
+            arrival_override: None,
+        }));
     }
 
-    while let Some(Reverse((t, _, ev))) = heap.pop() {
+    /// Re-submits a job stolen from another node, arriving here at `now`
+    /// (clamped to this node's clock — a reservation calendar must never
+    /// be offered a slot in its past). The job is re-priced from scratch
+    /// under this node's beliefs, plan cache, and breaker state; its
+    /// record keeps the original fleet-time arrival.
+    pub fn inject(&mut self, stolen: StolenJob, now: f64) {
+        let at = now.max(self.now).max(0.0);
+        let slot = self.slots.len();
+        self.heap
+            .push(Reverse((Time(at), self.arrival_seq, Ev::Arrive(slot))));
+        self.arrival_seq += 1;
+        self.slots.push(Some(Pending {
+            id: stolen.id,
+            job: JobRequest {
+                name: stolen.name,
+                spec: stolen.spec,
+                arrival: at,
+                deadline: stolen.deadline,
+                workload: stolen.workload,
+            },
+            arrival_override: Some(stolen.arrival),
+        }));
+    }
+
+    /// Virtual time of the next unprocessed event, if any.
+    pub fn next_event_time(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse((t, _, _))| t.0)
+    }
+
+    /// Virtual time of the last processed event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Processes exactly one event — calibration-evidence drain, possible
+    /// replan, the arrival itself (if one), breaker degradation, and a
+    /// full dispatch round — and returns its time. `None` when no events
+    /// remain.
+    pub fn step(&mut self) -> Option<f64> {
+        let Reverse((t, _, ev)) = self.heap.pop()?;
         let now = t.0;
+        self.now = now;
         // Fold the evidence of every job that has completed by now; a
         // large enough drift triggers a re-price of the queue.
-        if let Some(cal) = calibrator.as_mut() {
+        if let Some(cal) = self.calibrator.as_mut() {
             let mut ready: Vec<PendingObs> = Vec::new();
-            pending.retain_mut(|p| {
+            self.pending.retain_mut(|p| {
                 if p.end <= now + EPS {
                     ready.push(PendingObs {
                         end: p.end,
@@ -469,11 +618,11 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
             ready.sort_by(|a, b| a.end.total_cmp(&b.end).then(a.job.cmp(&b.job)));
             let mut trigger = false;
             for p in &ready {
-                if let Some(m) = &serve.metrics {
+                if let Some(m) = &self.serve.metrics {
                     m.observe("calibration.abs_drift", p.drift.abs());
                 }
                 if let Err(e) = cal.observe(&p.obs) {
-                    errors.push(ServeError::Calibration {
+                    self.errors.push(ServeError::Calibration {
                         job: Some(p.job),
                         source: e,
                     });
@@ -481,110 +630,282 @@ pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>
                 trigger |= cal.should_replan(p.drift);
             }
             if trigger {
-                replans += 1;
-                if let Some(m) = &serve.metrics {
+                self.replans += 1;
+                if let Some(m) = &self.serve.metrics {
                     m.inc("serve.replans", 1);
-                    m.set_gauge("calibration.generation", replans as f64);
+                    m.set_gauge("calibration.generation", self.replans as f64);
                 }
                 replan(
-                    &mut queue,
-                    &job_cfg,
-                    serve,
+                    &mut self.queue,
+                    &self.job_cfg,
+                    &self.serve,
                     cal.calibration(),
-                    replans,
-                    &mut errors,
-                    fault_state.as_mut(),
-                    plan_cache.as_mut(),
+                    self.replans,
+                    &mut self.errors,
+                    self.fault_state.as_mut(),
+                    self.plan_cache.as_mut(),
                 );
             }
         }
         if let Ev::Arrive(i) = ev {
             // Poison-free by construction: each arrival event fires once,
             // but a double fire must not panic the scheduler.
-            if let Some(job) = slots[i].take() {
+            if let Some(p) = self.slots[i].take() {
+                let arrival = p.arrival_override.unwrap_or(now);
                 admit(
-                    i as u64,
-                    job,
+                    p.id,
+                    p.job,
                     now,
-                    &job_cfg,
-                    serve,
-                    &mut queue,
-                    &mut records,
-                    &mut errors,
-                    calibrator.as_ref().map(|c| c.calibration()),
-                    replans,
-                    fault_state.as_mut(),
-                    plan_cache.as_mut(),
+                    arrival,
+                    &self.job_cfg,
+                    &self.serve,
+                    &mut self.queue,
+                    &mut self.records,
+                    &mut self.errors,
+                    self.calibrator.as_ref().map(|c| c.calibration()),
+                    self.replans,
+                    self.fault_state.as_mut(),
+                    self.plan_cache.as_mut(),
                 );
             }
         }
         // A breaker trip during admission or replanning degrades every
         // still-queued GPU job to its CPU-only shape before dispatch —
         // the device is off limits until (in this model) forever.
-        if let Some(f) = fault_state.as_mut() {
+        if let Some(f) = self.fault_state.as_mut() {
             if f.take_pending_trip() {
                 degrade_queue(
-                    &mut queue,
-                    &job_cfg,
-                    serve,
-                    calibrator.as_ref().map(|c| c.calibration()),
-                    &mut errors,
-                    plan_cache.as_mut(),
+                    &mut self.queue,
+                    &self.job_cfg,
+                    &self.serve,
+                    self.calibrator.as_ref().map(|c| c.calibration()),
+                    &mut self.errors,
+                    self.plan_cache.as_mut(),
                 );
             }
         }
         dispatch_all(
             now,
-            serve,
-            &mut arb,
-            &mut queue,
-            &mut records,
-            &mut runs,
-            &mut errors,
-            &mut heap,
-            &mut tick_seq,
-            calibrator.is_some().then_some(&mut pending),
-            fault_state.is_some(),
-            &mut spans,
+            &self.serve,
+            &mut self.arb,
+            &mut self.queue,
+            &mut self.records,
+            &mut self.runs,
+            &mut self.errors,
+            &mut self.heap,
+            &mut self.tick_seq,
+            self.calibrator.is_some().then_some(&mut self.pending),
+            self.fault_state.is_some(),
+            &mut self.spans,
         );
-        if let Some(m) = &serve.metrics {
-            m.set_gauge("serve.queue_depth", queue.len() as f64);
+        if let Some(m) = &self.serve.metrics {
+            m.set_gauge("serve.queue_depth", self.queue.len() as f64);
+        }
+        Some(now)
+    }
+
+    /// Drains every remaining event and closes the run into its
+    /// [`ServeOutput`].
+    pub fn finish(mut self) -> ServeOutput {
+        while self.step().is_some() {}
+        debug_assert!(
+            self.queue.is_empty(),
+            "every queued job reaches a terminal state"
+        );
+
+        if let Some(m) = &self.serve.metrics {
+            m.set_gauge("arbiter.cpu_busy", self.arb.cpu_busy());
+            m.set_gauge("arbiter.gpu_busy", self.arb.gpu_busy());
+            m.set_gauge("arbiter.gpu_leases", self.arb.gpu_leases().len() as f64);
+            m.set_gauge(
+                "arbiter.cpu_reservations",
+                self.arb.cpu_reservations().len() as f64,
+            );
+            m.set_gauge("serve.makespan", self.arb.makespan());
+        }
+        let mut report = ServeReport::new(self.records, self.arb.cpu_busy(), self.arb.gpu_busy());
+        if let Some(f) = &self.fault_state {
+            report = report.with_fault_counts(f.fault_events(), f.trips);
+        }
+        let cache_stats = self.plan_cache.as_ref().map(|c| c.stats());
+        if let Some(s) = cache_stats {
+            report = report.with_plan_cache(s.hits, s.misses);
+        }
+        ServeOutput {
+            report,
+            runs: self.runs,
+            errors: self.errors,
+            gpu_leases: self.arb.gpu_leases().to_vec(),
+            cpu_reservations: self.arb.cpu_reservations().to_vec(),
+            replans: self.replans,
+            plan_cache: cache_stats,
+            calibration: self.calibrator.map(|c| c.calibration().clone()),
+            spans: self.spans.into_events(),
         }
     }
-    debug_assert!(
-        queue.is_empty(),
-        "every queued job reaches a terminal state"
-    );
 
-    if let Some(m) = &serve.metrics {
-        m.set_gauge("arbiter.cpu_busy", arb.cpu_busy());
-        m.set_gauge("arbiter.gpu_busy", arb.gpu_busy());
-        m.set_gauge("arbiter.gpu_leases", arb.gpu_leases().len() as f64);
-        m.set_gauge(
-            "arbiter.cpu_reservations",
-            arb.cpu_reservations().len() as f64,
-        );
-        m.set_gauge("serve.makespan", arb.makespan());
+    // --- Fleet-facing observers and steal surface -------------------------
+
+    /// Number of jobs waiting in the admission queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
-    let mut report = ServeReport::new(records, arb.cpu_busy(), arb.gpu_busy());
-    if let Some(f) = &fault_state {
-        report = report.with_fault_counts(f.fault_events(), f.trips);
+
+    /// The configured admission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.serve.queue_capacity
     }
-    let cache_stats = plan_cache.as_ref().map(|c| c.stats());
-    if let Some(s) = cache_stats {
-        report = report.with_plan_cache(s.hits, s.misses);
+
+    /// Sum of predicted costs over every queued job: the node's believed
+    /// backlog, in its own cost units.
+    pub fn queued_cost(&self) -> f64 {
+        self.queue.iter().map(|q| q.primary.cost).sum()
     }
-    ServeOutput {
-        report,
-        runs,
-        errors,
-        gpu_leases: arb.gpu_leases().to_vec(),
-        cpu_reservations: arb.cpu_reservations().to_vec(),
-        replans,
-        plan_cache: cache_stats,
-        calibration: calibrator.map(|c| c.calibration().clone()),
-        spans: spans.into_events(),
+
+    /// End of the last committed reservation — how far ahead of `now` the
+    /// node's calendars already stretch.
+    pub fn horizon(&self) -> f64 {
+        self.arb.makespan()
     }
+
+    /// Whether the GPU circuit breaker is open (the device is off limits
+    /// and GPU jobs compile straight to their CPU-only degradation).
+    pub fn breaker_open(&self) -> bool {
+        self.fault_state.as_ref().is_some_and(|f| f.open)
+    }
+
+    /// Times the GPU circuit breaker has tripped.
+    pub fn breaker_trips(&self) -> u64 {
+        self.fault_state.as_ref().map_or(0, |f| f.trips)
+    }
+
+    /// Drift-triggered calibration replans performed so far — this node's
+    /// pricing generation. A peer's drift never changes it.
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
+    /// Current plan-cache generation, when caching is on.
+    pub fn cache_generation(&self) -> Option<u64> {
+        self.plan_cache.as_ref().map(|c| c.generation())
+    }
+
+    /// Ids of every queued job, queue order.
+    pub fn queued_ids(&self) -> Vec<u64> {
+        self.queue.iter().map(|q| q.id).collect()
+    }
+
+    /// Ids of the queued jobs a thief may take, lowest dispatch priority
+    /// first: the backfillable suffix beyond the policy's rigid prefix.
+    /// A rigid (FIFO or starvation-overdue) entry is this node's promise
+    /// to run next — stealing it would re-order what the policy already
+    /// guaranteed.
+    pub fn steal_candidates(&self) -> Vec<u64> {
+        let ranks: Vec<Rank> = self
+            .queue
+            .iter()
+            .map(|q| Rank {
+                seq: q.id,
+                cost: q.primary.cost,
+                skips: q.skips,
+            })
+            .collect();
+        let (order, rigid) = dispatch_order(&self.serve.policy, &ranks);
+        order
+            .get(rigid..)
+            .unwrap_or(&[])
+            .iter()
+            .rev()
+            .map(|&qi| self.queue[qi].id)
+            .collect()
+    }
+
+    /// Pricing inputs of the queued job `id`, for a prospective thief to
+    /// price under its own beliefs. `None` if the job is gone (or its
+    /// level count no longer computes).
+    pub fn queued_shape(&self, id: u64) -> Option<QueuedShape> {
+        let q = self.queue.iter().find(|q| q.id == id)?;
+        Some(QueuedShape {
+            spec: q.spec.clone(),
+            rec: q.workload.recurrence(),
+            n: q.workload.input_len() as u64,
+            levels: q.workload.exec_levels().ok()?,
+        })
+    }
+
+    /// Removes the queued job `id` for migration. The job keeps its
+    /// original spec and arrival; its compiled variants stay behind (the
+    /// receiving node re-prices from scratch).
+    pub fn steal(&mut self, id: u64) -> Option<StolenJob> {
+        let qi = self.queue.iter().position(|q| q.id == id)?;
+        let q = self.queue.remove(qi);
+        if let Some(m) = &self.serve.metrics {
+            m.inc("serve.stolen", 1);
+        }
+        Some(StolenJob {
+            id: q.id,
+            name: q.name,
+            spec: q.spec,
+            arrival: q.arrival,
+            deadline: q.deadline,
+            workload: q.workload,
+        })
+    }
+
+    /// Prices one job shape under this node's current beliefs: assumed
+    /// or configured machine parameters, corrected by calibration, with
+    /// an open breaker substituting the CPU-only degradation for any
+    /// GPU-using spec. Served by this node's [`PlanCache`] when one is
+    /// attached, so repeated router probes of hot shapes are lookups.
+    /// `None` when the shape fails to compile.
+    pub fn price(&mut self, shape: &QueuedShape) -> Option<f64> {
+        let cal = self.calibrator.as_ref().map(|c| c.calibration());
+        let params = pricing_params(&self.job_cfg, &self.serve, cal).ok()?;
+        let rec = match cal {
+            Some(c) => c.scale_recurrence(&shape.rec),
+            None => shape.rec.clone(),
+        };
+        let cpu_only = ScheduleSpec::CpuParallel;
+        let breaker_open = self.fault_state.as_ref().is_some_and(|f| f.open);
+        let spec = if breaker_open && spec_wants_gpu(&shape.spec) {
+            &cpu_only
+        } else {
+            &shape.spec
+        };
+        compile_through(
+            spec,
+            &params,
+            &rec,
+            shape.n,
+            shape.levels,
+            self.serve.metrics.as_ref(),
+            self.plan_cache.as_mut(),
+        )
+        .ok()
+        .map(|(_, cost)| cost.total)
+    }
+
+    /// This node's believed host↔device transfer time for `words` words,
+    /// under current calibration — the router's data-affinity discount:
+    /// what routing a non-resident input here would cost.
+    pub fn believed_transfer_time(&self, words: u64) -> f64 {
+        let cal = self.calibrator.as_ref().map(|c| c.calibration());
+        match pricing_params(&self.job_cfg, &self.serve, cal) {
+            Ok(p) => p.transfer_time(words),
+            Err(_) => MachineParams::from_config(&self.job_cfg).transfer_time(words),
+        }
+    }
+}
+
+/// Serves `jobs` over one shared simulated machine `cfg` under the
+/// scheduler configuration `serve`. Deterministic: equal inputs give
+/// equal outputs, event for event.
+pub fn serve_sim(cfg: &MachineConfig, serve: &ServeConfig, jobs: Vec<JobRequest>) -> ServeOutput {
+    let mut node = NodeSim::new(cfg, serve);
+    for (i, job) in jobs.into_iter().enumerate() {
+        node.submit(i as u64, job);
+    }
+    node.finish()
 }
 
 fn rejected_record(
@@ -844,11 +1165,16 @@ fn reprice(v: &mut Variant, plan: Arc<Plan>, cost: &PlanCost, params: &MachinePa
     v.plan = plan;
 }
 
+/// Admits one arrival: price, compile, solo-measure, queue. `now` is the
+/// admission event's time; `arrival` is the time the job's record (and
+/// latency) spans from — they differ only for migrated jobs, whose
+/// records keep the original fleet-time submission.
 #[allow(clippy::too_many_arguments)]
 fn admit(
     id: u64,
     mut job: JobRequest,
     now: f64,
+    arrival: f64,
     job_cfg: &MachineConfig,
     serve: &ServeConfig,
     queue: &mut Vec<Queued>,
@@ -1023,7 +1349,7 @@ fn admit(
     queue.push(Queued {
         id,
         name: job.name,
-        arrival: now,
+        arrival,
         deadline: job.deadline,
         spec: job.spec,
         workload: job.workload,

@@ -31,16 +31,25 @@ cargo run -q --release -p hpu-bench --bin repro -- chaos \
     --jobs 8 --rates 0,0.2 --backend sim --seed 42 \
     | grep -q '^sim,0,8,8,' || { echo "chaos CSV smoke failed"; exit 1; }
 
+echo "== fleet scaling (smoke) =="
+# The multi-node layer must produce the pinned scaling CSV: header plus a
+# 4-node row at saturating load where the fleet still completes more than
+# a lone node would.
+cargo run -q --release -p hpu-bench --bin repro -- fleet \
+    --jobs 16 --nodes 1,4 --rates 6,96 --seed 42 \
+    | grep -q '^4,96,16,' || { echo "fleet CSV smoke failed"; exit 1; }
+
 echo "== perf snapshot (smoke) =="
 # The quick matrix must produce a parseable, schema-compatible snapshot;
 # magnitude is not gated here (wall-clock metrics vary per machine), so
-# the comparison runs in --smoke mode against the committed baseline.
+# the comparison runs in --smoke mode against the newest committed
+# baseline (the highest-seq BENCH_*.json at the repo root).
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 cargo run -q --release -p hpu-bench --bin repro -- perf \
     --quick --label verify --seed 42 --out "$tmpdir"
 cargo run -q --release -p hpu-bench --bin repro -- perf \
-    --compare BENCH_seed.json "$tmpdir/BENCH_verify.json" --smoke \
+    --compare-newest . "$tmpdir/BENCH_verify.json" --smoke \
     || { echo "perf snapshot smoke comparison failed"; exit 1; }
 
 echo "== clippy =="

@@ -29,7 +29,12 @@
 //! * [`serve`] — multi-job serving on one shared machine: cost-model
 //!   admission, device arbitration (exclusive GPU lease over a
 //!   partitionable CPU pool), bounded-queue backpressure, deadlines and
-//!   fleet metrics (`hpu-serve`).
+//!   fleet metrics (`hpu-serve`);
+//! * [`fleet`] — multi-node serving above [`serve`]: cost/affinity
+//!   routing under each node's own beliefs, cross-node work stealing at
+//!   deterministic event boundaries, per-node calibration isolation and
+//!   a merged fleet report with an omniscient routing oracle
+//!   (`hpu-fleet`).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +61,7 @@
 pub use hpu_algos as algos;
 pub use hpu_core as core;
 pub use hpu_estimate as estimate;
+pub use hpu_fleet as fleet;
 pub use hpu_machine as machine;
 pub use hpu_model as model;
 pub use hpu_obs as obs;

@@ -219,6 +219,99 @@ fn cancelled_straggler_releases_its_slot_for_later_arrivals() {
     );
 }
 
+/// Fleet satellite: killing one node's GPU mid-burst reroutes that
+/// node's queued jobs to healthy peers (DeviceLost migrations, each
+/// landing in the receiving node's report), and fleet goodput degrades
+/// by at most the dead node's capacity share.
+#[test]
+fn fleet_survives_one_node_gpu_loss_within_capacity_share() {
+    use hpu_fleet::{fleet_sim, FleetConfig, FleetJobRequest, NodeSpec, StealReason};
+
+    let nodes = 4usize;
+    let jobs = 16usize;
+    let machine = MachineConfig::tiny();
+    // No CPU fallback: contended GPU jobs wait in the queue, so the
+    // breaker trip has a queue to reroute.
+    let base = ServeConfig {
+        queue_capacity: jobs,
+        cpu_fallback: false,
+        ..ServeConfig::default()
+    };
+    let burst = || -> Vec<FleetJobRequest> {
+        (0..jobs)
+            .map(|i| {
+                let n = 256usize << (i % 3);
+                let data: Vec<u32> = (0..n as u32).rev().collect();
+                FleetJobRequest::new(
+                    format!("sort-{i}-n{n}"),
+                    ScheduleSpec::GpuOnly,
+                    0.0,
+                    AlgoJob::boxed(MergeSort::new(), data),
+                )
+            })
+            .collect()
+    };
+    let specs = |doom: bool| -> Vec<NodeSpec> {
+        (0..nodes)
+            .map(|i| {
+                let mut serve = base.clone();
+                if doom && i == 0 {
+                    serve.faults = Some(FaultConfig::new(
+                        FaultPlan::new(chaos_seed()).with_device_loss_at(25),
+                    ));
+                }
+                NodeSpec::new(format!("n{i}"), machine.clone()).with_serve(serve)
+            })
+            .collect()
+    };
+
+    let clean = fleet_sim(&FleetConfig::new(specs(false)), burst());
+    let faulted = fleet_sim(&FleetConfig::new(specs(true)), burst());
+
+    // The dead node's queue was rerouted, not abandoned: DeviceLost
+    // migrations exist, all flow out of node 0, and every rerouted job
+    // shows up in its receiving node's report.
+    let rerouted: Vec<_> = faulted
+        .steals
+        .iter()
+        .filter(|e| e.reason == StealReason::DeviceLost)
+        .collect();
+    assert!(
+        !rerouted.is_empty(),
+        "losing node 0's GPU must evacuate its queue (steals: {:?})",
+        faulted.steals
+    );
+    assert!(rerouted.iter().all(|e| e.from == 0));
+    for e in &rerouted {
+        assert!(
+            faulted.nodes[e.to]
+                .report
+                .jobs
+                .iter()
+                .any(|r| r.id == e.job),
+            "rerouted job {} must be accounted for by node {}",
+            e.job,
+            e.to
+        );
+    }
+    // Every submission still ends in a typed terminal state.
+    let r = &faulted.report;
+    assert_eq!(
+        r.completed + r.failed + r.cancelled + r.rejected,
+        jobs,
+        "outcomes must partition the fleet: {r:?}"
+    );
+    // Goodput bound: one dead GPU out of four identical nodes costs at
+    // most a quarter of the fleet's goodput.
+    let share = 1.0 / nodes as f64;
+    assert!(
+        faulted.report.goodput >= clean.report.goodput - share - 1e-9,
+        "goodput fell past the dead node's capacity share: clean {} vs faulted {}",
+        clean.report.goodput,
+        faulted.report.goodput
+    );
+}
+
 /// Satellite 3: a breaker trip concurrent with calibration-triggered
 /// replanning must neither double-compile a job nor re-admit one that
 /// already reached a terminal state — exactly one record per submission,

@@ -333,6 +333,86 @@ proptest! {
     }
 
     #[test]
+    fn one_node_fleet_is_observationally_identical_to_serve_sim(
+        jobs in 2usize..10,
+        arrivals in prop::collection::vec(0.0f64..4000.0, 10),
+        gamma_error in 1.2f64..3.0,
+    ) {
+        use hpu_fleet::{fleet_sim, FleetConfig, FleetJobRequest, NodeSpec, RouterPolicy};
+        use hpu_machine::SimMachineParams;
+        use hpu_model::CalibratorConfig;
+
+        // A 1-node fleet under the trivial round-robin router IS plain
+        // `serve_sim`: same outcomes, latencies, device leases and
+        // calibration generations. The node's beliefs are mis-specified
+        // by an arbitrary gamma factor with the calibration loop on, so
+        // the property also covers drift-triggered replans.
+        let shapes: Vec<(ScheduleSpec, usize, f64)> = (0..jobs)
+            .map(|i| {
+                let spec = match i % 3 {
+                    0 => ScheduleSpec::Basic { crossover: Some(4) },
+                    1 => ScheduleSpec::GpuOnly,
+                    _ => ScheduleSpec::CpuParallel,
+                };
+                (spec, 256usize << (i % 2), arrivals[i % arrivals.len()])
+            })
+            .collect();
+        let machine = small_machine();
+        let truth = MachineParams::from_config(&machine);
+        let assumed = MachineParams::new(truth.p, truth.g, (truth.gamma * gamma_error).min(1.0))
+            .unwrap()
+            .with_transfer_cost(truth.lambda, truth.delta);
+        let serve = ServeConfig {
+            queue_capacity: jobs,
+            assumed: Some(assumed),
+            calibration: Some(CalibratorConfig::default()),
+            ..ServeConfig::default()
+        };
+        let data = |n: usize| -> Vec<u32> { (0..n as u32).rev().collect() };
+
+        let solo: Vec<JobRequest> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, (spec, n, at))| {
+                JobRequest::new(
+                    format!("j{i}"),
+                    spec.clone(),
+                    *at,
+                    AlgoJob::boxed(MergeSort::new(), data(*n)),
+                )
+            })
+            .collect();
+        let a = serve_sim(&machine, &serve, solo);
+
+        let mut cfg = FleetConfig::new(vec![
+            NodeSpec::new("solo", machine.clone()).with_serve(serve.clone()),
+        ]);
+        cfg.router = RouterPolicy::RoundRobin;
+        let fleet_jobs: Vec<FleetJobRequest> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, (spec, n, at))| {
+                FleetJobRequest::new(
+                    format!("j{i}"),
+                    spec.clone(),
+                    *at,
+                    AlgoJob::boxed(MergeSort::new(), data(*n)),
+                )
+            })
+            .collect();
+        let b = fleet_sim(&cfg, fleet_jobs);
+
+        prop_assert!(b.steals.is_empty(), "1 node cannot steal");
+        let node = &b.nodes[0];
+        prop_assert_eq!(&a.report, &node.report);
+        prop_assert_eq!(a.replans, node.replans);
+        prop_assert_eq!(&a.calibration, &node.calibration);
+        prop_assert_eq!(&a.gpu_leases, &node.gpu_leases);
+        prop_assert_eq!(&a.cpu_reservations, &node.cpu_reservations);
+        prop_assert_eq!(b.report.completed, a.report.completed);
+    }
+
+    #[test]
     fn virtual_time_scales_with_work(n_log in 6u32..11) {
         // Doubling the input must not shrink virtual time, whatever the
         // strategy.

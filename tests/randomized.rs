@@ -417,6 +417,87 @@ fn serving_under_faults_accounts_for_every_job() {
 }
 
 #[test]
+fn one_node_fleet_is_observationally_identical_to_serve_sim() {
+    use hpu_fleet::{fleet_sim, FleetConfig, FleetJobRequest, NodeSpec, RouterPolicy};
+    use hpu_machine::SimMachineParams;
+    use hpu_model::CalibratorConfig;
+
+    // Mirror of the proptest property: a 1-node fleet under the trivial
+    // round-robin router IS plain `serve_sim` — same outcomes, same
+    // latencies, same device leases, same calibration generations, seed
+    // for seed. The node's beliefs are mis-specified (2x gamma) with the
+    // calibration loop on, so the equivalence also covers drift-triggered
+    // replans and generation bumps.
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let jobs = 2 + rng.below(8) as usize;
+        let shapes: Vec<(ScheduleSpec, usize, f64)> = (0..jobs)
+            .map(|i| {
+                let spec = match i % 3 {
+                    0 => ScheduleSpec::Basic { crossover: Some(4) },
+                    1 => ScheduleSpec::GpuOnly,
+                    _ => ScheduleSpec::CpuParallel,
+                };
+                (spec, 256usize << (i % 2), rng.below(4000) as f64)
+            })
+            .collect();
+        let machine = small_machine();
+        let truth = MachineParams::from_config(&machine);
+        let assumed = MachineParams::new(truth.p, truth.g, (truth.gamma * 2.0).min(1.0))
+            .unwrap()
+            .with_transfer_cost(truth.lambda, truth.delta);
+        let serve = ServeConfig {
+            queue_capacity: jobs,
+            assumed: Some(assumed),
+            calibration: Some(CalibratorConfig::default()),
+            ..ServeConfig::default()
+        };
+        let data = |n: usize| -> Vec<u32> { (0..n as u32).rev().collect() };
+
+        let solo: Vec<JobRequest> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, (spec, n, at))| {
+                JobRequest::new(
+                    format!("j{i}"),
+                    spec.clone(),
+                    *at,
+                    AlgoJob::boxed(MergeSort::new(), data(*n)),
+                )
+            })
+            .collect();
+        let a = serve_sim(&machine, &serve, solo);
+
+        let mut cfg = FleetConfig::new(vec![
+            NodeSpec::new("solo", machine.clone()).with_serve(serve.clone())
+        ]);
+        cfg.router = RouterPolicy::RoundRobin;
+        let fleet_jobs: Vec<FleetJobRequest> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, (spec, n, at))| {
+                FleetJobRequest::new(
+                    format!("j{i}"),
+                    spec.clone(),
+                    *at,
+                    AlgoJob::boxed(MergeSort::new(), data(*n)),
+                )
+            })
+            .collect();
+        let b = fleet_sim(&cfg, fleet_jobs);
+
+        assert!(b.steals.is_empty(), "seed {seed}: 1 node cannot steal");
+        let node = &b.nodes[0];
+        assert_eq!(a.report, node.report, "seed {seed}");
+        assert_eq!(a.replans, node.replans, "seed {seed}");
+        assert_eq!(a.calibration, node.calibration, "seed {seed}");
+        assert_eq!(a.gpu_leases, node.gpu_leases, "seed {seed}");
+        assert_eq!(a.cpu_reservations, node.cpu_reservations, "seed {seed}");
+        assert_eq!(b.report.completed, a.report.completed, "seed {seed}");
+    }
+}
+
+#[test]
 fn virtual_time_scales_with_work() {
     for n_log in 6u32..11 {
         // Doubling the input must not shrink virtual time, whatever the
