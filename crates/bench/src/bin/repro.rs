@@ -10,6 +10,8 @@
 //!             [--seed S] [--out DIR]
 //! repro fleet [--jobs N] [--nodes N,N,...] [--rates R,R,...]
 //!             [--seed S] [--out DIR]
+//! repro batch [--jobs N] [--rates R,R,...] [--native] [--seed S]
+//!             [--out DIR]
 //! repro perf [--label L] [--quick] [--seed S] [--seq N] [--out DIR]
 //! repro perf --compare OLD NEW [--threshold T] [--smoke]
 //! repro perf --compare-newest DIR NEW [--threshold T] [--smoke]
@@ -54,6 +56,16 @@
 //!             (node count, offered rate) — the scaling story of the
 //!             multi-node layer (CSV lands in DIR/fleet.csv with --out);
 //!             defaults: 32 jobs, nodes 1,2,4, rates 1,6,96, seed 42
+//! batch       serve the identical shape-heavy GPU job stream at each
+//!             offered-load rate with cross-job kernel batching off and
+//!             on (coalescing up to 4 same-shaped jobs per launch) and
+//!             print one CSV row per (mode, rate): completions,
+//!             rejections, throughput, batches formed and device time
+//!             saved — the curve shows coalescing saturating at a higher
+//!             offered load than solo launches; --native appends the
+//!             unbatched wall-clock reference rows (CSV lands in
+//!             DIR/batch.csv with --out); defaults: 24 jobs, rates
+//!             1,2,3,4,6,8, seed 42
 //! perf        run the pinned perf matrix (admission latency, native
 //!             throughput, interpret-vs-direct overhead, plan-compile
 //!             time, serve goodput, fleet scaling) and write a
@@ -253,6 +265,16 @@ at each offered rate in --rates (multiples of one node's solo completion
 rate) and prints one CSV row per (node count, rate): goodput, latency
 percentiles, routing quality against the omniscient oracle, steal and
 migration counts. Defaults: 32 jobs, nodes 1,2,4, rates 1,6,96, seed 42.";
+const BATCH_USAGE: &str = "usage: repro batch [--jobs N] [--rates R,R,...] \
+[--native] [--seed S] [--out DIR]
+
+Serves the identical shape-heavy GPU job stream at each offered-load rate
+(multiples of the solo reference completion rate) twice — cross-job
+kernel batching off, then coalescing up to 4 same-shaped jobs per merged
+launch — and prints one CSV row per (mode, rate): completions,
+rejections, goodput, throughput, batches formed and device time saved.
+--native appends the unbatched native (wall-clock) reference rows.
+Defaults: 24 jobs, rates 1,2,3,4,6,8, seed 42.";
 const PERF_USAGE: &str = "usage: repro perf [--label L] [--quick] [--seed S] [--seq N] [--out DIR]
        repro perf --compare OLD NEW [--threshold T] [--smoke]
        repro perf --compare-newest DIR NEW [--threshold T] [--smoke]
@@ -265,7 +287,7 @@ checks schema and metric presence. --compare-newest diffs NEW against
 the highest-seq BENCH_*.json snapshot under DIR.";
 const TOP_USAGE: &str = "usage: repro [EXPERIMENT ...] [--full] [--out DIR] [--trace DIR]
        repro plan EXPERIMENT [...] [--passes] [--full] [--out DIR]
-       repro plan|serve|chaos|calibrate|fleet|perf [--help]
+       repro plan|serve|chaos|calibrate|fleet|batch|perf [--help]
 
 EXPERIMENT: table1 table2 fig3..fig10 ablation-coalescing
             ablation-schedule extension-workloads all (default: all)";
@@ -446,6 +468,43 @@ fn fleet_mode(rest: &[String]) {
     }
 }
 
+/// `repro batch [--jobs N] [--rates R,..] [--native] [--seed S] [--out DIR]`.
+fn batch_mode(rest: &[String]) {
+    validate_flags(
+        rest,
+        &[
+            ("--jobs", 1),
+            ("--rates", 1),
+            ("--native", 0),
+            ("--seed", 1),
+            ("--out", 1),
+        ],
+        BATCH_USAGE,
+    );
+    let jobs: usize = flag_value(rest, "--jobs")
+        .map(|v| v.parse().expect("--jobs takes an integer"))
+        .unwrap_or(24);
+    let rates: Vec<f64> = flag_value(rest, "--rates")
+        .unwrap_or("1,2,3,4,6,8")
+        .split(',')
+        .map(|r| {
+            r.trim()
+                .parse()
+                .expect("--rates takes comma-separated numbers")
+        })
+        .collect();
+    let native = rest.iter().any(|a| a == "--native");
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let csv = hpu_bench::batch_curve(jobs, &rates, native, seed);
+    print!("{}", csv.render());
+    if let Some(dir) = flag_value(rest, "--out") {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+        std::fs::write(format!("{dir}/batch.csv"), csv.render()).expect("write batch CSV");
+    }
+}
+
 /// Reads and parses one snapshot file, exiting 2 on failure.
 fn read_snapshot(path: &str) -> hpu_bench::PerfSnapshot {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -557,6 +616,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("fleet") {
         fleet_mode(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("batch") {
+        batch_mode(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("perf") {

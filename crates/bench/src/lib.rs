@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod chaos;
 pub mod experiments;
 pub mod fleet;
@@ -18,6 +19,7 @@ pub mod serving;
 pub mod timing;
 pub mod workload;
 
+pub use batch::{batch_curve, batch_perf_metrics};
 pub use chaos::chaos_sweep;
 pub use experiments::*;
 pub use fleet::fleet_scaling;

@@ -4,8 +4,9 @@
 //!
 //! [`collect_perf`] runs the matrix — simulated serving (admission
 //! latency, plan-compile time, launch-overhead share, sampled straight
-//! from the live [`MetricsRegistry`]), chaos goodput, fleet scaling and
-//! routing quality off the pinned fleet matrix, native serving
+//! from the live [`MetricsRegistry`]), chaos goodput, the cross-job
+//! batching saturation lift off the pinned batching sweep, fleet
+//! scaling and routing quality off the pinned fleet matrix, native serving
 //! throughput, and the plan interpreter's wall-clock overhead against a
 //! direct breadth-first loop — and returns a [`PerfSnapshot`].
 //! Snapshots serialize to `BENCH_<label>.json`; [`compare`] is
@@ -58,6 +59,8 @@ const DIRECTIONS: &[(&str, bool)] = &[
     ("interpret_overhead_ratio", false),
     ("native_throughput_jobs_per_s", true),
     ("serve_goodput", true),
+    ("batch_saturation_lift", true),
+    ("batch_amortized_launches", true),
     ("fleet_goodput_4n", true),
     ("fleet_scaling_x", true),
     ("fleet_routing_quality", false),
@@ -246,6 +249,9 @@ pub fn collect_perf(label: &str, quick: bool, seed: u64) -> PerfSnapshot {
     plan_acquire_metrics(quick, seed, &mut metrics);
     fleet_metrics(quick, seed, &mut metrics);
     metrics.insert("serve_goodput".to_string(), chaos_goodput(quick, seed));
+    let (batch_lift, batch_amortized) = crate::batch::batch_perf_metrics(seed);
+    metrics.insert("batch_saturation_lift".to_string(), batch_lift);
+    metrics.insert("batch_amortized_launches".to_string(), batch_amortized);
     metrics.insert(
         "native_throughput_jobs_per_s".to_string(),
         native_throughput(quick, seed),
@@ -670,6 +676,8 @@ mod tests {
         assert!(snap.metrics["admission_latency_p50"] >= 0.0);
         assert!(snap.metrics["admission_latency_p99"] >= snap.metrics["admission_latency_p50"]);
         assert!(snap.metrics["serve_goodput"] > 0.0 && snap.metrics["serve_goodput"] <= 1.0);
+        assert!(snap.metrics["batch_saturation_lift"] > 1.0);
+        assert!(snap.metrics["batch_amortized_launches"] > 0.0);
         assert!(snap.metrics["native_throughput_jobs_per_s"] > 0.0);
         assert!(snap.metrics["plan_compile_p50_us"] > 0.0);
         assert!(snap.metrics["interpret_overhead_ratio"] > 0.0);

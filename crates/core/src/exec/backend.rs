@@ -164,6 +164,25 @@ pub struct RecoveryPolicy {
     pub backoff_base: f64,
     /// Multiplier applied to the backoff per further retry.
     pub backoff_factor: f64,
+    /// Ceiling on any single backoff: `base * factor^k` grows
+    /// geometrically, so without a cap a policy tuned for a few retries
+    /// sleeps essentially forever once `k` climbs (on the native path the
+    /// backoff is a real `thread::sleep`). `f64::INFINITY` disables the
+    /// cap.
+    pub max_backoff: f64,
+}
+
+impl RecoveryPolicy {
+    /// The backoff charged before retry number `attempt` (0-based),
+    /// clamped to [`RecoveryPolicy::max_backoff`].
+    ///
+    /// `powi` overflows to ∞ for large attempt counts; the clamp keeps
+    /// the result finite whenever `max_backoff` is, so callers can
+    /// convert to sleep durations without guarding.
+    pub fn backoff_at(&self, attempt: u32) -> f64 {
+        let raw = self.backoff_base * self.backoff_factor.powi(attempt as i32);
+        raw.min(self.max_backoff)
+    }
 }
 
 impl Default for RecoveryPolicy {
@@ -172,6 +191,7 @@ impl Default for RecoveryPolicy {
             max_retries: 3,
             backoff_base: 16.0,
             backoff_factor: 2.0,
+            max_backoff: 1.0e6,
         }
     }
 }
@@ -214,7 +234,7 @@ pub fn interpret_recover<T: Element, A: BfAlgorithm<T>, B: Backend<T, A>>(
                 Ok(()) => break,
                 Err(CoreError::Machine(e)) if e.is_transient() && attempt < policy.max_retries => {
                     rstats.faults += 1;
-                    let backoff = policy.backoff_base * policy.backoff_factor.powi(attempt as i32);
+                    let backoff = policy.backoff_at(attempt);
                     let t0 = backend.now();
                     backend.wait(backoff);
                     attempt += 1;
@@ -357,4 +377,50 @@ fn cpu_cores_of(plan: &Plan) -> usize {
             _ => None,
         })
         .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RecoveryPolicy;
+
+    #[test]
+    fn backoff_sequence_is_geometric_then_clamped() {
+        let policy = RecoveryPolicy {
+            max_retries: 8,
+            backoff_base: 50.0,
+            backoff_factor: 2.0,
+            max_backoff: 500.0,
+        };
+        let delays: Vec<f64> = (0..8).map(|k| policy.backoff_at(k)).collect();
+        // Regression: the unclamped formula gave 50, 100, 200, 400, 800,
+        // 1600, 3200, 6400 — everything past the cap now pins at 500.
+        assert_eq!(
+            delays,
+            vec![50.0, 100.0, 200.0, 400.0, 500.0, 500.0, 500.0, 500.0]
+        );
+    }
+
+    #[test]
+    fn backoff_stays_finite_even_when_powi_overflows() {
+        let policy = RecoveryPolicy {
+            max_retries: u32::MAX,
+            backoff_base: 1.0e300,
+            backoff_factor: 10.0,
+            ..RecoveryPolicy::default()
+        };
+        let d = policy.backoff_at(400);
+        assert!(d.is_finite(), "clamp must tame the overflowed product");
+        assert_eq!(d, policy.max_backoff);
+    }
+
+    #[test]
+    fn default_cap_leaves_the_default_sequence_alone() {
+        let policy = RecoveryPolicy::default();
+        for k in 0..=policy.max_retries {
+            assert_eq!(
+                policy.backoff_at(k),
+                policy.backoff_base * policy.backoff_factor.powi(k as i32)
+            );
+        }
+    }
 }

@@ -1,0 +1,61 @@
+//! Typed fleet-level failures.
+//!
+//! The fleet simulation used to `expect`/panic on internally malformed
+//! states (an arrival routed twice, a steal pass over an empty fleet).
+//! Those states should never arise, but a bug that produces one must
+//! surface as a recorded error on the run's output — aborting the whole
+//! multi-node simulation loses every other node's results.
+
+use std::error::Error;
+use std::fmt;
+
+/// A malformed routing or stealing decision observed during a fleet run.
+///
+/// These are *fleet-internal* invariant violations, distinct from
+/// per-job serving errors (`hpu_serve::ServeError`): the run continues,
+/// the offending decision is skipped, and the error is appended to
+/// [`crate::FleetOutput::errors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetError {
+    /// An arrival's job payload was already consumed when the router
+    /// tried to place it — the arrival would have routed twice.
+    ArrivalAlreadyRouted {
+        /// The fleet-wide job id of the duplicate arrival.
+        job: u64,
+    },
+    /// A selection over fleet nodes ran against an empty fleet.
+    EmptyFleet {
+        /// Which selection hit the empty fleet (e.g. `"steal victim"`).
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::ArrivalAlreadyRouted { job } => {
+                write!(f, "arrival for job {job} was already routed")
+            }
+            FleetError::EmptyFleet { context } => {
+                write!(f, "{context}: the fleet has no nodes")
+            }
+        }
+    }
+}
+
+impl Error for FleetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_job_and_context() {
+        let e = FleetError::ArrivalAlreadyRouted { job: 7 };
+        assert_eq!(e.to_string(), "arrival for job 7 was already routed");
+        let e = FleetError::EmptyFleet {
+            context: "steal victim",
+        };
+        assert_eq!(e.to_string(), "steal victim: the fleet has no nodes");
+    }
+}

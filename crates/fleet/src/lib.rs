@@ -65,11 +65,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod node;
 mod router;
 mod sim;
 mod steal;
 
+pub use error::FleetError;
 pub use node::{Node, NodeSpec};
 pub use router::RouterPolicy;
 pub use sim::{fleet_sim, FleetConfig, FleetJobRequest, FleetOutput};

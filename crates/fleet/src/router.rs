@@ -50,12 +50,24 @@ pub(crate) struct Placement {
     pub node: usize,
     /// The winning score (0 for [`RouterPolicy::RoundRobin`]).
     pub score: f64,
+    /// Nodes skipped this decision because their pricing produced no
+    /// finite score (plan-cache compile error, NaN/∞ beliefs).
+    pub unpriceable: usize,
 }
 
 /// Scores `shape` on every node and returns the placement. `rr` is the
 /// round-robin cursor, advanced only by that policy. Nodes with a full
 /// admission queue are skipped while any node has room (when all are
 /// full, the cheapest node takes the rejection).
+///
+/// A node whose pricing fails — its plan cache cannot compile the shape,
+/// or its believed parameters yield a NaN/∞ score — is *skipped*, not
+/// priced at zero: a zero price made a broken node look free and
+/// attracted every arrival (and NaN scores poisoned the `<` comparison
+/// silently). Skipped nodes are counted in [`Placement::unpriceable`].
+/// Only when *no* node produces a finite score does the router fall back
+/// to pure load balancing across all admissible nodes, so every arrival
+/// still places deterministically.
 pub(crate) fn route(
     policy: &RouterPolicy,
     nodes: &mut [Node],
@@ -70,7 +82,11 @@ pub(crate) fn route(
         RouterPolicy::RoundRobin => {
             let node = *rr % nodes.len();
             *rr += 1;
-            return Placement { node, score: 0.0 };
+            return Placement {
+                node,
+                score: 0.0,
+                unpriceable: 0,
+            };
         }
         RouterPolicy::CostAffinity {
             load_weight,
@@ -81,40 +97,75 @@ pub(crate) fn route(
     let any_room = nodes
         .iter()
         .any(|n| n.sim.queue_len() < n.sim.queue_capacity());
-    let mut best = Placement {
-        node: 0,
-        score: f64::INFINITY,
-    };
-    for (i, node) in nodes.iter_mut().enumerate() {
-        if any_room && node.sim.queue_len() >= node.sim.queue_capacity() {
-            continue;
+    let mut unpriceable = 0usize;
+    let mut best: Option<Placement> = None;
+    // Pass 1 prices under each node's beliefs; pass 2 (reached only when
+    // pass 1 found no finite score anywhere) ignores prices and load-
+    // balances, preserving the old all-nodes-unpriceable behavior.
+    for priced in [true, false] {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            if any_room && node.sim.queue_len() >= node.sim.queue_capacity() {
+                continue;
+            }
+            let price = if priced {
+                match shape {
+                    // No shape at all: nothing to price, pure load
+                    // balancing on every node.
+                    None => 0.0,
+                    Some(s) => match node.sim.price(s).filter(|c| c.is_finite()) {
+                        Some(c) => c,
+                        None => {
+                            unpriceable += 1;
+                            continue;
+                        }
+                    },
+                }
+            } else {
+                0.0
+            };
+            let backlog = node.sim.queued_cost() + (node.sim.horizon() - now).max(0.0);
+            let transfer = match dataset.filter(|_| affinity) {
+                Some(d) if node.is_resident(d) => 0.0,
+                Some(_) => node.sim.believed_transfer_time(words),
+                None => 0.0,
+            };
+            let mut score = price + load_weight * backlog + transfer;
+            if node.sim.breaker_open() {
+                score *= breaker_penalty.max(1.0);
+            }
+            // Backlog or transfer can still go non-finite (e.g. λ = ∞
+            // beliefs): such a score never wins a `<` race, but NaN loses
+            // them *silently* — treat both as unpriceable instead.
+            if !score.is_finite() {
+                unpriceable += 1;
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| score < b.score) {
+                best = Some(Placement {
+                    node: i,
+                    score,
+                    unpriceable: 0,
+                });
+            }
         }
-        // Price under this node's beliefs (through its plan cache). A
-        // shape no node compiles falls back to pure load balancing.
-        let price = shape
-            .and_then(|s| node.sim.price(s))
-            .filter(|c| c.is_finite())
-            .unwrap_or(0.0);
-        let backlog = node.sim.queued_cost() + (node.sim.horizon() - now).max(0.0);
-        let transfer = match dataset.filter(|_| affinity) {
-            Some(d) if node.is_resident(d) => 0.0,
-            Some(_) => node.sim.believed_transfer_time(words),
-            None => 0.0,
-        };
-        let mut score = price + load_weight * backlog + transfer;
-        if node.sim.breaker_open() {
-            score *= breaker_penalty.max(1.0);
-        }
-        if score < best.score {
-            best = Placement { node: i, score };
+        if best.is_some() {
+            break;
         }
     }
-    best
+    let mut placement = best.unwrap_or(Placement {
+        node: 0,
+        score: f64::INFINITY,
+        unpriceable: 0,
+    });
+    placement.unpriceable = unpriceable;
+    placement
 }
 
 #[cfg(test)]
 mod tests {
     use hpu_machine::MachineConfig;
+    use hpu_model::{MachineParams, Recurrence, ScheduleSpec};
+    use hpu_serve::ServeConfig;
 
     use super::*;
     use crate::node::NodeSpec;
@@ -124,6 +175,83 @@ mod tests {
             Node::new(&NodeSpec::new("a", MachineConfig::hpu1_sim())),
             Node::new(&NodeSpec::new("b", MachineConfig::hpu1_sim())),
         ]
+    }
+
+    fn gpu_shape() -> QueuedShape {
+        let rec = Recurrence::mergesort();
+        let n = 4096u64;
+        let levels = rec.num_levels(n);
+        QueuedShape {
+            spec: ScheduleSpec::GpuOnly,
+            rec,
+            n,
+            levels,
+        }
+    }
+
+    /// A node whose believed transfer latency is `lambda` — ∞ or NaN
+    /// make every GPU-using price non-finite, i.e. unpriceable.
+    fn node_with_lambda(name: &str, lambda: f64) -> Node {
+        let assumed = MachineParams::hpu1().with_transfer_cost(lambda, 0.0);
+        Node::new(
+            &NodeSpec::new(name, MachineConfig::hpu1_sim()).with_serve(ServeConfig {
+                assumed: Some(assumed),
+                ..ServeConfig::default()
+            }),
+        )
+    }
+
+    #[test]
+    fn one_bad_node_is_skipped_counted_and_routing_stays_deterministic() {
+        // Regression: a node whose pricing blew up to ∞ used to fall
+        // back to a price of 0.0 — the *broken* node looked free and
+        // attracted every arrival. It must be skipped and counted.
+        for bad_lambda in [f64::INFINITY, f64::NAN] {
+            let mut nodes = vec![
+                Node::new(&NodeSpec::new("good", MachineConfig::hpu1_sim())),
+                node_with_lambda("bad", bad_lambda),
+            ];
+            let shape = gpu_shape();
+            let mut rr = 0;
+            for _ in 0..8 {
+                let p = route(
+                    &RouterPolicy::default(),
+                    &mut nodes,
+                    Some(&shape),
+                    None,
+                    0,
+                    0.0,
+                    &mut rr,
+                );
+                assert_eq!(p.node, 0, "every arrival must land on the healthy node");
+                assert_eq!(p.unpriceable, 1, "the bad node is counted once per probe");
+                assert!(p.score.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn all_bad_nodes_fall_back_to_load_balancing() {
+        let mut nodes = vec![
+            node_with_lambda("bad-a", f64::INFINITY),
+            node_with_lambda("bad-b", f64::INFINITY),
+        ];
+        let shape = gpu_shape();
+        let mut rr = 0;
+        let p = route(
+            &RouterPolicy::default(),
+            &mut nodes,
+            Some(&shape),
+            None,
+            0,
+            0.0,
+            &mut rr,
+        );
+        // No node prices, so the load-only fallback places on the lowest
+        // index — deterministic, never a NaN comparison.
+        assert_eq!(p.node, 0);
+        assert_eq!(p.unpriceable, 2);
+        assert!(p.score.is_finite());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use hpu_model::{compile, plan_cost, LevelProfile, MachineParams, ScheduleSpec};
 use hpu_obs::{FleetReport, MetricsRegistry, ServeReport};
 use hpu_serve::{JobRequest, QueuedShape, ServeOutput, Workload};
 
+use crate::error::FleetError;
 use crate::node::{Node, NodeSpec};
 use crate::router::{route, RouterPolicy};
 use crate::steal::{balance, evacuate, StealConfig, StealEvent, StealReason};
@@ -118,6 +119,11 @@ pub struct FleetOutput {
     pub assignments: Vec<(u64, usize)>,
     /// Every cross-node migration, occurrence order.
     pub steals: Vec<StealEvent>,
+    /// Fleet-internal invariant violations observed during the run
+    /// (malformed routing or stealing decisions). The offending decision
+    /// is skipped rather than aborting every node's simulation; an empty
+    /// vec is the healthy case.
+    pub errors: Vec<FleetError>,
 }
 
 /// One fleet arrival, pre-digested: the pricing shape is extracted
@@ -144,6 +150,7 @@ pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
             nodes: Vec::new(),
             assignments: Vec::new(),
             steals: Vec::new(),
+            errors: Vec::new(),
         };
     }
 
@@ -177,6 +184,8 @@ pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
     let mut datasets: Vec<Option<u64>> = vec![None; submitted];
     let mut assignments: Vec<(u64, usize)> = Vec::new();
     let mut steals_log: Vec<StealEvent> = Vec::new();
+    let mut errors: Vec<FleetError> = Vec::new();
+    let mut unpriceable = 0usize;
     let mut rr = 0usize;
     let mut idx = 0usize;
     loop {
@@ -202,7 +211,17 @@ pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
                     at,
                     &mut rr,
                 );
-                let job = inc.job.take().expect("each arrival routes once");
+                unpriceable += placement.unpriceable;
+                // A consumed payload means this arrival already routed —
+                // a fleet bug, but one that must not abort every other
+                // node's simulation.
+                let job = match take_routed(inc) {
+                    Ok(job) => job,
+                    Err(e) => {
+                        errors.push(e);
+                        continue;
+                    }
+                };
                 datasets[inc.id as usize] = inc.dataset;
                 let target = &mut nodes[placement.node];
                 target.routed += 1;
@@ -239,7 +258,7 @@ pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
                     }
                     steals_log.extend(evs);
                 }
-                let evs = balance(&cfg.steal, &mut nodes, now);
+                let evs = balance(&cfg.steal, &mut nodes, now, &mut errors);
                 settle_migrations(&mut nodes, &datasets, &evs, cfg.residency_capacity);
                 if let Some(m) = &cfg.metrics {
                     m.inc("fleet.steals", evs.len() as u64);
@@ -270,7 +289,8 @@ pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
     let migrations = steals_log.len() - steals;
     let mut report = FleetReport::new(
         names, &reports, routed_net, steal_flow, replans, submitted, steals, migrations,
-    );
+    )
+    .with_unpriceable(unpriceable);
     if oracle_mean > 0.0 {
         report = report.with_oracle(oracle_mean);
     }
@@ -278,13 +298,26 @@ pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
         m.set_gauge("fleet.goodput", report.goodput);
         m.set_gauge("fleet.routing_quality", report.routing_quality);
         m.set_gauge("fleet.makespan", report.makespan);
+        if unpriceable > 0 {
+            m.inc("fleet.unpriceable", unpriceable as u64);
+        }
     }
     FleetOutput {
         report,
         nodes: outputs,
         assignments,
         steals: steals_log,
+        errors,
     }
+}
+
+/// Consumes an arrival's job payload for routing; an already-consumed
+/// payload is the [`FleetError::ArrivalAlreadyRouted`] invariant
+/// violation (this used to be a process-aborting `expect`).
+fn take_routed(inc: &mut Incoming) -> Result<FleetJobRequest, FleetError> {
+    inc.job
+        .take()
+        .ok_or(FleetError::ArrivalAlreadyRouted { job: inc.id })
 }
 
 /// Moves each migrated job's dataset residency with it.
@@ -345,5 +378,28 @@ fn oracle_mean_latency(cfg: &FleetConfig, incoming: &[Incoming]) -> f64 {
         0.0
     } else {
         total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_twice_routed_arrival_is_a_typed_error_not_a_panic() {
+        // Regression: `fleet_sim` used to `expect` here, so a duplicate
+        // take aborted the whole multi-node run.
+        let mut inc = Incoming {
+            id: 42,
+            at: 0.0,
+            shape: None,
+            dataset: None,
+            words: 0,
+            job: None,
+        };
+        assert_eq!(
+            take_routed(&mut inc).map(|_| ()),
+            Err(FleetError::ArrivalAlreadyRouted { job: 42 })
+        );
     }
 }

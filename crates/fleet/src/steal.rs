@@ -16,6 +16,7 @@
 //! own beliefs and plan cache. All decisions read only queue lengths and
 //! deterministic orderings, so fleet runs stay bit-for-bit reproducible.
 
+use crate::error::FleetError;
 use crate::node::Node;
 
 /// Work-stealing configuration.
@@ -69,21 +70,42 @@ fn effective(nodes: &[Node], injected: &[usize], i: usize) -> usize {
     nodes[i].sim.queue_len() + injected[i]
 }
 
+/// Picks the steal victim: the node with the longest queue (lowest
+/// index on ties). An empty fleet is a typed error, not a panic — the
+/// caller records it and skips the stealing pass.
+pub(crate) fn pick_victim(nodes: &[Node]) -> Result<usize, FleetError> {
+    (0..nodes.len())
+        .max_by_key(|&i| (nodes[i].sim.queue_len(), usize::MAX - i))
+        .ok_or(FleetError::EmptyFleet {
+            context: "steal victim",
+        })
+}
+
 /// Load-balancing pass at one event boundary (time `now`): migrates
 /// jobs one at a time from the longest queue to the shortest accepting
 /// queue until the gap falls below the threshold (or the victim has no
 /// stealable suffix). Breaker-open nodes never steal *in* — a stolen
-/// GPU job would instantly degrade there.
-pub(crate) fn balance(cfg: &StealConfig, nodes: &mut [Node], now: f64) -> Vec<StealEvent> {
+/// GPU job would instantly degrade there. A malformed selection is
+/// appended to `errors` and ends the pass.
+pub(crate) fn balance(
+    cfg: &StealConfig,
+    nodes: &mut [Node],
+    now: f64,
+    errors: &mut Vec<FleetError>,
+) -> Vec<StealEvent> {
     let mut events = Vec::new();
     if !cfg.enabled || nodes.len() < 2 {
         return events;
     }
     let mut injected = vec![0usize; nodes.len()];
     loop {
-        let victim = (0..nodes.len())
-            .max_by_key(|&i| (nodes[i].sim.queue_len(), usize::MAX - i))
-            .expect("guarded: the fleet has at least two nodes");
+        let victim = match pick_victim(nodes) {
+            Ok(v) => v,
+            Err(e) => {
+                errors.push(e);
+                break;
+            }
+        };
         let thief = (0..nodes.len())
             .filter(|&i| i != victim && !nodes[i].sim.breaker_open())
             .filter(|&i| effective(nodes, &injected, i) < nodes[i].sim.queue_capacity())
@@ -150,4 +172,29 @@ pub(crate) fn evacuate(nodes: &mut [Node], victim: usize, now: f64) -> Vec<Steal
         });
     }
     events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_selection_over_an_empty_fleet_is_an_error_not_a_panic() {
+        // Regression: this used to be an `expect` that aborted the whole
+        // fleet simulation if the guard above it ever regressed.
+        assert_eq!(
+            pick_victim(&[]),
+            Err(FleetError::EmptyFleet {
+                context: "steal victim"
+            })
+        );
+    }
+
+    #[test]
+    fn balance_records_nothing_and_no_errors_on_a_degenerate_fleet() {
+        let mut errors = Vec::new();
+        let events = balance(&StealConfig::default(), &mut [], 0.0, &mut errors);
+        assert!(events.is_empty());
+        assert!(errors.is_empty(), "the <2-node guard short-circuits first");
+    }
 }

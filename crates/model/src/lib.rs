@@ -70,5 +70,8 @@ pub use plan::{
     compile, compile_timed, compile_unoptimized, resolve, Direction, Placement, Plan, ScheduleSpec,
     Segment, Transfer,
 };
-pub use prediction::{plan_cost, predict_levels, LevelPrediction, PlanCost, SegmentCost};
+pub use prediction::{
+    batched_segment_time, plan_cost, predict_levels, BatchedSegment, LevelPrediction, PlanCost,
+    SegmentCost,
+};
 pub use recurrence::Recurrence;

@@ -84,6 +84,19 @@ impl MachineParams {
     pub fn transfer_time(&self, words: u64) -> f64 {
         self.lambda + self.delta * words as f64
     }
+
+    /// Time to move several jobs' inputs in **one merged DMA**: a single
+    /// latency `λ` plus `δ·Σw`. This is the transfer side of cross-job
+    /// kernel batching — coalescing `m` same-shaped uploads saves
+    /// `(m−1)·λ` over issuing them separately. An empty batch costs
+    /// nothing (no transfer is issued at all).
+    pub fn batched_transfer_time(&self, words: &[u64]) -> f64 {
+        if words.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = words.iter().sum();
+        self.lambda + self.delta * total as f64
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +160,20 @@ mod tests {
             .with_transfer_cost(100.0, 0.5);
         assert_eq!(m.transfer_time(0), 100.0);
         assert_eq!(m.transfer_time(10), 105.0);
+    }
+
+    #[test]
+    fn batched_transfer_pays_one_latency() {
+        let m = MachineParams::new(4, 64, 0.1)
+            .unwrap()
+            .with_transfer_cost(100.0, 0.5);
+        assert_eq!(m.batched_transfer_time(&[]), 0.0);
+        assert_eq!(m.batched_transfer_time(&[10]), m.transfer_time(10));
+        // Three merged uploads: one λ, summed δ·w — two latencies saved.
+        let merged = m.batched_transfer_time(&[10, 20, 30]);
+        assert_eq!(merged, 100.0 + 0.5 * 60.0);
+        let separate: f64 = [10u64, 20, 30].iter().map(|&w| m.transfer_time(w)).sum();
+        assert_eq!(separate - merged, 2.0 * 100.0);
     }
 
     #[test]

@@ -162,6 +162,25 @@ impl Plan {
             .map(|t| t.words)
             .sum()
     }
+
+    /// The *fixed* (size-independent) device cost of segment `index`:
+    /// one transfer latency `lambda` per transfer edge plus one kernel
+    /// `launch_overhead` per level of the band. These are the costs
+    /// cross-job batching amortizes — when `m` same-shaped segments
+    /// coalesce into one launch with merged transfers, `m − 1` copies of
+    /// this fixed cost disappear (the `δ·w` payload and the kernel work
+    /// itself are paid per member regardless). A CPU band has no fixed
+    /// device cost. Out-of-range indices cost nothing.
+    pub fn segment_fixed_cost(&self, index: usize, lambda: f64, launch_overhead: f64) -> f64 {
+        let Some(seg) = self.segments.get(index) else {
+            return 0.0;
+        };
+        if matches!(seg.placement, Placement::Cpu { .. }) {
+            return 0.0;
+        }
+        let launches = (seg.last_level - seg.first_level + 1) as f64;
+        lambda * seg.transfers.len() as f64 + launch_overhead * launches
+    }
 }
 
 /// [`compile`] with wall-clock sampling: the elapsed time is recorded
@@ -752,6 +771,23 @@ mod tests {
             8
         )
         .is_err());
+    }
+
+    #[test]
+    fn segment_fixed_cost_counts_latencies_and_launches() {
+        // HPU1 mergesort basic: segment 0 = GPU band levels 0..=2 with an
+        // upload/download pair, segment 1 = CPU band (no fixed cost).
+        let plan = mergesort_plan(&ScheduleSpec::Basic { crossover: None }, 1 << 12).unwrap();
+        assert_eq!(plan.segments.len(), 2);
+        let (lambda, launch) = (100.0, 7.0);
+        let gpu_band = &plan.segments[0];
+        let launches = (gpu_band.last_level - gpu_band.first_level + 1) as f64;
+        assert_eq!(
+            plan.segment_fixed_cost(0, lambda, launch),
+            lambda * gpu_band.transfers.len() as f64 + launch * launches
+        );
+        assert_eq!(plan.segment_fixed_cost(1, lambda, launch), 0.0);
+        assert_eq!(plan.segment_fixed_cost(99, lambda, launch), 0.0);
     }
 
     #[test]

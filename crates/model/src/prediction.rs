@@ -284,6 +284,48 @@ pub fn plan_cost(profile: &LevelProfile, plan: &Plan) -> Result<PlanCost, ModelE
     })
 }
 
+/// Device time of one cross-job batched GPU segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchedSegment {
+    /// Merged device-lease time of the coalesced launch.
+    pub time: f64,
+    /// Device time saved versus running every member's segment solo
+    /// (`Σ member_times − time`, never negative).
+    pub saved: f64,
+}
+
+/// Device time of `m` same-shaped GPU segments coalesced into **one**
+/// kernel launch with merged transfers.
+///
+/// Each member's solo segment time already contains one copy of the
+/// shared fixed cost (`shared_fixed`: transfer latencies plus launch
+/// overheads — see `Plan::segment_fixed_cost`); the batch pays that cost
+/// once, so `m − 1` copies vanish while every member's payload
+/// (`δ·w` transfer words, kernel waves) is still charged:
+///
+/// `time = max(Σtᵢ − (m−1)·fixed, maxᵢ tᵢ)`
+///
+/// The clamp keeps the result physical: a batch can never finish before
+/// its largest member would solo, however generous the fixed cost looks.
+/// Empty batches take no time; single-member "batches" are exactly the
+/// solo segment.
+pub fn batched_segment_time(member_times: &[f64], shared_fixed: f64) -> BatchedSegment {
+    if member_times.is_empty() {
+        return BatchedSegment {
+            time: 0.0,
+            saved: 0.0,
+        };
+    }
+    let sum: f64 = member_times.iter().sum();
+    let longest = member_times.iter().copied().fold(0.0, f64::max);
+    let amortized = (member_times.len() as f64 - 1.0) * shared_fixed.max(0.0);
+    let time = (sum - amortized).max(longest);
+    BatchedSegment {
+        time,
+        saved: (sum - time).max(0.0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +346,32 @@ mod tests {
             exec_levels,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn batched_time_amortizes_fixed_cost_but_never_beats_the_longest_member() {
+        // Empty and singleton batches are trivial.
+        assert_eq!(
+            batched_segment_time(&[], 10.0),
+            BatchedSegment {
+                time: 0.0,
+                saved: 0.0
+            }
+        );
+        assert_eq!(batched_segment_time(&[40.0], 10.0).time, 40.0);
+        assert_eq!(batched_segment_time(&[40.0], 10.0).saved, 0.0);
+        // Three members, fixed 10: two copies amortize away.
+        let b = batched_segment_time(&[40.0, 50.0, 60.0], 10.0);
+        assert_eq!(b.time, 130.0);
+        assert_eq!(b.saved, 20.0);
+        // A huge fixed cost clamps at the longest member, not below.
+        let b = batched_segment_time(&[40.0, 50.0, 60.0], 1000.0);
+        assert_eq!(b.time, 60.0);
+        assert_eq!(b.saved, 90.0);
+        // Negative fixed cost never inflates the batch.
+        let b = batched_segment_time(&[40.0, 50.0], -5.0);
+        assert_eq!(b.time, 90.0);
+        assert_eq!(b.saved, 0.0);
     }
 
     #[test]

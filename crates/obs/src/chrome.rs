@@ -214,6 +214,9 @@ fn push_args(out: &mut String, kind: &EventKind) {
                 SpanKind::Retry { attempt } => {
                     let _ = write!(out, ",\"attempt\":{attempt}");
                 }
+                SpanKind::Batch { size, saved } => {
+                    let _ = write!(out, ",\"batch_size\":{size},\"saved\":{}", fmt_num(*saved));
+                }
             }
         }
         EventKind::Sync | EventKind::Mark(_) => {}

@@ -80,6 +80,11 @@ pub struct FleetReport {
     /// `mean_latency / oracle_mean_latency` — 1.0 is oracle-equal,
     /// lower bounded by it; 0 when the oracle was not computed.
     pub routing_quality: f64,
+    /// Node-probes the router skipped because the node produced no
+    /// finite price for the arriving shape (plan-cache compile error,
+    /// NaN/∞ beliefs). One arrival can contribute several: one per bad
+    /// node it was scored against.
+    pub unpriceable: usize,
 }
 
 impl FleetReport {
@@ -179,6 +184,7 @@ impl FleetReport {
             migrations,
             oracle_mean_latency: 0.0,
             routing_quality: 0.0,
+            unpriceable: 0,
         }
     }
 
@@ -191,6 +197,13 @@ impl FleetReport {
         } else {
             0.0
         };
+        self
+    }
+
+    /// Attaches the count of unpriceable node-probes the router skipped
+    /// (see [`FleetReport::unpriceable`]).
+    pub fn with_unpriceable(mut self, unpriceable: usize) -> FleetReport {
+        self.unpriceable = unpriceable;
         self
     }
 
@@ -231,7 +244,7 @@ impl FleetReport {
             "{{\"schema\":1,\"submitted\":{},\"completed\":{},\"rejected\":{},\
              \"cancelled\":{},\"failed\":{},\"goodput\":{},\"makespan\":{},\
              \"throughput\":{},\"p50_latency\":{},\"p95_latency\":{},\"p99_latency\":{},\
-             \"mean_latency\":{},\"steals\":{},\"migrations\":{},\
+             \"mean_latency\":{},\"steals\":{},\"migrations\":{},\"unpriceable\":{},\
              \"oracle_mean_latency\":{},\"routing_quality\":{},\"nodes\":[{}]}}",
             self.submitted,
             self.completed,
@@ -247,6 +260,7 @@ impl FleetReport {
             f(self.mean_latency),
             self.steals,
             self.migrations,
+            self.unpriceable,
             f(self.oracle_mean_latency),
             f(self.routing_quality),
             nodes.join(","),
@@ -259,7 +273,7 @@ impl FleetReport {
             "fleet: submitted {} | completed {} rejected {} cancelled {} failed {}\n\
              goodput {:.3} | makespan {:.2} | throughput {:.6}\n\
              latency mean {:.2} p50 {:.2} p95 {:.2} p99 {:.2}\n\
-             steals {} | migrations {} | routing quality {:.3} (oracle mean {:.2})\n",
+             steals {} | migrations {} | unpriceable {} | routing quality {:.3} (oracle mean {:.2})\n",
             self.submitted,
             self.completed,
             self.rejected,
@@ -274,6 +288,7 @@ impl FleetReport {
             self.p99_latency,
             self.steals,
             self.migrations,
+            self.unpriceable,
             self.routing_quality,
             self.oracle_mean_latency,
         );
@@ -383,8 +398,13 @@ mod tests {
             1,
             2,
         )
-        .with_oracle(4.0);
+        .with_oracle(4.0)
+        .with_unpriceable(5);
         let j = crate::json::Json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(
+            j.get("unpriceable").and_then(crate::json::Json::as_f64),
+            Some(5.0)
+        );
         assert_eq!(
             j.get("schema").and_then(crate::json::Json::as_f64),
             Some(1.0)

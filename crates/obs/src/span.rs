@@ -46,6 +46,15 @@ pub enum SpanKind {
         /// Total retry attempts the parent absorbed.
         attempt: u32,
     },
+    /// One cross-job batched GPU launch: a single merged kernel +
+    /// transfer window whose device time is attributed to *several* job
+    /// spans at once (each member's GPU segment span shares this window).
+    Batch {
+        /// Number of jobs coalesced into the launch.
+        size: u32,
+        /// Device time the batch saved versus solo launches.
+        saved: f64,
+    },
 }
 
 impl fmt::Display for SpanKind {
@@ -57,6 +66,7 @@ impl fmt::Display for SpanKind {
             }
             SpanKind::Level { level } => write!(f, "level {level}"),
             SpanKind::Retry { attempt } => write!(f, "retry x{attempt}"),
+            SpanKind::Batch { size, saved } => write!(f, "batch x{size} (saved {saved})"),
         }
     }
 }
@@ -174,5 +184,13 @@ mod tests {
         );
         assert_eq!(SpanKind::Level { level: 2 }.to_string(), "level 2");
         assert_eq!(SpanKind::Retry { attempt: 1 }.to_string(), "retry x1");
+        assert_eq!(
+            SpanKind::Batch {
+                size: 3,
+                saved: 250.0
+            }
+            .to_string(),
+            "batch x3 (saved 250)"
+        );
     }
 }

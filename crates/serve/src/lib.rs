@@ -63,6 +63,6 @@ pub use job::{AlgoJob, Workload};
 pub use native::{serve_native, NativeJobRequest, NativeServeOutput};
 pub use queue::{dispatch_order, Policy, Rank};
 pub use sched::{
-    serve_sim, FaultConfig, JobRequest, JobRun, NodeSim, QueuedShape, ServeConfig, ServeOutput,
-    StolenJob,
+    serve_sim, BatchPolicy, BatchRecord, FaultConfig, JobRequest, JobRun, NodeSim, QueuedShape,
+    ServeConfig, ServeOutput, StolenJob,
 };

@@ -170,6 +170,7 @@ pub fn serve_native(
                             max_retries: 0,
                             backoff_base: 0.0,
                             backoff_factor: 1.0,
+                            max_backoff: 0.0,
                         });
                 loop {
                     let mut job = {
@@ -249,8 +250,12 @@ pub fn serve_native(
                             Err(payload) => {
                                 pool = LevelPool::new(threads_per_worker);
                                 if retries < recovery.max_retries {
-                                    let backoff = recovery.backoff_base
-                                        * recovery.backoff_factor.powi(retries as i32);
+                                    // Clamped: unclamped `base * factor^k`
+                                    // overflows `as u64` past 2^64 µs and in
+                                    // any case sleeps a worker for hours once
+                                    // k grows; `backoff_at` caps the delay at
+                                    // `recovery.max_backoff`.
+                                    let backoff = recovery.backoff_at(retries);
                                     if backoff > 0.0 {
                                         std::thread::sleep(Duration::from_micros(backoff as u64));
                                     }

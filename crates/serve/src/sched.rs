@@ -56,9 +56,10 @@ use hpu_machine::{
     FaultInjector, FaultPlan, MachineConfig, MachineError, SimHpu, SimMachineParams,
 };
 use hpu_model::{
-    compile, compile_timed, plan_cost, CacheStats, Calibration, CalibrationError, Calibrator,
-    CalibratorConfig, LevelProfile, MachineParams, ModelError, Observation, Placement, Plan,
-    PlanCache, PlanCost, Recurrence, ScheduleSpec, DEFAULT_PLAN_CACHE_CAPACITY,
+    batched_segment_time, compile, compile_timed, plan_cost, CacheStats, Calibration,
+    CalibrationError, Calibrator, CalibratorConfig, LevelProfile, MachineParams, ModelError,
+    Observation, Placement, Plan, PlanCache, PlanCost, Recurrence, ScheduleSpec,
+    DEFAULT_PLAN_CACHE_CAPACITY,
 };
 use hpu_obs::{
     FaultTag, JobOutcome, JobRecord, MetricsRegistry, ServeReport, SpanKind, SpanSet, TraceEvent,
@@ -111,6 +112,56 @@ pub struct ServeConfig {
     /// [`DEFAULT_PLAN_CACHE_CAPACITY`] plans; `None` disables caching
     /// and recompiles every admission (the pre-cache behavior).
     pub plan_cache: Option<usize>,
+    /// Cross-job GPU kernel batching (see [`BatchPolicy`]). The default,
+    /// [`BatchPolicy::Off`], keeps the unbatched scheduler bit for bit.
+    pub batch: BatchPolicy,
+}
+
+/// Cross-job GPU kernel batching policy.
+///
+/// At each dispatch event, when the job the policy would dispatch next
+/// is GPU-using, the scheduler may *coalesce* other queued jobs with the
+/// **same shape** — same algorithm kind, same calibration generation,
+/// structurally identical compiled plan — into one batched kernel launch
+/// per GPU segment: one merged upload, one launch, one download, so the
+/// batch pays the fixed costs (`λ` per transfer edge, launch overhead
+/// per level) **once** while every member still pays its own `δ·w`
+/// payload and kernel waves (Kothapalli-style amortization).
+///
+/// Fairness invariants, enforced before any batch commits:
+///
+/// * The policy's dispatch-order winner always leads the batch — a batch
+///   never runs ahead of a job the queue policy promised to serve first,
+///   and the starvation (`skips`) accounting is identical to solo
+///   dispatch.
+/// * A batch must still start at the current event time; if coalescing
+///   pushes the merged window later, the leader dispatches solo instead.
+/// * A member whose projected completion (including its solo run's
+///   overhang) would miss its deadline is dropped from the batch — a
+///   lone job is never delayed past its deadline to benefit a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// No coalescing: byte-identical to the pre-batching scheduler.
+    #[default]
+    Off,
+    /// Coalesce up to `max_batch` same-shaped jobs per launch. A bound
+    /// below 2 can never form a batch and behaves exactly like
+    /// [`BatchPolicy::Off`].
+    Coalesce {
+        /// Largest number of jobs one launch may serve.
+        max_batch: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// The effective batch bound: `None` when batching is off (or the
+    /// bound cannot fit two members).
+    fn bound(&self) -> Option<usize> {
+        match *self {
+            BatchPolicy::Off => None,
+            BatchPolicy::Coalesce { max_batch } => (max_batch >= 2).then_some(max_batch),
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -125,6 +176,7 @@ impl Default for ServeConfig {
             faults: None,
             metrics: None,
             plan_cache: Some(DEFAULT_PLAN_CACHE_CAPACITY),
+            batch: BatchPolicy::Off,
         }
     }
 }
@@ -298,6 +350,24 @@ pub struct ServeOutput {
     /// [`SpanKind::Retry`] marker when recovery retried. Feed these to a
     /// [`hpu_obs::ChromeTrace`] process to see the tree as flow arrows.
     pub spans: Vec<TraceEvent>,
+    /// Every cross-job batched launch formed, in commit order (empty
+    /// under [`BatchPolicy::Off`]).
+    pub batches: Vec<BatchRecord>,
+}
+
+/// One committed cross-job batched launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Dispatch event time the batch formed at.
+    pub at: f64,
+    /// Member job ids, dispatch order (the policy's winner first).
+    pub members: Vec<u64>,
+    /// The merged GPU windows reserved, one `(start, end)` per batched
+    /// GPU segment, plan order.
+    pub windows: Vec<(f64, f64)>,
+    /// Device time saved versus committing every member solo (the
+    /// amortized launch overheads and transfer latencies).
+    pub saved: f64,
 }
 
 /// Where one plan segment runs, from the arbiter's point of view.
@@ -342,6 +412,10 @@ struct Variant {
     retries: u32,
     /// Whether this shape is a CPU-only degradation of a GPU schedule.
     degraded: bool,
+    /// Per-segment *fixed* device cost on the true machine (transfer
+    /// latencies + launch overheads; 0 for CPU bands) — what cross-job
+    /// batching amortizes. Aligned index for index with `demands`.
+    fixed: Vec<f64>,
 }
 
 impl Variant {
@@ -489,6 +563,7 @@ pub struct NodeSim {
     fault_state: Option<FaultState>,
     spans: SpanSet,
     plan_cache: Option<PlanCache>,
+    batches: Vec<BatchRecord>,
     heap: EventHeap,
     arrival_seq: u64,
     tick_seq: u64,
@@ -532,6 +607,7 @@ impl NodeSim {
             fault_state: serve.faults.as_ref().map(FaultState::new),
             spans: SpanSet::new(),
             plan_cache: serve.plan_cache.map(PlanCache::new),
+            batches: Vec::new(),
             heap: BinaryHeap::new(),
             arrival_seq: 0,
             tick_seq: TICK_SEQ_BASE,
@@ -697,6 +773,7 @@ impl NodeSim {
             self.calibrator.is_some().then_some(&mut self.pending),
             self.fault_state.is_some(),
             &mut self.spans,
+            &mut self.batches,
         );
         if let Some(m) = &self.serve.metrics {
             m.set_gauge("serve.queue_depth", self.queue.len() as f64);
@@ -741,6 +818,7 @@ impl NodeSim {
             plan_cache: cache_stats,
             calibration: self.calibrator.map(|c| c.calibration().clone()),
             spans: self.spans.into_events(),
+            batches: self.batches,
         }
     }
 
@@ -758,8 +836,47 @@ impl NodeSim {
 
     /// Sum of predicted costs over every queued job: the node's believed
     /// backlog, in its own cost units.
+    ///
+    /// With [`BatchPolicy::Coalesce`] on, same-shaped batchable GPU jobs
+    /// in the queue will share launches, so the backlog is discounted by
+    /// the fixed costs batching will amortize — a batching node looks
+    /// cheaper to a fleet router than an identically-loaded unbatched
+    /// one, steering same-shaped work toward it.
     pub fn queued_cost(&self) -> f64 {
-        self.queue.iter().map(|q| q.primary.cost).sum()
+        let base: f64 = self.queue.iter().map(|q| q.primary.cost).sum();
+        let Some(bound) = self.serve.batch.bound() else {
+            return base;
+        };
+        let mut grouped = vec![false; self.queue.len()];
+        let mut discount = 0.0;
+        for i in 0..self.queue.len() {
+            if grouped[i] || !batchable(&self.queue[i].primary) {
+                continue;
+            }
+            grouped[i] = true;
+            let mut size = 1usize;
+            let mut shared: f64 = self.queue[i].primary.fixed.iter().sum();
+            // Indexes two slices (`grouped` and the queue) in lockstep.
+            #[allow(clippy::needless_range_loop)]
+            for j in (i + 1)..self.queue.len() {
+                if grouped[j] || !same_batch_shape(&self.queue[i], &self.queue[j]) {
+                    continue;
+                }
+                grouped[j] = true;
+                size += 1;
+                shared = shared.min(self.queue[j].primary.fixed.iter().sum());
+            }
+            // k jobs in ⌈k / bound⌉ launches: the other copies of the
+            // shared fixed cost amortize away.
+            let amortized = size - size.div_ceil(bound);
+            discount += amortized as f64 * shared;
+        }
+        (base - discount).max(0.0)
+    }
+
+    /// Cross-job batched launches committed so far.
+    pub fn batches_formed(&self) -> u64 {
+        self.batches.len() as u64
     }
 
     /// End of the last committed reservation — how far ahead of `now` the
@@ -1135,6 +1252,13 @@ fn solo(
         observed_gpu: report.levels.iter().map(|r| r.gpu_time).sum(),
         observed_bus: report.levels.iter().map(|r| r.bus_time).sum(),
     };
+    // The fixed costs batching can amortize are properties of the *true*
+    // machine the demands were measured on — the bus latency actually
+    // paid per transfer edge and the launch overhead actually paid per
+    // level — never of the believed (assumed/calibrated) parameters.
+    let fixed = (0..plan.segments.len())
+        .map(|i| plan.segment_fixed_cost(i, job_cfg.bus.lambda, job_cfg.gpu.launch_overhead))
+        .collect();
     Ok(Variant {
         cost: cost.total,
         plan,
@@ -1143,6 +1267,7 @@ fn solo(
         obs,
         retries,
         degraded: false,
+        fixed,
     })
 }
 
@@ -1674,6 +1799,319 @@ fn release_all(arb: &mut DeviceArbiter, resvs: &[Resv]) {
     }
 }
 
+/// Whether a variant's shape can join a cross-job batch: it must drive
+/// the device through at least one exclusive GPU band and carry no
+/// concurrent split (a split's CPU half is already pinned to its own
+/// GPU half — merging the device side would break the pairing).
+fn batchable(v: &Variant) -> bool {
+    let mut has_gpu = false;
+    for d in &v.demands {
+        match d.kind {
+            SegKind::Split { .. } => return false,
+            SegKind::Gpu => has_gpu |= d.gpu > EPS,
+            SegKind::Cpu { .. } => {}
+        }
+    }
+    has_gpu
+}
+
+/// Whether `b` may share a batched launch with `a`: same algorithm kind,
+/// same calibration generation, and a structurally identical compiled
+/// plan (same bands, placements and transfer edges — the definition of
+/// "same-shaped kernels").
+fn same_batch_shape(a: &Queued, b: &Queued) -> bool {
+    batchable(&b.primary)
+        && a.workload.kind() == b.workload.kind()
+        && a.generation == b.generation
+        && *a.primary.plan == *b.primary.plan
+}
+
+/// The committed (or probed) reservation layout of one batch.
+struct BatchTimeline {
+    /// Per-member granted windows, aligned index for index with each
+    /// member's `demands` (zero-length demands get `(t, t)`); members in
+    /// the order they were passed to [`lay_batch`].
+    windows: Vec<Vec<(f64, f64)>>,
+    /// The merged GPU windows, one per batched GPU segment, plan order.
+    gpu_windows: Vec<(f64, f64)>,
+    /// Total device time amortized away versus solo commits.
+    saved: f64,
+}
+
+/// First granted (non-empty) window start, `fallback` if none.
+fn window_start(windows: &[(f64, f64)], fallback: f64) -> f64 {
+    windows
+        .iter()
+        .find(|w| w.1 - w.0 > EPS)
+        .map_or(fallback, |w| w.0)
+}
+
+/// Last granted (non-empty) window end, `fallback` if none.
+fn window_end(windows: &[(f64, f64)], fallback: f64) -> f64 {
+    windows
+        .iter()
+        .rev()
+        .find(|w| w.1 - w.0 > EPS)
+        .map_or(fallback, |w| w.1)
+}
+
+/// Lays one batch's reservations on `arb` starting at `t0`: every GPU
+/// segment becomes **one** merged lease held by all members jointly
+/// (duration per [`batched_segment_time`] — one copy of the shared fixed
+/// cost, everyone's payload), while CPU bands reserve per member from
+/// the shared core pool. Segments are barriers: the batch moves to
+/// segment `i + 1` only when every member finished segment `i` — the
+/// price of sharing a launch.
+///
+/// With `heap` present this is the real commit (a dispatch-retry tick is
+/// scheduled at every reservation release); probing the same layout on a
+/// *clone* of the arbiter with `heap = None` answers "what would this
+/// batch look like" without committing anything.
+fn lay_batch(
+    arb: &mut DeviceArbiter,
+    mut heap: Option<(&mut EventHeap, &mut u64)>,
+    t0: f64,
+    members: &[&Variant],
+) -> BatchTimeline {
+    let m = members.len();
+    let segs = members[0].demands.len();
+    let mut windows = vec![Vec::with_capacity(segs); m];
+    let mut gpu_windows = Vec::new();
+    let mut saved = 0.0;
+    let mut t = t0;
+    for si in 0..segs {
+        match members[0].demands[si].kind {
+            SegKind::Gpu => {
+                let durs: Vec<f64> = members.iter().map(|v| v.demands[si].gpu).collect();
+                let shared = members
+                    .iter()
+                    .map(|v| v.fixed.get(si).copied().unwrap_or(0.0))
+                    .fold(f64::INFINITY, f64::min);
+                let merged = batched_segment_time(&durs, shared);
+                if merged.time <= EPS {
+                    for w in windows.iter_mut() {
+                        w.push((t, t));
+                    }
+                    continue;
+                }
+                let (s, e) = arb.reserve_gpu_batch(t, merged.time, m);
+                if let Some((heap, seq)) = heap.as_mut() {
+                    **seq += 1;
+                    heap.push(Reverse((Time(e), **seq, Ev::Tick)));
+                }
+                for w in windows.iter_mut() {
+                    w.push((s, e));
+                }
+                gpu_windows.push((s, e));
+                saved += merged.saved;
+                t = e;
+            }
+            // Split never reaches here (`batchable` rejects it); the arm
+            // keeps the match total and treats it like a CPU band.
+            SegKind::Cpu { .. } | SegKind::Split { .. } => {
+                let mut barrier = t;
+                for (mi, v) in members.iter().enumerate() {
+                    let d = &v.demands[si];
+                    if d.len() <= EPS {
+                        windows[mi].push((t, t));
+                        continue;
+                    }
+                    let cores = match d.kind {
+                        SegKind::Cpu { cores } | SegKind::Split { cores } => cores,
+                        SegKind::Gpu => 1,
+                    };
+                    let (s, e) = arb.reserve_cpu(t, d.cpu, cores);
+                    if let Some((heap, seq)) = heap.as_mut() {
+                        **seq += 1;
+                        heap.push(Reverse((Time(e), **seq, Ev::Tick)));
+                    }
+                    windows[mi].push((s, e));
+                    barrier = barrier.max(e);
+                }
+                t = barrier;
+            }
+        }
+    }
+    BatchTimeline {
+        windows,
+        gpu_windows,
+        saved,
+    }
+}
+
+/// Tries to coalesce the dispatch-order winner `leader` with other
+/// same-shaped queued jobs into one batched launch. Returns whether a
+/// batch committed (the members are gone from the queue); `false` means
+/// the caller dispatches the leader solo, exactly as without batching.
+#[allow(clippy::too_many_arguments)]
+fn try_batch(
+    now: f64,
+    serve: &ServeConfig,
+    arb: &mut DeviceArbiter,
+    queue: &mut Vec<Queued>,
+    records: &mut Vec<JobRecord>,
+    runs: &mut Vec<JobRun>,
+    heap: &mut EventHeap,
+    tick_seq: &mut u64,
+    pending: &mut Option<&mut Vec<PendingObs>>,
+    order: &[usize],
+    leader: usize,
+    bound: usize,
+    spans: &mut SpanSet,
+    batches: &mut Vec<BatchRecord>,
+) -> bool {
+    if !batchable(&queue[leader].primary) {
+        return false;
+    }
+    // Companions in dispatch order — the policy's own ranking decides
+    // who shares the launch, never an id or arrival re-sort.
+    let mut member_qis: Vec<usize> = vec![leader];
+    for &qi in order {
+        if member_qis.len() >= bound {
+            break;
+        }
+        if qi != leader && same_batch_shape(&queue[leader], &queue[qi]) {
+            member_qis.push(qi);
+        }
+    }
+    // Fairness guard: lay the batch on a scratch copy of the calendars
+    // first. A member the merged windows would push past its deadline is
+    // dropped (re-probing, since dropping changes the merge); a batch
+    // that cannot start at this event, or that would make the *leader*
+    // miss a deadline it meets solo, is abandoned entirely.
+    loop {
+        if member_qis.len() < 2 {
+            return false;
+        }
+        let members: Vec<&Variant> = member_qis.iter().map(|&qi| &queue[qi].primary).collect();
+        let mut scratch = arb.clone();
+        let lay = lay_batch(&mut scratch, None, now, &members);
+        let batch_start = lay
+            .windows
+            .iter()
+            .map(|w| window_start(w, now))
+            .fold(f64::INFINITY, f64::min);
+        if batch_start > now + EPS {
+            return false;
+        }
+        let mut dropped = None;
+        for (mi, &qi) in member_qis.iter().enumerate() {
+            let q = &queue[qi];
+            let Some(dl) = q.deadline else { continue };
+            if window_end(&lay.windows[mi], now) + q.primary.overhang() > dl + EPS {
+                if qi == leader {
+                    return false;
+                }
+                dropped = Some(mi);
+                break;
+            }
+        }
+        match dropped {
+            Some(mi) => {
+                member_qis.remove(mi);
+            }
+            None => break,
+        }
+    }
+    // Commit the real calendars and pull the members off the queue,
+    // keeping the dispatch-order pairing of member and windows.
+    let members: Vec<&Variant> = member_qis.iter().map(|&qi| &queue[qi].primary).collect();
+    let size = members.len();
+    let lay = lay_batch(arb, Some((heap, tick_seq)), now, &members);
+    let mut order_ix: Vec<usize> = (0..member_qis.len()).collect();
+    order_ix.sort_by(|&a, &b| member_qis[b].cmp(&member_qis[a]));
+    let mut taken: Vec<Option<Queued>> = (0..size).map(|_| None).collect();
+    for ix in order_ix {
+        taken[ix] = Some(queue.remove(member_qis[ix]));
+    }
+    // One launch span, attributed to every member: the merged device
+    // window on the GPU track, parenting nothing — each member's own GPU
+    // segment spans share its window, which is the attribution.
+    let bs = lay
+        .gpu_windows
+        .iter()
+        .map(|w| w.0)
+        .fold(f64::INFINITY, f64::min)
+        .min(now);
+    let be = lay.gpu_windows.iter().map(|w| w.1).fold(now, f64::max);
+    spans.push(
+        Track::Gpu,
+        bs,
+        be,
+        SpanKind::Batch {
+            size: size as u32,
+            saved: lay.saved,
+        },
+        None,
+    );
+    if let Some(m) = &serve.metrics {
+        m.inc("batch.formed", 1);
+        m.observe("batch.size", size as f64);
+        m.observe("batch.amortized_savings", lay.saved);
+    }
+    let mut member_ids = Vec::with_capacity(size);
+    for (mi, q) in taken.into_iter().enumerate() {
+        let q = q.expect("every batch member was taken exactly once");
+        let v = q.primary;
+        let windows = &lay.windows[mi];
+        let start = window_start(windows, now);
+        let end = window_end(windows, now);
+        member_ids.push(q.id);
+        for other in queue.iter_mut() {
+            if other.id < q.id {
+                other.skips += 1;
+            }
+        }
+        if let Some(pending) = pending.as_deref_mut() {
+            let drift = if v.cost > 0.0 {
+                (v.report.virtual_time - v.cost) / v.cost
+            } else {
+                0.0
+            };
+            pending.push(PendingObs {
+                end,
+                job: q.id,
+                obs: v.obs,
+                drift,
+            });
+        }
+        if let Some(m) = &serve.metrics {
+            m.inc("serve.completed", 1);
+            m.observe("serve.admission_wait", start - q.arrival);
+            m.observe("serve.latency", end - q.arrival);
+            m.observe("serve.service", v.report.virtual_time);
+        }
+        push_job_spans(spans, q.id, &q.name, start, end, &v, windows);
+        records.push(JobRecord {
+            id: q.id,
+            name: q.name.clone(),
+            outcome: JobOutcome::Completed,
+            arrival: q.arrival,
+            start,
+            end,
+            predicted: v.cost,
+            service: v.report.virtual_time,
+            fallback: false,
+            retries: v.retries,
+            degraded: v.degraded,
+            calibration_generation: q.generation,
+        });
+        runs.push(JobRun {
+            id: q.id,
+            name: q.name,
+            fallback: false,
+            report: v.report,
+        });
+    }
+    batches.push(BatchRecord {
+        at: now,
+        members: member_ids,
+        windows: lay.gpu_windows,
+        saved: lay.saved,
+    });
+    true
+}
+
 #[allow(clippy::too_many_arguments)]
 fn dispatch_all(
     now: f64,
@@ -1688,6 +2126,7 @@ fn dispatch_all(
     mut pending: Option<&mut Vec<PendingObs>>,
     strict_deadlines: bool,
     spans: &mut SpanSet,
+    batches: &mut Vec<BatchRecord>,
 ) {
     loop {
         if queue.is_empty() {
@@ -1774,6 +2213,31 @@ fn dispatch_all(
         let Some((qi, fb)) = chosen else {
             return;
         };
+        // Cross-job coalescing: the policy's winner may share its launch
+        // with other same-shaped queued jobs. Behind the `bound()` gate,
+        // [`BatchPolicy::Off`] never reaches this call.
+        if !fb {
+            if let Some(bound) = serve.batch.bound() {
+                if try_batch(
+                    now,
+                    serve,
+                    arb,
+                    queue,
+                    records,
+                    runs,
+                    heap,
+                    tick_seq,
+                    &mut pending,
+                    &order,
+                    qi,
+                    bound,
+                    spans,
+                    batches,
+                ) {
+                    continue;
+                }
+            }
+        }
         let q = queue.remove(qi);
         let primary = q.primary;
         let fallback = q.fallback;

@@ -39,6 +39,17 @@ cargo run -q --release -p hpu-bench --bin repro -- fleet \
     --jobs 16 --nodes 1,4 --rates 6,96 --seed 42 \
     | grep -q '^4,96,16,' || { echo "fleet CSV smoke failed"; exit 1; }
 
+echo "== cross-job batching (smoke) =="
+# The batching curve must render both policy row groups, stay
+# deterministic, and the batch rows must actually form batches at an
+# overloaded rate (the 9th column is batches formed).
+batch_csv=$(cargo run -q --release -p hpu-bench --bin repro -- batch \
+    --jobs 24 --rates 1,3,8 --seed 42)
+echo "$batch_csv" | grep -q '^mode,rate,' || { echo "batch CSV header missing"; exit 1; }
+echo "$batch_csv" | grep -q '^off,8,24,' || { echo "batch CSV off rows missing"; exit 1; }
+echo "$batch_csv" | awk -F, '$1 == "batch" && $2 == 8 && $9 > 0 { found = 1 } END { exit !found }' \
+    || { echo "batch CSV smoke failed: no batches formed at rate 8"; exit 1; }
+
 echo "== perf snapshot (smoke) =="
 # The quick matrix must produce a parseable, schema-compatible snapshot;
 # magnitude is not gated here (wall-clock metrics vary per machine), so
