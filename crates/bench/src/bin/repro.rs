@@ -12,6 +12,7 @@
 //!             [--seed S] [--out DIR]
 //! repro batch [--jobs N] [--rates R,R,...] [--native] [--seed S]
 //!             [--out DIR]
+//! repro recover [--jobs N] [--rates P,P,...] [--seed S] [--out DIR]
 //! repro perf [--label L] [--quick] [--seed S] [--seq N] [--out DIR]
 //! repro perf --compare OLD NEW [--threshold T] [--smoke]
 //! repro perf --compare-newest DIR NEW [--threshold T] [--smoke]
@@ -66,6 +67,14 @@
 //!             unbatched wall-clock reference rows (CSV lands in
 //!             DIR/batch.csv with --out); defaults: 24 jobs, rates
 //!             1,2,3,4,6,8, seed 42
+//! recover     serve a pinned multi-segment job stream on a 4-node fleet
+//!             with one seeded mid-run node crash, sweeping the crash
+//!             rate over --rates (crash probabilities) under checkpoint
+//!             policies off and everylevel; prints one goodput / MTTR /
+//!             levels-saved CSV row per (policy, crash rate) — with a
+//!             fixed seed the rows are byte-identical across runs (CSV
+//!             lands in DIR/recover.csv with --out); defaults: 16 jobs,
+//!             rates 0,0.15,0.3,0.6, seed 42
 //! perf        run the pinned perf matrix (admission latency, native
 //!             throughput, interpret-vs-direct overhead, plan-compile
 //!             time, serve goodput, fleet scaling) and write a
@@ -275,6 +284,14 @@ launch — and prints one CSV row per (mode, rate): completions,
 rejections, goodput, throughput, batches formed and device time saved.
 --native appends the unbatched native (wall-clock) reference rows.
 Defaults: 24 jobs, rates 1,2,3,4,6,8, seed 42.";
+const RECOVER_USAGE: &str = "usage: repro recover [--jobs N] [--rates P,P,...] \
+[--seed S] [--out DIR]  (rates are node-crash probabilities in [0,1])
+
+Serves a pinned multi-segment job stream on a 4-node fleet with seeded
+node crashes at each crash rate, once per checkpoint policy (off,
+everylevel), and prints one CSV row per (policy, rate): goodput, MTTR,
+jobs recovered vs restarted, and the completed levels the checkpoints
+saved from re-execution. Defaults: 16 jobs, rates 0,0.15,0.3,0.6, seed 42.";
 const PERF_USAGE: &str = "usage: repro perf [--label L] [--quick] [--seed S] [--seq N] [--out DIR]
        repro perf --compare OLD NEW [--threshold T] [--smoke]
        repro perf --compare-newest DIR NEW [--threshold T] [--smoke]
@@ -287,7 +304,7 @@ checks schema and metric presence. --compare-newest diffs NEW against
 the highest-seq BENCH_*.json snapshot under DIR.";
 const TOP_USAGE: &str = "usage: repro [EXPERIMENT ...] [--full] [--out DIR] [--trace DIR]
        repro plan EXPERIMENT [...] [--passes] [--full] [--out DIR]
-       repro plan|serve|chaos|calibrate|fleet|batch|perf [--help]
+       repro plan|serve|chaos|calibrate|fleet|batch|recover|perf [--help]
 
 EXPERIMENT: table1 table2 fig3..fig10 ablation-coalescing
             ablation-schedule extension-workloads all (default: all)";
@@ -505,6 +522,40 @@ fn batch_mode(rest: &[String]) {
     }
 }
 
+/// `repro recover [--jobs N] [--rates P,..] [--seed S] [--out DIR]`.
+fn recover_mode(rest: &[String]) {
+    validate_flags(
+        rest,
+        &[("--jobs", 1), ("--rates", 1), ("--seed", 1), ("--out", 1)],
+        RECOVER_USAGE,
+    );
+    let jobs: usize = flag_value(rest, "--jobs")
+        .map(|v| v.parse().expect("--jobs takes an integer"))
+        .unwrap_or(16);
+    let rates: Vec<f64> = flag_value(rest, "--rates")
+        .unwrap_or("0,0.15,0.3,0.6")
+        .split(',')
+        .map(|r| {
+            r.trim()
+                .parse()
+                .expect("--rates takes comma-separated numbers")
+        })
+        .collect();
+    if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+        eprintln!("--rates are crash probabilities and must lie in [0, 1]");
+        std::process::exit(2);
+    }
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let csv = hpu_bench::recover_sweep(jobs, &rates, seed);
+    print!("{}", csv.render());
+    if let Some(dir) = flag_value(rest, "--out") {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+        std::fs::write(format!("{dir}/recover.csv"), csv.render()).expect("write recover CSV");
+    }
+}
+
 /// Reads and parses one snapshot file, exiting 2 on failure.
 fn read_snapshot(path: &str) -> hpu_bench::PerfSnapshot {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -620,6 +671,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("batch") {
         batch_mode(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("recover") {
+        recover_mode(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("perf") {

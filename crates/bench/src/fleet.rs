@@ -168,6 +168,32 @@ mod tests {
         }
     }
 
+    /// Schema-growth guard: the `repro fleet` CSV header is pinned —
+    /// the CI determinism job and downstream parsers key on these exact
+    /// columns in this order (recovery counters live in the `repro
+    /// recover` CSV and the FleetReport JSON, not here).
+    #[test]
+    fn fleet_csv_header_is_pinned() {
+        let csv = fleet_scaling(1, &[1], &[1.0], 42);
+        assert_eq!(
+            csv.header,
+            vec![
+                "nodes",
+                "rate",
+                "submitted",
+                "completed",
+                "rejected",
+                "goodput",
+                "throughput",
+                "mean_latency",
+                "p95_latency",
+                "routing_quality",
+                "steals",
+                "migrations",
+            ]
+        );
+    }
+
     #[test]
     fn scaling_matrix_is_deterministic_and_shaped() {
         let a = fleet_scaling(16, &[1, 4], &[1.0, 6.0], 7);

@@ -15,6 +15,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod fleet;
 pub mod perf;
+pub mod recover;
 pub mod serving;
 pub mod timing;
 pub mod workload;
@@ -26,5 +27,6 @@ pub use fleet::fleet_scaling;
 pub use perf::{
     collect_perf, compare, newest_snapshot, render_deltas, Delta, PerfSnapshot, PERF_SCHEMA,
 };
+pub use recover::recover_sweep;
 pub use serving::{calibrate_sweep, serve_fleet, ServeBackend};
 pub use workload::{uniform_input, SplitMix64};

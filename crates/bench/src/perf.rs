@@ -6,7 +6,8 @@
 //! latency, plan-compile time, launch-overhead share, sampled straight
 //! from the live [`MetricsRegistry`]), chaos goodput, the cross-job
 //! batching saturation lift off the pinned batching sweep, fleet
-//! scaling and routing quality off the pinned fleet matrix, native serving
+//! scaling and routing quality off the pinned fleet matrix, goodput and
+//! MTTR under the pinned node-crash scenario, native serving
 //! throughput, and the plan interpreter's wall-clock overhead against a
 //! direct breadth-first loop — and returns a [`PerfSnapshot`].
 //! Snapshots serialize to `BENCH_<label>.json`; [`compare`] is
@@ -64,6 +65,8 @@ const DIRECTIONS: &[(&str, bool)] = &[
     ("fleet_goodput_4n", true),
     ("fleet_scaling_x", true),
     ("fleet_routing_quality", false),
+    ("recover_goodput_crash", true),
+    ("recover_mttr", false),
 ];
 
 /// Whether a growth in `metric` is an improvement (true) or a
@@ -248,6 +251,7 @@ pub fn collect_perf(label: &str, quick: bool, seed: u64) -> PerfSnapshot {
     sim_serve_metrics(quick, seed, &mut metrics);
     plan_acquire_metrics(quick, seed, &mut metrics);
     fleet_metrics(quick, seed, &mut metrics);
+    recover_metrics(quick, seed, &mut metrics);
     metrics.insert("serve_goodput".to_string(), chaos_goodput(quick, seed));
     let (batch_lift, batch_amortized) = crate::batch::batch_perf_metrics(seed);
     metrics.insert("batch_saturation_lift".to_string(), batch_lift);
@@ -440,6 +444,22 @@ fn fleet_metrics(quick: bool, seed: u64, out: &mut BTreeMap<String, f64>) {
         "fleet_routing_quality".to_string(),
         moderate.routing_quality,
     );
+}
+
+/// Recovery metrics off the pinned crash scenario: goodput under one
+/// mid-run node crash with `EveryLevel` checkpointing, and the mean
+/// time-to-recovery (fault fire → evicted jobs safely re-placed, in
+/// fleet virtual time). Virtual time — deterministic per seed.
+fn recover_metrics(quick: bool, seed: u64, out: &mut BTreeMap<String, f64>) {
+    use hpu_serve::CheckpointPolicy;
+    // 16 jobs even in quick mode: the shorter stream drains before the
+    // detector fires, collapsing MTTR to 0 — a baseline the comparator
+    // could never flag movement against.
+    let jobs = if quick { 16 } else { 24 };
+    let crash_seed = crate::recover::one_crash_seed(seed, 0.3);
+    let report = crate::recover::recover_point(CheckpointPolicy::EveryLevel, 0.3, jobs, crash_seed);
+    out.insert("recover_goodput_crash".to_string(), report.goodput);
+    out.insert("recover_mttr".to_string(), report.recovery.mttr);
 }
 
 /// Chaos goodput at a pinned fault rate on the simulated backend.
@@ -681,6 +701,9 @@ mod tests {
         assert!(snap.metrics["native_throughput_jobs_per_s"] > 0.0);
         assert!(snap.metrics["plan_compile_p50_us"] > 0.0);
         assert!(snap.metrics["interpret_overhead_ratio"] > 0.0);
+        assert!(snap.metrics["recover_goodput_crash"] > 0.0);
+        let mttr = snap.metrics["recover_mttr"];
+        assert!(mttr.is_finite() && mttr >= 0.0);
     }
 
     /// Acceptance: at the highest pinned offered-load point (100× the

@@ -176,6 +176,16 @@ fn calibrate_rejects_a_nonsense_skew() {
 }
 
 #[test]
+fn recover_rejects_rates_outside_unit_interval() {
+    let output = repro()
+        .args(["recover", "--jobs", "4", "--rates", "0,1.5"])
+        .output()
+        .expect("run repro recover");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("crash probabilities"));
+}
+
+#[test]
 fn every_mode_answers_help_with_exit_zero() {
     for (args, needle) in [
         (vec!["--help"], "usage: repro"),
@@ -184,6 +194,7 @@ fn every_mode_answers_help_with_exit_zero() {
         (vec!["chaos", "--help"], "usage: repro chaos"),
         (vec!["calibrate", "--help"], "usage: repro calibrate"),
         (vec!["fleet", "--help"], "usage: repro fleet"),
+        (vec!["recover", "--help"], "usage: repro recover"),
         (vec!["perf", "--help"], "usage: repro perf"),
         (vec!["perf", "-h"], "usage: repro perf"),
     ] {
@@ -203,7 +214,7 @@ fn every_mode_answers_help_with_exit_zero() {
 
 #[test]
 fn help_lists_seed_and_out_flags() {
-    for mode in ["serve", "chaos", "calibrate", "fleet", "perf"] {
+    for mode in ["serve", "chaos", "calibrate", "fleet", "recover", "perf"] {
         let output = repro().args([mode, "--help"]).output().expect("run repro");
         let stdout = String::from_utf8_lossy(&output.stdout);
         assert!(
@@ -225,6 +236,7 @@ fn unknown_flags_exit_two_with_usage() {
         vec!["chaos", "--nope", "3"],
         vec!["calibrate", "--jbos", "4"],
         vec!["fleet", "--ndoes", "1,2"],
+        vec!["recover", "--rtaes", "0.3"],
         vec!["perf", "--labell", "x"],
         vec!["--frobnicate"],
     ] {

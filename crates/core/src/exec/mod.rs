@@ -27,7 +27,28 @@ use hpu_model::{compile, predict_levels, LevelProfile, MachineParams, ModelError
 use hpu_obs::{drift_rows, LevelBook, LevelDrift, LevelMetrics};
 
 use crate::bf::{num_levels, BfAlgorithm, Element};
+use crate::charge::NullCharge;
 use crate::error::CoreError;
+
+/// A consistent cut of a job captured at a plan-segment boundary.
+///
+/// The breadth-first interpreter only hands data between units at level
+/// boundaries, so every segment boundary is a consistent cut: levels
+/// `0..level` are complete and the partial results live in the host
+/// buffer. A checkpoint records that cut so a crashed job can resume on
+/// another machine via [`run_sim_plan_resume`] instead of restarting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// First level still to run (levels `0..level` are captured).
+    pub level: u32,
+    /// Words of host state the checkpoint captured (the whole working
+    /// buffer for the in-place breadth-first form).
+    pub resident_words: u64,
+    /// Calibration generation of the plan the job was running under when
+    /// the cut was taken; a resuming scheduler uses it to decide whether
+    /// the suffix plan is still trustworthy.
+    pub generation: u64,
+}
 
 /// Work-division strategy for a simulated run.
 #[derive(Debug, Clone, PartialEq)]
@@ -225,6 +246,84 @@ pub fn run_sim_plan_recover_metered<T: Element, A: BfAlgorithm<T>>(
     metrics: Option<std::sync::Arc<hpu_obs::MetricsRegistry>>,
 ) -> (Result<RunReport, CoreError>, RecoveryStats) {
     run_sim_plan_inner(algo, data, hpu, plan, Some(policy), metrics)
+}
+
+/// Resumes an already-compiled `plan` from `ckpt` on a (possibly
+/// different) simulated machine.
+///
+/// The checkpointed prefix — base cases and combine levels `0..level` —
+/// is *restored*, not re-executed: the host buffer is brought to the
+/// cut's state by a pure host replay that charges no virtual time, the
+/// model of reloading saved state. The interpreter then runs only the
+/// plan suffix ([`hpu_model::Plan::resume_from_level`]), re-staging any
+/// device region the suffix needs via the retained upload edges. The
+/// returned report accounts the resumed work only, so
+/// `virtual_time` is the re-execution a recovery *avoided* paying.
+pub fn run_sim_plan_resume<T: Element, A: BfAlgorithm<T>>(
+    algo: &A,
+    data: &mut [T],
+    hpu: &mut SimHpu,
+    plan: &hpu_model::Plan,
+    ckpt: &Checkpoint,
+) -> Result<RunReport, CoreError> {
+    let levels = num_levels(algo, data.len())?;
+    if ckpt.level > levels {
+        return Err(CoreError::InvalidLevel {
+            level: ckpt.level,
+            levels,
+        });
+    }
+    let suffix = plan
+        .resume_from_level(ckpt.level)
+        .map_err(|_| CoreError::MalformedPlan {
+            reason: "plan does not cover the checkpoint level",
+        })?;
+    restore_to_level(algo, data, ckpt.level);
+    let t = hpu.elapsed();
+    hpu.annotate(
+        hpu_machine::Unit::Cpu,
+        t,
+        t,
+        hpu_obs::EventKind::Resume { level: ckpt.level },
+    );
+    run_sim_plan_inner(algo, data, hpu, &suffix, None, None).0
+}
+
+/// Replays the checkpointed prefix (base cases plus combine levels below
+/// `level`) directly on the host buffer, charging no machine time: this
+/// models restoring saved state, not re-executing the work.
+fn restore_to_level<T: Element, A: BfAlgorithm<T>>(algo: &A, data: &mut [T], level: u32) {
+    if level == 0 {
+        return;
+    }
+    let base = algo.base_chunk();
+    let a = algo.branching();
+    let mut ch = NullCharge;
+    for c in data.chunks_mut(base) {
+        algo.base_case(c, &mut ch);
+    }
+    let mut scratch = vec![T::default(); data.len()];
+    let mut src_is_data = true;
+    let mut chunk = base.saturating_mul(a);
+    // Combine level k produces chunks of base·a^k; the cut completes
+    // levels 1..level.
+    let top_chunk = base.saturating_mul(a.saturating_pow(level.saturating_sub(1)));
+    while chunk <= top_chunk && chunk <= data.len() {
+        if src_is_data {
+            for (s, d) in data.chunks(chunk).zip(scratch.chunks_mut(chunk)) {
+                algo.combine(s, d, &mut ch);
+            }
+        } else {
+            for (s, d) in scratch.chunks(chunk).zip(data.chunks_mut(chunk)) {
+                algo.combine(s, d, &mut ch);
+            }
+        }
+        src_is_data = !src_is_data;
+        chunk = chunk.saturating_mul(a);
+    }
+    if !src_is_data {
+        data.copy_from_slice(&scratch);
+    }
 }
 
 fn run_sim_plan_inner<T: Element, A: BfAlgorithm<T>>(

@@ -339,3 +339,86 @@ fn weak_gpu_machine_degrades_basic_to_cpu() {
     assert_eq!(report.transfers, 0, "no GPU use on a weak device");
     assert_eq!(report.resolved, Strategy::CpuOnly);
 }
+
+#[test]
+fn resume_from_checkpoint_skips_completed_levels_and_stays_correct() {
+    use hpu_core::{run_sim_plan_resume, Checkpoint};
+    use hpu_machine::SimMachineParams;
+    use hpu_model::{compile, MachineParams, ScheduleSpec};
+
+    let n = 1 << 10;
+    let mut hpu = SimHpu::new(test_machine());
+    let params = MachineParams::from_sim(&hpu);
+    let plan = compile(
+        &ScheduleSpec::Basic { crossover: Some(4) },
+        &params,
+        &ToySort.recurrence(),
+        n as u64,
+        10,
+    )
+    .unwrap();
+    let expect = sorted_copy(&input(n));
+
+    let mut data = input(n);
+    let full = hpu_core::run_sim_plan(&ToySort, &mut data, &mut hpu, &plan).unwrap();
+    assert_eq!(data, expect);
+
+    // Resuming from level 0 restores nothing and runs the whole plan.
+    let mut hpu0 = SimHpu::new(test_machine());
+    let mut data0 = input(n);
+    let from0 = run_sim_plan_resume(
+        &ToySort,
+        &mut data0,
+        &mut hpu0,
+        &plan,
+        &Checkpoint {
+            level: 0,
+            resident_words: n as u64,
+            generation: 0,
+        },
+    )
+    .unwrap();
+    assert_eq!(data0, expect);
+    assert!((from0.virtual_time - full.virtual_time).abs() < 1e-9);
+
+    // Resuming from a mid-plan cut is still correct and strictly cheaper:
+    // the restored prefix charges no virtual time.
+    for level in [3u32, 6, 9] {
+        let mut hpu2 = SimHpu::new(test_machine());
+        let mut data2 = input(n);
+        let resumed = run_sim_plan_resume(
+            &ToySort,
+            &mut data2,
+            &mut hpu2,
+            &plan,
+            &Checkpoint {
+                level,
+                resident_words: n as u64,
+                generation: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(data2, expect, "resume from level {level}");
+        assert!(
+            resumed.virtual_time < full.virtual_time,
+            "resume from level {level} must beat the full run ({} vs {})",
+            resumed.virtual_time,
+            full.virtual_time
+        );
+    }
+
+    // A checkpoint past the plan's levels is rejected before any work.
+    let mut data3 = input(n);
+    let got = run_sim_plan_resume(
+        &ToySort,
+        &mut data3,
+        &mut SimHpu::new(test_machine()),
+        &plan,
+        &Checkpoint {
+            level: 11,
+            resident_words: n as u64,
+            generation: 0,
+        },
+    );
+    assert!(got.is_err());
+}

@@ -24,6 +24,15 @@
 //!   jobs migrate to idle nodes, and a node whose GPU circuit breaker
 //!   trips has its whole queue evacuated to healthy peers; migrated
 //!   jobs re-price from scratch under the receiving node's beliefs.
+//! - [`DetectorConfig`] + [`hpu_machine::NodeFaultPlan`] — the node-crash
+//!   fault domain: seeded whole-node crashes and partitions at
+//!   deterministic event ordinals, a wall-clock-free failure detector
+//!   that counts missed event boundaries, quarantine of down nodes from
+//!   routing/stealing/affinity, and recovery of a dead node's jobs on
+//!   reachable peers — resumed from their last level-boundary
+//!   checkpoint (see [`hpu_serve::CheckpointPolicy`]) when one exists,
+//!   restarted from scratch when not. Restarted nodes rejoin cold:
+//!   bumped pricing generation, cleared residency.
 //! - [`fleet_sim`] — the deterministic event-driven entry point,
 //!   merging per-node [`hpu_obs::ServeReport`]s into a
 //!   [`hpu_obs::FleetReport`]: aggregate goodput, per-node utilization,
@@ -67,12 +76,14 @@
 
 mod error;
 mod node;
+mod recover;
 mod router;
 mod sim;
 mod steal;
 
 pub use error::FleetError;
-pub use node::{Node, NodeSpec};
+pub use node::{Node, NodeHealth, NodeSpec};
+pub use recover::DetectorConfig;
 pub use router::RouterPolicy;
 pub use sim::{fleet_sim, FleetConfig, FleetJobRequest, FleetOutput};
 pub use steal::{StealConfig, StealEvent, StealReason};

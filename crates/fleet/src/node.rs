@@ -2,7 +2,7 @@
 //! fleet-side bookkeeping the router and stealer need.
 
 use hpu_machine::MachineConfig;
-use hpu_serve::{NodeSim, ServeConfig};
+use hpu_serve::{NodeSim, ServeConfig, StolenJob};
 
 /// Static description of one fleet node: its (possibly heterogeneous)
 /// machine and its private scheduler configuration — queue capacity,
@@ -35,6 +35,22 @@ impl NodeSpec {
     }
 }
 
+/// A node's reachability as the fleet's failure detector sees it.
+///
+/// The detector is deterministic and virtual-time-free: it counts missed
+/// event boundaries, so a node is never `Down` because of wall-clock
+/// noise — equal inputs flip health at equal boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeHealth {
+    /// Reachable: the router places work here and residency credit
+    /// applies.
+    #[default]
+    Up,
+    /// Declared down by the failure detector: quarantined from routing
+    /// and stealing (in both directions) until it rejoins.
+    Down,
+}
+
 /// A live node: the resumable scheduler plus residency and migration
 /// tallies.
 pub struct Node {
@@ -48,6 +64,20 @@ pub struct Node {
     pub steals_in: usize,
     /// Queued jobs migrated away to other nodes.
     pub steals_out: usize,
+    /// Detector-visible health. Lags the machine's true state by the
+    /// detector's miss threshold: a crashed node stays `Up` (and keeps
+    /// attracting arrivals, which die with it) until the detector fires.
+    pub health: NodeHealth,
+    /// Whether the machine itself is dead (crash fired, restart not yet).
+    /// A crashed node processes no events; a *partitioned* node keeps
+    /// executing but reads `Down` to the detector.
+    pub(crate) crashed: bool,
+    /// Jobs a crash evicted, held here until the detector fires and the
+    /// fleet re-places them on reachable peers.
+    pub(crate) evicted: Vec<StolenJob>,
+    /// Fleet virtual time the in-progress fault fired, for MTTR; taken
+    /// (once) when its jobs are safely re-placed.
+    pub(crate) fault_time: Option<f64>,
     /// Dataset ids resident on this node, least recently used first.
     resident: Vec<u64>,
 }
@@ -60,8 +90,25 @@ impl Node {
             routed: 0,
             steals_in: 0,
             steals_out: 0,
+            health: NodeHealth::Up,
+            crashed: false,
+            evicted: Vec::new(),
+            fault_time: None,
             resident: Vec::new(),
         }
+    }
+
+    /// Whether the fleet may send work here: `Up` per the failure
+    /// detector. (A crashed-but-undetected node is still "reachable" —
+    /// that window is exactly what the detector's miss threshold costs.)
+    pub fn reachable(&self) -> bool {
+        self.health == NodeHealth::Up
+    }
+
+    /// Drops every residency claim — a rejoining node restarts cold and
+    /// re-earns its affinity credit.
+    pub(crate) fn clear_resident(&mut self) {
+        self.resident.clear();
     }
 
     /// Whether dataset `d` is already resident on this node — routing a

@@ -80,7 +80,18 @@ pub(crate) fn route(
     debug_assert!(!nodes.is_empty());
     let (load_weight, breaker_penalty, affinity) = match policy {
         RouterPolicy::RoundRobin => {
-            let node = *rr % nodes.len();
+            // Scan at most one full cycle for a reachable node; a fully
+            // quarantined fleet falls back to the raw cursor so placement
+            // stays total and deterministic.
+            let mut node = *rr % nodes.len();
+            for probe in 0..nodes.len() {
+                let i = (*rr + probe) % nodes.len();
+                if nodes[i].reachable() {
+                    node = i;
+                    *rr += probe;
+                    break;
+                }
+            }
             *rr += 1;
             return Placement {
                 node,
@@ -96,7 +107,7 @@ pub(crate) fn route(
     };
     let any_room = nodes
         .iter()
-        .any(|n| n.sim.queue_len() < n.sim.queue_capacity());
+        .any(|n| n.reachable() && n.sim.queue_len() < n.sim.queue_capacity());
     let mut unpriceable = 0usize;
     let mut best: Option<Placement> = None;
     // Pass 1 prices under each node's beliefs; pass 2 (reached only when
@@ -104,6 +115,11 @@ pub(crate) fn route(
     // balances, preserving the old all-nodes-unpriceable behavior.
     for priced in [true, false] {
         for (i, node) in nodes.iter_mut().enumerate() {
+            // A down node is quarantined outright — not demoted like a
+            // breaker-open one: there is no machine to run CPU-only on.
+            if !node.reachable() {
+                continue;
+            }
             if any_room && node.sim.queue_len() >= node.sim.queue_capacity() {
                 continue;
             }
@@ -124,8 +140,12 @@ pub(crate) fn route(
                 0.0
             };
             let backlog = node.sim.queued_cost() + (node.sim.horizon() - now).max(0.0);
+            // Residency credit requires a *healthy* holder. A breaker-open
+            // node runs the job CPU-only and re-stages regardless of what
+            // its device once held, so its stale residency used to pull
+            // arrivals toward the degraded node; charge the transfer.
             let transfer = match dataset.filter(|_| affinity) {
-                Some(d) if node.is_resident(d) => 0.0,
+                Some(d) if node.is_resident(d) && !node.sim.breaker_open() => 0.0,
                 Some(_) => node.sim.believed_transfer_time(words),
                 None => 0.0,
             };
@@ -152,8 +172,11 @@ pub(crate) fn route(
             break;
         }
     }
+    // Last resort (every node unreachable or unpriceable in both
+    // passes): the first reachable node, else node 0 — total either way.
+    let fallback = nodes.iter().position(|n| n.reachable()).unwrap_or(0);
     let mut placement = best.unwrap_or(Placement {
-        node: 0,
+        node: fallback,
         score: f64::INFINITY,
         unpriceable: 0,
     });
@@ -292,6 +315,95 @@ mod tests {
         assert_eq!(
             p.node, 1,
             "equal idle nodes: residency must break the tie toward node 1"
+        );
+    }
+
+    #[test]
+    fn a_down_node_is_quarantined_even_when_resident_and_cheapest() {
+        use crate::node::NodeHealth;
+        // Regression companion to the stale-affinity fix: a node the
+        // detector declared down must never win a placement, however
+        // attractive its residency or price looks on paper.
+        let mut nodes = two_idle_nodes();
+        nodes[1].touch_resident(7, 8);
+        nodes[1].health = NodeHealth::Down;
+        let mut rr = 0;
+        for _ in 0..4 {
+            let p = route(
+                &RouterPolicy::default(),
+                &mut nodes,
+                None,
+                Some(7),
+                1 << 20,
+                0.0,
+                &mut rr,
+            );
+            assert_eq!(p.node, 0, "a down node must be skipped outright");
+        }
+        // Round-robin skips it too instead of blindly cycling onto it.
+        let mut rr = 0;
+        for _ in 0..4 {
+            let p = route(
+                &RouterPolicy::RoundRobin,
+                &mut nodes,
+                None,
+                None,
+                0,
+                0.0,
+                &mut rr,
+            );
+            assert_eq!(p.node, 0);
+        }
+    }
+
+    #[test]
+    fn residency_credit_is_suspended_while_the_holder_breaker_is_open() {
+        use hpu_machine::FaultPlan;
+        use hpu_model::ScheduleSpec;
+        use hpu_serve::{AlgoJob, FaultConfig, JobRequest};
+        // Regression: a breaker-open node used to keep its 0-transfer
+        // residency discount, so arrivals over a resident dataset were
+        // still pulled toward the degraded node. With the penalty
+        // multiplier neutralized (1.0) the discount was the *only* pull —
+        // it must be gone while the breaker is open.
+        let doomed = ServeConfig {
+            cpu_fallback: false,
+            faults: Some(FaultConfig::new(FaultPlan::new(3).with_device_loss_at(0))),
+            ..ServeConfig::default()
+        };
+        let mut nodes = vec![
+            Node::new(&NodeSpec::new("doomed", MachineConfig::hpu1_sim()).with_serve(doomed)),
+            Node::new(&NodeSpec::new("healthy", MachineConfig::hpu1_sim())),
+        ];
+        // Trip node 0's breaker: its first GPU launch loses the device.
+        let data: Vec<u64> = (0..256u64).rev().collect();
+        nodes[0].sim.submit(
+            99,
+            JobRequest::new(
+                "trip",
+                ScheduleSpec::GpuOnly,
+                0.0,
+                AlgoJob::boxed(hpu_algos::MergeSort::new(), data),
+            ),
+        );
+        while !nodes[0].sim.breaker_open() {
+            assert!(nodes[0].sim.step().is_some(), "breaker must trip");
+        }
+        // Both nodes hold the dataset: pre-fix both were discounted and
+        // the index tie-break kept the arrival on the degraded node 0;
+        // post-fix only the healthy holder keeps the credit.
+        nodes[0].touch_resident(7, 8);
+        nodes[1].touch_resident(7, 8);
+        let policy = RouterPolicy::CostAffinity {
+            load_weight: 0.0,
+            breaker_penalty: 1.0,
+            affinity: true,
+        };
+        let mut rr = 0;
+        let p = route(&policy, &mut nodes, None, Some(7), 1 << 20, 0.0, &mut rr);
+        assert_eq!(
+            p.node, 1,
+            "stale residency on a breaker-open node must not attract the job"
         );
     }
 

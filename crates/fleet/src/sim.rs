@@ -13,13 +13,14 @@
 
 use std::sync::Arc;
 
-use hpu_machine::SimMachineParams;
+use hpu_machine::{NodeFaultPlan, SimMachineParams};
 use hpu_model::{compile, plan_cost, LevelProfile, MachineParams, ScheduleSpec};
 use hpu_obs::{FleetReport, MetricsRegistry, ServeReport};
 use hpu_serve::{JobRequest, QueuedShape, ServeOutput, Workload};
 
 use crate::error::FleetError;
 use crate::node::{Node, NodeSpec};
+use crate::recover::{fault_step, DetectorConfig, FaultTimeline, RecoveryLog};
 use crate::router::{route, RouterPolicy};
 use crate::steal::{balance, evacuate, StealConfig, StealEvent, StealReason};
 
@@ -90,11 +91,18 @@ pub struct FleetConfig {
     /// score histogram, end-of-run goodput/quality gauges). `None` —
     /// the default — serves unmetered.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Seeded whole-node fault plan (crashes, partitions, restarts).
+    /// `None` — the default — injects nothing, and the run is
+    /// event-for-event identical to a fleet without the fault machinery.
+    pub node_faults: Option<NodeFaultPlan>,
+    /// Failure-detector configuration (event-boundary miss threshold).
+    pub detector: DetectorConfig,
 }
 
 impl FleetConfig {
     /// A fleet over `nodes` with default routing (cost/affinity),
-    /// default stealing, an 8-dataset residency LRU, and the oracle on.
+    /// default stealing, an 8-dataset residency LRU, the oracle on, and
+    /// no node faults.
     pub fn new(nodes: Vec<NodeSpec>) -> Self {
         FleetConfig {
             nodes,
@@ -103,7 +111,15 @@ impl FleetConfig {
             residency_capacity: 8,
             oracle: true,
             metrics: None,
+            node_faults: None,
+            detector: DetectorConfig::default(),
         }
+    }
+
+    /// Attaches a node-fault plan (see [`FleetConfig::node_faults`]).
+    pub fn with_node_faults(mut self, plan: NodeFaultPlan) -> Self {
+        self.node_faults = Some(plan);
+        self
     }
 }
 
@@ -188,18 +204,53 @@ pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
     let mut unpriceable = 0usize;
     let mut rr = 0usize;
     let mut idx = 0usize;
+    // Resolve the node-fault plan up front: one optional timeline per
+    // node, advanced by the global event ordinal. Empty without a plan —
+    // the fault machinery then touches nothing at all.
+    let mut timelines: Vec<FaultTimeline> = match &cfg.node_faults {
+        Some(plan) if !plan.is_fault_free() => (0..nodes.len())
+            .filter_map(|i| plan.fault_for(i as u64).map(|f| FaultTimeline::new(i, f)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    let mut recovery = RecoveryLog::default();
+    let mut ordinal: u64 = 0;
+    let mut gnow = 0.0f64;
     loop {
+        fault_step(
+            &cfg.detector,
+            &mut timelines,
+            &mut nodes,
+            ordinal,
+            gnow,
+            &datasets,
+            cfg.residency_capacity,
+            &mut recovery,
+            &mut steals_log,
+        );
         let next_arrival = incoming.get(idx).map(|inc| inc.at);
         let next_node = nodes
             .iter()
             .enumerate()
+            .filter(|(_, n)| !n.crashed)
             .filter_map(|(i, n)| n.sim.next_event_time().map(|t| (t, i)))
             .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         match (next_arrival, next_node) {
-            (None, None) => break,
+            (None, None) => {
+                // Fired faults still owing a detection or restart stage
+                // keep the ordinal advancing past the last real event,
+                // or evicted jobs would never be re-placed.
+                if timelines.iter().any(FaultTimeline::pending) {
+                    ordinal += 1;
+                    continue;
+                }
+                break;
+            }
             // Arrival-first on ties: the routed job must be in its
             // node's heap before that node processes the same instant.
             (Some(at), ev) if ev.is_none_or(|(t, _)| at <= t) => {
+                ordinal += 1;
+                gnow = gnow.max(at);
                 let inc = &mut incoming[idx];
                 idx += 1;
                 let placement = route(
@@ -247,9 +298,11 @@ pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
                 }
             }
             (_, Some((_, i))) => {
+                ordinal += 1;
                 let was_open = nodes[i].sim.breaker_open();
                 nodes[i].sim.step();
                 let now = nodes[i].sim.now();
+                gnow = gnow.max(now);
                 if !was_open && nodes[i].sim.breaker_open() {
                     let evs = evacuate(&mut nodes, i, now);
                     settle_migrations(&mut nodes, &datasets, &evs, cfg.residency_capacity);
@@ -286,11 +339,19 @@ pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
         .iter()
         .filter(|e| e.reason == StealReason::Load)
         .count();
-    let migrations = steals_log.len() - steals;
+    // Recovery re-placements (`NodeDown`) are tallied separately in the
+    // recovery counters; `migrations` stays breaker-evacuations only.
+    let migrations = steals_log
+        .iter()
+        .filter(|e| e.reason == StealReason::DeviceLost)
+        .count();
+    let faulted = !timelines.is_empty();
+    let recovery = recovery.finish();
     let mut report = FleetReport::new(
         names, &reports, routed_net, steal_flow, replans, submitted, steals, migrations,
     )
-    .with_unpriceable(unpriceable);
+    .with_unpriceable(unpriceable)
+    .with_recovery(recovery);
     if oracle_mean > 0.0 {
         report = report.with_oracle(oracle_mean);
     }
@@ -300,6 +361,18 @@ pub fn fleet_sim(cfg: &FleetConfig, jobs: Vec<FleetJobRequest>) -> FleetOutput {
         m.set_gauge("fleet.makespan", report.makespan);
         if unpriceable > 0 {
             m.inc("fleet.unpriceable", unpriceable as u64);
+        }
+        // Gated on a live fault plan so fault-free metered runs keep a
+        // byte-identical registry snapshot.
+        if faulted {
+            m.inc("recovery.crashes", recovery.crashes);
+            m.inc("recovery.node_down", recovery.node_downs);
+            m.inc("recovery.node_up", recovery.node_ups);
+            m.inc("recovery.jobs_recovered", recovery.jobs_recovered);
+            m.inc("recovery.jobs_restarted", recovery.jobs_restarted);
+            m.inc("recovery.levels_saved", recovery.levels_saved);
+            m.inc("recovery.checkpoint_bytes", recovery.checkpoint_bytes);
+            m.set_gauge("recovery.mttr", recovery.mttr);
         }
     }
     FleetOutput {

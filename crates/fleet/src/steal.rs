@@ -46,6 +46,9 @@ pub enum StealReason {
     Load,
     /// Fault-triggered: the victim's GPU circuit breaker tripped.
     DeviceLost,
+    /// Recovery-triggered: the victim node crashed (or was declared
+    /// down) and its evicted jobs were re-placed on reachable peers.
+    NodeDown,
 }
 
 /// One cross-node migration.
@@ -70,11 +73,13 @@ fn effective(nodes: &[Node], injected: &[usize], i: usize) -> usize {
     nodes[i].sim.queue_len() + injected[i]
 }
 
-/// Picks the steal victim: the node with the longest queue (lowest
-/// index on ties). An empty fleet is a typed error, not a panic — the
+/// Picks the steal victim: the *reachable* node with the longest queue
+/// (lowest index on ties) — a down node cannot be negotiated with, in
+/// either direction. An empty fleet is a typed error, not a panic — the
 /// caller records it and skips the stealing pass.
 pub(crate) fn pick_victim(nodes: &[Node]) -> Result<usize, FleetError> {
     (0..nodes.len())
+        .filter(|&i| nodes[i].reachable())
         .max_by_key(|&i| (nodes[i].sim.queue_len(), usize::MAX - i))
         .ok_or(FleetError::EmptyFleet {
             context: "steal victim",
@@ -94,7 +99,7 @@ pub(crate) fn balance(
     errors: &mut Vec<FleetError>,
 ) -> Vec<StealEvent> {
     let mut events = Vec::new();
-    if !cfg.enabled || nodes.len() < 2 {
+    if !cfg.enabled || nodes.iter().filter(|n| n.reachable()).count() < 2 {
         return events;
     }
     let mut injected = vec![0usize; nodes.len()];
@@ -107,7 +112,7 @@ pub(crate) fn balance(
             }
         };
         let thief = (0..nodes.len())
-            .filter(|&i| i != victim && !nodes[i].sim.breaker_open())
+            .filter(|&i| i != victim && nodes[i].reachable() && !nodes[i].sim.breaker_open())
             .filter(|&i| effective(nodes, &injected, i) < nodes[i].sim.queue_capacity())
             .min_by_key(|&i| (effective(nodes, &injected, i), i));
         let Some(thief) = thief else { break };
@@ -152,7 +157,7 @@ pub(crate) fn evacuate(nodes: &mut [Node], victim: usize, now: f64) -> Vec<Steal
     let mut injected = vec![0usize; nodes.len()];
     for id in nodes[victim].sim.queued_ids() {
         let target = (0..nodes.len())
-            .filter(|&i| i != victim && !nodes[i].sim.breaker_open())
+            .filter(|&i| i != victim && nodes[i].reachable() && !nodes[i].sim.breaker_open())
             .filter(|&i| effective(nodes, &injected, i) < nodes[i].sim.queue_capacity())
             .min_by_key(|&i| (effective(nodes, &injected, i), i));
         let Some(target) = target else { break };

@@ -149,6 +149,123 @@ fn draw(seed: u64, stream: u64, ordinal: u64) -> f64 {
 const STREAM_KERNEL: u64 = 0x4B45_524E;
 const STREAM_TRANSFER: u64 = 0x5452_414E;
 const STREAM_SLOW: u64 = 0x534C_4F57;
+const STREAM_CRASH: u64 = 0x4352_5348;
+const STREAM_CRASH_AT: u64 = 0x4352_4154;
+const STREAM_PARTITION: u64 = 0x5052_544E;
+
+/// What a node-level fault does to the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFaultKind {
+    /// The node process dies: in-flight and queued work is lost, and a
+    /// restart comes back with cold caches and re-earned residency.
+    Crash,
+    /// The node stays alive but the router cannot reach it: work already
+    /// on the node keeps executing, nothing new arrives, and a heal
+    /// restores it with its warm state intact.
+    Partition,
+}
+
+/// One node's scheduled fault, fully resolved from a [`NodeFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFault {
+    /// Global fleet event ordinal (0-based) at which the fault strikes.
+    pub at: u64,
+    /// Crash or partition.
+    pub kind: NodeFaultKind,
+    /// Global event ordinal at which the node rejoins, when the plan
+    /// allows restarts.
+    pub restart_at: Option<u64>,
+}
+
+/// Seeded description of whole-node faults across a fleet.
+///
+/// Decisions are pure functions of `(seed, stream, node index)`, exactly
+/// like [`FaultPlan`]'s per-operation draws: the same plan replays the
+/// identical crash pattern on every run, and for a fixed seed the set of
+/// crashing nodes at rate `r₁` is a **subset** of the set at any rate
+/// `r₂ ≥ r₁` (the hash point per node does not move, only the threshold
+/// does). Fault times are deterministic *event ordinals* of the fleet's
+/// global event loop — no wall clock anywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeFaultPlan {
+    /// Seed for the per-node hash draws.
+    pub seed: u64,
+    /// Probability that a node suffers a fault at all.
+    pub crash_rate: f64,
+    /// Inclusive global-event-ordinal window faults land in; the exact
+    /// ordinal per node is drawn deterministically inside it.
+    pub crash_window: (u64, u64),
+    /// Rejoin the faulted node this many global events after the fault
+    /// (`None`: the node never comes back).
+    pub restart_after: Option<u64>,
+    /// Fraction of faults that are router partitions (node alive but
+    /// unreachable) instead of crashes.
+    pub partition_rate: f64,
+}
+
+impl NodeFaultPlan {
+    /// A fault-free plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        NodeFaultPlan {
+            seed,
+            crash_rate: 0.0,
+            crash_window: (4, 16),
+            restart_after: None,
+            partition_rate: 0.0,
+        }
+    }
+
+    /// Sets the per-node fault probability.
+    pub fn with_crash_rate(mut self, rate: f64) -> Self {
+        self.crash_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the inclusive event-ordinal window faults are drawn in.
+    pub fn with_crash_window(mut self, lo: u64, hi: u64) -> Self {
+        self.crash_window = (lo.min(hi), lo.max(hi));
+        self
+    }
+
+    /// Rejoins faulted nodes `events` global events after the fault.
+    pub fn with_restart_after(mut self, events: u64) -> Self {
+        self.restart_after = Some(events);
+        self
+    }
+
+    /// Sets the fraction of faults that are partitions, not crashes.
+    pub fn with_partition_rate(mut self, rate: f64) -> Self {
+        self.partition_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Whether the plan can never fault a node.
+    pub fn is_fault_free(&self) -> bool {
+        self.crash_rate == 0.0
+    }
+
+    /// The fault scheduled for `node` (a stable per-fleet index), or
+    /// `None` when that node survives this plan. Pure per `(plan, node)`.
+    pub fn fault_for(&self, node: u64) -> Option<NodeFault> {
+        if draw(self.seed, STREAM_CRASH, node) >= self.crash_rate {
+            return None;
+        }
+        let (lo, hi) = self.crash_window;
+        let span = hi - lo + 1;
+        let at = lo + (draw(self.seed, STREAM_CRASH_AT, node) * span as f64) as u64;
+        let kind = if draw(self.seed, STREAM_PARTITION, node) < self.partition_rate {
+            NodeFaultKind::Partition
+        } else {
+            NodeFaultKind::Crash
+        };
+        NodeFault {
+            at: at.min(hi),
+            kind,
+            restart_at: self.restart_after.map(|d| at.min(hi) + d),
+        }
+        .into()
+    }
+}
 
 /// Stateful interpreter of a [`FaultPlan`].
 ///
@@ -350,6 +467,56 @@ mod tests {
             .is_transient_only());
         assert!(FaultPlan::new(5).is_fault_free());
         assert!(!FaultPlan::new(5).with_transfer_rate(0.1).is_fault_free());
+    }
+
+    fn crashing_nodes(plan: &NodeFaultPlan, n: u64) -> Vec<u64> {
+        (0..n).filter(|&i| plan.fault_for(i).is_some()).collect()
+    }
+
+    #[test]
+    fn node_faults_are_deterministic_and_nest_as_rate_grows() {
+        let lo = NodeFaultPlan::new(11).with_crash_rate(0.15);
+        let hi = NodeFaultPlan::new(11).with_crash_rate(0.6);
+        assert_eq!(crashing_nodes(&lo, 128), crashing_nodes(&lo, 128));
+        let a = crashing_nodes(&lo, 128);
+        let b = crashing_nodes(&hi, 128);
+        assert!(a.iter().all(|o| b.contains(o)), "lo ⊄ hi: {a:?} {b:?}");
+        assert!(b.len() > a.len());
+        // Nesting keeps the *shared* nodes' fault details identical: the
+        // ordinal and kind draws only depend on (seed, node).
+        for node in &a {
+            assert_eq!(lo.fault_for(*node), hi.fault_for(*node));
+        }
+    }
+
+    #[test]
+    fn node_fault_ordinals_stay_in_the_window() {
+        let plan = NodeFaultPlan::new(5)
+            .with_crash_rate(1.0)
+            .with_crash_window(8, 24)
+            .with_restart_after(10);
+        for node in 0..64 {
+            let f = plan.fault_for(node).expect("rate 1 faults every node");
+            assert!((8..=24).contains(&f.at), "ordinal {} escaped", f.at);
+            assert_eq!(f.restart_at, Some(f.at + 10));
+        }
+    }
+
+    #[test]
+    fn node_fault_free_plan_faults_nobody() {
+        let plan = NodeFaultPlan::new(42);
+        assert!(plan.is_fault_free());
+        assert!(crashing_nodes(&plan, 64).is_empty());
+    }
+
+    #[test]
+    fn partition_rate_splits_fault_kinds() {
+        let all_crash = NodeFaultPlan::new(3).with_crash_rate(1.0);
+        assert!((0..32).all(|n| all_crash.fault_for(n).unwrap().kind == NodeFaultKind::Crash));
+        let all_part = NodeFaultPlan::new(3)
+            .with_crash_rate(1.0)
+            .with_partition_rate(1.0);
+        assert!((0..32).all(|n| all_part.fault_for(n).unwrap().kind == NodeFaultKind::Partition));
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use bus::Bus;
 pub use config::{BusConfig, CpuConfig, GpuConfig, MachineConfig};
 pub use cpu::{CpuCtx, LevelRun, SimCpu};
 pub use error::MachineError;
-pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, NodeFault, NodeFaultKind, NodeFaultPlan};
 pub use gpu::{DeviceBuffer, GpuCtx, LaunchStats, SimGpu};
 pub use hpu::SimHpu;
 pub use hpu_obs::{EventKind, LevelPhase};

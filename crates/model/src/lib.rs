@@ -71,7 +71,7 @@ pub use plan::{
     Segment, Transfer,
 };
 pub use prediction::{
-    batched_segment_time, plan_cost, predict_levels, BatchedSegment, LevelPrediction, PlanCost,
-    SegmentCost,
+    batched_segment_time, plan_cost, plan_cost_from_level, predict_levels, BatchedSegment,
+    LevelPrediction, PlanCost, SegmentCost,
 };
 pub use recurrence::Recurrence;

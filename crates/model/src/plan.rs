@@ -181,6 +181,61 @@ impl Plan {
         let launches = (seg.last_level - seg.first_level + 1) as f64;
         lambda * seg.transfers.len() as f64 + launch_overhead * launches
     }
+
+    /// The suffix of this plan that remains after the first `level`
+    /// bottom-up executor levels completed — the checkpoint/restart primitive.
+    ///
+    /// Every segment boundary is a consistent cut (a band finishes all its
+    /// levels before the next starts, and downloads hand results back to
+    /// the host), so a job checkpointed after `level` levels can resume by
+    /// interpreting only the returned plan. `n`, `exec_levels` and
+    /// `resolved` are preserved — the suffix describes the *same* job,
+    /// just with the completed bands removed:
+    ///
+    /// * segments entirely below the cut are dropped (with their
+    ///   transfers: the checkpointed state lives on the host);
+    /// * the segment containing the cut is clipped to start at `level`,
+    ///   keeping its upload edges (a resuming node must re-stage the data
+    ///   onto its device) and only those download edges at or above the
+    ///   cut.
+    ///
+    /// `resume_from_level(0)` is the identity; a `level` above
+    /// `exec_levels` is rejected with [`ModelError::InvalidLevel`].
+    pub fn resume_from_level(&self, level: u32) -> Result<Plan, ModelError> {
+        if level > self.exec_levels {
+            return Err(ModelError::InvalidLevel {
+                level,
+                levels: self.exec_levels,
+            });
+        }
+        let segments = self
+            .segments
+            .iter()
+            .filter(|s| s.last_level >= level)
+            .map(|s| {
+                if s.first_level >= level {
+                    return s.clone();
+                }
+                Segment {
+                    first_level: level,
+                    last_level: s.last_level,
+                    placement: s.placement.clone(),
+                    transfers: s
+                        .transfers
+                        .iter()
+                        .filter(|t| t.direction == Direction::ToGpu || t.level >= level)
+                        .cloned()
+                        .collect(),
+                }
+            })
+            .collect();
+        Ok(Plan {
+            n: self.n,
+            exec_levels: self.exec_levels,
+            segments,
+            resolved: self.resolved.clone(),
+        })
+    }
 }
 
 /// [`compile`] with wall-clock sampling: the elapsed time is recorded
@@ -545,6 +600,42 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plan.resolved, ScheduleSpec::CpuParallel);
+    }
+
+    #[test]
+    fn resume_from_level_trims_completed_bands() {
+        // Basic on 2^12: GPU band 0..=2 (upload + download), CPU band 3..=12.
+        let plan = mergesort_plan(&ScheduleSpec::Basic { crossover: None }, 1 << 12).unwrap();
+        // Identity at level 0.
+        assert_eq!(plan.resume_from_level(0).unwrap(), plan);
+        // Cut at the band boundary: the GPU band (and its transfers) is
+        // gone, the CPU band survives untouched.
+        let suffix = plan.resume_from_level(3).unwrap();
+        assert_eq!(suffix.n, plan.n);
+        assert_eq!(suffix.exec_levels, plan.exec_levels);
+        assert_eq!(suffix.resolved, plan.resolved);
+        assert_eq!(suffix.segments.len(), 1);
+        assert_eq!(suffix.segments[0], plan.segments[1]);
+        // Cut *inside* the GPU band: the band is clipped to start at the
+        // cut, keeps its upload (the resuming node re-stages the data) and
+        // its at-or-above-the-cut download, and the tiling resumes there.
+        let mid = plan.resume_from_level(1).unwrap();
+        assert_eq!(mid.segments.len(), 2);
+        assert_eq!(mid.segments[0].first_level, 1);
+        assert_eq!(mid.segments[0].last_level, 2);
+        assert!(mid.segments[0]
+            .transfers
+            .iter()
+            .any(|t| t.direction == Direction::ToGpu));
+        assert!(mid.segments[0]
+            .transfers
+            .iter()
+            .all(|t| t.direction == Direction::ToGpu || t.level >= 1));
+        // Past the root is rejected; at the root only the top band remains.
+        assert!(plan.resume_from_level(13).is_err());
+        let top = plan.resume_from_level(12).unwrap();
+        assert_eq!(top.segments.len(), 1);
+        assert_eq!(top.segments[0].first_level, 12);
     }
 
     #[test]

@@ -284,6 +284,24 @@ pub fn plan_cost(profile: &LevelProfile, plan: &Plan) -> Result<PlanCost, ModelE
     })
 }
 
+/// Predicted cost of the plan's suffix after the first `level` executor
+/// levels completed: the re-execution a checkpoint at `level` saves a
+/// recovering job from, and the price of the work that remains.
+///
+/// Prices the suffix [`Plan::resume_from_level`] produces, so the answer
+/// is exactly what a resuming scheduler will charge: completed bands cost
+/// nothing, a clipped band is charged only for its remaining levels (plus
+/// its kept re-upload edges), and
+/// `plan_cost_from_level(profile, plan, 0)` equals `plan_cost(..).total`.
+pub fn plan_cost_from_level(
+    profile: &LevelProfile,
+    plan: &Plan,
+    level: u32,
+) -> Result<f64, ModelError> {
+    let suffix = plan.resume_from_level(level)?;
+    Ok(plan_cost(profile, &suffix)?.total)
+}
+
 /// Device time of one cross-job batched GPU segment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchedSegment {
@@ -346,6 +364,30 @@ mod tests {
             exec_levels,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn plan_cost_from_level_prices_exactly_the_remaining_bands() {
+        let n = 1u64 << 12;
+        let pr = profile(n);
+        let p = plan(&ScheduleSpec::Basic { crossover: None }, n, 12);
+        assert_eq!(p.segments.len(), 2, "GPU band + CPU band expected");
+        let full = plan_cost(&pr, &p).unwrap();
+        // Level 0: everything remains.
+        let all = plan_cost_from_level(&pr, &p, 0).unwrap();
+        assert!((all - full.total).abs() < 1e-9);
+        // Cut at the band boundary: only the CPU band's time remains, and
+        // what remains plus what was saved is the whole job.
+        let boundary = p.segments[1].first_level;
+        let rest = plan_cost_from_level(&pr, &p, boundary).unwrap();
+        assert!((rest - full.segments[1].time).abs() < 1e-9);
+        assert!(rest < full.total);
+        let saved = full.total - rest;
+        assert!((saved - full.segments[0].time).abs() < 1e-9);
+        // At the root band nothing below it is re-priced; past it errors.
+        let top = plan_cost_from_level(&pr, &p, p.exec_levels).unwrap();
+        assert!(top <= rest + 1e-9);
+        assert!(plan_cost_from_level(&pr, &p, p.exec_levels + 1).is_err());
     }
 
     #[test]

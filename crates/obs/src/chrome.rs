@@ -189,6 +189,15 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::Degraded { job } => {
             let _ = write!(out, "\"job\":{job}");
         }
+        EventKind::Checkpoint { level, words } => {
+            let _ = write!(out, "\"level\":{level},\"words\":{words}");
+        }
+        EventKind::NodeDown { node } | EventKind::NodeUp { node } => {
+            let _ = write!(out, "\"node\":{node}");
+        }
+        EventKind::Resume { level } => {
+            let _ = write!(out, "\"level\":{level}");
+        }
         EventKind::Span { id, parent, kind } => {
             let _ = write!(out, "\"span_id\":{id}");
             match parent {

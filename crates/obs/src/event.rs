@@ -116,6 +116,31 @@ pub enum EventKind {
         /// Id of the degraded job.
         job: u64,
     },
+    /// A running job's state was captured at a level boundary (a
+    /// consistent cut of the breadth-first execution).
+    Checkpoint {
+        /// First level still to run after the cut (levels `0..level` are
+        /// complete and captured).
+        level: u32,
+        /// Words of host state captured in the checkpoint.
+        words: u64,
+    },
+    /// A node was declared down by the fleet's failure detector.
+    NodeDown {
+        /// Index of the dead node.
+        node: u64,
+    },
+    /// A previously-down node rejoined the fleet.
+    NodeUp {
+        /// Index of the rejoining node.
+        node: u64,
+    },
+    /// A recovered job resumed from its last checkpoint instead of
+    /// restarting from scratch.
+    Resume {
+        /// Level the job resumed from (levels below it were not re-run).
+        level: u32,
+    },
     /// A free-form annotation (legacy string labels land here).
     Mark(String),
     /// A causal span: one node of a job → segment → level → retry tree.
@@ -167,6 +192,12 @@ impl fmt::Display for EventKind {
                 write!(f, "breaker trip ({consecutive} consecutive faults)")
             }
             EventKind::Degraded { job } => write!(f, "job {job} degraded to CPU-only"),
+            EventKind::Checkpoint { level, words } => {
+                write!(f, "checkpoint at level {level} ({words} words)")
+            }
+            EventKind::NodeDown { node } => write!(f, "node {node} down"),
+            EventKind::NodeUp { node } => write!(f, "node {node} up"),
+            EventKind::Resume { level } => write!(f, "resume from level {level}"),
             EventKind::Mark(s) => write!(f, "{s}"),
             EventKind::Span { kind, .. } => write!(f, "{kind}"),
         }
@@ -185,6 +216,9 @@ impl EventKind {
             EventKind::Retry { .. } => "retry",
             EventKind::BreakerTrip { .. } => "breaker",
             EventKind::Degraded { .. } => "degraded",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::NodeDown { .. } | EventKind::NodeUp { .. } => "node",
+            EventKind::Resume { .. } => "resume",
             EventKind::Mark(_) => "mark",
             EventKind::Span { .. } => "span",
         }

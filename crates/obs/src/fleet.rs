@@ -38,6 +38,33 @@ pub struct NodeSummary {
     pub replans: u64,
 }
 
+/// Crash-recovery tallies of one fleet run. All zero when no node
+/// fault fired — the healthy case and the default.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryCounters {
+    /// Node crashes that fired (machine lost, jobs evicted).
+    pub crashes: u64,
+    /// `NodeDown` transitions: the failure detector declared a node
+    /// unreachable and quarantined it from routing.
+    pub node_downs: u64,
+    /// `NodeUp` transitions: a quarantined node rejoined service.
+    pub node_ups: u64,
+    /// Evicted jobs re-placed *with* a usable level-boundary checkpoint —
+    /// they resume instead of re-running from scratch.
+    pub jobs_recovered: u64,
+    /// Evicted jobs re-placed with no checkpoint — restarted from
+    /// scratch on the receiving node.
+    pub jobs_restarted: u64,
+    /// Combine levels the recovered jobs did **not** re-execute, summed
+    /// over every recovery — the direct payoff of checkpointing.
+    pub levels_saved: u64,
+    /// Bytes of host state the used checkpoints captured.
+    pub checkpoint_bytes: u64,
+    /// Mean time from a fault firing to its jobs being safely re-placed
+    /// (fleet virtual time); 0 when nothing was recovered.
+    pub mttr: f64,
+}
+
 /// Aggregated metrics of one fleet serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -85,6 +112,8 @@ pub struct FleetReport {
     /// NaN/∞ beliefs). One arrival can contribute several: one per bad
     /// node it was scored against.
     pub unpriceable: usize,
+    /// Crash-recovery tallies (all zero without node faults).
+    pub recovery: RecoveryCounters,
 }
 
 impl FleetReport {
@@ -185,6 +214,7 @@ impl FleetReport {
             oracle_mean_latency: 0.0,
             routing_quality: 0.0,
             unpriceable: 0,
+            recovery: RecoveryCounters::default(),
         }
     }
 
@@ -204,6 +234,12 @@ impl FleetReport {
     /// (see [`FleetReport::unpriceable`]).
     pub fn with_unpriceable(mut self, unpriceable: usize) -> FleetReport {
         self.unpriceable = unpriceable;
+        self
+    }
+
+    /// Attaches the crash-recovery tallies (see [`RecoveryCounters`]).
+    pub fn with_recovery(mut self, recovery: RecoveryCounters) -> FleetReport {
+        self.recovery = recovery;
         self
     }
 
@@ -245,7 +281,10 @@ impl FleetReport {
              \"cancelled\":{},\"failed\":{},\"goodput\":{},\"makespan\":{},\
              \"throughput\":{},\"p50_latency\":{},\"p95_latency\":{},\"p99_latency\":{},\
              \"mean_latency\":{},\"steals\":{},\"migrations\":{},\"unpriceable\":{},\
-             \"oracle_mean_latency\":{},\"routing_quality\":{},\"nodes\":[{}]}}",
+             \"oracle_mean_latency\":{},\"routing_quality\":{},\
+             \"recovery\":{{\"crashes\":{},\"node_downs\":{},\"node_ups\":{},\
+             \"jobs_recovered\":{},\"jobs_restarted\":{},\"levels_saved\":{},\
+             \"checkpoint_bytes\":{},\"mttr\":{}}},\"nodes\":[{}]}}",
             self.submitted,
             self.completed,
             self.rejected,
@@ -263,6 +302,14 @@ impl FleetReport {
             self.unpriceable,
             f(self.oracle_mean_latency),
             f(self.routing_quality),
+            self.recovery.crashes,
+            self.recovery.node_downs,
+            self.recovery.node_ups,
+            self.recovery.jobs_recovered,
+            self.recovery.jobs_restarted,
+            self.recovery.levels_saved,
+            self.recovery.checkpoint_bytes,
+            f(self.recovery.mttr),
             nodes.join(","),
         )
     }
@@ -292,6 +339,21 @@ impl FleetReport {
             self.routing_quality,
             self.oracle_mean_latency,
         );
+        if self.recovery.crashes > 0 || self.recovery.node_downs > 0 {
+            let r = &self.recovery;
+            out.push_str(&format!(
+                "recovery: crashes {} | down {} up {} | recovered {} restarted {} | \
+                 levels saved {} | ckpt bytes {} | mttr {:.2}\n",
+                r.crashes,
+                r.node_downs,
+                r.node_ups,
+                r.jobs_recovered,
+                r.jobs_restarted,
+                r.levels_saved,
+                r.checkpoint_bytes,
+                r.mttr,
+            ));
+        }
         for n in &self.nodes {
             out.push_str(&format!(
                 "  {}: routed {} completed {} goodput {:.3} | util cpu {:.3} gpu {:.3} | \
@@ -423,5 +485,49 @@ mod tests {
             nodes[0].get("replans").and_then(crate::json::Json::as_f64),
             Some(3.0)
         );
+        // The recovery object is always present (all-zero when no fault
+        // fired) so downstream parsers never branch on its existence.
+        let rec = j.get("recovery").expect("recovery object");
+        assert_eq!(
+            rec.get("crashes").and_then(crate::json::Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn recovery_counters_round_trip_through_json() {
+        let a = report(vec![record(0, 0.0, 4.0)]);
+        let r = FleetReport::new(
+            vec!["hpu1".into()],
+            &[a],
+            vec![1],
+            vec![(0, 0)],
+            vec![0],
+            1,
+            0,
+            0,
+        )
+        .with_recovery(RecoveryCounters {
+            crashes: 1,
+            node_downs: 1,
+            node_ups: 1,
+            jobs_recovered: 2,
+            jobs_restarted: 3,
+            levels_saved: 9,
+            checkpoint_bytes: 4096,
+            mttr: 1.5,
+        });
+        let j = crate::json::Json::parse(&r.to_json()).expect("valid JSON");
+        let rec = j.get("recovery").expect("recovery object");
+        let f = |k: &str| rec.get(k).and_then(crate::json::Json::as_f64);
+        assert_eq!(f("crashes"), Some(1.0));
+        assert_eq!(f("node_downs"), Some(1.0));
+        assert_eq!(f("node_ups"), Some(1.0));
+        assert_eq!(f("jobs_recovered"), Some(2.0));
+        assert_eq!(f("jobs_restarted"), Some(3.0));
+        assert_eq!(f("levels_saved"), Some(9.0));
+        assert_eq!(f("checkpoint_bytes"), Some(4096.0));
+        assert_eq!(f("mttr"), Some(1.5));
+        assert!(r.render().contains("recovery:"));
     }
 }

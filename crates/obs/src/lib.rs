@@ -57,7 +57,7 @@ mod wall;
 pub use chrome::ChromeTrace;
 pub use drift::{drift_rows, render_drift, LevelDrift};
 pub use event::{EventKind, LevelPhase, Recorder, TraceEvent, Track};
-pub use fleet::{FleetReport, NodeSummary};
+pub use fleet::{FleetReport, NodeSummary, RecoveryCounters};
 pub use hist::{HistSnapshot, StreamHistogram};
 pub use metrics::{merge_intervals, LevelBook, LevelMetrics};
 pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry};

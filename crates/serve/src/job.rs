@@ -8,8 +8,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hpu_core::exec::{
-    run_native, run_sim_plan, run_sim_plan_metered, run_sim_plan_recover, RecoveryPolicy,
-    RecoveryStats, RunReport,
+    run_native, run_sim_plan, run_sim_plan_metered, run_sim_plan_recover, run_sim_plan_resume,
+    Checkpoint, RecoveryPolicy, RecoveryStats, RunReport,
 };
 use hpu_core::{bf::num_levels, BfAlgorithm, CoreError, Element, LevelPool};
 use hpu_machine::SimHpu;
@@ -55,6 +55,21 @@ pub trait Workload: Send {
         plan: &Plan,
         policy: &RecoveryPolicy,
     ) -> (Result<RunReport, CoreError>, RecoveryStats);
+    /// Resumes the job from a level-boundary checkpoint under a compiled
+    /// plan (see [`hpu_core::exec::run_sim_plan_resume`]): the
+    /// checkpointed prefix is restored without charging machine time and
+    /// only the plan's remaining bands execute. The default ignores the
+    /// checkpoint and restarts from scratch — the correct fallback for
+    /// workloads that cannot replay state.
+    fn run_plan_resume(
+        &mut self,
+        hpu: &mut SimHpu,
+        plan: &Plan,
+        ckpt: &Checkpoint,
+    ) -> Result<RunReport, CoreError> {
+        let _ = ckpt;
+        self.run_plan(hpu, plan)
+    }
     /// Runs the job on real threads; returns the wall-clock time.
     fn run_native(&mut self, pool: &LevelPool) -> Result<Duration, CoreError>;
 }
@@ -114,6 +129,15 @@ impl<T: Element, A: BfAlgorithm<T> + Send + 'static> Workload for AlgoJob<T, A> 
         policy: &RecoveryPolicy,
     ) -> (Result<RunReport, CoreError>, RecoveryStats) {
         run_sim_plan_recover(&self.algo, &mut self.data, hpu, plan, policy)
+    }
+
+    fn run_plan_resume(
+        &mut self,
+        hpu: &mut SimHpu,
+        plan: &Plan,
+        ckpt: &Checkpoint,
+    ) -> Result<RunReport, CoreError> {
+        run_sim_plan_resume(&self.algo, &mut self.data, hpu, plan, ckpt)
     }
 
     fn run_native(&mut self, pool: &LevelPool) -> Result<Duration, CoreError> {

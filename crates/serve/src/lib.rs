@@ -63,6 +63,8 @@ pub use job::{AlgoJob, Workload};
 pub use native::{serve_native, NativeJobRequest, NativeServeOutput};
 pub use queue::{dispatch_order, Policy, Rank};
 pub use sched::{
-    serve_sim, BatchPolicy, BatchRecord, FaultConfig, JobRequest, JobRun, NodeSim, QueuedShape,
-    ServeConfig, ServeOutput, StolenJob,
+    serve_sim, BatchPolicy, BatchRecord, CheckpointPolicy, CrashReport, FaultConfig, JobRequest,
+    JobRun, NodeSim, QueuedShape, ServeConfig, ServeOutput, StolenJob,
 };
+
+pub use hpu_core::exec::Checkpoint;

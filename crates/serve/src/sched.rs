@@ -50,7 +50,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::{Arc, Mutex, PoisonError};
 
-use hpu_core::exec::{RecoveryPolicy, RunReport};
+use hpu_core::exec::{Checkpoint, RecoveryPolicy, RunReport};
 use hpu_core::CoreError;
 use hpu_machine::{
     FaultInjector, FaultPlan, MachineConfig, MachineError, SimHpu, SimMachineParams,
@@ -115,6 +115,67 @@ pub struct ServeConfig {
     /// Cross-job GPU kernel batching (see [`BatchPolicy`]). The default,
     /// [`BatchPolicy::Off`], keeps the unbatched scheduler bit for bit.
     pub batch: BatchPolicy,
+    /// Level-boundary checkpointing of running jobs (see
+    /// [`CheckpointPolicy`]). The default, [`CheckpointPolicy::Off`],
+    /// records nothing and keeps the scheduler bit for bit; any other
+    /// policy lets a fleet-level crash recover in-flight jobs from their
+    /// last completed level instead of restarting them from scratch.
+    pub checkpoint: CheckpointPolicy,
+}
+
+/// When a running job's state is captured at level boundaries.
+///
+/// Every segment boundary of a compiled plan is a consistent cut of the
+/// breadth-first execution — levels below it are completely done, levels
+/// above it untouched — so a checkpoint taken there resumes exactly (see
+/// [`hpu_core::exec::run_sim_plan_resume`]). The policy decides *which*
+/// boundaries are worth the capture cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// No checkpoints: crash recovery restarts in-flight jobs from
+    /// scratch. Byte-identical to the pre-checkpointing scheduler.
+    #[default]
+    Off,
+    /// Capture at every level boundary — maximal re-execution savings,
+    /// maximal capture traffic.
+    EveryLevel,
+    /// Capture at every `k`-th level boundary (`k` clamped to ≥ 1, so
+    /// `EveryKLevels(1)` is [`CheckpointPolicy::EveryLevel`]).
+    EveryKLevels(u32),
+}
+
+impl CheckpointPolicy {
+    /// Whether a checkpoint at resume-level `level` (levels `0..level`
+    /// complete) is admitted by this policy.
+    pub fn admits(&self, level: u32) -> bool {
+        match *self {
+            CheckpointPolicy::Off => false,
+            CheckpointPolicy::EveryLevel => level > 0,
+            CheckpointPolicy::EveryKLevels(k) => level > 0 && level.is_multiple_of(k.max(1)),
+        }
+    }
+
+    /// Prices a checkpoint interval against re-execution: with capture
+    /// cost `c` per checkpoint and mean per-level cost `l`, checkpointing
+    /// every `k` levels pays `c/k` per level while a crash re-executes
+    /// `k/2` levels on average — total `c/k + l·k/2` per level, minimized
+    /// at `k = √(2c/l)`. A ratio at or below 1 means capture is cheap
+    /// enough to take every boundary.
+    pub fn every_k_priced(checkpoint_cost: f64, mean_level_cost: f64) -> CheckpointPolicy {
+        if checkpoint_cost <= 0.0
+            || mean_level_cost <= 0.0
+            || !checkpoint_cost.is_finite()
+            || !mean_level_cost.is_finite()
+        {
+            return CheckpointPolicy::EveryLevel;
+        }
+        let k = (2.0 * checkpoint_cost / mean_level_cost).sqrt().ceil();
+        if k <= 1.0 {
+            CheckpointPolicy::EveryLevel
+        } else {
+            CheckpointPolicy::EveryKLevels(k as u32)
+        }
+    }
 }
 
 /// Cross-job GPU kernel batching policy.
@@ -177,6 +238,7 @@ impl Default for ServeConfig {
             metrics: None,
             plan_cache: Some(DEFAULT_PLAN_CACHE_CAPACITY),
             batch: BatchPolicy::Off,
+            checkpoint: CheckpointPolicy::Off,
         }
     }
 }
@@ -453,6 +515,9 @@ struct Queued {
     skips: usize,
     /// Calibration generation the job was last priced under.
     generation: u64,
+    /// The level-boundary checkpoint a recovered job resumes from; the
+    /// variants were priced on the resume suffix only.
+    checkpoint: Option<Checkpoint>,
 }
 
 /// Evidence of a dispatched job, released at its completion time.
@@ -503,6 +568,10 @@ struct Pending {
     /// Original fleet-time arrival of a migrated job, so its record and
     /// latency span the fleet submission rather than the migration.
     arrival_override: Option<f64>,
+    /// Starvation credit a migrated job earned before migration.
+    skips: usize,
+    /// Checkpoint a crash-recovered job resumes from.
+    checkpoint: Option<Checkpoint>,
 }
 
 /// A queued job removed from one node's scheduler for migration to
@@ -523,8 +592,57 @@ pub struct StolenJob {
     pub arrival: f64,
     /// Latest acceptable completion time, if any.
     pub deadline: Option<f64>,
+    /// Starvation credit (dispatch rounds skipped in favor of younger
+    /// jobs) the job earned before migration. The receiving node's
+    /// starvation bound counts from here, so migration never resets a
+    /// senior job's place in line.
+    pub skips: usize,
+    /// The level-boundary checkpoint a crash-recovered job resumes from;
+    /// `None` re-runs the job from scratch.
+    pub checkpoint: Option<Checkpoint>,
     /// The work itself.
     pub workload: Box<dyn Workload>,
+}
+
+/// Everything [`NodeSim::crash`] evicts from a crashed node, for the
+/// fleet layer to re-place on healthy peers.
+pub struct CrashReport {
+    /// Jobs that were still queued (or not yet arrived) at the crash:
+    /// nothing of theirs ran here, so they carry at most the checkpoint
+    /// they arrived with.
+    pub queued: Vec<StolenJob>,
+    /// Jobs that were executing at the crash, their completion records
+    /// revoked. Each carries its last admitted level-boundary checkpoint
+    /// when the node's [`CheckpointPolicy`] recorded one in time.
+    pub in_flight: Vec<StolenJob>,
+}
+
+/// A dispatched job's registry entry, kept until its completion time so a
+/// node crash can tell finished work from lost work — and recover the
+/// lost jobs from their last level-boundary checkpoint.
+struct RunningJob {
+    id: u64,
+    name: String,
+    spec: ScheduleSpec,
+    arrival: f64,
+    deadline: Option<f64>,
+    skips: usize,
+    workload: Box<dyn Workload>,
+    /// Last reservation end: the completion time its record claims.
+    end: f64,
+    /// Admitted checkpoint boundaries `(time, resume_level)`, ascending;
+    /// empty under [`CheckpointPolicy::Off`].
+    boundaries: Vec<(f64, u32)>,
+    /// Boundaries already counted into the `recovery.checkpoints` metric.
+    next_boundary: usize,
+    /// The checkpoint the job was dispatched from, if it was itself a
+    /// resumed job — a second crash resumes from at least here.
+    prior_ckpt: Option<Checkpoint>,
+    /// Calendar entries to hand back if the node crashes mid-run (empty
+    /// for batch members: a merged lease is not reclaimed per member).
+    resvs: Vec<Resv>,
+    /// Host state words a checkpoint of this job captures.
+    words: u64,
 }
 
 /// Pricing inputs of one queued job, as a prospective thief needs them:
@@ -569,6 +687,10 @@ pub struct NodeSim {
     tick_seq: u64,
     slots: Vec<Option<Pending>>,
     now: f64,
+    /// Dispatched jobs whose completion time is still in the future —
+    /// what a crash loses. Entries are pruned as the clock passes their
+    /// completion, so the registry never changes any observable output.
+    running: Vec<RunningJob>,
 }
 
 impl NodeSim {
@@ -613,6 +735,7 @@ impl NodeSim {
             tick_seq: TICK_SEQ_BASE,
             slots: Vec::new(),
             now: 0.0,
+            running: Vec::new(),
             serve: serve.clone(),
         }
     }
@@ -629,6 +752,8 @@ impl NodeSim {
             id,
             job,
             arrival_override: None,
+            skips: 0,
+            checkpoint: None,
         }));
     }
 
@@ -653,6 +778,8 @@ impl NodeSim {
                 workload: stolen.workload,
             },
             arrival_override: Some(stolen.arrival),
+            skips: stolen.skips,
+            checkpoint: stolen.checkpoint,
         }));
     }
 
@@ -674,6 +801,21 @@ impl NodeSim {
         let Reverse((t, _, ev)) = self.heap.pop()?;
         let now = t.0;
         self.now = now;
+        // Checkpoint boundaries the clock just passed become durable:
+        // count them, then retire registry entries of completed jobs.
+        if self.serve.checkpoint != CheckpointPolicy::Off {
+            for r in self.running.iter_mut() {
+                while r.next_boundary < r.boundaries.len()
+                    && r.boundaries[r.next_boundary].0 <= now + EPS
+                {
+                    r.next_boundary += 1;
+                    if let Some(m) = &self.serve.metrics {
+                        m.inc("recovery.checkpoints", 1);
+                    }
+                }
+            }
+        }
+        self.running.retain(|r| r.end > now + EPS);
         // Fold the evidence of every job that has completed by now; a
         // large enough drift triggers a re-price of the queue.
         if let Some(cal) = self.calibrator.as_mut() {
@@ -733,6 +875,8 @@ impl NodeSim {
                     p.job,
                     now,
                     arrival,
+                    p.skips,
+                    p.checkpoint,
                     &self.job_cfg,
                     &self.serve,
                     &mut self.queue,
@@ -774,6 +918,7 @@ impl NodeSim {
             self.fault_state.is_some(),
             &mut self.spans,
             &mut self.batches,
+            &mut self.running,
         );
         if let Some(m) = &self.serve.metrics {
             m.set_gauge("serve.queue_depth", self.queue.len() as f64);
@@ -951,8 +1096,9 @@ impl NodeSim {
     }
 
     /// Removes the queued job `id` for migration. The job keeps its
-    /// original spec and arrival; its compiled variants stay behind (the
-    /// receiving node re-prices from scratch).
+    /// original spec, arrival, starvation credit and (for a recovered
+    /// job) checkpoint; its compiled variants stay behind (the receiving
+    /// node re-prices from scratch).
     pub fn steal(&mut self, id: u64) -> Option<StolenJob> {
         let qi = self.queue.iter().position(|q| q.id == id)?;
         let q = self.queue.remove(qi);
@@ -965,8 +1111,120 @@ impl NodeSim {
             spec: q.spec,
             arrival: q.arrival,
             deadline: q.deadline,
+            skips: q.skips,
+            checkpoint: q.checkpoint,
             workload: q.workload,
         })
+    }
+
+    /// Starvation credit of the queued job `id`, if it is queued here.
+    pub fn queued_skips(&self, id: u64) -> Option<usize> {
+        self.queue.iter().find(|q| q.id == id).map(|q| q.skips)
+    }
+
+    /// Ids of the dispatched jobs whose completion is still ahead of the
+    /// node's clock — what [`NodeSim::crash`] would lose right now.
+    pub fn running_ids(&self) -> Vec<u64> {
+        self.running.iter().map(|r| r.id).collect()
+    }
+
+    /// Kills the node at time `at`: every queued, not-yet-arrived and
+    /// still-executing job is evicted, and the in-flight jobs' completion
+    /// records (written optimistically at dispatch) are revoked — a crash
+    /// must never count lost work as done. In-flight jobs carry their
+    /// last level-boundary checkpoint admitted **before** `at` (work past
+    /// the crash instant was never captured), falling back to the
+    /// checkpoint they were dispatched from, if any. Their calendar
+    /// reservations are released so a later [`NodeSim::rejoin`] starts
+    /// with clean calendars (merged batch leases stay: a batch member's
+    /// share of one lease is not separable). Spans of revoked jobs remain
+    /// in the trace — a trace records what was attempted, not what
+    /// survived.
+    pub fn crash(&mut self, at: f64) -> CrashReport {
+        self.now = self.now.max(at);
+        let mut queued: Vec<StolenJob> = Vec::new();
+        for q in self.queue.drain(..) {
+            queued.push(StolenJob {
+                id: q.id,
+                name: q.name,
+                spec: q.spec,
+                arrival: q.arrival,
+                deadline: q.deadline,
+                skips: q.skips,
+                checkpoint: q.checkpoint,
+                workload: q.workload,
+            });
+        }
+        // Submissions whose arrival event had not fired yet die with the
+        // event heap; they lose nothing but their place in time.
+        for slot in self.slots.iter_mut() {
+            if let Some(p) = slot.take() {
+                queued.push(StolenJob {
+                    id: p.id,
+                    name: p.job.name,
+                    spec: p.job.spec,
+                    arrival: p.arrival_override.unwrap_or(p.job.arrival),
+                    deadline: p.job.deadline,
+                    skips: p.skips,
+                    checkpoint: p.checkpoint,
+                    workload: p.job.workload,
+                });
+            }
+        }
+        self.heap.clear();
+        let mut in_flight: Vec<StolenJob> = Vec::new();
+        let mut lost: Vec<u64> = Vec::new();
+        for r in std::mem::take(&mut self.running) {
+            if r.end <= at + EPS {
+                continue; // finished before the crash — its record stands
+            }
+            lost.push(r.id);
+            release_all(&mut self.arb, &r.resvs);
+            let checkpoint = r
+                .boundaries
+                .iter()
+                .rev()
+                .find(|&&(t, _)| t <= at + EPS)
+                .map(|&(_, level)| Checkpoint {
+                    level,
+                    resident_words: r.words,
+                    generation: self.replans,
+                })
+                .or(r.prior_ckpt);
+            in_flight.push(StolenJob {
+                id: r.id,
+                name: r.name,
+                spec: r.spec,
+                arrival: r.arrival,
+                deadline: r.deadline,
+                skips: r.skips,
+                checkpoint,
+                workload: r.workload,
+            });
+        }
+        self.records.retain(|rec| {
+            !(matches!(rec.outcome, JobOutcome::Completed) && lost.contains(&rec.id))
+        });
+        self.runs.retain(|run| !lost.contains(&run.id));
+        self.pending.retain(|p| !lost.contains(&p.job));
+        CrashReport { queued, in_flight }
+    }
+
+    /// Rejoins a crashed node to service at time `now`, cold: the plan
+    /// cache's generation is bumped (cached demands priced before the
+    /// crash are not trusted across it) and the pricing generation
+    /// advances with it, so post-rejoin admissions never batch with
+    /// pre-crash shapes. Completed records, calibration knowledge and
+    /// breaker state survive — the crash lost the machine, not the ledger.
+    pub fn rejoin(&mut self, now: f64) {
+        self.now = self.now.max(now);
+        if let Some(c) = self.plan_cache.as_mut() {
+            c.bump_generation();
+        }
+        self.replans += 1;
+        if let Some(m) = &self.serve.metrics {
+            m.set_gauge("calibration.generation", self.replans as f64);
+        }
     }
 
     /// Prices one job shape under this node's current beliefs: assumed
@@ -1142,7 +1400,43 @@ fn build_variant(
     // CPU-only plans never touch the device: they are structurally immune
     // to injected faults, so the injector is not attached.
     let faults = if plan.uses_gpu() { faults } else { None };
-    solo(workload, job_cfg, plan, cost, params, faults, metrics)
+    solo(workload, job_cfg, plan, cost, params, faults, metrics, None)
+}
+
+/// The resume form of [`build_variant`]: compiles the **full** plan
+/// through the cache (sharing compiles with fresh admissions of the same
+/// shape), clips it to the checkpoint's resume suffix, prices the suffix
+/// alone, and solo-runs it through [`Workload::run_plan_resume`] — the
+/// measured demands and cost cover only the work still owed.
+#[allow(clippy::too_many_arguments)]
+fn build_variant_resume(
+    workload: &mut dyn Workload,
+    spec: &ScheduleSpec,
+    job_cfg: &MachineConfig,
+    params: &MachineParams,
+    rec: &Recurrence,
+    n: u64,
+    levels: u32,
+    ckpt: &Checkpoint,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    cache: Option<&mut PlanCache>,
+) -> Result<Variant, VariantError> {
+    let (plan, _) = compile_through(spec, params, rec, n, levels, metrics, cache)?;
+    let suffix = plan
+        .resume_from_level(ckpt.level)
+        .map_err(VariantError::Compile)?;
+    let profile = LevelProfile::new(params, rec, n);
+    let cost = plan_cost(&profile, &suffix).map_err(VariantError::Compile)?;
+    solo(
+        workload,
+        job_cfg,
+        Arc::new(suffix),
+        Arc::new(cost),
+        params,
+        None,
+        metrics,
+        Some(ckpt),
+    )
 }
 
 /// The compile-and-price step of [`build_variant`]: a cache lookup when
@@ -1177,6 +1471,7 @@ fn compile_through(
 /// Solo-runs the job's plan on a private virtual clock and folds the
 /// per-level metrics into per-segment device demands plus the
 /// per-unit predicted-vs-observed evidence.
+#[allow(clippy::too_many_arguments)]
 fn solo(
     workload: &mut dyn Workload,
     job_cfg: &MachineConfig,
@@ -1185,17 +1480,19 @@ fn solo(
     params: &MachineParams,
     faults: Option<&FaultState>,
     metrics: Option<&Arc<MetricsRegistry>>,
+    ckpt: Option<&Checkpoint>,
 ) -> Result<Variant, VariantError> {
     let mut hpu = match faults {
         Some(f) => SimHpu::new(job_cfg.clone()).with_faults(f.injector.clone()),
         None => SimHpu::new(job_cfg.clone()),
     };
-    let (result, retries) = match faults {
-        Some(f) => {
+    let (result, retries) = match (ckpt, faults) {
+        (Some(ck), _) => (workload.run_plan_resume(&mut hpu, &plan, ck), 0),
+        (None, Some(f)) => {
             let (r, rs) = workload.run_plan_recover(&mut hpu, &plan, &f.recovery);
             (r, rs.retries)
         }
-        None => match metrics {
+        (None, None) => match metrics {
             Some(m) => (workload.run_plan_metered(&mut hpu, &plan, m.clone()), 0),
             None => (workload.run_plan(&mut hpu, &plan), 0),
         },
@@ -1293,13 +1590,17 @@ fn reprice(v: &mut Variant, plan: Arc<Plan>, cost: &PlanCost, params: &MachinePa
 /// Admits one arrival: price, compile, solo-measure, queue. `now` is the
 /// admission event's time; `arrival` is the time the job's record (and
 /// latency) spans from — they differ only for migrated jobs, whose
-/// records keep the original fleet-time submission.
+/// records keep the original fleet-time submission. `skips` carries a
+/// migrated job's earned starvation credit; `ckpt` makes this a crash
+/// recovery that resumes from a level-boundary checkpoint.
 #[allow(clippy::too_many_arguments)]
 fn admit(
     id: u64,
     mut job: JobRequest,
     now: f64,
     arrival: f64,
+    skips: usize,
+    ckpt: Option<Checkpoint>,
     job_cfg: &MachineConfig,
     serve: &ServeConfig,
     queue: &mut Vec<Queued>,
@@ -1375,6 +1676,49 @@ fn admit(
     let breaker_open = faults.as_ref().is_some_and(|f| f.open);
     let cpu_only = ScheduleSpec::CpuParallel;
     let spec = if breaker_open { &cpu_only } else { &job.spec };
+    // A crash-recovered job resumes from its checkpoint: the full plan
+    // compiles (cache-shared with fresh admissions of the same shape) but
+    // only the remaining suffix is priced, measured and reserved. The
+    // fault injector is bypassed — a resume replays saved state rather
+    // than driving fresh traffic through the injector's deterministic
+    // stream — and no CPU-only fallback is compiled (a fallback would
+    // re-run from scratch, forfeiting the saved levels). If the resume
+    // shape fails to build, fall through to a normal restart admission.
+    if let Some(ck) = ckpt.filter(|c| c.level > 0) {
+        match build_variant_resume(
+            job.workload.as_mut(),
+            spec,
+            job_cfg,
+            &params,
+            &rec,
+            n,
+            levels,
+            &ck,
+            serve.metrics.as_ref(),
+            cache.as_deref_mut(),
+        ) {
+            Ok(v) => {
+                if let Some(m) = &serve.metrics {
+                    m.inc("recovery.resumed", 1);
+                }
+                queue.push(Queued {
+                    id,
+                    name: job.name,
+                    arrival,
+                    deadline: job.deadline,
+                    spec: job.spec,
+                    workload: job.workload,
+                    primary: v,
+                    fallback: None,
+                    skips,
+                    generation,
+                    checkpoint: Some(ck),
+                });
+                return;
+            }
+            Err(e) => errors.push(e.into_serve(id)),
+        }
+    }
     let primary = match build_variant(
         job.workload.as_mut(),
         spec,
@@ -1480,8 +1824,9 @@ fn admit(
         workload: job.workload,
         primary,
         fallback,
-        skips: 0,
+        skips,
         generation,
+        checkpoint: None,
     });
 }
 
@@ -1519,6 +1864,13 @@ fn replan(
     let breaker_open = faults.as_ref().is_some_and(|f| f.open);
     let cpu_only = ScheduleSpec::CpuParallel;
     for q in queue.iter_mut() {
+        // A crash-recovered job's variants cover only its resume suffix;
+        // re-pricing the full shape here would silently turn the resume
+        // into a restart. It keeps its pre-replan price (and generation,
+        // so it never batches with re-priced shapes).
+        if q.checkpoint.is_some() {
+            continue;
+        }
         let params = match pricing_params(job_cfg, serve, Some(cal)) {
             Ok(p) => p,
             Err(e) => {
@@ -1643,6 +1995,13 @@ fn degrade_queue(
 ) {
     for q in queue.iter_mut() {
         if !uses_gpu(&q.primary) {
+            continue;
+        }
+        // A resumed job keeps its measured suffix shape even with the
+        // breaker open: recompiling a from-scratch CPU-only variant would
+        // forfeit its saved levels, and its measured demands replay
+        // deterministically through the calendars either way.
+        if q.checkpoint.is_some() {
             continue;
         }
         let retries = q.primary.retries;
@@ -1797,6 +2156,31 @@ fn release_all(arb: &mut DeviceArbiter, resvs: &[Resv]) {
             }
         }
     }
+}
+
+/// The admitted checkpoint boundaries of one committed dispatch:
+/// `(window_end, resume_level)` per granted plan segment except the last
+/// (whose boundary is the job's completion, not a checkpoint), filtered
+/// by the policy, ascending in time. Levels are absolute executor levels
+/// even for a resume suffix.
+fn checkpoint_boundaries(
+    policy: CheckpointPolicy,
+    plan: &Plan,
+    windows: &[(f64, f64)],
+) -> Vec<(f64, u32)> {
+    if policy == CheckpointPolicy::Off {
+        return Vec::new();
+    }
+    let last = plan.segments.len().saturating_sub(1);
+    plan.segments
+        .iter()
+        .zip(windows.iter())
+        .take(last)
+        .filter_map(|(seg, &(_, we))| {
+            let level = seg.last_level + 1;
+            policy.admits(level).then_some((we, level))
+        })
+        .collect()
 }
 
 /// Whether a variant's shape can join a cross-job batch: it must drive
@@ -1959,6 +2343,7 @@ fn try_batch(
     bound: usize,
     spans: &mut SpanSet,
     batches: &mut Vec<BatchRecord>,
+    running: &mut Vec<RunningJob>,
 ) -> bool {
     if !batchable(&queue[leader].primary) {
         return false;
@@ -2051,14 +2436,25 @@ fn try_batch(
     }
     let mut member_ids = Vec::with_capacity(size);
     for (mi, q) in taken.into_iter().enumerate() {
-        let q = q.expect("every batch member was taken exactly once");
-        let v = q.primary;
+        let Queued {
+            id,
+            name,
+            arrival,
+            deadline,
+            spec,
+            workload,
+            primary: v,
+            fallback: _,
+            skips,
+            generation,
+            checkpoint,
+        } = q.expect("every batch member was taken exactly once");
         let windows = &lay.windows[mi];
         let start = window_start(windows, now);
         let end = window_end(windows, now);
-        member_ids.push(q.id);
+        member_ids.push(id);
         for other in queue.iter_mut() {
-            if other.id < q.id {
+            if other.id < id {
                 other.skips += 1;
             }
         }
@@ -2070,23 +2466,23 @@ fn try_batch(
             };
             pending.push(PendingObs {
                 end,
-                job: q.id,
+                job: id,
                 obs: v.obs,
                 drift,
             });
         }
         if let Some(m) = &serve.metrics {
             m.inc("serve.completed", 1);
-            m.observe("serve.admission_wait", start - q.arrival);
-            m.observe("serve.latency", end - q.arrival);
+            m.observe("serve.admission_wait", start - arrival);
+            m.observe("serve.latency", end - arrival);
             m.observe("serve.service", v.report.virtual_time);
         }
-        push_job_spans(spans, q.id, &q.name, start, end, &v, windows);
+        push_job_spans(spans, id, &name, start, end, &v, windows);
         records.push(JobRecord {
-            id: q.id,
-            name: q.name.clone(),
+            id,
+            name: name.clone(),
             outcome: JobOutcome::Completed,
-            arrival: q.arrival,
+            arrival,
             start,
             end,
             predicted: v.cost,
@@ -2094,13 +2490,32 @@ fn try_batch(
             fallback: false,
             retries: v.retries,
             degraded: v.degraded,
-            calibration_generation: q.generation,
+            calibration_generation: generation,
         });
+        let boundaries = checkpoint_boundaries(serve.checkpoint, &v.plan, windows);
+        let words = workload.input_len() as u64;
         runs.push(JobRun {
-            id: q.id,
-            name: q.name,
+            id,
+            name: name.clone(),
             fallback: false,
             report: v.report,
+        });
+        // A batch member's share of the merged lease is not separable, so
+        // a crash does not reclaim its reservations (`resvs` stays empty).
+        running.push(RunningJob {
+            id,
+            name,
+            spec,
+            arrival,
+            deadline,
+            skips,
+            workload,
+            end,
+            boundaries,
+            next_boundary: 0,
+            prior_ckpt: checkpoint,
+            resvs: Vec::new(),
+            words,
         });
     }
     batches.push(BatchRecord {
@@ -2127,6 +2542,7 @@ fn dispatch_all(
     strict_deadlines: bool,
     spans: &mut SpanSet,
     batches: &mut Vec<BatchRecord>,
+    running: &mut Vec<RunningJob>,
 ) {
     loop {
         if queue.is_empty() {
@@ -2233,14 +2649,25 @@ fn dispatch_all(
                     bound,
                     spans,
                     batches,
+                    running,
                 ) {
                     continue;
                 }
             }
         }
-        let q = queue.remove(qi);
-        let primary = q.primary;
-        let fallback = q.fallback;
+        let Queued {
+            id,
+            name,
+            arrival,
+            deadline,
+            spec,
+            workload,
+            primary,
+            fallback,
+            skips,
+            generation,
+            checkpoint,
+        } = queue.remove(qi);
         // A chosen fallback that vanished (it cannot, but never panic the
         // scheduler over it) degrades gracefully to the primary shape.
         let (v, fb) = match (fb, fallback) {
@@ -2258,21 +2685,21 @@ fn dispatch_all(
         // waits) really finishes later than its last reservation. If that
         // true completion misses the deadline, cancel now and hand the
         // slots back.
-        if let Some(dl) = q.deadline.filter(|_| strict_deadlines) {
+        if let Some(dl) = deadline.filter(|_| strict_deadlines) {
             if end + v.overhang() > dl + EPS {
                 release_all(arb, &resvs);
                 if let Some(m) = &serve.metrics {
                     m.inc("serve.cancelled", 1);
                 }
                 errors.push(ServeError::Cancelled {
-                    job: q.id,
+                    job: id,
                     deadline: dl,
                 });
                 records.push(JobRecord {
-                    id: q.id,
-                    name: q.name,
+                    id,
+                    name,
                     outcome: JobOutcome::Cancelled,
-                    arrival: q.arrival,
+                    arrival,
                     start: now,
                     end: now,
                     predicted: v.cost,
@@ -2280,13 +2707,13 @@ fn dispatch_all(
                     fallback: fb,
                     retries: v.retries,
                     degraded: v.degraded,
-                    calibration_generation: q.generation,
+                    calibration_generation: generation,
                 });
                 continue;
             }
         }
         for other in queue.iter_mut() {
-            if other.id < q.id {
+            if other.id < id {
                 other.skips += 1;
             }
         }
@@ -2298,23 +2725,23 @@ fn dispatch_all(
             };
             pending.push(PendingObs {
                 end,
-                job: q.id,
+                job: id,
                 obs: v.obs,
                 drift,
             });
         }
         if let Some(m) = &serve.metrics {
             m.inc("serve.completed", 1);
-            m.observe("serve.admission_wait", start - q.arrival);
-            m.observe("serve.latency", end - q.arrival);
+            m.observe("serve.admission_wait", start - arrival);
+            m.observe("serve.latency", end - arrival);
             m.observe("serve.service", v.report.virtual_time);
         }
-        push_job_spans(spans, q.id, &q.name, start, end, &v, &windows);
+        push_job_spans(spans, id, &name, start, end, &v, &windows);
         records.push(JobRecord {
-            id: q.id,
-            name: q.name.clone(),
+            id,
+            name: name.clone(),
             outcome: JobOutcome::Completed,
-            arrival: q.arrival,
+            arrival,
             start,
             end,
             predicted: v.cost,
@@ -2322,13 +2749,30 @@ fn dispatch_all(
             fallback: fb,
             retries: v.retries,
             degraded: v.degraded,
-            calibration_generation: q.generation,
+            calibration_generation: generation,
         });
+        let boundaries = checkpoint_boundaries(serve.checkpoint, &v.plan, &windows);
+        let words = workload.input_len() as u64;
         runs.push(JobRun {
-            id: q.id,
-            name: q.name,
+            id,
+            name: name.clone(),
             fallback: fb,
             report: v.report,
+        });
+        running.push(RunningJob {
+            id,
+            name,
+            spec,
+            arrival,
+            deadline,
+            skips,
+            workload,
+            end,
+            boundaries,
+            next_boundary: 0,
+            prior_ckpt: checkpoint,
+            resvs,
+            words,
         });
     }
 }

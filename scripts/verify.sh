@@ -39,6 +39,22 @@ cargo run -q --release -p hpu-bench --bin repro -- fleet \
     --jobs 16 --nodes 1,4 --rates 6,96 --seed 42 \
     | grep -q '^4,96,16,' || { echo "fleet CSV smoke failed"; exit 1; }
 
+echo "== crash recovery (smoke) =="
+# The node-crash fault domain must produce the pinned recovery CSV: at
+# seed 43 the rate-0.3 plan crashes exactly one of the 4 nodes, and the
+# everylevel row must recover checkpointed work (11th column is
+# levels_saved) while the off row restarts it from scratch — both at
+# full goodput.
+recover_csv=$(cargo run -q --release -p hpu-bench --bin repro -- recover \
+    --jobs 16 --rates 0,0.3 --seed 43)
+echo "$recover_csv" | grep -q '^policy,crash_rate,' || { echo "recover CSV header missing"; exit 1; }
+echo "$recover_csv" | grep -q '^off,0,16,16,1.0000,0.0000,0,0,0,0,0,0' \
+    || { echo "recover CSV rate-0 row not fault-free"; exit 1; }
+echo "$recover_csv" | awk -F, '$1 == "everylevel" && $2 == 0.3 && $4 == 16 && $11 > 0 { found = 1 } END { exit !found }' \
+    || { echo "recover CSV smoke failed: everylevel saved no levels at rate 0.3"; exit 1; }
+echo "$recover_csv" | awk -F, '$1 == "off" && $2 == 0.3 && $4 == 16 && $11 == 0 { found = 1 } END { exit !found }' \
+    || { echo "recover CSV smoke failed: off row should save no levels"; exit 1; }
+
 echo "== cross-job batching (smoke) =="
 # The batching curve must render both policy row groups, stay
 # deterministic, and the batch rows must actually form batches at an

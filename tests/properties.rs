@@ -17,7 +17,7 @@ use hpu_algos::max_subarray::{max_subarray_reference, to_segments, MaxSubarray};
 use hpu_algos::mergesort::gpu_parallel_mergesort;
 use hpu_algos::scan::{scan_reference, DcScan};
 use hpu_algos::sum::DcSum;
-use hpu_core::exec::Strategy as Sched;
+use hpu_core::exec::{RecoveryPolicy, Strategy as Sched};
 use hpu_machine::FaultPlan;
 use hpu_model::advanced::AdvancedSolver;
 use hpu_model::ScheduleSpec;
@@ -269,6 +269,38 @@ proptest! {
                 .map(|&(_, _, k)| k)
                 .sum();
             prop_assert!(used <= cores, "{used} cores used of {cores} at {s}");
+        }
+    }
+
+    #[test]
+    fn recovery_backoff_is_monotone_capped_and_pure(
+        max_retries in 0u32..8,
+        base in 0.0f64..1000.0,
+        factor in 1.0f64..4.0,
+        cap in 0.0f64..1.0e6,
+    ) {
+        // For any policy with a growth factor ≥ 1, `backoff_at` is
+        // non-decreasing in the attempt index, never exceeds
+        // `max_backoff`, stays finite whenever the cap is (even where
+        // `factor^attempt` overflows to ∞), and is a pure function of
+        // the policy — equal inputs give bit-equal backoffs.
+        let policy = RecoveryPolicy {
+            max_retries,
+            backoff_base: base,
+            backoff_factor: factor,
+            max_backoff: cap,
+        };
+        let mut prev = 0.0_f64;
+        for attempt in 0..256u32 {
+            let b = policy.backoff_at(attempt);
+            prop_assert!(b.is_finite(), "finite under a finite cap");
+            prop_assert!(b <= cap, "{b} exceeds cap {cap}");
+            prop_assert!(
+                b >= prev * (1.0 - 1e-12) - 1e-12,
+                "backoff shrank {prev} -> {b} at attempt {attempt}"
+            );
+            prop_assert_eq!(b.to_bits(), policy.backoff_at(attempt).to_bits());
+            prev = b;
         }
     }
 

@@ -8,7 +8,7 @@ use hpu::prelude::*;
 use hpu_algos::max_subarray::{max_subarray_reference, to_segments, MaxSubarray};
 use hpu_algos::mergesort::gpu_parallel_mergesort;
 use hpu_algos::scan::{scan_reference, DcScan};
-use hpu_core::exec::Strategy as Sched;
+use hpu_core::exec::{RecoveryPolicy, Strategy as Sched};
 use hpu_machine::FaultPlan;
 use hpu_model::advanced::AdvancedSolver;
 use hpu_model::ScheduleSpec;
@@ -339,6 +339,46 @@ fn arbiter_probes_and_commits_agree() {
                 used <= cores,
                 "seed {seed}: {used} cores used of {cores} at {s}"
             );
+        }
+    }
+}
+
+#[test]
+fn recovery_backoff_is_monotone_capped_and_pure() {
+    // Mirror of the proptest property: for any policy with a growth
+    // factor ≥ 1, `backoff_at` is non-decreasing in the attempt index,
+    // never exceeds `max_backoff`, stays finite whenever the cap is
+    // (even where `factor^attempt` overflows to ∞), and is a pure
+    // function of the policy — equal inputs give bit-equal backoffs.
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        for _ in 0..40 {
+            let policy = RecoveryPolicy {
+                max_retries: rng.below(8) as u32,
+                backoff_base: rng.below(10_000) as f64 / 10.0,
+                backoff_factor: 1.0 + rng.below(300) as f64 / 100.0,
+                max_backoff: rng.below(1_000_000) as f64,
+            };
+            let mut prev = 0.0_f64;
+            for attempt in 0..256u32 {
+                let b = policy.backoff_at(attempt);
+                assert!(b.is_finite(), "seed {seed}: finite under a finite cap");
+                assert!(
+                    b <= policy.max_backoff,
+                    "seed {seed}: {b} exceeds cap {}",
+                    policy.max_backoff
+                );
+                assert!(
+                    b >= prev * (1.0 - 1e-12) - 1e-12,
+                    "seed {seed}: backoff shrank {prev} -> {b} at attempt {attempt}"
+                );
+                assert_eq!(
+                    b.to_bits(),
+                    policy.backoff_at(attempt).to_bits(),
+                    "seed {seed}: backoff_at must be deterministic"
+                );
+                prev = b;
+            }
         }
     }
 }
